@@ -1,0 +1,51 @@
+"""Ablation A2 — dataflow choice (OS / WS / IS) per workload for SA and Axon.
+
+The paper claims the Axon orchestration improves runtime "irrespective of
+dataflow".  This ablation evaluates a representative slice of Table 3 under
+all three dataflows for both architectures, and reports the best dataflow per
+workload per architecture.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.reports import format_table
+from repro.arch.dataflow import Dataflow
+from repro.core.runtime_model import best_dataflow_runtime, workload_runtime
+from repro.workloads import TABLE3_WORKLOADS
+
+ARRAY = 128
+SELECTED = ("TF0", "TF1", "GNMT1", "GPT3_0_matmul0", "NCF0", "DB1", "Resnet50_0_conv2d", "GEMM_1")
+
+
+def _collect():
+    rows = []
+    for name in SELECTED:
+        workload = next(w for w in TABLE3_WORKLOADS if w.name == name)
+        per_dataflow = []
+        for dataflow in Dataflow:
+            sa = workload_runtime(workload.m, workload.k, workload.n, ARRAY, ARRAY, dataflow, False)
+            axon = workload_runtime(workload.m, workload.k, workload.n, ARRAY, ARRAY, dataflow, True)
+            per_dataflow.append((dataflow.value, sa, axon, sa / axon))
+        best_sa = best_dataflow_runtime(workload.m, workload.k, workload.n, ARRAY, ARRAY, False)
+        best_axon = best_dataflow_runtime(workload.m, workload.k, workload.n, ARRAY, ARRAY, True)
+        rows.append((name, per_dataflow, best_sa, best_axon))
+    return rows
+
+
+def test_ablation_dataflow_choice(benchmark):
+    rows = benchmark(_collect)
+    flat = []
+    for name, per_dataflow, best_sa, best_axon in rows:
+        for dataflow, sa, axon, speedup in per_dataflow:
+            flat.append((name, dataflow, sa, axon, speedup))
+        flat.append((name, "best", best_sa[1], best_axon[1], best_sa[1] / best_axon[1]))
+    emit(
+        "Ablation A2 — per-dataflow runtime (cycles) for SA and Axon (128x128)",
+        format_table(("workload", "dataflow", "SA cycles", "Axon cycles", "speedup"), flat),
+    )
+    # Axon never loses under any dataflow, and the best-dataflow comparison
+    # also favours (or ties) Axon for every workload.
+    for name, per_dataflow, best_sa, best_axon in rows:
+        assert all(speedup >= 1.0 for _, _, _, speedup in per_dataflow), name
+        assert best_axon[1] <= best_sa[1], name

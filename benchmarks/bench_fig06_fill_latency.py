@@ -1,0 +1,42 @@
+"""E2 / Fig. 6 — operand fill latency: f1(R,C)=R+C-2 vs f2(R,C)=max(R,C)-1."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.reports import format_table
+from repro.analysis.sweep import fill_latency_sweep
+
+ARRAY_SHAPES = [
+    (16, 16),
+    (32, 32),
+    (64, 64),
+    (128, 128),
+    (256, 256),
+    (16, 64),
+    (64, 16),
+    (128, 256),
+    (256, 128),
+    (32, 256),
+]
+
+
+def test_fig06_fill_latency(benchmark):
+    rows = benchmark(fill_latency_sweep, ARRAY_SHAPES)
+    table = [
+        (
+            f"{row['rows']}x{row['cols']}",
+            row["conventional_fill"],
+            row["axon_fill"],
+            row["conventional_fill"] / max(row["axon_fill"], 1),
+        )
+        for row in rows
+    ]
+    emit(
+        "Fig. 6 — cycles for operands to reach the farthest PE",
+        format_table(("array", "f1 = R+C-2 (SA)", "f2 = max(R,C)-1 (Axon)", "ratio"), table),
+    )
+    # Paper's example point: 256x256 drops from 510 to 255 cycles.
+    point = next(row for row in rows if row["rows"] == 256 and row["cols"] == 256)
+    assert point["conventional_fill"] == 510 and point["axon_fill"] == 255
+    # Axon's fill factor is never worse and is exactly 2x better for large squares.
+    assert all(row["axon_fill"] <= row["conventional_fill"] for row in rows)

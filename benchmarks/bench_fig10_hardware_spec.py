@@ -1,0 +1,58 @@
+"""E3 + E9 / Fig. 10 & Sec. 5.1 — implemented 16x16 array specification.
+
+Regenerates the post-PnR area/power summary of the prototype: conventional SA
+vs Axon (buffer sharing) vs Axon with im2col support, in ASAP7, plus the
+overhead percentages the paper quotes (0.2% area, small power increase).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.reports import format_table
+from repro.arch.array_config import PAPER_PROTOTYPE
+from repro.energy import (
+    ASAP7,
+    area_report,
+    im2col_area_overhead_fraction,
+    im2col_power_overhead_fraction,
+    power_report,
+)
+
+
+def _collect():
+    area = area_report(PAPER_PROTOTYPE, ASAP7)
+    power = power_report(PAPER_PROTOTYPE, ASAP7)
+    return area, power
+
+
+def test_fig10_hardware_spec(benchmark):
+    area, power = benchmark(_collect)
+    emit(
+        "Fig. 10 / Sec. 5.1 — 16x16 array in ASAP7 "
+        "(paper: 0.9992 / 0.9931 / 0.9951 mm2; 59.88 / 59.98 mW)",
+        format_table(
+            ("design", "area (mm2)", "power (mW)"),
+            [
+                ("conventional SA", area.conventional_mm2, power.conventional_mw),
+                ("Axon (buffer sharing)", area.axon_mm2, power.axon_mw),
+                ("Axon + im2col support", area.axon_with_im2col_mm2, power.axon_with_im2col_mw),
+            ],
+            float_format="{:.4f}",
+        ),
+    )
+    emit(
+        "Sec. 5.1 — im2col support overhead",
+        format_table(
+            ("metric", "value"),
+            [
+                ("area overhead vs Axon", im2col_area_overhead_fraction(PAPER_PROTOTYPE, ASAP7)),
+                ("power overhead vs SA", im2col_power_overhead_fraction(PAPER_PROTOTYPE, ASAP7)),
+            ],
+            float_format="{:.4%}",
+        ),
+    )
+    assert abs(area.conventional_mm2 - 0.9992) < 1e-6
+    assert abs(area.axon_with_im2col_mm2 - 0.9951) < 1e-3
+    assert abs(power.conventional_mw - 59.88) < 1e-6
+    assert im2col_area_overhead_fraction(PAPER_PROTOTYPE, ASAP7) < 0.005
+    assert im2col_power_overhead_fraction(PAPER_PROTOTYPE, ASAP7) < 0.02

@@ -1,0 +1,74 @@
+"""E7 / Fig. 14 — runtime improvement on depthwise-conv and GEMV workloads.
+
+The paper reports an average ~1.8x (up to 2x) speedup for these low
+arithmetic-intensity workloads.  Under the published Table 2 + Eq. 2 model
+the depthwise layers (temporal dimension = R*S = 9) approach the model's
+1.5x bound while GEMV stays near 1.0; the tile-overlap execution model (the
+natural consequence of skew-free feeding) is reported alongside as the upper
+bracket — see EXPERIMENTS.md for the discussion.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import arithmetic_mean, workload_speedups
+from repro.analysis.reports import format_table
+from repro.arch.dataflow import Dataflow, map_gemm
+from repro.baselines import scalesim_runtime
+from repro.core.runtime_model import axon_overlapped_runtime
+from repro.workloads import DEPTHWISE_WORKLOADS, GEMV_WORKLOADS
+
+ARRAY = 128
+
+
+def _collect():
+    table2 = workload_speedups(DEPTHWISE_WORKLOADS + GEMV_WORKLOADS, ARRAY, ARRAY)
+    rows = []
+    for result in table2:
+        workload = next(
+            w for w in DEPTHWISE_WORKLOADS + GEMV_WORKLOADS if w.name == result.workload
+        )
+        overlap_cycles = axon_overlapped_runtime(
+            map_gemm(workload.m, workload.k, workload.n, Dataflow.OUTPUT_STATIONARY),
+            ARRAY,
+            ARRAY,
+        )
+        baseline = scalesim_runtime(workload.m, workload.k, workload.n, ARRAY, ARRAY)
+        rows.append(
+            (
+                result.workload,
+                "DW-conv" if workload in DEPTHWISE_WORKLOADS else "GEMV",
+                result.speedup,
+                baseline / overlap_cycles,
+            )
+        )
+    return rows
+
+
+def test_fig14_gemv_dwconv_speedup(benchmark):
+    rows = benchmark(_collect)
+    emit(
+        "Fig. 14 — speedup over the conventional SA on DW-conv and GEMV (128x128)",
+        format_table(
+            ("workload", "class", "speedup (Table 2 model)", "speedup (tile overlap)"), rows
+        ),
+    )
+    dw = [row[2] for row in rows if row[1] == "DW-conv"]
+    gemv = [row[2] for row in rows if row[1] == "GEMV"]
+    overlap_all = [row[3] for row in rows]
+    emit(
+        "Fig. 14 — averages (paper: ~1.8x average, up to 2x)",
+        format_table(
+            ("class", "mean speedup"),
+            [
+                ("DW-conv (Table 2 model)", arithmetic_mean(dw)),
+                ("GEMV (Table 2 model)", arithmetic_mean(gemv)),
+                ("all, tile-overlap model", arithmetic_mean(overlap_all)),
+            ],
+        ),
+    )
+    # Depthwise layers approach the Table 2 model's 1.5x bound; nothing regresses.
+    assert arithmetic_mean(dw) > 1.35
+    assert all(row[2] >= 1.0 for row in rows)
+    # The tile-overlap bracket comfortably covers the paper's ~1.8x average.
+    assert arithmetic_mean(overlap_all) > 1.8

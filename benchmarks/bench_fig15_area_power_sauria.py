@@ -1,0 +1,75 @@
+"""E8 / Fig. 15 — area and power vs Sauria's im2col support, 45 nm and 7 nm.
+
+Regenerates both panels of Fig. 15: total area and power of Axon (with
+im2col) against a conventional array equipped with a Sauria-style im2col
+data feeder, across array sizes and both technology nodes.  The paper quotes
+~3.93% less area and ~4.5% less power for Axon on average.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import arithmetic_mean
+from repro.analysis.reports import format_table
+from repro.arch.array_config import ArrayConfig
+from repro.energy import ASAP7, TSMC45, area_report, power_report
+
+ARRAY_SIZES = (8, 16, 32, 64)
+
+
+def _collect():
+    rows = []
+    for tech in (TSMC45, ASAP7):
+        for size in ARRAY_SIZES:
+            config = ArrayConfig(size, size)
+            area = area_report(config, tech)
+            power = power_report(config, tech)
+            rows.append(
+                (
+                    tech.name,
+                    f"{size}x{size}",
+                    area.axon_with_im2col_mm2,
+                    area.sauria_mm2,
+                    area.axon_vs_sauria_saving,
+                    power.axon_with_im2col_mw,
+                    power.sauria_mw,
+                    power.axon_vs_sauria_saving,
+                )
+            )
+    return rows
+
+
+def test_fig15_area_power_vs_sauria(benchmark):
+    rows = benchmark(_collect)
+    emit(
+        "Fig. 15 — Axon (with im2col) vs Sauria-style feeder, both nodes "
+        "(paper: Axon ~3.93% less area, ~4.5% less power)",
+        format_table(
+            (
+                "node",
+                "array",
+                "Axon area mm2",
+                "Sauria area mm2",
+                "area saving",
+                "Axon power mW",
+                "Sauria power mW",
+                "power saving",
+            ),
+            rows,
+            float_format="{:.4f}",
+        ),
+    )
+    area_savings = [row[4] for row in rows]
+    power_savings = [row[7] for row in rows]
+    emit(
+        "Fig. 15 — average savings",
+        format_table(
+            ("metric", "mean saving"),
+            [("area", arithmetic_mean(area_savings)), ("power", arithmetic_mean(power_savings))],
+            float_format="{:.2%}",
+        ),
+    )
+    # Axon is cheaper at every size and node, with savings in the paper's range.
+    assert all(saving > 0 for saving in area_savings + power_savings)
+    assert 0.02 < arithmetic_mean(area_savings) < 0.07
+    assert 0.02 < arithmetic_mean(power_savings) < 0.08

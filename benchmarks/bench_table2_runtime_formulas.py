@@ -1,0 +1,66 @@
+"""E1 / Table 2 — runtime formulas for SA and Axon, validated by simulation.
+
+Regenerates the Table 2 rows (symbolically evaluated on a representative set
+of GEMM shapes) and cross-checks every row against the cycle-accurate
+simulators, which is the reproduction's ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.reports import format_table
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow, map_gemm
+from repro.arch.stationary import ConventionalStationaryArray
+from repro.arch.systolic_os import ConventionalOSArray
+from repro.core.axon_os import AxonOSArray
+from repro.core.axon_stationary import AxonStationaryArray
+from repro.core.runtime_model import axon_runtime, conventional_runtime
+
+SHAPES = [(16, 16, 16), (12, 24, 8), (16, 8, 30), (4, 40, 4), (1, 12, 16)]
+
+
+def _table2_rows() -> list[tuple]:
+    rows = []
+    config = ArrayConfig(rows=48, cols=48)
+    rng = np.random.default_rng(0)
+    for m, k, n in SHAPES:
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        for dataflow in Dataflow:
+            mapping = map_gemm(m, k, n, dataflow)
+            sa_formula = conventional_runtime(
+                mapping.spatial_rows, mapping.spatial_cols, mapping.temporal
+            )
+            axon_formula = axon_runtime(
+                mapping.spatial_rows, mapping.spatial_cols, mapping.temporal
+            )
+            if dataflow is Dataflow.OUTPUT_STATIONARY:
+                sa_measured = ConventionalOSArray(config).run_tile(a, b).total_cycles
+                axon_measured = AxonOSArray(config).run_tile(a, b).total_cycles
+            else:
+                sa_measured = ConventionalStationaryArray(config, dataflow).run_tile(a, b).total_cycles
+                axon_measured = AxonStationaryArray(config, dataflow).run_tile(a, b).total_cycles
+            assert sa_measured == sa_formula, (dataflow, m, k, n)
+            assert axon_measured == axon_formula, (dataflow, m, k, n)
+            rows.append(
+                (
+                    f"{m}x{k}x{n}",
+                    dataflow.value,
+                    sa_formula,
+                    axon_formula,
+                    sa_formula / axon_formula,
+                )
+            )
+    return rows
+
+
+def test_table2_runtime_formulas(benchmark):
+    rows = benchmark(_table2_rows)
+    emit(
+        "Table 2 — single-tile runtime, SA vs Axon (formula == cycle simulation)",
+        format_table(("GEMM (MxKxN)", "dataflow", "SA cycles", "Axon cycles", "speedup"), rows),
+    )
+    assert all(row[2] >= row[3] for row in rows)

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one table or figure of the
+paper and prints them (run pytest with ``-s`` to see the tables); the
+``benchmark`` fixture times the regeneration itself so the harness doubles as
+a performance regression check for the models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for benchmark inputs."""
+    return np.random.default_rng(7)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a paper-style table with a header line."""
+    print(f"\n=== {title} ===")
+    print(body)

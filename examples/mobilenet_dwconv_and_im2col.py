@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""MobileNet depthwise convolution + on-chip im2col walkthrough.
+
+Part 1 reproduces the Fig. 14 observation that low arithmetic-intensity
+workloads (depthwise convolutions, whose lowered temporal dimension is only
+R*S = 9) benefit the most from the Axon orchestration.
+
+Part 2 runs the actual on-chip im2col feeder on a small convolution layer: it
+feeds the convolution windows through the diagonal MUXes, verifies that the
+delivered operand stream is exactly the software-im2col matrix, executes the
+lowered GEMM on the Axon array, and compares against the golden convolution.
+
+Run with:  python examples/mobilenet_dwconv_and_im2col.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArrayConfig, AxonAccelerator, SystolicAccelerator
+from repro.analysis import arithmetic_mean, workload_speedups
+from repro.core.im2col_unit import Im2colFeeder
+from repro.golden import conv2d
+from repro.workloads import DEPTHWISE_WORKLOADS, mobilenet_depthwise_layers
+
+
+def depthwise_speedups() -> None:
+    print("MobileNet / EfficientNet depthwise-conv speedups on a 128x128 array")
+    results = workload_speedups(DEPTHWISE_WORKLOADS, 128, 128)
+    for result in results[:8]:
+        print(f"  {result.workload:35s} speedup {result.speedup:.2f}x")
+    print(f"  ... ({len(results)} layers total), "
+          f"average {arithmetic_mean([r.speedup for r in results]):.2f}x")
+    layers = mobilenet_depthwise_layers()
+    total_macs = sum(layer.macs for layer in layers)
+    print(f"  total depthwise MACs: {total_macs / 1e6:.1f} M")
+
+
+def onchip_im2col_demo() -> None:
+    rng = np.random.default_rng(0)
+    channels, size, kernel, filters = 4, 10, 3, 8
+    ifmap = rng.standard_normal((channels, size, size))
+    weights = rng.standard_normal((filters, channels, kernel, kernel))
+    golden = conv2d(ifmap, weights)
+
+    feeder = Im2colFeeder(kernel, kernel)
+    out_w = size - kernel + 1
+    config = ArrayConfig(rows=16, cols=16)
+    axon = AxonAccelerator(config)
+    systolic = SystolicAccelerator(config)
+
+    total_sram_reads = 0
+    total_elements = 0
+    output = np.zeros_like(golden)
+    flat_weights = weights.reshape(filters, -1)
+    for ofmap_row in range(size - kernel + 1):
+        trace = feeder.feed_ofmap_row(ifmap, ofmap_row)
+        total_sram_reads += trace.sram_reads
+        total_elements += trace.total_elements
+        # The delivered windows, re-ordered, are the im2col rows for this
+        # OFMAP row; run the lowered GEMM on the cycle-accurate Axon array.
+        windows = trace.windows_in_natural_order(kernel)  # (out_w, C*R*S)
+        run = axon.run_gemm(flat_weights, windows.T, name=f"row{ofmap_row}")
+        output[:, ofmap_row, :] = run.output
+
+    assert np.allclose(output, golden), "on-chip im2col convolution mismatch"
+    reuse = 1.0 - total_sram_reads / total_elements
+
+    software_reads = total_elements  # software im2col streams every element
+    print("\nOn-chip im2col demo (4x10x10 IFMAP, 3x3 kernel, 8 filters)")
+    print(f"  convolution result matches the golden model: True")
+    print(f"  operand elements delivered to the array : {total_elements}")
+    print(f"  SRAM reads with the 2-to-1 MUX feeder    : {total_sram_reads} "
+          f"({reuse:.0%} served from the adjacent feeder PE)")
+    print(f"  SRAM reads with software im2col          : {software_reads}")
+
+    # Cycle comparison of the lowered GEMM for one OFMAP row.
+    trace = feeder.feed_ofmap_row(ifmap, 0)
+    windows = trace.windows_in_natural_order(kernel)
+    axon_run = axon.run_gemm(flat_weights, windows.T)
+    systolic_run = systolic.run_gemm(flat_weights, windows.T)
+    print(f"  per-row lowered GEMM cycles: SA {systolic_run.cycles}, Axon {axon_run.cycles} "
+          f"({systolic_run.cycles / axon_run.cycles:.2f}x)")
+
+
+def main() -> None:
+    depthwise_speedups()
+    onchip_im2col_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Sparse GEMM with zero gating — power reduction vs operand sparsity.
+
+Generates sparse operands at several sparsity levels, runs them on the
+cycle-accurate Axon array with zero gating enabled (results are unchanged,
+gated MACs are counted), and converts the gated-MAC fraction into the total
+power reduction the paper reports (5.3% at 10% sparsity, Sec. 5.2.1).
+
+Run with:  python examples/sparsity_zero_gating.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.array_config import ArrayConfig
+from repro.core.axon_os import AxonOSArray
+from repro.core.zero_gating import gated_power_fraction, zero_gating_stats
+from repro.energy import conventional_array_power_mw, ASAP7
+from repro.workloads.sparse import sparse_gemm_pair
+
+
+def main() -> None:
+    config = ArrayConfig(rows=16, cols=16)
+    simulator = AxonOSArray(config, zero_gating=True)
+    base_power = conventional_array_power_mw(config, ASAP7)
+
+    print("Zero-gating power reduction on a 16x16 Axon array (ASAP7, 59.88 mW dense)")
+    print(f"{'sparsity':>10} {'gated MACs':>12} {'power reduction':>16} {'array power':>12}")
+    for sparsity in (0.0, 0.05, 0.10, 0.20, 0.30, 0.50):
+        a, b = sparse_gemm_pair(16, 64, 16, sparsity, seed=3)
+        result = simulator.run_tile(a, b)
+        dense = AxonOSArray(config, zero_gating=False).run_tile(a, b)
+        assert np.allclose(result.output, dense.output), "gating changed the result"
+
+        stats = zero_gating_stats(a, b)
+        assert stats.gated_macs == result.gated_macs, "simulator disagrees with analysis"
+
+        gated_fraction = result.gated_macs / stats.total_macs
+        reduction = gated_power_fraction(gated_fraction)
+        print(f"{sparsity:>10.0%} {result.gated_macs:>12d} {reduction:>16.1%} "
+              f"{base_power * (1 - reduction):>10.2f} mW")
+
+    print("\nPaper calibration point: 10% sparsity -> 5.3% total power reduction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Transformer (GPT-3 / GNMT / TF) GEMM speedups across array sizes.
+
+Reproduces the Fig. 12 experiment for the transformer-derived workloads of
+Table 3: the Axon-vs-SA runtime for every workload on 64x64, 128x128 and
+256x256 arrays, the per-size average speedup, and a per-dataflow breakdown
+for one workload to show that the improvement holds for OS, WS and IS alike.
+
+Run with:  python examples/transformer_gpt3_speedup.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import arithmetic_mean, format_speedup_table, workload_speedups
+from repro.arch.dataflow import Dataflow
+from repro.core.runtime_model import workload_runtime
+from repro.workloads import TABLE3_GEMM_WORKLOADS, workload_by_name
+
+
+def main() -> None:
+    transformer_workloads = [
+        workload
+        for workload in TABLE3_GEMM_WORKLOADS
+        if workload.name.startswith(("TF", "GNMT", "GPT3"))
+    ]
+
+    for size in (64, 128, 256):
+        results = workload_speedups(transformer_workloads, size, size)
+        print(f"\nTransformer GEMMs on a {size}x{size} array")
+        print(format_speedup_table(results))
+        print(f"  average speedup: "
+              f"{arithmetic_mean([r.speedup for r in results]):.2f}x")
+
+    # Per-dataflow breakdown for one representative workload.
+    workload = workload_by_name("GNMT1")
+    print(f"\nPer-dataflow runtime for {workload.name} "
+          f"(M={workload.m}, K={workload.k}, N={workload.n}) on 128x128")
+    for dataflow in Dataflow:
+        sa = workload_runtime(workload.m, workload.k, workload.n, 128, 128, dataflow, axon=False)
+        axon = workload_runtime(workload.m, workload.k, workload.n, 128, 128, dataflow, axon=True)
+        print(f"  {dataflow.value}: SA {sa:9,} cycles   Axon {axon:9,} cycles   "
+              f"speedup {sa / axon:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

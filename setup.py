@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs (``pip install -e .``) work on environments whose
+setuptools predates PEP 660 wheel-less editable support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — reproduction of the Axon systolic-array architecture (DATE 2025).
+
+The package is organised as::
+
+    repro.golden      numpy reference models (GEMM, conv, im2col)
+    repro.arch        conventional systolic-array substrate
+    repro.im2col      convolution lowering, reuse analysis, traffic models
+    repro.core        the Axon contribution (orchestration, im2col HW, PEs)
+    repro.workloads   workload database (Table 3, CNNs, GEMV, DW-conv, sparse)
+    repro.baselines   SCALE-sim, CMSA and Sauria comparison models
+    repro.energy      technology, area, power and DRAM-energy models
+    repro.analysis    utilisation, speedup, sweeps and report formatting
+    repro.api         high-level SystolicAccelerator / AxonAccelerator façade
+
+See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the mapping
+between the paper's tables & figures and this code.
+"""
+
+from repro.api import AxonAccelerator, SystolicAccelerator, RunResult
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AxonAccelerator",
+    "SystolicAccelerator",
+    "RunResult",
+    "ArrayConfig",
+    "Dataflow",
+    "__version__",
+]

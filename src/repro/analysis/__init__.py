@@ -1,0 +1,31 @@
+"""Analysis helpers: utilisation, speedups, sweeps and report formatting."""
+
+from repro.analysis.utilization import (
+    utilization_rate,
+    axon_utilization,
+    conventional_utilization,
+    utilization_improvement,
+)
+from repro.analysis.speedup import (
+    WorkloadSpeedup,
+    workload_speedups,
+    geometric_mean,
+    arithmetic_mean,
+)
+from repro.analysis.sweep import fill_latency_sweep, array_size_sweep
+from repro.analysis.reports import format_table, format_speedup_table
+
+__all__ = [
+    "utilization_rate",
+    "axon_utilization",
+    "conventional_utilization",
+    "utilization_improvement",
+    "WorkloadSpeedup",
+    "workload_speedups",
+    "geometric_mean",
+    "arithmetic_mean",
+    "fill_latency_sweep",
+    "array_size_sweep",
+    "format_table",
+    "format_speedup_table",
+]

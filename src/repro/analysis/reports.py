@@ -1,0 +1,55 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that formatting consistent and dependency
+free (no plotting libraries are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.speedup import WorkloadSpeedup
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], float_format: str = "{:.3f}"
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[idx]) for idx, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_speedup_table(results: Sequence[WorkloadSpeedup]) -> str:
+    """Render a list of workload speedups as the Fig. 12 / Fig. 14 rows."""
+    headers = ("workload", "array", "SA cycles", "Axon cycles", "speedup", "normalized")
+    rows = [
+        (
+            result.workload,
+            f"{result.array_rows}x{result.array_cols}",
+            result.baseline_cycles,
+            result.axon_cycles,
+            result.speedup,
+            result.normalized_axon_runtime,
+        )
+        for result in results
+    ]
+    return format_table(headers, rows)

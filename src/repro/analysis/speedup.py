@@ -1,0 +1,86 @@
+"""Per-workload speedup computation and aggregation (Fig. 12 / Fig. 14)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.arch.dataflow import Dataflow
+from repro.baselines.scalesim_model import scalesim_runtime
+from repro.core.runtime_model import workload_runtime
+from repro.im2col.lowering import GemmShape
+
+
+@dataclass(frozen=True)
+class WorkloadSpeedup:
+    """Axon-vs-baseline result for one workload on one array shape.
+
+    Attributes
+    ----------
+    workload:
+        Workload name.
+    array_rows, array_cols:
+        Array configuration the comparison was run on.
+    baseline_cycles, axon_cycles:
+        Scale-up runtimes of the conventional and the Axon orchestration.
+    """
+
+    workload: str
+    array_rows: int
+    array_cols: int
+    baseline_cycles: int
+    axon_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        """Runtime ratio ``baseline / axon`` (>1 means Axon is faster)."""
+        return self.baseline_cycles / self.axon_cycles
+
+    @property
+    def normalized_axon_runtime(self) -> float:
+        """Axon runtime normalised to the conventional array's (Fig. 12 y-axis)."""
+        return self.axon_cycles / self.baseline_cycles
+
+
+def workload_speedups(
+    workloads: Iterable[GemmShape],
+    array_rows: int,
+    array_cols: int,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+) -> list[WorkloadSpeedup]:
+    """Compute Axon-vs-SA speedups for a set of GEMM workloads."""
+    results = []
+    for workload in workloads:
+        baseline = scalesim_runtime(
+            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow
+        )
+        axon = workload_runtime(
+            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow, axon=True
+        )
+        results.append(
+            WorkloadSpeedup(
+                workload=workload.name,
+                array_rows=array_rows,
+                array_cols=array_cols,
+                baseline_cycles=baseline,
+                axon_cycles=axon,
+            )
+        )
+    return results
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average (the paper reports arithmetic-mean speedups)."""
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, for comparison with the arithmetic mean."""
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))

@@ -1,0 +1,47 @@
+"""Parameter sweeps used by the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.arch.dataflow import Dataflow
+from repro.core.runtime_model import (
+    axon_fill_latency,
+    conventional_fill_latency,
+)
+from repro.analysis.speedup import WorkloadSpeedup, workload_speedups
+from repro.im2col.lowering import GemmShape
+
+
+def fill_latency_sweep(
+    shapes: Iterable[tuple[int, int]]
+) -> list[dict[str, int]]:
+    """Fill-latency comparison over array shapes (the Fig. 6 data series).
+
+    Each row contains the array shape, the conventional fill latency
+    ``f1 = R + C - 2`` and the Axon fill latency ``f2 = max(R, C) - 1``.
+    """
+    rows = []
+    for array_rows, array_cols in shapes:
+        rows.append(
+            {
+                "rows": array_rows,
+                "cols": array_cols,
+                "conventional_fill": conventional_fill_latency(array_rows, array_cols),
+                "axon_fill": axon_fill_latency(array_rows, array_cols),
+            }
+        )
+    return rows
+
+
+def array_size_sweep(
+    workloads: Sequence[GemmShape],
+    array_sizes: Sequence[int],
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+) -> dict[int, list[WorkloadSpeedup]]:
+    """Speedups of every workload across several square array sizes (Fig. 12)."""
+    if not array_sizes:
+        raise ValueError("array_sizes must not be empty")
+    return {
+        size: workload_speedups(workloads, size, size, dataflow) for size in array_sizes
+    }

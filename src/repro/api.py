@@ -1,0 +1,230 @@
+"""High-level accelerator façade.
+
+The classes here tie the substrates together into the interface a user of the
+library actually wants: "run this GEMM / this convolution layer on this array
+and tell me the result, the cycle count, the utilisation, the off-chip
+traffic and the energy".
+
+Two accelerators are provided with identical interfaces:
+
+* :class:`SystolicAccelerator` — the conventional baseline (skewed feeding,
+  software im2col);
+* :class:`AxonAccelerator` — the paper's design (diagonal feeding,
+  bi-directional propagation, on-chip im2col).
+
+Functional execution uses the cycle-accurate tile simulators for problems
+that are small enough to simulate exactly; timing estimates for arbitrarily
+large problems use the validated analytical models (the simulators and the
+analytical models agree cycle-for-cycle on single tiles, which the test suite
+checks, so the estimates are trustworthy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow, map_gemm
+from repro.arch.dram import DRAMModel, LPDDR3
+from repro.arch.systolic_os import ConventionalOSArray
+from repro.arch.stationary import ConventionalStationaryArray
+from repro.arch.tiling import tile_gemm
+from repro.baselines.scalesim_model import scalesim_runtime
+from repro.core.axon_os import AxonOSArray
+from repro.core.axon_stationary import AxonStationaryArray
+from repro.core.runtime_model import workload_runtime
+from repro.energy.dram_energy import dram_energy_mj
+from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
+from repro.im2col.traffic import (
+    ConvTrafficReport,
+    onchip_im2col_traffic,
+    software_im2col_traffic,
+)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Result of executing (or estimating) one workload on an accelerator.
+
+    Attributes
+    ----------
+    name:
+        Workload identifier.
+    cycles:
+        Total runtime in cycles (scale-up execution).
+    macs:
+        Useful multiply-accumulate operations.
+    utilization:
+        ``macs / (num_pes * cycles)``.
+    dram_bytes:
+        Estimated off-chip traffic (None for raw GEMMs run functionally).
+    dram_energy_mj:
+        DRAM access energy for that traffic (None when traffic is None).
+    output:
+        The numerical result when the workload was executed functionally
+        (None for estimate-only runs).
+    """
+
+    name: str
+    cycles: int
+    macs: int
+    utilization: float
+    dram_bytes: float | None = None
+    dram_energy_mj: float | None = None
+    output: np.ndarray | None = None
+
+
+class _AcceleratorBase:
+    """Shared plumbing of the two accelerator façades."""
+
+    #: Set by subclasses: whether the Axon orchestration / im2col is used.
+    axon: bool = False
+
+    def __init__(
+        self,
+        config: ArrayConfig,
+        dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+        dram: DRAMModel = LPDDR3,
+    ):
+        self.config = config
+        self.dataflow = dataflow
+        self.dram = dram
+
+    # -- timing estimates -------------------------------------------------
+
+    def estimate_gemm_cycles(self, m: int, k: int, n: int) -> int:
+        """Scale-up runtime estimate for a GEMM of the given shape."""
+        if self.axon:
+            return workload_runtime(
+                m, k, n, self.config.rows, self.config.cols, self.dataflow, axon=True
+            )
+        return scalesim_runtime(
+            m, k, n, self.config.rows, self.config.cols, self.dataflow
+        )
+
+    def estimate_gemm(self, name: str, m: int, k: int, n: int) -> RunResult:
+        """Runtime / utilisation estimate for a GEMM workload (no execution)."""
+        cycles = self.estimate_gemm_cycles(m, k, n)
+        macs = m * k * n
+        utilization = macs / (self.config.num_pes * cycles)
+        return RunResult(name=name, cycles=cycles, macs=macs, utilization=min(utilization, 1.0))
+
+    # -- functional execution ---------------------------------------------
+
+    def _tile_simulator(self):
+        raise NotImplementedError
+
+    def run_gemm(self, a: np.ndarray, b: np.ndarray, name: str = "gemm") -> RunResult:
+        """Execute a GEMM functionally, tile by tile, on the cycle simulator.
+
+        The result matrix is exact; the cycle count is the sum of the
+        simulated per-tile cycle counts (scale-up execution).  Intended for
+        problems small enough to simulate — use :meth:`estimate_gemm` for
+        Table 3-sized workloads.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError("operands must be 2-D with agreeing inner dimensions")
+        m, k = a.shape
+        _, n = b.shape
+        simulator = self._tile_simulator()
+        output = np.zeros((m, n))
+        total_cycles = 0
+        total_macs = 0
+        active_pe_cycles = 0
+        for tile, a_block, b_block in tile_gemm(a, b, self.config.rows, self.config.cols):
+            result = simulator.run_tile(a_block, b_block)
+            output[
+                tile.row_start : tile.row_start + tile.rows,
+                tile.col_start : tile.col_start + tile.cols,
+            ] = result.output
+            total_cycles += result.total_cycles
+            total_macs += tile.rows * tile.cols * k
+            active_pe_cycles += getattr(result, "active_pe_cycles", 0) or (
+                tile.rows * tile.cols * k
+            )
+        utilization = total_macs / (self.config.num_pes * total_cycles)
+        return RunResult(
+            name=name,
+            cycles=total_cycles,
+            macs=total_macs,
+            utilization=min(utilization, 1.0),
+            output=output,
+        )
+
+    # -- convolution layers -------------------------------------------------
+
+    def _conv_traffic(self, layer: ConvShape) -> ConvTrafficReport:
+        model = onchip_im2col_traffic if self.axon else software_im2col_traffic
+        return model(layer, bytes_per_element=self.config.operand_bytes)
+
+    def estimate_conv(self, layer: ConvShape) -> RunResult:
+        """Runtime, traffic and DRAM-energy estimate for a convolution layer."""
+        gemm = lower_conv_to_gemm(layer)
+        cycles = self.estimate_gemm_cycles(gemm.m, gemm.k, gemm.n)
+        traffic = self._conv_traffic(layer)
+        macs = layer.macs
+        utilization = min(macs / (self.config.num_pes * cycles), 1.0)
+        return RunResult(
+            name=layer.name,
+            cycles=cycles,
+            macs=macs,
+            utilization=utilization,
+            dram_bytes=traffic.total_bytes,
+            dram_energy_mj=dram_energy_mj(traffic.total_bytes, self.dram),
+        )
+
+    def estimate_network(self, layers, name: str = "network") -> RunResult:
+        """Aggregate conv-layer estimates over a whole network."""
+        cycles = 0
+        macs = 0
+        traffic = 0.0
+        for layer in layers:
+            result = self.estimate_conv(layer)
+            cycles += result.cycles
+            macs += result.macs
+            traffic += result.dram_bytes or 0.0
+        utilization = min(macs / (self.config.num_pes * cycles), 1.0) if cycles else 0.0
+        return RunResult(
+            name=name,
+            cycles=cycles,
+            macs=macs,
+            utilization=utilization,
+            dram_bytes=traffic,
+            dram_energy_mj=dram_energy_mj(traffic, self.dram),
+        )
+
+
+class SystolicAccelerator(_AcceleratorBase):
+    """The conventional systolic-array baseline (software im2col)."""
+
+    axon = False
+
+    def _tile_simulator(self):
+        if self.dataflow is Dataflow.OUTPUT_STATIONARY:
+            return ConventionalOSArray(self.config)
+        return ConventionalStationaryArray(self.config, self.dataflow)
+
+
+class AxonAccelerator(_AcceleratorBase):
+    """The Axon accelerator (diagonal feed, bi-directional propagation)."""
+
+    axon = True
+
+    def __init__(
+        self,
+        config: ArrayConfig,
+        dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+        dram: DRAMModel = LPDDR3,
+        zero_gating: bool = False,
+    ):
+        super().__init__(config, dataflow, dram)
+        self.zero_gating = zero_gating
+
+    def _tile_simulator(self):
+        if self.dataflow is Dataflow.OUTPUT_STATIONARY:
+            return AxonOSArray(self.config, zero_gating=self.zero_gating)
+        return AxonStationaryArray(self.config, self.dataflow)

@@ -1,0 +1,42 @@
+"""Conventional systolic-array substrate.
+
+This package implements everything the paper relies on that is *not* the Axon
+contribution itself: the baseline systolic array with skewed operand feeding,
+the three dataflows (OS / WS / IS) and their GEMM-dimension mapping (Table 1
+of the paper), tiling for scale-up and scale-out execution (Fig. 2), on-chip
+SRAM buffers, an LPDDR3 DRAM model, and memory-traffic accounting.
+"""
+
+from repro.arch.dataflow import Dataflow, SpatioTemporalMapping, map_gemm
+from repro.arch.array_config import ArrayConfig
+from repro.arch.skew import skew_matrix_rows, skew_matrix_cols, unskew_matrix_rows
+from repro.arch.systolic_os import ConventionalOSArray, OSRunResult
+from repro.arch.stationary import ConventionalStationaryArray, StationaryRunResult
+from repro.arch.tiling import TileShape, tile_gemm, count_tiles, scale_out_partitions
+from repro.arch.buffers import SRAMBuffer, DoubleBuffer
+from repro.arch.dram import DRAMModel, LPDDR3
+from repro.arch.memory_traffic import TrafficCounter, GemmTraffic
+
+__all__ = [
+    "Dataflow",
+    "SpatioTemporalMapping",
+    "map_gemm",
+    "ArrayConfig",
+    "skew_matrix_rows",
+    "skew_matrix_cols",
+    "unskew_matrix_rows",
+    "ConventionalOSArray",
+    "OSRunResult",
+    "ConventionalStationaryArray",
+    "StationaryRunResult",
+    "TileShape",
+    "tile_gemm",
+    "count_tiles",
+    "scale_out_partitions",
+    "SRAMBuffer",
+    "DoubleBuffer",
+    "DRAMModel",
+    "LPDDR3",
+    "TrafficCounter",
+    "GemmTraffic",
+]

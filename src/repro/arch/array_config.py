@@ -1,0 +1,82 @@
+"""Physical configuration of a (conventional or Axon) systolic array."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Physical parameters of a systolic array instance.
+
+    Attributes
+    ----------
+    rows, cols:
+        Number of PE rows ``R`` and columns ``C``.
+    operand_bits:
+        Width of each operand word (the paper's implementation uses FP16).
+    accumulator_bits:
+        Width of the accumulator register inside each PE.
+    frequency_mhz:
+        Clock frequency, used only to convert cycles into wall-clock time and
+        compute achievable bandwidth-bound throughput.
+    sram_ifmap_kib, sram_filter_kib, sram_ofmap_kib:
+        Capacities of the three scratchpad buffers in KiB.
+    """
+
+    rows: int
+    cols: int
+    operand_bits: int = 16
+    accumulator_bits: int = 32
+    frequency_mhz: float = 1000.0
+    sram_ifmap_kib: float = 256.0
+    sram_filter_kib: float = 256.0
+    sram_ofmap_kib: float = 128.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(
+                f"array must have positive dimensions, got {self.rows}x{self.cols}"
+            )
+        if self.operand_bits <= 0 or self.accumulator_bits <= 0:
+            raise ValueError("word widths must be positive")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of processing elements in the array."""
+        return self.rows * self.cols
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the array has as many rows as columns."""
+        return self.rows == self.cols
+
+    @property
+    def operand_bytes(self) -> float:
+        """Size of a single operand word in bytes."""
+        return self.operand_bits / 8.0
+
+    @property
+    def diagonal_length(self) -> int:
+        """Number of PEs on the principal diagonal (Axon feeder PEs)."""
+        return min(self.rows, self.cols)
+
+    def with_shape(self, rows: int, cols: int) -> "ArrayConfig":
+        """Return a copy of this configuration with a different PE grid shape."""
+        return ArrayConfig(
+            rows=rows,
+            cols=cols,
+            operand_bits=self.operand_bits,
+            accumulator_bits=self.accumulator_bits,
+            frequency_mhz=self.frequency_mhz,
+            sram_ifmap_kib=self.sram_ifmap_kib,
+            sram_filter_kib=self.sram_filter_kib,
+            sram_ofmap_kib=self.sram_ofmap_kib,
+        )
+
+
+#: Configuration matching the paper's implemented prototype (Fig. 10):
+#: a 16x16 output-stationary array with FP16 MACs.
+PAPER_PROTOTYPE = ArrayConfig(rows=16, cols=16, operand_bits=16, frequency_mhz=1000.0)

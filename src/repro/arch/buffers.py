@@ -1,0 +1,157 @@
+"""On-chip SRAM scratchpad buffers.
+
+The accelerator keeps three scratchpads (IFMAP, FILTER, OFMAP).  The buffer
+model tracks capacity, occupancy, and the number of read/write accesses so
+that the im2col experiments can report how much SRAM traffic the on-chip
+reuse eliminates, and so the DRAM model can be driven by buffer misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when an allocation exceeds the buffer capacity."""
+
+
+@dataclass
+class SRAMBuffer:
+    """A simple capacity/access-counting SRAM scratchpad model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"ifmap"``).
+    capacity_bytes:
+        Total capacity in bytes.
+    read_energy_pj_per_byte, write_energy_pj_per_byte:
+        Per-byte access energies used by the power model.  Defaults follow
+        typical 7-nm SRAM macros and only matter for relative comparisons.
+    """
+
+    name: str
+    capacity_bytes: float
+    read_energy_pj_per_byte: float = 1.2
+    write_energy_pj_per_byte: float = 1.5
+    _occupancy_bytes: float = field(default=0.0, repr=False)
+    _reads_bytes: float = field(default=0.0, repr=False)
+    _writes_bytes: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def occupancy_bytes(self) -> float:
+        """Bytes currently allocated in the buffer."""
+        return self._occupancy_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Bytes still available."""
+        return self.capacity_bytes - self._occupancy_bytes
+
+    @property
+    def total_reads_bytes(self) -> float:
+        """Cumulative bytes read since construction or the last reset."""
+        return self._reads_bytes
+
+    @property
+    def total_writes_bytes(self) -> float:
+        """Cumulative bytes written since construction or the last reset."""
+        return self._writes_bytes
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve space for a tile; raises if the buffer would overflow."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self._occupancy_bytes + nbytes > self.capacity_bytes:
+            raise BufferOverflowError(
+                f"{self.name} buffer overflow: requested {nbytes} bytes with only "
+                f"{self.free_bytes} free of {self.capacity_bytes}"
+            )
+        self._occupancy_bytes += nbytes
+
+    def release(self, nbytes: float) -> None:
+        """Free previously allocated space."""
+        if nbytes < 0:
+            raise ValueError("release size must be non-negative")
+        if nbytes > self._occupancy_bytes:
+            raise ValueError(
+                f"{self.name} buffer: releasing {nbytes} bytes exceeds occupancy "
+                f"{self._occupancy_bytes}"
+            )
+        self._occupancy_bytes -= nbytes
+
+    def read(self, nbytes: float) -> None:
+        """Record a read access of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("read size must be non-negative")
+        self._reads_bytes += nbytes
+
+    def write(self, nbytes: float) -> None:
+        """Record a write access of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("write size must be non-negative")
+        self._writes_bytes += nbytes
+
+    def access_energy_pj(self) -> float:
+        """Total access energy in picojoules given the per-byte costs."""
+        return (
+            self._reads_bytes * self.read_energy_pj_per_byte
+            + self._writes_bytes * self.write_energy_pj_per_byte
+        )
+
+    def reset_counters(self) -> None:
+        """Clear the access counters (occupancy is preserved)."""
+        self._reads_bytes = 0.0
+        self._writes_bytes = 0.0
+
+
+@dataclass
+class DoubleBuffer:
+    """A ping-pong pair of SRAM buffers for overlapping load and compute.
+
+    The accelerator fills one half while the array drains the other; the
+    model simply exposes both halves and a ``swap`` operation, and aggregates
+    their access statistics.
+    """
+
+    name: str
+    capacity_bytes: float
+    read_energy_pj_per_byte: float = 1.2
+    write_energy_pj_per_byte: float = 1.5
+
+    def __post_init__(self) -> None:
+        half = self.capacity_bytes / 2.0
+        self.front = SRAMBuffer(
+            f"{self.name}.front",
+            half,
+            self.read_energy_pj_per_byte,
+            self.write_energy_pj_per_byte,
+        )
+        self.back = SRAMBuffer(
+            f"{self.name}.back",
+            half,
+            self.read_energy_pj_per_byte,
+            self.write_energy_pj_per_byte,
+        )
+
+    def swap(self) -> None:
+        """Exchange the compute-facing and load-facing halves."""
+        self.front, self.back = self.back, self.front
+
+    @property
+    def total_reads_bytes(self) -> float:
+        """Combined read traffic of both halves."""
+        return self.front.total_reads_bytes + self.back.total_reads_bytes
+
+    @property
+    def total_writes_bytes(self) -> float:
+        """Combined write traffic of both halves."""
+        return self.front.total_writes_bytes + self.back.total_writes_bytes
+
+    def access_energy_pj(self) -> float:
+        """Combined access energy of both halves."""
+        return self.front.access_energy_pj() + self.back.access_energy_pj()

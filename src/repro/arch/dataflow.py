@@ -1,0 +1,84 @@
+"""Dataflows and the GEMM-dimension mapping of Table 1.
+
+A systolic array exposes two spatial dimensions (``S_R`` rows and ``S_C``
+columns of PEs) and one temporal dimension ``T`` (cycles over which operands
+stream through each PE).  A GEMM of shape ``(M, K) x (K, N)`` is projected
+onto those three dimensions differently for each dataflow.  The paper's
+Table 1 gives the mapping used throughout the evaluation:
+
+========  =======  =======  =====
+Dataflow   S_R      S_C       T
+========  =======  =======  =====
+OS          M        N        K
+WS          K        M        N
+IS          K        N        M
+========  =======  =======  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Dataflow(str, Enum):
+    """The three classic systolic-array dataflows."""
+
+    OUTPUT_STATIONARY = "OS"
+    WEIGHT_STATIONARY = "WS"
+    INPUT_STATIONARY = "IS"
+
+    @classmethod
+    def from_string(cls, name: str) -> "Dataflow":
+        """Parse ``"OS"`` / ``"WS"`` / ``"IS"`` (case-insensitive)."""
+        key = name.strip().upper()
+        for flow in cls:
+            if flow.value == key:
+                return flow
+        raise ValueError(f"unknown dataflow {name!r}; expected one of OS, WS, IS")
+
+
+@dataclass(frozen=True)
+class SpatioTemporalMapping:
+    """Projection of a GEMM onto the array's spatio-temporal dimensions.
+
+    Attributes
+    ----------
+    spatial_rows:
+        ``S_R`` — the GEMM dimension mapped along the array rows.
+    spatial_cols:
+        ``S_C`` — the GEMM dimension mapped along the array columns.
+    temporal:
+        ``T`` — the GEMM dimension streamed through time.
+    dataflow:
+        The dataflow that produced this mapping.
+    """
+
+    spatial_rows: int
+    spatial_cols: int
+    temporal: int
+    dataflow: Dataflow
+
+    def __post_init__(self) -> None:
+        for name in ("spatial_rows", "spatial_cols", "temporal"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulate operations of the mapped GEMM."""
+        return self.spatial_rows * self.spatial_cols * self.temporal
+
+
+def map_gemm(m: int, k: int, n: int, dataflow: Dataflow) -> SpatioTemporalMapping:
+    """Map GEMM dimensions ``(M, K, N)`` per Table 1 of the paper."""
+    if m <= 0 or k <= 0 or n <= 0:
+        raise ValueError(f"GEMM dimensions must be positive, got M={m}, K={k}, N={n}")
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        return SpatioTemporalMapping(m, n, k, dataflow)
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        return SpatioTemporalMapping(k, m, n, dataflow)
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        return SpatioTemporalMapping(k, n, m, dataflow)
+    raise ValueError(f"unsupported dataflow: {dataflow}")

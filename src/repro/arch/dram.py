@@ -1,0 +1,81 @@
+"""Off-chip DRAM model.
+
+The paper's energy results use a 32-bit-wide LPDDR3 interface at 800 MHz with
+a peak bandwidth of 6.4 GB/s and an access energy of 120 pJ/byte (taken from
+DRAMPower).  The model converts traffic volumes into transfer time and energy
+and lets the benchmarks compute the memory-bound speedup reported in
+Sec. 5.2.1 (about 1.25x for convolution workloads once im2col traffic is
+removed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth/energy model of an off-chip DRAM channel.
+
+    Attributes
+    ----------
+    name:
+        Identifier for reports.
+    bandwidth_gbps:
+        Peak sustainable bandwidth in gigabytes per second.
+    energy_pj_per_byte:
+        Access energy per byte transferred.
+    bus_width_bits:
+        Interface width (informational, used in reports).
+    frequency_mhz:
+        Interface frequency (informational).
+    """
+
+    name: str
+    bandwidth_gbps: float
+    energy_pj_per_byte: float
+    bus_width_bits: int = 32
+    frequency_mhz: float = 800.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_pj_per_byte < 0:
+            raise ValueError("energy per byte must be non-negative")
+
+    @property
+    def bandwidth_bytes_per_sec(self) -> float:
+        """Peak bandwidth in bytes per second."""
+        return self.bandwidth_gbps * 1e9
+
+    def transfer_time_s(self, nbytes: float) -> float:
+        """Seconds needed to move ``nbytes`` at peak bandwidth."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return nbytes / self.bandwidth_bytes_per_sec
+
+    def transfer_cycles(self, nbytes: float, core_frequency_mhz: float) -> float:
+        """Core clock cycles the transfer occupies at the given core frequency."""
+        if core_frequency_mhz <= 0:
+            raise ValueError("core frequency must be positive")
+        return self.transfer_time_s(nbytes) * core_frequency_mhz * 1e6
+
+    def access_energy_j(self, nbytes: float) -> float:
+        """Joules consumed moving ``nbytes`` to or from DRAM."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return nbytes * self.energy_pj_per_byte * 1e-12
+
+    def access_energy_mj(self, nbytes: float) -> float:
+        """Millijoules consumed moving ``nbytes`` (convenient for reports)."""
+        return self.access_energy_j(nbytes) * 1e3
+
+
+#: The LPDDR3 configuration used throughout the paper's Sec. 5.2.1.
+LPDDR3 = DRAMModel(
+    name="LPDDR3-800 x32",
+    bandwidth_gbps=6.4,
+    energy_pj_per_byte=120.0,
+    bus_width_bits=32,
+    frequency_mhz=800.0,
+)

@@ -1,0 +1,105 @@
+"""Memory-traffic accounting for GEMM and convolution execution.
+
+The traffic models answer two questions the paper's evaluation depends on:
+
+1. How many bytes must cross the DRAM interface for a GEMM / conv layer under
+   a given dataflow and tiling (needed for the memory-bound speedup of
+   Sec. 5.2.1)?
+2. How many of those bytes does the on-chip im2col support eliminate
+   (Fig. 11 and the ResNet50 / YOLOv3 totals)?
+
+The second question is answered in :mod:`repro.im2col.traffic`; this module
+provides the generic counters and the GEMM-level traffic model both build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficCounter:
+    """Accumulates byte counts per traffic category.
+
+    Categories are free-form strings such as ``"dram.ifmap"`` or
+    ``"sram.filter"``; the report helpers sum whatever prefixes they need.
+    """
+
+    bytes_by_category: dict[str, float] = field(default_factory=dict)
+
+    def add(self, category: str, nbytes: float) -> None:
+        """Add ``nbytes`` of traffic to ``category``."""
+        if nbytes < 0:
+            raise ValueError("traffic must be non-negative")
+        self.bytes_by_category[category] = (
+            self.bytes_by_category.get(category, 0.0) + nbytes
+        )
+
+    def total(self, prefix: str = "") -> float:
+        """Total bytes over all categories starting with ``prefix``."""
+        return sum(
+            nbytes
+            for category, nbytes in self.bytes_by_category.items()
+            if category.startswith(prefix)
+        )
+
+    def merge(self, other: "TrafficCounter") -> None:
+        """Fold another counter's traffic into this one."""
+        for category, nbytes in other.bytes_by_category.items():
+            self.add(category, nbytes)
+
+
+@dataclass(frozen=True)
+class GemmTraffic:
+    """DRAM traffic for one tiled GEMM under the output-stationary dataflow.
+
+    Attributes
+    ----------
+    a_bytes, b_bytes, output_bytes:
+        Bytes loaded for each operand and stored for the result.
+    """
+
+    a_bytes: float
+    b_bytes: float
+    output_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Total DRAM bytes moved for the GEMM."""
+        return self.a_bytes + self.b_bytes + self.output_bytes
+
+
+def gemm_dram_traffic(
+    m: int,
+    k: int,
+    n: int,
+    array_rows: int,
+    array_cols: int,
+    bytes_per_element: float = 2.0,
+) -> GemmTraffic:
+    """DRAM traffic for an output-stationary tiled ``(M,K)x(K,N)`` GEMM.
+
+    With output-stationary tiling of the ``M`` and ``N`` dimensions, every
+    column-stripe of ``B`` is re-read for each row-tile of ``A`` and vice
+    versa (no operand fits on chip in general), so:
+
+    * ``A`` is read ``ceil(N / C)`` times,
+    * ``B`` is read ``ceil(M / R)`` times,
+    * the output is written exactly once.
+
+    This is the standard SCALE-sim-style first-order traffic model; the
+    im2col experiments build on it by replacing the ``A`` (lowered IFMAP)
+    traffic with either the full im2col matrix (software im2col) or the
+    unique IFMAP elements (Axon's on-chip im2col).
+    """
+    if min(m, k, n, array_rows, array_cols) <= 0:
+        raise ValueError("all dimensions must be positive")
+    if bytes_per_element <= 0:
+        raise ValueError("bytes_per_element must be positive")
+    row_tiles = math.ceil(m / array_rows)
+    col_tiles = math.ceil(n / array_cols)
+    a_bytes = m * k * col_tiles * bytes_per_element
+    b_bytes = k * n * row_tiles * bytes_per_element
+    output_bytes = m * n * bytes_per_element
+    return GemmTraffic(a_bytes=a_bytes, b_bytes=b_bytes, output_bytes=output_bytes)

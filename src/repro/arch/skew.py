@@ -1,0 +1,79 @@
+"""Operand skewing for the conventional systolic array.
+
+In a conventional systolic array the operands are streamed into the edge PEs
+in a staircase ("skewed") pattern: row ``i`` of the left-fed operand is delayed
+by ``i`` cycles and column ``j`` of the top-fed operand is delayed by ``j``
+cycles.  The skew guarantees that the two operands of every multiply meet in
+the right PE on the right cycle.  Axon removes the need for this skew (its
+diagonal feeders receive operands in order), which is what makes the simple
+MUX-based im2col support possible.
+
+These helpers build the skewed feed schedules; the cycle simulators use them
+and the tests check that de-skewing recovers the original operand matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Value used to represent "no operand present this cycle" in feed schedules.
+BUBBLE = np.nan
+
+
+def skew_matrix_rows(matrix: np.ndarray) -> np.ndarray:
+    """Skew a matrix so that row ``i`` is delayed by ``i`` cycles.
+
+    For an ``(R, T)`` operand (R edge PEs, T elements streamed through each),
+    the result is an ``(R, T + R - 1)`` schedule whose column ``t`` holds the
+    values entering the edge PEs on cycle ``t``; absent values are ``NaN``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D operand, got shape {matrix.shape}")
+    rows, steps = matrix.shape
+    schedule = np.full((rows, steps + rows - 1), BUBBLE)
+    for row in range(rows):
+        schedule[row, row : row + steps] = matrix[row]
+    return schedule
+
+
+def skew_matrix_cols(matrix: np.ndarray) -> np.ndarray:
+    """Skew a matrix so that column ``j`` is delayed by ``j`` cycles.
+
+    For a ``(T, C)`` operand the result is ``(T + C - 1, C)``: row ``t`` holds
+    the values entering the top edge PEs on cycle ``t``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D operand, got shape {matrix.shape}")
+    steps, cols = matrix.shape
+    schedule = np.full((steps + cols - 1, cols), BUBBLE)
+    for col in range(cols):
+        schedule[col : col + steps, col] = matrix[:, col]
+    return schedule
+
+
+def unskew_matrix_rows(schedule: np.ndarray, steps: int) -> np.ndarray:
+    """Invert :func:`skew_matrix_rows`, recovering the original operand."""
+    schedule = np.asarray(schedule, dtype=np.float64)
+    rows = schedule.shape[0]
+    if schedule.shape[1] != steps + rows - 1:
+        raise ValueError(
+            f"schedule width {schedule.shape[1]} inconsistent with steps={steps}"
+        )
+    original = np.empty((rows, steps))
+    for row in range(rows):
+        original[row] = schedule[row, row : row + steps]
+    return original
+
+
+def skew_fill_cycles(rows: int, cols: int) -> int:
+    """Cycles for operands to reach the farthest PE in a conventional array.
+
+    This is the Manhattan distance from the feeding edges to the bottom-right
+    PE, ``R + C - 2`` — the first term of the SCALE-sim runtime model (Sec. 2.2
+    of the paper).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    return rows + cols - 2

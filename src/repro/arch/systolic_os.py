@@ -1,0 +1,171 @@
+"""Cycle-accurate conventional systolic array, output-stationary dataflow.
+
+The simulator advances the PE grid one clock cycle at a time:
+
+* The left edge receives the ``A`` operand (``M x K``), row ``i`` skewed by
+  ``i`` cycles; values then hop one PE to the right per cycle.
+* The top edge receives the ``B`` operand (``K x N``), column ``j`` skewed by
+  ``j`` cycles; values hop one PE down per cycle.
+* A PE performs one multiply-accumulate in every cycle in which it holds both
+  an ``A`` and a ``B`` value, accumulating into its stationary partial sum.
+* After the last MAC, the ``M`` rows of accumulated outputs are drained one
+  row per cycle (the readout term of the runtime model).
+
+The measured cycle count of a single tile therefore reproduces the SCALE-sim
+runtime model used in the paper (Eq. 1): ``tau = 2*M + N + K - 2`` for the OS
+mapping of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.array_config import ArrayConfig
+
+
+@dataclass
+class OSRunResult:
+    """Result of running one GEMM tile on an output-stationary array.
+
+    Attributes
+    ----------
+    output:
+        The ``(M, N)`` result matrix produced by the PE accumulators.
+    total_cycles:
+        Fill + compute + readout cycles for the tile.
+    compute_cycles:
+        Cycles from the first operand injection until the last MAC completes.
+    drain_cycles:
+        Cycles spent reading the stationary outputs out of the array.
+    mac_count:
+        Total number of multiply-accumulate operations performed.
+    active_pe_cycles:
+        Sum over cycles of the number of PEs that performed a MAC; used for
+        utilisation-rate analysis.
+    per_cycle_active:
+        Number of active PEs in each compute cycle (length ``compute_cycles``).
+    """
+
+    output: np.ndarray
+    total_cycles: int
+    compute_cycles: int
+    drain_cycles: int
+    mac_count: int
+    active_pe_cycles: int
+    per_cycle_active: list[int] = field(default_factory=list)
+
+    def utilization(self, num_pes: int) -> float:
+        """Fraction of PE-cycles that performed useful work over the run."""
+        if num_pes <= 0 or self.total_cycles <= 0:
+            return 0.0
+        return self.active_pe_cycles / (num_pes * self.total_cycles)
+
+
+class ConventionalOSArray:
+    """Cycle-level simulator of a conventional OS systolic array.
+
+    Parameters
+    ----------
+    config:
+        Physical array configuration.  A single call to :meth:`run_tile`
+        requires the GEMM tile to fit the array (``M <= rows``,
+        ``N <= cols``); larger problems are handled by :mod:`repro.arch.tiling`
+        or the high-level accelerators in :mod:`repro.api`.
+    """
+
+    def __init__(self, config: ArrayConfig):
+        self.config = config
+
+    def run_tile(self, a: np.ndarray, b: np.ndarray) -> OSRunResult:
+        """Run one GEMM tile ``a @ b`` and return outputs plus cycle counts."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("operands must be 2-D matrices")
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError(f"inner dimensions do not agree: {a.shape} vs {b.shape}")
+        rows, cols = self.config.rows, self.config.cols
+        if m > rows or n > cols:
+            raise ValueError(
+                f"tile ({m}x{k})x({k}x{n}) does not fit a {rows}x{cols} array; "
+                "use repro.arch.tiling to partition the problem"
+            )
+
+        # Operand registers currently held by each PE and their validity.
+        a_reg = np.zeros((rows, cols))
+        b_reg = np.zeros((rows, cols))
+        a_valid = np.zeros((rows, cols), dtype=bool)
+        b_valid = np.zeros((rows, cols), dtype=bool)
+        acc = np.zeros((rows, cols))
+
+        mac_count = 0
+        active_pe_cycles = 0
+        per_cycle_active: list[int] = []
+
+        # The last MAC happens at cycle (m - 1) + (n - 1) + (k - 1); simulate
+        # one cycle past it to be robust and stop when the pipeline is empty.
+        horizon = m + n + k
+        last_mac_cycle = -1
+        for cycle in range(horizon):
+            # Shift the operand planes: A moves right, B moves down.
+            new_a = np.zeros_like(a_reg)
+            new_a_valid = np.zeros_like(a_valid)
+            new_a[:, 1:] = a_reg[:, :-1]
+            new_a_valid[:, 1:] = a_valid[:, :-1]
+
+            new_b = np.zeros_like(b_reg)
+            new_b_valid = np.zeros_like(b_valid)
+            new_b[1:, :] = b_reg[:-1, :]
+            new_b_valid[1:, :] = b_valid[:-1, :]
+
+            # Inject skewed operands at the edges: row i of A delayed i cycles,
+            # column j of B delayed j cycles.
+            for row in range(m):
+                step = cycle - row
+                if 0 <= step < k:
+                    new_a[row, 0] = a[row, step]
+                    new_a_valid[row, 0] = True
+            for col in range(n):
+                step = cycle - col
+                if 0 <= step < k:
+                    new_b[0, col] = b[step, col]
+                    new_b_valid[0, col] = True
+
+            # MAC wherever both operands are present this cycle.
+            both = new_a_valid & new_b_valid
+            active = int(both.sum())
+            if active:
+                acc[both] += new_a[both] * new_b[both]
+                mac_count += active
+                active_pe_cycles += active
+                last_mac_cycle = cycle
+            per_cycle_active.append(active)
+
+            a_reg, a_valid = new_a, new_a_valid
+            b_reg, b_valid = new_b, new_b_valid
+
+            if cycle > rows + cols and active == 0 and last_mac_cycle >= 0:
+                break
+
+        compute_cycles = last_mac_cycle + 1
+        per_cycle_active = per_cycle_active[:compute_cycles]
+        # Stationary outputs drain one mapped row per cycle.
+        drain_cycles = m
+        total_cycles = compute_cycles + drain_cycles
+        return OSRunResult(
+            output=acc[:m, :n].copy(),
+            total_cycles=total_cycles,
+            compute_cycles=compute_cycles,
+            drain_cycles=drain_cycles,
+            mac_count=mac_count,
+            active_pe_cycles=active_pe_cycles,
+            per_cycle_active=per_cycle_active,
+        )
+
+    def expected_cycles(self, m: int, k: int, n: int) -> int:
+        """Analytical cycle count for one tile (SCALE-sim Eq. 1, OS mapping)."""
+        return 2 * m + n + k - 2

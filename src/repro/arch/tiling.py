@@ -1,0 +1,118 @@
+"""Tiling of large GEMMs onto fixed-size arrays (scale-up and scale-out).
+
+Large GEMM problems are partitioned into tiles that fit the array (Fig. 2 of
+the paper).  Two execution styles are modelled:
+
+* **Scale-up** — a single monolithic array processes all tiles sequentially
+  (Eq. 2): ``tau = tile_tau * ceil(S_R / R) * ceil(S_C / C)``.
+* **Scale-out** — ``P_R x P_C`` smaller arrays work on disjoint output tiles
+  in parallel (Eq. 3): each array only processes ``ceil(S_R / P_R)`` by
+  ``ceil(S_C / P_C)`` of the spatial extent.
+
+The helpers are dataflow-agnostic: they work on the mapped spatio-temporal
+dimensions (``S_R``, ``S_C``, ``T``) produced by
+:func:`repro.arch.dataflow.map_gemm`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """One tile of a GEMM mapped onto the array.
+
+    ``row_start``/``col_start`` are offsets into the *mapped* spatial
+    dimensions; ``rows``/``cols`` are the tile extents (the last tile of a
+    dimension may be smaller than the array).
+    """
+
+    row_start: int
+    col_start: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("tile extents must be positive")
+        if self.row_start < 0 or self.col_start < 0:
+            raise ValueError("tile offsets must be non-negative")
+
+
+def count_tiles(spatial_rows: int, spatial_cols: int, rows: int, cols: int) -> int:
+    """Number of tiles needed to cover an ``S_R x S_C`` spatial extent."""
+    if spatial_rows <= 0 or spatial_cols <= 0:
+        raise ValueError("spatial dimensions must be positive")
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    return math.ceil(spatial_rows / rows) * math.ceil(spatial_cols / cols)
+
+
+def iter_tiles(
+    spatial_rows: int, spatial_cols: int, rows: int, cols: int
+) -> Iterator[TileShape]:
+    """Yield the tiles covering an ``S_R x S_C`` extent on an ``R x C`` array."""
+    if spatial_rows <= 0 or spatial_cols <= 0 or rows <= 0 or cols <= 0:
+        raise ValueError("dimensions must be positive")
+    for row_start in range(0, spatial_rows, rows):
+        tile_rows = min(rows, spatial_rows - row_start)
+        for col_start in range(0, spatial_cols, cols):
+            tile_cols = min(cols, spatial_cols - col_start)
+            yield TileShape(row_start, col_start, tile_rows, tile_cols)
+
+
+def tile_gemm(
+    a: np.ndarray, b: np.ndarray, rows: int, cols: int
+) -> Iterator[tuple[TileShape, np.ndarray, np.ndarray]]:
+    """Partition an output-stationary GEMM into array-sized output tiles.
+
+    Yields ``(tile, a_block, b_block)`` triples where ``a_block`` is
+    ``(tile.rows, K)`` and ``b_block`` is ``(K, tile.cols)``; running each
+    tile independently and scattering the partial outputs reconstructs the
+    full product.  The temporal (``K``) dimension is never split because the
+    accumulators are wide enough to hold a full dot product; this matches the
+    scale-up execution the paper uses for its runtime evaluation.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("operands must be 2-D with agreeing inner dimensions")
+    m, _ = a.shape
+    _, n = b.shape
+    for tile in iter_tiles(m, n, rows, cols):
+        a_block = a[tile.row_start : tile.row_start + tile.rows, :]
+        b_block = b[:, tile.col_start : tile.col_start + tile.cols]
+        yield tile, a_block, b_block
+
+
+def scale_up_tile_count(spatial_rows: int, spatial_cols: int, rows: int, cols: int) -> float:
+    """Tile multiplier used in Eq. 2: ``(S_R / R) * (S_C / C)`` rounded up."""
+    return float(
+        math.ceil(spatial_rows / rows) * math.ceil(spatial_cols / cols)
+    )
+
+
+def scale_out_partitions(
+    spatial_rows: int,
+    spatial_cols: int,
+    partitions_rows: int,
+    partitions_cols: int,
+) -> tuple[int, int]:
+    """Per-array spatial extent for scale-out execution (Eq. 3).
+
+    Returns ``(S'_R, S'_C)`` = ``(ceil(S_R / P_R), ceil(S_C / P_C))``: the
+    share of the spatial dimensions each of the ``P_R x P_C`` arrays handles.
+    """
+    if partitions_rows <= 0 or partitions_cols <= 0:
+        raise ValueError("partition counts must be positive")
+    if spatial_rows <= 0 or spatial_cols <= 0:
+        raise ValueError("spatial dimensions must be positive")
+    return (
+        math.ceil(spatial_rows / partitions_rows),
+        math.ceil(spatial_cols / partitions_cols),
+    )

@@ -1,0 +1,23 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.scalesim_model` — the SCALE-sim analytical runtime
+  model (Samajdar et al.) used for the conventional systolic array.
+* :mod:`repro.baselines.cmsa` — the configurable multi-directional systolic
+  array of Xu et al. (utilisation-rate comparison of Fig. 13).
+* :mod:`repro.baselines.sauria` — Sauria's on-the-fly im2col data feeder
+  (area / power comparison of Fig. 15 and the feeder-overhead discussion).
+"""
+
+from repro.baselines.scalesim_model import scalesim_runtime, scalesim_utilization
+from repro.baselines.cmsa import CMSAModel, cmsa_runtime, cmsa_utilization
+from repro.baselines.sauria import SauriaIm2colFeeder, sauria_feeder_overhead
+
+__all__ = [
+    "scalesim_runtime",
+    "scalesim_utilization",
+    "CMSAModel",
+    "cmsa_runtime",
+    "cmsa_utilization",
+    "SauriaIm2colFeeder",
+    "sauria_feeder_overhead",
+]

@@ -1,0 +1,62 @@
+"""SCALE-sim analytical runtime model (Samajdar et al., ISPASS 2020).
+
+This is the baseline runtime model the paper adopts for the conventional
+systolic array (Sec. 2.2): one tile costs ``2*S_R + S_C + T - 2`` cycles, and
+a large GEMM tiled onto an ``R x C`` array in scale-up mode costs that amount
+once per spatial tile (Eq. 2).  It is kept as a separate module (rather than
+an alias of :mod:`repro.core.runtime_model`) so that the baseline used in the
+speedup benchmarks is explicitly the published model, cross-validated against
+our cycle-accurate conventional-array simulators.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.dataflow import Dataflow, map_gemm
+
+
+def scalesim_tile_runtime(spatial_rows: int, spatial_cols: int, temporal: int) -> int:
+    """Single-tile runtime ``2*S_R + S_C + T - 2`` (Eq. 1)."""
+    if spatial_rows <= 0 or spatial_cols <= 0 or temporal <= 0:
+        raise ValueError("dimensions must be positive")
+    return 2 * spatial_rows + spatial_cols + temporal - 2
+
+
+def scalesim_runtime(
+    m: int,
+    k: int,
+    n: int,
+    array_rows: int,
+    array_cols: int,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+) -> int:
+    """Scale-up runtime of a GEMM on a conventional array (Eq. 1 + Eq. 2)."""
+    mapping = map_gemm(m, k, n, dataflow)
+    tile_rows = min(mapping.spatial_rows, array_rows)
+    tile_cols = min(mapping.spatial_cols, array_cols)
+    per_tile = scalesim_tile_runtime(tile_rows, tile_cols, mapping.temporal)
+    num_tiles = math.ceil(mapping.spatial_rows / array_rows) * math.ceil(
+        mapping.spatial_cols / array_cols
+    )
+    return per_tile * num_tiles
+
+
+def scalesim_utilization(
+    m: int,
+    k: int,
+    n: int,
+    array_rows: int,
+    array_cols: int,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+) -> float:
+    """PE utilisation rate of the conventional array on a GEMM workload.
+
+    Utilisation is defined as useful MAC-cycles divided by available
+    PE-cycles over the whole (tiled) execution:
+    ``M*K*N / (R * C * runtime)``.
+    """
+    runtime = scalesim_runtime(m, k, n, array_rows, array_cols, dataflow)
+    total_macs = m * k * n
+    available = array_rows * array_cols * runtime
+    return total_macs / available

@@ -1,0 +1,157 @@
+"""Command-line interface for the Axon reproduction.
+
+Provides quick access to the analytical models without writing Python::
+
+    python -m repro.cli runtime --m 2048 --k 32 --n 4096 --rows 128 --cols 128
+    python -m repro.cli workloads
+    python -m repro.cli speedup --array 256
+    python -m repro.cli traffic --network resnet50
+    python -m repro.cli hardware --rows 16 --cols 16 --node ASAP7
+
+The heavier, figure-for-figure regeneration lives in ``benchmarks/`` (run via
+pytest); the CLI is for interactive exploration of individual design points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import arithmetic_mean, format_speedup_table, workload_speedups
+from repro.analysis.reports import format_table
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+from repro.baselines.scalesim_model import scalesim_runtime
+from repro.core.runtime_model import workload_runtime
+from repro.energy import ASAP7, NODES, area_report, inference_energy_report, power_report
+from repro.im2col.traffic import network_traffic
+from repro.workloads import (
+    RESNET50_CONV_LAYERS,
+    TABLE3_WORKLOADS,
+    YOLOV3_CONV_LAYERS,
+    MOBILENET_V1_LAYERS,
+    EFFICIENTNET_B0_LAYERS,
+)
+
+#: Conv-layer tables addressable from the command line.
+NETWORKS = {
+    "resnet50": RESNET50_CONV_LAYERS,
+    "yolov3": YOLOV3_CONV_LAYERS,
+    "mobilenet": MOBILENET_V1_LAYERS,
+    "efficientnet": EFFICIENTNET_B0_LAYERS,
+}
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    dataflow = Dataflow.from_string(args.dataflow)
+    baseline = scalesim_runtime(args.m, args.k, args.n, args.rows, args.cols, dataflow)
+    axon = workload_runtime(args.m, args.k, args.n, args.rows, args.cols, dataflow, axon=True)
+    print(
+        format_table(
+            ("model", "cycles"),
+            [
+                ("conventional SA (SCALE-sim)", baseline),
+                ("Axon", axon),
+                ("speedup", baseline / axon),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    rows = [(w.name, w.m, w.k, w.n, w.macs) for w in TABLE3_WORKLOADS]
+    print(format_table(("workload", "M", "K", "N", "MACs"), rows))
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    results = workload_speedups(TABLE3_WORKLOADS, args.array, args.array)
+    print(format_speedup_table(results))
+    print(f"\naverage speedup: {arithmetic_mean([r.speedup for r in results]):.3f}x")
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    layers = NETWORKS[args.network]
+    software = network_traffic(layers, onchip=False, name=args.network)
+    onchip = network_traffic(layers, onchip=True, name=args.network)
+    report = inference_energy_report(args.network, software, onchip)
+    print(
+        format_table(
+            ("metric", "value"),
+            [
+                ("conv layers", len(layers)),
+                ("software im2col traffic (MB)", report.software_mb),
+                ("on-chip im2col traffic (MB)", report.onchip_mb),
+                ("traffic ratio", report.traffic_ratio),
+                ("DRAM energy saving (mJ)", report.energy_saving_mj),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    tech = NODES.get(args.node, ASAP7)
+    config = ArrayConfig(args.rows, args.cols)
+    area = area_report(config, tech)
+    power = power_report(config, tech)
+    print(
+        format_table(
+            ("design", "area (mm2)", "power (mW)"),
+            [
+                ("conventional SA", area.conventional_mm2, power.conventional_mw),
+                ("Axon", area.axon_mm2, power.axon_mw),
+                ("Axon + im2col", area.axon_with_im2col_mm2, power.axon_with_im2col_mw),
+                ("SA + Sauria feeder", area.sauria_mm2, power.sauria_mw),
+            ],
+            float_format="{:.4f}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    runtime = sub.add_parser("runtime", help="runtime of one GEMM on SA vs Axon")
+    runtime.add_argument("--m", type=int, required=True)
+    runtime.add_argument("--k", type=int, required=True)
+    runtime.add_argument("--n", type=int, required=True)
+    runtime.add_argument("--rows", type=int, default=128)
+    runtime.add_argument("--cols", type=int, default=128)
+    runtime.add_argument("--dataflow", default="OS", choices=["OS", "WS", "IS"])
+    runtime.set_defaults(func=_cmd_runtime)
+
+    workloads = sub.add_parser("workloads", help="list the Table 3 workloads")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    speedup = sub.add_parser("speedup", help="Fig. 12-style speedup table")
+    speedup.add_argument("--array", type=int, default=128)
+    speedup.set_defaults(func=_cmd_speedup)
+
+    traffic = sub.add_parser("traffic", help="network conv-layer DRAM traffic")
+    traffic.add_argument("--network", choices=sorted(NETWORKS), default="resnet50")
+    traffic.set_defaults(func=_cmd_traffic)
+
+    hardware = sub.add_parser("hardware", help="area/power of one array configuration")
+    hardware.add_argument("--rows", type=int, default=16)
+    hardware.add_argument("--cols", type=int, default=16)
+    hardware.add_argument("--node", choices=sorted(NODES), default="ASAP7")
+    hardware.set_defaults(func=_cmd_hardware)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Axon — the paper's primary contribution.
+
+This package implements:
+
+* the analytical runtime model of Table 2 / Eq. 2 / Eq. 3 for both the
+  conventional and the Axon orchestration (:mod:`repro.core.runtime_model`),
+* the diagonal feeder schedules, for square and rectangular arrays
+  (:mod:`repro.core.feeder`),
+* a cycle-accurate simulator of the Axon output-stationary array with
+  bi-directional in-array propagation (:mod:`repro.core.axon_os`),
+* the weight-/input-stationary Axon array with preloading over the output
+  interconnect and bypass-and-add partial-sum synchronisation
+  (:mod:`repro.core.axon_stationary`),
+* the 2-to-1 MUX based on-chip im2col feeder (:mod:`repro.core.im2col_unit`),
+* the unified, dataflow-programmable PE of Fig. 9
+  (:mod:`repro.core.unified_pe`),
+* the zero-gating sparsity support (:mod:`repro.core.zero_gating`).
+"""
+
+from repro.core.runtime_model import (
+    conventional_fill_latency,
+    axon_fill_latency,
+    conventional_runtime,
+    axon_runtime,
+    RuntimeBreakdown,
+    conventional_runtime_breakdown,
+    axon_runtime_breakdown,
+    scale_up_runtime,
+    scale_out_runtime,
+    workload_runtime,
+    speedup,
+)
+from repro.core.feeder import (
+    DiagonalFeedSchedule,
+    build_diagonal_feed,
+    feeder_positions,
+)
+from repro.core.axon_os import AxonOSArray, AxonOSRunResult
+from repro.core.axon_stationary import AxonStationaryArray, AxonStationaryRunResult
+from repro.core.im2col_unit import Im2colFeeder, Im2colFeedTrace
+from repro.core.unified_pe import UnifiedPE, PEMode
+from repro.core.zero_gating import ZeroGatingStats, zero_gating_stats, gated_power_fraction
+
+__all__ = [
+    "conventional_fill_latency",
+    "axon_fill_latency",
+    "conventional_runtime",
+    "axon_runtime",
+    "RuntimeBreakdown",
+    "conventional_runtime_breakdown",
+    "axon_runtime_breakdown",
+    "scale_up_runtime",
+    "scale_out_runtime",
+    "workload_runtime",
+    "speedup",
+    "DiagonalFeedSchedule",
+    "build_diagonal_feed",
+    "feeder_positions",
+    "AxonOSArray",
+    "AxonOSRunResult",
+    "AxonStationaryArray",
+    "AxonStationaryRunResult",
+    "Im2colFeeder",
+    "Im2colFeedTrace",
+    "UnifiedPE",
+    "PEMode",
+    "ZeroGatingStats",
+    "zero_gating_stats",
+    "gated_power_fraction",
+]

@@ -1,0 +1,173 @@
+"""Diagonal feeder schedules for Axon arrays.
+
+In the Axon orchestration, operands enter the array through the PEs on the
+principal diagonal (the "feeder PEs") with *no* skew; for rectangular arrays,
+the columns (or rows) beyond the diagonal are fed through the bottom (or
+rightmost) edge PE with a zero-padded skew equal to their distance from the
+diagonal (Fig. 5), which makes the arrival time at any PE ``(i, j)`` equal to
+``k + |i - j|`` for the ``k``-th streamed element — exactly matching the
+arrival time of the other operand so the two always meet correctly.
+
+The feeder schedules built here are consumed by the cycle simulators and by
+the on-chip im2col unit, and the tests check the arrival-time invariant
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Value representing "no operand this cycle" in feed schedules.
+BUBBLE = np.nan
+
+
+def feeder_positions(rows: int, cols: int) -> list[tuple[int, int]]:
+    """PE coordinates that receive operands directly from the buffers.
+
+    For a square array these are exactly the principal-diagonal PEs.  For a
+    rectangular array the remaining columns (or rows) are fed through the
+    bottom (or rightmost) PE of that column (row), per Fig. 5.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    diag = min(rows, cols)
+    positions = [(d, d) for d in range(diag)]
+    if cols > rows:
+        positions.extend((rows - 1, j) for j in range(diag, cols))
+    elif rows > cols:
+        positions.extend((i, cols - 1) for i in range(diag, rows))
+    return positions
+
+
+@dataclass(frozen=True)
+class DiagonalFeedSchedule:
+    """Feed schedule of one operand stream for an Axon array.
+
+    Attributes
+    ----------
+    injections:
+        Array of shape ``(num_feeders, schedule_cycles)``: entry ``(f, t)`` is
+        the value injected into feeder ``f`` on cycle ``t`` (``NaN`` = bubble).
+    positions:
+        PE coordinates of each feeder, aligned with the first axis of
+        ``injections``.
+    skews:
+        Per-feeder injection delay in cycles (0 for true diagonal feeders,
+        the Fig. 5 zero-padding amount for boundary-fed lanes).
+    steps:
+        Number of real operand elements streamed per feeder (the temporal
+        dimension of the operand).
+    """
+
+    injections: np.ndarray
+    positions: tuple[tuple[int, int], ...]
+    skews: tuple[int, ...]
+    steps: int
+
+    @property
+    def num_feeders(self) -> int:
+        """Number of feeder lanes."""
+        return len(self.positions)
+
+    @property
+    def schedule_cycles(self) -> int:
+        """Length of the schedule in cycles."""
+        return self.injections.shape[1]
+
+    def sram_reads(self) -> int:
+        """Number of non-bubble injections, i.e. SRAM reads without im2col."""
+        return int(np.count_nonzero(~np.isnan(self.injections)))
+
+
+def build_diagonal_feed(
+    operand: np.ndarray,
+    rows: int,
+    cols: int,
+    vertical: bool,
+) -> DiagonalFeedSchedule:
+    """Build the Axon feed schedule for one operand.
+
+    Parameters
+    ----------
+    operand:
+        For the horizontally-propagating operand (IFMAP / ``A`` rows) pass a
+        ``(num_lanes, T)`` matrix whose lane ``i`` is streamed to array row
+        ``i``.  For the vertically-propagating operand (filters / ``B``
+        columns) pass a ``(T, num_lanes)`` matrix whose lane ``j`` is column
+        ``j``  (set ``vertical=True``).
+    rows, cols:
+        Physical array shape.
+    vertical:
+        Whether this operand propagates vertically (filter) or horizontally
+        (IFMAP).
+
+    Lanes whose index lies on the principal diagonal are injected with zero
+    skew; lanes beyond the diagonal (rectangular arrays) are injected through
+    the boundary PE of their row/column with a skew equal to the distance to
+    that PE, so every element still arrives at PE ``(i, j)`` exactly
+    ``|i - j|`` cycles after injection of its wavefront.
+    """
+    operand = np.asarray(operand, dtype=np.float64)
+    if operand.ndim != 2:
+        raise ValueError("operand must be a 2-D matrix")
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+
+    if vertical:
+        steps, num_lanes = operand.shape
+        lanes = operand.T  # (num_lanes, steps)
+        if num_lanes > cols:
+            raise ValueError(f"operand has {num_lanes} columns but the array only {cols}")
+    else:
+        num_lanes, steps = operand.shape
+        lanes = operand
+        if num_lanes > rows:
+            raise ValueError(f"operand has {num_lanes} rows but the array only {rows}")
+
+    diag = min(rows, cols)
+    positions: list[tuple[int, int]] = []
+    skews: list[int] = []
+    for lane in range(num_lanes):
+        if lane < diag:
+            positions.append((lane, lane))
+            skews.append(0)
+        elif vertical:
+            # Column beyond the diagonal: fed from the bottom PE of the column
+            # with a skew equal to its distance from the diagonal row.
+            positions.append((rows - 1, lane))
+            skews.append(lane - (rows - 1))
+        else:
+            # Row beyond the diagonal: fed from the rightmost PE of the row.
+            positions.append((lane, cols - 1))
+            skews.append(lane - (cols - 1))
+
+    max_skew = max(skews) if skews else 0
+    schedule = np.full((num_lanes, steps + max_skew), BUBBLE)
+    for lane in range(num_lanes):
+        skew = skews[lane]
+        schedule[lane, skew : skew + steps] = lanes[lane]
+    return DiagonalFeedSchedule(
+        injections=schedule,
+        positions=tuple(positions),
+        skews=tuple(skews),
+        steps=steps,
+    )
+
+
+def arrival_cycle(
+    feeder_row: int, feeder_col: int, pe_row: int, pe_col: int, injection_cycle: int
+) -> int:
+    """Cycle at which a value injected at a feeder PE reaches another PE.
+
+    Propagation is one hop per cycle along the feeder's row (horizontal
+    operands) or column (vertical operands); the helper simply adds the hop
+    distance and is used by tests to check the "operands always meet"
+    invariant.
+    """
+    if feeder_row == pe_row:
+        return injection_cycle + abs(pe_col - feeder_col)
+    if feeder_col == pe_col:
+        return injection_cycle + abs(pe_row - feeder_row)
+    raise ValueError("a value only propagates along the feeder's own row or column")

@@ -1,0 +1,208 @@
+"""On-chip im2col feeder — the 2-to-1 MUX scheme of Sec. 3.2 / Fig. 3(b).
+
+Each feeder PE on the principal diagonal is assigned one convolution window
+(one row of the im2col matrix).  Consecutive windows of the same OFMAP row
+overlap in all but one element per kernel row, and because Axon feeds the
+diagonal *in order* (no skew), the overlapping element needed by feeder
+``w`` on cycle ``p`` is exactly the element feeder ``w - 1`` received on cycle
+``p - 1``.  A single 2-to-1 MUX per feeder therefore selects:
+
+* the SRAM buffer for 1 cycle out of every ``kernel_w`` cycles (the window's
+  new rightmost element), and
+* the adjacent feeder PE on the diagonal for the other ``kernel_w - 1``
+  cycles.
+
+The elements of each window are streamed right-to-left within every kernel
+row (the paper's "rightmost element from each row of the conv-window matrix
+is loaded first"), which is what makes the one-cycle-delayed neighbour value
+the correct one.
+
+The :class:`Im2colFeeder` simulates this cycle by cycle, records where every
+delivered element came from, and the tests check that (a) the delivered
+streams are exactly the software-im2col windows and (b) the SRAM read count
+matches the analytical ``1 / kernel_w`` model used by the traffic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.golden.conv import conv_output_shape
+
+
+#: Source labels recorded per delivered element.
+SOURCE_SRAM = 0
+SOURCE_NEIGHBOUR = 1
+
+
+@dataclass
+class Im2colFeedTrace:
+    """Trace of one on-chip im2col feeding pass.
+
+    Attributes
+    ----------
+    delivered:
+        Array of shape ``(num_windows, stream_len)``: the operand stream each
+        feeder PE received, in feed order (right-to-left within kernel rows).
+    sources:
+        Same shape; ``SOURCE_SRAM`` or ``SOURCE_NEIGHBOUR`` per element.
+    sram_reads:
+        Number of elements fetched from the SRAM buffers.
+    neighbour_reads:
+        Number of elements obtained from the adjacent feeder PE via the MUX.
+    """
+
+    delivered: np.ndarray
+    sources: np.ndarray
+    sram_reads: int
+    neighbour_reads: int
+
+    @property
+    def total_elements(self) -> int:
+        """Total elements delivered to the array."""
+        return int(self.delivered.size)
+
+    @property
+    def sram_read_fraction(self) -> float:
+        """Fraction of delivered elements that required an SRAM read."""
+        if self.total_elements == 0:
+            return 0.0
+        return self.sram_reads / self.total_elements
+
+    def windows_in_natural_order(self, kernel_w: int) -> np.ndarray:
+        """Return the delivered windows re-ordered left-to-right.
+
+        The feeder streams each kernel row right-to-left; reversing every
+        ``kernel_w``-wide block recovers the natural (software im2col)
+        element order so the trace can be compared against
+        :func:`repro.im2col.software.im2col` directly.
+        """
+        num_windows, stream_len = self.delivered.shape
+        if stream_len % kernel_w:
+            raise ValueError("stream length is not a multiple of the kernel width")
+        blocks = self.delivered.reshape(num_windows, stream_len // kernel_w, kernel_w)
+        return blocks[:, :, ::-1].reshape(num_windows, stream_len)
+
+
+class Im2colFeeder:
+    """Simulates the MUX-based diagonal feeding of convolution windows.
+
+    Parameters
+    ----------
+    kernel_h, kernel_w:
+        Filter spatial shape.
+    stride:
+        Only stride 1 is supported by the hardware scheme (the MUX reuse
+        pattern requires adjacent windows to overlap in ``kernel_w - 1``
+        columns); other strides fall back to software im2col and are handled
+        by the analytical traffic model.
+    """
+
+    def __init__(self, kernel_h: int, kernel_w: int, stride: int = 1):
+        if kernel_h <= 0 or kernel_w <= 0:
+            raise ValueError("kernel dimensions must be positive")
+        if stride != 1:
+            raise ValueError(
+                "the on-chip im2col MUX scheme requires stride 1; "
+                "use software im2col for strided layers"
+            )
+        self.kernel_h = kernel_h
+        self.kernel_w = kernel_w
+        self.stride = stride
+
+    def feed_ofmap_row(
+        self, ifmap: np.ndarray, ofmap_row: int, num_windows: int | None = None
+    ) -> Im2colFeedTrace:
+        """Feed the convolution windows of one OFMAP row through the diagonal.
+
+        Parameters
+        ----------
+        ifmap:
+            Input feature map of shape ``(C, H, W)`` (already padded if the
+            layer uses padding).
+        ofmap_row:
+            Which OFMAP row's windows to feed.
+        num_windows:
+            How many consecutive windows (feeder PEs) to feed; defaults to the
+            full OFMAP width.  In hardware this is bounded by the diagonal
+            length; callers tile wider rows into several passes.
+        """
+        ifmap = np.asarray(ifmap, dtype=np.float64)
+        if ifmap.ndim != 3:
+            raise ValueError(f"ifmap must have shape (C, H, W), got {ifmap.shape}")
+        channels, height, width = ifmap.shape
+        out_w = conv_output_shape(width, self.kernel_w, self.stride, 0)
+        out_h = conv_output_shape(height, self.kernel_h, self.stride, 0)
+        if not 0 <= ofmap_row < out_h:
+            raise ValueError(f"ofmap_row {ofmap_row} out of range [0, {out_h})")
+        if num_windows is None:
+            num_windows = out_w
+        if not 1 <= num_windows <= out_w:
+            raise ValueError(f"num_windows must be in [1, {out_w}]")
+
+        stream_len = channels * self.kernel_h * self.kernel_w
+        delivered = np.zeros((num_windows, stream_len))
+        sources = np.zeros((num_windows, stream_len), dtype=np.int8)
+        sram_reads = 0
+        neighbour_reads = 0
+
+        # The stream position p maps to (channel, kernel row, reversed kernel
+        # column): q = 0 is the window's rightmost column of that kernel row.
+        for cycle in range(stream_len):
+            per_row = self.kernel_h * self.kernel_w
+            channel = cycle // per_row
+            within = cycle % per_row
+            kernel_row = within // self.kernel_w
+            q = within % self.kernel_w
+            kernel_col = self.kernel_w - 1 - q
+            for window in range(num_windows):
+                value = ifmap[channel, ofmap_row + kernel_row, window + kernel_col]
+                if window == 0 or q == 0:
+                    # Window 0 always loads from SRAM; other windows load from
+                    # SRAM only for the rightmost column of each kernel row.
+                    source = SOURCE_SRAM
+                    sram_reads += 1
+                else:
+                    # MUX selects the adjacent feeder PE: the value it
+                    # received on the previous cycle is exactly this window's
+                    # current element.
+                    neighbour_value = delivered[window - 1, cycle - 1]
+                    if neighbour_value != value:
+                        raise AssertionError(
+                            "im2col reuse invariant violated: neighbour value "
+                            f"{neighbour_value} != expected {value} at window "
+                            f"{window}, cycle {cycle}"
+                        )
+                    value = neighbour_value
+                    source = SOURCE_NEIGHBOUR
+                    neighbour_reads += 1
+                delivered[window, cycle] = value
+                sources[window, cycle] = source
+
+        return Im2colFeedTrace(
+            delivered=delivered,
+            sources=sources,
+            sram_reads=sram_reads,
+            neighbour_reads=neighbour_reads,
+        )
+
+    def analytical_sram_reads(self, channels: int, num_windows: int) -> int:
+        """SRAM reads predicted by the Sec. 3.2 counting argument.
+
+        Window 0 reads its whole stream (``C * R * S`` elements); every other
+        window reads only 1 element per kernel row per channel
+        (``C * R`` elements).
+        """
+        if channels <= 0 or num_windows <= 0:
+            raise ValueError("channels and num_windows must be positive")
+        full_stream = channels * self.kernel_h * self.kernel_w
+        per_window = channels * self.kernel_h
+        return full_stream + (num_windows - 1) * per_window
+
+    def analytical_reuse_fraction(self, channels: int, num_windows: int) -> float:
+        """Fraction of delivered elements served by the MUX (not SRAM)."""
+        total = num_windows * channels * self.kernel_h * self.kernel_w
+        sram = self.analytical_sram_reads(channels, num_windows)
+        return 1.0 - sram / total

@@ -1,0 +1,237 @@
+"""Analytical runtime models — conventional systolic array vs Axon.
+
+The models reproduce the paper's Sec. 2.2 / Sec. 3.1:
+
+* Conventional SA (SCALE-sim, Eq. 1): ``tau = 2*S_R + S_C + T - 2``.
+  Decomposed as fill ``S_R + S_C - 2`` + multiplications ``T`` + readout
+  ``S_R``  (the paper writes the fill term with the physical array dimensions
+  ``R + C - 2``; with a full tile ``S_R = R`` and ``S_C = C``).
+* Axon (Table 2): the fill term becomes ``max(S_R, S_C) - 1`` because operands
+  are injected on the principal diagonal and propagate bi-directionally, so
+  ``tau = max(S_R, S_C) + S_R + T - 1``.
+* Scale-up (Eq. 2) multiplies the per-tile runtime by
+  ``ceil(S_R / R) * ceil(S_C / C)``; scale-out (Eq. 3) divides the spatial
+  extents by the partition counts first.
+
+All functions operate on the *mapped* spatio-temporal dimensions; use
+:func:`repro.arch.dataflow.map_gemm` (Table 1) to obtain them from GEMM
+``(M, K, N)`` shapes, or use :func:`workload_runtime` which does both steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.dataflow import Dataflow, SpatioTemporalMapping, map_gemm
+
+
+def conventional_fill_latency(rows: int, cols: int) -> int:
+    """Cycles for operands to reach the farthest PE in a conventional SA.
+
+    This is ``f1(R, C) = R + C - 2`` in Fig. 6 — the Manhattan distance from
+    the feeding edges to the bottom-right corner PE.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    return rows + cols - 2
+
+
+def axon_fill_latency(rows: int, cols: int) -> int:
+    """Cycles for operands to reach the farthest PE under Axon orchestration.
+
+    This is ``f2(R, C) = max(R, C) - 1`` in Fig. 6: operands are injected on
+    the principal diagonal, so the farthest PE is at Chebyshev — not
+    Manhattan — distance from its feeder.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    return max(rows, cols) - 1
+
+
+@dataclass(frozen=True)
+class RuntimeBreakdown:
+    """Decomposition of a single-tile runtime into its three components.
+
+    Attributes
+    ----------
+    fill_cycles:
+        Cycles for both operands to reach the farthest PE.
+    compute_cycles:
+        Number of multiplications each PE performs (the temporal dimension).
+    readout_cycles:
+        Cycles to drain the outputs (or preload the stationary operand).
+    """
+
+    fill_cycles: int
+    compute_cycles: int
+    readout_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of the three components."""
+        return self.fill_cycles + self.compute_cycles + self.readout_cycles
+
+
+def conventional_runtime_breakdown(
+    spatial_rows: int, spatial_cols: int, temporal: int
+) -> RuntimeBreakdown:
+    """Per-component runtime of one tile on a conventional systolic array."""
+    _validate(spatial_rows, spatial_cols, temporal)
+    return RuntimeBreakdown(
+        fill_cycles=conventional_fill_latency(spatial_rows, spatial_cols),
+        compute_cycles=temporal,
+        readout_cycles=spatial_rows,
+    )
+
+
+def axon_runtime_breakdown(
+    spatial_rows: int, spatial_cols: int, temporal: int
+) -> RuntimeBreakdown:
+    """Per-component runtime of one tile under Axon data orchestration."""
+    _validate(spatial_rows, spatial_cols, temporal)
+    return RuntimeBreakdown(
+        fill_cycles=axon_fill_latency(spatial_rows, spatial_cols),
+        compute_cycles=temporal,
+        readout_cycles=spatial_rows,
+    )
+
+
+def conventional_runtime(spatial_rows: int, spatial_cols: int, temporal: int) -> int:
+    """Single-tile conventional runtime: ``2*S_R + S_C + T - 2`` (Eq. 1)."""
+    return conventional_runtime_breakdown(spatial_rows, spatial_cols, temporal).total_cycles
+
+
+def axon_runtime(spatial_rows: int, spatial_cols: int, temporal: int) -> int:
+    """Single-tile Axon runtime: ``max(S_R, S_C) + S_R + T - 1`` (Table 2)."""
+    return axon_runtime_breakdown(spatial_rows, spatial_cols, temporal).total_cycles
+
+
+def scale_up_runtime(
+    mapping: SpatioTemporalMapping,
+    array_rows: int,
+    array_cols: int,
+    axon: bool,
+) -> int:
+    """Runtime of a tiled GEMM on a single monolithic array (Eq. 2).
+
+    The per-tile runtime uses the full array dimensions (the array is filled
+    for every tile except possibly the last ones; SCALE-sim and the paper use
+    the same full-tile approximation) and is multiplied by the number of
+    spatial tiles.  The temporal dimension is never tiled.
+    """
+    if array_rows <= 0 or array_cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    tile_rows = min(mapping.spatial_rows, array_rows)
+    tile_cols = min(mapping.spatial_cols, array_cols)
+    per_tile = (
+        axon_runtime(tile_rows, tile_cols, mapping.temporal)
+        if axon
+        else conventional_runtime(tile_rows, tile_cols, mapping.temporal)
+    )
+    num_tiles = math.ceil(mapping.spatial_rows / array_rows) * math.ceil(
+        mapping.spatial_cols / array_cols
+    )
+    return per_tile * num_tiles
+
+
+def scale_out_runtime(
+    mapping: SpatioTemporalMapping,
+    array_rows: int,
+    array_cols: int,
+    partitions_rows: int,
+    partitions_cols: int,
+    axon: bool,
+) -> int:
+    """Runtime when ``P_R x P_C`` arrays share the work (Eq. 3).
+
+    Each array is assigned ``ceil(S_R / P_R) x ceil(S_C / P_C)`` of the
+    spatial extent and processes its share exactly like a scale-up array.
+    """
+    if partitions_rows <= 0 or partitions_cols <= 0:
+        raise ValueError("partition counts must be positive")
+    share = SpatioTemporalMapping(
+        spatial_rows=max(1, math.ceil(mapping.spatial_rows / partitions_rows)),
+        spatial_cols=max(1, math.ceil(mapping.spatial_cols / partitions_cols)),
+        temporal=mapping.temporal,
+        dataflow=mapping.dataflow,
+    )
+    return scale_up_runtime(share, array_rows, array_cols, axon)
+
+
+def workload_runtime(
+    m: int,
+    k: int,
+    n: int,
+    array_rows: int,
+    array_cols: int,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+    axon: bool = False,
+) -> int:
+    """Scale-up runtime of a GEMM workload under a chosen dataflow.
+
+    Combines the Table 1 mapping with Eq. 2; this is the function behind the
+    Fig. 12 / Fig. 14 speedup evaluations.
+    """
+    mapping = map_gemm(m, k, n, dataflow)
+    return scale_up_runtime(mapping, array_rows, array_cols, axon)
+
+
+def axon_overlapped_runtime(
+    mapping: SpatioTemporalMapping,
+    array_rows: int,
+    array_cols: int,
+) -> int:
+    """Scale-up Axon runtime with back-to-back (pipelined) tile streaming.
+
+    Because Axon feeds the diagonal *unskewed*, consecutive tiles can stream
+    their temporal dimension back to back: the fill of tile ``i+1`` overlaps
+    the drain of tile ``i``, so the fill and readout latencies are paid once
+    for the whole workload instead of once per tile:
+
+        ``tau = num_tiles * T + (max(R, C) - 1) + R``
+
+    A conventional array cannot do this without re-skewing the operand
+    stream between tiles.  This mode is *not* part of the paper's published
+    runtime equations (Table 2 applies the full per-tile cost); it is
+    provided as an ablation (see ``benchmarks/bench_ablation_tile_overlap``)
+    because it is the natural upper bound of what the skew-free feeding
+    enables and helps bracket the speedups the paper reports.
+    """
+    if array_rows <= 0 or array_cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    tile_rows = min(mapping.spatial_rows, array_rows)
+    tile_cols = min(mapping.spatial_cols, array_cols)
+    num_tiles = math.ceil(mapping.spatial_rows / array_rows) * math.ceil(
+        mapping.spatial_cols / array_cols
+    )
+    fill = axon_fill_latency(tile_rows, tile_cols)
+    return num_tiles * mapping.temporal + fill + tile_rows
+
+
+def best_dataflow_runtime(
+    m: int, k: int, n: int, array_rows: int, array_cols: int, axon: bool
+) -> tuple[Dataflow, int]:
+    """Runtime under the best of the three dataflows for this workload."""
+    best: tuple[Dataflow, int] | None = None
+    for dataflow in Dataflow:
+        cycles = workload_runtime(m, k, n, array_rows, array_cols, dataflow, axon)
+        if best is None or cycles < best[1]:
+            best = (dataflow, cycles)
+    assert best is not None
+    return best
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """Speedup ratio ``baseline / improved`` with validation."""
+    if baseline_cycles <= 0 or improved_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return baseline_cycles / improved_cycles
+
+
+def _validate(spatial_rows: int, spatial_cols: int, temporal: int) -> None:
+    if spatial_rows <= 0 or spatial_cols <= 0 or temporal <= 0:
+        raise ValueError(
+            "spatial and temporal dimensions must be positive, got "
+            f"S_R={spatial_rows}, S_C={spatial_cols}, T={temporal}"
+        )

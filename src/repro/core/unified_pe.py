@@ -1,0 +1,186 @@
+"""The unified Axon PE of Fig. 9 — programmable for OS, WS and IS.
+
+The unified PE contains an FP MAC, four 2-to-1 MUXes and four registers:
+
+* ``MUX1`` / ``MUX2`` steer preload data arriving on the (vertical) output
+  path into the weight or input register, depending on whether the stationary
+  dataflow holds weights (WS) or inputs (IS);
+* ``MUX3`` selects the accumulator input: the locally buffered partial sum
+  (``Psum`` register) for OS, or the partial sum arriving from the
+  neighbouring PE for WS/IS;
+* ``MUX4`` selects what is written to the output register: the accumulated
+  partial sum (OS readout) or the freshly produced sum forwarded to the next
+  PE (WS/IS).
+
+The class is a *functional* model: one call to :meth:`step` corresponds to one
+clock cycle.  The array-level simulators do not use it directly (they operate
+on whole operand planes for speed); it exists so the dataflow programmability
+claim can be exercised and tested PE-by-PE, mirroring how the RTL block would
+be unit-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class PEMode(str, Enum):
+    """Dataflow personality of the unified PE."""
+
+    OS = "OS"
+    WS = "WS"
+    IS = "IS"
+
+
+@dataclass
+class PEStepResult:
+    """Values a PE drives onto its output ports after one cycle.
+
+    Attributes
+    ----------
+    operand_a_out, operand_b_out:
+        The operands forwarded to the neighbouring PEs (Axon PEs on the
+        diagonal forward them in both directions; the array model handles the
+        fan-out, the PE just exposes the registered values).
+    psum_out:
+        The partial sum driven onto the output path (WS/IS) or ``None`` while
+        the accumulator is still held locally (OS).
+    mac_performed:
+        Whether the MAC executed this cycle (False when zero-gated or when an
+        operand was missing).
+    """
+
+    operand_a_out: float | None
+    operand_b_out: float | None
+    psum_out: float | None
+    mac_performed: bool
+
+
+@dataclass
+class UnifiedPE:
+    """Functional model of the unified, dataflow-programmable Axon PE.
+
+    Parameters
+    ----------
+    mode:
+        The configured dataflow personality.
+    zero_gating:
+        Skip the multiply when either operand is zero (Sec. 4.1).
+    """
+
+    mode: PEMode = PEMode.OS
+    zero_gating: bool = True
+    _a_reg: float | None = field(default=None, repr=False)
+    _b_reg: float | None = field(default=None, repr=False)
+    _stationary_reg: float | None = field(default=None, repr=False)
+    _psum_reg: float = field(default=0.0, repr=False)
+    _gated_macs: int = field(default=0, repr=False)
+    _macs: int = field(default=0, repr=False)
+
+    def configure(self, mode: PEMode) -> None:
+        """Reprogram the PE's dataflow personality and clear its state."""
+        self.mode = mode
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all architectural registers."""
+        self._a_reg = None
+        self._b_reg = None
+        self._stationary_reg = None
+        self._psum_reg = 0.0
+        self._gated_macs = 0
+        self._macs = 0
+
+    @property
+    def accumulator(self) -> float:
+        """Current value of the stationary partial-sum register (OS)."""
+        return self._psum_reg
+
+    @property
+    def stationary_operand(self) -> float | None:
+        """The preloaded stationary operand (WS/IS), if any."""
+        return self._stationary_reg
+
+    @property
+    def mac_count(self) -> int:
+        """Multiplications actually executed by this PE."""
+        return self._macs
+
+    @property
+    def gated_mac_count(self) -> int:
+        """Multiplications skipped by zero gating."""
+        return self._gated_macs
+
+    def preload(self, value: float) -> None:
+        """Load the stationary operand through the output path (MUX1/MUX2).
+
+        Only meaningful for WS/IS; calling it in OS mode is an error because
+        the OS PE has no stationary operand register.
+        """
+        if self.mode is PEMode.OS:
+            raise RuntimeError("OS mode has no stationary operand to preload")
+        self._stationary_reg = float(value)
+
+    def step(
+        self,
+        operand_a: float | None = None,
+        operand_b: float | None = None,
+        psum_in: float = 0.0,
+    ) -> PEStepResult:
+        """Advance the PE by one clock cycle.
+
+        Parameters
+        ----------
+        operand_a:
+            The horizontally propagating operand (IFMAP element), or ``None``
+            if no operand arrives this cycle.
+        operand_b:
+            The vertically propagating operand (filter element) for OS mode;
+            ignored in WS/IS mode where the second operand is the preloaded
+            stationary value.
+        psum_in:
+            The partial sum arriving from the neighbouring PE (WS/IS only).
+        """
+        if self.mode is PEMode.OS:
+            return self._step_os(operand_a, operand_b)
+        return self._step_stationary(operand_a, psum_in)
+
+    def _multiply(self, a: float, b: float) -> tuple[float, bool]:
+        if self.zero_gating and (a == 0.0 or b == 0.0):
+            self._gated_macs += 1
+            return 0.0, False
+        self._macs += 1
+        return a * b, True
+
+    def _step_os(self, operand_a: float | None, operand_b: float | None) -> PEStepResult:
+        self._a_reg = operand_a
+        self._b_reg = operand_b
+        performed = False
+        if operand_a is not None and operand_b is not None:
+            product, performed = self._multiply(operand_a, operand_b)
+            # MUX3 selects the local Psum register, MUX4 keeps the sum local.
+            self._psum_reg += product
+        return PEStepResult(
+            operand_a_out=self._a_reg,
+            operand_b_out=self._b_reg,
+            psum_out=None,
+            mac_performed=performed,
+        )
+
+    def _step_stationary(self, operand_a: float | None, psum_in: float) -> PEStepResult:
+        if self._stationary_reg is None:
+            raise RuntimeError("stationary operand not preloaded")
+        self._a_reg = operand_a
+        performed = False
+        psum_out = psum_in
+        if operand_a is not None:
+            product, performed = self._multiply(operand_a, self._stationary_reg)
+            # MUX3 selects the incoming partial sum, MUX4 forwards the result.
+            psum_out = psum_in + product
+        return PEStepResult(
+            operand_a_out=self._a_reg,
+            operand_b_out=None,
+            psum_out=psum_out,
+            mac_performed=performed,
+        )

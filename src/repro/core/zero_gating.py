@@ -1,0 +1,116 @@
+"""Zero gating — sparsity-driven power reduction (Sec. 4.1 / Sec. 5.2.1).
+
+A PE with zero gating skips the multiply whenever either operand is zero,
+removing the MAC's dynamic switching energy for that cycle while leaving the
+result unchanged.  The paper reports a 5.3% *total* array power reduction at
+10% operand sparsity, which implicitly calibrates the fraction of the array's
+total power that the MAC datapath's data-dependent switching accounts for
+(about 53%); that calibration constant is exposed as
+``MAC_DYNAMIC_POWER_FRACTION`` and the area/power models use the same value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fraction of total array power attributable to data-dependent MAC switching.
+#: Calibrated so that 10% single-operand sparsity yields the paper's 5.3%
+#: total power reduction.
+MAC_DYNAMIC_POWER_FRACTION = 0.53
+
+
+@dataclass(frozen=True)
+class ZeroGatingStats:
+    """Gating statistics for one GEMM's operands.
+
+    Attributes
+    ----------
+    total_macs:
+        MACs the dense GEMM would perform.
+    gated_macs:
+        MACs skipped because at least one operand element is zero.
+    a_sparsity, b_sparsity:
+        Fraction of zero elements in each operand.
+    """
+
+    total_macs: int
+    gated_macs: int
+    a_sparsity: float
+    b_sparsity: float
+
+    @property
+    def gated_fraction(self) -> float:
+        """Fraction of MACs that are gated."""
+        if self.total_macs == 0:
+            return 0.0
+        return self.gated_macs / self.total_macs
+
+
+def zero_gating_stats(a: np.ndarray, b: np.ndarray) -> ZeroGatingStats:
+    """Count how many MACs of ``a @ b`` would be skipped by zero gating.
+
+    A MAC ``a[m, k] * b[k, n]`` is gated when either element is zero, so the
+    gated count is ``M*K*N - nnz_per_k(a) . nnz_per_k(b)`` where the dot
+    product pairs the per-``k`` non-zero counts of the two operands.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("operands must be 2-D with agreeing inner dimensions")
+    m, k = a.shape
+    _, n = b.shape
+    nonzero_a_per_k = (a != 0).sum(axis=0)  # length K
+    nonzero_b_per_k = (b != 0).sum(axis=1)  # length K
+    dense_macs = m * k * n
+    executed = int(np.dot(nonzero_a_per_k, nonzero_b_per_k))
+    return ZeroGatingStats(
+        total_macs=dense_macs,
+        gated_macs=dense_macs - executed,
+        a_sparsity=float((a == 0).mean()),
+        b_sparsity=float((b == 0).mean()),
+    )
+
+
+def expected_gated_fraction(a_sparsity: float, b_sparsity: float) -> float:
+    """Expected gated-MAC fraction for independent random sparsity patterns.
+
+    ``P(a == 0 or b == 0) = 1 - (1 - s_a) * (1 - s_b)``.
+    """
+    for name, value in (("a_sparsity", a_sparsity), ("b_sparsity", b_sparsity)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return 1.0 - (1.0 - a_sparsity) * (1.0 - b_sparsity)
+
+
+def gated_power_fraction(
+    gated_mac_fraction: float,
+    mac_dynamic_fraction: float = MAC_DYNAMIC_POWER_FRACTION,
+) -> float:
+    """Total-power reduction achieved by gating a fraction of the MACs.
+
+    ``reduction = gated_mac_fraction * mac_dynamic_fraction`` — only the
+    data-dependent MAC switching power is saved; clocking, control and SRAM
+    power are unaffected.  With the default calibration, a 10% gated fraction
+    yields the paper's 5.3% total power reduction.
+    """
+    if not 0.0 <= gated_mac_fraction <= 1.0:
+        raise ValueError("gated_mac_fraction must be in [0, 1]")
+    if not 0.0 <= mac_dynamic_fraction <= 1.0:
+        raise ValueError("mac_dynamic_fraction must be in [0, 1]")
+    return gated_mac_fraction * mac_dynamic_fraction
+
+
+def power_reduction_for_sparsity(
+    a_sparsity: float,
+    b_sparsity: float = 0.0,
+    mac_dynamic_fraction: float = MAC_DYNAMIC_POWER_FRACTION,
+) -> float:
+    """Total-power reduction for given operand sparsities (Sec. 5.2.1).
+
+    The paper's 10%-sparsity experiment gates on sparsity present in one
+    operand stream; pass ``b_sparsity=0`` (the default) to reproduce it.
+    """
+    gated = expected_gated_fraction(a_sparsity, b_sparsity)
+    return gated_power_fraction(gated, mac_dynamic_fraction)

@@ -1,0 +1,62 @@
+"""Technology, area, power and energy models.
+
+The paper's hardware results come from RTL synthesis and place-and-route of a
+16x16 array in TSMC 45 nm and ASAP7 PDKs.  We cannot run a physical-design
+flow in Python, so this package substitutes a *component-calibrated* model:
+per-PE, per-register-bit and per-MUX area/power constants are calibrated so
+that the 16x16 ASAP7 design point reproduces the paper's reported numbers
+(Fig. 10 / Sec. 5.1), and every other configuration (array size, technology
+node, im2col support on/off, Sauria-style feeder) is derived from the same
+constants.  DESIGN.md documents this substitution.
+"""
+
+from repro.energy.technology import TechnologyNode, ASAP7, TSMC45, NODES
+from repro.energy.area_model import (
+    conventional_array_area_mm2,
+    axon_array_area_mm2,
+    sauria_array_area_mm2,
+    im2col_area_overhead_fraction,
+    ArrayAreaReport,
+    area_report,
+)
+from repro.energy.power_model import (
+    conventional_array_power_mw,
+    axon_array_power_mw,
+    sauria_array_power_mw,
+    im2col_power_overhead_fraction,
+    sparsity_power_reduction,
+    ArrayPowerReport,
+    power_report,
+)
+from repro.energy.dram_energy import (
+    dram_energy_mj,
+    dram_energy_saving_mj,
+    memory_bound_speedup,
+    InferenceEnergyReport,
+    inference_energy_report,
+)
+
+__all__ = [
+    "TechnologyNode",
+    "ASAP7",
+    "TSMC45",
+    "NODES",
+    "conventional_array_area_mm2",
+    "axon_array_area_mm2",
+    "sauria_array_area_mm2",
+    "im2col_area_overhead_fraction",
+    "ArrayAreaReport",
+    "area_report",
+    "conventional_array_power_mw",
+    "axon_array_power_mw",
+    "sauria_array_power_mw",
+    "im2col_power_overhead_fraction",
+    "sparsity_power_reduction",
+    "ArrayPowerReport",
+    "power_report",
+    "dram_energy_mj",
+    "dram_energy_saving_mj",
+    "memory_bound_speedup",
+    "InferenceEnergyReport",
+    "inference_energy_report",
+]

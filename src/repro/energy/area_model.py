@@ -1,0 +1,115 @@
+"""Silicon-area model for conventional, Axon and Sauria-style arrays.
+
+The model is component-based and calibrated at the 16x16 ASAP7 design point
+(see :mod:`repro.energy.technology`):
+
+* conventional array:  ``R*C`` PEs;
+* Axon array:  the same PEs, minus the buffer-sharing saving around the
+  principal diagonal, plus (optionally) one 2-to-1 MUX per feeder PE for the
+  on-chip im2col support and two preload MUXes per PE when the unified
+  (WS/IS-capable) PE is used;
+* Sauria-style array: conventional array plus the on-the-fly im2col data
+  feeder (registers, FIFOs, counters) modelled in
+  :mod:`repro.baselines.sauria`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.array_config import ArrayConfig
+from repro.energy.technology import (
+    BUFFER_SHARE_SAVING_PE_FRACTION,
+    TechnologyNode,
+)
+
+
+def conventional_array_area_mm2(config: ArrayConfig, tech: TechnologyNode) -> float:
+    """Area of a conventional systolic array (PEs plus local buffers)."""
+    return config.num_pes * tech.pe_area_mm2
+
+
+def axon_array_area_mm2(
+    config: ArrayConfig,
+    tech: TechnologyNode,
+    im2col_support: bool = True,
+    unified_pe: bool = False,
+) -> float:
+    """Area of an Axon array.
+
+    Parameters
+    ----------
+    config, tech:
+        Array shape and technology node.
+    im2col_support:
+        Include the per-feeder-PE 2-to-1 MUX of the on-chip im2col support.
+    unified_pe:
+        Include the two extra preload MUXes per PE required by the unified
+        OS/WS/IS PE (Fig. 9); the paper's prototype is OS-only so the default
+        excludes them.
+    """
+    base = conventional_array_area_mm2(config, tech)
+    feeders = config.diagonal_length
+    sharing_saving = (feeders - 1) * BUFFER_SHARE_SAVING_PE_FRACTION * tech.pe_area_mm2
+    area = base - sharing_saving
+    if im2col_support:
+        area += feeders * tech.mux2to1_area_mm2
+    if unified_pe:
+        area += 2 * config.num_pes * tech.mux2to1_area_mm2
+    return area
+
+
+def sauria_array_area_mm2(config: ArrayConfig, tech: TechnologyNode) -> float:
+    """Area of a conventional array with a Sauria-style im2col data feeder."""
+    from repro.baselines.sauria import SauriaIm2colFeeder
+
+    feeder = SauriaIm2colFeeder().area_mm2(
+        config.rows, config.cols, config.operand_bits, tech
+    )
+    return conventional_array_area_mm2(config, tech) + feeder
+
+
+def im2col_area_overhead_fraction(config: ArrayConfig, tech: TechnologyNode) -> float:
+    """Axon's im2col area overhead relative to the Axon array without it."""
+    without = axon_array_area_mm2(config, tech, im2col_support=False)
+    with_support = axon_array_area_mm2(config, tech, im2col_support=True)
+    return (with_support - without) / without
+
+
+@dataclass(frozen=True)
+class ArrayAreaReport:
+    """Area comparison of the three designs for one array configuration.
+
+    All values in mm^2.
+    """
+
+    rows: int
+    cols: int
+    technology: str
+    conventional_mm2: float
+    axon_mm2: float
+    axon_with_im2col_mm2: float
+    sauria_mm2: float
+
+    @property
+    def axon_vs_sauria_saving(self) -> float:
+        """Fractional area saving of Axon (with im2col) over Sauria."""
+        return 1.0 - self.axon_with_im2col_mm2 / self.sauria_mm2
+
+    @property
+    def im2col_overhead(self) -> float:
+        """Fractional area cost of adding im2col support to Axon."""
+        return self.axon_with_im2col_mm2 / self.axon_mm2 - 1.0
+
+
+def area_report(config: ArrayConfig, tech: TechnologyNode) -> ArrayAreaReport:
+    """Build the full area comparison used by the Fig. 10 / Fig. 15 benches."""
+    return ArrayAreaReport(
+        rows=config.rows,
+        cols=config.cols,
+        technology=tech.name,
+        conventional_mm2=conventional_array_area_mm2(config, tech),
+        axon_mm2=axon_array_area_mm2(config, tech, im2col_support=False),
+        axon_with_im2col_mm2=axon_array_area_mm2(config, tech, im2col_support=True),
+        sauria_mm2=sauria_array_area_mm2(config, tech),
+    )

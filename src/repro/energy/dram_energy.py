@@ -1,0 +1,102 @@
+"""DRAM energy and memory-bound speedup (Sec. 5.2.1).
+
+The paper converts the conv-layer DRAM-traffic reduction enabled by on-chip
+im2col into two headline numbers:
+
+* an inference-energy saving at 120 pJ/byte (LPDDR3):  ~12 mJ for ResNet50
+  and ~170 mJ for YOLOv3;
+* a ~1.25x end-to-end speedup when the accelerator is limited by the 6.4 GB/s
+  LPDDR3 bandwidth.
+
+The helpers here take traffic reports (from :mod:`repro.im2col.traffic`) and
+produce those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.dram import DRAMModel, LPDDR3
+from repro.im2col.traffic import ConvTrafficReport
+
+
+def dram_energy_mj(traffic_bytes: float, dram: DRAMModel = LPDDR3) -> float:
+    """DRAM access energy in millijoules for a given traffic volume."""
+    if traffic_bytes < 0:
+        raise ValueError("traffic must be non-negative")
+    return dram.access_energy_mj(traffic_bytes)
+
+
+def dram_energy_saving_mj(
+    baseline_bytes: float, improved_bytes: float, dram: DRAMModel = LPDDR3
+) -> float:
+    """Energy saved by reducing DRAM traffic from ``baseline`` to ``improved``."""
+    if improved_bytes > baseline_bytes:
+        raise ValueError("improved traffic exceeds the baseline traffic")
+    return dram_energy_mj(baseline_bytes - improved_bytes, dram)
+
+
+def memory_bound_speedup(
+    compute_cycles: float,
+    baseline_bytes: float,
+    improved_bytes: float,
+    core_frequency_mhz: float = 1000.0,
+    dram: DRAMModel = LPDDR3,
+) -> float:
+    """End-to-end speedup from reducing DRAM traffic.
+
+    Execution time is modelled as ``max(compute, DRAM transfer)`` — compute
+    and DMA are double-buffered so whichever is longer dominates.  The
+    speedup is the ratio of the baseline's time to the improved one's; when
+    both configurations are compute-bound the speedup is 1.0.
+    """
+    if compute_cycles <= 0:
+        raise ValueError("compute_cycles must be positive")
+    baseline_dram_cycles = dram.transfer_cycles(baseline_bytes, core_frequency_mhz)
+    improved_dram_cycles = dram.transfer_cycles(improved_bytes, core_frequency_mhz)
+    baseline_time = max(compute_cycles, baseline_dram_cycles)
+    improved_time = max(compute_cycles, improved_dram_cycles)
+    return baseline_time / improved_time
+
+
+@dataclass(frozen=True)
+class InferenceEnergyReport:
+    """Paper-style per-network DRAM-traffic / energy summary (Sec. 5.2.1).
+
+    Attributes
+    ----------
+    network:
+        Network name (``"ResNet50"``, ``"YOLOv3"``...).
+    software_mb, onchip_mb:
+        Conv-layer DRAM traffic with software im2col vs Axon on-chip im2col,
+        in megabytes.
+    energy_saving_mj:
+        DRAM energy saved per inference at the configured pJ/byte.
+    traffic_ratio:
+        ``software / onchip`` traffic ratio (the paper's ~2.17x average
+        inference-energy reduction tracks this ratio).
+    """
+
+    network: str
+    software_mb: float
+    onchip_mb: float
+    energy_saving_mj: float
+    traffic_ratio: float
+
+
+def inference_energy_report(
+    network: str,
+    software: ConvTrafficReport,
+    onchip: ConvTrafficReport,
+    dram: DRAMModel = LPDDR3,
+) -> InferenceEnergyReport:
+    """Summarise a network's traffic reports into the Sec. 5.2.1 quantities."""
+    saving = dram_energy_saving_mj(software.total_bytes, onchip.total_bytes, dram)
+    ratio = software.total_bytes / onchip.total_bytes if onchip.total_bytes else float("inf")
+    return InferenceEnergyReport(
+        network=network,
+        software_mb=software.total_mb,
+        onchip_mb=onchip.total_mb,
+        energy_saving_mj=saving,
+        traffic_ratio=ratio,
+    )

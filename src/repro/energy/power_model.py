@@ -1,0 +1,112 @@
+"""Power model for conventional, Axon and Sauria-style arrays.
+
+As with the area model, the per-component constants are calibrated at the
+paper's 16x16 ASAP7 design point (59.88 mW conventional, +0.10 mW for im2col
+support) and everything else is derived: other array sizes scale with PE
+count, the Sauria comparison adds the feeder's register/counter power, and
+the zero-gating model converts a gated-MAC fraction into a total power
+reduction using the MAC-switching power fraction calibrated in
+:mod:`repro.core.zero_gating`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.array_config import ArrayConfig
+from repro.core.zero_gating import MAC_DYNAMIC_POWER_FRACTION, power_reduction_for_sparsity
+from repro.energy.technology import TechnologyNode
+
+
+def conventional_array_power_mw(config: ArrayConfig, tech: TechnologyNode) -> float:
+    """Power of a conventional systolic array under a dense workload."""
+    return config.num_pes * tech.pe_power_mw
+
+
+def axon_array_power_mw(
+    config: ArrayConfig,
+    tech: TechnologyNode,
+    im2col_support: bool = True,
+    unified_pe: bool = False,
+) -> float:
+    """Power of an Axon array (optionally with im2col support / unified PEs).
+
+    The bi-directional orchestration itself is power-neutral (the same number
+    of register transfers happen, just in different directions); only the
+    added MUXes contribute extra power.
+    """
+    power = conventional_array_power_mw(config, tech)
+    if im2col_support:
+        power += config.diagonal_length * tech.mux2to1_power_mw
+    if unified_pe:
+        power += 2 * config.num_pes * tech.mux2to1_power_mw
+    return power
+
+
+def sauria_array_power_mw(config: ArrayConfig, tech: TechnologyNode) -> float:
+    """Power of a conventional array with a Sauria-style im2col feeder."""
+    from repro.baselines.sauria import SauriaIm2colFeeder
+
+    feeder = SauriaIm2colFeeder().power_mw(
+        config.rows, config.cols, config.operand_bits, tech
+    )
+    return conventional_array_power_mw(config, tech) + feeder
+
+
+def im2col_power_overhead_fraction(config: ArrayConfig, tech: TechnologyNode) -> float:
+    """Axon's im2col power overhead relative to the conventional array."""
+    base = conventional_array_power_mw(config, tech)
+    with_support = axon_array_power_mw(config, tech, im2col_support=True)
+    return (with_support - base) / base
+
+
+def sparsity_power_reduction(
+    ifmap_sparsity: float,
+    filter_sparsity: float = 0.0,
+    mac_dynamic_fraction: float = MAC_DYNAMIC_POWER_FRACTION,
+) -> float:
+    """Total-power reduction from zero gating at the given operand sparsity.
+
+    Thin wrapper over :func:`repro.core.zero_gating.power_reduction_for_sparsity`
+    so power-related queries have a single entry point.
+    """
+    return power_reduction_for_sparsity(ifmap_sparsity, filter_sparsity, mac_dynamic_fraction)
+
+
+@dataclass(frozen=True)
+class ArrayPowerReport:
+    """Power comparison of the three designs for one array configuration.
+
+    All values in milliwatts.
+    """
+
+    rows: int
+    cols: int
+    technology: str
+    conventional_mw: float
+    axon_mw: float
+    axon_with_im2col_mw: float
+    sauria_mw: float
+
+    @property
+    def axon_vs_sauria_saving(self) -> float:
+        """Fractional power saving of Axon (with im2col) over Sauria."""
+        return 1.0 - self.axon_with_im2col_mw / self.sauria_mw
+
+    @property
+    def im2col_overhead(self) -> float:
+        """Fractional power cost of the im2col support over the plain array."""
+        return self.axon_with_im2col_mw / self.conventional_mw - 1.0
+
+
+def power_report(config: ArrayConfig, tech: TechnologyNode) -> ArrayPowerReport:
+    """Build the full power comparison used by the Fig. 10 / Fig. 15 benches."""
+    return ArrayPowerReport(
+        rows=config.rows,
+        cols=config.cols,
+        technology=tech.name,
+        conventional_mw=conventional_array_power_mw(config, tech),
+        axon_mw=axon_array_power_mw(config, tech, im2col_support=False),
+        axon_with_im2col_mw=axon_array_power_mw(config, tech, im2col_support=True),
+        sauria_mw=sauria_array_power_mw(config, tech),
+    )

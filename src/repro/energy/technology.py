@@ -1,0 +1,109 @@
+"""Technology-node constants.
+
+The constants are *effective* per-component footprints: they fold in local
+wiring, clocking and control so that the 16x16 ASAP7 array reproduces the
+paper's post-PnR numbers (0.9992 mm2 and 59.88 mW for the conventional SA;
+Sec. 5.1).  They are not transistor-level estimates and should only be used
+for the relative comparisons the paper makes (array sizes, Axon vs SA vs
+Sauria, 45 nm vs 7 nm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Calibrated area/power constants for one process node.
+
+    Attributes
+    ----------
+    name:
+        PDK name used in reports.
+    node_nm:
+        Nominal feature size in nanometres.
+    pe_area_mm2:
+        Effective silicon area of one FP16 MAC PE including its operand and
+        accumulator registers and its share of local buffers.
+    pe_power_mw:
+        Effective total power of one PE at the nominal frequency under a
+        dense workload.
+    register_bit_area_mm2, register_bit_power_mw:
+        Effective footprint of one additional register bit (with control and
+        wiring); used for the Sauria feeder storage.
+    mux2to1_area_mm2, mux2to1_power_mw:
+        Effective footprint of one operand-wide 2-to-1 MUX plus its control
+        and wiring; used for Axon's im2col support and the WS/IS preload
+        MUXes.
+    frequency_mhz:
+        Frequency the power numbers are calibrated at.
+    """
+
+    name: str
+    node_nm: int
+    pe_area_mm2: float
+    pe_power_mw: float
+    register_bit_area_mm2: float
+    register_bit_power_mw: float
+    mux2to1_area_mm2: float
+    mux2to1_power_mw: float
+    frequency_mhz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "pe_area_mm2",
+            "pe_power_mw",
+            "register_bit_area_mm2",
+            "register_bit_power_mw",
+            "mux2to1_area_mm2",
+            "mux2to1_power_mw",
+            "frequency_mhz",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: ASAP7 7-nm FinFET node, calibrated to the paper's 16x16 post-PnR results:
+#: 256 PEs -> 0.9992 mm2 / 59.88 mW; im2col support (one MUX per feeder PE)
+#: adds 0.0020 mm2 and 0.10 mW (Sec. 5.1).
+ASAP7 = TechnologyNode(
+    name="ASAP7",
+    node_nm=7,
+    pe_area_mm2=0.9992 / 256,
+    pe_power_mw=59.88 / 256,
+    register_bit_area_mm2=1.6e-5,
+    register_bit_power_mw=1.35e-3,
+    mux2to1_area_mm2=0.0020 / 16,
+    mux2to1_power_mw=0.10 / 16,
+    frequency_mhz=1000.0,
+)
+
+#: TSMC 45-nm node.  Area scales roughly with the square of the drawn feature
+#: size relative to 7 nm (with a density derate for the older node's better
+#: wiring utilisation); power scales by ~4x at iso-frequency.  The constants
+#: only matter for the relative 45-nm curves of Fig. 15.
+_AREA_SCALE_45 = 30.0
+_POWER_SCALE_45 = 4.0
+
+TSMC45 = TechnologyNode(
+    name="TSMC45",
+    node_nm=45,
+    pe_area_mm2=ASAP7.pe_area_mm2 * _AREA_SCALE_45,
+    pe_power_mw=ASAP7.pe_power_mw * _POWER_SCALE_45,
+    register_bit_area_mm2=ASAP7.register_bit_area_mm2 * _AREA_SCALE_45,
+    register_bit_power_mw=ASAP7.register_bit_power_mw * _POWER_SCALE_45,
+    mux2to1_area_mm2=ASAP7.mux2to1_area_mm2 * _AREA_SCALE_45,
+    mux2to1_power_mw=ASAP7.mux2to1_power_mw * _POWER_SCALE_45,
+    frequency_mhz=500.0,
+)
+
+#: Both evaluated nodes, keyed by name.
+NODES: dict[str, TechnologyNode] = {ASAP7.name: ASAP7, TSMC45.name: TSMC45}
+
+#: Area saved per feeder-adjacent PE pair by sharing input/weight buffers
+#: across the principal diagonal (Sec. 5.1), expressed as a fraction of one
+#: PE's area so it scales with array size and technology node.  Calibrated
+#: from the paper's 16x16 reduction from 0.9992 to 0.9931 mm2 (15 shareable
+#: pairs on a 16-PE diagonal).
+BUFFER_SHARE_SAVING_PE_FRACTION = ((0.9992 - 0.9931) / 15) / (0.9992 / 256)

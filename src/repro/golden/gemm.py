@@ -1,0 +1,68 @@
+"""Reference GEMM / GEMV implementations.
+
+These wrap :func:`numpy.matmul` with explicit shape validation so that the
+simulators' error messages and the golden model's error messages agree about
+what constitutes a malformed operand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_2d(name: str, matrix: np.ndarray) -> np.ndarray:
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D matrix, got shape {array.shape}")
+    return array
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply an ``M x K`` matrix by a ``K x N`` matrix.
+
+    Parameters
+    ----------
+    a:
+        Left operand of shape ``(M, K)``.
+    b:
+        Right operand of shape ``(K, N)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(M, N)`` product, in float64 so that accumulated rounding error
+        never masks a simulator bug.
+    """
+    a2 = _as_2d("a", a)
+    b2 = _as_2d("b", b)
+    if a2.shape[1] != b2.shape[0]:
+        raise ValueError(
+            f"inner dimensions do not agree: a is {a2.shape}, b is {b2.shape}"
+        )
+    return a2.astype(np.float64) @ b2.astype(np.float64)
+
+
+def gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Multiply an ``M x K`` matrix by a length-``K`` vector."""
+    a2 = _as_2d("a", a)
+    vec = np.asarray(x)
+    if vec.ndim != 1:
+        raise ValueError(f"x must be a vector, got shape {vec.shape}")
+    if a2.shape[1] != vec.shape[0]:
+        raise ValueError(
+            f"inner dimensions do not agree: a is {a2.shape}, x has {vec.shape[0]}"
+        )
+    return a2.astype(np.float64) @ vec.astype(np.float64)
+
+
+def batched_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply batches of matrices, shapes ``(B, M, K)`` and ``(B, K, N)``."""
+    a3 = np.asarray(a)
+    b3 = np.asarray(b)
+    if a3.ndim != 3 or b3.ndim != 3:
+        raise ValueError("batched_gemm expects 3-D operands (B, M, K) and (B, K, N)")
+    if a3.shape[0] != b3.shape[0]:
+        raise ValueError("batch dimensions do not agree")
+    if a3.shape[2] != b3.shape[1]:
+        raise ValueError("inner dimensions do not agree")
+    return np.matmul(a3.astype(np.float64), b3.astype(np.float64))

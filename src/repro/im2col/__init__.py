@@ -1,0 +1,47 @@
+"""Convolution lowering (im2col) — software reference, reuse analysis, traffic.
+
+The paper's second contribution is hardware support for im2col that exploits
+the overlap between consecutive convolution windows.  This package provides:
+
+* the software im2col reference used to validate the hardware feeder
+  (:mod:`repro.im2col.software`),
+* the conv → GEMM shape lowering used to map convolution layers onto the
+  array (:mod:`repro.im2col.lowering`),
+* the window-overlap analysis of Sec. 3.2 — how many elements repeat between
+  consecutive windows and over a whole layer
+  (:mod:`repro.im2col.reuse_analysis`),
+* the DRAM/SRAM traffic models for software im2col vs Axon's on-chip im2col
+  (:mod:`repro.im2col.traffic`).
+"""
+
+from repro.im2col.software import im2col, im2col_row_major_windows, col2im_output
+from repro.im2col.lowering import ConvShape, lower_conv_to_gemm, GemmShape
+from repro.im2col.reuse_analysis import (
+    window_overlap_elements,
+    unique_ifmap_elements,
+    im2col_matrix_elements,
+    repetition_fraction,
+)
+from repro.im2col.traffic import (
+    ConvTrafficReport,
+    software_im2col_traffic,
+    onchip_im2col_traffic,
+    traffic_reduction,
+)
+
+__all__ = [
+    "im2col",
+    "im2col_row_major_windows",
+    "col2im_output",
+    "ConvShape",
+    "GemmShape",
+    "lower_conv_to_gemm",
+    "window_overlap_elements",
+    "unique_ifmap_elements",
+    "im2col_matrix_elements",
+    "repetition_fraction",
+    "ConvTrafficReport",
+    "software_im2col_traffic",
+    "onchip_im2col_traffic",
+    "traffic_reduction",
+]

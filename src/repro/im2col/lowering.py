@@ -1,0 +1,163 @@
+"""Convolution → GEMM lowering (shapes only).
+
+A convolution layer with ``F`` filters of shape ``(C, R, S)`` applied to an
+IFMAP of shape ``(C, H, W)`` with stride ``stride`` and padding ``padding``
+lowers to the GEMM
+
+    ``(F, C*R*S) x (C*R*S, P*Q)``
+
+i.e. ``M = F``, ``K = C*R*S``, ``N = P*Q`` — exactly the mapping used by the
+Conv entries in the paper's Table 3 (e.g. ResNet50_0 is the 7x7/stride-2 stem:
+M=64, K=3*7*7=147, N=250*250=62500 for a 500x500 padded input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.golden.conv import conv_output_shape
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """Shape description of one convolution layer.
+
+    Attributes
+    ----------
+    name:
+        Layer identifier used in reports.
+    in_channels:
+        ``C`` — IFMAP channels.
+    ifmap_h, ifmap_w:
+        IFMAP spatial dimensions (pre-padding).
+    kernel_h, kernel_w:
+        Filter spatial dimensions ``R`` x ``S``.
+    num_filters:
+        ``F`` — number of output channels.
+    stride:
+        Spatial stride (same in both dimensions).
+    padding:
+        Zero padding (same on all sides).
+    depthwise:
+        Whether this is a depthwise convolution (one filter per channel,
+        no cross-channel reduction).
+    """
+
+    name: str
+    in_channels: int
+    ifmap_h: int
+    ifmap_w: int
+    kernel_h: int
+    kernel_w: int
+    num_filters: int
+    stride: int = 1
+    padding: int = 0
+    depthwise: bool = False
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "in_channels",
+            "ifmap_h",
+            "ifmap_w",
+            "kernel_h",
+            "kernel_w",
+            "num_filters",
+            "stride",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+        if self.depthwise and self.num_filters != self.in_channels:
+            raise ValueError(
+                "depthwise convolution requires num_filters == in_channels"
+            )
+
+    @property
+    def out_h(self) -> int:
+        """Output feature-map height ``P``."""
+        return conv_output_shape(self.ifmap_h, self.kernel_h, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        """Output feature-map width ``Q``."""
+        return conv_output_shape(self.ifmap_w, self.kernel_w, self.stride, self.padding)
+
+    @property
+    def output_pixels(self) -> int:
+        """Number of output pixels ``P * Q``."""
+        return self.out_h * self.out_w
+
+    @property
+    def window_elements(self) -> int:
+        """Elements per convolution window (``C*R*S``, or ``R*S`` depthwise)."""
+        if self.depthwise:
+            return self.kernel_h * self.kernel_w
+        return self.in_channels * self.kernel_h * self.kernel_w
+
+    @property
+    def ifmap_elements(self) -> int:
+        """Unique IFMAP elements (pre-padding)."""
+        return self.in_channels * self.ifmap_h * self.ifmap_w
+
+    @property
+    def filter_elements(self) -> int:
+        """Total filter elements."""
+        if self.depthwise:
+            return self.in_channels * self.kernel_h * self.kernel_w
+        return self.num_filters * self.window_elements
+
+    @property
+    def ofmap_elements(self) -> int:
+        """Total OFMAP elements."""
+        return self.num_filters * self.output_pixels
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the layer."""
+        if self.depthwise:
+            return self.in_channels * self.output_pixels * self.kernel_h * self.kernel_w
+        return self.num_filters * self.output_pixels * self.window_elements
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """A GEMM problem ``(M, K) x (K, N)`` with an identifying name."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.k <= 0 or self.n <= 0:
+            raise ValueError(f"GEMM dimensions must be positive: {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count ``M*K*N``."""
+        return self.m * self.k * self.n
+
+
+def lower_conv_to_gemm(conv: ConvShape) -> GemmShape:
+    """Lower a convolution layer to the equivalent GEMM shape.
+
+    Standard convolutions lower to ``M=F, K=C*R*S, N=P*Q``.  Depthwise
+    convolutions are lowered per channel and expressed as a single GEMM with
+    ``M=C`` (one "filter" row per channel), ``K=R*S`` and ``N=P*Q``; the
+    runtime model treats the channels as independent single-filter GEMMs,
+    which is how the paper evaluates DW-conv (Fig. 14).
+    """
+    if conv.depthwise:
+        return GemmShape(
+            name=conv.name,
+            m=conv.in_channels,
+            k=conv.kernel_h * conv.kernel_w,
+            n=conv.output_pixels,
+        )
+    return GemmShape(
+        name=conv.name,
+        m=conv.num_filters,
+        k=conv.window_elements,
+        n=conv.output_pixels,
+    )

@@ -1,0 +1,100 @@
+"""Window-overlap / reuse analysis for convolution lowering (Sec. 3.2).
+
+The paper motivates its on-chip im2col with a counting argument: for a filter
+of length ``n`` (kernel width) and stride 1, consecutive convolution windows
+along a row share ``n - 1`` of their ``n`` elements, and across a whole
+window (all kernel rows) consecutive windows share ``n * (n - 1)`` elements.
+In the paper's 3x3 / 6x6 example this means 18 of the 36 window elements in
+one OFMAP row are repeats (50% repetition).
+
+These functions reproduce that counting exactly and generalise it to
+arbitrary layer shapes, strides and paddings; they drive the Fig. 11 memory
+access-reduction experiment.
+"""
+
+from __future__ import annotations
+
+from repro.im2col.lowering import ConvShape
+
+
+def window_overlap_elements(kernel_h: int, kernel_w: int, stride: int = 1) -> int:
+    """Elements shared by two horizontally-adjacent convolution windows.
+
+    For stride 1 this is ``kernel_h * (kernel_w - 1)`` — the paper's
+    ``n * (n - 1)`` for a square ``n x n`` kernel.  For stride ``s`` the
+    overlap shrinks to ``kernel_h * max(kernel_w - s, 0)``.
+    """
+    if kernel_h <= 0 or kernel_w <= 0 or stride <= 0:
+        raise ValueError("kernel dimensions and stride must be positive")
+    return kernel_h * max(kernel_w - stride, 0)
+
+
+def unique_ifmap_elements(conv: ConvShape, include_padding: bool = False) -> int:
+    """Number of distinct IFMAP elements a layer touches.
+
+    With ``include_padding`` the padded zeros are counted as well (they are
+    *not* fetched from memory, so traffic models exclude them by default).
+    """
+    if include_padding:
+        padded_h = conv.ifmap_h + 2 * conv.padding
+        padded_w = conv.ifmap_w + 2 * conv.padding
+        return conv.in_channels * padded_h * padded_w
+    return conv.ifmap_elements
+
+
+def im2col_matrix_elements(conv: ConvShape) -> int:
+    """Total elements of the software im2col matrix (including repetitions).
+
+    For a standard convolution this is ``P*Q`` windows times ``C*R*S``
+    elements per window — the amount of data software im2col materialises in
+    SRAM/DRAM.  A depthwise layer lowers to one ``(P*Q) x (R*S)`` matrix per
+    channel, so the total is ``C * P*Q * R*S``.
+    """
+    per_window = conv.output_pixels * conv.window_elements
+    if conv.depthwise:
+        return conv.in_channels * per_window
+    return per_window
+
+
+def repetition_fraction(conv: ConvShape) -> float:
+    """Fraction of the im2col matrix that is repeated IFMAP data.
+
+    ``1 - unique / expanded`` where *expanded* is the full im2col matrix and
+    *unique* is the count of distinct IFMAP elements actually referenced
+    (clipped to *expanded*, since a strided layer can reference fewer
+    elements than it holds uniquely).  The paper's 3x3-on-6x6 example gives
+    0.5 when restricted to a single OFMAP row; over the whole layer the
+    fraction is considerably higher because windows also overlap vertically.
+    """
+    expanded = im2col_matrix_elements(conv)
+    unique = min(unique_ifmap_elements(conv, include_padding=True), expanded)
+    return 1.0 - unique / expanded
+
+
+def single_row_repetition_fraction(kernel: int, ifmap_w: int, stride: int = 1) -> float:
+    """Repetition fraction across the windows of one OFMAP row (Fig. 7).
+
+    With a ``kernel x kernel`` filter sliding along an ``ifmap_w``-wide row,
+    the windows of one OFMAP row contain ``num_windows * kernel^2`` elements
+    of which only ``kernel * ifmap_w`` are unique.  For the paper's 3x3 on
+    6x6 example: 4 windows x 9 = 36 elements, 3 x 6 = 18 unique → 50%.
+    """
+    if kernel <= 0 or ifmap_w < kernel or stride <= 0:
+        raise ValueError("invalid kernel / ifmap width / stride combination")
+    num_windows = (ifmap_w - kernel) // stride + 1
+    expanded = num_windows * kernel * kernel
+    touched_cols = (num_windows - 1) * stride + kernel
+    unique = kernel * touched_cols
+    return 1.0 - min(unique, expanded) / expanded
+
+
+def reused_elements_per_period(kernel_w: int) -> tuple[int, int]:
+    """SRAM-load schedule of the Axon im2col MUX over one period (Sec. 3.2).
+
+    Returns ``(loads_from_sram, loads_from_neighbour)`` per ``kernel_w``-cycle
+    period for every feeder PE other than the first: the MUX selects the SRAM
+    for 1 cycle and the adjacent feeder PE for ``kernel_w - 1`` cycles.
+    """
+    if kernel_w <= 0:
+        raise ValueError("kernel width must be positive")
+    return 1, kernel_w - 1

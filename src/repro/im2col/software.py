@@ -1,0 +1,96 @@
+"""Software im2col — the reference the hardware feeder must match.
+
+``im2col`` flattens every convolution window of the (padded) IFMAP into one
+row of a matrix; multiplying by the flattened filter bank then performs the
+convolution as a single GEMM.  The element order inside a row is
+channel-major, then kernel-row, then kernel-column, matching how
+``filters.reshape(F, -1)`` flattens the filter tensor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.golden.conv import conv_output_shape
+
+
+def im2col(
+    ifmap: np.ndarray,
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Lower an IFMAP into the im2col matrix.
+
+    Parameters
+    ----------
+    ifmap:
+        Input feature map of shape ``(C, H, W)``.
+    kernel:
+        Kernel spatial shape ``(R, S)``.
+    stride, padding:
+        Convolution hyper-parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(P * Q, C * R * S)`` where ``P`` and ``Q`` are the
+        output spatial dimensions; row ``p * Q + q`` is the flattened window
+        that produces output pixel ``(p, q)``.
+    """
+    ifmap = np.asarray(ifmap, dtype=np.float64)
+    if ifmap.ndim != 3:
+        raise ValueError(f"ifmap must have shape (C, H, W), got {ifmap.shape}")
+    k_h, k_w = kernel
+    if k_h <= 0 or k_w <= 0:
+        raise ValueError("kernel dimensions must be positive")
+    channels, height, width = ifmap.shape
+    out_h = conv_output_shape(height, k_h, stride, padding)
+    out_w = conv_output_shape(width, k_w, stride, padding)
+    if padding:
+        ifmap = np.pad(ifmap, ((0, 0), (padding, padding), (padding, padding)))
+    lowered = np.empty((out_h * out_w, channels * k_h * k_w), dtype=np.float64)
+    for row in range(out_h):
+        for col in range(out_w):
+            window = ifmap[
+                :, row * stride : row * stride + k_h, col * stride : col * stride + k_w
+            ]
+            lowered[row * out_w + col] = window.reshape(-1)
+    return lowered
+
+
+def im2col_row_major_windows(
+    ifmap_row: np.ndarray, kernel_width: int, stride: int = 1
+) -> np.ndarray:
+    """1-D sliding windows over a single IFMAP row.
+
+    This is the per-row view the paper uses to explain the on-chip reuse
+    pattern (Fig. 7): consecutive windows over one IFMAP row share
+    ``kernel_width - 1`` elements when the stride is 1.
+
+    Returns a matrix of shape ``(num_windows, kernel_width)``.
+    """
+    row = np.asarray(ifmap_row, dtype=np.float64)
+    if row.ndim != 1:
+        raise ValueError("ifmap_row must be 1-D")
+    if kernel_width <= 0 or stride <= 0:
+        raise ValueError("kernel width and stride must be positive")
+    if row.shape[0] < kernel_width:
+        raise ValueError("row shorter than kernel width")
+    num_windows = (row.shape[0] - kernel_width) // stride + 1
+    windows = np.empty((num_windows, kernel_width), dtype=np.float64)
+    for idx in range(num_windows):
+        windows[idx] = row[idx * stride : idx * stride + kernel_width]
+    return windows
+
+
+def col2im_output(flat_output: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Reshape a GEMM output of shape ``(F, P*Q)`` back into ``(F, P, Q)``."""
+    flat_output = np.asarray(flat_output)
+    if flat_output.ndim != 2:
+        raise ValueError("flat_output must be 2-D (filters, P*Q)")
+    if flat_output.shape[1] != out_h * out_w:
+        raise ValueError(
+            f"flat output has {flat_output.shape[1]} pixels, expected {out_h * out_w}"
+        )
+    return flat_output.reshape(flat_output.shape[0], out_h, out_w)

@@ -1,0 +1,165 @@
+"""Memory-traffic models: software im2col vs Axon's on-chip im2col.
+
+Two execution styles are compared for every convolution layer:
+
+* **Software im2col** (baseline): the expanded im2col matrix is materialised
+  and streamed to the array, so the IFMAP-side traffic equals the full
+  ``(P*Q) x (C*R*S)`` matrix — every overlap between windows is re-fetched.
+* **On-chip im2col** (Axon): only the unique IFMAP elements are fetched; the
+  repeated elements are produced inside the array by the feeder-PE MUXes
+  (Sec. 3.2), so IFMAP traffic collapses to ``C * H * W`` elements (times the
+  number of filter-dimension passes when the filters do not fit the array).
+
+Both models also account for filter and OFMAP traffic so that the absolute
+megabyte numbers of Sec. 5.2.1 (ResNet50: 261.2 → 153.5 MB, YOLOv3:
+2540 → 1117 MB) can be regenerated at the whole-network level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.im2col.lowering import ConvShape
+from repro.im2col.reuse_analysis import im2col_matrix_elements, unique_ifmap_elements
+
+
+@dataclass(frozen=True)
+class ConvTrafficReport:
+    """Off-chip traffic of a convolution layer under one im2col strategy.
+
+    Attributes
+    ----------
+    name:
+        Layer (or network) identifier.
+    ifmap_bytes:
+        Bytes of IFMAP-side traffic (expanded windows for software im2col,
+        unique elements for on-chip im2col).
+    filter_bytes:
+        Bytes of filter traffic.
+    ofmap_bytes:
+        Bytes written for the outputs.
+    """
+
+    name: str
+    ifmap_bytes: float
+    filter_bytes: float
+    ofmap_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes crossing the memory interface."""
+        return self.ifmap_bytes + self.filter_bytes + self.ofmap_bytes
+
+    @property
+    def total_mb(self) -> float:
+        """Total traffic in megabytes (10^6 bytes, as the paper reports)."""
+        return self.total_bytes / 1e6
+
+    def combined(self, other: "ConvTrafficReport", name: str) -> "ConvTrafficReport":
+        """Sum two reports (used to aggregate layers into a network total)."""
+        return ConvTrafficReport(
+            name=name,
+            ifmap_bytes=self.ifmap_bytes + other.ifmap_bytes,
+            filter_bytes=self.filter_bytes + other.filter_bytes,
+            ofmap_bytes=self.ofmap_bytes + other.ofmap_bytes,
+        )
+
+
+def _filter_passes(conv: ConvShape, array_rows: int | None) -> int:
+    """How many times the IFMAP must be streamed.
+
+    When the number of filters exceeds the array rows the OFMAP channels are
+    produced in several passes and the (lowered) IFMAP is re-read once per
+    pass.  ``array_rows=None`` models an idealised array large enough to hold
+    all filters (one pass), which is the configuration the paper's Fig. 11
+    per-layer numbers correspond to.
+    """
+    if array_rows is None:
+        return 1
+    mapped_filters = conv.in_channels if conv.depthwise else conv.num_filters
+    return max(1, math.ceil(mapped_filters / array_rows))
+
+
+def software_im2col_traffic(
+    conv: ConvShape,
+    bytes_per_element: float = 2.0,
+    array_rows: int | None = None,
+) -> ConvTrafficReport:
+    """Traffic when the im2col matrix is materialised by software."""
+    if bytes_per_element <= 0:
+        raise ValueError("bytes_per_element must be positive")
+    passes = _filter_passes(conv, array_rows)
+    ifmap_bytes = im2col_matrix_elements(conv) * passes * bytes_per_element
+    filter_bytes = conv.filter_elements * bytes_per_element
+    ofmap_bytes = conv.ofmap_elements * bytes_per_element
+    return ConvTrafficReport(
+        name=conv.name,
+        ifmap_bytes=ifmap_bytes,
+        filter_bytes=filter_bytes,
+        ofmap_bytes=ofmap_bytes,
+    )
+
+
+def onchip_im2col_traffic(
+    conv: ConvShape,
+    bytes_per_element: float = 2.0,
+    array_rows: int | None = None,
+) -> ConvTrafficReport:
+    """Traffic when Axon's feeder-PE MUXes regenerate the repeated elements."""
+    if bytes_per_element <= 0:
+        raise ValueError("bytes_per_element must be positive")
+    passes = _filter_passes(conv, array_rows)
+    ifmap_bytes = (
+        unique_ifmap_elements(conv, include_padding=False)
+        * passes
+        * bytes_per_element
+    )
+    filter_bytes = conv.filter_elements * bytes_per_element
+    ofmap_bytes = conv.ofmap_elements * bytes_per_element
+    return ConvTrafficReport(
+        name=conv.name,
+        ifmap_bytes=ifmap_bytes,
+        filter_bytes=filter_bytes,
+        ofmap_bytes=ofmap_bytes,
+    )
+
+
+def traffic_reduction(
+    conv: ConvShape,
+    bytes_per_element: float = 2.0,
+    array_rows: int | None = None,
+    ifmap_only: bool = True,
+) -> float:
+    """Fractional memory-access reduction from on-chip im2col (Fig. 11).
+
+    ``ifmap_only=True`` compares only the IFMAP-side traffic (the quantity the
+    im2col hardware affects, which is how Fig. 11 reports per-shape
+    reductions); ``ifmap_only=False`` compares whole-layer traffic including
+    filters and outputs (the quantity behind the Sec. 5.2.1 network totals).
+    """
+    software = software_im2col_traffic(conv, bytes_per_element, array_rows)
+    onchip = onchip_im2col_traffic(conv, bytes_per_element, array_rows)
+    if ifmap_only:
+        baseline, improved = software.ifmap_bytes, onchip.ifmap_bytes
+    else:
+        baseline, improved = software.total_bytes, onchip.total_bytes
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - improved / baseline
+
+
+def network_traffic(
+    layers: Iterable[ConvShape],
+    bytes_per_element: float = 2.0,
+    array_rows: int | None = None,
+    onchip: bool = False,
+    name: str = "network",
+) -> ConvTrafficReport:
+    """Aggregate conv-layer traffic over a whole network."""
+    total = ConvTrafficReport(name=name, ifmap_bytes=0.0, filter_bytes=0.0, ofmap_bytes=0.0)
+    model = onchip_im2col_traffic if onchip else software_im2col_traffic
+    for layer in layers:
+        total = total.combined(model(layer, bytes_per_element, array_rows), name)
+    return total

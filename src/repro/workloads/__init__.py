@@ -1,0 +1,60 @@
+"""Workload database used by the paper's evaluation (Sec. 5).
+
+The evaluation draws on four workload families:
+
+* GEMM workloads from transformers, recommendation and translation models
+  (Table 3) — :mod:`repro.workloads.gemm_workloads`;
+* convolution layers from CNNs (ResNet50, YOLOv3, MobileNet, EfficientNet)
+  — :mod:`repro.workloads.resnet50`, :mod:`repro.workloads.yolov3`,
+  :mod:`repro.workloads.mobilenet`, :mod:`repro.workloads.efficientnet`;
+* Conformer blocks mixing convolution and GEMM —
+  :mod:`repro.workloads.conformer`;
+* low-arithmetic-intensity GEMV and depthwise-convolution workloads
+  (Fig. 14) — :mod:`repro.workloads.gemv` and
+  :mod:`repro.workloads.depthwise`;
+* synthetic sparse-GEMM generators for the zero-gating experiment —
+  :mod:`repro.workloads.sparse`.
+"""
+
+from repro.workloads.gemm_workloads import (
+    TABLE3_WORKLOADS,
+    TABLE3_GEMM_WORKLOADS,
+    TABLE3_CONV_WORKLOADS,
+    workload_by_name,
+)
+from repro.workloads.resnet50 import RESNET50_CONV_LAYERS, resnet50_conv_layers
+from repro.workloads.yolov3 import YOLOV3_CONV_LAYERS, yolov3_conv_layers
+from repro.workloads.mobilenet import (
+    MOBILENET_V1_LAYERS,
+    mobilenet_depthwise_layers,
+    mobilenet_pointwise_layers,
+)
+from repro.workloads.efficientnet import EFFICIENTNET_B0_LAYERS, efficientnet_conv_layers
+from repro.workloads.conformer import CONFORMER_BLOCK_GEMMS, conformer_workloads
+from repro.workloads.gemv import GEMV_WORKLOADS, gemv_workloads
+from repro.workloads.depthwise import DEPTHWISE_WORKLOADS, depthwise_workloads
+from repro.workloads.sparse import sparse_matrix, sparse_gemm_pair
+
+__all__ = [
+    "TABLE3_WORKLOADS",
+    "TABLE3_GEMM_WORKLOADS",
+    "TABLE3_CONV_WORKLOADS",
+    "workload_by_name",
+    "RESNET50_CONV_LAYERS",
+    "resnet50_conv_layers",
+    "YOLOV3_CONV_LAYERS",
+    "yolov3_conv_layers",
+    "MOBILENET_V1_LAYERS",
+    "mobilenet_depthwise_layers",
+    "mobilenet_pointwise_layers",
+    "EFFICIENTNET_B0_LAYERS",
+    "efficientnet_conv_layers",
+    "CONFORMER_BLOCK_GEMMS",
+    "conformer_workloads",
+    "GEMV_WORKLOADS",
+    "gemv_workloads",
+    "DEPTHWISE_WORKLOADS",
+    "depthwise_workloads",
+    "sparse_matrix",
+    "sparse_gemm_pair",
+]

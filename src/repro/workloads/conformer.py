@@ -1,0 +1,87 @@
+"""Conformer-block workloads (Gulati et al., 2020).
+
+The Conformer mixes GEMM-heavy attention / feed-forward modules with a
+convolution module whose core is a depthwise 1-D convolution — exactly the
+"Conv and GeMM" mixture the paper lists as one of its workload families.  The
+shapes below correspond to the Conformer-L configuration (encoder dim 512,
+feed-forward dim 2048, 8 heads, depthwise kernel 31) over a 200-frame
+utterance; the sequence length is a parameter.
+"""
+
+from __future__ import annotations
+
+from repro.im2col.lowering import ConvShape, GemmShape
+
+
+def conformer_workloads(
+    sequence_length: int = 200,
+    model_dim: int = 512,
+    ff_dim: int = 2048,
+    num_heads: int = 8,
+    depthwise_kernel: int = 31,
+) -> tuple[tuple[GemmShape, ...], tuple[ConvShape, ...]]:
+    """GEMM and convolution workloads of one Conformer encoder block.
+
+    Returns
+    -------
+    tuple
+        ``(gemms, convs)`` — the GEMM shapes of the attention and feed-forward
+        modules, and the convolution-module layers (pointwise + depthwise).
+    """
+    if sequence_length <= 0 or model_dim <= 0 or ff_dim <= 0:
+        raise ValueError("dimensions must be positive")
+    if model_dim % num_heads:
+        raise ValueError("model_dim must be divisible by num_heads")
+    head_dim = model_dim // num_heads
+    gemms = (
+        # First feed-forward module (two half-step FFNs in a Conformer block).
+        GemmShape("ffn1_up", m=sequence_length, k=model_dim, n=ff_dim),
+        GemmShape("ffn1_down", m=sequence_length, k=ff_dim, n=model_dim),
+        # Multi-head self-attention projections.
+        GemmShape("mhsa_qkv", m=sequence_length, k=model_dim, n=3 * model_dim),
+        GemmShape("mhsa_scores", m=num_heads * sequence_length, k=head_dim, n=sequence_length),
+        GemmShape("mhsa_context", m=num_heads * sequence_length, k=sequence_length, n=head_dim),
+        GemmShape("mhsa_output", m=sequence_length, k=model_dim, n=model_dim),
+        # Second feed-forward module.
+        GemmShape("ffn2_up", m=sequence_length, k=model_dim, n=ff_dim),
+        GemmShape("ffn2_down", m=sequence_length, k=ff_dim, n=model_dim),
+    )
+    convs = (
+        # Pointwise conv expanding to 2*d for the GLU.
+        ConvShape(
+            name="convmod_pointwise1",
+            in_channels=model_dim,
+            ifmap_h=1,
+            ifmap_w=sequence_length,
+            kernel_h=1,
+            kernel_w=1,
+            num_filters=2 * model_dim,
+        ),
+        # Depthwise 1-D convolution over time with kernel 31.
+        ConvShape(
+            name="convmod_depthwise",
+            in_channels=model_dim,
+            ifmap_h=1,
+            ifmap_w=sequence_length,
+            kernel_h=1,
+            kernel_w=depthwise_kernel,
+            num_filters=model_dim,
+            padding=0 if sequence_length >= depthwise_kernel else 0,
+            depthwise=True,
+        ),
+        # Pointwise conv back to the model dimension.
+        ConvShape(
+            name="convmod_pointwise2",
+            in_channels=model_dim,
+            ifmap_h=1,
+            ifmap_w=sequence_length,
+            kernel_h=1,
+            kernel_w=1,
+            num_filters=model_dim,
+        ),
+    )
+    return gemms, convs
+
+
+#: GEMMs of a Conformer-L block over a 200-frame utterance.
+CONFORMER_BLOCK_GEMMS: tuple[GemmShape, ...] = conformer_workloads()[0]

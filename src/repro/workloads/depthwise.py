@@ -1,0 +1,48 @@
+"""Depthwise-convolution workloads (Fig. 14).
+
+Depthwise convolutions have very low arithmetic intensity: each channel is an
+independent single-filter convolution, so the lowered GEMM has ``M = 1`` per
+channel (``K = R*S``, ``N = P*Q``) and the conventional array's fill latency
+dominates.  The workload set combines the depthwise layers of MobileNet-V1
+and EfficientNet-B0 with the Conformer's depthwise temporal convolution.
+"""
+
+from __future__ import annotations
+
+from repro.im2col.lowering import ConvShape, GemmShape, lower_conv_to_gemm
+from repro.workloads.efficientnet import efficientnet_conv_layers
+from repro.workloads.mobilenet import mobilenet_depthwise_layers
+
+
+def depthwise_conv_layers() -> tuple[ConvShape, ...]:
+    """All depthwise layers from MobileNet-V1 plus EfficientNet-B0."""
+    efficient_dw = tuple(
+        layer for layer in efficientnet_conv_layers() if layer.depthwise
+    )
+    return mobilenet_depthwise_layers() + efficient_dw
+
+
+def depthwise_per_channel_gemm(layer: ConvShape) -> GemmShape:
+    """The per-channel GEMM a depthwise layer decomposes into.
+
+    Each channel is an independent ``(1, R*S) x (R*S, P*Q)`` GEMM; the
+    runtime model runs the channels back to back (or across scale-out
+    arrays), matching how the paper evaluates DW-conv.
+    """
+    if not layer.depthwise:
+        raise ValueError(f"{layer.name} is not a depthwise layer")
+    return GemmShape(
+        name=f"{layer.name}_per_channel",
+        m=1,
+        k=layer.kernel_h * layer.kernel_w,
+        n=layer.output_pixels,
+    )
+
+
+def depthwise_workloads() -> tuple[GemmShape, ...]:
+    """Lowered GEMM shapes (all channels) for the DW-conv workload set."""
+    return tuple(lower_conv_to_gemm(layer) for layer in depthwise_conv_layers())
+
+
+#: Depthwise workloads lowered to GEMM (``M = channels``, ``K = R*S``, ``N = P*Q``).
+DEPTHWISE_WORKLOADS: tuple[GemmShape, ...] = depthwise_workloads()

@@ -1,0 +1,114 @@
+"""EfficientNet-B0 convolution layers (Tan & Le, 2019).
+
+EfficientNet-B0 is built from MBConv blocks (expansion 1x1, depthwise 3x3 or
+5x5, squeeze-excite, projection 1x1).  The table lists the expansion,
+depthwise and projection convolutions of every block at the canonical
+224x224 resolution; squeeze-excite FC layers are omitted (they are tiny and
+the paper's conv-traffic analysis does not include them).
+"""
+
+from __future__ import annotations
+
+from repro.im2col.lowering import ConvShape
+
+#: (expansion factor, in_channels, out_channels, kernel, stride, repeats, spatial)
+_B0_STAGES: tuple[tuple[int, int, int, int, int, int, int], ...] = (
+    (1, 32, 16, 3, 1, 1, 112),
+    (6, 16, 24, 3, 2, 2, 112),
+    (6, 24, 40, 5, 2, 2, 56),
+    (6, 40, 80, 3, 2, 3, 28),
+    (6, 80, 112, 5, 1, 3, 14),
+    (6, 112, 192, 5, 2, 4, 14),
+    (6, 192, 320, 3, 1, 1, 7),
+)
+
+
+def efficientnet_conv_layers(input_size: int = 224) -> tuple[ConvShape, ...]:
+    """Convolution layers of EfficientNet-B0 scaled to ``input_size``."""
+    if input_size < 32 or input_size % 32:
+        raise ValueError("input_size must be a positive multiple of 32 (>= 32)")
+    scale = input_size / 224.0
+    layers: list[ConvShape] = [
+        ConvShape(
+            name="stem_conv3x3",
+            in_channels=3,
+            ifmap_h=input_size,
+            ifmap_w=input_size,
+            kernel_h=3,
+            kernel_w=3,
+            num_filters=32,
+            stride=2,
+            padding=1,
+        )
+    ]
+    for stage_idx, (expand, c_in, c_out, kernel, stride, repeats, spatial224) in enumerate(
+        _B0_STAGES
+    ):
+        spatial = max(1, round(spatial224 * scale))
+        in_channels = c_in
+        for rep in range(repeats):
+            block_stride = stride if rep == 0 else 1
+            prefix = f"mbconv{stage_idx}_{rep}"
+            expanded = in_channels * expand
+            if expand != 1:
+                layers.append(
+                    ConvShape(
+                        name=f"{prefix}_expand1x1",
+                        in_channels=in_channels,
+                        ifmap_h=spatial,
+                        ifmap_w=spatial,
+                        kernel_h=1,
+                        kernel_w=1,
+                        num_filters=expanded,
+                        stride=1,
+                        padding=0,
+                    )
+                )
+            layers.append(
+                ConvShape(
+                    name=f"{prefix}_dw{kernel}x{kernel}",
+                    in_channels=expanded,
+                    ifmap_h=spatial,
+                    ifmap_w=spatial,
+                    kernel_h=kernel,
+                    kernel_w=kernel,
+                    num_filters=expanded,
+                    stride=block_stride,
+                    padding=kernel // 2,
+                    depthwise=True,
+                )
+            )
+            out_spatial = spatial // block_stride
+            layers.append(
+                ConvShape(
+                    name=f"{prefix}_project1x1",
+                    in_channels=expanded,
+                    ifmap_h=out_spatial,
+                    ifmap_w=out_spatial,
+                    kernel_h=1,
+                    kernel_w=1,
+                    num_filters=c_out,
+                    stride=1,
+                    padding=0,
+                )
+            )
+            in_channels = c_out
+            spatial = out_spatial
+    layers.append(
+        ConvShape(
+            name="head_conv1x1",
+            in_channels=320,
+            ifmap_h=max(1, round(7 * scale)),
+            ifmap_w=max(1, round(7 * scale)),
+            kernel_h=1,
+            kernel_w=1,
+            num_filters=1280,
+            stride=1,
+            padding=0,
+        )
+    )
+    return tuple(layers)
+
+
+#: EfficientNet-B0 at 224x224.
+EFFICIENTNET_B0_LAYERS: tuple[ConvShape, ...] = efficientnet_conv_layers(224)

@@ -1,0 +1,66 @@
+"""The GEMM / lowered-convolution workloads of the paper's Table 3.
+
+Every entry records the ``(M, K, N)`` shape exactly as printed in Table 3.
+The convolution entries (ResNet50_*, YOLO_v3_*) are already lowered to GEMM
+via im2col (``M = filters``, ``K = C*R*S``, ``N = P*Q``); the full per-layer
+convolution descriptions live in :mod:`repro.workloads.resnet50` and
+:mod:`repro.workloads.yolov3`.
+"""
+
+from __future__ import annotations
+
+from repro.im2col.lowering import GemmShape
+
+#: Table 3 of the paper, verbatim.
+TABLE3_WORKLOADS: tuple[GemmShape, ...] = (
+    GemmShape("TF0", m=31999, k=84, n=1024),
+    GemmShape("TF1", m=84, k=4096, n=1024),
+    GemmShape("GNMT0", m=128, k=4096, n=2048),
+    GemmShape("GNMT1", m=2048, k=32, n=4096),
+    GemmShape("GPT3_0_matmul0", m=1024, k=1024, n=80),
+    GemmShape("GPT3_1_matmul1", m=1024, k=2560, n=7680),
+    GemmShape("GPT3_2_addmm", m=1024, k=2560, n=10240),
+    GemmShape("GPT3_3_lmhead", m=1024, k=2560, n=50257),
+    GemmShape("NCF0", m=2048, k=128, n=1),
+    GemmShape("NCF1", m=256, k=2048, n=256),
+    GemmShape("DB0", m=1024, k=50000, n=16),
+    GemmShape("DB1", m=35, k=2560, n=4096),
+    GemmShape("Resnet50_0_conv2d", m=64, k=147, n=62500),
+    GemmShape("Resnet50_1_conv2d", m=512, k=4608, n=676),
+    GemmShape("YOLO_v3_0_conv2d", m=64, k=288, n=42436),
+    GemmShape("YOLO_v3_1_conv2d", m=128, k=576, n=10404),
+    GemmShape("GEMM_0", m=128, k=10, n=128),
+    GemmShape("GEMM_1", m=2048, k=10, n=2048),
+    GemmShape("GEMM_2", m=1024, k=1024, n=128),
+    GemmShape("GEMM_3", m=64, k=2560, n=2560),
+)
+
+#: Names of the entries that come from convolution layers (lowered via im2col).
+_CONV_NAMES = frozenset(
+    {
+        "Resnet50_0_conv2d",
+        "Resnet50_1_conv2d",
+        "YOLO_v3_0_conv2d",
+        "YOLO_v3_1_conv2d",
+    }
+)
+
+#: Pure-GEMM workloads (transformers, recommendation, translation, synthetic).
+TABLE3_GEMM_WORKLOADS: tuple[GemmShape, ...] = tuple(
+    workload for workload in TABLE3_WORKLOADS if workload.name not in _CONV_NAMES
+)
+
+#: Convolution workloads lowered to GEMM.
+TABLE3_CONV_WORKLOADS: tuple[GemmShape, ...] = tuple(
+    workload for workload in TABLE3_WORKLOADS if workload.name in _CONV_NAMES
+)
+
+
+def workload_by_name(name: str) -> GemmShape:
+    """Look up a Table 3 workload by its printed name (case-insensitive)."""
+    lowered = name.strip().lower()
+    for workload in TABLE3_WORKLOADS:
+        if workload.name.lower() == lowered:
+            return workload
+    known = ", ".join(w.name for w in TABLE3_WORKLOADS)
+    raise KeyError(f"unknown workload {name!r}; known workloads: {known}")

@@ -1,0 +1,33 @@
+"""GEMV (matrix-vector) workloads — the low arithmetic-intensity case.
+
+GEMV is a GEMM with ``N = 1`` (or ``M = 1``): the conventional systolic array
+wastes most of its fill latency because only one output column is produced,
+which is why the paper highlights a ~2x Axon speedup for these shapes
+(Fig. 14).  The set below covers the decode-time matrix-vector products of
+the paper's transformer / translation / recommendation workloads — the same
+weight matrices as Table 3 applied to a single token or a single user-item
+pair — plus classic square GEMV sizes.
+"""
+
+from __future__ import annotations
+
+from repro.im2col.lowering import GemmShape
+
+#: Matrix-vector workloads (N = 1 throughout).
+GEMV_WORKLOADS: tuple[GemmShape, ...] = (
+    GemmShape("GPT3_qkv_gemv", m=2560, k=2560, n=1),
+    GemmShape("GPT3_ffn_up_gemv", m=10240, k=2560, n=1),
+    GemmShape("GPT3_ffn_down_gemv", m=2560, k=10240, n=1),
+    GemmShape("GNMT_decoder_gemv", m=4096, k=1024, n=1),
+    GemmShape("TF_decoder_gemv", m=1024, k=4096, n=1),
+    GemmShape("NCF_scoring_gemv", m=2048, k=128, n=1),
+    GemmShape("DB_embedding_gemv", m=1024, k=50000, n=1),
+    GemmShape("square_gemv_256", m=256, k=256, n=1),
+    GemmShape("square_gemv_1024", m=1024, k=1024, n=1),
+    GemmShape("square_gemv_4096", m=4096, k=4096, n=1),
+)
+
+
+def gemv_workloads() -> tuple[GemmShape, ...]:
+    """Return the GEMV workload set used for the Fig. 14 reproduction."""
+    return GEMV_WORKLOADS

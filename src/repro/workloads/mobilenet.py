@@ -1,0 +1,99 @@
+"""MobileNet-V1 layers (Howard et al., 2017).
+
+MobileNet is the paper's main source of depthwise-convolution workloads
+(Fig. 14): every "depthwise separable" block contributes one depthwise 3x3
+layer and one pointwise 1x1 layer.  The standard 224x224, width-multiplier-1
+configuration is tabulated.
+"""
+
+from __future__ import annotations
+
+from repro.im2col.lowering import ConvShape
+
+
+def _depthwise(name: str, channels: int, spatial: int, stride: int) -> ConvShape:
+    return ConvShape(
+        name=name,
+        in_channels=channels,
+        ifmap_h=spatial,
+        ifmap_w=spatial,
+        kernel_h=3,
+        kernel_w=3,
+        num_filters=channels,
+        stride=stride,
+        padding=1,
+        depthwise=True,
+    )
+
+
+def _pointwise(name: str, in_channels: int, out_channels: int, spatial: int) -> ConvShape:
+    return ConvShape(
+        name=name,
+        in_channels=in_channels,
+        ifmap_h=spatial,
+        ifmap_w=spatial,
+        kernel_h=1,
+        kernel_w=1,
+        num_filters=out_channels,
+        stride=1,
+        padding=0,
+    )
+
+
+def mobilenet_v1_layers(input_size: int = 224) -> tuple[ConvShape, ...]:
+    """All convolution layers of MobileNet-V1 (width multiplier 1.0)."""
+    if input_size < 32 or input_size % 32:
+        raise ValueError("input_size must be a positive multiple of 32 (>= 32)")
+    layers: list[ConvShape] = [
+        ConvShape(
+            name="conv0_stem",
+            in_channels=3,
+            ifmap_h=input_size,
+            ifmap_w=input_size,
+            kernel_h=3,
+            kernel_w=3,
+            num_filters=32,
+            stride=2,
+            padding=1,
+        )
+    ]
+    # (in_channels, out_channels, stride) per depthwise-separable block.
+    blocks = [
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+        (256, 512, 2),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 1024, 2),
+        (1024, 1024, 1),
+    ]
+    spatial = input_size // 2
+    for index, (in_channels, out_channels, stride) in enumerate(blocks):
+        layers.append(_depthwise(f"dw{index}_3x3", in_channels, spatial, stride))
+        spatial //= stride
+        layers.append(_pointwise(f"pw{index}_1x1", in_channels, out_channels, spatial))
+    return tuple(layers)
+
+
+#: MobileNet-V1 at 224x224.
+MOBILENET_V1_LAYERS: tuple[ConvShape, ...] = mobilenet_v1_layers(224)
+
+
+def mobilenet_depthwise_layers(input_size: int = 224) -> tuple[ConvShape, ...]:
+    """Only the depthwise layers (the DW-conv workloads of Fig. 14)."""
+    return tuple(layer for layer in mobilenet_v1_layers(input_size) if layer.depthwise)
+
+
+def mobilenet_pointwise_layers(input_size: int = 224) -> tuple[ConvShape, ...]:
+    """Only the pointwise 1x1 layers."""
+    return tuple(
+        layer
+        for layer in mobilenet_v1_layers(input_size)
+        if not layer.depthwise and layer.kernel_h == 1
+    )

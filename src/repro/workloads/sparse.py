@@ -1,0 +1,53 @@
+"""Synthetic sparse-GEMM generators for the zero-gating experiment.
+
+The paper's sparsity result (Sec. 5.2.1: 5.3% total power reduction at 10%
+sparsity) only needs operands with a controlled fraction of exact zeros;
+these helpers generate them reproducibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sparse_matrix(
+    rows: int,
+    cols: int,
+    sparsity: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """A dense matrix in which a ``sparsity`` fraction of entries is exactly 0.
+
+    The zero positions are chosen uniformly at random; the remaining entries
+    are standard-normal.  The realised sparsity equals the requested one up to
+    rounding (``round(sparsity * rows * cols)`` zeros are placed).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError("sparsity must be in [0, 1]")
+    rng = rng or np.random.default_rng()
+    matrix = rng.standard_normal((rows, cols))
+    # Guard against accidental zeros in the dense part so the realised
+    # sparsity is exactly the number of planted zeros.
+    matrix[matrix == 0.0] = 1.0
+    num_zeros = round(sparsity * rows * cols)
+    if num_zeros:
+        flat_indices = rng.choice(rows * cols, size=num_zeros, replace=False)
+        matrix.flat[flat_indices] = 0.0
+    return matrix
+
+
+def sparse_gemm_pair(
+    m: int,
+    k: int,
+    n: int,
+    ifmap_sparsity: float,
+    filter_sparsity: float = 0.0,
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A reproducible ``(A, B)`` operand pair with independent sparsities."""
+    rng = np.random.default_rng(seed)
+    a = sparse_matrix(m, k, ifmap_sparsity, rng)
+    b = sparse_matrix(k, n, filter_sparsity, rng)
+    return a, b

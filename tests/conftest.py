@@ -1,0 +1,26 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.array_config import ArrayConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20250613)
+
+
+@pytest.fixture
+def small_array() -> ArrayConfig:
+    """An 8x8 array, small enough for exhaustive cycle simulation."""
+    return ArrayConfig(rows=8, cols=8)
+
+
+@pytest.fixture
+def paper_array() -> ArrayConfig:
+    """The paper's 16x16 prototype configuration."""
+    return ArrayConfig(rows=16, cols=16)

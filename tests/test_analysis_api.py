@@ -1,0 +1,272 @@
+"""Tests for the analysis helpers and the high-level accelerator API,
+plus cross-module integration checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ArrayConfig, AxonAccelerator, Dataflow, SystolicAccelerator
+from repro.analysis import (
+    arithmetic_mean,
+    axon_utilization,
+    conventional_utilization,
+    fill_latency_sweep,
+    format_speedup_table,
+    format_table,
+    geometric_mean,
+    utilization_improvement,
+    utilization_rate,
+    workload_speedups,
+)
+from repro.analysis.sweep import array_size_sweep
+from repro.arch.buffers import BufferOverflowError, DoubleBuffer, SRAMBuffer
+from repro.arch.memory_traffic import TrafficCounter, gemm_dram_traffic
+from repro.im2col.lowering import ConvShape
+from repro.workloads import GEMV_WORKLOADS, TABLE3_WORKLOADS
+
+
+class TestUtilizationAnalysis:
+    def test_utilization_rate_definition(self):
+        assert utilization_rate(1000, 10, 10, 100) == pytest.approx(0.1)
+
+    def test_utilization_rate_rejects_inconsistent_inputs(self):
+        with pytest.raises(ValueError, match="exceeds 1"):
+            utilization_rate(10**9, 2, 2, 10)
+
+    def test_axon_at_least_conventional(self):
+        for workload in TABLE3_WORKLOADS:
+            conventional = conventional_utilization(workload.m, workload.k, workload.n, 128, 128)
+            axon = axon_utilization(workload.m, workload.k, workload.n, 128, 128)
+            assert axon >= conventional
+
+    def test_gpt3_baseline_utilization_is_high(self):
+        """Sec. 5.2.2: GPT3 workloads already run at ~91% utilisation on the
+        conventional array, which is why neither Axon nor CMSA helps much."""
+        gpt3 = [w for w in TABLE3_WORKLOADS if w.name.startswith("GPT3")][1:]
+        rates = [conventional_utilization(w.m, w.k, w.n, 128, 128) for w in gpt3]
+        assert arithmetic_mean(rates) > 0.80
+
+    def test_improvement_definition(self):
+        assert utilization_improvement(0.5, 0.6) == pytest.approx(0.2)
+
+    def test_improvement_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            utilization_improvement(0.0, 0.5)
+
+
+class TestSpeedupAnalysis:
+    def test_workload_speedups_cover_all_inputs(self):
+        results = workload_speedups(TABLE3_WORKLOADS, 64, 64)
+        assert len(results) == len(TABLE3_WORKLOADS)
+        assert all(result.speedup >= 1.0 for result in results)
+
+    def test_speedup_grows_with_array_size_on_fill_bound_workloads(self):
+        """Fig. 12: Axon's advantage grows with the array for most workloads."""
+        by_size = array_size_sweep(TABLE3_WORKLOADS, [64, 256])
+        small = arithmetic_mean([r.speedup for r in by_size[64]])
+        large = arithmetic_mean([r.speedup for r in by_size[256]])
+        assert large > small
+
+    def test_normalized_runtime_is_reciprocal_of_speedup(self):
+        result = workload_speedups(TABLE3_WORKLOADS[:1], 64, 64)[0]
+        assert result.normalized_axon_runtime == pytest.approx(1.0 / result.speedup)
+
+    def test_depthwise_speedups_exceed_typical_gemm(self):
+        """Fig. 14: low arithmetic-intensity (short temporal dimension)
+        workloads benefit the most.  Depthwise conv layers (K = R*S = 9) show
+        the near-maximal gain, while the GPT3 GEMMs (K in the thousands)
+        barely improve."""
+        from repro.workloads import DEPTHWISE_WORKLOADS
+
+        depthwise = arithmetic_mean(
+            [r.speedup for r in workload_speedups(DEPTHWISE_WORKLOADS, 128, 128)]
+        )
+        gpt3 = [w for w in TABLE3_WORKLOADS if w.name.startswith("GPT3")]
+        gemm = arithmetic_mean([r.speedup for r in workload_speedups(gpt3, 128, 128)])
+        assert depthwise > gemm
+
+    def test_gemv_speedup_is_limited_under_published_equations(self):
+        """Under the paper's own Table 2 + Eq. 2 model a GEMV (N = 1) maps to
+        a single array column and its runtime is dominated by the temporal
+        dimension, so the analytical speedup stays close to 1.0 (the paper's
+        ~2x GEMV claim requires the skew-free back-to-back streaming modelled
+        by the tile-overlap ablation; see EXPERIMENTS.md)."""
+        results = workload_speedups(GEMV_WORKLOADS, 128, 128)
+        for result in results:
+            assert 1.0 <= result.speedup < 1.6
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_means_validate_inputs(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_fill_latency_sweep_rows(self):
+        rows = fill_latency_sweep([(16, 16), (256, 256)])
+        assert rows[0]["conventional_fill"] == 30
+        assert rows[1]["axon_fill"] == 255
+
+    def test_format_table_and_speedup_table(self):
+        results = workload_speedups(TABLE3_WORKLOADS[:3], 64, 64)
+        text = format_speedup_table(results)
+        assert "workload" in text and "speedup" in text
+        assert len(text.splitlines()) == 2 + 3
+        generic = format_table(("a", "b"), [(1, 2.5)])
+        assert "2.500" in generic
+
+
+class TestBuffersAndTraffic:
+    def test_sram_buffer_allocation_and_overflow(self):
+        buffer = SRAMBuffer("ifmap", capacity_bytes=1000)
+        buffer.allocate(800)
+        assert buffer.free_bytes == 200
+        with pytest.raises(BufferOverflowError):
+            buffer.allocate(300)
+        buffer.release(800)
+        assert buffer.occupancy_bytes == 0
+
+    def test_sram_buffer_access_energy(self):
+        buffer = SRAMBuffer("w", 1000, read_energy_pj_per_byte=2.0, write_energy_pj_per_byte=3.0)
+        buffer.read(10)
+        buffer.write(5)
+        assert buffer.access_energy_pj() == pytest.approx(10 * 2 + 5 * 3)
+        buffer.reset_counters()
+        assert buffer.access_energy_pj() == 0.0
+
+    def test_sram_buffer_validates_sizes(self):
+        buffer = SRAMBuffer("x", 100)
+        with pytest.raises(ValueError):
+            buffer.allocate(-1)
+        with pytest.raises(ValueError):
+            buffer.release(10)
+
+    def test_double_buffer_swap_and_totals(self):
+        double = DoubleBuffer("ifmap", 2000)
+        double.front.write(100)
+        double.swap()
+        double.front.write(50)
+        assert double.total_writes_bytes == pytest.approx(150)
+        assert double.access_energy_pj() > 0
+
+    def test_traffic_counter(self):
+        counter = TrafficCounter()
+        counter.add("dram.ifmap", 100)
+        counter.add("dram.filter", 50)
+        counter.add("sram.ifmap", 10)
+        assert counter.total("dram") == 150
+        assert counter.total() == 160
+        other = TrafficCounter()
+        other.add("dram.ifmap", 5)
+        counter.merge(other)
+        assert counter.total("dram.ifmap") == 105
+
+    def test_traffic_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficCounter().add("x", -1)
+
+    def test_gemm_dram_traffic_model(self):
+        traffic = gemm_dram_traffic(128, 64, 256, array_rows=64, array_cols=64, bytes_per_element=2)
+        assert traffic.a_bytes == 128 * 64 * 4 * 2  # re-read per column tile
+        assert traffic.b_bytes == 64 * 256 * 2 * 2  # re-read per row tile
+        assert traffic.output_bytes == 128 * 256 * 2
+        assert traffic.total_bytes == traffic.a_bytes + traffic.b_bytes + traffic.output_bytes
+
+
+class TestAcceleratorAPI:
+    def test_run_gemm_matches_numpy_for_both_accelerators(self, rng):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((20, 6))
+        b = rng.standard_normal((6, 17))
+        for accelerator in (SystolicAccelerator(config), AxonAccelerator(config)):
+            result = accelerator.run_gemm(a, b)
+            np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+            assert result.macs == 20 * 6 * 17
+            assert 0 < result.utilization <= 1
+
+    def test_axon_runs_fewer_cycles_than_systolic(self, rng):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((24, 5))
+        b = rng.standard_normal((5, 24))
+        axon = AxonAccelerator(config).run_gemm(a, b)
+        systolic = SystolicAccelerator(config).run_gemm(a, b)
+        assert axon.cycles < systolic.cycles
+
+    def test_run_gemm_matches_estimate_for_tileable_problem(self, rng):
+        """The functional simulation and the analytical estimate must agree
+        exactly when every tile is full-sized."""
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((16, 6))
+        b = rng.standard_normal((6, 16))
+        for accelerator in (SystolicAccelerator(config), AxonAccelerator(config)):
+            run = accelerator.run_gemm(a, b)
+            estimate = accelerator.estimate_gemm("g", 16, 6, 16)
+            assert run.cycles == estimate.cycles
+
+    def test_ws_dataflow_execution(self, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((6, 9))
+        b = rng.standard_normal((9, 7))
+        axon = AxonAccelerator(config, dataflow=Dataflow.WEIGHT_STATIONARY)
+        result = axon.run_gemm(a, b)
+        np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+
+    def test_estimate_conv_reports_traffic_and_energy(self):
+        layer = ConvShape("l", 64, 28, 28, 3, 3, 128, padding=1)
+        config = ArrayConfig(64, 64)
+        axon = AxonAccelerator(config).estimate_conv(layer)
+        systolic = SystolicAccelerator(config).estimate_conv(layer)
+        assert axon.dram_bytes < systolic.dram_bytes
+        assert axon.dram_energy_mj < systolic.dram_energy_mj
+        assert axon.cycles <= systolic.cycles
+
+    def test_estimate_network_aggregates_layers(self):
+        layers = [
+            ConvShape("a", 16, 14, 14, 3, 3, 16, padding=1),
+            ConvShape("b", 16, 14, 14, 1, 1, 32),
+        ]
+        config = ArrayConfig(32, 32)
+        network = AxonAccelerator(config).estimate_network(layers)
+        individual = [AxonAccelerator(config).estimate_conv(layer) for layer in layers]
+        assert network.cycles == sum(result.cycles for result in individual)
+        assert network.dram_bytes == pytest.approx(
+            sum(result.dram_bytes for result in individual)
+        )
+
+    def test_rejects_malformed_gemm(self):
+        config = ArrayConfig(8, 8)
+        with pytest.raises(ValueError):
+            SystolicAccelerator(config).run_gemm(np.zeros((3, 4)), np.zeros((5, 6)))
+
+    def test_zero_gating_flag_propagates(self, rng):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((8, 4))
+        a[a < 0] = 0.0
+        b = rng.standard_normal((4, 8))
+        gated = AxonAccelerator(config, zero_gating=True).run_gemm(a, b)
+        dense = AxonAccelerator(config, zero_gating=False).run_gemm(a, b)
+        np.testing.assert_allclose(gated.output, dense.output)
+
+    @given(
+        m=st.integers(1, 20),
+        k=st.integers(1, 10),
+        n=st.integers(1, 20),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_api_correctness(self, m, k, n, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        config = ArrayConfig(8, 8)
+        axon = AxonAccelerator(config).run_gemm(a, b)
+        systolic = SystolicAccelerator(config).run_gemm(a, b)
+        np.testing.assert_allclose(axon.output, a @ b, atol=1e-9)
+        np.testing.assert_allclose(systolic.output, a @ b, atol=1e-9)
+        assert axon.cycles <= systolic.cycles

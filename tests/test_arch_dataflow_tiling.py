@@ -1,0 +1,201 @@
+"""Tests for dataflow mapping (Table 1), tiling, skewing and array config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.array_config import ArrayConfig, PAPER_PROTOTYPE
+from repro.arch.dataflow import Dataflow, SpatioTemporalMapping, map_gemm
+from repro.arch.skew import (
+    skew_fill_cycles,
+    skew_matrix_cols,
+    skew_matrix_rows,
+    unskew_matrix_rows,
+)
+from repro.arch.tiling import (
+    TileShape,
+    count_tiles,
+    iter_tiles,
+    scale_out_partitions,
+    scale_up_tile_count,
+    tile_gemm,
+)
+
+
+class TestDataflowMapping:
+    """Table 1: projection of GEMM dimensions onto the array."""
+
+    def test_os_mapping(self):
+        mapping = map_gemm(3, 5, 7, Dataflow.OUTPUT_STATIONARY)
+        assert (mapping.spatial_rows, mapping.spatial_cols, mapping.temporal) == (3, 7, 5)
+
+    def test_ws_mapping(self):
+        mapping = map_gemm(3, 5, 7, Dataflow.WEIGHT_STATIONARY)
+        assert (mapping.spatial_rows, mapping.spatial_cols, mapping.temporal) == (5, 3, 7)
+
+    def test_is_mapping(self):
+        mapping = map_gemm(3, 5, 7, Dataflow.INPUT_STATIONARY)
+        assert (mapping.spatial_rows, mapping.spatial_cols, mapping.temporal) == (5, 7, 3)
+
+    def test_total_macs_invariant_across_dataflows(self):
+        for dataflow in Dataflow:
+            assert map_gemm(4, 6, 8, dataflow).total_macs == 4 * 6 * 8
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            map_gemm(0, 5, 7, Dataflow.OUTPUT_STATIONARY)
+
+    def test_from_string_roundtrip(self):
+        for dataflow in Dataflow:
+            assert Dataflow.from_string(dataflow.value) is dataflow
+
+    def test_from_string_case_insensitive(self):
+        assert Dataflow.from_string("ws") is Dataflow.WEIGHT_STATIONARY
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataflow"):
+            Dataflow.from_string("RS")
+
+    def test_mapping_validates_fields(self):
+        with pytest.raises(ValueError):
+            SpatioTemporalMapping(0, 1, 1, Dataflow.OUTPUT_STATIONARY)
+
+
+class TestArrayConfig:
+    def test_paper_prototype_is_16x16_fp16(self):
+        assert PAPER_PROTOTYPE.rows == 16
+        assert PAPER_PROTOTYPE.cols == 16
+        assert PAPER_PROTOTYPE.operand_bits == 16
+
+    def test_num_pes(self):
+        assert ArrayConfig(8, 4).num_pes == 32
+
+    def test_diagonal_length(self):
+        assert ArrayConfig(8, 4).diagonal_length == 4
+        assert ArrayConfig(4, 8).diagonal_length == 4
+        assert ArrayConfig(8, 8).diagonal_length == 8
+
+    def test_is_square(self):
+        assert ArrayConfig(8, 8).is_square
+        assert not ArrayConfig(8, 4).is_square
+
+    def test_operand_bytes(self):
+        assert ArrayConfig(4, 4, operand_bits=16).operand_bytes == 2.0
+
+    def test_with_shape_preserves_other_fields(self):
+        base = ArrayConfig(8, 8, operand_bits=8, frequency_mhz=500.0)
+        resized = base.with_shape(32, 16)
+        assert (resized.rows, resized.cols) == (32, 16)
+        assert resized.operand_bits == 8
+        assert resized.frequency_mhz == 500.0
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(0, 4)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(4, 4, frequency_mhz=0)
+
+
+class TestSkew:
+    def test_skew_rows_shape(self, rng):
+        matrix = rng.standard_normal((4, 6))
+        schedule = skew_matrix_rows(matrix)
+        assert schedule.shape == (4, 6 + 3)
+
+    def test_skew_rows_delays_each_row_by_its_index(self, rng):
+        matrix = rng.standard_normal((3, 5))
+        schedule = skew_matrix_rows(matrix)
+        for row in range(3):
+            assert np.isnan(schedule[row, :row]).all()
+            np.testing.assert_allclose(schedule[row, row : row + 5], matrix[row])
+
+    def test_skew_cols_delays_each_col_by_its_index(self, rng):
+        matrix = rng.standard_normal((5, 3))
+        schedule = skew_matrix_cols(matrix)
+        for col in range(3):
+            assert np.isnan(schedule[:col, col]).all()
+            np.testing.assert_allclose(schedule[col : col + 5, col], matrix[:, col])
+
+    def test_unskew_inverts_skew(self, rng):
+        matrix = rng.standard_normal((4, 7))
+        recovered = unskew_matrix_rows(skew_matrix_rows(matrix), steps=7)
+        np.testing.assert_allclose(recovered, matrix)
+
+    def test_unskew_validates_width(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            unskew_matrix_rows(np.zeros((3, 4)), steps=7)
+
+    def test_fill_cycles_is_manhattan_distance(self):
+        assert skew_fill_cycles(16, 16) == 30
+        assert skew_fill_cycles(256, 256) == 510
+        assert skew_fill_cycles(1, 1) == 0
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            skew_matrix_rows(np.zeros(5))
+
+
+class TestTiling:
+    def test_count_tiles_exact_fit(self):
+        assert count_tiles(32, 32, 16, 16) == 4
+
+    def test_count_tiles_with_remainder(self):
+        assert count_tiles(33, 20, 16, 16) == 3 * 2
+
+    def test_iter_tiles_covers_whole_extent(self):
+        tiles = list(iter_tiles(20, 10, 8, 8))
+        covered = np.zeros((20, 10), dtype=int)
+        for tile in tiles:
+            covered[
+                tile.row_start : tile.row_start + tile.rows,
+                tile.col_start : tile.col_start + tile.cols,
+            ] += 1
+        assert (covered == 1).all()
+
+    def test_iter_tiles_last_tile_is_smaller(self):
+        tiles = list(iter_tiles(10, 10, 8, 8))
+        assert tiles[-1].rows == 2 and tiles[-1].cols == 2
+
+    def test_tile_gemm_reconstructs_product(self, rng):
+        a = rng.standard_normal((20, 7))
+        b = rng.standard_normal((7, 13))
+        result = np.zeros((20, 13))
+        for tile, a_block, b_block in tile_gemm(a, b, 8, 8):
+            result[
+                tile.row_start : tile.row_start + tile.rows,
+                tile.col_start : tile.col_start + tile.cols,
+            ] = a_block @ b_block
+        np.testing.assert_allclose(result, a @ b)
+
+    def test_scale_up_tile_count(self):
+        assert scale_up_tile_count(100, 100, 64, 64) == 4
+
+    def test_scale_out_partitions(self):
+        assert scale_out_partitions(100, 60, 4, 2) == (25, 30)
+
+    def test_scale_out_rejects_bad_partitions(self):
+        with pytest.raises(ValueError):
+            scale_out_partitions(100, 60, 0, 2)
+
+    def test_tileshape_validation(self):
+        with pytest.raises(ValueError):
+            TileShape(0, 0, 0, 4)
+        with pytest.raises(ValueError):
+            TileShape(-1, 0, 4, 4)
+
+    @given(
+        spatial_rows=st.integers(1, 100),
+        spatial_cols=st.integers(1, 100),
+        rows=st.integers(1, 32),
+        cols=st.integers(1, 32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_tile_count_matches_iteration(self, spatial_rows, spatial_cols, rows, cols):
+        assert count_tiles(spatial_rows, spatial_cols, rows, cols) == len(
+            list(iter_tiles(spatial_rows, spatial_cols, rows, cols))
+        )

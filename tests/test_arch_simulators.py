@@ -1,0 +1,178 @@
+"""Tests for the conventional systolic-array cycle simulators.
+
+The two invariants that matter for the reproduction are checked exhaustively
+and property-based:
+
+* every simulator produces the exact numpy GEMM result;
+* every simulator's measured cycle count equals the SCALE-sim analytical
+  model (Eq. 1 with the Table 1 mapping) used throughout the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+from repro.arch.stationary import ConventionalStationaryArray
+from repro.arch.systolic_os import ConventionalOSArray
+from repro.golden import gemm
+
+
+class TestConventionalOS:
+    def test_output_matches_golden(self, small_array, rng):
+        a = rng.standard_normal((8, 5))
+        b = rng.standard_normal((5, 8))
+        result = ConventionalOSArray(small_array).run_tile(a, b)
+        np.testing.assert_allclose(result.output, gemm(a, b))
+
+    def test_cycles_match_scalesim_formula(self, small_array, rng):
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 7))
+        result = ConventionalOSArray(small_array).run_tile(a, b)
+        assert result.total_cycles == 2 * 6 + 7 + 4 - 2
+
+    def test_compute_and_drain_split(self, small_array, rng):
+        m, k, n = 5, 3, 6
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        result = ConventionalOSArray(small_array).run_tile(a, b)
+        assert result.compute_cycles == m + n + k - 2
+        assert result.drain_cycles == m
+        assert result.total_cycles == result.compute_cycles + result.drain_cycles
+
+    def test_mac_count_equals_mkn(self, small_array, rng):
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 3))
+        result = ConventionalOSArray(small_array).run_tile(a, b)
+        assert result.mac_count == 4 * 6 * 3
+
+    def test_single_pe_case(self, small_array):
+        result = ConventionalOSArray(small_array).run_tile(
+            np.array([[2.0]]), np.array([[3.0]])
+        )
+        assert result.output[0, 0] == pytest.approx(6.0)
+        assert result.total_cycles == 2 * 1 + 1 + 1 - 2
+
+    def test_gemv_shape(self, small_array, rng):
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 1))
+        result = ConventionalOSArray(small_array).run_tile(a, b)
+        np.testing.assert_allclose(result.output, a @ b)
+        assert result.total_cycles == 2 * 8 + 1 + 4 - 2
+
+    def test_rejects_oversized_tile(self, small_array, rng):
+        with pytest.raises(ValueError, match="does not fit"):
+            ConventionalOSArray(small_array).run_tile(
+                rng.standard_normal((9, 4)), rng.standard_normal((4, 4))
+            )
+
+    def test_rejects_mismatched_operands(self, small_array):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            ConventionalOSArray(small_array).run_tile(np.zeros((4, 3)), np.zeros((4, 3)))
+
+    def test_expected_cycles_helper(self, small_array):
+        assert ConventionalOSArray(small_array).expected_cycles(8, 5, 8) == 2 * 8 + 8 + 5 - 2
+
+    def test_utilization_bounded(self, small_array, rng):
+        a = rng.standard_normal((8, 16))
+        b = rng.standard_normal((16, 8))
+        result = ConventionalOSArray(small_array).run_tile(a, b)
+        assert 0.0 < result.utilization(small_array.num_pes) <= 1.0
+
+    def test_per_cycle_active_sums_to_active_pe_cycles(self, small_array, rng):
+        a = rng.standard_normal((5, 4))
+        b = rng.standard_normal((4, 6))
+        result = ConventionalOSArray(small_array).run_tile(a, b)
+        assert sum(result.per_cycle_active) == result.active_pe_cycles
+
+    @given(
+        m=st.integers(1, 8),
+        k=st.integers(1, 10),
+        n=st.integers(1, 8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_correctness_and_cycles(self, m, k, n, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        result = ConventionalOSArray(ArrayConfig(8, 8)).run_tile(a, b)
+        np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+        assert result.total_cycles == 2 * m + n + k - 2
+        assert result.mac_count == m * k * n
+
+
+class TestConventionalStationary:
+    @pytest.mark.parametrize(
+        "dataflow", [Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY]
+    )
+    def test_output_matches_golden(self, dataflow, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((6, 9))
+        b = rng.standard_normal((9, 7))
+        result = ConventionalStationaryArray(config, dataflow).run_tile(a, b)
+        np.testing.assert_allclose(result.output, gemm(a, b))
+
+    @pytest.mark.parametrize(
+        "dataflow", [Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY]
+    )
+    def test_cycles_match_formula(self, dataflow, rng):
+        config = ArrayConfig(16, 16)
+        m, k, n = 5, 8, 6
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        result = ConventionalStationaryArray(config, dataflow).run_tile(a, b)
+        assert result.total_cycles == 2 * k + m + n - 2
+
+    def test_preload_cycles_equal_spatial_rows(self, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((4, 10))
+        b = rng.standard_normal((10, 5))
+        result = ConventionalStationaryArray(config, Dataflow.WEIGHT_STATIONARY).run_tile(a, b)
+        assert result.preload_cycles == 10
+
+    def test_rejects_os_dataflow(self):
+        with pytest.raises(ValueError, match="ConventionalOSArray"):
+            ConventionalStationaryArray(ArrayConfig(8, 8), Dataflow.OUTPUT_STATIONARY)
+
+    def test_rejects_oversized_footprint(self, rng):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((4, 9))  # K = 9 > 8 rows
+        b = rng.standard_normal((9, 4))
+        with pytest.raises(ValueError, match="does not fit"):
+            ConventionalStationaryArray(config, Dataflow.WEIGHT_STATIONARY).run_tile(a, b)
+
+    def test_mac_count(self, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((3, 7))
+        b = rng.standard_normal((7, 5))
+        result = ConventionalStationaryArray(config, Dataflow.INPUT_STATIONARY).run_tile(a, b)
+        assert result.mac_count == 3 * 7 * 5
+
+    def test_ws_and_is_cycle_counts_agree(self, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((6, 8))
+        b = rng.standard_normal((8, 4))
+        ws = ConventionalStationaryArray(config, Dataflow.WEIGHT_STATIONARY).run_tile(a, b)
+        is_ = ConventionalStationaryArray(config, Dataflow.INPUT_STATIONARY).run_tile(a, b)
+        assert ws.total_cycles == is_.total_cycles
+
+    @given(
+        m=st.integers(1, 8),
+        k=st.integers(1, 8),
+        n=st.integers(1, 8),
+        dataflow=st.sampled_from([Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_correctness_and_cycles(self, m, k, n, dataflow, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        result = ConventionalStationaryArray(ArrayConfig(8, 8), dataflow).run_tile(a, b)
+        np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+        assert result.total_cycles == 2 * k + m + n - 2

@@ -1,0 +1,288 @@
+"""Tests for the Axon cycle simulators (OS + WS/IS) and the diagonal feeder.
+
+These are the headline correctness checks of the reproduction: the Axon
+orchestration must produce bit-identical GEMM results to the golden model
+while its measured cycle counts equal the Table 2 formulas — including on
+rectangular arrays fed per Fig. 5 — and it must always be at least as fast
+as the conventional array on the same tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+from repro.arch.systolic_os import ConventionalOSArray
+from repro.core.axon_os import AxonOSArray
+from repro.core.axon_stationary import AxonStationaryArray
+from repro.core.feeder import arrival_cycle, build_diagonal_feed, feeder_positions
+from repro.golden import gemm
+
+
+class TestFeederPositions:
+    def test_square_array_feeds_diagonal_only(self):
+        assert feeder_positions(4, 4) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_wide_array_feeds_bottom_edge(self):
+        positions = feeder_positions(2, 4)
+        assert positions == [(0, 0), (1, 1), (1, 2), (1, 3)]
+
+    def test_tall_array_feeds_right_edge(self):
+        positions = feeder_positions(4, 2)
+        assert positions == [(0, 0), (1, 1), (2, 1), (3, 1)]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            feeder_positions(0, 4)
+
+
+class TestDiagonalFeed:
+    def test_square_feed_has_no_skew(self, rng):
+        operand = rng.standard_normal((4, 6))
+        schedule = build_diagonal_feed(operand, rows=4, cols=4, vertical=False)
+        assert schedule.skews == (0, 0, 0, 0)
+        np.testing.assert_allclose(schedule.injections, operand)
+
+    def test_wide_array_vertical_feed_is_zero_padded(self, rng):
+        # Fig. 5: columns beyond the diagonal are fed from the bottom PE with
+        # a skew equal to their distance from the diagonal.
+        operand = rng.standard_normal((5, 4))  # (T, lanes) for a vertical feed
+        schedule = build_diagonal_feed(operand, rows=2, cols=4, vertical=True)
+        assert schedule.skews == (0, 0, 1, 2)
+        assert schedule.positions == ((0, 0), (1, 1), (1, 2), (1, 3))
+        assert np.isnan(schedule.injections[2, 0])
+        assert np.isnan(schedule.injections[3, :2]).all()
+
+    def test_arrival_time_invariant(self, rng):
+        """Both operands of element k arrive at PE (i, j) at cycle k + |i - j|."""
+        rows = cols = 5
+        a = rng.standard_normal((rows, 3))
+        b = rng.standard_normal((3, cols))
+        a_feed = build_diagonal_feed(a, rows, cols, vertical=False)
+        b_feed = build_diagonal_feed(b, rows, cols, vertical=True)
+        for i in range(rows):
+            for j in range(cols):
+                for k in range(3):
+                    a_arrival = arrival_cycle(*a_feed.positions[i], i, j, k + a_feed.skews[i])
+                    b_arrival = arrival_cycle(*b_feed.positions[j], i, j, k + b_feed.skews[j])
+                    assert a_arrival == b_arrival == k + abs(i - j)
+
+    def test_sram_reads_counts_non_bubbles(self, rng):
+        operand = rng.standard_normal((3, 4))
+        schedule = build_diagonal_feed(operand, rows=3, cols=3, vertical=False)
+        assert schedule.sram_reads() == 12
+
+    def test_rejects_operand_larger_than_array(self, rng):
+        with pytest.raises(ValueError, match="rows but the array"):
+            build_diagonal_feed(rng.standard_normal((5, 3)), rows=4, cols=4, vertical=False)
+
+    def test_arrival_cycle_rejects_off_axis(self):
+        with pytest.raises(ValueError, match="row or column"):
+            arrival_cycle(0, 0, 1, 1, 0)
+
+
+class TestAxonOS:
+    def test_output_matches_golden(self, small_array, rng):
+        a = rng.standard_normal((8, 5))
+        b = rng.standard_normal((5, 8))
+        result = AxonOSArray(small_array).run_tile(a, b)
+        np.testing.assert_allclose(result.output, gemm(a, b))
+
+    def test_cycles_match_table2(self, small_array, rng):
+        m, k, n = 6, 4, 7
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        result = AxonOSArray(small_array).run_tile(a, b)
+        assert result.total_cycles == max(m, n) + m + k - 1
+
+    def test_faster_than_conventional_on_same_tile(self, small_array, rng):
+        a = rng.standard_normal((8, 6))
+        b = rng.standard_normal((6, 8))
+        axon = AxonOSArray(small_array).run_tile(a, b)
+        conventional = ConventionalOSArray(small_array).run_tile(a, b)
+        assert axon.total_cycles < conventional.total_cycles
+        np.testing.assert_allclose(axon.output, conventional.output)
+
+    def test_square_full_tile_saves_exactly_rminus1_cycles(self, rng):
+        """For a full square tile the fill term drops from 2R-2 to R-1."""
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((8, 5))
+        b = rng.standard_normal((5, 8))
+        axon = AxonOSArray(config).run_tile(a, b)
+        conventional = ConventionalOSArray(config).run_tile(a, b)
+        assert conventional.total_cycles - axon.total_cycles == 8 - 1
+
+    def test_rectangular_wide_array(self, rng):
+        config = ArrayConfig(rows=4, cols=8)
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 8))
+        result = AxonOSArray(config).run_tile(a, b)
+        np.testing.assert_allclose(result.output, gemm(a, b))
+        assert result.total_cycles == max(4, 8) + 4 + 6 - 1
+
+    def test_rectangular_tall_array(self, rng):
+        config = ArrayConfig(rows=8, cols=4)
+        a = rng.standard_normal((8, 6))
+        b = rng.standard_normal((6, 4))
+        result = AxonOSArray(config).run_tile(a, b)
+        np.testing.assert_allclose(result.output, gemm(a, b))
+        assert result.total_cycles == max(8, 4) + 8 + 6 - 1
+
+    def test_gemv(self, small_array, rng):
+        a = rng.standard_normal((8, 5))
+        b = rng.standard_normal((5, 1))
+        result = AxonOSArray(small_array).run_tile(a, b)
+        np.testing.assert_allclose(result.output, a @ b)
+        assert result.total_cycles == max(8, 1) + 8 + 5 - 1
+
+    def test_single_element(self, small_array):
+        result = AxonOSArray(small_array).run_tile(np.array([[3.0]]), np.array([[4.0]]))
+        assert result.output[0, 0] == pytest.approx(12.0)
+        assert result.total_cycles == 1 + 1 + 1 - 1
+
+    def test_mac_count_and_utilization(self, small_array, rng):
+        a = rng.standard_normal((8, 10))
+        b = rng.standard_normal((10, 8))
+        result = AxonOSArray(small_array).run_tile(a, b)
+        assert result.mac_count == 8 * 10 * 8
+        assert 0.0 < result.utilization(small_array.num_pes) <= 1.0
+
+    def test_zero_gating_preserves_result_and_counts_gated(self, small_array, rng):
+        a = rng.standard_normal((6, 5))
+        a[a < 0] = 0.0
+        b = rng.standard_normal((5, 6))
+        gated = AxonOSArray(small_array, zero_gating=True).run_tile(a, b)
+        dense = AxonOSArray(small_array, zero_gating=False).run_tile(a, b)
+        np.testing.assert_allclose(gated.output, dense.output)
+        zero_count = int((a == 0).sum())
+        assert gated.gated_macs == zero_count * 6
+        assert gated.mac_count + gated.gated_macs == 6 * 5 * 6
+
+    def test_rejects_oversized_tile(self, small_array, rng):
+        with pytest.raises(ValueError, match="does not fit"):
+            AxonOSArray(small_array).run_tile(
+                rng.standard_normal((9, 3)), rng.standard_normal((3, 4))
+            )
+
+    def test_expected_cycles_helper(self, small_array):
+        assert AxonOSArray(small_array).expected_cycles(8, 5, 3) == max(8, 3) + 8 + 5 - 1
+
+    @given(
+        m=st.integers(1, 8),
+        k=st.integers(1, 10),
+        n=st.integers(1, 8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_square_array(self, m, k, n, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        result = AxonOSArray(ArrayConfig(8, 8)).run_tile(a, b)
+        np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+        assert result.total_cycles == max(m, n) + m + k - 1
+
+    @given(
+        rows=st.integers(2, 8),
+        cols=st.integers(2, 8),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_rectangular_full_tiles(self, rows, cols, k, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((rows, k))
+        b = local.standard_normal((k, cols))
+        result = AxonOSArray(ArrayConfig(rows, cols)).run_tile(a, b)
+        np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+        assert result.total_cycles == max(rows, cols) + rows + k - 1
+
+
+class TestAxonStationary:
+    @pytest.mark.parametrize(
+        "dataflow", [Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY]
+    )
+    def test_output_matches_golden(self, dataflow, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((6, 9))
+        b = rng.standard_normal((9, 7))
+        result = AxonStationaryArray(config, dataflow).run_tile(a, b)
+        np.testing.assert_allclose(result.output, gemm(a, b))
+
+    def test_ws_cycles_match_table2(self, rng):
+        config = ArrayConfig(16, 16)
+        m, k, n = 5, 8, 6
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        result = AxonStationaryArray(config, Dataflow.WEIGHT_STATIONARY).run_tile(a, b)
+        assert result.total_cycles == max(m, k) + k + n - 1
+
+    def test_is_cycles_match_table2(self, rng):
+        config = ArrayConfig(16, 16)
+        m, k, n = 5, 8, 6
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        result = AxonStationaryArray(config, Dataflow.INPUT_STATIONARY).run_tile(a, b)
+        assert result.total_cycles == max(n, k) + k + m - 1
+
+    def test_preload_cycles_equal_spatial_rows(self, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((4, 10))
+        b = rng.standard_normal((10, 5))
+        result = AxonStationaryArray(config, Dataflow.WEIGHT_STATIONARY).run_tile(a, b)
+        assert result.preload_cycles == 10
+
+    def test_bypass_and_add_partials_sum_to_output(self, rng):
+        """The two partial-sum segments of the bypass-and-add scheme must
+        reconstruct the output exactly (Fig. 8b)."""
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((5, 7))
+        b = rng.standard_normal((7, 6))
+        result = AxonStationaryArray(config, Dataflow.WEIGHT_STATIONARY).run_tile(a, b)
+        np.testing.assert_allclose(result.upper_partial + result.lower_partial, result.output)
+        # Both segments must genuinely contribute for a K > 1 column split.
+        assert np.abs(result.upper_partial).sum() > 0
+        assert np.abs(result.lower_partial).sum() > 0
+
+    def test_never_slower_than_conventional(self, rng):
+        from repro.arch.stationary import ConventionalStationaryArray
+
+        config = ArrayConfig(16, 16)
+        for dataflow in (Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY):
+            a = rng.standard_normal((6, 9))
+            b = rng.standard_normal((9, 7))
+            axon = AxonStationaryArray(config, dataflow).run_tile(a, b)
+            conventional = ConventionalStationaryArray(config, dataflow).run_tile(a, b)
+            assert axon.total_cycles <= conventional.total_cycles
+
+    def test_rejects_os_dataflow(self):
+        with pytest.raises(ValueError, match="AxonOSArray"):
+            AxonStationaryArray(ArrayConfig(8, 8), Dataflow.OUTPUT_STATIONARY)
+
+    def test_rejects_oversized_footprint(self, rng):
+        config = ArrayConfig(8, 8)
+        with pytest.raises(ValueError, match="does not fit"):
+            AxonStationaryArray(config, Dataflow.WEIGHT_STATIONARY).run_tile(
+                rng.standard_normal((4, 9)), rng.standard_normal((9, 4))
+            )
+
+    @given(
+        m=st.integers(1, 8),
+        k=st.integers(1, 8),
+        n=st.integers(1, 8),
+        dataflow=st.sampled_from([Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_correctness_and_cycles(self, m, k, n, dataflow, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        result = AxonStationaryArray(ArrayConfig(8, 8), dataflow).run_tile(a, b)
+        np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+        expected = AxonStationaryArray(ArrayConfig(8, 8), dataflow).expected_cycles(m, k, n)
+        assert result.total_cycles == expected

@@ -1,0 +1,245 @@
+"""Tests for the baseline models (SCALE-sim, CMSA, Sauria) and energy models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.array_config import ArrayConfig, PAPER_PROTOTYPE
+from repro.arch.dataflow import Dataflow
+from repro.arch.dram import LPDDR3, DRAMModel
+from repro.baselines import (
+    CMSAModel,
+    SauriaIm2colFeeder,
+    cmsa_runtime,
+    cmsa_utilization,
+    sauria_feeder_overhead,
+    scalesim_runtime,
+    scalesim_utilization,
+)
+from repro.energy import (
+    ASAP7,
+    TSMC45,
+    area_report,
+    axon_array_area_mm2,
+    axon_array_power_mw,
+    conventional_array_area_mm2,
+    conventional_array_power_mw,
+    dram_energy_mj,
+    dram_energy_saving_mj,
+    im2col_area_overhead_fraction,
+    im2col_power_overhead_fraction,
+    inference_energy_report,
+    memory_bound_speedup,
+    power_report,
+    sauria_array_area_mm2,
+    sauria_array_power_mw,
+    sparsity_power_reduction,
+)
+from repro.im2col.traffic import ConvTrafficReport
+
+
+class TestScaleSimBaseline:
+    def test_runtime_single_tile(self):
+        assert scalesim_runtime(16, 32, 16, 64, 64) == 2 * 16 + 16 + 32 - 2
+
+    def test_runtime_tiled(self):
+        per_tile = 2 * 64 + 64 + 32 - 2
+        assert scalesim_runtime(128, 32, 128, 64, 64) == per_tile * 4
+
+    def test_utilization_full_tile_approaches_limit(self):
+        """For huge temporal dims the utilisation tends to the spatial fit."""
+        util = scalesim_utilization(64, 100000, 64, 64, 64)
+        assert util == pytest.approx(1.0, abs=0.01)
+
+    def test_dataflow_changes_runtime(self):
+        os_cycles = scalesim_runtime(64, 4096, 64, 64, 64, Dataflow.OUTPUT_STATIONARY)
+        ws_cycles = scalesim_runtime(64, 4096, 64, 64, 64, Dataflow.WEIGHT_STATIONARY)
+        assert os_cycles != ws_cycles
+
+
+class TestCMSA:
+    def test_no_benefit_when_array_is_full(self):
+        assert cmsa_runtime(256, 64, 256, 128, 128) == scalesim_runtime(256, 64, 256, 128, 128)
+
+    def test_splits_when_one_dimension_is_small(self):
+        """A GEMV-like workload (N=1) lets CMSA split the idle columns."""
+        baseline = scalesim_runtime(2048, 128, 1, 128, 128)
+        cmsa = cmsa_runtime(2048, 128, 1, 128, 128)
+        assert cmsa < baseline
+
+    def test_reconfiguration_overhead_applied(self):
+        model_free = CMSAModel(128, 128, reconfiguration_overhead=0.0)
+        model_paid = CMSAModel(128, 128, reconfiguration_overhead=0.5)
+        free = model_free.runtime(2048, 128, 1, Dataflow.OUTPUT_STATIONARY)
+        paid = model_paid.runtime(2048, 128, 1, Dataflow.OUTPUT_STATIONARY)
+        assert paid > free
+
+    def test_utilization_never_exceeds_one(self):
+        for m, k, n in [(2048, 128, 1), (64, 147, 62500), (1024, 2560, 7680)]:
+            assert 0.0 < cmsa_utilization(m, k, n, 128, 128) <= 1.0
+
+    def test_utilization_at_least_conventional(self):
+        for m, k, n in [(2048, 128, 1), (1024, 50000, 16), (35, 2560, 4096)]:
+            assert cmsa_utilization(m, k, n, 128, 128) >= scalesim_utilization(
+                m, k, n, 128, 128
+            ) * (1 - 1e-9)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            CMSAModel(0, 128)
+        with pytest.raises(ValueError):
+            CMSAModel(128, 128, reconfiguration_overhead=-0.1)
+
+    @given(
+        m=st.integers(1, 1024),
+        k=st.integers(1, 1024),
+        n=st.integers(1, 1024),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_cmsa_never_slower_than_scalesim_without_overhead(self, m, k, n):
+        model = CMSAModel(128, 128, reconfiguration_overhead=0.0)
+        assert model.runtime(m, k, n, Dataflow.OUTPUT_STATIONARY) <= scalesim_runtime(
+            m, k, n, 128, 128
+        )
+
+
+class TestSauriaFeeder:
+    def test_area_scales_with_columns(self):
+        narrow = SauriaIm2colFeeder().area_mm2(16, 16, 16, ASAP7)
+        wide = SauriaIm2colFeeder().area_mm2(16, 64, 16, ASAP7)
+        assert wide == pytest.approx(4 * narrow)
+
+    def test_overhead_fraction_near_paper_4_percent(self):
+        array_area = conventional_array_area_mm2(PAPER_PROTOTYPE, ASAP7)
+        overhead = sauria_feeder_overhead(16, 16, 16, ASAP7, array_area)
+        assert 0.02 < overhead < 0.06
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            SauriaIm2colFeeder().area_mm2(0, 16, 16, ASAP7)
+        with pytest.raises(ValueError):
+            sauria_feeder_overhead(16, 16, 16, ASAP7, 0.0)
+
+
+class TestAreaModel:
+    def test_conventional_16x16_matches_paper(self):
+        """Sec. 5.1: 0.9992 mm2 for the conventional 16x16 array in ASAP7."""
+        assert conventional_array_area_mm2(PAPER_PROTOTYPE, ASAP7) == pytest.approx(0.9992)
+
+    def test_axon_16x16_matches_paper(self):
+        """Sec. 5.1: 0.9931 mm2 for Axon (buffer sharing on the diagonal)."""
+        area = axon_array_area_mm2(PAPER_PROTOTYPE, ASAP7, im2col_support=False)
+        assert area == pytest.approx(0.9931, abs=1e-4)
+
+    def test_axon_with_im2col_matches_paper(self):
+        """Sec. 5.1: 0.9951 mm2 with the im2col MUXes added."""
+        area = axon_array_area_mm2(PAPER_PROTOTYPE, ASAP7, im2col_support=True)
+        assert area == pytest.approx(0.9951, abs=1e-4)
+
+    def test_im2col_overhead_about_0_2_percent(self):
+        assert im2col_area_overhead_fraction(PAPER_PROTOTYPE, ASAP7) == pytest.approx(
+            0.002, abs=0.0005
+        )
+
+    def test_axon_smaller_than_sauria(self):
+        report = area_report(PAPER_PROTOTYPE, ASAP7)
+        assert report.axon_with_im2col_mm2 < report.sauria_mm2
+        assert 0.02 < report.axon_vs_sauria_saving < 0.06
+
+    def test_area_scales_with_array_size(self):
+        small = area_report(ArrayConfig(8, 8), ASAP7)
+        large = area_report(ArrayConfig(32, 32), ASAP7)
+        assert large.conventional_mm2 == pytest.approx(16 * small.conventional_mm2)
+
+    def test_45nm_larger_than_7nm(self):
+        assert conventional_array_area_mm2(PAPER_PROTOTYPE, TSMC45) > conventional_array_area_mm2(
+            PAPER_PROTOTYPE, ASAP7
+        )
+
+    def test_unified_pe_adds_area(self):
+        plain = axon_array_area_mm2(PAPER_PROTOTYPE, ASAP7)
+        unified = axon_array_area_mm2(PAPER_PROTOTYPE, ASAP7, unified_pe=True)
+        assert unified > plain
+
+
+class TestPowerModel:
+    def test_conventional_16x16_matches_paper(self):
+        """Sec. 5.1: 59.88 mW for the conventional 16x16 array."""
+        assert conventional_array_power_mw(PAPER_PROTOTYPE, ASAP7) == pytest.approx(59.88)
+
+    def test_axon_with_im2col_matches_paper(self):
+        """Sec. 5.1: 59.98 mW with im2col support."""
+        power = axon_array_power_mw(PAPER_PROTOTYPE, ASAP7, im2col_support=True)
+        assert power == pytest.approx(59.98, abs=0.01)
+
+    def test_im2col_power_overhead_below_2_percent(self):
+        overhead = im2col_power_overhead_fraction(PAPER_PROTOTYPE, ASAP7)
+        assert 0.0 < overhead < 0.02
+
+    def test_axon_lower_power_than_sauria(self):
+        report = power_report(PAPER_PROTOTYPE, ASAP7)
+        assert report.axon_with_im2col_mw < report.sauria_mw
+        assert 0.02 < report.axon_vs_sauria_saving < 0.07
+
+    def test_sauria_power_scales_with_columns(self):
+        narrow = sauria_array_power_mw(ArrayConfig(16, 16), ASAP7)
+        wide = sauria_array_power_mw(ArrayConfig(16, 32), ASAP7)
+        assert wide > narrow
+
+    def test_sparsity_power_reduction_paper_point(self):
+        assert sparsity_power_reduction(0.10) == pytest.approx(0.053, abs=1e-3)
+
+    def test_45nm_higher_power_than_7nm(self):
+        assert conventional_array_power_mw(PAPER_PROTOTYPE, TSMC45) > conventional_array_power_mw(
+            PAPER_PROTOTYPE, ASAP7
+        )
+
+
+class TestDRAMModels:
+    def test_lpddr3_constants_match_paper(self):
+        assert LPDDR3.bandwidth_gbps == pytest.approx(6.4)
+        assert LPDDR3.energy_pj_per_byte == pytest.approx(120.0)
+
+    def test_transfer_time(self):
+        assert LPDDR3.transfer_time_s(6.4e9) == pytest.approx(1.0)
+
+    def test_transfer_cycles(self):
+        assert LPDDR3.transfer_cycles(6.4e6, core_frequency_mhz=1000.0) == pytest.approx(1e6)
+
+    def test_access_energy(self):
+        assert LPDDR3.access_energy_mj(100e6) == pytest.approx(100e6 * 120e-12 * 1e3)
+
+    def test_dram_model_validation(self):
+        with pytest.raises(ValueError):
+            DRAMModel("bad", bandwidth_gbps=0, energy_pj_per_byte=1)
+
+    def test_dram_energy_saving(self):
+        assert dram_energy_saving_mj(200e6, 100e6) == pytest.approx(dram_energy_mj(100e6))
+
+    def test_dram_energy_saving_rejects_increase(self):
+        with pytest.raises(ValueError):
+            dram_energy_saving_mj(100e6, 200e6)
+
+    def test_memory_bound_speedup_when_dram_limited(self):
+        """Halving the traffic of a fully memory-bound run doubles throughput."""
+        speedup = memory_bound_speedup(
+            compute_cycles=1, baseline_bytes=2e9, improved_bytes=1e9
+        )
+        assert speedup == pytest.approx(2.0)
+
+    def test_memory_bound_speedup_when_compute_limited(self):
+        speedup = memory_bound_speedup(
+            compute_cycles=10_000_000_000, baseline_bytes=2e6, improved_bytes=1e6
+        )
+        assert speedup == pytest.approx(1.0)
+
+    def test_inference_energy_report(self):
+        software = ConvTrafficReport("net", ifmap_bytes=200e6, filter_bytes=40e6, ofmap_bytes=20e6)
+        onchip = ConvTrafficReport("net", ifmap_bytes=80e6, filter_bytes=40e6, ofmap_bytes=20e6)
+        report = inference_energy_report("net", software, onchip)
+        assert report.software_mb == pytest.approx(260.0)
+        assert report.onchip_mb == pytest.approx(140.0)
+        assert report.energy_saving_mj == pytest.approx(120e6 * 120e-12 * 1e3)
+        assert report.traffic_ratio == pytest.approx(260 / 140)

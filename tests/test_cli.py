@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_runtime_command(self, capsys):
+        assert main(["runtime", "--m", "2048", "--k", "32", "--n", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "Axon" in out and "speedup" in out
+
+    def test_runtime_command_with_dataflow(self, capsys):
+        assert main(["runtime", "--m", "64", "--k", "64", "--n", "64", "--dataflow", "WS"]) == 0
+        assert "conventional SA" in capsys.readouterr().out
+
+    def test_workloads_command_lists_table3(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "TF0" in out and "GPT3_3_lmhead" in out
+        assert len(out.strip().splitlines()) == 2 + 20
+
+    def test_speedup_command(self, capsys):
+        assert main(["speedup", "--array", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "average speedup" in out
+
+    def test_traffic_command_for_each_network(self, capsys):
+        for network in ("resnet50", "yolov3", "mobilenet", "efficientnet"):
+            assert main(["traffic", "--network", network]) == 0
+            assert "traffic ratio" in capsys.readouterr().out
+
+    def test_hardware_command(self, capsys):
+        assert main(["hardware", "--rows", "16", "--cols", "16", "--node", "ASAP7"]) == 0
+        out = capsys.readouterr().out
+        assert "0.9992" in out and "Sauria" in out
+
+    def test_hardware_command_45nm(self, capsys):
+        assert main(["hardware", "--node", "TSMC45"]) == 0
+        assert "Axon" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,297 @@
+"""Tests for the Axon hardware units: im2col feeder, unified PE, zero gating."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.im2col_unit import SOURCE_NEIGHBOUR, SOURCE_SRAM, Im2colFeeder
+from repro.core.unified_pe import PEMode, UnifiedPE
+from repro.core.zero_gating import (
+    ZeroGatingStats,
+    expected_gated_fraction,
+    gated_power_fraction,
+    power_reduction_for_sparsity,
+    zero_gating_stats,
+)
+from repro.im2col import im2col
+from repro.workloads.sparse import sparse_gemm_pair, sparse_matrix
+
+
+class TestIm2colFeeder:
+    """The MUX-based on-chip im2col of Sec. 3.2 / Fig. 3(b)."""
+
+    def test_delivered_windows_match_software_im2col(self, rng):
+        ifmap = rng.standard_normal((1, 6, 6))
+        feeder = Im2colFeeder(3, 3)
+        trace = feeder.feed_ofmap_row(ifmap, ofmap_row=0)
+        natural = trace.windows_in_natural_order(3)
+        np.testing.assert_allclose(natural, im2col(ifmap, (3, 3))[:4])
+
+    def test_multichannel_delivery(self, rng):
+        ifmap = rng.standard_normal((4, 8, 8))
+        feeder = Im2colFeeder(3, 3)
+        trace = feeder.feed_ofmap_row(ifmap, ofmap_row=2)
+        natural = trace.windows_in_natural_order(3)
+        reference = im2col(ifmap, (3, 3))[2 * 6 : 2 * 6 + 6]
+        np.testing.assert_allclose(natural, reference)
+
+    def test_first_window_always_reads_sram(self, rng):
+        ifmap = rng.standard_normal((2, 6, 6))
+        trace = Im2colFeeder(3, 3).feed_ofmap_row(ifmap, 0)
+        assert (trace.sources[0] == SOURCE_SRAM).all()
+
+    def test_other_windows_read_sram_once_per_kernel_row(self, rng):
+        """The MUX selects SRAM for 1 of every kernel_w cycles (Sec. 3.2)."""
+        ifmap = rng.standard_normal((1, 6, 6))
+        trace = Im2colFeeder(3, 3).feed_ofmap_row(ifmap, 0)
+        for window in range(1, trace.delivered.shape[0]):
+            sram_positions = np.flatnonzero(trace.sources[window] == SOURCE_SRAM)
+            assert list(sram_positions) == [0, 3, 6]
+
+    def test_sram_reads_match_analytical_count(self, rng):
+        ifmap = rng.standard_normal((3, 10, 10))
+        feeder = Im2colFeeder(3, 3)
+        trace = feeder.feed_ofmap_row(ifmap, 1)
+        assert trace.sram_reads == feeder.analytical_sram_reads(3, 8)
+        assert trace.sram_reads + trace.neighbour_reads == trace.total_elements
+
+    def test_reuse_fraction_approaches_1_minus_1_over_kernel(self, rng):
+        feeder = Im2colFeeder(5, 5)
+        fraction = feeder.analytical_reuse_fraction(channels=16, num_windows=64)
+        assert fraction == pytest.approx(1 - 1 / 5, abs=0.02)
+
+    def test_paper_fig7_example_reads(self, rng):
+        """Fig. 7: 4 windows of a 3x3 kernel need 18 unique SRAM reads for the
+        first OFMAP row (instead of 36 expanded elements)."""
+        ifmap = rng.standard_normal((1, 6, 6))
+        feeder = Im2colFeeder(3, 3)
+        trace = feeder.feed_ofmap_row(ifmap, 0)
+        assert trace.total_elements == 36
+        assert trace.sram_reads == 9 + 3 * 3  # window0 full + 3 windows x 3 rows
+        assert trace.sram_read_fraction == pytest.approx(0.5)
+
+    def test_partial_window_count(self, rng):
+        ifmap = rng.standard_normal((1, 6, 6))
+        trace = Im2colFeeder(3, 3).feed_ofmap_row(ifmap, 0, num_windows=2)
+        assert trace.delivered.shape[0] == 2
+
+    def test_rejects_strided_configuration(self):
+        with pytest.raises(ValueError, match="stride 1"):
+            Im2colFeeder(3, 3, stride=2)
+
+    def test_rejects_bad_ofmap_row(self, rng):
+        ifmap = rng.standard_normal((1, 6, 6))
+        with pytest.raises(ValueError, match="out of range"):
+            Im2colFeeder(3, 3).feed_ofmap_row(ifmap, 10)
+
+    def test_rejects_bad_window_count(self, rng):
+        ifmap = rng.standard_normal((1, 6, 6))
+        with pytest.raises(ValueError, match="num_windows"):
+            Im2colFeeder(3, 3).feed_ofmap_row(ifmap, 0, num_windows=9)
+
+    @given(
+        channels=st.integers(1, 3),
+        size=st.integers(5, 9),
+        kernel=st.sampled_from([2, 3]),
+        row=st.integers(0, 2),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_delivery_matches_software_im2col(self, channels, size, kernel, row, seed):
+        local = np.random.default_rng(seed)
+        ifmap = local.standard_normal((channels, size, size))
+        out_w = size - kernel + 1
+        row = min(row, size - kernel)
+        feeder = Im2colFeeder(kernel, kernel)
+        trace = feeder.feed_ofmap_row(ifmap, row)
+        natural = trace.windows_in_natural_order(kernel)
+        reference = im2col(ifmap, (kernel, kernel))[row * out_w : (row + 1) * out_w]
+        np.testing.assert_allclose(natural, reference)
+        assert trace.sram_reads == feeder.analytical_sram_reads(channels, out_w)
+
+
+class TestUnifiedPE:
+    """The dataflow-programmable PE of Fig. 9."""
+
+    def test_os_mode_accumulates_locally(self):
+        pe = UnifiedPE(mode=PEMode.OS)
+        for a, b in [(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)]:
+            pe.step(a, b)
+        assert pe.accumulator == pytest.approx(1 * 2 + 3 * 4 + 5 * 6)
+
+    def test_os_mode_emits_no_psum(self):
+        pe = UnifiedPE(mode=PEMode.OS)
+        result = pe.step(2.0, 3.0)
+        assert result.psum_out is None
+        assert result.mac_performed
+
+    def test_os_mode_forwards_operands(self):
+        pe = UnifiedPE(mode=PEMode.OS)
+        result = pe.step(2.0, 3.0)
+        assert result.operand_a_out == 2.0
+        assert result.operand_b_out == 3.0
+
+    def test_ws_mode_dot_product_chain(self):
+        """A column of WS PEs computes a dot product via the psum chain."""
+        weights = [0.5, -1.0, 2.0]
+        inputs = [3.0, 4.0, 5.0]
+        pes = [UnifiedPE(mode=PEMode.WS) for _ in weights]
+        for pe, weight in zip(pes, weights):
+            pe.preload(weight)
+        psum = 0.0
+        for pe, value in zip(pes, inputs):
+            psum = pe.step(value, psum_in=psum).psum_out
+        assert psum == pytest.approx(sum(w * x for w, x in zip(weights, inputs)))
+
+    def test_preload_rejected_in_os_mode(self):
+        with pytest.raises(RuntimeError, match="no stationary operand"):
+            UnifiedPE(mode=PEMode.OS).preload(1.0)
+
+    def test_stationary_step_requires_preload(self):
+        with pytest.raises(RuntimeError, match="not preloaded"):
+            UnifiedPE(mode=PEMode.WS).step(1.0)
+
+    def test_configure_switches_mode_and_resets(self):
+        pe = UnifiedPE(mode=PEMode.OS)
+        pe.step(2.0, 2.0)
+        pe.configure(PEMode.IS)
+        assert pe.mode is PEMode.IS
+        assert pe.accumulator == 0.0
+        pe.preload(3.0)
+        assert pe.step(2.0, psum_in=1.0).psum_out == pytest.approx(7.0)
+
+    def test_zero_gating_skips_multiplies(self):
+        pe = UnifiedPE(mode=PEMode.OS, zero_gating=True)
+        pe.step(0.0, 5.0)
+        pe.step(2.0, 3.0)
+        assert pe.gated_mac_count == 1
+        assert pe.mac_count == 1
+        assert pe.accumulator == pytest.approx(6.0)
+
+    def test_missing_operand_is_not_a_mac(self):
+        pe = UnifiedPE(mode=PEMode.OS)
+        result = pe.step(None, 3.0)
+        assert not result.mac_performed
+        assert pe.accumulator == 0.0
+
+    def test_three_mode_equivalence_on_small_gemm(self, rng):
+        """All three PE personalities compute the same 2x2 GEMM."""
+        a = rng.standard_normal((2, 2))
+        b = rng.standard_normal((2, 2))
+        expected = a @ b
+
+        # OS: one PE per output element.
+        os_out = np.zeros((2, 2))
+        for i in range(2):
+            for j in range(2):
+                pe = UnifiedPE(mode=PEMode.OS)
+                for k in range(2):
+                    pe.step(a[i, k], b[k, j])
+                os_out[i, j] = pe.accumulator
+
+        # WS: one column of PEs per output column, weights preloaded.
+        ws_out = np.zeros((2, 2))
+        for j in range(2):
+            pes = [UnifiedPE(mode=PEMode.WS) for _ in range(2)]
+            for k, pe in enumerate(pes):
+                pe.preload(b[k, j])
+            for i in range(2):
+                psum = 0.0
+                for k, pe in enumerate(pes):
+                    psum = pe.step(a[i, k], psum_in=psum).psum_out
+                ws_out[i, j] = psum
+
+        # IS: one column of PEs per output row, inputs preloaded.
+        is_out = np.zeros((2, 2))
+        for i in range(2):
+            pes = [UnifiedPE(mode=PEMode.IS) for _ in range(2)]
+            for k, pe in enumerate(pes):
+                pe.preload(a[i, k])
+            for j in range(2):
+                psum = 0.0
+                for k, pe in enumerate(pes):
+                    psum = pe.step(b[k, j], psum_in=psum).psum_out
+                is_out[i, j] = psum
+
+        np.testing.assert_allclose(os_out, expected)
+        np.testing.assert_allclose(ws_out, expected)
+        np.testing.assert_allclose(is_out, expected)
+
+
+class TestZeroGating:
+    def test_stats_counts_exact_zero_macs(self):
+        a = np.array([[0.0, 1.0], [2.0, 3.0]])
+        b = np.array([[1.0, 1.0, 1.0], [0.0, 2.0, 2.0]])
+        stats = zero_gating_stats(a, b)
+        # MACs gated: a[0,0]=0 pairs with 3 columns; b[1,0]... recount below.
+        assert stats.total_macs == 2 * 2 * 3
+        # k=0: nonzero a rows = 1, nonzero b cols = 3 -> executed 3
+        # k=1: nonzero a rows = 2, nonzero b cols = 2 -> executed 4
+        assert stats.gated_macs == 12 - 7
+        assert stats.gated_fraction == pytest.approx(5 / 12)
+
+    def test_stats_dense_operands_have_no_gating(self, rng):
+        a = rng.standard_normal((4, 5)) + 10
+        b = rng.standard_normal((5, 6)) + 10
+        assert zero_gating_stats(a, b).gated_macs == 0
+
+    def test_expected_fraction_formula(self):
+        assert expected_gated_fraction(0.1, 0.0) == pytest.approx(0.1)
+        assert expected_gated_fraction(0.1, 0.1) == pytest.approx(0.19)
+        assert expected_gated_fraction(0.0, 0.0) == 0.0
+
+    def test_expected_fraction_validates_range(self):
+        with pytest.raises(ValueError):
+            expected_gated_fraction(1.5, 0.0)
+
+    def test_paper_calibration_point(self):
+        """Sec. 5.2.1: 10% sparsity -> 5.3% total power reduction."""
+        assert power_reduction_for_sparsity(0.10) == pytest.approx(0.053, abs=1e-3)
+
+    def test_gated_power_fraction_monotone_in_sparsity(self):
+        reductions = [power_reduction_for_sparsity(s) for s in (0.0, 0.1, 0.3, 0.5)]
+        assert reductions == sorted(reductions)
+        assert reductions[0] == 0.0
+
+    def test_gated_power_fraction_validates_inputs(self):
+        with pytest.raises(ValueError):
+            gated_power_fraction(1.5)
+        with pytest.raises(ValueError):
+            gated_power_fraction(0.5, mac_dynamic_fraction=1.5)
+
+    def test_stats_validate_operands(self):
+        with pytest.raises(ValueError):
+            zero_gating_stats(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_sparse_matrix_generator_hits_target(self):
+        matrix = sparse_matrix(50, 40, 0.25, np.random.default_rng(0))
+        assert (matrix == 0).mean() == pytest.approx(0.25, abs=0.001)
+
+    def test_sparse_matrix_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            sparse_matrix(10, 10, 1.5)
+
+    def test_sparse_gemm_pair_reproducible(self):
+        a1, b1 = sparse_gemm_pair(16, 16, 16, 0.1, seed=7)
+        a2, b2 = sparse_gemm_pair(16, 16, 16, 0.1, seed=7)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+    @given(
+        sparsity=st.floats(0.0, 0.9),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_measured_gating_tracks_expected(self, sparsity, seed):
+        a, b = sparse_gemm_pair(24, 24, 24, sparsity, seed=seed)
+        stats = zero_gating_stats(a, b)
+        assert stats.gated_fraction == pytest.approx(
+            expected_gated_fraction(stats.a_sparsity, stats.b_sparsity), abs=1e-9
+        )
+
+    def test_stats_dataclass_fields(self):
+        stats = ZeroGatingStats(total_macs=10, gated_macs=4, a_sparsity=0.1, b_sparsity=0.0)
+        assert stats.gated_fraction == pytest.approx(0.4)

@@ -1,0 +1,277 @@
+"""Integration tests that tie the reproduction to the paper's headline claims.
+
+Each test corresponds to one experiment of the DESIGN.md per-experiment index
+and checks the *shape* of the paper's result (who wins, directionality,
+calibration points) end to end through the public API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    arithmetic_mean,
+    axon_utilization,
+    conventional_utilization,
+    utilization_improvement,
+    workload_speedups,
+)
+from repro.arch.array_config import PAPER_PROTOTYPE, ArrayConfig
+from repro.arch.dataflow import Dataflow, map_gemm
+from repro.arch.stationary import ConventionalStationaryArray
+from repro.arch.systolic_os import ConventionalOSArray
+from repro.baselines import cmsa_utilization, scalesim_runtime
+from repro.core.axon_os import AxonOSArray
+from repro.core.axon_stationary import AxonStationaryArray
+from repro.core.runtime_model import (
+    axon_fill_latency,
+    conventional_fill_latency,
+    workload_runtime,
+)
+from repro.energy import (
+    ASAP7,
+    area_report,
+    inference_energy_report,
+    memory_bound_speedup,
+    power_report,
+    sparsity_power_reduction,
+)
+from repro.im2col.traffic import network_traffic, traffic_reduction
+from repro.im2col.lowering import ConvShape
+from repro.workloads import (
+    GEMV_WORKLOADS,
+    DEPTHWISE_WORKLOADS,
+    RESNET50_CONV_LAYERS,
+    TABLE3_WORKLOADS,
+    YOLOV3_CONV_LAYERS,
+)
+
+
+class TestE1_Table2CycleAccuracy:
+    """E1: the cycle simulators agree with Table 2 for every dataflow."""
+
+    @pytest.mark.parametrize("m,k,n", [(16, 16, 16), (12, 9, 16), (16, 30, 5), (1, 8, 16)])
+    def test_os_simulators_reproduce_both_formula_rows(self, m, k, n, rng):
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        conventional = ConventionalOSArray(PAPER_PROTOTYPE).run_tile(a, b)
+        axon = AxonOSArray(PAPER_PROTOTYPE).run_tile(a, b)
+        assert conventional.total_cycles == 2 * m + k + n - 2
+        assert axon.total_cycles == max(m, n) + m + k - 1
+        np.testing.assert_allclose(axon.output, conventional.output)
+
+    @pytest.mark.parametrize("m,k,n", [(10, 12, 8), (5, 16, 5)])
+    def test_ws_is_simulators_reproduce_both_formula_rows(self, m, k, n, rng):
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        ws_conv = ConventionalStationaryArray(PAPER_PROTOTYPE, Dataflow.WEIGHT_STATIONARY)
+        ws_axon = AxonStationaryArray(PAPER_PROTOTYPE, Dataflow.WEIGHT_STATIONARY)
+        is_conv = ConventionalStationaryArray(PAPER_PROTOTYPE, Dataflow.INPUT_STATIONARY)
+        is_axon = AxonStationaryArray(PAPER_PROTOTYPE, Dataflow.INPUT_STATIONARY)
+        assert ws_conv.run_tile(a, b).total_cycles == 2 * k + m + n - 2
+        assert ws_axon.run_tile(a, b).total_cycles == max(m, k) + k + n - 1
+        assert is_conv.run_tile(a, b).total_cycles == 2 * k + n + m - 2
+        assert is_axon.run_tile(a, b).total_cycles == max(n, k) + k + m - 1
+
+
+class TestE2_FillLatency:
+    """E2 / Fig. 6: fill latency halves for square arrays."""
+
+    def test_paper_256_point(self):
+        assert conventional_fill_latency(256, 256) == 510
+        assert axon_fill_latency(256, 256) == 255
+
+    def test_axon_always_lower_for_all_swept_shapes(self):
+        for rows in (16, 32, 64, 128, 256):
+            for cols in (16, 32, 64, 128, 256):
+                assert axon_fill_latency(rows, cols) < conventional_fill_latency(rows, cols) or (
+                    rows == 1 or cols == 1
+                )
+
+
+class TestE3_E9_HardwareCalibration:
+    """E3/E9 / Fig. 10 & Sec. 5.1: 16x16 ASAP7 area/power calibration points."""
+
+    def test_area_points(self):
+        report = area_report(PAPER_PROTOTYPE, ASAP7)
+        assert report.conventional_mm2 == pytest.approx(0.9992)
+        assert report.axon_mm2 == pytest.approx(0.9931, abs=1e-3)
+        assert report.axon_with_im2col_mm2 == pytest.approx(0.9951, abs=1e-3)
+
+    def test_power_points(self):
+        report = power_report(PAPER_PROTOTYPE, ASAP7)
+        assert report.conventional_mw == pytest.approx(59.88)
+        assert report.axon_with_im2col_mw == pytest.approx(59.98, abs=0.05)
+
+
+class TestE4_MemoryAccessReduction:
+    """E4 / Fig. 11: >60% IFMAP traffic reduction for SOTA conv shapes."""
+
+    @pytest.mark.parametrize(
+        "layer",
+        [
+            ConvShape("resnet_3x3_56", 64, 56, 56, 3, 3, 64, padding=1),
+            ConvShape("resnet_3x3_14", 256, 14, 14, 3, 3, 256, padding=1),
+            ConvShape("yolo_3x3_208", 64, 208, 208, 3, 3, 128, padding=1),
+            ConvShape("efficientnet_5x5", 240, 14, 14, 5, 5, 240, padding=2, depthwise=True),
+            ConvShape("stem_7x7", 3, 224, 224, 7, 7, 64, stride=2, padding=3),
+        ],
+    )
+    def test_reduction_exceeds_60_percent(self, layer):
+        assert traffic_reduction(layer, ifmap_only=True) > 0.60
+
+
+class TestE5_GemmConvSpeedup:
+    """E5 / Fig. 12: Axon beats the SA on every workload; gains grow with size."""
+
+    def test_every_workload_at_least_as_fast(self):
+        for size in (64, 128, 256):
+            for result in workload_speedups(TABLE3_WORKLOADS, size, size):
+                assert result.speedup >= 1.0
+
+    def test_average_speedup_grows_with_array_size(self):
+        averages = {
+            size: arithmetic_mean(
+                [r.speedup for r in workload_speedups(TABLE3_WORKLOADS, size, size)]
+            )
+            for size in (64, 256)
+        }
+        assert averages[256] > averages[64] > 1.0
+
+    def test_temporal_bound_workloads_show_little_gain(self):
+        """NCF0 and DB0 are limited by the temporal dimension (Sec. 5.2.1)."""
+        for name in ("NCF0", "DB0"):
+            workload = next(w for w in TABLE3_WORKLOADS if w.name == name)
+            results = {
+                size: next(
+                    r.speedup
+                    for r in workload_speedups([workload], size, size)
+                )
+                for size in (64, 256)
+            }
+            assert results[256] < 1.2
+
+
+class TestE6_UtilizationVsCMSA:
+    """E6 / Fig. 13: utilisation-rate improvements of Axon and CMSA."""
+
+    def test_axon_improves_every_workload(self):
+        for workload in TABLE3_WORKLOADS:
+            base = conventional_utilization(workload.m, workload.k, workload.n, 128, 128)
+            axon = axon_utilization(workload.m, workload.k, workload.n, 128, 128)
+            assert utilization_improvement(base, axon) >= 0.0
+
+    def test_gpt3_improvements_are_small_for_both(self):
+        """Sec. 5.2.2: the GPT3 GEMMs are already ~91% utilised, so neither
+        architecture improves them much."""
+        for name in ("GPT3_1_matmul1", "GPT3_2_addmm", "GPT3_3_lmhead"):
+            workload = next(w for w in TABLE3_WORKLOADS if w.name == name)
+            base = conventional_utilization(workload.m, workload.k, workload.n, 128, 128)
+            axon = axon_utilization(workload.m, workload.k, workload.n, 128, 128)
+            cmsa = cmsa_utilization(workload.m, workload.k, workload.n, 128, 128)
+            assert utilization_improvement(base, axon) < 0.15
+            assert utilization_improvement(base, cmsa) < 0.15
+
+
+class TestE7_GemvDwConv:
+    """E7 / Fig. 14: low arithmetic-intensity workloads benefit most."""
+
+    def test_gemv_and_dw_speedups_exceed_dense_gemm_average(self):
+        dense = arithmetic_mean(
+            [r.speedup for r in workload_speedups(TABLE3_WORKLOADS, 128, 128)]
+        )
+        low_ai = arithmetic_mean(
+            [
+                r.speedup
+                for r in workload_speedups(GEMV_WORKLOADS + DEPTHWISE_WORKLOADS, 128, 128)
+            ]
+        )
+        assert low_ai > dense
+
+    def test_square_gemv_with_ws_dataflow_approaches_1_5x(self):
+        workload = next(w for w in GEMV_WORKLOADS if w.name == "square_gemv_4096")
+        baseline = scalesim_runtime(
+            workload.m, workload.k, workload.n, 128, 128, Dataflow.WEIGHT_STATIONARY
+        )
+        axon = workload_runtime(
+            workload.m, workload.k, workload.n, 128, 128, Dataflow.WEIGHT_STATIONARY, axon=True
+        )
+        assert baseline / axon > 1.45
+
+
+class TestE8_AreaPowerVsSauria:
+    """E8 / Fig. 15: Axon's im2col support is cheaper than Sauria's feeder."""
+
+    @pytest.mark.parametrize("size", [8, 16, 32, 64])
+    def test_axon_cheaper_at_every_size_and_node(self, size):
+        from repro.energy import TSMC45
+
+        config = ArrayConfig(size, size)
+        for tech in (ASAP7, TSMC45):
+            area = area_report(config, tech)
+            power = power_report(config, tech)
+            assert area.axon_with_im2col_mm2 < area.sauria_mm2
+            assert power.axon_with_im2col_mw < power.sauria_mw
+
+
+class TestE10_DramEnergy:
+    """E10 / Sec. 5.2.1: network-level traffic, energy and memory-bound speedup."""
+
+    def test_network_traffic_and_energy_ordering(self):
+        for name, layers in (("ResNet50", RESNET50_CONV_LAYERS), ("YOLOv3", YOLOV3_CONV_LAYERS)):
+            software = network_traffic(layers, onchip=False, name=name)
+            onchip = network_traffic(layers, onchip=True, name=name)
+            report = inference_energy_report(name, software, onchip)
+            assert report.onchip_mb < report.software_mb
+            assert report.energy_saving_mj > 0
+            assert report.traffic_ratio > 1.2
+
+    def test_yolov3_saves_more_than_resnet50(self):
+        """YOLOv3 is 3x3-dominated, ResNet50 1x1-dominated, so YOLOv3's
+        traffic ratio must be the larger one (2540/1117 vs 261/153)."""
+        resnet_sw = network_traffic(RESNET50_CONV_LAYERS, onchip=False)
+        resnet_oc = network_traffic(RESNET50_CONV_LAYERS, onchip=True)
+        yolo_sw = network_traffic(YOLOV3_CONV_LAYERS, onchip=False)
+        yolo_oc = network_traffic(YOLOV3_CONV_LAYERS, onchip=True)
+        resnet_ratio = resnet_sw.total_bytes / resnet_oc.total_bytes
+        yolo_ratio = yolo_sw.total_bytes / yolo_oc.total_bytes
+        assert yolo_ratio > resnet_ratio
+
+    def test_memory_bound_speedup_in_paper_range(self):
+        """The paper reports ~1.25x from the lower DRAM traffic at 6.4 GB/s."""
+        from repro.im2col.lowering import lower_conv_to_gemm
+
+        yolo_sw = network_traffic(YOLOV3_CONV_LAYERS, onchip=False)
+        yolo_oc = network_traffic(YOLOV3_CONV_LAYERS, onchip=True)
+        compute_cycles = 0
+        for layer in YOLOV3_CONV_LAYERS:
+            gemm = lower_conv_to_gemm(layer)
+            compute_cycles += workload_runtime(gemm.m, gemm.k, gemm.n, 128, 128, axon=True)
+        speedup = memory_bound_speedup(
+            compute_cycles, yolo_sw.total_bytes, yolo_oc.total_bytes
+        )
+        assert 1.0 <= speedup < 2.5
+
+
+class TestE11_SparsityPower:
+    """E11 / Sec. 5.2.1: 10% sparsity -> ~5.3% total power reduction."""
+
+    def test_calibration_point(self):
+        assert sparsity_power_reduction(0.10) == pytest.approx(0.053, abs=1e-3)
+
+    def test_monotone_in_sparsity(self):
+        values = [sparsity_power_reduction(s) for s in (0.0, 0.05, 0.10, 0.25, 0.5)]
+        assert values == sorted(values)
+
+
+class TestE12_DataflowMappingConsistency:
+    """E12: Table 1 mapping is consistent with the runtime model everywhere."""
+
+    def test_all_dataflows_give_identical_mac_counts(self):
+        for workload in TABLE3_WORKLOADS[:5]:
+            macs = {
+                dataflow: map_gemm(workload.m, workload.k, workload.n, dataflow).total_macs
+                for dataflow in Dataflow
+            }
+            assert len(set(macs.values())) == 1

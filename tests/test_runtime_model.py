@@ -1,0 +1,203 @@
+"""Tests for the analytical runtime models (Eq. 1-3, Table 2, Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.dataflow import Dataflow, map_gemm
+from repro.baselines.scalesim_model import (
+    scalesim_runtime,
+    scalesim_tile_runtime,
+    scalesim_utilization,
+)
+from repro.core.runtime_model import (
+    axon_fill_latency,
+    axon_overlapped_runtime,
+    axon_runtime,
+    axon_runtime_breakdown,
+    best_dataflow_runtime,
+    conventional_fill_latency,
+    conventional_runtime,
+    conventional_runtime_breakdown,
+    scale_out_runtime,
+    scale_up_runtime,
+    speedup,
+    workload_runtime,
+)
+
+
+class TestFillLatency:
+    """Fig. 6: f1(R,C) = R + C - 2 vs f2(R,C) = max(R,C) - 1."""
+
+    def test_conventional_square(self):
+        assert conventional_fill_latency(256, 256) == 510
+
+    def test_axon_square_is_half(self):
+        assert axon_fill_latency(256, 256) == 255
+
+    def test_axon_never_worse(self):
+        for rows in (1, 4, 16, 64, 256):
+            for cols in (1, 8, 32, 128):
+                assert axon_fill_latency(rows, cols) <= conventional_fill_latency(rows, cols)
+
+    def test_rectangular(self):
+        assert conventional_fill_latency(16, 64) == 78
+        assert axon_fill_latency(16, 64) == 63
+
+    def test_degenerate_1x1(self):
+        assert conventional_fill_latency(1, 1) == 0
+        assert axon_fill_latency(1, 1) == 0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            axon_fill_latency(0, 4)
+
+    @given(rows=st.integers(1, 512), cols=st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_property_square_improvement_is_r_minus_1(self, rows, cols):
+        saving = conventional_fill_latency(rows, cols) - axon_fill_latency(rows, cols)
+        assert saving == min(rows, cols) - 1
+        assert saving >= 0
+
+
+class TestTable2Formulas:
+    """Table 2: single-tile runtimes per dataflow for SA and Axon."""
+
+    @pytest.mark.parametrize(
+        "m,k,n", [(16, 16, 16), (64, 8, 32), (1, 100, 1), (7, 3, 29)]
+    )
+    def test_os_row(self, m, k, n):
+        mapping = map_gemm(m, k, n, Dataflow.OUTPUT_STATIONARY)
+        sa = conventional_runtime(mapping.spatial_rows, mapping.spatial_cols, mapping.temporal)
+        axon = axon_runtime(mapping.spatial_rows, mapping.spatial_cols, mapping.temporal)
+        assert sa == 2 * m + k + n - 2
+        assert axon == max(m, n) + m + k - 1
+
+    @pytest.mark.parametrize("m,k,n", [(16, 16, 16), (64, 8, 32), (7, 3, 29)])
+    def test_ws_row(self, m, k, n):
+        mapping = map_gemm(m, k, n, Dataflow.WEIGHT_STATIONARY)
+        sa = conventional_runtime(mapping.spatial_rows, mapping.spatial_cols, mapping.temporal)
+        axon = axon_runtime(mapping.spatial_rows, mapping.spatial_cols, mapping.temporal)
+        assert sa == 2 * k + m + n - 2
+        assert axon == max(m, k) + k + n - 1
+
+    @pytest.mark.parametrize("m,k,n", [(16, 16, 16), (64, 8, 32), (7, 3, 29)])
+    def test_is_row(self, m, k, n):
+        mapping = map_gemm(m, k, n, Dataflow.INPUT_STATIONARY)
+        sa = conventional_runtime(mapping.spatial_rows, mapping.spatial_cols, mapping.temporal)
+        axon = axon_runtime(mapping.spatial_rows, mapping.spatial_cols, mapping.temporal)
+        assert sa == 2 * k + n + m - 2
+        assert axon == max(n, k) + k + m - 1
+
+    def test_breakdown_components(self):
+        breakdown = conventional_runtime_breakdown(16, 16, 32)
+        assert breakdown.fill_cycles == 30
+        assert breakdown.compute_cycles == 32
+        assert breakdown.readout_cycles == 16
+        assert breakdown.total_cycles == 2 * 16 + 16 + 32 - 2
+
+    def test_axon_breakdown_only_fill_changes(self):
+        conventional = conventional_runtime_breakdown(16, 16, 32)
+        axon = axon_runtime_breakdown(16, 16, 32)
+        assert axon.compute_cycles == conventional.compute_cycles
+        assert axon.readout_cycles == conventional.readout_cycles
+        assert axon.fill_cycles == 15
+
+    @given(
+        sr=st.integers(1, 300), sc=st.integers(1, 300), temporal=st.integers(1, 3000)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_axon_never_slower(self, sr, sc, temporal):
+        assert axon_runtime(sr, sc, temporal) <= conventional_runtime(sr, sc, temporal)
+
+    @given(sr=st.integers(1, 300), temporal=st.integers(1, 3000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_square_speedup_bounded_by_1_5(self, sr, temporal):
+        """For square mappings the paper's own formulas cap the speedup at 1.5x."""
+        ratio = conventional_runtime(sr, sr, temporal) / axon_runtime(sr, sr, temporal)
+        assert 1.0 <= ratio <= 1.5
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            axon_runtime(0, 4, 4)
+
+
+class TestScaleUpScaleOut:
+    def test_scale_up_multiplies_by_tiles(self):
+        mapping = map_gemm(128, 32, 128, Dataflow.OUTPUT_STATIONARY)
+        per_tile = conventional_runtime(64, 64, 32)
+        assert scale_up_runtime(mapping, 64, 64, axon=False) == per_tile * 4
+
+    def test_scale_up_partial_tile_uses_workload_dims(self):
+        mapping = map_gemm(10, 32, 12, Dataflow.OUTPUT_STATIONARY)
+        assert scale_up_runtime(mapping, 64, 64, axon=False) == conventional_runtime(10, 12, 32)
+
+    def test_scale_out_divides_spatial_extent(self):
+        mapping = map_gemm(256, 32, 256, Dataflow.OUTPUT_STATIONARY)
+        single = scale_up_runtime(mapping, 64, 64, axon=True)
+        quad = scale_out_runtime(mapping, 64, 64, 2, 2, axon=True)
+        assert quad == single // 4
+
+    def test_scale_out_rejects_bad_partitions(self):
+        mapping = map_gemm(64, 8, 64, Dataflow.OUTPUT_STATIONARY)
+        with pytest.raises(ValueError):
+            scale_out_runtime(mapping, 16, 16, 0, 1, axon=True)
+
+    def test_workload_runtime_matches_scalesim_baseline(self):
+        """Our conventional model and the SCALE-sim module must agree exactly."""
+        for m, k, n in [(1024, 84, 1024), (64, 147, 62500), (35, 2560, 4096)]:
+            for size in (32, 64, 128):
+                assert workload_runtime(m, k, n, size, size, axon=False) == scalesim_runtime(
+                    m, k, n, size, size
+                )
+
+    def test_scalesim_tile_runtime_formula(self):
+        assert scalesim_tile_runtime(16, 16, 32) == 2 * 16 + 16 + 32 - 2
+
+    def test_scalesim_utilization_in_unit_interval(self):
+        util = scalesim_utilization(1024, 1024, 80, 128, 128)
+        assert 0.0 < util <= 1.0
+
+    @given(
+        m=st.integers(1, 2000),
+        k=st.integers(1, 2000),
+        n=st.integers(1, 2000),
+        size=st.sampled_from([16, 64, 256]),
+        dataflow=st.sampled_from(list(Dataflow)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_axon_scale_up_never_slower(self, m, k, n, size, dataflow):
+        axon = workload_runtime(m, k, n, size, size, dataflow, axon=True)
+        baseline = workload_runtime(m, k, n, size, size, dataflow, axon=False)
+        assert axon <= baseline
+
+
+class TestHelpers:
+    def test_speedup(self):
+        assert speedup(200, 100) == pytest.approx(2.0)
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(0, 10)
+
+    def test_best_dataflow_runtime_picks_minimum(self):
+        best_flow, best_cycles = best_dataflow_runtime(1024, 2560, 7680, 128, 128, axon=True)
+        for dataflow in Dataflow:
+            assert best_cycles <= workload_runtime(
+                1024, 2560, 7680, 128, 128, dataflow, axon=True
+            )
+        assert isinstance(best_flow, Dataflow)
+
+    def test_overlapped_runtime_is_lower_bound(self):
+        mapping = map_gemm(31999, 84, 1024, Dataflow.OUTPUT_STATIONARY)
+        overlapped = axon_overlapped_runtime(mapping, 256, 256)
+        table2 = scale_up_runtime(mapping, 256, 256, axon=True)
+        assert overlapped < table2
+
+    def test_overlapped_runtime_single_tile_matches_table2(self):
+        mapping = map_gemm(16, 32, 16, Dataflow.OUTPUT_STATIONARY)
+        assert axon_overlapped_runtime(mapping, 64, 64) == scale_up_runtime(
+            mapping, 64, 64, axon=True
+        )

@@ -1,0 +1,217 @@
+"""Tests for the workload database (Table 3, CNN layer tables, GEMV, DW, sparse)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.im2col.lowering import lower_conv_to_gemm
+from repro.workloads import (
+    CONFORMER_BLOCK_GEMMS,
+    DEPTHWISE_WORKLOADS,
+    EFFICIENTNET_B0_LAYERS,
+    GEMV_WORKLOADS,
+    MOBILENET_V1_LAYERS,
+    RESNET50_CONV_LAYERS,
+    TABLE3_CONV_WORKLOADS,
+    TABLE3_GEMM_WORKLOADS,
+    TABLE3_WORKLOADS,
+    YOLOV3_CONV_LAYERS,
+    mobilenet_depthwise_layers,
+    mobilenet_pointwise_layers,
+    workload_by_name,
+)
+from repro.workloads.conformer import conformer_workloads
+from repro.workloads.depthwise import depthwise_conv_layers, depthwise_per_channel_gemm
+from repro.workloads.efficientnet import efficientnet_conv_layers
+from repro.workloads.resnet50 import resnet50_conv_layers
+from repro.workloads.yolov3 import yolov3_conv_layers
+
+
+class TestTable3:
+    def test_has_all_20_printed_workloads(self):
+        assert len(TABLE3_WORKLOADS) == 20
+
+    def test_split_into_gemm_and_conv(self):
+        assert len(TABLE3_CONV_WORKLOADS) == 4
+        assert len(TABLE3_GEMM_WORKLOADS) == 16
+        assert set(TABLE3_WORKLOADS) == set(TABLE3_GEMM_WORKLOADS) | set(TABLE3_CONV_WORKLOADS)
+
+    @pytest.mark.parametrize(
+        "name,m,k,n",
+        [
+            ("TF0", 31999, 84, 1024),
+            ("GNMT1", 2048, 32, 4096),
+            ("GPT3_3_lmhead", 1024, 2560, 50257),
+            ("NCF0", 2048, 128, 1),
+            ("DB0", 1024, 50000, 16),
+            ("Resnet50_0_conv2d", 64, 147, 62500),
+            ("YOLO_v3_1_conv2d", 128, 576, 10404),
+            ("GEMM_3", 64, 2560, 2560),
+        ],
+    )
+    def test_selected_rows_match_paper(self, name, m, k, n):
+        workload = workload_by_name(name)
+        assert (workload.m, workload.k, workload.n) == (m, k, n)
+
+    def test_names_are_unique(self):
+        names = [workload.name for workload in TABLE3_WORKLOADS]
+        assert len(names) == len(set(names))
+
+    def test_lookup_is_case_insensitive(self):
+        assert workload_by_name("tf0").m == 31999
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload_by_name("does_not_exist")
+
+    def test_macs_are_positive(self):
+        assert all(workload.macs > 0 for workload in TABLE3_WORKLOADS)
+
+
+class TestResNet50:
+    def test_layer_count(self):
+        # 1 stem + (3+4+6+3) blocks x 3 convs + 4 downsample convs = 53.
+        assert len(RESNET50_CONV_LAYERS) == 53
+
+    def test_stem_shape(self):
+        stem = RESNET50_CONV_LAYERS[0]
+        assert (stem.kernel_h, stem.stride, stem.num_filters) == (7, 2, 64)
+        assert stem.out_h == 112
+
+    def test_final_stage_channels(self):
+        assert RESNET50_CONV_LAYERS[-1].num_filters == 2048
+
+    def test_total_macs_in_expected_range(self):
+        """ResNet50 conv MACs are ~3.9 GMAC at 224x224 (excluding FC)."""
+        total = sum(layer.macs for layer in RESNET50_CONV_LAYERS)
+        assert 3.0e9 < total < 4.5e9
+
+    def test_resolution_parameter_scales_output(self):
+        small = resnet50_conv_layers(224)
+        large = resnet50_conv_layers(448)
+        assert large[0].output_pixels == 4 * small[0].output_pixels
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            resnet50_conv_layers(100)
+
+    def test_spatial_dims_consistent_across_blocks(self):
+        for layer in RESNET50_CONV_LAYERS:
+            assert layer.out_h > 0 and layer.out_w > 0
+
+
+class TestYOLOv3:
+    def test_layer_count_in_expected_range(self):
+        """YOLOv3 has 75 convolution layers (backbone + heads)."""
+        assert 70 <= len(YOLOV3_CONV_LAYERS) <= 80
+
+    def test_total_macs_in_expected_range(self):
+        """YOLOv3 at 416x416 is ~30-35 GMAC."""
+        total = sum(layer.macs for layer in YOLOV3_CONV_LAYERS)
+        assert 2.0e10 < total < 4.5e10
+
+    def test_first_layer_matches_darknet(self):
+        first = YOLOV3_CONV_LAYERS[0]
+        assert (first.in_channels, first.num_filters, first.kernel_h) == (3, 32, 3)
+
+    def test_detection_heads_present(self):
+        names = [layer.name for layer in YOLOV3_CONV_LAYERS]
+        assert any("head_large" in name for name in names)
+        assert any("head_small" in name for name in names)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            yolov3_conv_layers(100)
+
+    def test_traffic_larger_than_resnet50(self):
+        """The paper's YOLOv3 traffic dwarfs ResNet50's; the layer tables must
+        preserve that ordering."""
+        from repro.im2col.traffic import network_traffic
+
+        yolo = network_traffic(YOLOV3_CONV_LAYERS, onchip=False)
+        resnet = network_traffic(RESNET50_CONV_LAYERS, onchip=False)
+        assert yolo.total_bytes > 2 * resnet.total_bytes
+
+
+class TestMobileNetAndEfficientNet:
+    def test_mobilenet_layer_count(self):
+        # 1 stem + 13 depthwise + 13 pointwise.
+        assert len(MOBILENET_V1_LAYERS) == 27
+
+    def test_mobilenet_depthwise_split(self):
+        assert len(mobilenet_depthwise_layers()) == 13
+        assert len(mobilenet_pointwise_layers()) == 13
+        assert all(layer.depthwise for layer in mobilenet_depthwise_layers())
+
+    def test_mobilenet_total_macs(self):
+        """MobileNet-V1 is ~0.55-0.6 GMAC at 224x224."""
+        total = sum(layer.macs for layer in MOBILENET_V1_LAYERS)
+        assert 4.5e8 < total < 7.0e8
+
+    def test_efficientnet_has_depthwise_and_pointwise(self):
+        depthwise = [layer for layer in EFFICIENTNET_B0_LAYERS if layer.depthwise]
+        pointwise = [layer for layer in EFFICIENTNET_B0_LAYERS if layer.kernel_h == 1]
+        assert depthwise and pointwise
+
+    def test_efficientnet_total_macs(self):
+        """EfficientNet-B0 is ~0.4 GMAC at 224x224."""
+        total = sum(layer.macs for layer in EFFICIENTNET_B0_LAYERS)
+        assert 2.5e8 < total < 6.0e8
+
+    def test_efficientnet_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            efficientnet_conv_layers(100)
+
+
+class TestConformer:
+    def test_block_contains_attention_and_ffn_gemms(self):
+        names = [gemm.name for gemm in CONFORMER_BLOCK_GEMMS]
+        assert "mhsa_qkv" in names and "ffn1_up" in names
+
+    def test_conv_module_has_depthwise_layer(self):
+        _, convs = conformer_workloads()
+        depthwise = [layer for layer in convs if layer.depthwise]
+        assert len(depthwise) == 1
+        assert depthwise[0].kernel_w == 31
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            conformer_workloads(model_dim=100, num_heads=3)
+
+    def test_sequence_length_scales_gemms(self):
+        short, _ = conformer_workloads(sequence_length=100)
+        long, _ = conformer_workloads(sequence_length=400)
+        assert long[0].m == 4 * short[0].m
+
+
+class TestGemvAndDepthwise:
+    def test_gemv_workloads_all_have_n_equal_1(self):
+        assert all(workload.n == 1 for workload in GEMV_WORKLOADS)
+
+    def test_gemv_set_is_nonempty_and_unique(self):
+        names = [workload.name for workload in GEMV_WORKLOADS]
+        assert len(names) >= 8
+        assert len(names) == len(set(names))
+
+    def test_depthwise_workloads_lowered_shapes(self):
+        layers = depthwise_conv_layers()
+        assert len(DEPTHWISE_WORKLOADS) == len(layers)
+        for layer, gemm in zip(layers, DEPTHWISE_WORKLOADS):
+            assert gemm.k == layer.kernel_h * layer.kernel_w
+            assert gemm.m == layer.in_channels
+
+    def test_per_channel_gemm_has_m_equal_1(self):
+        layer = mobilenet_depthwise_layers()[0]
+        per_channel = depthwise_per_channel_gemm(layer)
+        assert per_channel.m == 1
+        assert per_channel.k == 9
+
+    def test_per_channel_rejects_dense_layer(self):
+        with pytest.raises(ValueError, match="not a depthwise"):
+            depthwise_per_channel_gemm(mobilenet_pointwise_layers()[0])
+
+    def test_depthwise_lowering_consistent_with_generic_lowering(self):
+        for layer in mobilenet_depthwise_layers():
+            assert lower_conv_to_gemm(layer) == DEPTHWISE_WORKLOADS[
+                list(depthwise_conv_layers()).index(layer)
+            ]
