@@ -1,0 +1,89 @@
+"""Engine speedup — vectorized wavefront vs cycle-accurate hot path.
+
+Times ``run_gemm`` of a production-sized 512x512x512 GEMM on a 32x32 array
+under the three execution engines and checks the hard floor the engine was
+built to clear: the default wavefront engine must be at least **50x** faster
+than the cycle engine while agreeing with it on every cycle and utilisation
+counter (and, in its ``wavefront-exact`` variant, on every output bit).
+
+Run explicitly (tier 2)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_speedup.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.reports import format_table
+from repro.api import AxonAccelerator, SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+
+M = K = N = 512
+ARRAY = ArrayConfig(32, 32)
+SPEEDUP_FLOOR = 50.0
+
+
+def _time_run(accelerator, a, b):
+    start = time.perf_counter()
+    result = accelerator.run_gemm(a, b)
+    return result, time.perf_counter() - start
+
+
+def _engine_comparison(accelerator_cls, a, b):
+    cycle, cycle_s = _time_run(accelerator_cls(ARRAY, engine="cycle"), a, b)
+    fast, fast_s = _time_run(accelerator_cls(ARRAY, engine="wavefront"), a, b)
+    exact, exact_s = _time_run(accelerator_cls(ARRAY, engine="wavefront-exact"), a, b)
+
+    assert fast.cycles == exact.cycles == cycle.cycles
+    assert fast.active_pe_cycles == exact.active_pe_cycles == cycle.active_pe_cycles
+    assert fast.utilization == exact.utilization == cycle.utilization
+    assert np.array_equal(exact.output, cycle.output)  # bit-exact variant
+    np.testing.assert_allclose(fast.output, cycle.output, atol=1e-9, rtol=0)
+
+    return [
+        (accelerator_cls.__name__, "cycle", cycle.cycles, round(cycle_s, 3), 1.0),
+        (
+            accelerator_cls.__name__,
+            "wavefront",
+            fast.cycles,
+            round(fast_s, 4),
+            round(cycle_s / fast_s, 1),
+        ),
+        (
+            accelerator_cls.__name__,
+            "wavefront-exact",
+            exact.cycles,
+            round(exact_s, 3),
+            round(cycle_s / exact_s, 1),
+        ),
+    ]
+
+
+def test_engine_speedup(benchmark, rng):
+    a = rng.standard_normal((M, K))
+    b = rng.standard_normal((K, N))
+
+    rows = _engine_comparison(SystolicAccelerator, a, b)
+    rows += _engine_comparison(AxonAccelerator, a, b)
+
+    # Time the steady-state wavefront hot path under the benchmark harness.
+    benchmark(lambda: SystolicAccelerator(ARRAY).run_gemm(a, b))
+
+    emit(
+        f"Engine speedup — {M}x{K}x{N} GEMM on a {ARRAY.rows}x{ARRAY.cols} array",
+        format_table(
+            ("accelerator", "engine", "cycles", "wall (s)", "speedup vs cycle"),
+            rows,
+        ),
+    )
+
+    for accelerator, engine, _, _, speedup in rows:
+        if engine == "wavefront":
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"{accelerator} wavefront engine only {speedup}x faster than the "
+                f"cycle engine (floor: {SPEEDUP_FLOOR}x)"
+            )

@@ -10,23 +10,33 @@ The package is organised as::
     repro.baselines   SCALE-sim, CMSA and Sauria comparison models
     repro.energy      technology, area, power and DRAM-energy models
     repro.analysis    utilisation, speedup, sweeps and report formatting
+    repro.engine      execution engines (vectorized wavefront, cycle-accurate)
     repro.api         high-level SystolicAccelerator / AxonAccelerator façade
 
 See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the mapping
 between the paper's tables & figures and this code.
 """
 
-from repro.api import AxonAccelerator, SystolicAccelerator, RunResult
+from repro.api import (
+    AxonAccelerator,
+    SystolicAccelerator,
+    RunResult,
+    UtilizationValidationError,
+)
 from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow
+from repro.engine import DEFAULT_ENGINE, ENGINES
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AxonAccelerator",
     "SystolicAccelerator",
     "RunResult",
+    "UtilizationValidationError",
     "ArrayConfig",
     "Dataflow",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "__version__",
 ]

@@ -1,4 +1,9 @@
-"""Per-workload speedup computation and aggregation (Fig. 12 / Fig. 14)."""
+"""Per-workload speedup computation and aggregation (Fig. 12 / Fig. 14).
+
+Runtime estimates are fetched through the shared memoized estimate cache
+(:mod:`repro.engine.cache`), so sweeps that revisit the same ``(shape,
+config, dataflow)`` point — every figure does — compute it once per process.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.arch.dataflow import Dataflow
-from repro.baselines.scalesim_model import scalesim_runtime
-from repro.core.runtime_model import workload_runtime
+from repro.engine.cache import cached_gemm_cycles
 from repro.im2col.lowering import GemmShape
 
 
@@ -52,11 +56,11 @@ def workload_speedups(
     """Compute Axon-vs-SA speedups for a set of GEMM workloads."""
     results = []
     for workload in workloads:
-        baseline = scalesim_runtime(
-            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow
+        baseline = cached_gemm_cycles(
+            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow, False
         )
-        axon = workload_runtime(
-            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow, axon=True
+        axon = cached_gemm_cycles(
+            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow, True
         )
         results.append(
             WorkloadSpeedup(

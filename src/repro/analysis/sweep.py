@@ -1,4 +1,11 @@
-"""Parameter sweeps used by the figure benchmarks."""
+"""Parameter sweeps used by the figure benchmarks.
+
+Every design point evaluated here flows through the shared memoized estimate
+cache (:mod:`repro.engine.cache`) via :func:`workload_speedups`, so sweeping
+the same workloads across several array sizes — or regenerating several
+figures in one process — never recomputes an identical ``(shape, config,
+dataflow, engine)`` point.
+"""
 
 from __future__ import annotations
 

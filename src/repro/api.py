@@ -12,11 +12,26 @@ Two accelerators are provided with identical interfaces:
 * :class:`AxonAccelerator` — the paper's design (diagonal feeding,
   bi-directional propagation, on-chip im2col).
 
-Functional execution uses the cycle-accurate tile simulators for problems
-that are small enough to simulate exactly; timing estimates for arbitrarily
-large problems use the validated analytical models (the simulators and the
-analytical models agree cycle-for-cycle on single tiles, which the test suite
-checks, so the estimates are trustworthy).
+Execution engines
+-----------------
+Functional execution is delegated to a selectable engine (see
+:mod:`repro.engine` for the policy):
+
+* ``"wavefront"`` (default) — the vectorized closed-form engine: one
+  ``a @ b`` matmul for the numerics plus analytical cycle/activity counters,
+  batched over all tiles.  Orders of magnitude faster than cycle simulation
+  and validated cycle-for-cycle against it.
+* ``"wavefront-exact"`` — same, but accumulates partial products in the
+  hardware reduction order so even the floating-point outputs are
+  bit-identical to the cycle simulators.
+* ``"cycle"`` — the cycle-accurate tile simulators, kept as the golden
+  reference.
+
+Whatever the selection, anything the closed form does not cover (currently
+the weight-/input-stationary functional path) falls back to the cycle engine
+automatically; :attr:`RunResult.engine` records what actually ran.  Timing
+estimates for arbitrarily large problems use the validated analytical models
+(memoized process-wide, see :mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
@@ -26,22 +41,53 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch.array_config import ArrayConfig
-from repro.arch.dataflow import Dataflow, map_gemm
+from repro.arch.dataflow import Dataflow
 from repro.arch.dram import DRAMModel, LPDDR3
 from repro.arch.systolic_os import ConventionalOSArray
 from repro.arch.stationary import ConventionalStationaryArray
 from repro.arch.tiling import tile_gemm
-from repro.baselines.scalesim_model import scalesim_runtime
 from repro.core.axon_os import AxonOSArray
 from repro.core.axon_stationary import AxonStationaryArray
-from repro.core.runtime_model import workload_runtime
 from repro.energy.dram_energy import dram_energy_mj
+from repro.engine import DEFAULT_ENGINE, normalize_engine
+from repro.engine.batched import execute_gemm
+from repro.engine.cache import cached_gemm_cycles
 from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
 from repro.im2col.traffic import (
     ConvTrafficReport,
     onchip_im2col_traffic,
     software_im2col_traffic,
 )
+
+
+class UtilizationValidationError(ValueError):
+    """A runtime model produced a utilisation above 1.
+
+    Utilisation is useful PE-work divided by available PE-cycles, so a value
+    above 1 means the runtime model undercounted cycles (or overcounted
+    work).  It used to be silently clamped to 1.0, which hid exactly this
+    class of model bug; it is now a hard error.
+    """
+
+
+def _validated_utilization(work: int, num_pes: int, cycles: int, context: str) -> float:
+    """``work / (num_pes * cycles)``, rejecting impossible (>1) rates.
+
+    The comparison is done in exact integer arithmetic so a genuine model
+    inconsistency cannot hide behind floating-point rounding.
+    """
+    if cycles <= 0:
+        raise UtilizationValidationError(
+            f"{context}: non-positive cycle count {cycles}"
+        )
+    available = num_pes * cycles
+    if work > available:
+        raise UtilizationValidationError(
+            f"{context}: {work} useful PE-cycles exceed the {available} "
+            f"available ({num_pes} PEs x {cycles} cycles); the runtime model "
+            "undercounted cycles"
+        )
+    return work / available
 
 
 @dataclass(frozen=True)
@@ -55,9 +101,10 @@ class RunResult:
     cycles:
         Total runtime in cycles (scale-up execution).
     macs:
-        Useful multiply-accumulate operations.
+        Useful multiply-accumulate operations (idealized ``M*K*N`` count).
     utilization:
-        ``macs / (num_pes * cycles)``.
+        For functional runs, measured ``active_pe_cycles / (num_pes *
+        cycles)``; for estimates, ``macs / (num_pes * cycles)``.
     dram_bytes:
         Estimated off-chip traffic (None for raw GEMMs run functionally).
     dram_energy_mj:
@@ -65,6 +112,12 @@ class RunResult:
     output:
         The numerical result when the workload was executed functionally
         (None for estimate-only runs).
+    active_pe_cycles:
+        Measured PE-cycles spent holding both operands, summed over tiles
+        (None for estimate-only runs).
+    engine:
+        The engine that actually executed the workload (``"cycle"`` when the
+        wavefront engine fell back; None for estimate-only runs).
     """
 
     name: str
@@ -74,6 +127,8 @@ class RunResult:
     dram_bytes: float | None = None
     dram_energy_mj: float | None = None
     output: np.ndarray | None = None
+    active_pe_cycles: int | None = None
+    engine: str | None = None
 
 
 class _AcceleratorBase:
@@ -81,48 +136,63 @@ class _AcceleratorBase:
 
     #: Set by subclasses: whether the Axon orchestration / im2col is used.
     axon: bool = False
+    #: Overridden by :class:`AxonAccelerator`; the base never gates.
+    zero_gating: bool = False
 
     def __init__(
         self,
         config: ArrayConfig,
         dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
         dram: DRAMModel = LPDDR3,
+        engine: str = DEFAULT_ENGINE,
     ):
         self.config = config
         self.dataflow = dataflow
         self.dram = dram
+        self.engine = normalize_engine(engine)
 
     # -- timing estimates -------------------------------------------------
 
     def estimate_gemm_cycles(self, m: int, k: int, n: int) -> int:
-        """Scale-up runtime estimate for a GEMM of the given shape."""
-        if self.axon:
-            return workload_runtime(
-                m, k, n, self.config.rows, self.config.cols, self.dataflow, axon=True
-            )
-        return scalesim_runtime(
-            m, k, n, self.config.rows, self.config.cols, self.dataflow
+        """Scale-up runtime estimate for a GEMM of the given shape (memoized)."""
+        return cached_gemm_cycles(
+            m,
+            k,
+            n,
+            self.config.rows,
+            self.config.cols,
+            self.dataflow,
+            self.axon,
+            self.engine,
         )
 
     def estimate_gemm(self, name: str, m: int, k: int, n: int) -> RunResult:
         """Runtime / utilisation estimate for a GEMM workload (no execution)."""
         cycles = self.estimate_gemm_cycles(m, k, n)
         macs = m * k * n
-        utilization = macs / (self.config.num_pes * cycles)
-        return RunResult(name=name, cycles=cycles, macs=macs, utilization=min(utilization, 1.0))
+        utilization = _validated_utilization(
+            macs, self.config.num_pes, cycles, f"estimate_gemm({name!r})"
+        )
+        return RunResult(name=name, cycles=cycles, macs=macs, utilization=utilization)
 
     # -- functional execution ---------------------------------------------
 
     def _tile_simulator(self):
         raise NotImplementedError
 
+    def _wavefront_covers(self) -> bool:
+        """Whether the closed-form engine covers the configured dataflow."""
+        return self.dataflow is Dataflow.OUTPUT_STATIONARY
+
     def run_gemm(self, a: np.ndarray, b: np.ndarray, name: str = "gemm") -> RunResult:
-        """Execute a GEMM functionally, tile by tile, on the cycle simulator.
+        """Execute a GEMM functionally on the configured engine.
 
         The result matrix is exact; the cycle count is the sum of the
-        simulated per-tile cycle counts (scale-up execution).  Intended for
-        problems small enough to simulate — use :meth:`estimate_gemm` for
-        Table 3-sized workloads.
+        per-tile cycle counts (scale-up execution).  With the default
+        wavefront engine, all tiles are executed in vectorized shape-groups
+        and arbitrarily large problems are practical; workloads the closed
+        form does not cover (WS/IS dataflows) fall back to the cycle
+        simulators automatically.
         """
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
@@ -130,6 +200,33 @@ class _AcceleratorBase:
             raise ValueError("operands must be 2-D with agreeing inner dimensions")
         m, k = a.shape
         _, n = b.shape
+
+        if self.engine != "cycle" and self._wavefront_covers():
+            execution = execute_gemm(
+                a,
+                b,
+                self.config.rows,
+                self.config.cols,
+                axon=self.axon,
+                zero_gating=self.zero_gating,
+                exact=self.engine == "wavefront-exact",
+            )
+            utilization = _validated_utilization(
+                execution.active_pe_cycles,
+                self.config.num_pes,
+                execution.total_cycles,
+                f"run_gemm({name!r})",
+            )
+            return RunResult(
+                name=name,
+                cycles=execution.total_cycles,
+                macs=execution.macs,
+                utilization=utilization,
+                output=execution.output,
+                active_pe_cycles=execution.active_pe_cycles,
+                engine=self.engine,
+            )
+
         simulator = self._tile_simulator()
         output = np.zeros((m, n))
         total_cycles = 0
@@ -143,16 +240,18 @@ class _AcceleratorBase:
             ] = result.output
             total_cycles += result.total_cycles
             total_macs += tile.rows * tile.cols * k
-            active_pe_cycles += getattr(result, "active_pe_cycles", 0) or (
-                tile.rows * tile.cols * k
-            )
-        utilization = total_macs / (self.config.num_pes * total_cycles)
+            active_pe_cycles += result.active_pe_cycles
+        utilization = _validated_utilization(
+            active_pe_cycles, self.config.num_pes, total_cycles, f"run_gemm({name!r})"
+        )
         return RunResult(
             name=name,
             cycles=total_cycles,
             macs=total_macs,
-            utilization=min(utilization, 1.0),
+            utilization=utilization,
             output=output,
+            active_pe_cycles=active_pe_cycles,
+            engine="cycle",
         )
 
     # -- convolution layers -------------------------------------------------
@@ -167,7 +266,9 @@ class _AcceleratorBase:
         cycles = self.estimate_gemm_cycles(gemm.m, gemm.k, gemm.n)
         traffic = self._conv_traffic(layer)
         macs = layer.macs
-        utilization = min(macs / (self.config.num_pes * cycles), 1.0)
+        utilization = _validated_utilization(
+            macs, self.config.num_pes, cycles, f"estimate_conv({layer.name!r})"
+        )
         return RunResult(
             name=layer.name,
             cycles=cycles,
@@ -187,7 +288,13 @@ class _AcceleratorBase:
             cycles += result.cycles
             macs += result.macs
             traffic += result.dram_bytes or 0.0
-        utilization = min(macs / (self.config.num_pes * cycles), 1.0) if cycles else 0.0
+        utilization = (
+            _validated_utilization(
+                macs, self.config.num_pes, cycles, f"estimate_network({name!r})"
+            )
+            if cycles
+            else 0.0
+        )
         return RunResult(
             name=name,
             cycles=cycles,
@@ -220,8 +327,9 @@ class AxonAccelerator(_AcceleratorBase):
         dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
         dram: DRAMModel = LPDDR3,
         zero_gating: bool = False,
+        engine: str = DEFAULT_ENGINE,
     ):
-        super().__init__(config, dataflow, dram)
+        super().__init__(config, dataflow, dram, engine=engine)
         self.zero_gating = zero_gating
 
     def _tile_simulator(self):

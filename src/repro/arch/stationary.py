@@ -25,6 +25,10 @@ The simulator models the three phases explicitly:
 3. The drain of the final skewed outputs is part of the streaming tail, so the
    total is ``S_R (preload) + (S_R + S_C + T - 2) (stream+drain)``
    ``= 2*S_R + S_C + T - 2`` — identical to Eq. 1 with the Table 1 mapping.
+
+Engine note: the vectorized wavefront engine (:mod:`repro.engine`) does not
+cover the stationary functional path yet, so the accelerator façades fall
+back to this simulator for WS/IS GEMMs regardless of the selected engine.
 """
 
 from __future__ import annotations

@@ -14,6 +14,11 @@ The simulator advances the PE grid one clock cycle at a time:
 The measured cycle count of a single tile therefore reproduces the SCALE-sim
 runtime model used in the paper (Eq. 1): ``tau = 2*M + N + K - 2`` for the OS
 mapping of Table 1.
+
+Engine note: this simulator is the golden reference for the default
+vectorized wavefront engine (:mod:`repro.engine.wavefront`), which derives
+the same outputs and counters from the closed form of the skew geometry; the
+engine test-suite cross-validates the two bit-for-bit on randomized tiles.
 """
 
 from __future__ import annotations
@@ -148,7 +153,11 @@ class ConventionalOSArray:
             a_reg, a_valid = new_a, new_a_valid
             b_reg, b_valid = new_b, new_b_valid
 
-            if cycle > rows + cols and active == 0 and last_mac_cycle >= 0:
+            # Pipeline-empty early exit.  The guard uses the *tile* extents
+            # (m, n) — not the physical array dimensions — so small tiles on
+            # large arrays stop as soon as the wavefront has passed instead
+            # of simulating dead drain cycles.
+            if cycle > m + n and active == 0 and last_mac_cycle >= 0:
                 break
 
         compute_cycles = last_mac_cycle + 1

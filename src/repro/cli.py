@@ -3,27 +3,35 @@
 Provides quick access to the analytical models without writing Python::
 
     python -m repro.cli runtime --m 2048 --k 32 --n 4096 --rows 128 --cols 128
+    python -m repro.cli run --m 512 --k 512 --n 512 --rows 32 --cols 32
     python -m repro.cli workloads
     python -m repro.cli speedup --array 256
     python -m repro.cli traffic --network resnet50
     python -m repro.cli hardware --rows 16 --cols 16 --node ASAP7
 
-The heavier, figure-for-figure regeneration lives in ``benchmarks/`` (run via
-pytest); the CLI is for interactive exploration of individual design points.
+``run`` executes a randomized GEMM functionally on a selectable execution
+engine (``--engine wavefront|wavefront-exact|cycle``, see
+:mod:`repro.engine` for the policy); the other commands evaluate the
+analytical models.  The heavier, figure-for-figure regeneration lives in
+``benchmarks/`` (run via pytest); the CLI is for interactive exploration of
+individual design points.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
+
+import numpy as np
 
 from repro.analysis import arithmetic_mean, format_speedup_table, workload_speedups
 from repro.analysis.reports import format_table
+from repro.api import AxonAccelerator, SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow
-from repro.baselines.scalesim_model import scalesim_runtime
-from repro.core.runtime_model import workload_runtime
+from repro.engine import DEFAULT_ENGINE, ENGINES
 from repro.energy import ASAP7, NODES, area_report, inference_energy_report, power_report
 from repro.im2col.traffic import network_traffic
 from repro.workloads import (
@@ -45,8 +53,13 @@ NETWORKS = {
 
 def _cmd_runtime(args: argparse.Namespace) -> int:
     dataflow = Dataflow.from_string(args.dataflow)
-    baseline = scalesim_runtime(args.m, args.k, args.n, args.rows, args.cols, dataflow)
-    axon = workload_runtime(args.m, args.k, args.n, args.rows, args.cols, dataflow, axon=True)
+    config = ArrayConfig(args.rows, args.cols)
+    baseline = SystolicAccelerator(
+        config, dataflow, engine=args.engine
+    ).estimate_gemm_cycles(args.m, args.k, args.n)
+    axon = AxonAccelerator(config, dataflow, engine=args.engine).estimate_gemm_cycles(
+        args.m, args.k, args.n
+    )
     print(
         format_table(
             ("model", "cycles"),
@@ -55,6 +68,43 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
                 ("Axon", axon),
                 ("speedup", baseline / axon),
             ],
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ArrayConfig(args.rows, args.cols)
+    dataflow = Dataflow.from_string(args.dataflow)
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.m, args.k))
+    b = rng.standard_normal((args.k, args.n))
+    accelerators = {
+        "systolic": SystolicAccelerator(config, dataflow, engine=args.engine),
+        "axon": AxonAccelerator(
+            config, dataflow, zero_gating=args.zero_gating, engine=args.engine
+        ),
+    }
+    rows = []
+    for arch in ("systolic", "axon") if args.arch == "both" else (args.arch,):
+        start = time.perf_counter()
+        result = accelerators[arch].run_gemm(a, b, name=arch)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        rows.append(
+            (
+                arch,
+                result.engine,
+                result.cycles,
+                result.macs,
+                result.active_pe_cycles,
+                round(result.utilization, 4),
+                round(elapsed_ms, 2),
+            )
+        )
+    print(
+        format_table(
+            ("arch", "engine", "cycles", "MACs", "active PE-cycles", "util", "wall (ms)"),
+            rows,
         )
     )
     return 0
@@ -125,7 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--rows", type=int, default=128)
     runtime.add_argument("--cols", type=int, default=128)
     runtime.add_argument("--dataflow", default="OS", choices=["OS", "WS", "IS"])
+    runtime.add_argument("--engine", default=DEFAULT_ENGINE, choices=list(ENGINES))
     runtime.set_defaults(func=_cmd_runtime)
+
+    run = sub.add_parser(
+        "run", help="execute a randomized GEMM functionally on a chosen engine"
+    )
+    run.add_argument("--m", type=int, required=True)
+    run.add_argument("--k", type=int, required=True)
+    run.add_argument("--n", type=int, required=True)
+    run.add_argument("--rows", type=int, default=32)
+    run.add_argument("--cols", type=int, default=32)
+    run.add_argument("--dataflow", default="OS", choices=["OS", "WS", "IS"])
+    run.add_argument("--engine", default=DEFAULT_ENGINE, choices=list(ENGINES))
+    run.add_argument("--arch", default="both", choices=["systolic", "axon", "both"])
+    run.add_argument("--zero-gating", action="store_true")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
 
     workloads = sub.add_parser("workloads", help="list the Table 3 workloads")
     workloads.set_defaults(func=_cmd_workloads)

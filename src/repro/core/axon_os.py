@@ -16,6 +16,12 @@ Because both operands of element ``k`` arrive at PE ``(i, j)`` exactly
 the fill term of the runtime shrinks from ``R + C - 2`` to ``max(R, C) - 1``;
 the measured cycle count of a single tile reproduces Table 2's
 ``max(M, N) + M + K - 1`` for the OS mapping.
+
+Engine note: this simulator is the golden reference for the default
+vectorized wavefront engine (:mod:`repro.engine.wavefront`), which derives
+the same outputs and counters (including the zero-gating ones) from the
+arrival-time closed form ``s + |i - j|``; the engine test-suite
+cross-validates the two bit-for-bit on randomized tiles.
 """
 
 from __future__ import annotations
@@ -123,8 +129,13 @@ class AxonOSArray:
         per_cycle_active: list[int] = []
         last_mac_cycle = -1
 
-        horizon = max(m, n) + k + max(rows, cols) + 2
+        # The last arrival is bounded by the feeder invariant (element k-1
+        # reaches the farthest in-tile PE at cycle (k-1) + max(m, n) - 1), so
+        # the horizon and the pipeline-empty guard below use the *tile*
+        # extents — small tiles on large arrays must not simulate dead drain
+        # cycles just because the physical array is big.
         max_schedule = max(a_feed.schedule_cycles, b_feed.schedule_cycles)
+        horizon = max_schedule + max(m, n) + 2
         for cycle in range(horizon):
             # Shift every directional plane by one hop.
             new_a_right = np.zeros_like(a_right)
@@ -200,7 +211,7 @@ class AxonOSArray:
             b_down, b_down_valid = new_b_down, new_b_down_valid
             b_up, b_up_valid = new_b_up, new_b_up_valid
 
-            if cycle >= max_schedule + max(rows, cols) and active == 0:
+            if cycle >= max_schedule + max(m, n) and active == 0:
                 break
 
         compute_cycles = last_mac_cycle + 1

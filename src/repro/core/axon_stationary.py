@@ -18,6 +18,10 @@ accumulating (using the Axon arrival time ``t + |r - c|``) and verifies the
 functional split-accumulation explicitly.  The measured cycle counts equal
 Table 2: ``max(M, K) + K + N - 1`` for WS and ``max(N, K) + K + M - 1`` for
 IS, versus ``2K + M + N - 2`` for the conventional array.
+
+Engine note: the vectorized wavefront engine (:mod:`repro.engine`) does not
+cover the stationary functional path yet, so the accelerator façades fall
+back to this simulator for WS/IS GEMMs regardless of the selected engine.
 """
 
 from __future__ import annotations
@@ -47,6 +51,12 @@ class AxonStationaryRunResult:
         element has been combined.
     mac_count:
         Multiply-accumulates performed.
+    active_pe_cycles:
+        Measured PE-cycles spent doing useful work; every occupied PE-cycle
+        of this event-timed model performs a MAC, so this equals
+        ``mac_count``.  Surfaced explicitly so the accelerator façade can
+        aggregate measured utilisation uniformly across all tile simulators
+        (it must never be silently substituted with the idealized count).
     upper_partial, lower_partial:
         The two partial-sum matrices produced by the bypass-and-add split
         (upper segment above the diagonal feeder, lower segment at/below it);
@@ -59,6 +69,7 @@ class AxonStationaryRunResult:
     preload_cycles: int
     stream_cycles: int
     mac_count: int
+    active_pe_cycles: int
     upper_partial: np.ndarray
     lower_partial: np.ndarray
 
@@ -153,6 +164,7 @@ class AxonStationaryArray:
             preload_cycles=preload_cycles,
             stream_cycles=stream_cycles,
             mac_count=mac_count,
+            active_pe_cycles=mac_count,
             upper_partial=upper_out,
             lower_partial=lower_out,
         )

@@ -1,0 +1,87 @@
+"""Execution engines for the accelerator façades.
+
+This package decouples *what* a workload run produces (outputs, cycles,
+utilisation counters) from *how* it is computed.  Two engine families exist:
+
+``"cycle"``
+    The cycle-accurate simulators (:mod:`repro.arch.systolic_os`,
+    :mod:`repro.core.axon_os`, and the stationary-dataflow simulators).
+    Exact by construction and kept as the golden reference, but they advance
+    the PE grid one clock at a time and are therefore only viable for small
+    problems.
+
+``"wavefront"`` (default) / ``"wavefront-exact"``
+    The vectorized closed-form engine (:mod:`repro.engine.wavefront`): tile
+    outputs come from one ``a @ b`` matmul and every cycle/activity counter
+    is derived analytically from the skew geometry, for both the
+    conventional skewed feed and the Axon diagonal feed (including
+    zero-gating counts from the operand zero masks).  ``"wavefront-exact"``
+    additionally accumulates partial products in the hardware reduction
+    order, making even the floating-point outputs bit-identical to the cycle
+    simulators at some extra cost; the plain fast path may differ in the
+    last ulp.
+
+Default-engine policy
+---------------------
+The accelerator façades default to ``"wavefront"`` and **fall back to the
+cycle engine automatically** for anything the closed form does not cover
+(currently: the weight-/input-stationary functional path).  The cycle engine
+therefore never needs to be selected for correctness — only for
+cross-validation, which is exactly what the engine test-suite does.
+
+The batched executor (:mod:`repro.engine.batched`) runs all tiles of a GEMM
+in vectorized shape-groups instead of a one-tile-at-a-time Python loop, and
+:mod:`repro.engine.cache` memoizes analytical estimates across sweep points.
+"""
+
+from __future__ import annotations
+
+from repro.engine.batched import GemmExecution, TileGroup, execute_gemm
+from repro.engine.cache import (
+    cached_gemm_cycles,
+    clear_estimate_cache,
+    estimate_cache_info,
+)
+from repro.engine.wavefront import (
+    AxonWavefrontOSArray,
+    ConventionalWavefrontOSArray,
+    axon_activity_profile,
+    conventional_activity_profile,
+    sequential_matmul,
+    zero_gating_counts,
+)
+
+#: Engine names accepted by the accelerator façades and the CLI.
+ENGINES = ("wavefront", "wavefront-exact", "cycle")
+
+#: The engine used when none is requested (see the module docstring).
+DEFAULT_ENGINE = "wavefront"
+
+
+def normalize_engine(name: str) -> str:
+    """Validate and canonicalize an engine selector."""
+    key = str(name).strip().lower()
+    if key not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {', '.join(ENGINES)}"
+        )
+    return key
+
+
+__all__ = [
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "normalize_engine",
+    "GemmExecution",
+    "TileGroup",
+    "execute_gemm",
+    "cached_gemm_cycles",
+    "clear_estimate_cache",
+    "estimate_cache_info",
+    "AxonWavefrontOSArray",
+    "ConventionalWavefrontOSArray",
+    "axon_activity_profile",
+    "conventional_activity_profile",
+    "sequential_matmul",
+    "zero_gating_counts",
+]

@@ -1,0 +1,50 @@
+"""Memoized runtime-estimate cache.
+
+The analytical estimates behind :meth:`repro.api._AcceleratorBase.estimate_*`
+and the figure sweeps in :mod:`repro.analysis` are pure functions of
+``(GEMM shape, array config, dataflow, engine)``, yet the sweep drivers used
+to recompute identical design points over and over (every workload appears in
+several figures and every array size revisits every workload).  This module
+provides the process-wide memo the sweeps and the accelerator façades share.
+
+The cache key deliberately includes the engine name: today every engine
+agrees on the estimate (the closed forms *are* the wavefront model and the
+cycle simulators validate them), but an engine whose timing model diverges —
+e.g. a future bandwidth-limited one — must not alias another engine's
+entries.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.arch.dataflow import Dataflow
+from repro.baselines.scalesim_model import scalesim_runtime
+from repro.core.runtime_model import workload_runtime
+
+
+@lru_cache(maxsize=65536)
+def cached_gemm_cycles(
+    m: int,
+    k: int,
+    n: int,
+    rows: int,
+    cols: int,
+    dataflow: Dataflow,
+    axon: bool,
+    engine: str = "wavefront",
+) -> int:
+    """Scale-up runtime estimate for one GEMM design point, memoized."""
+    if axon:
+        return workload_runtime(m, k, n, rows, cols, dataflow, axon=True)
+    return scalesim_runtime(m, k, n, rows, cols, dataflow)
+
+
+def estimate_cache_info():
+    """``functools`` cache statistics of the shared estimate memo."""
+    return cached_gemm_cycles.cache_info()
+
+
+def clear_estimate_cache() -> None:
+    """Drop every memoized estimate (used by tests and long-lived services)."""
+    cached_gemm_cycles.cache_clear()

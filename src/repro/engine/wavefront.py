@@ -1,0 +1,209 @@
+"""Closed-form (vectorized) wavefront engine for the OS tile simulators.
+
+The cycle simulators in :mod:`repro.arch.systolic_os` and
+:mod:`repro.core.axon_os` advance the PE grid one clock at a time, which is
+exact but orders of magnitude too slow for production-sized GEMMs.  Their
+behaviour has a closed form, because the cycle at which PE ``(i, j)`` consumes
+the ``s``-th operand pair is a pure function of the skew geometry:
+
+* **Conventional OS** (edge injection, operand skew): the MAC for reduction
+  index ``s`` fires at cycle ``i + j + s``, so the per-cycle active-PE count
+  is the convolution of the output-tile anti-diagonal histogram (counts of
+  ``i + j``) with a length-``K`` box filter, the last MAC lands at
+  ``M + N + K - 3`` and the total is Eq. 1's ``2M + N + K - 2``.
+* **Axon OS** (diagonal feed, bi-directional propagation): both operands of
+  index ``s`` reach PE ``(i, j)`` at cycle ``s + |i - j|`` (the feeder
+  invariant of :mod:`repro.core.feeder`, which holds for boundary-fed lanes of
+  rectangular arrays too), so the activity profile is the ``|i - j|``
+  histogram convolved with the same box filter and the total is Table 2's
+  ``max(M, N) + M + K - 1``.
+
+The functions here reproduce the simulators **bit-exactly** — outputs, total
+/ compute / drain cycle counts, MAC and zero-gating counters, active-PE
+cycles and the full per-cycle activity profile — while doing no per-cycle
+work at all.  Bit-exact output equality requires accumulating partial
+products in the same order as the hardware (reduction index ``s``
+ascending); :func:`sequential_matmul` does exactly that with one vectorized
+rank-1 update per ``s``, which is what the cross-validation tests compare
+against.  The batched executor (:mod:`repro.engine.batched`) uses a single
+BLAS ``a @ b`` instead on its fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.systolic_os import OSRunResult
+from repro.baselines.scalesim_model import scalesim_tile_runtime
+from repro.core.axon_os import AxonOSRunResult
+from repro.core.runtime_model import axon_runtime
+
+
+def sequential_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` accumulated in the systolic order (reduction index ascending).
+
+    Each output element is accumulated as ``acc += a[i, s] * b[s, j]`` for
+    ``s = 0 .. K-1`` in order, exactly like the PE accumulators in the cycle
+    simulators, so the result is bit-identical to theirs (BLAS ``a @ b`` may
+    reassociate the reduction and differ in the last ulp).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m, k = a.shape
+    _, n = b.shape
+    acc = np.zeros((m, n))
+    buf = np.empty((m, n))
+    for s in range(k):
+        np.multiply(a[:, s, None], b[s, None, :], out=buf)
+        acc += buf
+    return acc
+
+
+def conventional_activity_profile(m: int, n: int, k: int) -> np.ndarray:
+    """Active-PE count per compute cycle of a conventional OS tile.
+
+    PE ``(i, j)`` is active at cycle ``t`` iff ``0 <= t - i - j < k``, so the
+    profile is the anti-diagonal histogram of the ``M x N`` output tile
+    convolved with a length-``K`` box; the result has ``M + N + K - 2``
+    entries (the compute phase) and sums to ``M * N * K``.
+    """
+    _validate_tile_dims(m, n, k)
+    diag = np.convolve(np.ones(m, dtype=np.int64), np.ones(n, dtype=np.int64))
+    return np.convolve(diag, np.ones(k, dtype=np.int64))
+
+
+def axon_activity_profile(m: int, n: int, k: int) -> np.ndarray:
+    """Active-PE count per compute cycle of an Axon OS tile.
+
+    PE ``(i, j)`` is active at cycle ``t`` iff ``0 <= t - |i - j| < k``, so
+    the profile is the ``|i - j|`` histogram of the tile convolved with a
+    length-``K`` box; it has ``max(M, N) + K - 1`` entries and sums to
+    ``M * N * K``.  Zero-gated PEs still hold operands and therefore still
+    count as active, matching the simulator.
+    """
+    _validate_tile_dims(m, n, k)
+    # Histogram over e = i - j + (n - 1), then fold around e = n - 1 to get
+    # counts of |i - j|.
+    signed = np.convolve(np.ones(m, dtype=np.int64), np.ones(n, dtype=np.int64))
+    center = n - 1
+    dmax = max(m, n) - 1
+    folded = np.zeros(dmax + 1, dtype=np.int64)
+    folded[0] = signed[center]
+    for d in range(1, dmax + 1):
+        if center + d < signed.shape[0]:
+            folded[d] += signed[center + d]
+        if center - d >= 0:
+            folded[d] += signed[center - d]
+    return np.convolve(folded, np.ones(k, dtype=np.int64))
+
+
+def zero_gating_counts(a: np.ndarray, b: np.ndarray) -> tuple[int, int]:
+    """``(performed_macs, gated_macs)`` under Axon zero gating.
+
+    A MAC ``(i, j, s)`` is gated iff ``a[i, s] == 0`` or ``b[s, j] == 0``, so
+    the number of MACs actually performed is the per-``s`` product of operand
+    non-zero counts summed over the reduction dimension.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    m, k = a.shape
+    _, n = b.shape
+    a_nonzero = np.count_nonzero(a, axis=0).astype(np.int64)  # per column s
+    b_nonzero = np.count_nonzero(b, axis=1).astype(np.int64)  # per row s
+    performed = int(np.dot(a_nonzero, b_nonzero))
+    return performed, m * n * k - performed
+
+
+class ConventionalWavefrontOSArray:
+    """Drop-in wavefront replacement for :class:`ConventionalOSArray`.
+
+    ``run_tile`` returns an :class:`OSRunResult` that is field-for-field
+    bit-identical to the cycle simulator's, derived analytically.
+    """
+
+    def __init__(self, config):
+        self.config = config
+
+    def run_tile(self, a: np.ndarray, b: np.ndarray) -> OSRunResult:
+        """Run one GEMM tile ``a @ b`` without cycle-by-cycle simulation."""
+        a, b, m, k, n = _validate_tile(a, b, self.config.rows, self.config.cols)
+        profile = conventional_activity_profile(m, n, k)
+        compute_cycles = m + n + k - 2
+        drain_cycles = m
+        macs = m * n * k
+        return OSRunResult(
+            output=sequential_matmul(a, b),
+            total_cycles=compute_cycles + drain_cycles,
+            compute_cycles=compute_cycles,
+            drain_cycles=drain_cycles,
+            mac_count=macs,
+            active_pe_cycles=macs,
+            per_cycle_active=[int(count) for count in profile],
+        )
+
+    def expected_cycles(self, m: int, k: int, n: int) -> int:
+        """Analytical cycle count for one tile (SCALE-sim Eq. 1, OS mapping)."""
+        return scalesim_tile_runtime(m, n, k)
+
+
+class AxonWavefrontOSArray:
+    """Drop-in wavefront replacement for :class:`AxonOSArray`.
+
+    Reproduces the diagonal-feed cycle simulator bit-exactly, including the
+    zero-gating MAC counters derived from the operand zero masks.
+    """
+
+    def __init__(self, config, zero_gating: bool = False):
+        self.config = config
+        self.zero_gating = zero_gating
+
+    def run_tile(self, a: np.ndarray, b: np.ndarray) -> AxonOSRunResult:
+        """Run one GEMM tile ``a @ b`` without cycle-by-cycle simulation."""
+        a, b, m, k, n = _validate_tile(a, b, self.config.rows, self.config.cols)
+        profile = axon_activity_profile(m, n, k)
+        compute_cycles = max(m, n) + k - 1
+        drain_cycles = m
+        total_macs = m * n * k
+        if self.zero_gating:
+            mac_count, gated_macs = zero_gating_counts(a, b)
+        else:
+            mac_count, gated_macs = total_macs, 0
+        return AxonOSRunResult(
+            output=sequential_matmul(a, b),
+            total_cycles=compute_cycles + drain_cycles,
+            compute_cycles=compute_cycles,
+            drain_cycles=drain_cycles,
+            mac_count=mac_count,
+            gated_macs=gated_macs,
+            active_pe_cycles=total_macs,
+            per_cycle_active=[int(count) for count in profile],
+        )
+
+    def expected_cycles(self, m: int, k: int, n: int) -> int:
+        """Analytical cycle count for one tile (Table 2, OS row)."""
+        return axon_runtime(m, n, k)
+
+
+def _validate_tile_dims(m: int, n: int, k: int) -> None:
+    if m <= 0 or n <= 0 or k <= 0:
+        raise ValueError(f"tile dimensions must be positive, got M={m}, N={n}, K={k}")
+
+
+def _validate_tile(
+    a: np.ndarray, b: np.ndarray, rows: int, cols: int
+) -> tuple[np.ndarray, np.ndarray, int, int, int]:
+    """Shared operand validation, mirroring the cycle simulators' checks."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("operands must be 2-D matrices")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions do not agree: {a.shape} vs {b.shape}")
+    if m > rows or n > cols:
+        raise ValueError(
+            f"tile ({m}x{k})x({k}x{n}) does not fit a {rows}x{cols} array; "
+            "use repro.arch.tiling to partition the problem"
+        )
+    return a, b, m, k, n

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -16,6 +18,34 @@ class TestCli:
     def test_runtime_command_with_dataflow(self, capsys):
         assert main(["runtime", "--m", "64", "--k", "64", "--n", "64", "--dataflow", "WS"]) == 0
         assert "conventional SA" in capsys.readouterr().out
+
+    def test_runtime_command_with_engine(self, capsys):
+        assert main(["runtime", "--m", "64", "--k", "64", "--n", "64", "--engine", "cycle"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_run_command_executes_on_every_engine(self, capsys):
+        for engine in ("wavefront", "wavefront-exact", "cycle"):
+            args = ["run", "--m", "20", "--k", "6", "--n", "17", "--rows", "8",
+                    "--cols", "8", "--engine", engine]
+            assert main(args) == 0
+            out = capsys.readouterr().out
+            # Check the engine *column* of each row, not mere substrings (the
+            # header always contains "cycles", which contains "cycle").
+            assert re.search(rf"systolic\s+{re.escape(engine)}\s", out)
+            assert re.search(rf"axon\s+{re.escape(engine)}\s", out)
+
+    def test_run_command_falls_back_for_ws_dataflow(self, capsys):
+        args = ["run", "--m", "6", "--k", "9", "--n", "7", "--rows", "16",
+                "--cols", "16", "--dataflow", "WS", "--arch", "axon"]
+        assert main(args) == 0
+        # The engine column must report the automatic fallback to "cycle".
+        assert re.search(r"axon\s+cycle\s", capsys.readouterr().out)
+
+    def test_run_command_zero_gating(self, capsys):
+        args = ["run", "--m", "8", "--k", "4", "--n", "8", "--arch", "axon",
+                "--zero-gating"]
+        assert main(args) == 0
+        assert "axon" in capsys.readouterr().out
 
     def test_workloads_command_lists_table3(self, capsys):
         assert main(["workloads"]) == 0

@@ -1,0 +1,195 @@
+"""API-level engine tests: batched executor, ragged tiling, fallback, cache.
+
+The batched wavefront executor must agree with the one-tile-at-a-time cycle
+engine on the full ``run_gemm`` path — including ragged tilings where the
+last row/column tiles are smaller than the array — and the accelerator
+façades must fall back to the cycle engine for dataflows the closed form
+does not cover, surface measured utilisation counters, and reject
+impossible (>1) utilisation instead of clamping it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    AxonAccelerator,
+    RunResult,
+    SystolicAccelerator,
+    UtilizationValidationError,
+)
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+from repro.arch.tiling import count_tiles
+from repro.engine import clear_estimate_cache, estimate_cache_info
+from repro.engine.batched import execute_gemm
+
+RESULT_FIELDS = ("cycles", "macs", "active_pe_cycles")
+
+
+def _compare_engines(accelerator_cls, config, a, b, **kwargs):
+    cycle = accelerator_cls(config, engine="cycle", **kwargs).run_gemm(a, b)
+    exact = accelerator_cls(config, engine="wavefront-exact", **kwargs).run_gemm(a, b)
+    fast = accelerator_cls(config, engine="wavefront", **kwargs).run_gemm(a, b)
+    for field in RESULT_FIELDS:
+        assert getattr(exact, field) == getattr(cycle, field), field
+        assert getattr(fast, field) == getattr(cycle, field), field
+    assert exact.utilization == cycle.utilization
+    # The exact engine reproduces the hardware accumulation order bit-for-bit;
+    # the fast path may reassociate the reduction inside BLAS.
+    assert np.array_equal(exact.output, cycle.output)
+    np.testing.assert_allclose(fast.output, cycle.output, atol=1e-9, rtol=0)
+    return cycle, exact, fast
+
+
+class TestRaggedTiling:
+    @given(
+        m=st.integers(1, 40).filter(lambda v: v % 8 != 0),
+        k=st.integers(1, 12),
+        n=st.integers(1, 40).filter(lambda v: v % 8 != 0),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_randomized_ragged_shapes_agree_across_engines(self, m, k, n, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        config = ArrayConfig(8, 8)
+        _compare_engines(SystolicAccelerator, config, a, b)
+        _compare_engines(AxonAccelerator, config, a, b)
+
+    def test_ragged_zero_gated_axon(self, rng):
+        a = rng.standard_normal((19, 7))
+        b = rng.standard_normal((7, 13))
+        a[rng.random(a.shape) < 0.6] = 0.0
+        b[rng.random(b.shape) < 0.6] = 0.0
+        _compare_engines(AxonAccelerator, ArrayConfig(8, 8), a, b, zero_gating=True)
+
+    def test_rectangular_array_ragged_tiling(self, rng):
+        a = rng.standard_normal((11, 5))
+        b = rng.standard_normal((5, 23))
+        _compare_engines(AxonAccelerator, ArrayConfig(4, 9), a, b)
+        _compare_engines(SystolicAccelerator, ArrayConfig(9, 4), a, b)
+
+
+class TestBatchedExecutor:
+    def test_tile_groups_cover_the_problem(self):
+        execution = execute_gemm(
+            np.ones((20, 3)), np.ones((3, 17)), rows=8, cols=8, axon=True
+        )
+        assert execution.tile_count == count_tiles(20, 17, 8, 8)
+        assert len(execution.groups) == 4  # full, ragged right, bottom, corner
+        assert sum(g.count for g in execution.groups) == execution.tile_count
+        covered = sum(g.count * g.tile_rows * g.tile_cols for g in execution.groups)
+        assert covered == 20 * 17
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            execute_gemm(np.ones((4, 3)), np.ones((2, 5)), rows=8, cols=8)
+        with pytest.raises(ValueError):
+            execute_gemm(np.ones((0, 3)), np.ones((3, 5)), rows=8, cols=8)
+
+    def test_zero_gating_totals(self, rng):
+        a = rng.standard_normal((12, 6))
+        b = rng.standard_normal((6, 12))
+        a[:, 2] = 0.0  # an all-zero reduction slice gates every (i, j) pair
+        execution = execute_gemm(a, b, rows=8, cols=8, axon=True, zero_gating=True)
+        assert execution.gated_macs >= 12 * 12
+        assert execution.mac_count + execution.gated_macs == execution.macs
+        assert execution.active_pe_cycles == execution.macs
+
+
+class TestEngineSelection:
+    def test_default_engine_is_wavefront(self, small_array, rng):
+        result = SystolicAccelerator(small_array).run_gemm(
+            rng.standard_normal((4, 3)), rng.standard_normal((3, 4))
+        )
+        assert result.engine == "wavefront"
+
+    def test_unknown_engine_rejected_at_construction(self, small_array):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SystolicAccelerator(small_array, engine="quantum")
+
+    @pytest.mark.parametrize("dataflow", [Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY])
+    def test_stationary_dataflows_fall_back_to_cycle_engine(self, rng, dataflow):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((6, 9))
+        b = rng.standard_normal((9, 7))
+        for accelerator_cls in (SystolicAccelerator, AxonAccelerator):
+            result = accelerator_cls(config, dataflow=dataflow).run_gemm(a, b)
+            assert result.engine == "cycle"  # automatic fallback
+            np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
+            assert result.active_pe_cycles == 6 * 9 * 7
+
+    def test_run_result_surfaces_measured_activity(self, small_array, rng):
+        a = rng.standard_normal((10, 4))
+        b = rng.standard_normal((4, 10))
+        for engine in ("cycle", "wavefront"):
+            result = AxonAccelerator(small_array, engine=engine).run_gemm(a, b)
+            assert result.active_pe_cycles == 10 * 4 * 10
+            assert result.utilization == result.active_pe_cycles / (
+                small_array.num_pes * result.cycles
+            )
+
+
+class TestUtilizationValidation:
+    def test_estimate_rejects_undercounted_cycles(self, small_array, monkeypatch):
+        accelerator = SystolicAccelerator(small_array)
+        monkeypatch.setattr(accelerator, "estimate_gemm_cycles", lambda m, k, n: 1)
+        with pytest.raises(UtilizationValidationError, match="undercounted"):
+            accelerator.estimate_gemm("bogus", 64, 64, 64)
+
+    def test_estimate_network_rejects_undercounted_cycles(self, small_array, monkeypatch):
+        from repro.im2col.lowering import ConvShape
+
+        accelerator = AxonAccelerator(small_array)
+        monkeypatch.setattr(accelerator, "estimate_gemm_cycles", lambda m, k, n: 1)
+        layer = ConvShape("l", 8, 7, 7, 3, 3, 8, padding=1)
+        with pytest.raises(UtilizationValidationError):
+            accelerator.estimate_conv(layer)
+        with pytest.raises(UtilizationValidationError):
+            accelerator.estimate_network([layer])
+
+    def test_valid_estimates_are_not_clamped(self, small_array):
+        estimate = SystolicAccelerator(small_array).estimate_gemm("g", 8, 100000, 8)
+        assert 0.9 < estimate.utilization < 1.0  # approaches but never hits 1
+
+    def test_full_utilization_is_allowed(self):
+        assert UtilizationValidationError.__mro__[1] is ValueError
+        result = RunResult(name="x", cycles=1, macs=1, utilization=1.0)
+        assert result.utilization == 1.0
+
+
+class TestEstimateCache:
+    def test_repeated_estimates_hit_the_cache(self, small_array):
+        clear_estimate_cache()
+        accelerator = AxonAccelerator(small_array)
+        accelerator.estimate_gemm("g", 96, 32, 96)
+        before = estimate_cache_info()
+        accelerator.estimate_gemm("g", 96, 32, 96)
+        accelerator.estimate_gemm("again", 96, 32, 96)
+        after = estimate_cache_info()
+        assert after.hits == before.hits + 2
+        assert after.misses == before.misses
+
+    def test_cache_distinguishes_engines_and_architectures(self, small_array):
+        clear_estimate_cache()
+        AxonAccelerator(small_array).estimate_gemm("g", 64, 16, 64)
+        SystolicAccelerator(small_array).estimate_gemm("g", 64, 16, 64)
+        AxonAccelerator(small_array, engine="cycle").estimate_gemm("g", 64, 16, 64)
+        assert estimate_cache_info().misses == 3
+
+    def test_sweep_reuses_cached_points(self):
+        from repro.analysis.sweep import array_size_sweep
+        from repro.workloads import TABLE3_WORKLOADS
+
+        clear_estimate_cache()
+        array_size_sweep(TABLE3_WORKLOADS[:4], [64, 64, 64])
+        info = estimate_cache_info()
+        # 4 workloads x 2 architectures are computed once; the two repeated
+        # array sizes are pure cache hits.
+        assert info.misses == 8
+        assert info.hits == 16
