@@ -1,10 +1,17 @@
 """Engine speedup — vectorized wavefront vs cycle-accurate hot path.
 
-Times ``run_gemm`` of a production-sized 512x512x512 GEMM on a 32x32 array
-under the three execution engines and checks the hard floor the engine was
-built to clear: the default wavefront engine must be at least **50x** faster
-than the cycle engine while agreeing with it on every cycle and utilisation
-counter (and, in its ``wavefront-exact`` variant, on every output bit).
+Times ``run_gemm`` of production-sized GEMMs under the three execution
+engines and checks the hard floor the engine was built to clear: the default
+wavefront engine must be at least **50x** faster than the cycle engine while
+agreeing with it on every cycle and utilisation counter (and, in its
+``wavefront-exact`` variant, on every output bit).  Three cases cover the
+full coverage matrix:
+
+* output-stationary 512^3 on one 32x32 array (the PR 1 case),
+* weight-/input-stationary 256^3 on one 32x32 array (the stationary preload
+  + stream closed form; the reduction dimension splits into 8 chunks),
+* output-stationary 512^3 scaled out across a 2x2 grid of 32x32 arrays
+  (Eq. 3 partitioning through the batched tile-group engine).
 
 Run explicitly (tier 2)::
 
@@ -21,8 +28,10 @@ from benchmarks.conftest import emit
 from repro.analysis.reports import format_table
 from repro.api import AxonAccelerator, SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
 
 M = K = N = 512
+STATIONARY_M = STATIONARY_K = STATIONARY_N = 256
 ARRAY = ArrayConfig(32, 32)
 SPEEDUP_FLOOR = 50.0
 
@@ -33,10 +42,13 @@ def _time_run(accelerator, a, b):
     return result, time.perf_counter() - start
 
 
-def _engine_comparison(accelerator_cls, a, b):
-    cycle, cycle_s = _time_run(accelerator_cls(ARRAY, engine="cycle"), a, b)
-    fast, fast_s = _time_run(accelerator_cls(ARRAY, engine="wavefront"), a, b)
-    exact, exact_s = _time_run(accelerator_cls(ARRAY, engine="wavefront-exact"), a, b)
+def _engine_comparison(accelerator_cls, a, b, label=None, **kwargs):
+    label = label or accelerator_cls.__name__
+    cycle, cycle_s = _time_run(accelerator_cls(ARRAY, engine="cycle", **kwargs), a, b)
+    fast, fast_s = _time_run(accelerator_cls(ARRAY, engine="wavefront", **kwargs), a, b)
+    exact, exact_s = _time_run(
+        accelerator_cls(ARRAY, engine="wavefront-exact", **kwargs), a, b
+    )
 
     assert fast.cycles == exact.cycles == cycle.cycles
     assert fast.active_pe_cycles == exact.active_pe_cycles == cycle.active_pe_cycles
@@ -45,22 +57,31 @@ def _engine_comparison(accelerator_cls, a, b):
     np.testing.assert_allclose(fast.output, cycle.output, atol=1e-9, rtol=0)
 
     return [
-        (accelerator_cls.__name__, "cycle", cycle.cycles, round(cycle_s, 3), 1.0),
+        (label, "cycle", cycle.cycles, round(cycle_s, 3), 1.0),
         (
-            accelerator_cls.__name__,
+            label,
             "wavefront",
             fast.cycles,
             round(fast_s, 4),
             round(cycle_s / fast_s, 1),
         ),
         (
-            accelerator_cls.__name__,
+            label,
             "wavefront-exact",
             exact.cycles,
             round(exact_s, 3),
             round(cycle_s / exact_s, 1),
         ),
     ]
+
+
+def _assert_floor(rows):
+    for label, engine, _, _, speedup in rows:
+        if engine == "wavefront":
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"{label} wavefront engine only {speedup}x faster than the "
+                f"cycle engine (floor: {SPEEDUP_FLOOR}x)"
+            )
 
 
 def test_engine_speedup(benchmark, rng):
@@ -80,10 +101,64 @@ def test_engine_speedup(benchmark, rng):
             rows,
         ),
     )
+    _assert_floor(rows)
 
-    for accelerator, engine, _, _, speedup in rows:
-        if engine == "wavefront":
-            assert speedup >= SPEEDUP_FLOOR, (
-                f"{accelerator} wavefront engine only {speedup}x faster than the "
-                f"cycle engine (floor: {SPEEDUP_FLOOR}x)"
+
+def test_engine_speedup_stationary(benchmark, rng):
+    """WS/IS coverage: the stationary closed form must clear the same floor."""
+    a = rng.standard_normal((STATIONARY_M, STATIONARY_K))
+    b = rng.standard_normal((STATIONARY_K, STATIONARY_N))
+
+    rows = []
+    for dataflow in (Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY):
+        for accelerator_cls in (SystolicAccelerator, AxonAccelerator):
+            label = f"{accelerator_cls.__name__}/{dataflow.value}"
+            rows += _engine_comparison(
+                accelerator_cls, a, b, label=label, dataflow=dataflow
             )
+
+    benchmark(
+        lambda: AxonAccelerator(
+            ARRAY, dataflow=Dataflow.WEIGHT_STATIONARY
+        ).run_gemm(a, b)
+    )
+
+    emit(
+        f"Engine speedup — {STATIONARY_M}x{STATIONARY_K}x{STATIONARY_N} WS/IS "
+        f"GEMM on a {ARRAY.rows}x{ARRAY.cols} array",
+        format_table(
+            ("accelerator/dataflow", "engine", "cycles", "wall (s)", "speedup vs cycle"),
+            rows,
+        ),
+    )
+    _assert_floor(rows)
+
+
+def test_engine_speedup_scale_out(benchmark, rng):
+    """Eq. 3 coverage: a 2x2 grid of 32x32 arrays on the 512^3 GEMM."""
+    a = rng.standard_normal((M, K))
+    b = rng.standard_normal((K, N))
+
+    rows = []
+    for accelerator_cls in (SystolicAccelerator, AxonAccelerator):
+        label = f"{accelerator_cls.__name__}/2x2"
+        rows += _engine_comparison(
+            accelerator_cls, a, b, label=label, scale_out=(2, 2)
+        )
+
+    benchmark(lambda: SystolicAccelerator(ARRAY, scale_out=(2, 2)).run_gemm(a, b))
+
+    emit(
+        f"Engine speedup — {M}x{K}x{N} GEMM on a 2x2 grid of "
+        f"{ARRAY.rows}x{ARRAY.cols} arrays (Eq. 3)",
+        format_table(
+            ("accelerator/grid", "engine", "cycles", "wall (s)", "speedup vs cycle"),
+            rows,
+        ),
+    )
+    _assert_floor(rows)
+
+    # Scale-out's makespan must beat scale-up on the same problem.
+    single = SystolicAccelerator(ARRAY).run_gemm(a, b)
+    grid = SystolicAccelerator(ARRAY, scale_out=(2, 2)).run_gemm(a, b)
+    assert grid.cycles < single.cycles

@@ -12,7 +12,7 @@ from repro.analysis.speedup import (
     geometric_mean,
     arithmetic_mean,
 )
-from repro.analysis.sweep import fill_latency_sweep, array_size_sweep
+from repro.analysis.sweep import array_size_sweep, fill_latency_sweep, scale_out_sweep
 from repro.analysis.reports import format_table, format_speedup_table
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "arithmetic_mean",
     "fill_latency_sweep",
     "array_size_sweep",
+    "scale_out_sweep",
     "format_table",
     "format_speedup_table",
 ]

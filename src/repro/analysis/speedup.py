@@ -52,15 +52,24 @@ def workload_speedups(
     array_rows: int,
     array_cols: int,
     dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+    scale_out: tuple[int, int] = (1, 1),
 ) -> list[WorkloadSpeedup]:
-    """Compute Axon-vs-SA speedups for a set of GEMM workloads."""
+    """Compute Axon-vs-SA speedups for a set of GEMM workloads.
+
+    ``scale_out`` selects Eq. 3 execution on a ``P_R x P_C`` grid of
+    ``array_rows x array_cols`` arrays; the default ``(1, 1)`` is Eq. 2
+    scale-up execution.
+    """
+    p_r, p_c = scale_out
     results = []
     for workload in workloads:
         baseline = cached_gemm_cycles(
-            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow, False
+            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow,
+            False, "wavefront", p_r, p_c,
         )
         axon = cached_gemm_cycles(
-            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow, True
+            workload.m, workload.k, workload.n, array_rows, array_cols, dataflow,
+            True, "wavefront", p_r, p_c,
         )
         results.append(
             WorkloadSpeedup(

@@ -52,3 +52,27 @@ def array_size_sweep(
     return {
         size: workload_speedups(workloads, size, size, dataflow) for size in array_sizes
     }
+
+
+def scale_out_sweep(
+    workloads: Sequence[GemmShape],
+    array_size: int,
+    grids: Sequence[tuple[int, int]],
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+) -> dict[tuple[int, int], list[WorkloadSpeedup]]:
+    """Speedups of every workload across several Eq. 3 partition grids.
+
+    Each grid spreads the workload over ``P_R x P_C`` square arrays of
+    ``array_size``; the paper's Sec. 5 observation is that the Axon
+    advantage carries over linearly from scale-up to scale-out, which this
+    sweep makes checkable across grid shapes.  Every design point flows
+    through the shared estimate cache (keyed by the grid).
+    """
+    if not grids:
+        raise ValueError("grids must not be empty")
+    return {
+        (p_r, p_c): workload_speedups(
+            workloads, array_size, array_size, dataflow, scale_out=(p_r, p_c)
+        )
+        for p_r, p_c in grids
+    }

@@ -15,7 +15,7 @@ Two accelerators are provided with identical interfaces:
 Execution engines
 -----------------
 Functional execution is delegated to a selectable engine (see
-:mod:`repro.engine` for the policy):
+:mod:`repro.engine` for the policy and the coverage matrix):
 
 * ``"wavefront"`` (default) — the vectorized closed-form engine: one
   ``a @ b`` matmul for the numerics plus analytical cycle/activity counters,
@@ -25,13 +25,22 @@ Functional execution is delegated to a selectable engine (see
   hardware reduction order so even the floating-point outputs are
   bit-identical to the cycle simulators.
 * ``"cycle"`` — the cycle-accurate tile simulators, kept as the golden
-  reference.
+  reference (cross-validation only; never required for coverage).
 
-Whatever the selection, anything the closed form does not cover (currently
-the weight-/input-stationary functional path) falls back to the cycle engine
-automatically; :attr:`RunResult.engine` records what actually ran.  Timing
-estimates for arbitrarily large problems use the validated analytical models
-(memoized process-wide, see :mod:`repro.engine.cache`).
+The closed form covers every dataflow (OS and the WS/IS preload + stream
+phases) on every topology, so no automatic fallback exists anymore;
+:attr:`RunResult.engine` records the engine that ran.  Timing estimates for
+arbitrarily large problems use the validated analytical models (memoized
+process-wide, see :mod:`repro.engine.cache`).
+
+Scale-out execution
+-------------------
+Pass ``scale_out=(P_R, P_C)`` to either accelerator to partition work across
+a grid of ``P_R x P_C`` arrays per Eq. 3 (see :mod:`repro.engine.scaleout`).
+Functional runs reduce the per-array outputs and counters into one
+multi-array :class:`RunResult` whose ``cycles`` is the parallel makespan;
+estimates use the Eq. 3 analytical model, keyed by the partition grid in the
+shared estimate cache.
 """
 
 from __future__ import annotations
@@ -45,13 +54,14 @@ from repro.arch.dataflow import Dataflow
 from repro.arch.dram import DRAMModel, LPDDR3
 from repro.arch.systolic_os import ConventionalOSArray
 from repro.arch.stationary import ConventionalStationaryArray
-from repro.arch.tiling import tile_gemm
+from repro.arch.tiling import tile_gemm, tile_gemm_stationary
 from repro.core.axon_os import AxonOSArray
 from repro.core.axon_stationary import AxonStationaryArray
 from repro.energy.dram_energy import dram_energy_mj
 from repro.engine import DEFAULT_ENGINE, normalize_engine
-from repro.engine.batched import execute_gemm
+from repro.engine.batched import GemmExecution, execute_gemm
 from repro.engine.cache import cached_gemm_cycles
+from repro.engine.scaleout import scale_out_reduce
 from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
 from repro.im2col.traffic import (
     ConvTrafficReport,
@@ -114,10 +124,19 @@ class RunResult:
         (None for estimate-only runs).
     active_pe_cycles:
         Measured PE-cycles spent holding both operands, summed over tiles
-        (None for estimate-only runs).
+        and arrays (None for estimate-only runs).
     engine:
-        The engine that actually executed the workload (``"cycle"`` when the
-        wavefront engine fell back; None for estimate-only runs).
+        The engine that executed the workload (None for estimate-only runs).
+    performed_macs:
+        MACs actually performed — excludes zero-gated operations (None for
+        estimate-only runs).
+    gated_macs:
+        MACs skipped by zero gating, summed over tiles and arrays (None for
+        estimate-only runs; 0 when gating is disabled).
+    scale_out:
+        The ``(P_R, P_C)`` partition grid the workload ran on; ``(1, 1)``
+        is single-array scale-up execution.  For scale-out runs ``cycles``
+        is the parallel makespan and the counters are grid-wide sums.
     """
 
     name: str
@@ -129,6 +148,9 @@ class RunResult:
     output: np.ndarray | None = None
     active_pe_cycles: int | None = None
     engine: str | None = None
+    performed_macs: int | None = None
+    gated_macs: int | None = None
+    scale_out: tuple[int, int] = (1, 1)
 
 
 class _AcceleratorBase:
@@ -145,16 +167,32 @@ class _AcceleratorBase:
         dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
         dram: DRAMModel = LPDDR3,
         engine: str = DEFAULT_ENGINE,
+        scale_out: tuple[int, int] | None = None,
     ):
         self.config = config
         self.dataflow = dataflow
         self.dram = dram
         self.engine = normalize_engine(engine)
+        self.scale_out = _normalize_scale_out(scale_out)
+
+    @property
+    def num_arrays(self) -> int:
+        """Number of physical arrays (1 unless scale-out is configured)."""
+        return self.scale_out[0] * self.scale_out[1]
+
+    @property
+    def _total_pes(self) -> int:
+        """PEs across the whole (possibly multi-array) complex."""
+        return self.num_arrays * self.config.num_pes
 
     # -- timing estimates -------------------------------------------------
 
     def estimate_gemm_cycles(self, m: int, k: int, n: int) -> int:
-        """Scale-up runtime estimate for a GEMM of the given shape (memoized)."""
+        """Runtime estimate for a GEMM of the given shape (memoized).
+
+        Uses Eq. 2 scale-up execution, or Eq. 3 when a scale-out grid is
+        configured; the partition grid is part of the cache key.
+        """
         return cached_gemm_cycles(
             m,
             k,
@@ -164,6 +202,8 @@ class _AcceleratorBase:
             self.dataflow,
             self.axon,
             self.engine,
+            self.scale_out[0],
+            self.scale_out[1],
         )
 
     def estimate_gemm(self, name: str, m: int, k: int, n: int) -> RunResult:
@@ -171,88 +211,145 @@ class _AcceleratorBase:
         cycles = self.estimate_gemm_cycles(m, k, n)
         macs = m * k * n
         utilization = _validated_utilization(
-            macs, self.config.num_pes, cycles, f"estimate_gemm({name!r})"
+            macs, self._total_pes, cycles, f"estimate_gemm({name!r})"
         )
-        return RunResult(name=name, cycles=cycles, macs=macs, utilization=utilization)
+        return RunResult(
+            name=name,
+            cycles=cycles,
+            macs=macs,
+            utilization=utilization,
+            scale_out=self.scale_out,
+        )
 
     # -- functional execution ---------------------------------------------
 
     def _tile_simulator(self):
         raise NotImplementedError
 
-    def _wavefront_covers(self) -> bool:
-        """Whether the closed-form engine covers the configured dataflow."""
-        return self.dataflow is Dataflow.OUTPUT_STATIONARY
-
     def run_gemm(self, a: np.ndarray, b: np.ndarray, name: str = "gemm") -> RunResult:
         """Execute a GEMM functionally on the configured engine.
 
         The result matrix is exact; the cycle count is the sum of the
-        per-tile cycle counts (scale-up execution).  With the default
-        wavefront engine, all tiles are executed in vectorized shape-groups
-        and arbitrarily large problems are practical; workloads the closed
-        form does not cover (WS/IS dataflows) fall back to the cycle
-        simulators automatically.
+        per-tile cycle counts of one array (scale-up), or the parallel
+        makespan across the ``P_R x P_C`` grid when scale-out is configured.
+        With the default wavefront engine, all tiles are executed in
+        vectorized shape-groups for every dataflow (the WS/IS mappings split
+        large ``K`` into row-sized chunks), so arbitrarily large problems
+        are practical on any topology.
         """
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise ValueError("operands must be 2-D with agreeing inner dimensions")
-        m, k = a.shape
-        _, n = b.shape
 
-        if self.engine != "cycle" and self._wavefront_covers():
-            execution = execute_gemm(
-                a,
-                b,
-                self.config.rows,
-                self.config.cols,
-                axon=self.axon,
-                zero_gating=self.zero_gating,
-                exact=self.engine == "wavefront-exact",
-            )
-            utilization = _validated_utilization(
-                execution.active_pe_cycles,
-                self.config.num_pes,
-                execution.total_cycles,
-                f"run_gemm({name!r})",
-            )
-            return RunResult(
-                name=name,
-                cycles=execution.total_cycles,
-                macs=execution.macs,
-                utilization=utilization,
-                output=execution.output,
-                active_pe_cycles=execution.active_pe_cycles,
-                engine=self.engine,
-            )
+        if self.engine != "cycle":
+            def run_share(a_share: np.ndarray, b_share: np.ndarray) -> GemmExecution:
+                return execute_gemm(
+                    a_share,
+                    b_share,
+                    self.config.rows,
+                    self.config.cols,
+                    dataflow=self.dataflow,
+                    axon=self.axon,
+                    zero_gating=self.zero_gating,
+                    exact=self.engine == "wavefront-exact",
+                )
+        else:
+            run_share = self._run_gemm_cycle
 
-        simulator = self._tile_simulator()
-        output = np.zeros((m, n))
-        total_cycles = 0
-        total_macs = 0
-        active_pe_cycles = 0
-        for tile, a_block, b_block in tile_gemm(a, b, self.config.rows, self.config.cols):
-            result = simulator.run_tile(a_block, b_block)
-            output[
-                tile.row_start : tile.row_start + tile.rows,
-                tile.col_start : tile.col_start + tile.cols,
-            ] = result.output
-            total_cycles += result.total_cycles
-            total_macs += tile.rows * tile.cols * k
-            active_pe_cycles += result.active_pe_cycles
+        if self.scale_out == (1, 1):
+            execution = run_share(a, b)
+        else:
+            # Eq. 3 partitioning with the same share runner; the reduction
+            # contract (output scatter, makespan, summed counters) lives in
+            # one place for every engine.
+            execution = scale_out_reduce(
+                a, b, self.dataflow, self.scale_out[0], self.scale_out[1], run_share
+            )
         utilization = _validated_utilization(
-            active_pe_cycles, self.config.num_pes, total_cycles, f"run_gemm({name!r})"
+            execution.active_pe_cycles,
+            self._total_pes,
+            execution.total_cycles,
+            f"run_gemm({name!r})",
         )
         return RunResult(
             name=name,
-            cycles=total_cycles,
-            macs=total_macs,
+            cycles=execution.total_cycles,
+            macs=execution.macs,
             utilization=utilization,
-            output=output,
-            active_pe_cycles=active_pe_cycles,
-            engine="cycle",
+            output=execution.output,
+            active_pe_cycles=execution.active_pe_cycles,
+            engine=self.engine,
+            performed_macs=execution.mac_count,
+            gated_macs=execution.gated_macs,
+            scale_out=self.scale_out,
         )
+
+    def _run_gemm_cycle(self, a: np.ndarray, b: np.ndarray) -> GemmExecution:
+        """One array's share through the cycle-accurate tile simulators.
+
+        Returns the same :class:`GemmExecution` shape as the batched
+        wavefront executor (with no tile-shape groups — the cycle engine
+        visits tiles one at a time).  OS tiles scatter disjoint output
+        blocks; WS/IS tiles accumulate reduction-chunk partial sums into
+        their output band in ascending-``K`` order (the accumulation
+        contract shared with the wavefront engine).
+        """
+        m, k = a.shape
+        _, n = b.shape
+        output = np.zeros((m, n))
+        total_cycles = 0
+        active_pe_cycles = 0
+        performed = 0
+        gated = 0
+        tile_count = 0
+        for result in self._iter_cycle_tiles(a, b, output):
+            total_cycles += result.total_cycles
+            active_pe_cycles += result.active_pe_cycles
+            performed += result.mac_count
+            gated += getattr(result, "gated_macs", 0)
+            tile_count += 1
+        return GemmExecution(
+            output=output,
+            total_cycles=total_cycles,
+            macs=m * n * k,
+            mac_count=performed,
+            gated_macs=gated,
+            active_pe_cycles=active_pe_cycles,
+            tile_count=tile_count,
+            groups=(),
+            dataflow=self.dataflow,
+        )
+
+    def _iter_cycle_tiles(self, a: np.ndarray, b: np.ndarray, output: np.ndarray):
+        """Run each tile on the cycle simulator, scattering into ``output``.
+
+        Only the output scatter differs between the dataflow families — OS
+        tiles own disjoint blocks, WS/IS tiles accumulate reduction-chunk
+        partial sums into their band — so this generator isolates it and
+        yields each tile result for uniform counter aggregation.
+        """
+        simulator = self._tile_simulator()
+        rows, cols = self.config.rows, self.config.cols
+        if self.dataflow is Dataflow.OUTPUT_STATIONARY:
+            for tile, a_block, b_block in tile_gemm(a, b, rows, cols):
+                result = simulator.run_tile(a_block, b_block)
+                output[
+                    tile.row_start : tile.row_start + tile.rows,
+                    tile.col_start : tile.col_start + tile.cols,
+                ] = result.output
+                yield result
+        else:
+            for tile, a_block, b_block in tile_gemm_stationary(
+                a, b, rows, cols, self.dataflow
+            ):
+                result = simulator.run_tile(a_block, b_block)
+                band = slice(tile.out_start, tile.out_start + tile.out_size)
+                if self.dataflow is Dataflow.WEIGHT_STATIONARY:
+                    output[band, :] += result.output
+                else:
+                    output[:, band] += result.output
+                yield result
 
     # -- convolution layers -------------------------------------------------
 
@@ -267,7 +364,7 @@ class _AcceleratorBase:
         traffic = self._conv_traffic(layer)
         macs = layer.macs
         utilization = _validated_utilization(
-            macs, self.config.num_pes, cycles, f"estimate_conv({layer.name!r})"
+            macs, self._total_pes, cycles, f"estimate_conv({layer.name!r})"
         )
         return RunResult(
             name=layer.name,
@@ -276,6 +373,7 @@ class _AcceleratorBase:
             utilization=utilization,
             dram_bytes=traffic.total_bytes,
             dram_energy_mj=dram_energy_mj(traffic.total_bytes, self.dram),
+            scale_out=self.scale_out,
         )
 
     def estimate_network(self, layers, name: str = "network") -> RunResult:
@@ -290,7 +388,7 @@ class _AcceleratorBase:
             traffic += result.dram_bytes or 0.0
         utilization = (
             _validated_utilization(
-                macs, self.config.num_pes, cycles, f"estimate_network({name!r})"
+                macs, self._total_pes, cycles, f"estimate_network({name!r})"
             )
             if cycles
             else 0.0
@@ -302,7 +400,24 @@ class _AcceleratorBase:
             utilization=utilization,
             dram_bytes=traffic,
             dram_energy_mj=dram_energy_mj(traffic, self.dram),
+            scale_out=self.scale_out,
         )
+
+
+def _normalize_scale_out(scale_out: tuple[int, int] | None) -> tuple[int, int]:
+    """Validate a ``(P_R, P_C)`` partition grid; None means scale-up."""
+    if scale_out is None:
+        return (1, 1)
+    try:
+        p_r, p_c = (int(value) for value in scale_out)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"scale_out must be a (P_R, P_C) pair of positive integers, "
+            f"got {scale_out!r}"
+        ) from None
+    if p_r <= 0 or p_c <= 0:
+        raise ValueError(f"scale_out partitions must be positive, got {scale_out!r}")
+    return (p_r, p_c)
 
 
 class SystolicAccelerator(_AcceleratorBase):
@@ -328,11 +443,14 @@ class AxonAccelerator(_AcceleratorBase):
         dram: DRAMModel = LPDDR3,
         zero_gating: bool = False,
         engine: str = DEFAULT_ENGINE,
+        scale_out: tuple[int, int] | None = None,
     ):
-        super().__init__(config, dataflow, dram, engine=engine)
+        super().__init__(config, dataflow, dram, engine=engine, scale_out=scale_out)
         self.zero_gating = zero_gating
 
     def _tile_simulator(self):
         if self.dataflow is Dataflow.OUTPUT_STATIONARY:
             return AxonOSArray(self.config, zero_gating=self.zero_gating)
-        return AxonStationaryArray(self.config, self.dataflow)
+        return AxonStationaryArray(
+            self.config, self.dataflow, zero_gating=self.zero_gating
+        )

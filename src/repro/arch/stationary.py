@@ -26,9 +26,15 @@ The simulator models the three phases explicitly:
    total is ``S_R (preload) + (S_R + S_C + T - 2) (stream+drain)``
    ``= 2*S_R + S_C + T - 2`` — identical to Eq. 1 with the Table 1 mapping.
 
-Engine note: the vectorized wavefront engine (:mod:`repro.engine`) does not
-cover the stationary functional path yet, so the accelerator façades fall
-back to this simulator for WS/IS GEMMs regardless of the selected engine.
+Accumulation-order contract
+---------------------------
+Partial sums enter each array column at row 0 and move down one row per
+cycle, so every output element is accumulated in **ascending stationary-row
+order** (``r = 0 .. S_R-1``).  The simulator performs the additions in
+exactly that order; it is part of the golden contract that the vectorized
+wavefront engine (:class:`repro.engine.wavefront.ConventionalWavefrontStationaryArray`
+and the batched executor) reproduces bit-for-bit.  This simulator is the
+cycle-level reference the engine test-suite cross-validates against.
 """
 
 from __future__ import annotations
@@ -120,15 +126,19 @@ class ConventionalStationaryArray:
         # and stationary row r enters edge PE(r, 0)... in hardware; here we
         # simulate the per-column accumulation wavefront.  PE(r, c) computes
         # moving[r, t] * stationary[r, c] at stream cycle t + r + c and adds
-        # the partial sum arriving from PE(r-1, c).  The output for temporal
-        # index t and column c leaves the bottom of column c at stream cycle
+        # the partial sum arriving from PE(r-1, c), so each output element is
+        # accumulated in ascending row order (the accumulation-order contract
+        # of the module docstring).  The output for temporal index t and
+        # column c leaves the bottom of column c at stream cycle
         # t + (s_r - 1) + c, one cycle after the last MAC of that column.
         out_temporal_major = np.zeros((temporal, s_c))
         mac_count = 0
         active_pe_cycles = 0
         for t in range(temporal):
-            partial = moving[:, t][:, None] * stationary  # (s_r, s_c) products
-            out_temporal_major[t] = partial.sum(axis=0)
+            acc = np.zeros(s_c)
+            for r in range(s_r):
+                acc = acc + moving[r, t] * stationary[r]
+            out_temporal_major[t] = acc
             mac_count += s_r * s_c
             active_pe_cycles += s_r * s_c
 

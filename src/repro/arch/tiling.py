@@ -22,6 +22,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.arch.dataflow import Dataflow
+
 
 @dataclass(frozen=True)
 class TileShape:
@@ -88,6 +90,89 @@ def tile_gemm(
         a_block = a[tile.row_start : tile.row_start + tile.rows, :]
         b_block = b[:, tile.col_start : tile.col_start + tile.cols]
         yield tile, a_block, b_block
+
+
+@dataclass(frozen=True)
+class StationaryTile:
+    """One tile of a weight-/input-stationary GEMM mapped onto the array.
+
+    Under the Table 1 WS/IS mappings the array rows hold the reduction
+    dimension (``S_R = K``) and the array columns hold one output dimension
+    (``S_C = M`` for WS, ``S_C = N`` for IS), while the remaining output
+    dimension streams through time.  A tile therefore covers a *reduction
+    chunk* ``[k_start, k_start + k_size)`` and an *output band*
+    ``[out_start, out_start + out_size)``; tiles sharing an output band
+    produce partial sums that must be accumulated in ascending ``k_start``
+    order.
+    """
+
+    k_start: int
+    k_size: int
+    out_start: int
+    out_size: int
+
+    def __post_init__(self) -> None:
+        if self.k_size <= 0 or self.out_size <= 0:
+            raise ValueError("tile extents must be positive")
+        if self.k_start < 0 or self.out_start < 0:
+            raise ValueError("tile offsets must be non-negative")
+
+
+def tile_gemm_stationary(
+    a: np.ndarray, b: np.ndarray, rows: int, cols: int, dataflow: Dataflow
+) -> Iterator[tuple[StationaryTile, np.ndarray, np.ndarray]]:
+    """Partition a WS/IS GEMM into array-sized tiles (Table 1 mapping).
+
+    Unlike the output-stationary tiling (:func:`tile_gemm`), the stationary
+    dataflows map the reduction dimension ``K`` onto the array rows, so large
+    ``K`` is split into row-sized chunks whose partial outputs must be summed.
+    Yields ``(tile, a_block, b_block)`` triples in output-band-major,
+    ascending-``k`` order; accumulating each tile's ``(out_size, N)`` (WS) or
+    ``(M, out_size)`` (IS) partial result into the output band reconstructs
+    the full product.
+    """
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        raise ValueError("use tile_gemm for the output-stationary dataflow")
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("operands must be 2-D with agreeing inner dimensions")
+    m, k = a.shape
+    _, n = b.shape
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    out_extent = m if dataflow is Dataflow.WEIGHT_STATIONARY else n
+    for out_start in range(0, out_extent, cols):
+        out_size = min(cols, out_extent - out_start)
+        for k_start in range(0, k, rows):
+            k_size = min(rows, k - k_start)
+            tile = StationaryTile(k_start, k_size, out_start, out_size)
+            if dataflow is Dataflow.WEIGHT_STATIONARY:
+                a_block = a[out_start : out_start + out_size, k_start : k_start + k_size]
+                b_block = b[k_start : k_start + k_size, :]
+            else:
+                a_block = a[:, k_start : k_start + k_size]
+                b_block = b[k_start : k_start + k_size, out_start : out_start + out_size]
+            yield tile, a_block, b_block
+
+
+def partition_spans(extent: int, partitions: int) -> list[tuple[int, int]]:
+    """``(start, size)`` spans assigning ``extent`` to ``partitions`` arrays.
+
+    Each array receives a contiguous span of ``ceil(extent / partitions)``
+    (Eq. 3); when the extent does not fill the grid, trailing arrays receive
+    empty (``size == 0``) spans and sit idle.
+    """
+    if partitions <= 0:
+        raise ValueError("partition counts must be positive")
+    if extent <= 0:
+        raise ValueError("spatial dimensions must be positive")
+    share = math.ceil(extent / partitions)
+    spans = []
+    for index in range(partitions):
+        start = min(index * share, extent)
+        spans.append((start, min(share, extent - start)))
+    return spans
 
 
 def scale_up_tile_count(spatial_rows: int, spatial_cols: int, rows: int, cols: int) -> float:

@@ -4,14 +4,19 @@ Provides quick access to the analytical models without writing Python::
 
     python -m repro.cli runtime --m 2048 --k 32 --n 4096 --rows 128 --cols 128
     python -m repro.cli run --m 512 --k 512 --n 512 --rows 32 --cols 32
+    python -m repro.cli run --m 512 --k 512 --n 512 --scale-out 2 2
     python -m repro.cli workloads
     python -m repro.cli speedup --array 256
     python -m repro.cli traffic --network resnet50
     python -m repro.cli hardware --rows 16 --cols 16 --node ASAP7
+    python -m repro.cli cache
 
 ``run`` executes a randomized GEMM functionally on a selectable execution
 engine (``--engine wavefront|wavefront-exact|cycle``, see
-:mod:`repro.engine` for the policy); the other commands evaluate the
+:mod:`repro.engine` for the policy) and, with ``--scale-out P_R P_C``,
+across an Eq. 3 multi-array grid; ``cache`` reports the shared
+estimate-cache statistics (``--clear-cache`` resets them) so long-lived
+sweep services can observe hit rates.  The other commands evaluate the
 analytical models.  The heavier, figure-for-figure regeneration lives in
 ``benchmarks/`` (run via pytest); the CLI is for interactive exploration of
 individual design points.
@@ -31,7 +36,12 @@ from repro.analysis.reports import format_table
 from repro.api import AxonAccelerator, SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow
-from repro.engine import DEFAULT_ENGINE, ENGINES
+from repro.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    clear_estimate_cache,
+    estimate_cache_info,
+)
 from repro.energy import ASAP7, NODES, area_report, inference_energy_report, power_report
 from repro.im2col.traffic import network_traffic
 from repro.workloads import (
@@ -51,15 +61,20 @@ NETWORKS = {
 }
 
 
+def _scale_out(args: argparse.Namespace) -> tuple[int, int] | None:
+    return tuple(args.scale_out) if args.scale_out else None
+
+
 def _cmd_runtime(args: argparse.Namespace) -> int:
     dataflow = Dataflow.from_string(args.dataflow)
     config = ArrayConfig(args.rows, args.cols)
+    grid = _scale_out(args)
     baseline = SystolicAccelerator(
-        config, dataflow, engine=args.engine
+        config, dataflow, engine=args.engine, scale_out=grid
     ).estimate_gemm_cycles(args.m, args.k, args.n)
-    axon = AxonAccelerator(config, dataflow, engine=args.engine).estimate_gemm_cycles(
-        args.m, args.k, args.n
-    )
+    axon = AxonAccelerator(
+        config, dataflow, engine=args.engine, scale_out=grid
+    ).estimate_gemm_cycles(args.m, args.k, args.n)
     print(
         format_table(
             ("model", "cycles"),
@@ -79,10 +94,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.m, args.k))
     b = rng.standard_normal((args.k, args.n))
+    grid = _scale_out(args)
     accelerators = {
-        "systolic": SystolicAccelerator(config, dataflow, engine=args.engine),
+        "systolic": SystolicAccelerator(
+            config, dataflow, engine=args.engine, scale_out=grid
+        ),
         "axon": AxonAccelerator(
-            config, dataflow, zero_gating=args.zero_gating, engine=args.engine
+            config,
+            dataflow,
+            zero_gating=args.zero_gating,
+            engine=args.engine,
+            scale_out=grid,
         ),
     }
     rows = []
@@ -94,6 +116,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             (
                 arch,
                 result.engine,
+                "{}x{}".format(*result.scale_out),
                 result.cycles,
                 result.macs,
                 result.active_pe_cycles,
@@ -103,10 +126,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     print(
         format_table(
-            ("arch", "engine", "cycles", "MACs", "active PE-cycles", "util", "wall (ms)"),
+            (
+                "arch",
+                "engine",
+                "grid",
+                "cycles",
+                "MACs",
+                "active PE-cycles",
+                "util",
+                "wall (ms)",
+            ),
             rows,
         )
     )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    info = estimate_cache_info()
+    hit_rate = info.hits / (info.hits + info.misses) if info.hits + info.misses else 0.0
+    print(
+        format_table(
+            ("metric", "value"),
+            [
+                ("hits", info.hits),
+                ("misses", info.misses),
+                ("hit rate", round(hit_rate, 4)),
+                ("entries", info.currsize),
+                ("capacity", info.maxsize),
+            ],
+        )
+    )
+    if args.clear_cache:
+        clear_estimate_cache()
+        print("estimate cache cleared")
     return 0
 
 
@@ -176,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--cols", type=int, default=128)
     runtime.add_argument("--dataflow", default="OS", choices=["OS", "WS", "IS"])
     runtime.add_argument("--engine", default=DEFAULT_ENGINE, choices=list(ENGINES))
+    runtime.add_argument(
+        "--scale-out", nargs=2, type=int, metavar=("P_R", "P_C"),
+        help="partition the GEMM across a P_R x P_C grid of arrays (Eq. 3)",
+    )
     runtime.set_defaults(func=_cmd_runtime)
 
     run = sub.add_parser(
@@ -191,10 +248,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--arch", default="both", choices=["systolic", "axon", "both"])
     run.add_argument("--zero-gating", action="store_true")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--scale-out", nargs=2, type=int, metavar=("P_R", "P_C"),
+        help="execute across a P_R x P_C grid of arrays (Eq. 3)",
+    )
     run.set_defaults(func=_cmd_run)
 
     workloads = sub.add_parser("workloads", help="list the Table 3 workloads")
     workloads.set_defaults(func=_cmd_workloads)
+
+    cache = sub.add_parser(
+        "cache", help="shared estimate-cache statistics (hit rates for sweeps)"
+    )
+    cache.add_argument(
+        "--clear-cache", action="store_true", help="drop every memoized estimate"
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     speedup = sub.add_parser("speedup", help="Fig. 12-style speedup table")
     speedup.add_argument("--array", type=int, default=128)

@@ -19,9 +19,19 @@ functional split-accumulation explicitly.  The measured cycle counts equal
 Table 2: ``max(M, K) + K + N - 1`` for WS and ``max(N, K) + K + M - 1`` for
 IS, versus ``2K + M + N - 2`` for the conventional array.
 
-Engine note: the vectorized wavefront engine (:mod:`repro.engine`) does not
-cover the stationary functional path yet, so the accelerator façades fall
-back to this simulator for WS/IS GEMMs regardless of the selected engine.
+Accumulation-order contract
+---------------------------
+The moving operand enters array column ``c`` at its diagonal feeder row
+``split = min(c, S_R - 1)`` and propagates in both directions, so the two
+partial-sum segments accumulate in opposite, well-defined orders: the lower
+segment from the feeder row *downward* (rows ``split, split+1, ...,
+S_R - 1``) and the upper segment from the feeder row *upward* (rows
+``split-1, split-2, ..., 0``).  The simulator performs its additions in
+exactly those orders; the vectorized wavefront engine
+(:class:`repro.engine.wavefront.AxonWavefrontStationaryArray` and the
+batched executor) reproduces them bit-for-bit.  Zero gating (Sec. 4.1)
+skips MACs whose either operand is exactly zero; the result is unchanged
+but ``gated_macs`` counts the skipped operations for the power model.
 """
 
 from __future__ import annotations
@@ -50,11 +60,13 @@ class AxonStationaryRunResult:
         Cycles from the first moving-operand injection until the last output
         element has been combined.
     mac_count:
-        Multiply-accumulates performed.
+        Multiply-accumulates actually performed (zero-gated MACs excluded).
+    gated_macs:
+        MACs skipped by zero gating (0 when zero gating is disabled).
     active_pe_cycles:
-        Measured PE-cycles spent doing useful work; every occupied PE-cycle
-        of this event-timed model performs a MAC, so this equals
-        ``mac_count``.  Surfaced explicitly so the accelerator façade can
+        Measured PE-cycles spent holding both operands.  Gated PEs still
+        hold operands and therefore still count as active, matching the OS
+        simulators.  Surfaced explicitly so the accelerator façade can
         aggregate measured utilisation uniformly across all tile simulators
         (it must never be silently substituted with the idealized count).
     upper_partial, lower_partial:
@@ -69,25 +81,41 @@ class AxonStationaryRunResult:
     preload_cycles: int
     stream_cycles: int
     mac_count: int
+    gated_macs: int
     active_pe_cycles: int
     upper_partial: np.ndarray
     lower_partial: np.ndarray
 
     def utilization(self, num_pes: int) -> float:
-        """Fraction of PE-cycles performing useful MACs over the whole run."""
+        """Fraction of PE-cycles holding both operands over the whole run."""
         if num_pes <= 0 or self.total_cycles <= 0:
             return 0.0
-        return self.mac_count / (num_pes * self.total_cycles)
+        return self.active_pe_cycles / (num_pes * self.total_cycles)
 
 
 class AxonStationaryArray:
-    """Event-timed simulator for Axon's WS and IS dataflows."""
+    """Event-timed simulator for Axon's WS and IS dataflows.
 
-    def __init__(self, config: ArrayConfig, dataflow: Dataflow):
+    Parameters
+    ----------
+    config:
+        Physical array configuration.
+    dataflow:
+        ``WEIGHT_STATIONARY`` or ``INPUT_STATIONARY``.
+    zero_gating:
+        When True, a PE skips the multiply when either operand is exactly
+        zero (the sparsity support of Sec. 4.1); the result is unchanged but
+        ``gated_macs`` counts the skipped operations for the power model.
+    """
+
+    def __init__(
+        self, config: ArrayConfig, dataflow: Dataflow, zero_gating: bool = False
+    ):
         if dataflow is Dataflow.OUTPUT_STATIONARY:
             raise ValueError("use AxonOSArray for the output-stationary dataflow")
         self.config = config
         self.dataflow = dataflow
+        self.zero_gating = zero_gating
 
     def run_tile(self, a: np.ndarray, b: np.ndarray) -> AxonStationaryRunResult:
         """Run one GEMM tile ``a @ b`` under the configured dataflow."""
@@ -119,25 +147,42 @@ class AxonStationaryArray:
         preload_cycles = s_r
 
         # Bypass-and-add accumulation: for array column c the diagonal feeder
-        # sits at row r = min(c, s_r - 1).  Rows above it accumulate upward;
-        # the feeder row and the rows below accumulate downward.
+        # sits at row r = min(c, s_r - 1).  Rows above it accumulate upward
+        # (descending row order), the feeder row and the rows below accumulate
+        # downward (ascending row order) — the accumulation-order contract of
+        # the module docstring.
         upper = np.zeros((temporal, s_c))
         lower = np.zeros((temporal, s_c))
+        total_macs = s_r * s_c * temporal
         mac_count = 0
         last_ready = 0
+        moving_row_nonzero = np.count_nonzero(moving, axis=1).astype(np.int64)
         for c in range(s_c):
             split = min(c, s_r - 1)
-            for t in range(temporal):
-                products = moving[:, t] * stationary[:, c]  # length s_r
-                upper[t, c] = products[:split].sum()
-                lower[t, c] = products[split:].sum()
-                mac_count += s_r
-                # The upper segment finishes at the top of the column, the
-                # lower segment at the bottom; the moving operand reaches row
-                # r of column c at stream cycle t + |r - split|.
-                upper_done = t + split if split > 0 else t
-                lower_done = t + (s_r - 1 - split)
-                last_ready = max(last_ready, upper_done, lower_done)
+            products = moving * stationary[:, c][:, None]  # (s_r, temporal)
+            acc = np.zeros(temporal)
+            for r in range(split - 1, -1, -1):  # upward, away from the feeder
+                acc = acc + products[r]
+            upper[:, c] = acc
+            acc = np.zeros(temporal)
+            for r in range(split, s_r):  # downward, starting at the feeder
+                acc = acc + products[r]
+            lower[:, c] = acc
+            if self.zero_gating:
+                # A MAC (r, t) of this column is performed iff both the
+                # stationary and the moving operand are non-zero.
+                mac_count += int(
+                    np.dot(stationary[:, c] != 0.0, moving_row_nonzero)
+                )
+            else:
+                mac_count += s_r * temporal
+            # The upper segment finishes at the top of the column, the lower
+            # segment at the bottom; the moving operand reaches row r of
+            # column c at stream cycle t + |r - split|.
+            last_t = temporal - 1
+            upper_done = last_t + split if split > 0 else last_t
+            lower_done = last_t + (s_r - 1 - split)
+            last_ready = max(last_ready, upper_done, lower_done)
 
         # The combined output leaves the array one cycle after the later of
         # the two segments is ready, giving a stream phase of
@@ -164,7 +209,8 @@ class AxonStationaryArray:
             preload_cycles=preload_cycles,
             stream_cycles=stream_cycles,
             mac_count=mac_count,
-            active_pe_cycles=mac_count,
+            gated_macs=total_macs - mac_count,
+            active_pe_cycles=total_macs,
             upper_partial=upper_out,
             lower_partial=lower_out,
         )

@@ -21,16 +21,36 @@ utilisation counters) from *how* it is computed.  Two engine families exist:
     simulators at some extra cost; the plain fast path may differ in the
     last ulp.
 
-Default-engine policy
----------------------
-The accelerator façades default to ``"wavefront"`` and **fall back to the
-cycle engine automatically** for anything the closed form does not cover
-(currently: the weight-/input-stationary functional path).  The cycle engine
-therefore never needs to be selected for correctness — only for
-cross-validation, which is exactly what the engine test-suite does.
+Engine coverage matrix
+----------------------
+The closed form covers **every** dataflow and topology — the cycle engine is
+never required for correctness, only for cross-validation (which is exactly
+what the engine test-suite does):
+
+====================  ============================  =========================
+Functional path        Conventional array            Axon array
+====================  ============================  =========================
+OS (scale-up)          wavefront (Eq. 1 skew)        wavefront (Table 2 feed,
+                                                     zero gating)
+WS / IS (scale-up)     wavefront (preload + stream)  wavefront (preload +
+                                                     bypass-and-add, zero
+                                                     gating)
+Scale-out (Eq. 3,      wavefront                     wavefront
+``P_R x P_C`` grid)    (:mod:`repro.engine.scaleout`, all dataflows)
+Tile overlap           —                             wavefront
+(``overlap=True``)                                   (Axon OS ablation)
+====================  ============================  =========================
+
+The WS/IS mappings put the reduction dimension on the array rows, so the
+batched executor splits large ``K`` into row-sized chunks and accumulates
+the partial products in ascending chunk order — the same order the cycle
+engine's tile loop uses, so ``"wavefront-exact"`` stays bit-identical on
+ragged tilings.
 
 The batched executor (:mod:`repro.engine.batched`) runs all tiles of a GEMM
-in vectorized shape-groups instead of a one-tile-at-a-time Python loop, and
+in vectorized shape-groups instead of a one-tile-at-a-time Python loop;
+:mod:`repro.engine.scaleout` partitions a GEMM across a multi-array grid and
+reduces outputs and counters into one aggregate; and
 :mod:`repro.engine.cache` memoizes analytical estimates across sweep points.
 """
 
@@ -42,10 +62,20 @@ from repro.engine.cache import (
     clear_estimate_cache,
     estimate_cache_info,
 )
+from repro.engine.scaleout import (
+    PartitionShare,
+    ScaleOutExecution,
+    execute_gemm_scale_out,
+    iter_partition_shares,
+    scale_out_reduce,
+)
 from repro.engine.wavefront import (
     AxonWavefrontOSArray,
+    AxonWavefrontStationaryArray,
     ConventionalWavefrontOSArray,
+    ConventionalWavefrontStationaryArray,
     axon_activity_profile,
+    bypass_add_matmul,
     conventional_activity_profile,
     sequential_matmul,
     zero_gating_counts,
@@ -75,12 +105,20 @@ __all__ = [
     "GemmExecution",
     "TileGroup",
     "execute_gemm",
+    "PartitionShare",
+    "ScaleOutExecution",
+    "execute_gemm_scale_out",
+    "iter_partition_shares",
+    "scale_out_reduce",
     "cached_gemm_cycles",
     "clear_estimate_cache",
     "estimate_cache_info",
     "AxonWavefrontOSArray",
+    "AxonWavefrontStationaryArray",
     "ConventionalWavefrontOSArray",
+    "ConventionalWavefrontStationaryArray",
     "axon_activity_profile",
+    "bypass_add_matmul",
     "conventional_activity_profile",
     "sequential_matmul",
     "zero_gating_counts",

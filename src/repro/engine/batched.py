@@ -1,25 +1,44 @@
-"""Batched wavefront executor for tiled GEMMs.
+"""Batched wavefront executor for tiled GEMMs — all three dataflows.
 
-The cycle-engine functional path walks the output tiles of a GEMM one at a
-time through a Python loop, simulating every clock of every tile.  This
-executor replaces that hot path: because scale-up tiling never splits the
-reduction dimension, the union of all output tiles is simply the full
-product, so the numerical result is computed with **one** ``a @ b`` matmul,
-and the per-tile cycle accounting collapses into closed forms evaluated once
-per *tile-shape group* (at most four groups exist: full tiles, ragged right
-edge, ragged bottom edge, ragged corner).
+The cycle-engine functional path walks the tiles of a GEMM one at a time
+through a Python loop, simulating every clock of every tile.  This executor
+replaces that hot path for **every** dataflow:
 
-Zero-gating counters are likewise derived from the operand zero masks in one
+* **Output stationary** — scale-up tiling never splits the reduction
+  dimension, so the union of all output tiles is simply the full product:
+  the numerical result is one ``a @ b`` matmul and the per-tile cycle
+  accounting collapses into closed forms evaluated once per *tile-shape
+  group* (at most four groups exist: full tiles, ragged right edge, ragged
+  bottom edge, ragged corner).
+* **Weight / input stationary** — the Table 1 mapping puts the reduction
+  dimension on the array rows (``S_R = K``), so large ``K`` is split into
+  row-sized chunks whose partial products sum to the full result; the union
+  over all chunks is *still* one ``a @ b``, and the tile-shape groups are
+  the cross product of the ``K``-chunk and output-band shapes (again at
+  most four).  This removes the cycle-simulator fallback the WS/IS
+  functional path used to take — and with it the old ``K <= rows``
+  restriction.
+
+Zero-gating counters are derived from the operand zero masks in one
 vectorized pass (the number of performed MACs is the per-``s`` product of
-operand non-zero counts summed over the reduction dimension, which tiling
-does not change).
+operand non-zero counts summed over the reduction dimension, which neither
+tiling nor the dataflow changes).
 
 Accumulation-order note: the fast path uses BLAS ``a @ b``, which may
 reassociate each reduction and differ from the cycle simulators in the last
-ulp.  Pass ``exact=True`` (the ``"wavefront-exact"`` engine) to accumulate in
-the hardware order via :func:`repro.engine.wavefront.sequential_matmul` and
-obtain bit-identical outputs at roughly ``K`` vectorized rank-1 updates of
-cost — still far faster than cycle simulation.
+ulp.  Pass ``exact=True`` (the ``"wavefront-exact"`` engine) to accumulate
+in the hardware order and obtain bit-identical outputs at roughly ``K``
+vectorized rank-1 updates of cost (``2 K`` for Axon WS/IS, whose
+bypass-and-add scheme accumulates two column segments in opposite
+directions) — still far faster than cycle simulation.
+
+``overlap=True`` models Axon's back-to-back tile streaming (the skew-free
+diagonal feed lets tile ``i+1``'s fill overlap tile ``i``'s drain), charging
+the fill and readout latencies once for the whole workload instead of once
+per tile: ``tau = num_tiles * T + (max(R, C) - 1) + R``.  It is an ablation
+mode (:func:`repro.core.runtime_model.axon_overlapped_runtime`), available
+for the Axon OS dataflow only; outputs and work counters are unchanged, only
+the cycle accounting differs.
 """
 
 from __future__ import annotations
@@ -28,23 +47,32 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arch.dataflow import Dataflow, map_gemm
 from repro.baselines.scalesim_model import scalesim_tile_runtime
-from repro.core.runtime_model import axon_runtime
-from repro.engine.wavefront import sequential_matmul, zero_gating_counts
+from repro.core.runtime_model import axon_overlapped_runtime, axon_runtime
+from repro.engine.wavefront import (
+    bypass_add_matmul,
+    sequential_matmul,
+    zero_gating_counts,
+)
 
 
 @dataclass(frozen=True)
 class TileGroup:
-    """One group of identically-shaped output tiles of a tiled GEMM.
+    """One group of identically-shaped tiles of a tiled GEMM.
 
     Attributes
     ----------
     tile_rows, tile_cols:
-        Output-tile extents shared by every tile in the group.
+        Mapped spatial tile extents (``S_R x S_C``) shared by every tile in
+        the group: output-tile rows/cols for OS, reduction-chunk x
+        output-band extents for WS/IS.
     count:
         Number of tiles with this shape.
     cycles_per_tile:
-        Closed-form total (compute + drain) cycles of one such tile.
+        Closed-form standalone (fill/preload + stream + drain) cycles of one
+        such tile.  Under ``overlap=True`` execution the per-tile costs are
+        not additive; the group still reports the standalone cost.
     """
 
     tile_rows: int
@@ -63,7 +91,8 @@ class GemmExecution:
         The exact ``(M, N)`` product.
     total_cycles:
         Sum of per-tile scale-up cycle counts (identical to the cycle
-        engine's accumulation).
+        engine's accumulation), or the overlapped closed form when
+        ``overlap=True``.
     macs:
         Idealized MAC count ``M * K * N``.
     mac_count:
@@ -74,9 +103,11 @@ class GemmExecution:
         Measured PE-cycles holding both operands, summed over all tiles
         (gated PEs still hold operands and count as active).
     tile_count:
-        Number of output tiles executed.
+        Number of tiles executed.
     groups:
         The tile-shape groups the accounting was computed over.
+    dataflow:
+        The dataflow the execution was mapped under.
     """
 
     output: np.ndarray
@@ -87,16 +118,7 @@ class GemmExecution:
     active_pe_cycles: int
     tile_count: int
     groups: tuple[TileGroup, ...]
-
-
-def _conventional_os_tile_cycles(tile_rows: int, tile_cols: int, k: int) -> int:
-    # OS mapping (Table 1): S_R = M, S_C = N, T = K onto the canonical Eq. 1.
-    return scalesim_tile_runtime(tile_rows, tile_cols, k)
-
-
-def _axon_os_tile_cycles(tile_rows: int, tile_cols: int, k: int) -> int:
-    # OS mapping onto the canonical Table 2 single-tile form.
-    return axon_runtime(tile_rows, tile_cols, k)
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY
 
 
 def _dimension_blocks(extent: int, block: int) -> list[tuple[int, int]]:
@@ -110,34 +132,73 @@ def _dimension_blocks(extent: int, block: int) -> list[tuple[int, int]]:
     return blocks
 
 
+def _exact_stationary_output(
+    a: np.ndarray, b: np.ndarray, rows: int, cols: int, dataflow: Dataflow, axon: bool
+) -> np.ndarray:
+    """Bit-exact WS/IS output: hardware-ordered accumulation per ``K`` chunk.
+
+    Each ``rows``-sized reduction chunk contributes one partial product,
+    accumulated in ascending chunk order exactly like the cycle-engine tile
+    loop.  Within a chunk the conventional array accumulates in ascending
+    stationary-row order (= :func:`sequential_matmul`); the Axon array uses
+    the bypass-and-add split, whose feeder position depends on each output
+    row's (WS) / column's (IS) position *within its array tile* — hence the
+    positions modulo the array width.
+    """
+    m, k = a.shape
+    _, n = b.shape
+    extent = m if dataflow is Dataflow.WEIGHT_STATIONARY else n
+    positions = np.arange(extent) % cols
+    output = np.zeros((m, n))
+    for k_start in range(0, k, rows):
+        a_chunk = a[:, k_start : k_start + rows]
+        b_chunk = b[k_start : k_start + rows, :]
+        if axon:
+            upper, lower = bypass_add_matmul(
+                a_chunk, b_chunk, dataflow, spatial_positions=positions
+            )
+            output += upper + lower
+        else:
+            output += sequential_matmul(a_chunk, b_chunk)
+    return output
+
+
 def execute_gemm(
     a: np.ndarray,
     b: np.ndarray,
     rows: int,
     cols: int,
     *,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
     axon: bool = False,
     zero_gating: bool = False,
     exact: bool = False,
+    overlap: bool = False,
 ) -> GemmExecution:
     """Execute a full tiled GEMM with the wavefront engine.
 
     Parameters
     ----------
     a, b:
-        GEMM operands ``(M, K)`` and ``(K, N)``; any ``M``/``N`` (tiled onto
-        the array), any ``K`` (never split in scale-up execution).
+        GEMM operands ``(M, K)`` and ``(K, N)``; any shape (tiled onto the
+        array per the Table 1 mapping of the chosen dataflow — the WS/IS
+        mappings split the reduction dimension across row-sized chunks).
     rows, cols:
         Physical array shape the problem is tiled onto.
+    dataflow:
+        The dataflow to map the GEMM under (OS, WS or IS).
     axon:
-        Use the Axon diagonal-feed cycle model (Table 2) instead of the
-        conventional skewed-feed model (Eq. 1).
+        Use the Axon cycle model (diagonal feed / bypass-and-add, Table 2)
+        instead of the conventional skewed-feed model (Eq. 1).
     zero_gating:
         Count zero-gated MACs (Axon sparsity support); only meaningful with
         ``axon=True``.
     exact:
         Accumulate outputs in the hardware reduction order for bit-exact
         agreement with the cycle simulators instead of one BLAS matmul.
+    overlap:
+        Charge fill/drain once for the whole workload (Axon back-to-back
+        tile streaming); requires ``axon=True`` and the OS dataflow.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -149,20 +210,33 @@ def execute_gemm(
     _, n = b.shape
     if m == 0 or k == 0 or n == 0:
         raise ValueError(f"GEMM dimensions must be positive, got M={m}, K={k}, N={n}")
+    if overlap and not (axon and dataflow is Dataflow.OUTPUT_STATIONARY):
+        raise ValueError(
+            "overlap (back-to-back tile streaming) requires the Axon OS dataflow"
+        )
 
-    output = sequential_matmul(a, b) if exact else a @ b
+    mapping = map_gemm(m, k, n, dataflow)
+    if exact:
+        if dataflow is Dataflow.OUTPUT_STATIONARY:
+            output = sequential_matmul(a, b)
+        else:
+            output = _exact_stationary_output(a, b, rows, cols, dataflow, axon)
+    else:
+        output = a @ b
 
-    tile_cycles = _axon_os_tile_cycles if axon else _conventional_os_tile_cycles
+    tile_cycles = axon_runtime if axon else scalesim_tile_runtime
     groups = []
     total_cycles = 0
     tile_count = 0
-    for tile_rows, row_count in _dimension_blocks(m, rows):
-        for tile_cols, col_count in _dimension_blocks(n, cols):
+    for tile_rows, row_count in _dimension_blocks(mapping.spatial_rows, rows):
+        for tile_cols, col_count in _dimension_blocks(mapping.spatial_cols, cols):
             count = row_count * col_count
-            per_tile = tile_cycles(tile_rows, tile_cols, k)
+            per_tile = tile_cycles(tile_rows, tile_cols, mapping.temporal)
             groups.append(TileGroup(tile_rows, tile_cols, count, per_tile))
             total_cycles += count * per_tile
             tile_count += count
+    if overlap:
+        total_cycles = axon_overlapped_runtime(mapping, rows, cols)
 
     macs = m * n * k
     if axon and zero_gating:
@@ -179,4 +253,5 @@ def execute_gemm(
         active_pe_cycles=macs,
         tile_count=tile_count,
         groups=tuple(groups),
+        dataflow=dataflow,
     )

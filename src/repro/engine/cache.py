@@ -2,25 +2,29 @@
 
 The analytical estimates behind :meth:`repro.api._AcceleratorBase.estimate_*`
 and the figure sweeps in :mod:`repro.analysis` are pure functions of
-``(GEMM shape, array config, dataflow, engine)``, yet the sweep drivers used
-to recompute identical design points over and over (every workload appears in
-several figures and every array size revisits every workload).  This module
-provides the process-wide memo the sweeps and the accelerator façades share.
+``(GEMM shape, array config, dataflow, engine, partition grid)``, yet the
+sweep drivers used to recompute identical design points over and over (every
+workload appears in several figures and every array size revisits every
+workload).  This module provides the process-wide memo the sweeps and the
+accelerator façades share; long-lived sweep services can observe its hit
+rate via :func:`estimate_cache_info` (also exposed as the ``repro cache``
+CLI subcommand) and reset it with :func:`clear_estimate_cache`.
 
-The cache key deliberately includes the engine name: today every engine
+The cache key deliberately includes the engine name — today every engine
 agrees on the estimate (the closed forms *are* the wavefront model and the
 cycle simulators validate them), but an engine whose timing model diverges —
 e.g. a future bandwidth-limited one — must not alias another engine's
-entries.
+entries — and the ``P_R x P_C`` scale-out partition grid, because Eq. 3
+estimates differ from Eq. 2 estimates for the same GEMM shape.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.arch.dataflow import Dataflow
+from repro.arch.dataflow import Dataflow, map_gemm
 from repro.baselines.scalesim_model import scalesim_runtime
-from repro.core.runtime_model import workload_runtime
+from repro.core.runtime_model import scale_out_runtime, workload_runtime
 
 
 @lru_cache(maxsize=65536)
@@ -33,8 +37,20 @@ def cached_gemm_cycles(
     dataflow: Dataflow,
     axon: bool,
     engine: str = "wavefront",
+    partitions_rows: int = 1,
+    partitions_cols: int = 1,
 ) -> int:
-    """Scale-up runtime estimate for one GEMM design point, memoized."""
+    """Runtime estimate for one GEMM design point, memoized.
+
+    ``partitions_rows``/``partitions_cols`` select Eq. 3 scale-out execution
+    on a ``P_R x P_C`` grid of ``rows x cols`` arrays; the default ``1 x 1``
+    grid is Eq. 2 scale-up execution.
+    """
+    if partitions_rows != 1 or partitions_cols != 1:
+        mapping = map_gemm(m, k, n, dataflow)
+        return scale_out_runtime(
+            mapping, rows, cols, partitions_rows, partitions_cols, axon
+        )
     if axon:
         return workload_runtime(m, k, n, rows, cols, dataflow, axon=True)
     return scalesim_runtime(m, k, n, rows, cols, dataflow)

@@ -1,0 +1,260 @@
+"""Scale-out (multi-array) executor — Eq. 3's ``P_R x P_C`` partitioning.
+
+Scale-out execution replaces one monolithic array with a grid of ``P_R x
+P_C`` smaller arrays working on disjoint shares of the mapped spatial
+dimensions (Eq. 3 of the paper): each array receives ``ceil(S_R / P_R) x
+ceil(S_C / P_C)`` of the spatial extent and processes its share exactly like
+a scale-up array — here, through the batched wavefront executor
+(:mod:`repro.engine.batched`), so every share runs vectorized.
+
+What the spatial shares mean depends on the dataflow (Table 1):
+
+* **OS** (``S_R = M``, ``S_C = N``): the grid partitions the *output*; each
+  array produces a disjoint output block and no cross-array reduction is
+  needed.
+* **WS** (``S_R = K``, ``S_C = M``) / **IS** (``S_R = K``, ``S_C = N``): the
+  grid rows partition the *reduction* dimension, so the ``P_R`` arrays of a
+  grid column produce partial sums for the same output band that are
+  reduced in ascending grid-row order (matching the ascending-``K``
+  accumulation contract of the scale-up engines, so ``exact=True`` remains
+  bit-stable and ``P_R = P_C = 1`` is bit-identical to scale-up execution).
+
+The arrays run in parallel, so the aggregate ``total_cycles`` is the
+*makespan* — the maximum share runtime — while the work counters (MACs,
+zero-gated MACs, active PE-cycles) sum over the grid.  When the extent does
+not fill the grid, trailing arrays receive empty shares and sit idle,
+contributing zero cycles and zero work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.arch.dataflow import Dataflow
+from repro.arch.tiling import partition_spans
+from repro.engine.batched import GemmExecution, execute_gemm
+
+
+@dataclass(frozen=True)
+class PartitionShare:
+    """One array's share of a scale-out GEMM.
+
+    ``out_rows`` / ``out_cols`` are ``(start, size)`` spans locating the
+    share's partial result in the full output; ``reduces`` is True when the
+    share produces partial sums that must be accumulated (WS/IS grid rows)
+    rather than a disjoint output block (OS).
+    """
+
+    grid_row: int
+    grid_col: int
+    a: np.ndarray
+    b: np.ndarray
+    out_rows: tuple[int, int]
+    out_cols: tuple[int, int]
+    reduces: bool
+
+
+@dataclass(frozen=True)
+class ScaleOutExecution:
+    """Aggregate result of a ``P_R x P_C`` scale-out GEMM execution.
+
+    Attributes
+    ----------
+    output:
+        The exact ``(M, N)`` product, reduced across the grid.
+    grid:
+        The ``(P_R, P_C)`` partition grid.
+    total_cycles:
+        Makespan: the maximum share runtime (the arrays run in parallel).
+    macs, mac_count, gated_macs, active_pe_cycles:
+        Work counters summed over every array of the grid.
+    tile_count:
+        Scale-up tiles executed, summed over the grid.
+    shares:
+        Per-array executions in grid-row-major order (None for idle arrays
+        that received an empty share).
+    """
+
+    output: np.ndarray
+    grid: tuple[int, int]
+    total_cycles: int
+    macs: int
+    mac_count: int
+    gated_macs: int
+    active_pe_cycles: int
+    tile_count: int
+    shares: tuple[GemmExecution | None, ...]
+
+    @property
+    def num_arrays(self) -> int:
+        """Number of arrays in the partition grid."""
+        return self.grid[0] * self.grid[1]
+
+
+def iter_partition_shares(
+    a: np.ndarray, b: np.ndarray, dataflow: Dataflow, p_r: int, p_c: int
+) -> Iterator[PartitionShare]:
+    """Yield each array's operand share of an Eq. 3 scale-out partitioning.
+
+    Shares are yielded in grid-row-major order with ascending grid rows, so
+    accumulating the reducing shares (WS/IS) in iteration order reproduces
+    the ascending-``K`` accumulation contract.  Empty shares (grids larger
+    than the spatial extent) are skipped.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("operands must be 2-D with agreeing inner dimensions")
+    m, k = a.shape
+    _, n = b.shape
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        row_spans, col_spans = partition_spans(m, p_r), partition_spans(n, p_c)
+    elif dataflow is Dataflow.WEIGHT_STATIONARY:
+        row_spans, col_spans = partition_spans(k, p_r), partition_spans(m, p_c)
+    else:
+        row_spans, col_spans = partition_spans(k, p_r), partition_spans(n, p_c)
+    for grid_row, (r0, rs) in enumerate(row_spans):
+        for grid_col, (c0, cs) in enumerate(col_spans):
+            if rs == 0 or cs == 0:
+                continue
+            if dataflow is Dataflow.OUTPUT_STATIONARY:
+                yield PartitionShare(
+                    grid_row, grid_col,
+                    a[r0 : r0 + rs, :], b[:, c0 : c0 + cs],
+                    (r0, rs), (c0, cs), reduces=False,
+                )
+            elif dataflow is Dataflow.WEIGHT_STATIONARY:
+                yield PartitionShare(
+                    grid_row, grid_col,
+                    a[c0 : c0 + cs, r0 : r0 + rs], b[r0 : r0 + rs, :],
+                    (c0, cs), (0, n), reduces=True,
+                )
+            else:
+                yield PartitionShare(
+                    grid_row, grid_col,
+                    a[:, r0 : r0 + rs], b[r0 : r0 + rs, c0 : c0 + cs],
+                    (0, m), (c0, cs), reduces=True,
+                )
+
+
+def scale_out_reduce(
+    a: np.ndarray,
+    b: np.ndarray,
+    dataflow: Dataflow,
+    partitions_rows: int,
+    partitions_cols: int,
+    run_share,
+) -> ScaleOutExecution:
+    """Partition a GEMM per Eq. 3, run each share, reduce the results.
+
+    ``run_share(a_share, b_share) -> GemmExecution`` executes one array's
+    work; this function owns the Eq. 3 aggregation contract shared by every
+    engine — output scatter/accumulation, makespan cycles, summed work
+    counters — so the wavefront executor and the cycle-engine path cannot
+    drift apart.  With a ``1 x 1`` grid the single share's results pass
+    through untouched (bit-identical to scale-up execution, including the
+    last-ulp bits of the fast path).
+    """
+    if partitions_rows <= 0 or partitions_cols <= 0:
+        raise ValueError("partition counts must be positive")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("operands must be 2-D with agreeing inner dimensions")
+    m, k = a.shape
+    _, n = b.shape
+    if m == 0 or k == 0 or n == 0:
+        raise ValueError(f"GEMM dimensions must be positive, got M={m}, K={k}, N={n}")
+
+    if partitions_rows == 1 and partitions_cols == 1:
+        execution = run_share(a, b)
+        return ScaleOutExecution(
+            output=execution.output,
+            grid=(1, 1),
+            total_cycles=execution.total_cycles,
+            macs=execution.macs,
+            mac_count=execution.mac_count,
+            gated_macs=execution.gated_macs,
+            active_pe_cycles=execution.active_pe_cycles,
+            tile_count=execution.tile_count,
+            shares=(execution,),
+        )
+
+    output = np.zeros((m, n))
+    shares: dict[tuple[int, int], GemmExecution] = {}
+    total_cycles = 0
+    mac_count = 0
+    gated_macs = 0
+    active_pe_cycles = 0
+    tile_count = 0
+    for share in iter_partition_shares(a, b, dataflow, partitions_rows, partitions_cols):
+        execution = run_share(share.a, share.b)
+        r0, rs = share.out_rows
+        c0, cs = share.out_cols
+        output[r0 : r0 + rs, c0 : c0 + cs] += execution.output
+        shares[(share.grid_row, share.grid_col)] = execution
+        total_cycles = max(total_cycles, execution.total_cycles)
+        mac_count += execution.mac_count
+        gated_macs += execution.gated_macs
+        active_pe_cycles += execution.active_pe_cycles
+        tile_count += execution.tile_count
+
+    ordered = tuple(
+        shares.get((p, q))
+        for p in range(partitions_rows)
+        for q in range(partitions_cols)
+    )
+    return ScaleOutExecution(
+        output=output,
+        grid=(partitions_rows, partitions_cols),
+        total_cycles=total_cycles,
+        macs=m * n * k,
+        mac_count=mac_count,
+        gated_macs=gated_macs,
+        active_pe_cycles=active_pe_cycles,
+        tile_count=tile_count,
+        shares=ordered,
+    )
+
+
+def execute_gemm_scale_out(
+    a: np.ndarray,
+    b: np.ndarray,
+    rows: int,
+    cols: int,
+    partitions_rows: int,
+    partitions_cols: int,
+    *,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+    axon: bool = False,
+    zero_gating: bool = False,
+    exact: bool = False,
+    overlap: bool = False,
+) -> ScaleOutExecution:
+    """Execute a GEMM across a ``P_R x P_C`` grid of ``rows x cols`` arrays.
+
+    Every share runs through :func:`repro.engine.batched.execute_gemm` with
+    the same engine options; see that function for their meaning.  With
+    ``partitions_rows == partitions_cols == 1`` the result is bit-identical
+    (outputs and every counter) to single-array scale-up execution.
+    """
+
+    def run_share(a_share: np.ndarray, b_share: np.ndarray) -> GemmExecution:
+        return execute_gemm(
+            a_share,
+            b_share,
+            rows,
+            cols,
+            dataflow=dataflow,
+            axon=axon,
+            zero_gating=zero_gating,
+            exact=exact,
+            overlap=overlap,
+        )
+
+    return scale_out_reduce(
+        a, b, dataflow, partitions_rows, partitions_cols, run_share
+    )

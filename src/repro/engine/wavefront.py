@@ -18,6 +18,22 @@ the ``s``-th operand pair is a pure function of the skew geometry:
   histogram convolved with the same box filter and the total is Table 2's
   ``max(M, N) + M + K - 1``.
 
+The **stationary dataflows** (WS/IS, :mod:`repro.arch.stationary` and
+:mod:`repro.core.axon_stationary`) have closed forms too:
+
+* **Conventional WS/IS**: the stationary operand preloads in ``S_R`` cycles,
+  the moving operand streams with partial sums accumulating *down* each
+  column in ascending stationary-row order, and the stream+drain tail is
+  ``S_R + S_C + T - 2`` cycles — so the total matches Eq. 1 under the
+  Table 1 mapping and the outputs are :func:`sequential_matmul` again.
+* **Axon WS/IS** (preload over the output path + bypass-and-add): column
+  ``c``'s feeder sits at row ``min(c, S_R - 1)``; the lower partial-sum
+  segment accumulates downward (ascending rows) and the upper segment
+  upward (descending rows), combining into the output with a stream phase
+  of ``max(S_R, S_C) + T - 1`` cycles (Table 2).
+  :func:`bypass_add_matmul` reproduces the two segments bit-exactly with
+  masked rank-1 updates.
+
 The functions here reproduce the simulators **bit-exactly** — outputs, total
 / compute / drain cycle counts, MAC and zero-gating counters, active-PE
 cycles and the full per-cycle activity profile — while doing no per-cycle
@@ -33,9 +49,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arch.dataflow import Dataflow, map_gemm
+from repro.arch.stationary import StationaryRunResult
 from repro.arch.systolic_os import OSRunResult
 from repro.baselines.scalesim_model import scalesim_tile_runtime
 from repro.core.axon_os import AxonOSRunResult
+from repro.core.axon_stationary import AxonStationaryRunResult
 from repro.core.runtime_model import axon_runtime
 
 
@@ -182,6 +201,174 @@ class AxonWavefrontOSArray:
     def expected_cycles(self, m: int, k: int, n: int) -> int:
         """Analytical cycle count for one tile (Table 2, OS row)."""
         return axon_runtime(m, n, k)
+
+
+def map_stationary_tile(m: int, k: int, n: int, dataflow: Dataflow) -> tuple[int, int, int]:
+    """``(S_R, S_C, T)`` of one WS/IS tile (the Table 1 mapping, unpacked)."""
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        raise ValueError("stationary mapping requires the WS or IS dataflow")
+    mapping = map_gemm(m, k, n, dataflow)
+    return mapping.spatial_rows, mapping.spatial_cols, mapping.temporal
+
+
+def bypass_add_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    dataflow: Dataflow,
+    spatial_positions: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(upper, lower)`` bypass-and-add partial sums of ``a @ b`` (Fig. 8b).
+
+    Reproduces the Axon stationary simulator's split accumulation bit-exactly
+    in ``2 K`` vectorized rank-1 updates: array column ``c``'s feeder sits at
+    stationary row ``split = min(c, K - 1)``, the lower segment accumulates
+    rows ``split .. K-1`` in ascending order and the upper segment rows
+    ``split-1 .. 0`` in descending order.  ``upper + lower`` is the product.
+
+    ``spatial_positions`` gives each output row's (WS) or column's (IS)
+    position within its array tile; it defaults to ``arange`` (a single tile
+    starting at array column 0).  The batched executor passes the positions
+    modulo the array width so one call covers every tile of a column chunk.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m, k = a.shape
+    _, n = b.shape
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        extent = m
+    elif dataflow is Dataflow.INPUT_STATIONARY:
+        extent = n
+    else:
+        raise ValueError("bypass-and-add applies to the WS and IS dataflows only")
+    if spatial_positions is None:
+        spatial_positions = np.arange(extent)
+    split = np.minimum(np.asarray(spatial_positions, dtype=np.int64), k - 1)
+    if split.shape != (extent,):
+        raise ValueError(
+            f"spatial_positions must have shape ({extent},), got {split.shape}"
+        )
+    upper = np.zeros((m, n))
+    lower = np.zeros((m, n))
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        for r in range(k):  # downward segment: ascending rows from the feeder
+            lower += np.where(split <= r, a[:, r], 0.0)[:, None] * b[r, None, :]
+        for r in range(k - 1, -1, -1):  # upward segment: descending rows
+            upper += np.where(split > r, a[:, r], 0.0)[:, None] * b[r, None, :]
+    else:
+        for r in range(k):
+            lower += a[:, r, None] * np.where(split <= r, b[r, :], 0.0)[None, :]
+        for r in range(k - 1, -1, -1):
+            upper += a[:, r, None] * np.where(split > r, b[r, :], 0.0)[None, :]
+    return upper, lower
+
+
+class ConventionalWavefrontStationaryArray:
+    """Drop-in wavefront replacement for :class:`ConventionalStationaryArray`.
+
+    ``run_tile`` returns a :class:`StationaryRunResult` that is
+    field-for-field bit-identical to the cycle simulator's: the ascending
+    stationary-row accumulation order of the down-flowing partial sums is
+    exactly :func:`sequential_matmul`'s reduction order, and every cycle
+    count is Eq. 1 under the Table 1 mapping.
+    """
+
+    def __init__(self, config, dataflow: Dataflow):
+        if dataflow is Dataflow.OUTPUT_STATIONARY:
+            raise ValueError(
+                "use ConventionalWavefrontOSArray for the output-stationary dataflow"
+            )
+        self.config = config
+        self.dataflow = dataflow
+
+    def run_tile(self, a: np.ndarray, b: np.ndarray) -> StationaryRunResult:
+        """Run one WS/IS GEMM tile ``a @ b`` without cycle-level simulation."""
+        a, b, m, k, n = _validate_stationary_tile(
+            a, b, self.dataflow, self.config.rows, self.config.cols
+        )
+        s_r, s_c, temporal = map_stationary_tile(m, k, n, self.dataflow)
+        preload_cycles = s_r
+        stream_cycles = s_r + s_c + temporal - 2
+        macs = m * n * k
+        return StationaryRunResult(
+            output=sequential_matmul(a, b),
+            total_cycles=preload_cycles + stream_cycles,
+            preload_cycles=preload_cycles,
+            stream_cycles=stream_cycles,
+            mac_count=macs,
+            active_pe_cycles=macs,
+        )
+
+    def expected_cycles(self, m: int, k: int, n: int) -> int:
+        """Analytical cycle count (Eq. 1 with the Table 1 mapping)."""
+        return 2 * k + m + n - 2
+
+
+class AxonWavefrontStationaryArray:
+    """Drop-in wavefront replacement for :class:`AxonStationaryArray`.
+
+    Reproduces the event-timed bypass-and-add simulator bit-exactly —
+    outputs, both partial-sum segments, preload/stream cycle counts and the
+    zero-gating MAC counters — via :func:`bypass_add_matmul`.
+    """
+
+    def __init__(self, config, dataflow: Dataflow, zero_gating: bool = False):
+        if dataflow is Dataflow.OUTPUT_STATIONARY:
+            raise ValueError(
+                "use AxonWavefrontOSArray for the output-stationary dataflow"
+            )
+        self.config = config
+        self.dataflow = dataflow
+        self.zero_gating = zero_gating
+
+    def run_tile(self, a: np.ndarray, b: np.ndarray) -> AxonStationaryRunResult:
+        """Run one WS/IS GEMM tile ``a @ b`` without cycle-level simulation."""
+        a, b, m, k, n = _validate_stationary_tile(
+            a, b, self.dataflow, self.config.rows, self.config.cols
+        )
+        s_r, s_c, temporal = map_stationary_tile(m, k, n, self.dataflow)
+        upper, lower = bypass_add_matmul(a, b, self.dataflow)
+        preload_cycles = s_r
+        stream_cycles = max(s_r, s_c) + temporal - 1
+        total_macs = m * n * k
+        if self.zero_gating:
+            mac_count, _ = zero_gating_counts(a, b)
+        else:
+            mac_count = total_macs
+        return AxonStationaryRunResult(
+            output=upper + lower,
+            total_cycles=preload_cycles + stream_cycles,
+            preload_cycles=preload_cycles,
+            stream_cycles=stream_cycles,
+            mac_count=mac_count,
+            gated_macs=total_macs - mac_count,
+            active_pe_cycles=total_macs,
+            upper_partial=upper,
+            lower_partial=lower,
+        )
+
+    def expected_cycles(self, m: int, k: int, n: int) -> int:
+        """Analytical cycle count (Table 2, WS/IS rows)."""
+        s_r, s_c, temporal = map_stationary_tile(m, k, n, self.dataflow)
+        return s_r + max(s_r, s_c) + temporal - 1
+
+
+def _validate_stationary_tile(
+    a: np.ndarray, b: np.ndarray, dataflow: Dataflow, rows: int, cols: int
+) -> tuple[np.ndarray, np.ndarray, int, int, int]:
+    """Operand validation mirroring the stationary cycle simulators' checks."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("operands must be 2-D with agreeing inner dimensions")
+    m, k = a.shape
+    _, n = b.shape
+    s_r, s_c, _ = map_stationary_tile(m, k, n, dataflow)
+    if s_r > rows or s_c > cols:
+        raise ValueError(
+            f"tile with spatial footprint {s_r}x{s_c} does not fit a "
+            f"{rows}x{cols} array; use repro.arch.tiling"
+        )
+    return a, b, m, k, n
 
 
 def _validate_tile_dims(m: int, n: int, k: int) -> None:

@@ -70,6 +70,26 @@ class TestSpeedupAnalysis:
         large = arithmetic_mean([r.speedup for r in by_size[256]])
         assert large > small
 
+    def test_scale_out_sweep_tracks_scale_up_speedups(self):
+        """Paper Sec. 5: the scale-up advantage carries over to scale-out
+        'linearly' — each workload's Eq. 3 speedup stays within 25% of its
+        Eq. 2 speedup on an equal-PE configuration."""
+        from repro.analysis.sweep import scale_out_sweep
+
+        selected = TABLE3_WORKLOADS[:6]
+        scale_up = {r.workload: r.speedup for r in workload_speedups(selected, 128, 128)}
+        by_grid = scale_out_sweep(selected, 64, [(2, 2)])
+        for result in by_grid[(2, 2)]:
+            assert abs(result.speedup - scale_up[result.workload]) < 0.25 * scale_up[
+                result.workload
+            ]
+
+    def test_scale_out_sweep_rejects_empty_grids(self):
+        from repro.analysis.sweep import scale_out_sweep
+
+        with pytest.raises(ValueError):
+            scale_out_sweep(TABLE3_WORKLOADS[:1], 64, [])
+
     def test_normalized_runtime_is_reciprocal_of_speedup(self):
         result = workload_speedups(TABLE3_WORKLOADS[:1], 64, 64)[0]
         assert result.normalized_axon_runtime == pytest.approx(1.0 / result.speedup)

@@ -34,12 +34,36 @@ class TestCli:
             assert re.search(rf"systolic\s+{re.escape(engine)}\s", out)
             assert re.search(rf"axon\s+{re.escape(engine)}\s", out)
 
-    def test_run_command_falls_back_for_ws_dataflow(self, capsys):
+    def test_run_command_ws_dataflow_runs_on_wavefront(self, capsys):
         args = ["run", "--m", "6", "--k", "9", "--n", "7", "--rows", "16",
                 "--cols", "16", "--dataflow", "WS", "--arch", "axon"]
         assert main(args) == 0
-        # The engine column must report the automatic fallback to "cycle".
-        assert re.search(r"axon\s+cycle\s", capsys.readouterr().out)
+        # The WS/IS functional path is covered by the closed form now; the
+        # engine column must report "wavefront", not a cycle-engine fallback.
+        assert re.search(r"axon\s+wavefront\s", capsys.readouterr().out)
+
+    def test_run_command_scale_out_grid(self, capsys):
+        args = ["run", "--m", "20", "--k", "6", "--n", "17", "--rows", "8",
+                "--cols", "8", "--scale-out", "2", "2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"systolic\s+wavefront\s+2x2\s", out)
+        assert re.search(r"axon\s+wavefront\s+2x2\s", out)
+
+    def test_cache_command_reports_statistics(self, capsys):
+        assert main(["runtime", "--m", "64", "--k", "64", "--n", "64"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out and "entries" in out
+
+    def test_cache_command_clear_flag(self, capsys):
+        from repro.engine import estimate_cache_info
+
+        assert main(["runtime", "--m", "32", "--k", "32", "--n", "32"]) == 0
+        assert main(["cache", "--clear-cache"]) == 0
+        assert "estimate cache cleared" in capsys.readouterr().out
+        assert estimate_cache_info().currsize == 0
 
     def test_run_command_zero_gating(self, capsys):
         args = ["run", "--m", "8", "--k", "4", "--n", "8", "--arch", "axon",

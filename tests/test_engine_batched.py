@@ -3,9 +3,9 @@
 The batched wavefront executor must agree with the one-tile-at-a-time cycle
 engine on the full ``run_gemm`` path — including ragged tilings where the
 last row/column tiles are smaller than the array — and the accelerator
-façades must fall back to the cycle engine for dataflows the closed form
-does not cover, surface measured utilisation counters, and reject
-impossible (>1) utilisation instead of clamping it.
+façades must run every dataflow on the closed form (no cycle-engine
+fallback), surface measured utilisation counters, and reject impossible
+(>1) utilisation instead of clamping it.
 """
 
 from __future__ import annotations
@@ -114,13 +114,13 @@ class TestEngineSelection:
             SystolicAccelerator(small_array, engine="quantum")
 
     @pytest.mark.parametrize("dataflow", [Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY])
-    def test_stationary_dataflows_fall_back_to_cycle_engine(self, rng, dataflow):
+    def test_stationary_dataflows_run_on_the_wavefront_engine(self, rng, dataflow):
         config = ArrayConfig(16, 16)
         a = rng.standard_normal((6, 9))
         b = rng.standard_normal((9, 7))
         for accelerator_cls in (SystolicAccelerator, AxonAccelerator):
             result = accelerator_cls(config, dataflow=dataflow).run_gemm(a, b)
-            assert result.engine == "cycle"  # automatic fallback
+            assert result.engine == "wavefront"  # no cycle-engine fallback
             np.testing.assert_allclose(result.output, a @ b, atol=1e-9)
             assert result.active_pe_cycles == 6 * 9 * 7
 

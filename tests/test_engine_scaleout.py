@@ -1,0 +1,215 @@
+"""Scale-out (Eq. 3) executor tests: partitioning, reduction, equivalence.
+
+The ``P_R x P_C`` executor must return correct outputs and grid-aggregated
+counters for every dataflow, reduce WS/IS partial sums across the grid rows,
+degenerate to the single-array engine bit-for-bit at ``P_R = P_C = 1``, key
+the estimate cache by the partition grid, and agree with a cycle-engine
+scale-out run tile-for-tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import AxonAccelerator, SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow, map_gemm
+from repro.arch.tiling import partition_spans
+from repro.core.runtime_model import scale_out_runtime
+from repro.engine import (
+    clear_estimate_cache,
+    estimate_cache_info,
+    execute_gemm,
+    execute_gemm_scale_out,
+    iter_partition_shares,
+)
+
+ALL_DATAFLOWS = list(Dataflow)
+
+
+class TestPartitioning:
+    def test_partition_spans_cover_extent(self):
+        assert partition_spans(10, 2) == [(0, 5), (5, 5)]
+        assert partition_spans(10, 3) == [(0, 4), (4, 4), (8, 2)]
+        # A grid larger than the extent leaves trailing arrays idle.
+        assert partition_spans(3, 4) == [(0, 1), (1, 1), (2, 1), (3, 0)]
+
+    def test_partition_spans_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            partition_spans(10, 0)
+        with pytest.raises(ValueError):
+            partition_spans(0, 2)
+
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    def test_shares_reassemble_the_gemm(self, dataflow, rng):
+        a = rng.standard_normal((13, 11))
+        b = rng.standard_normal((11, 9))
+        reference = a @ b
+        output = np.zeros((13, 9))
+        for share in iter_partition_shares(a, b, dataflow, 2, 3):
+            r0, rs = share.out_rows
+            c0, cs = share.out_cols
+            output[r0 : r0 + rs, c0 : c0 + cs] += share.a @ share.b
+        np.testing.assert_allclose(output, reference, atol=1e-9)
+
+    def test_ws_shares_partition_the_reduction(self, rng):
+        a = rng.standard_normal((6, 10))
+        b = rng.standard_normal((10, 4))
+        shares = list(
+            iter_partition_shares(a, b, Dataflow.WEIGHT_STATIONARY, 2, 1)
+        )
+        assert len(shares) == 2
+        assert all(share.reduces for share in shares)
+        # Grid rows split K: each share sees a 5-slice of the reduction.
+        assert shares[0].a.shape == (6, 5) and shares[1].a.shape == (6, 5)
+
+
+class TestScaleOutExecutor:
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    @pytest.mark.parametrize("axon", [False, True])
+    def test_output_and_counters(self, dataflow, axon, rng):
+        a = rng.standard_normal((37, 21))
+        b = rng.standard_normal((21, 29))
+        execution = execute_gemm_scale_out(
+            a, b, 8, 8, 2, 2, dataflow=dataflow, axon=axon
+        )
+        np.testing.assert_allclose(execution.output, a @ b, atol=1e-9)
+        assert execution.grid == (2, 2)
+        assert execution.num_arrays == 4
+        assert execution.macs == 37 * 21 * 29
+        assert execution.active_pe_cycles == execution.macs
+        live = [s for s in execution.shares if s is not None]
+        assert execution.total_cycles == max(s.total_cycles for s in live)
+        assert execution.tile_count == sum(s.tile_count for s in live)
+
+    def test_identity_grid_matches_single_array_bit_for_bit(self, rng):
+        a = rng.standard_normal((19, 7))
+        b = rng.standard_normal((7, 23))
+        for dataflow in ALL_DATAFLOWS:
+            for exact in (False, True):
+                single = execute_gemm(
+                    a, b, 8, 8, dataflow=dataflow, axon=True, exact=exact
+                )
+                grid = execute_gemm_scale_out(
+                    a, b, 8, 8, 1, 1, dataflow=dataflow, axon=True, exact=exact
+                )
+                assert np.array_equal(grid.output, single.output)
+                assert grid.total_cycles == single.total_cycles
+                assert grid.active_pe_cycles == single.active_pe_cycles
+                assert grid.tile_count == single.tile_count
+                assert len(grid.shares) == 1
+                assert grid.shares[0].groups == single.groups
+
+    def test_oversized_grid_leaves_arrays_idle(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 3))
+        execution = execute_gemm_scale_out(a, b, 8, 8, 4, 4, dataflow=Dataflow.OUTPUT_STATIONARY)
+        np.testing.assert_allclose(execution.output, a @ b, atol=1e-9)
+        live = [s for s in execution.shares if s is not None]
+        assert len(live) == 9  # 3x3 of the 4x4 grid have work
+        assert len(execution.shares) == 16
+
+    def test_zero_gating_counters_aggregate_across_the_grid(self, rng):
+        a = rng.standard_normal((20, 12))
+        b = rng.standard_normal((12, 20))
+        a[rng.random(a.shape) < 0.5] = 0.0
+        b[rng.random(b.shape) < 0.5] = 0.0
+        single = execute_gemm(a, b, 8, 8, axon=True, zero_gating=True)
+        for dataflow in ALL_DATAFLOWS:
+            grid = execute_gemm_scale_out(
+                a, b, 8, 8, 2, 2, dataflow=dataflow, axon=True, zero_gating=True
+            )
+            # The gating rule is tiling- and partition-invariant.
+            assert grid.mac_count == single.mac_count
+            assert grid.gated_macs == single.gated_macs
+
+    def test_rejects_degenerate_grids(self, rng):
+        a, b = np.ones((4, 4)), np.ones((4, 4))
+        with pytest.raises(ValueError):
+            execute_gemm_scale_out(a, b, 8, 8, 0, 2)
+        with pytest.raises(ValueError):
+            execute_gemm_scale_out(a, b, 8, 8, 2, -1)
+
+
+class TestScaleOutRunGemm:
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    @pytest.mark.parametrize("accelerator_cls", [SystolicAccelerator, AxonAccelerator])
+    def test_wavefront_matches_cycle_engine(self, dataflow, accelerator_cls, rng):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((19, 13))
+        b = rng.standard_normal((13, 21))
+        cycle = accelerator_cls(
+            config, dataflow=dataflow, engine="cycle", scale_out=(2, 2)
+        ).run_gemm(a, b)
+        exact = accelerator_cls(
+            config, dataflow=dataflow, engine="wavefront-exact", scale_out=(2, 2)
+        ).run_gemm(a, b)
+        fast = accelerator_cls(
+            config, dataflow=dataflow, engine="wavefront", scale_out=(2, 2)
+        ).run_gemm(a, b)
+        for field in ("cycles", "macs", "active_pe_cycles"):
+            assert getattr(exact, field) == getattr(cycle, field), field
+            assert getattr(fast, field) == getattr(cycle, field), field
+        assert np.array_equal(exact.output, cycle.output)
+        np.testing.assert_allclose(fast.output, cycle.output, atol=1e-9, rtol=0)
+        assert cycle.scale_out == exact.scale_out == (2, 2)
+
+    def test_identity_grid_matches_plain_run_gemm(self, rng):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((20, 6))
+        b = rng.standard_normal((6, 17))
+        plain = AxonAccelerator(config, engine="wavefront-exact").run_gemm(a, b)
+        gridded = AxonAccelerator(
+            config, engine="wavefront-exact", scale_out=(1, 1)
+        ).run_gemm(a, b)
+        assert np.array_equal(gridded.output, plain.output)
+        assert gridded.cycles == plain.cycles
+        assert gridded.utilization == plain.utilization
+
+    def test_scale_out_is_faster_but_less_utilized(self, rng):
+        config = ArrayConfig(16, 16)
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        single = SystolicAccelerator(config).run_gemm(a, b)
+        grid = SystolicAccelerator(config, scale_out=(2, 2)).run_gemm(a, b)
+        assert grid.cycles < single.cycles  # parallel makespan
+        assert grid.utilization <= single.utilization  # fill/drain per array
+        assert 0.0 < grid.utilization <= 1.0
+
+    def test_invalid_scale_out_rejected_at_construction(self):
+        config = ArrayConfig(8, 8)
+        with pytest.raises(ValueError, match="scale_out"):
+            SystolicAccelerator(config, scale_out=(0, 2))
+        with pytest.raises(ValueError, match="scale_out"):
+            AxonAccelerator(config, scale_out="2x2")
+
+
+class TestScaleOutEstimates:
+    def test_estimate_uses_eq3(self):
+        config = ArrayConfig(32, 32)
+        for dataflow in ALL_DATAFLOWS:
+            accelerator = AxonAccelerator(config, dataflow=dataflow, scale_out=(2, 2))
+            mapping = map_gemm(256, 96, 192, dataflow)
+            assert accelerator.estimate_gemm_cycles(256, 96, 192) == scale_out_runtime(
+                mapping, 32, 32, 2, 2, axon=True
+            )
+
+    def test_cache_key_includes_the_partition_grid(self):
+        clear_estimate_cache()
+        config = ArrayConfig(32, 32)
+        AxonAccelerator(config).estimate_gemm("g", 128, 64, 128)
+        AxonAccelerator(config, scale_out=(2, 2)).estimate_gemm("g", 128, 64, 128)
+        AxonAccelerator(config, scale_out=(2, 2)).estimate_gemm("g", 128, 64, 128)
+        info = estimate_cache_info()
+        assert info.misses == 2  # (1,1) and (2,2) are distinct design points
+        assert info.hits == 1
+
+    def test_estimate_utilization_accounts_for_all_arrays(self):
+        config = ArrayConfig(16, 16)
+        single = SystolicAccelerator(config).estimate_gemm("g", 256, 64, 256)
+        grid = SystolicAccelerator(config, scale_out=(2, 2)).estimate_gemm(
+            "g", 256, 64, 256
+        )
+        assert grid.cycles < single.cycles
+        assert 0.0 < grid.utilization <= 1.0

@@ -1,0 +1,292 @@
+"""Cross-validation of the WS/IS wavefront engine against the cycle sims.
+
+The stationary closed form must be *bit-for-bit* indistinguishable from the
+cycle simulators: outputs (same accumulation orders — ascending stationary
+rows for the conventional array, the two opposed bypass-and-add segment
+orders for Axon), preload/stream/total cycles, MAC and zero-gating counters
+and active PE-cycles — on single tiles, and through the full ``run_gemm``
+path on ragged tilings including reduction dimensions larger than the array
+(which the old cycle-only WS/IS path could not even express).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import AxonAccelerator, SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+from repro.arch.stationary import ConventionalStationaryArray
+from repro.core.axon_stationary import AxonStationaryArray
+from repro.engine import (
+    AxonWavefrontStationaryArray,
+    ConventionalWavefrontStationaryArray,
+    bypass_add_matmul,
+    execute_gemm,
+)
+
+STATIONARY_DATAFLOWS = [Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY]
+
+CONVENTIONAL_FIELDS = (
+    "total_cycles",
+    "preload_cycles",
+    "stream_cycles",
+    "mac_count",
+    "active_pe_cycles",
+)
+AXON_FIELDS = CONVENTIONAL_FIELDS + ("gated_macs",)
+
+
+def _random_stationary_tile(rng, dataflow, rows, cols, sparse=False):
+    # Footprint per Table 1: S_R = K <= rows, S_C = M (WS) / N (IS) <= cols.
+    k = int(rng.integers(1, rows + 1))
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        m = int(rng.integers(1, cols + 1))
+        n = int(rng.integers(1, 14))
+    else:
+        n = int(rng.integers(1, cols + 1))
+        m = int(rng.integers(1, 14))
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    if sparse:
+        a[rng.random(a.shape) < 0.5] = 0.0
+        b[rng.random(b.shape) < 0.5] = 0.0
+    return a, b
+
+
+class TestConventionalStationaryTile:
+    @pytest.mark.parametrize("shape", [(8, 8), (4, 9), (9, 4)])
+    @pytest.mark.parametrize("dataflow", STATIONARY_DATAFLOWS)
+    def test_bit_exact_against_cycle_simulator(self, shape, dataflow, rng):
+        config = ArrayConfig(*shape)
+        cycle = ConventionalStationaryArray(config, dataflow)
+        wavefront = ConventionalWavefrontStationaryArray(config, dataflow)
+        for _ in range(25):
+            a, b = _random_stationary_tile(rng, dataflow, *shape)
+            reference = cycle.run_tile(a, b)
+            fast = wavefront.run_tile(a, b)
+            for field in CONVENTIONAL_FIELDS:
+                assert getattr(fast, field) == getattr(reference, field), field
+            assert np.array_equal(fast.output, reference.output)
+
+    @pytest.mark.parametrize("dataflow", STATIONARY_DATAFLOWS)
+    def test_expected_cycles_matches_cycle_simulator(self, small_array, dataflow):
+        cycle = ConventionalStationaryArray(small_array, dataflow)
+        wavefront = ConventionalWavefrontStationaryArray(small_array, dataflow)
+        assert wavefront.expected_cycles(5, 7, 3) == cycle.expected_cycles(5, 7, 3)
+
+    def test_rejects_os_dataflow(self, small_array):
+        with pytest.raises(ValueError, match="ConventionalWavefrontOSArray"):
+            ConventionalWavefrontStationaryArray(
+                small_array, Dataflow.OUTPUT_STATIONARY
+            )
+
+    def test_rejects_oversized_footprint(self, small_array):
+        wavefront = ConventionalWavefrontStationaryArray(
+            small_array, Dataflow.WEIGHT_STATIONARY
+        )
+        with pytest.raises(ValueError, match="does not fit"):
+            wavefront.run_tile(np.zeros((4, 9)), np.zeros((9, 4)))  # K = 9 > 8
+
+
+class TestAxonStationaryTile:
+    @pytest.mark.parametrize("shape", [(8, 8), (4, 9), (9, 4)])
+    @pytest.mark.parametrize("dataflow", STATIONARY_DATAFLOWS)
+    @pytest.mark.parametrize("zero_gating", [False, True])
+    def test_bit_exact_against_cycle_simulator(self, shape, dataflow, zero_gating, rng):
+        config = ArrayConfig(*shape)
+        cycle = AxonStationaryArray(config, dataflow, zero_gating=zero_gating)
+        wavefront = AxonWavefrontStationaryArray(
+            config, dataflow, zero_gating=zero_gating
+        )
+        for _ in range(25):
+            a, b = _random_stationary_tile(rng, dataflow, *shape, sparse=zero_gating)
+            reference = cycle.run_tile(a, b)
+            fast = wavefront.run_tile(a, b)
+            for field in AXON_FIELDS:
+                assert getattr(fast, field) == getattr(reference, field), field
+            assert np.array_equal(fast.output, reference.output)
+            # The bypass-and-add split itself must match, not just the sum.
+            assert np.array_equal(fast.upper_partial, reference.upper_partial)
+            assert np.array_equal(fast.lower_partial, reference.lower_partial)
+
+    def test_fully_gated_tile_counts_zero_macs(self, small_array):
+        a = np.zeros((4, 3))
+        b = np.zeros((3, 5))
+        flow = Dataflow.WEIGHT_STATIONARY
+        result = AxonWavefrontStationaryArray(
+            small_array, flow, zero_gating=True
+        ).run_tile(a, b)
+        reference = AxonStationaryArray(small_array, flow, zero_gating=True).run_tile(
+            a, b
+        )
+        assert result.mac_count == reference.mac_count == 0
+        assert result.gated_macs == reference.gated_macs == 4 * 3 * 5
+        # Gated PEs still hold operands, so they still count as active.
+        assert result.active_pe_cycles == reference.active_pe_cycles == 4 * 3 * 5
+
+    @given(
+        m=st.integers(1, 8),
+        k=st.integers(1, 8),
+        n=st.integers(1, 8),
+        dataflow=st.sampled_from(STATIONARY_DATAFLOWS),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_bit_exact(self, m, k, n, dataflow, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        config = ArrayConfig(8, 8)
+        reference = AxonStationaryArray(config, dataflow).run_tile(a, b)
+        fast = AxonWavefrontStationaryArray(config, dataflow).run_tile(a, b)
+        assert fast.total_cycles == reference.total_cycles
+        assert np.array_equal(fast.output, reference.output)
+
+
+class TestBypassAddClosedForm:
+    def test_partials_reconstruct_the_product(self, rng):
+        a = rng.standard_normal((6, 5))
+        b = rng.standard_normal((5, 7))
+        upper, lower = bypass_add_matmul(a, b, Dataflow.WEIGHT_STATIONARY)
+        np.testing.assert_allclose(upper + lower, a @ b, atol=1e-9)
+        # Column 0's feeder sits at row 0, so its upper segment is empty.
+        assert np.all(upper[0] == 0.0)
+
+    def test_rejects_os_dataflow(self):
+        with pytest.raises(ValueError, match="WS and IS"):
+            bypass_add_matmul(
+                np.ones((2, 2)), np.ones((2, 2)), Dataflow.OUTPUT_STATIONARY
+            )
+
+    def test_rejects_bad_positions(self):
+        with pytest.raises(ValueError, match="spatial_positions"):
+            bypass_add_matmul(
+                np.ones((3, 2)),
+                np.ones((2, 2)),
+                Dataflow.WEIGHT_STATIONARY,
+                spatial_positions=np.arange(5),
+            )
+
+
+class TestStationaryRunGemm:
+    """Full run_gemm cross-validation on ragged multi-chunk tilings."""
+
+    @pytest.mark.parametrize("dataflow", STATIONARY_DATAFLOWS)
+    @pytest.mark.parametrize(
+        "accelerator_cls", [SystolicAccelerator, AxonAccelerator]
+    )
+    def test_engines_agree_on_ragged_multichunk_gemm(
+        self, dataflow, accelerator_cls, rng
+    ):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((19, 23))  # K = 23 splits into 8 + 8 + 7 chunks
+        b = rng.standard_normal((23, 17))
+        cycle = accelerator_cls(config, dataflow=dataflow, engine="cycle").run_gemm(a, b)
+        exact = accelerator_cls(
+            config, dataflow=dataflow, engine="wavefront-exact"
+        ).run_gemm(a, b)
+        fast = accelerator_cls(config, dataflow=dataflow, engine="wavefront").run_gemm(a, b)
+        for field in ("cycles", "macs", "active_pe_cycles", "performed_macs", "gated_macs"):
+            assert getattr(exact, field) == getattr(cycle, field), field
+            assert getattr(fast, field) == getattr(cycle, field), field
+        assert exact.utilization == cycle.utilization
+        assert np.array_equal(exact.output, cycle.output)
+        np.testing.assert_allclose(fast.output, cycle.output, atol=1e-9, rtol=0)
+        assert cycle.engine == "cycle"
+        assert fast.engine == "wavefront"
+
+    @pytest.mark.parametrize("dataflow", STATIONARY_DATAFLOWS)
+    def test_zero_gated_axon_agrees_across_engines(self, dataflow, rng):
+        config = ArrayConfig(8, 8)
+        a = rng.standard_normal((11, 19))
+        b = rng.standard_normal((19, 9))
+        a[rng.random(a.shape) < 0.6] = 0.0
+        b[rng.random(b.shape) < 0.6] = 0.0
+        results = {
+            engine: AxonAccelerator(
+                config, dataflow=dataflow, zero_gating=True, engine=engine
+            ).run_gemm(a, b)
+            for engine in ("cycle", "wavefront", "wavefront-exact")
+        }
+        reference = results["cycle"]
+        assert reference.gated_macs > 0
+        for engine in ("wavefront", "wavefront-exact"):
+            assert results[engine].performed_macs == reference.performed_macs
+            assert results[engine].gated_macs == reference.gated_macs
+            assert results[engine].cycles == reference.cycles
+        assert np.array_equal(results["wavefront-exact"].output, reference.output)
+
+    @given(
+        m=st.integers(1, 20),
+        k=st.integers(1, 20),
+        n=st.integers(1, 20),
+        dataflow=st.sampled_from(STATIONARY_DATAFLOWS),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_ragged_shapes_agree(self, m, k, n, dataflow, seed):
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((m, k))
+        b = local.standard_normal((k, n))
+        config = ArrayConfig(6, 5)
+        cycle = SystolicAccelerator(config, dataflow=dataflow, engine="cycle").run_gemm(a, b)
+        exact = SystolicAccelerator(
+            config, dataflow=dataflow, engine="wavefront-exact"
+        ).run_gemm(a, b)
+        assert exact.cycles == cycle.cycles
+        assert exact.active_pe_cycles == cycle.active_pe_cycles
+        assert np.array_equal(exact.output, cycle.output)
+
+    @pytest.mark.parametrize("dataflow", STATIONARY_DATAFLOWS)
+    def test_rectangular_arrays(self, dataflow, rng):
+        a = rng.standard_normal((11, 13))
+        b = rng.standard_normal((13, 12))
+        for shape in [(4, 9), (9, 4)]:
+            config = ArrayConfig(*shape)
+            cycle = AxonAccelerator(config, dataflow=dataflow, engine="cycle").run_gemm(a, b)
+            exact = AxonAccelerator(
+                config, dataflow=dataflow, engine="wavefront-exact"
+            ).run_gemm(a, b)
+            assert exact.cycles == cycle.cycles
+            assert np.array_equal(exact.output, cycle.output)
+
+
+class TestStationaryExecutorAccounting:
+    @pytest.mark.parametrize("dataflow", STATIONARY_DATAFLOWS)
+    def test_tile_groups_cover_the_mapped_problem(self, dataflow):
+        # M=20, K=19, N=17 on an 8x8 array: K chunks 8+8+3, bands of 8.
+        execution = execute_gemm(
+            np.ones((20, 19)), np.ones((19, 17)), rows=8, cols=8, dataflow=dataflow
+        )
+        out_extent = 20 if dataflow is Dataflow.WEIGHT_STATIONARY else 17
+        k_tiles = 3
+        out_tiles = -(-out_extent // 8)
+        assert execution.tile_count == k_tiles * out_tiles
+        covered = sum(g.count * g.tile_rows * g.tile_cols for g in execution.groups)
+        assert covered == 19 * out_extent
+        assert execution.dataflow is dataflow
+
+    def test_overlap_requires_axon_os(self):
+        a, b = np.ones((8, 4)), np.ones((4, 8))
+        with pytest.raises(ValueError, match="overlap"):
+            execute_gemm(a, b, rows=8, cols=8, axon=True,
+                         dataflow=Dataflow.WEIGHT_STATIONARY, overlap=True)
+        with pytest.raises(ValueError, match="overlap"):
+            execute_gemm(a, b, rows=8, cols=8, axon=False, overlap=True)
+
+    def test_overlap_charges_fill_once(self):
+        from repro.arch.dataflow import map_gemm
+        from repro.core.runtime_model import axon_overlapped_runtime
+
+        a, b = np.ones((40, 6)), np.ones((6, 40))
+        plain = execute_gemm(a, b, rows=8, cols=8, axon=True)
+        overlapped = execute_gemm(a, b, rows=8, cols=8, axon=True, overlap=True)
+        mapping = map_gemm(40, 6, 40, Dataflow.OUTPUT_STATIONARY)
+        assert overlapped.total_cycles == axon_overlapped_runtime(mapping, 8, 8)
+        assert overlapped.total_cycles < plain.total_cycles
+        assert np.array_equal(overlapped.output, plain.output)
+        assert overlapped.active_pe_cycles == plain.active_pe_cycles
