@@ -12,6 +12,7 @@ The package is organised as::
     repro.analysis    utilisation, speedup, sweeps and report formatting
     repro.engine      execution engines (vectorized wavefront, cycle-accurate)
     repro.api         high-level SystolicAccelerator / AxonAccelerator façade
+    repro.serve       batch serving: async multi-tenant GEMM scheduler
 
 See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the mapping
 between the paper's tables & figures and this code.
@@ -27,7 +28,7 @@ from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow
 from repro.engine import DEFAULT_ENGINE, ENGINES
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AxonAccelerator",

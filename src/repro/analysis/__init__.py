@@ -13,6 +13,7 @@ from repro.analysis.speedup import (
     arithmetic_mean,
 )
 from repro.analysis.sweep import array_size_sweep, fill_latency_sweep, scale_out_sweep
+from repro.analysis.latency import LatencySummary, percentile, summarize_latencies
 from repro.analysis.reports import format_table, format_speedup_table
 
 __all__ = [
@@ -27,6 +28,9 @@ __all__ = [
     "fill_latency_sweep",
     "array_size_sweep",
     "scale_out_sweep",
+    "LatencySummary",
+    "percentile",
+    "summarize_latencies",
     "format_table",
     "format_speedup_table",
 ]

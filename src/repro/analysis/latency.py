@@ -1,0 +1,59 @@
+"""Latency-distribution summaries for the serving subsystem.
+
+The serving reports (:mod:`repro.serve.report`) quote per-tenant p50/p95
+simulated latencies; this module owns the percentile definition so it is in
+one place (``numpy.percentile``'s default linear interpolation, with
+explicit empty/range validation) and testable without constructing a whole
+serving run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear rank interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("percentile of an empty sequence is undefined")
+    return float(np.percentile(data, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency population (simulated cycles)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+
+def summarize_latencies(values: Iterable[float]) -> LatencySummary:
+    """Collapse a latency population into the report's order statistics."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty latency population")
+    return LatencySummary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p50=percentile(data, 50.0),
+        p95=percentile(data, 95.0),
+        max=max(data),
+    )

@@ -45,6 +45,7 @@ shared estimate cache.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -151,6 +152,45 @@ class RunResult:
     performed_macs: int | None = None
     gated_macs: int | None = None
     scale_out: tuple[int, int] = (1, 1)
+
+    def to_dict(self, include_output: bool = False) -> dict:
+        """JSON-serializable view of the result (``repro run --json``).
+
+        The output matrix is summarized by its shape and a SHA-256 of its
+        raw float64 bytes — enough for a client to verify bit-exactness
+        against its own reference without shipping megabytes of floats;
+        ``include_output=True`` additionally embeds the matrix as nested
+        lists for small results.
+        """
+        payload: dict = {
+            "name": self.name,
+            "cycles": int(self.cycles),
+            "macs": int(self.macs),
+            "utilization": float(self.utilization),
+            "dram_bytes": None if self.dram_bytes is None else float(self.dram_bytes),
+            "dram_energy_mj": (
+                None if self.dram_energy_mj is None else float(self.dram_energy_mj)
+            ),
+            "active_pe_cycles": (
+                None if self.active_pe_cycles is None else int(self.active_pe_cycles)
+            ),
+            "engine": self.engine,
+            "performed_macs": (
+                None if self.performed_macs is None else int(self.performed_macs)
+            ),
+            "gated_macs": None if self.gated_macs is None else int(self.gated_macs),
+            "scale_out": list(self.scale_out),
+        }
+        if self.output is None:
+            payload["output_shape"] = None
+            payload["output_sha256"] = None
+        else:
+            contiguous = np.ascontiguousarray(self.output, dtype=np.float64)
+            payload["output_shape"] = list(contiguous.shape)
+            payload["output_sha256"] = hashlib.sha256(contiguous.tobytes()).hexdigest()
+            if include_output:
+                payload["output"] = contiguous.tolist()
+        return payload
 
 
 class _AcceleratorBase:

@@ -5,6 +5,7 @@ Provides quick access to the analytical models without writing Python::
     python -m repro.cli runtime --m 2048 --k 32 --n 4096 --rows 128 --cols 128
     python -m repro.cli run --m 512 --k 512 --n 512 --rows 32 --cols 32
     python -m repro.cli run --m 512 --k 512 --n 512 --scale-out 2 2
+    python -m repro.cli serve --workers 4 --tenants 4 --jobs-per-tenant 12
     python -m repro.cli workloads
     python -m repro.cli speedup --array 256
     python -m repro.cli traffic --network resnet50
@@ -14,17 +15,22 @@ Provides quick access to the analytical models without writing Python::
 ``run`` executes a randomized GEMM functionally on a selectable execution
 engine (``--engine wavefront|wavefront-exact|cycle``, see
 :mod:`repro.engine` for the policy) and, with ``--scale-out P_R P_C``,
-across an Eq. 3 multi-array grid; ``cache`` reports the shared
-estimate-cache statistics (``--clear-cache`` resets them) so long-lived
-sweep services can observe hit rates.  The other commands evaluate the
-analytical models.  The heavier, figure-for-figure regeneration lives in
-``benchmarks/`` (run via pytest); the CLI is for interactive exploration of
-individual design points.
+across an Eq. 3 multi-array grid; ``serve`` replays a synthetic
+multi-tenant Table 3 trace through the batch-serving subsystem
+(:mod:`repro.serve`) and prints the per-tenant latency / throughput /
+fairness report; ``cache`` reports the shared estimate-cache statistics
+(``--clear-cache`` resets them) so long-lived sweep services can observe
+hit rates.  ``run`` and ``serve`` take ``--json`` for machine-readable
+output.  The other commands evaluate the analytical models.  The heavier,
+figure-for-figure regeneration lives in ``benchmarks/`` (run via pytest);
+the CLI is for interactive exploration of individual design points.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 from typing import Sequence
@@ -44,6 +50,18 @@ from repro.engine import (
 )
 from repro.energy import ASAP7, NODES, area_report, inference_energy_report, power_report
 from repro.im2col.traffic import network_traffic
+from repro.serve import (
+    ADMISSION_POLICIES,
+    POLICY_DEPRIORITIZE,
+    AsyncGemmScheduler,
+    format_serve_report,
+)
+from repro.workloads.serving import (
+    equal_tenants,
+    synthetic_trace,
+    tenant_budgets,
+    tenant_weights,
+)
 from repro.workloads import (
     RESNET50_CONV_LAYERS,
     TABLE3_WORKLOADS,
@@ -63,6 +81,22 @@ NETWORKS = {
 
 def _scale_out(args: argparse.Namespace) -> tuple[int, int] | None:
     return tuple(args.scale_out) if args.scale_out else None
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for options that must be >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for options that must be > 0."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def _cmd_runtime(args: argparse.Namespace) -> int:
@@ -108,10 +142,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ),
     }
     rows = []
+    payloads = []
     for arch in ("systolic", "axon") if args.arch == "both" else (args.arch,):
         start = time.perf_counter()
         result = accelerators[arch].run_gemm(a, b, name=arch)
         elapsed_ms = (time.perf_counter() - start) * 1e3
+        if args.json:
+            # to_dict() copies and hashes the output matrix — skip it when
+            # only the table is printed.
+            payloads.append({"arch": arch, "wall_ms": elapsed_ms, **result.to_dict()})
         rows.append(
             (
                 arch,
@@ -124,6 +163,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 round(elapsed_ms, 2),
             )
         )
+    if args.json:
+        print(json.dumps({"results": payloads}, indent=2))
+        return 0
     print(
         format_table(
             (
@@ -139,6 +181,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = ArrayConfig(args.rows, args.cols)
+    dataflow = Dataflow.from_string(args.dataflow)
+    grid = _scale_out(args)
+
+    def make_worker():
+        if args.arch == "axon":
+            return AxonAccelerator(
+                config,
+                dataflow,
+                zero_gating=args.zero_gating,
+                engine=args.engine,
+                scale_out=grid,
+            )
+        return SystolicAccelerator(config, dataflow, engine=args.engine, scale_out=grid)
+
+    fleet = [make_worker() for _ in range(args.workers)]
+    tenants = equal_tenants(args.tenants)
+    if args.budget_cycles is not None:
+        tenants = tuple(
+            dataclasses.replace(spec, budget_cycles=args.budget_cycles)
+            for spec in tenants
+        )
+    jobs = synthetic_trace(
+        fleet[0],
+        tenants,
+        jobs_per_tenant=args.jobs_per_tenant,
+        offered_load=args.offered_load,
+        max_dim=args.max_dim,
+        seed=args.seed,
+    )
+    scheduler = AsyncGemmScheduler(
+        fleet,
+        max_batch=args.max_batch,
+        weights=tenant_weights(tenants),
+        budgets=tenant_budgets(tenants),
+        admission_policy=args.admission,
+        clock_hz=args.clock_ghz * 1e9,
+    )
+    report, results = scheduler.serve(jobs)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "report": report.to_dict(),
+                    "jobs": [result.to_dict() for result in results],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(format_serve_report(report))
     return 0
 
 
@@ -252,7 +349,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale-out", nargs=2, type=int, metavar=("P_R", "P_C"),
         help="execute across a P_R x P_C grid of arrays (Eq. 3)",
     )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a synthetic multi-tenant trace on the batch-serving layer",
+    )
+    serve.add_argument("--tenants", type=_positive_int, default=4)
+    serve.add_argument("--jobs-per-tenant", type=_positive_int, default=12)
+    serve.add_argument("--workers", type=_positive_int, default=4, help="fleet size")
+    serve.add_argument("--rows", type=int, default=32)
+    serve.add_argument("--cols", type=int, default=32)
+    serve.add_argument("--dataflow", default="OS", choices=["OS", "WS", "IS"])
+    serve.add_argument("--engine", default=DEFAULT_ENGINE, choices=list(ENGINES))
+    serve.add_argument("--arch", default="axon", choices=["systolic", "axon"])
+    serve.add_argument("--zero-gating", action="store_true")
+    serve.add_argument(
+        "--scale-out", nargs=2, type=int, metavar=("P_R", "P_C"),
+        help="each worker is a P_R x P_C grid of arrays (Eq. 3)",
+    )
+    serve.add_argument("--max-batch", type=_positive_int, default=8)
+    serve.add_argument(
+        "--offered-load", type=_positive_float, default=8.0,
+        help="aggregate arrival rate in multiples of one worker's capacity",
+    )
+    serve.add_argument(
+        "--max-dim", type=_positive_int, default=128,
+        help="cap applied to every Table 3 dimension in the trace",
+    )
+    serve.add_argument(
+        "--budget-cycles", type=int, default=None,
+        help="per-tenant admission budget in priced cycles",
+    )
+    serve.add_argument(
+        "--admission", default=POLICY_DEPRIORITIZE, choices=list(ADMISSION_POLICIES),
+        help="what happens to over-budget jobs",
+    )
+    serve.add_argument("--clock-ghz", type=_positive_float, default=1.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report tables",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     workloads = sub.add_parser("workloads", help="list the Table 3 workloads")
     workloads.set_defaults(func=_cmd_workloads)

@@ -56,16 +56,28 @@ reduces outputs and counters into one aggregate; and
 
 from __future__ import annotations
 
-from repro.engine.batched import GemmExecution, TileGroup, execute_gemm
+from repro.engine.batched import (
+    GemmAccounting,
+    GemmExecution,
+    TileGroup,
+    execute_gemm,
+    gemm_cycle_accounting,
+)
 from repro.engine.cache import (
+    CacheInfo,
+    DEFAULT_ESTIMATE_CACHE_CAPACITY,
+    LRUEstimateCache,
     cached_gemm_cycles,
     clear_estimate_cache,
+    estimate_cache_capacity,
     estimate_cache_info,
+    set_estimate_cache_capacity,
 )
 from repro.engine.scaleout import (
     PartitionShare,
     ScaleOutExecution,
     execute_gemm_scale_out,
+    iter_partition_share_shapes,
     iter_partition_shares,
     scale_out_reduce,
 )
@@ -102,17 +114,25 @@ __all__ = [
     "ENGINES",
     "DEFAULT_ENGINE",
     "normalize_engine",
+    "GemmAccounting",
     "GemmExecution",
     "TileGroup",
     "execute_gemm",
+    "gemm_cycle_accounting",
     "PartitionShare",
     "ScaleOutExecution",
     "execute_gemm_scale_out",
+    "iter_partition_share_shapes",
     "iter_partition_shares",
     "scale_out_reduce",
+    "CacheInfo",
+    "DEFAULT_ESTIMATE_CACHE_CAPACITY",
+    "LRUEstimateCache",
     "cached_gemm_cycles",
     "clear_estimate_cache",
+    "estimate_cache_capacity",
     "estimate_cache_info",
+    "set_estimate_cache_capacity",
     "AxonWavefrontOSArray",
     "AxonWavefrontStationaryArray",
     "ConventionalWavefrontOSArray",

@@ -132,6 +132,63 @@ def _dimension_blocks(extent: int, block: int) -> list[tuple[int, int]]:
     return blocks
 
 
+@dataclass(frozen=True)
+class GemmAccounting:
+    """Shape-only cycle accounting of one tiled GEMM.
+
+    With zero gating disabled, *every* counter of a wavefront execution is a
+    pure function of ``(M, K, N, rows, cols, dataflow, axon, overlap)`` —
+    the numerics contribute only the output matrix.  Factoring the
+    accounting out of :func:`execute_gemm` lets the serving layer
+    (:mod:`repro.serve`) compute it once per shape group and amortize it
+    over every job in a batch.
+    """
+
+    total_cycles: int
+    tile_count: int
+    groups: tuple[TileGroup, ...]
+
+
+def gemm_cycle_accounting(
+    m: int,
+    k: int,
+    n: int,
+    rows: int,
+    cols: int,
+    *,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+    axon: bool = False,
+    overlap: bool = False,
+) -> GemmAccounting:
+    """Closed-form tile-group cycle accounting for a ``M x K x N`` GEMM.
+
+    This is exactly the accounting :func:`execute_gemm` attaches to its
+    functional result (the engine test-suite pins both to the cycle
+    simulators), evaluated without touching any operand data.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    if m <= 0 or k <= 0 or n <= 0:
+        raise ValueError(f"GEMM dimensions must be positive, got M={m}, K={k}, N={n}")
+    mapping = map_gemm(m, k, n, dataflow)
+    tile_cycles = axon_runtime if axon else scalesim_tile_runtime
+    groups = []
+    total_cycles = 0
+    tile_count = 0
+    for tile_rows, row_count in _dimension_blocks(mapping.spatial_rows, rows):
+        for tile_cols, col_count in _dimension_blocks(mapping.spatial_cols, cols):
+            count = row_count * col_count
+            per_tile = tile_cycles(tile_rows, tile_cols, mapping.temporal)
+            groups.append(TileGroup(tile_rows, tile_cols, count, per_tile))
+            total_cycles += count * per_tile
+            tile_count += count
+    if overlap:
+        total_cycles = axon_overlapped_runtime(mapping, rows, cols)
+    return GemmAccounting(
+        total_cycles=total_cycles, tile_count=tile_count, groups=tuple(groups)
+    )
+
+
 def _exact_stationary_output(
     a: np.ndarray, b: np.ndarray, rows: int, cols: int, dataflow: Dataflow, axon: bool
 ) -> np.ndarray:
@@ -215,7 +272,6 @@ def execute_gemm(
             "overlap (back-to-back tile streaming) requires the Axon OS dataflow"
         )
 
-    mapping = map_gemm(m, k, n, dataflow)
     if exact:
         if dataflow is Dataflow.OUTPUT_STATIONARY:
             output = sequential_matmul(a, b)
@@ -224,19 +280,9 @@ def execute_gemm(
     else:
         output = a @ b
 
-    tile_cycles = axon_runtime if axon else scalesim_tile_runtime
-    groups = []
-    total_cycles = 0
-    tile_count = 0
-    for tile_rows, row_count in _dimension_blocks(mapping.spatial_rows, rows):
-        for tile_cols, col_count in _dimension_blocks(mapping.spatial_cols, cols):
-            count = row_count * col_count
-            per_tile = tile_cycles(tile_rows, tile_cols, mapping.temporal)
-            groups.append(TileGroup(tile_rows, tile_cols, count, per_tile))
-            total_cycles += count * per_tile
-            tile_count += count
-    if overlap:
-        total_cycles = axon_overlapped_runtime(mapping, rows, cols)
+    accounting = gemm_cycle_accounting(
+        m, k, n, rows, cols, dataflow=dataflow, axon=axon, overlap=overlap
+    )
 
     macs = m * n * k
     if axon and zero_gating:
@@ -246,12 +292,12 @@ def execute_gemm(
 
     return GemmExecution(
         output=output,
-        total_cycles=total_cycles,
+        total_cycles=accounting.total_cycles,
         macs=macs,
         mac_count=mac_count,
         gated_macs=gated_macs,
         active_pe_cycles=macs,
-        tile_count=tile_count,
-        groups=tuple(groups),
+        tile_count=accounting.tile_count,
+        groups=accounting.groups,
         dataflow=dataflow,
     )

@@ -5,10 +5,19 @@ and the figure sweeps in :mod:`repro.analysis` are pure functions of
 ``(GEMM shape, array config, dataflow, engine, partition grid)``, yet the
 sweep drivers used to recompute identical design points over and over (every
 workload appears in several figures and every array size revisits every
-workload).  This module provides the process-wide memo the sweeps and the
-accelerator façades share; long-lived sweep services can observe its hit
-rate via :func:`estimate_cache_info` (also exposed as the ``repro cache``
-CLI subcommand) and reset it with :func:`clear_estimate_cache`.
+workload).  This module provides the process-wide memo the sweeps, the
+accelerator façades and the serving subsystem (:mod:`repro.serve`, whose
+admission controller prices every job through it) share; long-lived
+processes can observe its hit rate via :func:`estimate_cache_info` (also
+exposed as the ``repro cache`` CLI subcommand), reset it with
+:func:`clear_estimate_cache`, and bound its footprint with
+:func:`set_estimate_cache_capacity` or the ``REPRO_ESTIMATE_CACHE_CAPACITY``
+environment variable.
+
+The memo is a thread-safe LRU (:class:`LRUEstimateCache`) rather than a
+``functools.lru_cache`` so a serving process that lives for days can tune —
+or disable — eviction without restarting, and so the admission controller
+can price jobs from executor threads without racing the statistics.
 
 The cache key deliberately includes the engine name — today every engine
 agrees on the estimate (the closed forms *are* the wavefront model and the
@@ -20,14 +29,142 @@ estimates differ from Eq. 2 estimates for the same GEMM shape.
 
 from __future__ import annotations
 
-from functools import lru_cache
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, NamedTuple
 
 from repro.arch.dataflow import Dataflow, map_gemm
 from repro.baselines.scalesim_model import scalesim_runtime
 from repro.core.runtime_model import scale_out_runtime, workload_runtime
 
+#: Capacity used when neither the environment nor the caller overrides it
+#: (the value the old ``lru_cache(maxsize=65536)`` decorator hard-coded).
+DEFAULT_ESTIMATE_CACHE_CAPACITY = 65536
 
-@lru_cache(maxsize=65536)
+#: Environment variable consulted once at import for the initial capacity.
+#: An integer > 0 bounds the cache, ``0`` disables caching and a negative
+#: value (or ``"unbounded"``) removes the bound entirely.
+CAPACITY_ENV_VAR = "REPRO_ESTIMATE_CACHE_CAPACITY"
+
+
+class CacheInfo(NamedTuple):
+    """Statistics snapshot, field-compatible with ``functools.CacheInfo``."""
+
+    hits: int
+    misses: int
+    maxsize: int | None
+    currsize: int
+
+
+def _capacity_from_env() -> int | None:
+    """Initial capacity: the env override, else the historical default."""
+    raw = os.environ.get(CAPACITY_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_ESTIMATE_CACHE_CAPACITY
+    text = raw.strip().lower()
+    if text == "unbounded":
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(
+            f"{CAPACITY_ENV_VAR} must be an integer or 'unbounded', got {raw!r}"
+        ) from None
+    return None if value < 0 else value
+
+
+class LRUEstimateCache:
+    """A thread-safe LRU memo with a reconfigurable capacity.
+
+    ``capacity`` semantics mirror ``functools.lru_cache``: a positive bound
+    evicts the least-recently-used entry on overflow, ``None`` never evicts,
+    and ``0`` disables storage entirely (every call is a miss).  Statistics
+    survive :meth:`resize` — a serving process tuning its memory footprint
+    does not lose its observed hit rate — and reset on :meth:`clear`.
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_ESTIMATE_CACHE_CAPACITY):
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, int] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._capacity = self._validate_capacity(capacity)
+
+    @staticmethod
+    def _validate_capacity(capacity: int | None) -> int | None:
+        if capacity is None:
+            return None
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0 or None, got {capacity}")
+        return capacity
+
+    @property
+    def capacity(self) -> int | None:
+        """The current entry bound (None = unbounded)."""
+        return self._capacity
+
+    def memoize(self, key: Hashable, compute: Callable[[], int]) -> int:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        The value is computed outside the lock (estimates are pure, so a
+        concurrent duplicate computation is harmless and brief), keeping
+        executor threads from serialising on the model evaluation.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+        value = compute()
+        with self._lock:
+            if self._capacity != 0:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                self._evict()
+        return value
+
+    def _evict(self) -> None:
+        """Drop LRU entries until the bound holds (lock must be held)."""
+        if self._capacity is None:
+            return
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def resize(self, capacity: int | None) -> None:
+        """Change the capacity in place, evicting LRU entries if shrinking."""
+        capacity = self._validate_capacity(capacity)
+        with self._lock:
+            self._capacity = capacity
+            if capacity == 0:
+                self._entries.clear()
+            else:
+                self._evict()
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> CacheInfo:
+        """Consistent snapshot of the statistics."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self._capacity,
+                currsize=len(self._entries),
+            )
+
+
+#: The process-wide memo shared by the façades, sweeps and serving layer.
+_ESTIMATE_CACHE = LRUEstimateCache(_capacity_from_env())
+
+
 def cached_gemm_cycles(
     m: int,
     k: int,
@@ -46,21 +183,49 @@ def cached_gemm_cycles(
     on a ``P_R x P_C`` grid of ``rows x cols`` arrays; the default ``1 x 1``
     grid is Eq. 2 scale-up execution.
     """
-    if partitions_rows != 1 or partitions_cols != 1:
-        mapping = map_gemm(m, k, n, dataflow)
-        return scale_out_runtime(
-            mapping, rows, cols, partitions_rows, partitions_cols, axon
-        )
-    if axon:
-        return workload_runtime(m, k, n, rows, cols, dataflow, axon=True)
-    return scalesim_runtime(m, k, n, rows, cols, dataflow)
+    key = (
+        m, k, n, rows, cols, dataflow, axon, engine,
+        partitions_rows, partitions_cols,
+    )
+
+    def compute() -> int:
+        if partitions_rows != 1 or partitions_cols != 1:
+            mapping = map_gemm(m, k, n, dataflow)
+            return scale_out_runtime(
+                mapping, rows, cols, partitions_rows, partitions_cols, axon
+            )
+        if axon:
+            return workload_runtime(m, k, n, rows, cols, dataflow, axon=True)
+        return scalesim_runtime(m, k, n, rows, cols, dataflow)
+
+    return _ESTIMATE_CACHE.memoize(key, compute)
 
 
-def estimate_cache_info():
-    """``functools`` cache statistics of the shared estimate memo."""
-    return cached_gemm_cycles.cache_info()
+def estimate_cache_info() -> CacheInfo:
+    """Statistics of the shared estimate memo (``functools``-compatible)."""
+    return _ESTIMATE_CACHE.info()
 
 
 def clear_estimate_cache() -> None:
     """Drop every memoized estimate (used by tests and long-lived services)."""
-    cached_gemm_cycles.cache_clear()
+    _ESTIMATE_CACHE.clear()
+
+
+def set_estimate_cache_capacity(capacity: int | None) -> None:
+    """Rebound the shared memo in place (stats and hot entries preserved).
+
+    ``None`` removes the bound, ``0`` disables caching, a positive value
+    evicts down to that many least-recently-used entries.
+    """
+    _ESTIMATE_CACHE.resize(capacity)
+
+
+def estimate_cache_capacity() -> int | None:
+    """The shared memo's current capacity (None = unbounded)."""
+    return _ESTIMATE_CACHE.capacity
+
+
+# ``functools.lru_cache`` API compatibility for callers that used the
+# decorated function's own attributes.
+cached_gemm_cycles.cache_info = estimate_cache_info  # type: ignore[attr-defined]
+cached_gemm_cycles.cache_clear = clear_estimate_cache  # type: ignore[attr-defined]

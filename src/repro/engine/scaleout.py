@@ -94,6 +94,35 @@ class ScaleOutExecution:
         return self.grid[0] * self.grid[1]
 
 
+def iter_partition_share_shapes(
+    m: int, k: int, n: int, dataflow: Dataflow, p_r: int, p_c: int
+) -> Iterator[tuple[int, int, int]]:
+    """Yield each non-empty share's ``(M, K, N)`` GEMM shape, no operands.
+
+    The shape-only twin of :func:`iter_partition_shares` (same spans, same
+    skip rule, same order) for callers that need Eq. 3 geometry without
+    data — e.g. the serving scheduler's makespan planning
+    (:func:`repro.serve.scheduler.planned_gemm_cycles`).  Keeping it next
+    to the operand iterator is what stops the two from drifting apart.
+    """
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        row_spans, col_spans = partition_spans(m, p_r), partition_spans(n, p_c)
+    elif dataflow is Dataflow.WEIGHT_STATIONARY:
+        row_spans, col_spans = partition_spans(k, p_r), partition_spans(m, p_c)
+    else:
+        row_spans, col_spans = partition_spans(k, p_r), partition_spans(n, p_c)
+    for _, rs in row_spans:
+        for _, cs in col_spans:
+            if rs == 0 or cs == 0:
+                continue
+            if dataflow is Dataflow.OUTPUT_STATIONARY:
+                yield (rs, k, cs)
+            elif dataflow is Dataflow.WEIGHT_STATIONARY:
+                yield (cs, rs, n)
+            else:
+                yield (m, rs, cs)
+
+
 def iter_partition_shares(
     a: np.ndarray, b: np.ndarray, dataflow: Dataflow, p_r: int, p_c: int
 ) -> Iterator[PartitionShare]:

@@ -1,0 +1,89 @@
+"""Batch-serving subsystem: async multi-tenant GEMM scheduling.
+
+This package turns the single-GEMM façades of :mod:`repro.api` into a
+serving layer — the ROADMAP's "async/sharded batch serving of many GEMMs"
+— with four separable pieces:
+
+:mod:`repro.serve.job`
+    The job model: :class:`Job` (operands + tenant, priority, deadline
+    hint, simulated arrival) and :class:`JobResult` (the bit-exact
+    :class:`repro.api.RunResult` plus serving-side latency accounting).
+:mod:`repro.serve.queues`
+    Per-tenant FIFO queues with weighted-fair virtual-time dequeue, and
+    the admission controller that prices every job through the shared
+    estimate cache before it runs.
+:mod:`repro.serve.scheduler`
+    :class:`AsyncGemmScheduler` — the asyncio + thread-pool dispatcher
+    that packs same-shape jobs into stacked batches across a fleet of
+    accelerator workers on a deterministic simulated clock.
+:mod:`repro.serve.report`
+    :class:`ServeReport` — per-tenant p50/p95 latency and throughput,
+    worker utilization, batching and cache statistics, JSON-serializable
+    for the ``repro serve --json`` CLI.
+
+Traces to replay come from :mod:`repro.workloads.serving`.
+
+Quickstart::
+
+    from repro import AxonAccelerator, ArrayConfig
+    from repro.serve import AsyncGemmScheduler
+    from repro.workloads import synthetic_trace
+
+    fleet = [AxonAccelerator(ArrayConfig(32, 32)) for _ in range(4)]
+    jobs = synthetic_trace(fleet[0], tenants=4, jobs_per_tenant=8)
+    report, results = AsyncGemmScheduler(fleet).serve(jobs)
+    print(report.jobs_per_second, report.cache_hit_rate)
+"""
+
+from __future__ import annotations
+
+from repro.serve.job import STATUS_COMPLETED, STATUS_REJECTED, Job, JobResult
+from repro.serve.queues import (
+    ADMISSION_POLICIES,
+    POLICY_DEPRIORITIZE,
+    POLICY_REJECT,
+    AdmissionController,
+    AdmissionDecision,
+    QueuedJob,
+    WeightedFairQueue,
+)
+from repro.serve.report import (
+    ServeReport,
+    TenantServeStats,
+    WorkerStats,
+    compile_serve_report,
+    format_serve_report,
+)
+from repro.serve.scheduler import (
+    DEFAULT_CLOCK_HZ,
+    AsyncGemmScheduler,
+    planned_gemm_cycles,
+    run_batch,
+    serial_baseline,
+    stacked_matmul_is_bitexact,
+)
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "STATUS_COMPLETED",
+    "STATUS_REJECTED",
+    "ADMISSION_POLICIES",
+    "POLICY_DEPRIORITIZE",
+    "POLICY_REJECT",
+    "AdmissionController",
+    "AdmissionDecision",
+    "QueuedJob",
+    "WeightedFairQueue",
+    "ServeReport",
+    "TenantServeStats",
+    "WorkerStats",
+    "compile_serve_report",
+    "format_serve_report",
+    "DEFAULT_CLOCK_HZ",
+    "AsyncGemmScheduler",
+    "planned_gemm_cycles",
+    "run_batch",
+    "serial_baseline",
+    "stacked_matmul_is_bitexact",
+]

@@ -1,0 +1,188 @@
+"""Job model of the batch-serving subsystem.
+
+A :class:`Job` wraps one ``run_gemm`` invocation — the operands plus the
+multi-tenant metadata the scheduler needs (tenant id, priority, deadline
+hint, simulated arrival time).  A :class:`JobResult` wraps the
+:class:`repro.api.RunResult` the accelerator produced together with the
+serving-side accounting: when the job arrived, started and finished on the
+simulated clock, which worker and batch ran it, and what the admission
+controller priced it at.
+
+Everything here is plain data; the scheduling policy lives in
+:mod:`repro.serve.queues` and :mod:`repro.serve.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api import RunResult
+
+#: Admission outcomes recorded on a :class:`JobResult`.
+STATUS_COMPLETED = "completed"
+STATUS_REJECTED = "rejected"
+
+
+@dataclass(frozen=True, eq=False)
+class Job:
+    """One GEMM awaiting execution on behalf of a tenant.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier (unique across the trace; used for stable
+        ordering and result lookup).
+    tenant:
+        Owning tenant; selects the FIFO queue and fair-share weight.
+    a, b:
+        The ``(M, K)`` and ``(K, N)`` operands, exactly as they would be
+        passed to :meth:`repro.api._AcceleratorBase.run_gemm`.
+    name:
+        Workload label carried through to the :class:`RunResult`.
+    priority:
+        Jobs with a higher priority are served before older jobs of the
+        *same tenant* (cross-tenant ordering stays with the weighted-fair
+        scheduler, so one tenant's priorities cannot starve another).
+    deadline_hint_cycles:
+        Optional latency target relative to arrival; purely advisory —
+        recorded as ``deadline_met`` on the result, never used to drop work.
+    arrival_cycle:
+        Simulated-clock arrival time; the job is invisible to the
+        scheduler before this instant.
+    """
+
+    job_id: str
+    tenant: str
+    a: np.ndarray
+    b: np.ndarray
+    name: str = "gemm"
+    priority: int = 0
+    deadline_hint_cycles: int | None = None
+    arrival_cycle: int = 0
+
+    def __post_init__(self):
+        a = np.asarray(self.a, dtype=np.float64)
+        b = np.asarray(self.b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"job {self.job_id!r}: operands must be 2-D with agreeing "
+                f"inner dimensions, got {a.shape} x {b.shape}"
+            )
+        if a.shape[0] == 0 or a.shape[1] == 0 or b.shape[1] == 0:
+            # Caught here, at the per-job boundary, so one tenant's
+            # malformed job cannot abort a whole multi-tenant serve() run
+            # deep inside planning.
+            raise ValueError(
+                f"job {self.job_id!r}: GEMM dimensions must be positive, "
+                f"got {a.shape} x {b.shape}"
+            )
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        if self.arrival_cycle < 0:
+            raise ValueError(f"job {self.job_id!r}: arrival_cycle must be >= 0")
+
+    @property
+    def m(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.a.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The ``(M, K, N)`` GEMM shape — the batching key."""
+        return (self.m, self.k, self.n)
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one served (or rejected) job.
+
+    ``result`` is the exact :class:`RunResult` a direct ``run_gemm`` call
+    would have produced — bit-exact output, identical counters — and is
+    ``None`` only for jobs the admission controller rejected.  The cycle
+    fields are simulated-clock instants: ``latency_cycles`` is
+    arrival-to-finish (queueing included), ``queue_cycles`` the portion
+    spent waiting for a worker.
+    """
+
+    job_id: str
+    tenant: str
+    name: str
+    status: str
+    priced_cycles: int
+    arrival_cycle: int
+    result: RunResult | None = None
+    start_cycle: int | None = None
+    finish_cycle: int | None = None
+    worker_id: int | None = None
+    batch_id: int | None = None
+    batch_size: int = 0
+    deadline_hint_cycles: int | None = None
+    deprioritized: bool = field(default=False)
+
+    @property
+    def completed(self) -> bool:
+        return self.status == STATUS_COMPLETED
+
+    @property
+    def queue_cycles(self) -> int | None:
+        """Simulated cycles spent queued before execution began."""
+        if self.start_cycle is None:
+            return None
+        return self.start_cycle - self.arrival_cycle
+
+    @property
+    def latency_cycles(self) -> int | None:
+        """Simulated arrival-to-completion latency."""
+        if self.finish_cycle is None:
+            return None
+        return self.finish_cycle - self.arrival_cycle
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """Whether the advisory deadline hint was met (None without a hint)."""
+        if self.deadline_hint_cycles is None or self.latency_cycles is None:
+            return None
+        return self.latency_cycles <= self.deadline_hint_cycles
+
+    def to_dict(self, include_output: bool = False) -> dict:
+        """JSON-serializable view (``repro serve --json``)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "name": self.name,
+            "status": self.status,
+            "priced_cycles": int(self.priced_cycles),
+            "arrival_cycle": int(self.arrival_cycle),
+            "start_cycle": None if self.start_cycle is None else int(self.start_cycle),
+            "finish_cycle": (
+                None if self.finish_cycle is None else int(self.finish_cycle)
+            ),
+            "queue_cycles": (
+                None if self.queue_cycles is None else int(self.queue_cycles)
+            ),
+            "latency_cycles": (
+                None if self.latency_cycles is None else int(self.latency_cycles)
+            ),
+            "worker_id": self.worker_id,
+            "batch_id": self.batch_id,
+            "batch_size": self.batch_size,
+            "deadline_hint_cycles": self.deadline_hint_cycles,
+            "deadline_met": self.deadline_met,
+            "deprioritized": self.deprioritized,
+            "result": (
+                None if self.result is None else self.result.to_dict(include_output)
+            ),
+        }

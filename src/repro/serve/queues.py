@@ -1,0 +1,278 @@
+"""Per-tenant FIFO queues, weighted-fair dequeue and priced admission.
+
+Two policies live here, deliberately separated from the dispatcher:
+
+* :class:`AdmissionController` — prices every incoming job through the
+  shared estimate cache (:func:`repro.engine.cache.cached_gemm_cycles`, via
+  the pricer callable the scheduler provides) and holds each tenant to an
+  optional cycle budget.  Over-budget tenants are either rejected outright
+  or *deprioritized* — their jobs drop to a background backlog that only
+  runs when every in-budget queue is empty.
+* :class:`WeightedFairQueue` — per-tenant FIFO queues drained by
+  start-time-fair virtual-time scheduling (stride scheduling): each tenant
+  accrues virtual time at ``priced_cycles / weight`` per served job, and
+  the non-empty tenant with the smallest virtual time is served next, so a
+  tenant with weight 2 receives twice the service cycles of a tenant with
+  weight 1 under backlog, and no tenant is ever starved.
+
+Within a tenant the queue is FIFO except for the job ``priority`` field:
+higher-priority jobs of the *same* tenant are served first (cross-tenant
+ordering always stays with the fair scheduler, so priorities cannot be used
+to steal another tenant's share).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.serve.job import Job
+
+#: Admission policies for over-budget tenants.
+POLICY_REJECT = "reject"
+POLICY_DEPRIORITIZE = "deprioritize"
+ADMISSION_POLICIES = (POLICY_REJECT, POLICY_DEPRIORITIZE)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of pricing one job against its tenant's budget."""
+
+    admitted: bool
+    deprioritized: bool
+    priced_cycles: int
+
+
+@dataclass
+class TenantAdmissionStats:
+    """Running admission accounting for one tenant."""
+
+    admitted: int = 0
+    deprioritized: int = 0
+    rejected: int = 0
+    priced_cycles: int = 0
+    budget_cycles: int | None = None
+
+
+class AdmissionController:
+    """Estimate-cache-backed admission: price first, then run (or not).
+
+    ``pricer`` maps a job to its estimated cycles — the scheduler wires it
+    to the fleet's ``estimate_gemm_cycles``, so every admission decision is
+    a (usually cache-hit) lookup in the shared estimate memo rather than an
+    execution.  ``budgets`` maps tenants to total priced-cycle allowances;
+    tenants absent from the mapping are unmetered.
+    """
+
+    def __init__(
+        self,
+        pricer: Callable[[Job], int],
+        budgets: Mapping[str, int] | None = None,
+        policy: str = POLICY_DEPRIORITIZE,
+    ):
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"expected one of {', '.join(ADMISSION_POLICIES)}"
+            )
+        self._pricer = pricer
+        self._budgets = dict(budgets or {})
+        self.policy = policy
+        self._stats: dict[str, TenantAdmissionStats] = {}
+
+    def _tenant_stats(self, tenant: str) -> TenantAdmissionStats:
+        if tenant not in self._stats:
+            self._stats[tenant] = TenantAdmissionStats(
+                budget_cycles=self._budgets.get(tenant)
+            )
+        return self._stats[tenant]
+
+    def admit(self, job: Job) -> AdmissionDecision:
+        """Price ``job`` and decide whether (and how) it may run.
+
+        Admitted jobs — deprioritized ones included, since they do
+        eventually execute — accrue against the tenant's budget; rejected
+        jobs do not.
+        """
+        cost = int(self._pricer(job))
+        stats = self._tenant_stats(job.tenant)
+        budget = stats.budget_cycles
+        over_budget = budget is not None and stats.priced_cycles + cost > budget
+        if over_budget and self.policy == POLICY_REJECT:
+            stats.rejected += 1
+            return AdmissionDecision(False, False, cost)
+        stats.admitted += 1
+        stats.priced_cycles += cost
+        if over_budget:
+            stats.deprioritized += 1
+            return AdmissionDecision(True, True, cost)
+        return AdmissionDecision(True, False, cost)
+
+    def stats(self) -> dict[str, TenantAdmissionStats]:
+        """Per-tenant admission accounting (live references)."""
+        return dict(self._stats)
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """A job waiting in the fair queue, with its admission pricing."""
+
+    job: Job
+    priced_cycles: int
+    deprioritized: bool = False
+
+
+@dataclass
+class _TenantQueue:
+    """One tenant's FIFO backlog plus its fair-share bookkeeping."""
+
+    name: str
+    weight: float
+    jobs: deque[QueuedJob] = field(default_factory=deque)
+    virtual_time: float = 0.0
+
+    def push(self, entry: QueuedJob) -> None:
+        """Append FIFO, but let higher-priority jobs of this tenant jump."""
+        if entry.job.priority == 0 or not self.jobs:
+            self.jobs.append(entry)
+            return
+        items = list(self.jobs)
+        position = len(items)
+        while position > 0 and items[position - 1].job.priority < entry.job.priority:
+            position -= 1
+        items.insert(position, entry)
+        self.jobs = deque(items)
+
+    def charge(self, priced_cycles: int) -> None:
+        self.virtual_time += priced_cycles / self.weight
+
+
+class WeightedFairQueue:
+    """Weighted-fair multi-tenant queue with a deprioritized backlog.
+
+    ``weights`` fixes each tenant's fair share (default 1.0; tenants appear
+    lazily on first push).  Deprioritized jobs, regardless of tenant, go to
+    a global FIFO backlog that is only served — and only batched from —
+    once every in-budget queue is empty.
+    """
+
+    def __init__(self, weights: Mapping[str, float] | None = None):
+        self._weights = dict(weights or {})
+        for tenant, weight in self._weights.items():
+            if weight <= 0:
+                raise ValueError(f"tenant {tenant!r} weight must be > 0, got {weight}")
+        self._tenants: dict[str, _TenantQueue] = {}
+        self._backlog: deque[QueuedJob] = deque()
+        self._virtual_clock = 0.0
+        self._queued_priced_cycles = 0
+
+    def _tenant(self, name: str) -> _TenantQueue:
+        queue = self._tenants.get(name)
+        if queue is None:
+            queue = _TenantQueue(name=name, weight=self._weights.get(name, 1.0))
+            self._tenants[name] = queue
+        return queue
+
+    def push(self, entry: QueuedJob) -> None:
+        """Enqueue an admitted job."""
+        self._queued_priced_cycles += entry.priced_cycles
+        if entry.deprioritized:
+            self._backlog.append(entry)
+            return
+        queue = self._tenant(entry.job.tenant)
+        if not queue.jobs:
+            # A tenant returning from idle resumes at the current virtual
+            # clock instead of its stale lag, so it cannot monopolize the
+            # fleet to "catch up" on time it spent offering no load.
+            queue.virtual_time = max(queue.virtual_time, self._virtual_clock)
+        queue.push(entry)
+
+    def __len__(self) -> int:
+        return sum(len(q.jobs) for q in self._tenants.values()) + len(self._backlog)
+
+    def _active_tenants(self) -> list[_TenantQueue]:
+        return [queue for queue in self._tenants.values() if queue.jobs]
+
+    def _select_tenant(self) -> _TenantQueue | None:
+        active = self._active_tenants()
+        if not active:
+            return None
+        return min(active, key=lambda queue: (queue.virtual_time, queue.name))
+
+    def total_priced_cycles(self) -> int:
+        """Sum of priced cycles currently queued (backlog included).
+
+        Maintained incrementally on push/dequeue so the dispatcher can
+        consult it per batch without rescanning the backlog.
+        """
+        return self._queued_priced_cycles
+
+    def next_batch(
+        self, max_batch: int = 1, cycle_budget: int | None = None
+    ) -> list[QueuedJob]:
+        """Dequeue the next head-of-line job plus same-shape batch mates.
+
+        The head job comes from the tenant with the least virtual time (or
+        the backlog when every in-budget queue is empty).  Up to ``max_batch
+        - 1`` further jobs of the *same GEMM shape* are then pulled — FIFO
+        within each tenant, tenants visited in ascending virtual-time order,
+        backlog last — and every tenant is charged virtual time for its own
+        jobs, so batching never distorts the fair shares.  ``cycle_budget``
+        additionally stops the batch once its summed priced cycles reach the
+        budget (the head job is always taken), letting the dispatcher keep
+        one worker from hoarding work that siblings could start sooner.
+        """
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        head_tenant = self._select_tenant()
+        if head_tenant is not None:
+            head = head_tenant.jobs.popleft()
+            head_tenant.charge(head.priced_cycles)
+            self._virtual_clock = head_tenant.virtual_time
+        elif self._backlog:
+            head = self._backlog.popleft()
+        else:
+            raise IndexError("next_batch() on an empty queue")
+
+        batch = [head]
+        shape = head.job.shape
+        spent = head.priced_cycles
+
+        def room() -> bool:
+            if len(batch) >= max_batch:
+                return False
+            return cycle_budget is None or spent < cycle_budget
+
+        if max_batch > 1:
+            order = sorted(
+                self._active_tenants(),
+                key=lambda queue: (queue.virtual_time, queue.name),
+            )
+            for queue in order:
+                if not room():
+                    break
+                kept: deque[QueuedJob] = deque()
+                while queue.jobs and room():
+                    entry = queue.jobs.popleft()
+                    if entry.job.shape == shape:
+                        batch.append(entry)
+                        spent += entry.priced_cycles
+                        queue.charge(entry.priced_cycles)
+                    else:
+                        kept.append(entry)
+                kept.extend(queue.jobs)
+                queue.jobs = kept
+            if room() and not self._active_tenants():
+                kept_backlog: deque[QueuedJob] = deque()
+                while self._backlog and room():
+                    entry = self._backlog.popleft()
+                    if entry.job.shape == shape:
+                        batch.append(entry)
+                        spent += entry.priced_cycles
+                    else:
+                        kept_backlog.append(entry)
+                kept_backlog.extend(self._backlog)
+                self._backlog = kept_backlog
+        self._queued_priced_cycles -= sum(entry.priced_cycles for entry in batch)
+        return batch

@@ -1,0 +1,269 @@
+"""Metrics surface of the batch-serving subsystem.
+
+A :class:`ServeReport` condenses one serving run into the numbers an
+operator actually watches: per-tenant p50/p95 simulated latency and
+throughput, per-worker utilization over the makespan, batching efficiency,
+admission outcomes and the estimate-cache hit rate the admission controller
+achieved.  Everything is JSON-serializable (``repro serve --json``) and
+printable (:func:`format_serve_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.analysis.latency import LatencySummary, summarize_latencies
+from repro.analysis.reports import format_table
+from repro.serve.job import JobResult
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """One fleet member's share of the run."""
+
+    worker_id: int
+    jobs: int
+    batches: int
+    busy_cycles: int
+    utilization: float
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "jobs": self.jobs,
+            "batches": self.batches,
+            "busy_cycles": int(self.busy_cycles),
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class TenantServeStats:
+    """One tenant's service quality over the run.
+
+    ``latency`` summarizes simulated arrival-to-finish cycles of the
+    tenant's completed jobs (None when nothing completed);
+    ``throughput_jobs_per_sec`` is completed jobs over the run's simulated
+    makespan at the configured clock.
+    """
+
+    tenant: str
+    submitted: int
+    completed: int
+    rejected: int
+    deprioritized: int
+    priced_cycles: int
+    budget_cycles: int | None
+    latency: LatencySummary | None
+    mean_queue_cycles: float | None
+    throughput_jobs_per_sec: float
+    deadline_misses: int
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "deprioritized": self.deprioritized,
+            "priced_cycles": int(self.priced_cycles),
+            "budget_cycles": self.budget_cycles,
+            "latency_cycles": None if self.latency is None else self.latency.to_dict(),
+            "mean_queue_cycles": self.mean_queue_cycles,
+            "throughput_jobs_per_sec": self.throughput_jobs_per_sec,
+            "deadline_misses": self.deadline_misses,
+        }
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Aggregate outcome of one serving run."""
+
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_rejected: int
+    batches: int
+    batched_jobs: int
+    max_batch: int
+    fleet_size: int
+    makespan_cycles: int
+    clock_hz: float
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+    tenants: tuple[TenantServeStats, ...]
+    workers: tuple[WorkerStats, ...]
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Makespan converted to seconds at the configured clock."""
+        return self.makespan_cycles / self.clock_hz
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Simulated sustained throughput: completed jobs over the makespan."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.jobs_completed / self.simulated_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Estimate-cache hit rate over this run's admissions/planning."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def mean_worker_utilization(self) -> float:
+        if not self.workers:
+            return 0.0
+        return sum(w.utilization for w in self.workers) / len(self.workers)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_rejected": self.jobs_rejected,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "max_batch": self.max_batch,
+            "fleet_size": self.fleet_size,
+            "makespan_cycles": int(self.makespan_cycles),
+            "clock_hz": self.clock_hz,
+            "simulated_seconds": self.simulated_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_worker_utilization": self.mean_worker_utilization,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "workers": [worker.to_dict() for worker in self.workers],
+        }
+
+
+def compile_serve_report(
+    job_results: Iterable[JobResult],
+    *,
+    workers: Iterable[WorkerStats],
+    budgets: Mapping[str, int | None],
+    max_batch: int,
+    clock_hz: float,
+    wall_seconds: float,
+    cache_hits: int,
+    cache_misses: int,
+) -> ServeReport:
+    """Fold per-job results and worker counters into a :class:`ServeReport`."""
+    results = sorted(job_results, key=lambda r: r.job_id)
+    workers = tuple(sorted(workers, key=lambda w: w.worker_id))
+    makespan = max(
+        (r.finish_cycle for r in results if r.finish_cycle is not None), default=0
+    )
+    simulated_seconds = makespan / clock_hz if makespan else 0.0
+
+    by_tenant: dict[str, list[JobResult]] = {}
+    for result in results:
+        by_tenant.setdefault(result.tenant, []).append(result)
+
+    tenants = []
+    for tenant in sorted(by_tenant):
+        entries = by_tenant[tenant]
+        done = [r for r in entries if r.completed]
+        latencies = [r.latency_cycles for r in done]
+        queues = [r.queue_cycles for r in done]
+        tenants.append(
+            TenantServeStats(
+                tenant=tenant,
+                submitted=len(entries),
+                completed=len(done),
+                rejected=sum(1 for r in entries if not r.completed),
+                deprioritized=sum(1 for r in entries if r.deprioritized),
+                priced_cycles=sum(r.priced_cycles for r in done),
+                budget_cycles=budgets.get(tenant),
+                latency=summarize_latencies(latencies) if latencies else None,
+                mean_queue_cycles=(
+                    sum(queues) / len(queues) if queues else None
+                ),
+                throughput_jobs_per_sec=(
+                    len(done) / simulated_seconds if simulated_seconds else 0.0
+                ),
+                deadline_misses=sum(1 for r in done if r.deadline_met is False),
+            )
+        )
+
+    batch_sizes: dict[tuple[int, int], int] = {}
+    for result in results:
+        if result.completed and result.batch_id is not None:
+            key = (result.worker_id, result.batch_id)
+            batch_sizes[key] = batch_sizes.get(key, 0) + 1
+
+    return ServeReport(
+        jobs_submitted=len(results),
+        jobs_completed=sum(1 for r in results if r.completed),
+        jobs_rejected=sum(1 for r in results if not r.completed),
+        batches=len(batch_sizes),
+        batched_jobs=sum(size for size in batch_sizes.values() if size > 1),
+        max_batch=max_batch,
+        fleet_size=len(workers),
+        makespan_cycles=makespan,
+        clock_hz=clock_hz,
+        wall_seconds=wall_seconds,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        tenants=tuple(tenants),
+        workers=workers,
+    )
+
+
+def format_serve_report(report: ServeReport) -> str:
+    """Operator-readable tables: run summary, per-tenant SLOs, per-worker."""
+    summary = format_table(
+        ("metric", "value"),
+        [
+            ("jobs submitted", report.jobs_submitted),
+            ("jobs completed", report.jobs_completed),
+            ("jobs rejected", report.jobs_rejected),
+            ("batches", report.batches),
+            ("jobs sharing a batch", report.batched_jobs),
+            ("fleet size", report.fleet_size),
+            ("makespan (cycles)", report.makespan_cycles),
+            ("simulated throughput (jobs/s)", round(report.jobs_per_second, 2)),
+            ("mean worker utilization", round(report.mean_worker_utilization, 4)),
+            ("estimate-cache hit rate", round(report.cache_hit_rate, 4)),
+            ("wall time (s)", round(report.wall_seconds, 3)),
+        ],
+    )
+    tenant_rows = [
+        (
+            t.tenant,
+            t.completed,
+            t.rejected,
+            t.deprioritized,
+            "-" if t.latency is None else int(t.latency.p50),
+            "-" if t.latency is None else int(t.latency.p95),
+            "-" if t.mean_queue_cycles is None else int(t.mean_queue_cycles),
+            round(t.throughput_jobs_per_sec, 2),
+        )
+        for t in report.tenants
+    ]
+    tenants = format_table(
+        (
+            "tenant",
+            "done",
+            "rejected",
+            "deprio",
+            "p50 latency",
+            "p95 latency",
+            "mean queue",
+            "jobs/s",
+        ),
+        tenant_rows,
+    )
+    worker_rows = [
+        (w.worker_id, w.jobs, w.batches, w.busy_cycles, round(w.utilization, 4))
+        for w in report.workers
+    ]
+    workers = format_table(
+        ("worker", "jobs", "batches", "busy cycles", "utilization"), worker_rows
+    )
+    return "\n\n".join([summary, tenants, workers])

@@ -1,0 +1,482 @@
+"""Async multi-tenant GEMM dispatcher over a simulated-clock fleet.
+
+:class:`AsyncGemmScheduler` packs :class:`repro.serve.job.Job` streams onto
+a homogeneous fleet of accelerator instances (:class:`SystolicAccelerator`
+or :class:`AxonAccelerator`, single arrays or ``scale_out=(P_R, P_C)``
+grids).  Two clocks are involved, deliberately decoupled:
+
+* **Simulated clock** — drives all scheduling semantics.  Job arrivals,
+  weighted-fair dequeue, batch formation, worker occupancy, per-tenant
+  latency and the run's makespan are all computed in accelerator cycles
+  from the closed-form tile accounting
+  (:func:`repro.engine.batched.gemm_cycle_accounting`), which is exactly
+  what ``run_gemm`` would report.  The schedule is therefore deterministic:
+  it depends only on the trace, the fleet and the policies — never on host
+  thread timing.
+* **Host wall clock** — the numerics (the actual matrices) execute through
+  an ``asyncio`` dispatch loop over a thread-pool executor, one submission
+  per scheduled batch, so independent batches overlap on the host.
+  Same-shape batches run as one stacked ``np.matmul`` with the tile-group
+  accounting computed once for the whole batch (verified at import against
+  per-slice BLAS — the outputs stay bit-exact with direct ``run_gemm``;
+  see :func:`stacked_matmul_is_bitexact`), which is where the serial
+  per-job Python overhead is amortized away.
+
+Every completed :class:`JobResult` carries a :class:`repro.api.RunResult`
+that is bit-exact — output matrix and every counter — with what a direct
+``accelerator.run_gemm(job.a, job.b)`` call returns; the scheduler asserts
+the planned cycles against the executed cycles and refuses to mis-report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.api import RunResult, _validated_utilization
+from repro.engine.batched import gemm_cycle_accounting
+from repro.engine.cache import estimate_cache_info
+from repro.engine.scaleout import iter_partition_share_shapes
+from repro.serve.job import (
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+    Job,
+    JobResult,
+)
+from repro.serve.queues import (
+    POLICY_DEPRIORITIZE,
+    AdmissionController,
+    QueuedJob,
+    WeightedFairQueue,
+)
+from repro.serve.report import ServeReport, WorkerStats, compile_serve_report
+
+#: Default simulated clock for cycle -> second conversions (1 GHz).
+DEFAULT_CLOCK_HZ = 1e9
+
+_STACKED_PROBE: bool | None = None
+
+
+def stacked_matmul_is_bitexact() -> bool:
+    """Whether ``np.matmul`` over a stack bit-matches per-slice 2-D matmuls.
+
+    NumPy dispatches stacked float64 matmuls to the same BLAS GEMM per
+    slice, so the answer is expected to be True — but the batching fast
+    path *requires* it (JobResults must be bit-exact against direct
+    ``run_gemm``), so it is probed once per process instead of assumed.
+    On a False probe the scheduler silently falls back to per-job
+    execution; nothing is ever approximate.
+    """
+    global _STACKED_PROBE
+    if _STACKED_PROBE is None:
+        rng = np.random.default_rng(0xA40)
+        stack_a = rng.standard_normal((3, 17, 23))
+        stack_b = rng.standard_normal((3, 23, 11))
+        stacked = stack_a @ stack_b
+        _STACKED_PROBE = all(
+            np.array_equal(stacked[i], stack_a[i] @ stack_b[i]) for i in range(3)
+        )
+    return _STACKED_PROBE
+
+
+def planned_gemm_cycles(accelerator, m: int, k: int, n: int) -> int:
+    """The exact cycles ``accelerator.run_gemm`` will report for this shape.
+
+    Unlike :meth:`estimate_gemm_cycles` (the Eq. 2/3 analytical pricing
+    model, which pads ragged tiles), this is the tile-exact accounting the
+    functional engines produce, so planned batch finish times match the
+    executed :class:`RunResult` cycles exactly.  For scale-out fleets the
+    Eq. 3 makespan is the maximum over the per-array share accountings.
+    """
+    rows, cols = accelerator.config.rows, accelerator.config.cols
+    dataflow, axon = accelerator.dataflow, accelerator.axon
+    p_r, p_c = accelerator.scale_out
+
+    def share_cycles(sm: int, sk: int, sn: int) -> int:
+        return gemm_cycle_accounting(
+            sm, sk, sn, rows, cols, dataflow=dataflow, axon=axon
+        ).total_cycles
+
+    if (p_r, p_c) == (1, 1):
+        return share_cycles(m, k, n)
+    # Each non-empty Eq. 3 share runs as an independent scale-up GEMM; the
+    # makespan is the slowest share.
+    return max(
+        share_cycles(*share)
+        for share in iter_partition_share_shapes(m, k, n, dataflow, p_r, p_c)
+    )
+
+
+def _batch_eligible(accelerator, jobs: Sequence[Job]) -> bool:
+    """Whether the stacked-matmul fast path may run this batch."""
+    if len(jobs) < 2 or not stacked_matmul_is_bitexact():
+        return False
+    if accelerator.engine != "wavefront" or accelerator.zero_gating:
+        return False
+    if accelerator.scale_out != (1, 1):
+        return False
+    shape = jobs[0].shape
+    return all(job.shape == shape for job in jobs)
+
+
+def run_batch(accelerator, jobs: Sequence[Job]) -> list[RunResult]:
+    """Execute one batch's numerics, bit-exact with per-job ``run_gemm``.
+
+    Same-shape batches on a plain wavefront worker take the stacked
+    fast path: one ``(B, M, K) @ (B, K, N)`` matmul plus a single
+    tile-group accounting shared by every job (with zero gating off, the
+    accounting is a pure function of the shape).  Everything else — cycle
+    or exact engines, zero gating, scale-out grids, mixed shapes — falls
+    back to a per-job ``run_gemm`` loop, which is trivially bit-exact.
+    """
+    if not _batch_eligible(accelerator, jobs):
+        return [accelerator.run_gemm(job.a, job.b, name=job.name) for job in jobs]
+
+    m, k, n = jobs[0].shape
+    accounting = gemm_cycle_accounting(
+        m,
+        k,
+        n,
+        accelerator.config.rows,
+        accelerator.config.cols,
+        dataflow=accelerator.dataflow,
+        axon=accelerator.axon,
+    )
+    outputs = np.stack([job.a for job in jobs]) @ np.stack([job.b for job in jobs])
+    macs = m * k * n
+    utilization = _validated_utilization(
+        macs,
+        accelerator.config.num_pes,
+        accounting.total_cycles,
+        f"run_batch({jobs[0].name!r})",
+    )
+    return [
+        RunResult(
+            name=job.name,
+            cycles=accounting.total_cycles,
+            macs=macs,
+            utilization=utilization,
+            output=outputs[index],
+            active_pe_cycles=macs,
+            engine=accelerator.engine,
+            performed_macs=macs,
+            gated_macs=0,
+            scale_out=(1, 1),
+        )
+        for index, job in enumerate(jobs)
+    ]
+
+
+@dataclass(frozen=True)
+class _ScheduledBatch:
+    """One planned dispatch: which jobs run where, and when (simulated)."""
+
+    batch_id: int
+    worker_id: int
+    start_cycle: int
+    entries: tuple[QueuedJob, ...]
+    job_cycles: tuple[int, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.job_cycles)
+
+    @property
+    def finish_cycle(self) -> int:
+        return self.start_cycle + self.total_cycles
+
+
+@dataclass
+class _WorkerLedger:
+    """Mutable per-worker occupancy while the schedule is being built."""
+
+    worker_id: int
+    jobs: int = 0
+    batches: int = 0
+    busy_cycles: int = 0
+
+
+class AsyncGemmScheduler:
+    """Schedules many concurrent GEMM jobs across an accelerator fleet.
+
+    Parameters
+    ----------
+    fleet:
+        One or more accelerator instances.  The fleet must be homogeneous
+        (same array shape, dataflow, orchestration, engine and scale-out
+        grid) so any job can run on any worker with identical results —
+        which is what makes the simulated schedule meaningful.
+    max_batch:
+        Upper bound on jobs per dispatched batch (same-shape jobs are
+        packed together; 1 disables batching).
+    weights:
+        Per-tenant fair-share weights (default 1.0 each).
+    budgets:
+        Per-tenant priced-cycle budgets for the admission controller
+        (absent tenants are unmetered).
+    admission_policy:
+        ``"deprioritize"`` (default) or ``"reject"`` for over-budget jobs.
+    clock_hz:
+        Simulated clock frequency used to convert cycles to seconds in the
+        report.
+    """
+
+    def __init__(
+        self,
+        fleet: Sequence,
+        *,
+        max_batch: int = 8,
+        weights: Mapping[str, float] | None = None,
+        budgets: Mapping[str, int] | None = None,
+        admission_policy: str = POLICY_DEPRIORITIZE,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
+    ):
+        fleet = list(fleet)
+        if not fleet:
+            raise ValueError("fleet must contain at least one accelerator")
+        signature = self._worker_signature(fleet[0])
+        for worker in fleet[1:]:
+            if self._worker_signature(worker) != signature:
+                raise ValueError(
+                    "fleet must be homogeneous (same array shape, dataflow, "
+                    "orchestration, engine and scale-out grid on every worker)"
+                )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+        self.fleet = fleet
+        self.max_batch = max_batch
+        self.weights = dict(weights or {})
+        self.budgets = dict(budgets or {})
+        self.admission_policy = admission_policy
+        self.clock_hz = clock_hz
+        self._planned_cycles_memo: dict[tuple[int, int, int], int] = {}
+
+    @staticmethod
+    def _worker_signature(accelerator) -> tuple:
+        return (
+            accelerator.config.rows,
+            accelerator.config.cols,
+            accelerator.dataflow,
+            accelerator.axon,
+            accelerator.zero_gating,
+            accelerator.engine,
+            accelerator.scale_out,
+        )
+
+    # -- pricing ----------------------------------------------------------
+
+    def price_job(self, job: Job) -> int:
+        """Admission price: the Eq. 2/3 analytical estimate (memoized in
+        the shared estimate cache, so steady-state traffic is all hits)."""
+        return self.fleet[0].estimate_gemm_cycles(job.m, job.k, job.n)
+
+    def _planned_cycles(self, job: Job) -> int:
+        shape = job.shape
+        cycles = self._planned_cycles_memo.get(shape)
+        if cycles is None:
+            cycles = planned_gemm_cycles(self.fleet[0], *shape)
+            self._planned_cycles_memo[shape] = cycles
+        return cycles
+
+    # -- planning (simulated clock) ---------------------------------------
+
+    def _plan(
+        self, jobs: Sequence[Job]
+    ) -> tuple[list[_ScheduledBatch], list[JobResult], dict[int, _WorkerLedger]]:
+        """Build the deterministic simulated-clock schedule.
+
+        Event loop over (worker-free, job-arrival) instants: the earliest
+        free worker pulls the weighted-fair head-of-line job — plus up to
+        ``max_batch - 1`` queued same-shape mates — the moment both it and
+        work are available.  Returns the planned batches, the rejected
+        jobs' results, and per-worker occupancy ledgers.
+        """
+        arrivals = sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id))
+        seen: set[str] = set()
+        for job in arrivals:
+            if job.job_id in seen:
+                raise ValueError(f"duplicate job_id {job.job_id!r} in trace")
+            seen.add(job.job_id)
+
+        admission = AdmissionController(
+            self.price_job, self.budgets, self.admission_policy
+        )
+        queue = WeightedFairQueue(self.weights)
+        ledgers = {wid: _WorkerLedger(wid) for wid in range(len(self.fleet))}
+        heap: list[tuple[int, int]] = [(0, wid) for wid in range(len(self.fleet))]
+        heapq.heapify(heap)
+
+        rejected: list[JobResult] = []
+        batches: list[_ScheduledBatch] = []
+        index = 0
+
+        def admit_through(cycle: int) -> int:
+            nonlocal index
+            while index < len(arrivals) and arrivals[index].arrival_cycle <= cycle:
+                job = arrivals[index]
+                index += 1
+                decision = admission.admit(job)
+                if not decision.admitted:
+                    rejected.append(
+                        JobResult(
+                            job_id=job.job_id,
+                            tenant=job.tenant,
+                            name=job.name,
+                            status=STATUS_REJECTED,
+                            priced_cycles=decision.priced_cycles,
+                            arrival_cycle=job.arrival_cycle,
+                            deadline_hint_cycles=job.deadline_hint_cycles,
+                        )
+                    )
+                    continue
+                queue.push(
+                    QueuedJob(job, decision.priced_cycles, decision.deprioritized)
+                )
+            return cycle
+
+        while True:
+            free_at, worker_id = heapq.heappop(heap)
+            clock = admit_through(free_at)
+            if not len(queue):
+                if index >= len(arrivals):
+                    heapq.heappush(heap, (free_at, worker_id))
+                    break
+                # The fleet is idle: fast-forward to the next arrival.
+                clock = admit_through(arrivals[index].arrival_cycle)
+                if not len(queue):  # every arrival at that instant was rejected
+                    heapq.heappush(heap, (max(free_at, clock), worker_id))
+                    continue
+                clock = max(free_at, clock)
+            # Adaptive batch bound: a batch occupies this worker for the sum
+            # of its jobs' cycles, so hoarding the whole backlog would idle
+            # the siblings that free up mid-batch and stretch the makespan.
+            # Cap each batch at this worker's fair slice (1/fleet) of the
+            # queued work; deep backlogs still batch to max_batch.
+            budget = -(-queue.total_priced_cycles() // len(self.fleet))
+            entries = tuple(queue.next_batch(self.max_batch, cycle_budget=budget))
+            job_cycles = tuple(self._planned_cycles(entry.job) for entry in entries)
+            batch = _ScheduledBatch(
+                batch_id=len(batches),
+                worker_id=worker_id,
+                start_cycle=clock,
+                entries=entries,
+                job_cycles=job_cycles,
+            )
+            batches.append(batch)
+            ledger = ledgers[worker_id]
+            ledger.jobs += len(entries)
+            ledger.batches += 1
+            ledger.busy_cycles += batch.total_cycles
+            heapq.heappush(heap, (batch.finish_cycle, worker_id))
+        return batches, rejected, ledgers
+
+    # -- execution (host clock) -------------------------------------------
+
+    async def serve_async(self, jobs: Sequence[Job]) -> tuple[ServeReport, list[JobResult]]:
+        """Serve a trace: plan on the simulated clock, execute concurrently.
+
+        Returns the aggregate :class:`ServeReport` and one
+        :class:`JobResult` per submitted job (rejected jobs included),
+        sorted by ``job_id``.
+        """
+        wall_start = time.perf_counter()
+        cache_before = estimate_cache_info()
+        batches, rejected, ledgers = self._plan(jobs)
+
+        loop = asyncio.get_running_loop()
+        pool_size = max(1, len(self.fleet))
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            futures = [
+                loop.run_in_executor(
+                    pool,
+                    run_batch,
+                    self.fleet[batch.worker_id],
+                    [entry.job for entry in batch.entries],
+                )
+                for batch in batches
+            ]
+            batch_runs = await asyncio.gather(*futures)
+
+        results = list(rejected)
+        for batch, runs in zip(batches, batch_runs):
+            cursor = batch.start_cycle
+            for entry, planned, run in zip(batch.entries, batch.job_cycles, runs):
+                if run.cycles != planned:
+                    raise RuntimeError(
+                        f"scheduler accounting drift on job "
+                        f"{entry.job.job_id!r}: planned {planned} cycles but "
+                        f"execution reported {run.cycles}"
+                    )
+                start = cursor
+                cursor += planned
+                results.append(
+                    JobResult(
+                        job_id=entry.job.job_id,
+                        tenant=entry.job.tenant,
+                        name=entry.job.name,
+                        status=STATUS_COMPLETED,
+                        priced_cycles=entry.priced_cycles,
+                        arrival_cycle=entry.job.arrival_cycle,
+                        result=run,
+                        start_cycle=start,
+                        finish_cycle=cursor,
+                        worker_id=batch.worker_id,
+                        batch_id=batch.batch_id,
+                        batch_size=len(batch.entries),
+                        deadline_hint_cycles=entry.job.deadline_hint_cycles,
+                        deprioritized=entry.deprioritized,
+                    )
+                )
+
+        cache_after = estimate_cache_info()
+        makespan = max((batch.finish_cycle for batch in batches), default=0)
+        worker_stats = [
+            WorkerStats(
+                worker_id=ledger.worker_id,
+                jobs=ledger.jobs,
+                batches=ledger.batches,
+                busy_cycles=ledger.busy_cycles,
+                utilization=ledger.busy_cycles / makespan if makespan else 0.0,
+            )
+            for ledger in ledgers.values()
+        ]
+        report = compile_serve_report(
+            results,
+            workers=worker_stats,
+            budgets={tenant: self.budgets.get(tenant) for tenant in
+                     {job.tenant for job in jobs}},
+            max_batch=self.max_batch,
+            clock_hz=self.clock_hz,
+            wall_seconds=time.perf_counter() - wall_start,
+            cache_hits=cache_after.hits - cache_before.hits,
+            cache_misses=cache_after.misses - cache_before.misses,
+        )
+        results.sort(key=lambda item: item.job_id)
+        return report, results
+
+    def serve(self, jobs: Sequence[Job]) -> tuple[ServeReport, list[JobResult]]:
+        """Synchronous wrapper around :meth:`serve_async`."""
+        return asyncio.run(self.serve_async(jobs))
+
+
+def serial_baseline(
+    fleet_worker, jobs: Sequence[Job], *, clock_hz: float = DEFAULT_CLOCK_HZ
+) -> tuple[ServeReport, list[JobResult]]:
+    """Naive serial dispatch: one worker, no batching, strict arrival order.
+
+    The reference point the batched async scheduler is benchmarked against
+    (``benchmarks/bench_serve_throughput.py``): every job runs alone, in
+    arrival order, on a single accelerator.
+    """
+    scheduler = AsyncGemmScheduler(
+        [fleet_worker], max_batch=1, clock_hz=clock_hz
+    )
+    return scheduler.serve(jobs)

@@ -34,6 +34,14 @@ from repro.workloads.conformer import CONFORMER_BLOCK_GEMMS, conformer_workloads
 from repro.workloads.gemv import GEMV_WORKLOADS, gemv_workloads
 from repro.workloads.depthwise import DEPTHWISE_WORKLOADS, depthwise_workloads
 from repro.workloads.sparse import sparse_matrix, sparse_gemm_pair
+from repro.workloads.serving import (
+    TenantTrafficSpec,
+    equal_tenants,
+    scaled_workload,
+    synthetic_trace,
+    tenant_budgets,
+    tenant_weights,
+)
 
 __all__ = [
     "TABLE3_WORKLOADS",
@@ -57,4 +65,10 @@ __all__ = [
     "depthwise_workloads",
     "sparse_matrix",
     "sparse_gemm_pair",
+    "TenantTrafficSpec",
+    "equal_tenants",
+    "scaled_workload",
+    "synthetic_trace",
+    "tenant_budgets",
+    "tenant_weights",
 ]

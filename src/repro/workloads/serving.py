@@ -1,0 +1,190 @@
+"""Synthetic multi-tenant serving traces over the Table 3 workload mix.
+
+``repro serve`` and the serving-throughput benchmark replay traces built
+here: each tenant offers a Poisson stream of GEMM jobs drawn from the
+Table 3 shapes (dimension-capped so functional execution stays fast), with
+arrival rates calibrated in *offered load* — multiples of one worker's
+service capacity — rather than raw QPS, so a trace saturates a fleet the
+same way regardless of the array configuration it targets.
+
+The construction is fully deterministic for a given seed: per-tenant
+substreams come from ``numpy``'s seed-sequence spawning, so adding a tenant
+never perturbs another tenant's arrivals or operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.im2col.lowering import GemmShape
+from repro.serve.job import Job
+from repro.serve.scheduler import planned_gemm_cycles
+from repro.workloads.gemm_workloads import TABLE3_WORKLOADS
+
+
+@dataclass(frozen=True)
+class TenantTrafficSpec:
+    """One tenant's offered traffic in a synthetic trace.
+
+    ``load_share`` scales the tenant's arrival rate relative to the other
+    tenants (the trace's total offered load is fixed; shares apportion it).
+    ``weight`` (fair share) and ``budget_cycles`` (admission allowance) are
+    carried on the spec so one object describes the tenant end to end, but
+    the scheduler does not read specs — hand them over explicitly::
+
+        scheduler = AsyncGemmScheduler(
+            fleet,
+            weights=tenant_weights(specs),
+            budgets=tenant_budgets(specs),
+        )
+    """
+
+    name: str
+    weight: float = 1.0
+    load_share: float = 1.0
+    budget_cycles: int | None = None
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if self.load_share <= 0:
+            raise ValueError(f"tenant {self.name!r}: load_share must be > 0")
+
+
+def equal_tenants(count: int, prefix: str = "tenant") -> tuple[TenantTrafficSpec, ...]:
+    """``count`` tenants with identical weights and offered-load shares."""
+    if count < 1:
+        raise ValueError(f"tenant count must be >= 1, got {count}")
+    return tuple(TenantTrafficSpec(f"{prefix}-{idx}") for idx in range(count))
+
+
+def tenant_weights(tenants: Sequence[TenantTrafficSpec]) -> dict[str, float]:
+    """Fair-share weights keyed by tenant, for ``AsyncGemmScheduler(weights=...)``."""
+    return {spec.name: spec.weight for spec in tenants}
+
+
+def tenant_budgets(tenants: Sequence[TenantTrafficSpec]) -> dict[str, int]:
+    """Admission budgets keyed by tenant (budget-less tenants omitted, i.e.
+    unmetered), for ``AsyncGemmScheduler(budgets=...)``."""
+    return {
+        spec.name: spec.budget_cycles
+        for spec in tenants
+        if spec.budget_cycles is not None
+    }
+
+
+def scaled_workload(shape: GemmShape, max_dim: int) -> GemmShape:
+    """Cap a workload's dimensions so functional serving stays cheap.
+
+    Table 3 includes production shapes (e.g. the GPT-3 LM head's
+    ``N = 50257``) that are impractical to execute functionally thousands
+    of times in a trace; clamping each dimension preserves the mix's shape
+    diversity — tall, wide and square problems remain distinct — while
+    bounding per-job cost.
+    """
+    if max_dim < 1:
+        raise ValueError(f"max_dim must be >= 1, got {max_dim}")
+    return GemmShape(
+        shape.name,
+        m=min(shape.m, max_dim),
+        k=min(shape.k, max_dim),
+        n=min(shape.n, max_dim),
+    )
+
+
+def synthetic_trace(
+    accelerator,
+    tenants: Sequence[TenantTrafficSpec] | int = 4,
+    *,
+    jobs_per_tenant: int = 12,
+    offered_load: float = 4.0,
+    max_dim: int = 128,
+    workloads: Sequence[GemmShape] = TABLE3_WORKLOADS,
+    seed: int = 0,
+    deadline_slack: float | None = None,
+) -> list[Job]:
+    """Build a deterministic mixed-workload trace for a serving run.
+
+    Parameters
+    ----------
+    accelerator:
+        Calibration target: the tile-exact cycles the pool's shapes occupy
+        it for (:func:`repro.serve.scheduler.planned_gemm_cycles`) set the
+        mean service time that ``offered_load`` is expressed against.
+        Deadline hints, by contrast, are priced with the same analytical
+        estimates admission uses (:meth:`estimate_gemm_cycles`).
+    tenants:
+        Tenant specs, or an integer for that many identical tenants.
+    jobs_per_tenant:
+        Jobs each tenant submits.
+    offered_load:
+        Aggregate arrival rate as a multiple of one worker's service rate:
+        1.0 keeps a single accelerator exactly busy on average, 4.0
+        saturates a fleet of four.
+    max_dim:
+        Dimension cap applied to every workload shape
+        (:func:`scaled_workload`).
+    workloads:
+        Shape pool to sample uniformly per job (default: all of Table 3).
+    seed:
+        Root seed; tenant substreams are spawned from it.
+    deadline_slack:
+        When set, each job carries ``deadline_hint_cycles = slack x`` its
+        priced cycles (advisory; lets reports count deadline misses).
+    """
+    if isinstance(tenants, int):
+        tenants = equal_tenants(tenants)
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError("trace needs at least one tenant")
+    if jobs_per_tenant < 1:
+        raise ValueError(f"jobs_per_tenant must be >= 1, got {jobs_per_tenant}")
+    if offered_load <= 0:
+        raise ValueError(f"offered_load must be > 0, got {offered_load}")
+
+    pool = tuple(scaled_workload(shape, max_dim) for shape in workloads)
+    if not pool:
+        raise ValueError("workload pool is empty")
+    # Calibrate against the tile-exact cycles jobs will actually occupy a
+    # worker for (the padded Eq. 2/3 estimates used for admission pricing
+    # overprice ragged shapes, which would silently deflate the real load).
+    mean_cost = sum(
+        planned_gemm_cycles(accelerator, shape.m, shape.k, shape.n) for shape in pool
+    ) / len(pool)
+
+    # offered_load jobs-in-service on average across the whole trace;
+    # apportion the aggregate rate by each tenant's load share.
+    total_share = sum(spec.load_share for spec in tenants)
+    aggregate_rate = offered_load / mean_cost  # jobs per cycle
+
+    jobs: list[Job] = []
+    streams = np.random.SeedSequence(seed).spawn(len(tenants))
+    for spec, stream in zip(tenants, streams):
+        rng = np.random.default_rng(stream)
+        rate = aggregate_rate * spec.load_share / total_share
+        arrival = 0.0
+        for index in range(jobs_per_tenant):
+            arrival += rng.exponential(1.0 / rate)
+            shape = pool[int(rng.integers(len(pool)))]
+            a = rng.standard_normal((shape.m, shape.k))
+            b = rng.standard_normal((shape.k, shape.n))
+            deadline = None
+            if deadline_slack is not None:
+                priced = accelerator.estimate_gemm_cycles(shape.m, shape.k, shape.n)
+                deadline = int(round(deadline_slack * priced))
+            jobs.append(
+                Job(
+                    job_id=f"{spec.name}-{index:04d}",
+                    tenant=spec.name,
+                    a=a,
+                    b=b,
+                    name=shape.name,
+                    deadline_hint_cycles=deadline,
+                    arrival_cycle=int(round(arrival)),
+                )
+            )
+    jobs.sort(key=lambda job: (job.arrival_cycle, job.job_id))
+    return jobs

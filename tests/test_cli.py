@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import re
 
 import pytest
@@ -71,6 +72,57 @@ class TestCli:
         assert main(args) == 0
         assert "axon" in capsys.readouterr().out
 
+    def test_run_command_json_output(self, capsys):
+        args = ["run", "--m", "16", "--k", "8", "--n", "12", "--rows", "8",
+                "--cols", "8", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["arch"] for entry in payload["results"]} == {"systolic", "axon"}
+        for entry in payload["results"]:
+            assert entry["engine"] == "wavefront"
+            assert entry["output_shape"] == [16, 12]
+            assert len(entry["output_sha256"]) == 64
+
+    def test_serve_command_prints_report(self, capsys):
+        args = ["serve", "--tenants", "2", "--jobs-per-tenant", "3",
+                "--workers", "2", "--rows", "8", "--cols", "8",
+                "--max-dim", "32", "--seed", "1"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed" in out
+        assert "tenant-0" in out and "tenant-1" in out
+        assert "p95 latency" in out
+
+    def test_serve_command_json_output(self, capsys):
+        args = ["serve", "--tenants", "2", "--jobs-per-tenant", "2",
+                "--workers", "2", "--rows", "8", "--cols", "8",
+                "--max-dim", "32", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["jobs_completed"] == 4
+        assert len(payload["jobs"]) == 4
+        for job in payload["jobs"]:
+            assert job["status"] == "completed"
+            assert job["result"]["output_sha256"]
+
+    def test_serve_command_with_budget_and_reject_policy(self, capsys):
+        args = ["serve", "--tenants", "2", "--jobs-per-tenant", "4",
+                "--workers", "1", "--rows", "8", "--cols", "8",
+                "--max-dim", "32", "--budget-cycles", "1",
+                "--admission", "reject", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["jobs_rejected"] == 8
+
+    def test_serve_command_scale_out_workers(self, capsys):
+        args = ["serve", "--tenants", "2", "--jobs-per-tenant", "2",
+                "--workers", "2", "--rows", "8", "--cols", "8",
+                "--max-dim", "32", "--scale-out", "2", "2", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for job in payload["jobs"]:
+            assert job["result"]["scale_out"] == [2, 2]
+
     def test_workloads_command_lists_table3(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
@@ -95,6 +147,11 @@ class TestCli:
     def test_hardware_command_45nm(self, capsys):
         assert main(["hardware", "--node", "TSMC45"]) == 0
         assert "Axon" in capsys.readouterr().out
+
+    def test_serve_command_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workers", "0"])
+        assert "positive integer" in capsys.readouterr().err
 
     def test_parser_rejects_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,194 @@
+"""Tests for the shared estimate cache (:mod:`repro.engine.cache`).
+
+Pins the two properties serving depends on: the key must never alias across
+engine names or scale-out grids (a bandwidth-limited future engine or an
+Eq. 3 grid estimate silently reusing an Eq. 2 entry would corrupt admission
+pricing), and the LRU capacity must be reconfigurable at runtime without
+losing the statistics a long-lived process monitors.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.arch.dataflow import Dataflow
+from repro.engine import (
+    DEFAULT_ESTIMATE_CACHE_CAPACITY,
+    LRUEstimateCache,
+    cached_gemm_cycles,
+    clear_estimate_cache,
+    estimate_cache_capacity,
+    estimate_cache_info,
+    set_estimate_cache_capacity,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test and restore the default capacity afterwards."""
+    clear_estimate_cache()
+    set_estimate_cache_capacity(DEFAULT_ESTIMATE_CACHE_CAPACITY)
+    yield
+    clear_estimate_cache()
+    set_estimate_cache_capacity(DEFAULT_ESTIMATE_CACHE_CAPACITY)
+
+
+def _lookup(engine="wavefront", grid=(1, 1), shape=(96, 64, 80)):
+    m, k, n = shape
+    return cached_gemm_cycles(
+        m, k, n, 16, 16, Dataflow.OUTPUT_STATIONARY, False, engine, *grid
+    )
+
+
+class TestCacheKeying:
+    def test_engine_names_do_not_alias(self):
+        _lookup(engine="wavefront")
+        _lookup(engine="cycle")
+        _lookup(engine="wavefront-exact")
+        info = estimate_cache_info()
+        assert info.currsize == 3
+        assert info.misses == 3 and info.hits == 0
+        # Revisiting each engine now hits its own entry.
+        _lookup(engine="wavefront")
+        _lookup(engine="cycle")
+        assert estimate_cache_info().hits == 2
+
+    def test_scale_out_grids_do_not_alias(self):
+        single = _lookup(grid=(1, 1))
+        quad = _lookup(grid=(2, 2))
+        row = _lookup(grid=(1, 4))
+        info = estimate_cache_info()
+        assert info.currsize == 3 and info.misses == 3
+        # Eq. 3 on a real grid is a different model than Eq. 2 scale-up —
+        # aliased keys would be observable as equal cycle counts here.
+        assert single != quad
+        assert quad != row
+        assert _lookup(grid=(2, 2)) == quad
+        assert estimate_cache_info().hits == 1
+
+    def test_hit_rate_accounting_across_clear(self):
+        _lookup()
+        _lookup()
+        info = estimate_cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+        clear_estimate_cache()
+        info = estimate_cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+        _lookup()
+        assert estimate_cache_info().misses == 1
+
+    def test_lru_cache_attribute_compatibility(self):
+        _lookup()
+        assert cached_gemm_cycles.cache_info() == estimate_cache_info()
+        cached_gemm_cycles.cache_clear()
+        assert estimate_cache_info().currsize == 0
+
+
+class TestCapacityConfiguration:
+    def test_capacity_bounds_entries_with_lru_eviction(self):
+        set_estimate_cache_capacity(2)
+        _lookup(shape=(10, 10, 10))
+        _lookup(shape=(20, 20, 20))
+        _lookup(shape=(10, 10, 10))  # refresh: now most-recently used
+        _lookup(shape=(30, 30, 30))  # evicts (20, 20, 20)
+        assert estimate_cache_info().currsize == 2
+        hits_before = estimate_cache_info().hits
+        _lookup(shape=(10, 10, 10))
+        assert estimate_cache_info().hits == hits_before + 1
+        misses_before = estimate_cache_info().misses
+        _lookup(shape=(20, 20, 20))  # was evicted: must miss
+        assert estimate_cache_info().misses == misses_before + 1
+
+    def test_shrinking_preserves_statistics(self):
+        for dim in (10, 20, 30, 40):
+            _lookup(shape=(dim, dim, dim))
+        _lookup(shape=(40, 40, 40))
+        before = estimate_cache_info()
+        set_estimate_cache_capacity(2)
+        after = estimate_cache_info()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+        assert after.currsize == 2 and after.maxsize == 2
+
+    def test_zero_capacity_disables_caching(self):
+        set_estimate_cache_capacity(0)
+        _lookup()
+        _lookup()
+        info = estimate_cache_info()
+        assert info.currsize == 0
+        assert info.misses == 2 and info.hits == 0
+
+    def test_unbounded_capacity(self):
+        set_estimate_cache_capacity(None)
+        for dim in range(8, 40):
+            _lookup(shape=(dim, dim, dim))
+        info = estimate_cache_info()
+        assert info.currsize == 32
+        assert info.maxsize is None
+        assert estimate_cache_capacity() is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            set_estimate_cache_capacity(-1)
+
+    def test_env_override_sets_initial_capacity(self):
+        script = (
+            "from repro.engine import estimate_cache_info;"
+            "print(estimate_cache_info().maxsize)"
+        )
+        env = dict(os.environ, REPRO_ESTIMATE_CACHE_CAPACITY="123")
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.stdout.strip() == "123"
+
+    def test_env_override_rejects_garbage(self):
+        script = "import repro.engine.cache"
+        env = dict(os.environ, REPRO_ESTIMATE_CACHE_CAPACITY="many")
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.returncode != 0
+        assert "REPRO_ESTIMATE_CACHE_CAPACITY" in out.stderr
+
+
+class TestLRUEstimateCacheUnit:
+    def test_memoize_computes_once(self):
+        cache = LRUEstimateCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.memoize("key", compute) == 42
+        assert cache.memoize("key", compute) == 42
+        assert len(calls) == 1
+
+    def test_thread_safety_smoke(self):
+        cache = LRUEstimateCache(64)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(
+                    lambda i: cache.memoize(i % 16, lambda: (i % 16) * 2), range(400)
+                )
+            )
+        assert results == [(i % 16) * 2 for i in range(400)]
+        info = cache.info()
+        assert info.currsize == 16
+        assert info.hits + info.misses == 400
