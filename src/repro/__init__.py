@@ -12,10 +12,11 @@ The package is organised as::
     repro.analysis    utilisation, speedup, sweeps and report formatting
     repro.engine      execution engines (vectorized wavefront, cycle-accurate)
     repro.api         high-level SystolicAccelerator / AxonAccelerator façade
-    repro.serve       batch serving: async multi-tenant GEMM scheduler
+    repro.serve       batch serving: async multi-tenant GEMM + conv scheduler
 
-See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the mapping
-between the paper's tables & figures and this code.
+See README.md for a quickstart, docs/architecture.md for the layer diagram
+and data-flow walkthroughs, docs/serving.md for the serving subsystem and
+docs/cli.md for the command-line surface.
 """
 
 from repro.api import (

@@ -3,7 +3,11 @@
 The classes here tie the substrates together into the interface a user of the
 library actually wants: "run this GEMM / this convolution layer on this array
 and tell me the result, the cycle count, the utilisation, the off-chip
-traffic and the energy".
+traffic and the energy".  GEMMs run through :meth:`~_AcceleratorBase.run_gemm`
+and convolution layers through :meth:`~_AcceleratorBase.run_conv` (im2col
+lowering onto the same engine); both also have estimate-only twins
+(:meth:`~_AcceleratorBase.estimate_gemm`, :meth:`~_AcceleratorBase.estimate_conv`)
+for shapes too large to execute.
 
 Two accelerators are provided with identical interfaces:
 
@@ -61,9 +65,14 @@ from repro.core.axon_stationary import AxonStationaryArray
 from repro.energy.dram_energy import dram_energy_mj
 from repro.engine import DEFAULT_ENGINE, normalize_engine
 from repro.engine.batched import GemmExecution, execute_gemm
-from repro.engine.cache import cached_gemm_cycles
+from repro.engine.cache import cached_conv_cycles, cached_gemm_cycles
 from repro.engine.scaleout import scale_out_reduce
-from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
+from repro.im2col.lowering import (
+    ConvShape,
+    lower_conv_operands,
+    lower_conv_to_gemm,
+)
+from repro.im2col.software import col2im_output
 from repro.im2col.traffic import (
     ConvTrafficReport,
     onchip_im2col_traffic,
@@ -266,16 +275,14 @@ class _AcceleratorBase:
     def _tile_simulator(self):
         raise NotImplementedError
 
-    def run_gemm(self, a: np.ndarray, b: np.ndarray, name: str = "gemm") -> RunResult:
-        """Execute a GEMM functionally on the configured engine.
+    def _execute_operands(self, a: np.ndarray, b: np.ndarray):
+        """Run one GEMM's operands through the configured engine.
 
-        The result matrix is exact; the cycle count is the sum of the
-        per-tile cycle counts of one array (scale-up), or the parallel
-        makespan across the ``P_R x P_C`` grid when scale-out is configured.
-        With the default wavefront engine, all tiles are executed in
-        vectorized shape-groups for every dataflow (the WS/IS mappings split
-        large ``K`` into row-sized chunks), so arbitrarily large problems
-        are practical on any topology.
+        The shared execution core of :meth:`run_gemm` and :meth:`run_conv`:
+        engine selection (wavefront / wavefront-exact / cycle) and the Eq. 3
+        scale-out reduction both live here, so a lowered convolution runs
+        through exactly the code path a plain GEMM does.  Returns the
+        :class:`GemmExecution`-shaped aggregate (output, cycles, counters).
         """
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
@@ -298,14 +305,36 @@ class _AcceleratorBase:
             run_share = self._run_gemm_cycle
 
         if self.scale_out == (1, 1):
-            execution = run_share(a, b)
-        else:
-            # Eq. 3 partitioning with the same share runner; the reduction
-            # contract (output scatter, makespan, summed counters) lives in
-            # one place for every engine.
-            execution = scale_out_reduce(
-                a, b, self.dataflow, self.scale_out[0], self.scale_out[1], run_share
-            )
+            return run_share(a, b)
+        # Eq. 3 partitioning with the same share runner; the reduction
+        # contract (output scatter, makespan, summed counters) lives in
+        # one place for every engine.
+        return scale_out_reduce(
+            a, b, self.dataflow, self.scale_out[0], self.scale_out[1], run_share
+        )
+
+    def run_gemm(self, a: np.ndarray, b: np.ndarray, name: str = "gemm") -> RunResult:
+        """Execute a GEMM functionally on the configured engine.
+
+        The result matrix is exact; the cycle count is the sum of the
+        per-tile cycle counts of one array (scale-up), or the parallel
+        makespan across the ``P_R x P_C`` grid when scale-out is configured.
+        With the default wavefront engine, all tiles are executed in
+        vectorized shape-groups for every dataflow (the WS/IS mappings split
+        large ``K`` into row-sized chunks), so arbitrarily large problems
+        are practical on any topology.
+
+        >>> import numpy as np
+        >>> from repro import ArrayConfig, AxonAccelerator
+        >>> acc = AxonAccelerator(ArrayConfig(16, 16))
+        >>> a, b = np.eye(8), np.full((8, 4), 2.0)
+        >>> result = acc.run_gemm(a, b, name="demo")
+        >>> bool(np.array_equal(result.output, a @ b))
+        True
+        >>> result.cycles, result.macs
+        (23, 256)
+        """
+        execution = self._execute_operands(a, b)
         utilization = _validated_utilization(
             execution.active_pe_cycles,
             self._total_pes,
@@ -393,15 +422,52 @@ class _AcceleratorBase:
 
     # -- convolution layers -------------------------------------------------
 
-    def _conv_traffic(self, layer: ConvShape) -> ConvTrafficReport:
+    def conv_traffic(self, layer: ConvShape) -> ConvTrafficReport:
+        """Off-chip traffic of one conv layer under this design's im2col.
+
+        The conventional accelerator lowers in software (every window
+        re-read from DRAM); the Axon accelerator lowers on chip (unique
+        IFMAP elements read once).  Used by both :meth:`estimate_conv` and
+        :meth:`run_conv` to attach ``dram_bytes`` / ``dram_energy_mj``.
+        """
         model = onchip_im2col_traffic if self.axon else software_im2col_traffic
         return model(layer, bytes_per_element=self.config.operand_bytes)
 
+    def estimate_conv_cycles(self, layer: ConvShape) -> int:
+        """Runtime estimate for a conv layer (memoized under a conv key).
+
+        The layer is priced as its im2col-lowered GEMM, but cached under a
+        ``"conv"``-tagged key carrying the full convolution geometry — so
+        repeated estimates (network sweeps, serving admission) are cache
+        hits, and a conv estimate never aliases the plain GEMM estimate of
+        its lowered shape (see :mod:`repro.engine.cache`).
+        """
+        return cached_conv_cycles(
+            layer,
+            self.config.rows,
+            self.config.cols,
+            self.dataflow,
+            self.axon,
+            self.engine,
+            self.scale_out[0],
+            self.scale_out[1],
+        )
+
     def estimate_conv(self, layer: ConvShape) -> RunResult:
-        """Runtime, traffic and DRAM-energy estimate for a convolution layer."""
-        gemm = lower_conv_to_gemm(layer)
-        cycles = self.estimate_gemm_cycles(gemm.m, gemm.k, gemm.n)
-        traffic = self._conv_traffic(layer)
+        """Runtime, traffic and DRAM-energy estimate for a convolution layer.
+
+        >>> from repro import ArrayConfig, AxonAccelerator
+        >>> from repro.im2col.lowering import ConvShape
+        >>> layer = ConvShape("stem", in_channels=3, ifmap_h=16, ifmap_w=16,
+        ...                   kernel_h=3, kernel_w=3, num_filters=8, padding=1)
+        >>> estimate = AxonAccelerator(ArrayConfig(16, 16)).estimate_conv(layer)
+        >>> estimate.macs == layer.macs
+        True
+        >>> estimate.dram_bytes is not None
+        True
+        """
+        cycles = self.estimate_conv_cycles(layer)
+        traffic = self.conv_traffic(layer)
         macs = layer.macs
         utilization = _validated_utilization(
             macs, self._total_pes, cycles, f"estimate_conv({layer.name!r})"
@@ -413,6 +479,68 @@ class _AcceleratorBase:
             utilization=utilization,
             dram_bytes=traffic.total_bytes,
             dram_energy_mj=dram_energy_mj(traffic.total_bytes, self.dram),
+            scale_out=self.scale_out,
+        )
+
+    def run_conv(
+        self,
+        ifmap: np.ndarray,
+        filters: np.ndarray,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        name: str = "conv",
+    ) -> RunResult:
+        """Execute a convolution layer functionally via im2col lowering.
+
+        The layer is lowered to its equivalent GEMM
+        (:func:`repro.im2col.lowering.lower_conv_operands`), executed on the
+        configured engine exactly like :meth:`run_gemm` — every dataflow,
+        ``scale_out`` grids and zero-gating counters included — and the GEMM
+        result is folded back into the ``(F, P, Q)`` OFMAP.  The output
+        reproduces :func:`repro.golden.conv.conv2d` (bit-for-bit whenever
+        the operand values make every accumulation order exact, e.g.
+        small-integer tensors; to the last ulp otherwise), and the
+        ``dram_bytes`` / ``dram_energy_mj`` fields carry the same im2col
+        traffic model :meth:`estimate_conv` reports.
+
+        Depthwise layers stay estimate-only (their per-channel lowering is
+        not a single GEMM); ``filters`` here is always ``(F, C, R, S)``.
+
+        >>> import numpy as np
+        >>> from repro import ArrayConfig, AxonAccelerator
+        >>> from repro.golden.conv import conv2d
+        >>> rng = np.random.default_rng(0)
+        >>> ifmap = rng.integers(-4, 5, (3, 8, 8)).astype(float)
+        >>> filters = rng.integers(-4, 5, (4, 3, 3, 3)).astype(float)
+        >>> acc = AxonAccelerator(ArrayConfig(16, 16))
+        >>> result = acc.run_conv(ifmap, filters, padding=1, name="demo")
+        >>> result.output.shape
+        (4, 8, 8)
+        >>> bool(np.array_equal(result.output, conv2d(ifmap, filters, padding=1)))
+        True
+        """
+        a, b, layer = lower_conv_operands(ifmap, filters, stride, padding, name=name)
+        execution = self._execute_operands(a, b)
+        utilization = _validated_utilization(
+            execution.active_pe_cycles,
+            self._total_pes,
+            execution.total_cycles,
+            f"run_conv({name!r})",
+        )
+        traffic = self.conv_traffic(layer)
+        return RunResult(
+            name=name,
+            cycles=execution.total_cycles,
+            macs=execution.macs,
+            utilization=utilization,
+            dram_bytes=traffic.total_bytes,
+            dram_energy_mj=dram_energy_mj(traffic.total_bytes, self.dram),
+            output=col2im_output(execution.output, layer.out_h, layer.out_w),
+            active_pe_cycles=execution.active_pe_cycles,
+            engine=self.engine,
+            performed_macs=execution.mac_count,
+            gated_macs=execution.gated_macs,
             scale_out=self.scale_out,
         )
 
@@ -461,7 +589,16 @@ def _normalize_scale_out(scale_out: tuple[int, int] | None) -> tuple[int, int]:
 
 
 class SystolicAccelerator(_AcceleratorBase):
-    """The conventional systolic-array baseline (software im2col)."""
+    """The conventional systolic-array baseline (software im2col).
+
+    Skewed operand feeding (Eq. 1 runtime), convolution traffic priced at
+    software-im2col cost.  Interface-identical to :class:`AxonAccelerator`.
+
+    >>> from repro import ArrayConfig
+    >>> acc = SystolicAccelerator(ArrayConfig(128, 128))
+    >>> acc.estimate_gemm("GNMT1", 2048, 32, 4096).cycles
+    211968
+    """
 
     axon = False
 
@@ -472,7 +609,17 @@ class SystolicAccelerator(_AcceleratorBase):
 
 
 class AxonAccelerator(_AcceleratorBase):
-    """The Axon accelerator (diagonal feed, bi-directional propagation)."""
+    """The Axon accelerator (diagonal feed, bi-directional propagation).
+
+    The paper's design: diagonal operand feeding with bi-directional
+    propagation (Table 2 runtime), on-chip im2col for conv layers, and
+    optional ``zero_gating`` that counts sparsity-skipped MACs.
+
+    >>> from repro import ArrayConfig
+    >>> acc = AxonAccelerator(ArrayConfig(128, 128))
+    >>> acc.estimate_gemm("GNMT1", 2048, 32, 4096).cycles
+    146944
+    """
 
     axon = True
 

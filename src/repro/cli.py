@@ -5,7 +5,9 @@ Provides quick access to the analytical models without writing Python::
     python -m repro.cli runtime --m 2048 --k 32 --n 4096 --rows 128 --cols 128
     python -m repro.cli run --m 512 --k 512 --n 512 --rows 32 --cols 32
     python -m repro.cli run --m 512 --k 512 --n 512 --scale-out 2 2
+    python -m repro.cli conv --channels 16 --height 32 --width 32 --filters 32
     python -m repro.cli serve --workers 4 --tenants 4 --jobs-per-tenant 12
+    python -m repro.cli serve --workers 4 --tenants 4 --conv-fraction 0.35
     python -m repro.cli workloads
     python -m repro.cli speedup --array 256
     python -m repro.cli traffic --network resnet50
@@ -15,15 +17,18 @@ Provides quick access to the analytical models without writing Python::
 ``run`` executes a randomized GEMM functionally on a selectable execution
 engine (``--engine wavefront|wavefront-exact|cycle``, see
 :mod:`repro.engine` for the policy) and, with ``--scale-out P_R P_C``,
-across an Eq. 3 multi-array grid; ``serve`` replays a synthetic
-multi-tenant Table 3 trace through the batch-serving subsystem
-(:mod:`repro.serve`) and prints the per-tenant latency / throughput /
-fairness report; ``cache`` reports the shared estimate-cache statistics
-(``--clear-cache`` resets them) so long-lived sweep services can observe
-hit rates.  ``run`` and ``serve`` take ``--json`` for machine-readable
-output.  The other commands evaluate the analytical models.  The heavier,
-figure-for-figure regeneration lives in ``benchmarks/`` (run via pytest);
-the CLI is for interactive exploration of individual design points.
+across an Eq. 3 multi-array grid; ``conv`` does the same for a randomized
+convolution layer (im2col-lowered onto the engine, verified against the
+golden ``conv2d``); ``serve`` replays a synthetic multi-tenant Table 3
+trace through the batch-serving subsystem (:mod:`repro.serve`) — mixed
+with CNN conv-layer jobs when ``--conv-fraction`` > 0 — and prints the
+per-tenant latency / throughput / fairness report; ``cache`` reports the
+shared estimate-cache statistics (``--clear-cache`` resets them) so
+long-lived sweep services can observe hit rates.  ``run``, ``conv`` and
+``serve`` take ``--json`` for machine-readable output.  The other
+commands evaluate the analytical models.  The heavier, figure-for-figure
+regeneration lives in ``benchmarks/`` (run via pytest); the CLI is for
+interactive exploration of individual design points.
 """
 
 from __future__ import annotations
@@ -96,6 +101,22 @@ def _positive_float(text: str) -> float:
     value = float(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for options that must be >= 0."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    """argparse type for options that must lie in [0, 1]."""
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
     return value
 
 
@@ -184,6 +205,103 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conv(args: argparse.Namespace) -> int:
+    from repro.golden.conv import conv2d
+    from repro.im2col.lowering import conv_shape_from_tensors, lower_conv_to_gemm
+
+    config = ArrayConfig(args.rows, args.cols)
+    dataflow = Dataflow.from_string(args.dataflow)
+    rng = np.random.default_rng(args.seed)
+    grid = _scale_out(args)
+    ifmap = rng.standard_normal((args.channels, args.height, args.width))
+    filters = rng.standard_normal(
+        (args.filters, args.channels, args.kernel, args.kernel)
+    )
+    layer = conv_shape_from_tensors(
+        ifmap, filters, args.stride, args.padding, name="conv"
+    )
+    gemm = lower_conv_to_gemm(layer)
+    golden = conv2d(ifmap, filters, stride=args.stride, padding=args.padding)
+    accelerators = {
+        "systolic": SystolicAccelerator(
+            config, dataflow, engine=args.engine, scale_out=grid
+        ),
+        "axon": AxonAccelerator(
+            config,
+            dataflow,
+            zero_gating=args.zero_gating,
+            engine=args.engine,
+            scale_out=grid,
+        ),
+    }
+    rows = []
+    payloads = []
+    for arch in ("systolic", "axon") if args.arch == "both" else (args.arch,):
+        start = time.perf_counter()
+        result = accelerators[arch].run_conv(
+            ifmap, filters, stride=args.stride, padding=args.padding, name=arch
+        )
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        exact = bool(np.allclose(result.output, golden, atol=1e-9))
+        if args.json:
+            payloads.append(
+                {"arch": arch, "wall_ms": elapsed_ms, "golden_match": exact,
+                 **result.to_dict()}
+            )
+        rows.append(
+            (
+                arch,
+                result.engine,
+                "{}x{}".format(*result.scale_out),
+                result.cycles,
+                result.macs,
+                round(result.utilization, 4),
+                round((result.dram_bytes or 0.0) / 1e3, 1),
+                "ok" if exact else "MISMATCH",
+                round(elapsed_ms, 2),
+            )
+        )
+    header = {
+        "layer": {
+            "in_channels": layer.in_channels,
+            "ifmap": [layer.ifmap_h, layer.ifmap_w],
+            "kernel": [layer.kernel_h, layer.kernel_w],
+            "num_filters": layer.num_filters,
+            "stride": layer.stride,
+            "padding": layer.padding,
+            "ofmap": [layer.num_filters, layer.out_h, layer.out_w],
+        },
+        "lowered_gemm": {"m": gemm.m, "k": gemm.k, "n": gemm.n},
+    }
+    if args.json:
+        print(json.dumps({**header, "results": payloads}, indent=2))
+        return 0
+    print(
+        f"conv {layer.in_channels}x{layer.ifmap_h}x{layer.ifmap_w} * "
+        f"{layer.num_filters}x{layer.in_channels}x{layer.kernel_h}x{layer.kernel_w} "
+        f"(stride {layer.stride}, pad {layer.padding}) -> "
+        f"{layer.num_filters}x{layer.out_h}x{layer.out_w}; "
+        f"lowered GEMM M={gemm.m} K={gemm.k} N={gemm.n}\n"
+    )
+    print(
+        format_table(
+            (
+                "arch",
+                "engine",
+                "grid",
+                "cycles",
+                "MACs",
+                "util",
+                "DRAM (KB)",
+                "golden",
+                "wall (ms)",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     config = ArrayConfig(args.rows, args.cols)
     dataflow = Dataflow.from_string(args.dataflow)
@@ -213,6 +331,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs_per_tenant=args.jobs_per_tenant,
         offered_load=args.offered_load,
         max_dim=args.max_dim,
+        conv_fraction=args.conv_fraction,
         seed=args.seed,
     )
     scheduler = AsyncGemmScheduler(
@@ -355,6 +474,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
+    conv = sub.add_parser(
+        "conv",
+        help="execute a randomized convolution layer functionally via im2col",
+    )
+    conv.add_argument("--channels", type=_positive_int, default=16, help="C")
+    conv.add_argument("--height", type=_positive_int, default=32, help="IFMAP H")
+    conv.add_argument("--width", type=_positive_int, default=32, help="IFMAP W")
+    conv.add_argument("--kernel", type=_positive_int, default=3, help="R = S")
+    conv.add_argument("--filters", type=_positive_int, default=32, help="F")
+    conv.add_argument("--stride", type=_positive_int, default=1)
+    conv.add_argument("--padding", type=_non_negative_int, default=1)
+    conv.add_argument("--rows", type=int, default=32)
+    conv.add_argument("--cols", type=int, default=32)
+    conv.add_argument("--dataflow", default="OS", choices=["OS", "WS", "IS"])
+    conv.add_argument("--engine", default=DEFAULT_ENGINE, choices=list(ENGINES))
+    conv.add_argument("--arch", default="both", choices=["systolic", "axon", "both"])
+    conv.add_argument("--zero-gating", action="store_true")
+    conv.add_argument("--seed", type=int, default=0)
+    conv.add_argument(
+        "--scale-out", nargs=2, type=int, metavar=("P_R", "P_C"),
+        help="execute across a P_R x P_C grid of arrays (Eq. 3)",
+    )
+    conv.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+    conv.set_defaults(func=_cmd_conv)
+
     serve = sub.add_parser(
         "serve",
         help="replay a synthetic multi-tenant trace on the batch-serving layer",
@@ -380,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-dim", type=_positive_int, default=128,
         help="cap applied to every Table 3 dimension in the trace",
+    )
+    serve.add_argument(
+        "--conv-fraction", type=_fraction, default=0.0,
+        help="fraction of jobs that are CNN conv layers instead of GEMMs",
     )
     serve.add_argument(
         "--budget-cycles", type=int, default=None,

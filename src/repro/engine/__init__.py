@@ -51,7 +51,23 @@ The batched executor (:mod:`repro.engine.batched`) runs all tiles of a GEMM
 in vectorized shape-groups instead of a one-tile-at-a-time Python loop;
 :mod:`repro.engine.scaleout` partitions a GEMM across a multi-array grid and
 reduces outputs and counters into one aggregate; and
-:mod:`repro.engine.cache` memoizes analytical estimates across sweep points.
+:mod:`repro.engine.cache` memoizes analytical estimates across sweep points
+— GEMM estimates under ``(M, K, N, array, dataflow, engine, grid)`` keys
+(:func:`cached_gemm_cycles`) and convolution estimates under conv-geometry
+keys that never alias them (:func:`cached_conv_cycles`).
+
+The shape-only accounting is available without touching operand data:
+
+>>> from repro.engine import gemm_cycle_accounting
+>>> accounting = gemm_cycle_accounting(96, 64, 80, 32, 32)
+>>> accounting.tile_count, accounting.total_cycles
+(9, 1374)
+>>> from repro.engine import execute_gemm
+>>> import numpy as np
+>>> execution = execute_gemm(np.eye(96), np.ones((96, 80)), 32, 32)
+>>> bool(execution.total_cycles == gemm_cycle_accounting(
+...     96, 96, 80, 32, 32).total_cycles)
+True
 """
 
 from __future__ import annotations
@@ -67,6 +83,7 @@ from repro.engine.cache import (
     CacheInfo,
     DEFAULT_ESTIMATE_CACHE_CAPACITY,
     LRUEstimateCache,
+    cached_conv_cycles,
     cached_gemm_cycles,
     clear_estimate_cache,
     estimate_cache_capacity,
@@ -101,7 +118,15 @@ DEFAULT_ENGINE = "wavefront"
 
 
 def normalize_engine(name: str) -> str:
-    """Validate and canonicalize an engine selector."""
+    """Validate and canonicalize an engine selector.
+
+    >>> normalize_engine(" Wavefront ")
+    'wavefront'
+    >>> normalize_engine("simd")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown engine 'simd'; expected one of wavefront, wavefront-exact, cycle
+    """
     key = str(name).strip().lower()
     if key not in ENGINES:
         raise ValueError(
@@ -128,6 +153,7 @@ __all__ = [
     "CacheInfo",
     "DEFAULT_ESTIMATE_CACHE_CAPACITY",
     "LRUEstimateCache",
+    "cached_conv_cycles",
     "cached_gemm_cycles",
     "clear_estimate_cache",
     "estimate_cache_capacity",

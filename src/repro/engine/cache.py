@@ -25,6 +25,12 @@ cycle simulators validate them), but an engine whose timing model diverges —
 e.g. a future bandwidth-limited one — must not alias another engine's
 entries — and the ``P_R x P_C`` scale-out partition grid, because Eq. 3
 estimates differ from Eq. 2 estimates for the same GEMM shape.
+
+Convolution estimates (:func:`cached_conv_cycles`) get their own ``"conv"``-
+tagged keys rather than reusing the lowered GEMM's key: today a conv layer
+costs exactly its im2col-lowered GEMM, but a conv-specific timing refinement
+(e.g. charging the im2col feeder) must be able to change conv entries
+without corrupting the GEMM entries that share the lowered shape.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from typing import Callable, Hashable, NamedTuple
 from repro.arch.dataflow import Dataflow, map_gemm
 from repro.baselines.scalesim_model import scalesim_runtime
 from repro.core.runtime_model import scale_out_runtime, workload_runtime
+from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
 
 #: Capacity used when neither the environment nor the caller overrides it
 #: (the value the old ``lru_cache(maxsize=65536)`` decorator hard-coded).
@@ -197,6 +204,46 @@ def cached_gemm_cycles(
         if axon:
             return workload_runtime(m, k, n, rows, cols, dataflow, axon=True)
         return scalesim_runtime(m, k, n, rows, cols, dataflow)
+
+    return _ESTIMATE_CACHE.memoize(key, compute)
+
+
+def cached_conv_cycles(
+    conv: ConvShape,
+    rows: int,
+    cols: int,
+    dataflow: Dataflow,
+    axon: bool,
+    engine: str = "wavefront",
+    partitions_rows: int = 1,
+    partitions_cols: int = 1,
+) -> int:
+    """Runtime estimate for one convolution layer, memoized.
+
+    The layer is priced as its im2col-lowered GEMM (the functional
+    ``run_conv`` path executes exactly that GEMM), but under a ``"conv"``-
+    tagged key carrying the full convolution geometry — kernel, stride,
+    padding, depthwise — so a conv estimate and a plain GEMM estimate of
+    the lowered shape never alias each other.  A miss warms the lowered
+    GEMM's own entry too (via :func:`cached_gemm_cycles`), so subsequent
+    GEMM pricing of the same shape — e.g. serving admission for a
+    :class:`repro.serve.job.ConvJob` — is a hit.
+    """
+    key = (
+        "conv",
+        conv.in_channels, conv.ifmap_h, conv.ifmap_w,
+        conv.kernel_h, conv.kernel_w, conv.num_filters,
+        conv.stride, conv.padding, conv.depthwise,
+        rows, cols, dataflow, axon, engine,
+        partitions_rows, partitions_cols,
+    )
+
+    def compute() -> int:
+        gemm = lower_conv_to_gemm(conv)
+        return cached_gemm_cycles(
+            gemm.m, gemm.k, gemm.n, rows, cols, dataflow, axon, engine,
+            partitions_rows, partitions_cols,
+        )
 
     return _ESTIMATE_CACHE.memoize(key, compute)
 

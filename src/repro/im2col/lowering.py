@@ -1,4 +1,4 @@
-"""Convolution → GEMM lowering (shapes only).
+"""Convolution → GEMM lowering (shapes and operands).
 
 A convolution layer with ``F`` filters of shape ``(C, R, S)`` applied to an
 IFMAP of shape ``(C, H, W)`` with stride ``stride`` and padding ``padding``
@@ -9,11 +9,32 @@ lowers to the GEMM
 i.e. ``M = F``, ``K = C*R*S``, ``N = P*Q`` — exactly the mapping used by the
 Conv entries in the paper's Table 3 (e.g. ResNet50_0 is the 7x7/stride-2 stem:
 M=64, K=3*7*7=147, N=250*250=62500 for a 500x500 padded input).
+
+Two lowering levels live here:
+
+* **shape-only** — :func:`lower_conv_to_gemm` maps a :class:`ConvShape` to
+  the equivalent :class:`GemmShape`; this is all the analytical runtime /
+  traffic models need.
+* **operand-level** — :func:`lower_conv_operands` additionally materializes
+  the GEMM operands from real IFMAP / filter tensors (software im2col,
+  :mod:`repro.im2col.software`), which is what
+  :meth:`repro.api._AcceleratorBase.run_conv` feeds through the batched
+  wavefront engine; :func:`conv_shape_from_tensors` recovers the
+  :class:`ConvShape` the tensors describe.
+
+>>> shape = ConvShape("stem", in_channels=3, ifmap_h=8, ifmap_w=8,
+...                   kernel_h=3, kernel_w=3, num_filters=4,
+...                   stride=2, padding=1)
+>>> gemm = lower_conv_to_gemm(shape)
+>>> (gemm.m, gemm.k, gemm.n)
+(4, 27, 16)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.golden.conv import conv_output_shape
 
@@ -161,3 +182,87 @@ def lower_conv_to_gemm(conv: ConvShape) -> GemmShape:
         k=conv.window_elements,
         n=conv.output_pixels,
     )
+
+
+def conv_shape_from_tensors(
+    ifmap: np.ndarray,
+    filters: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "conv",
+) -> ConvShape:
+    """Recover the :class:`ConvShape` a pair of real tensors describes.
+
+    ``ifmap`` must be ``(C, H, W)`` and ``filters`` ``(F, C, R, S)`` — the
+    layouts of :mod:`repro.golden.conv`.  Raises :class:`ValueError` on rank
+    or channel mismatches, so callers get the same validation
+    ``repro.golden.conv.conv2d`` applies before any lowering happens.
+
+    >>> import numpy as np
+    >>> shape = conv_shape_from_tensors(np.zeros((3, 8, 8)),
+    ...                                 np.zeros((4, 3, 3, 3)), padding=1)
+    >>> (shape.num_filters, shape.window_elements, shape.output_pixels)
+    (4, 27, 64)
+    """
+    ifmap = np.asarray(ifmap)
+    filters = np.asarray(filters)
+    if ifmap.ndim != 3:
+        raise ValueError(f"ifmap must have shape (C, H, W), got {ifmap.shape}")
+    if filters.ndim != 4:
+        raise ValueError(f"filters must have shape (F, C, R, S), got {filters.shape}")
+    channels, height, width = ifmap.shape
+    num_filters, f_channels, kernel_h, kernel_w = filters.shape
+    if channels != f_channels:
+        raise ValueError(
+            f"channel mismatch: ifmap has {channels}, filters expect {f_channels}"
+        )
+    return ConvShape(
+        name=name,
+        in_channels=channels,
+        ifmap_h=height,
+        ifmap_w=width,
+        kernel_h=kernel_h,
+        kernel_w=kernel_w,
+        num_filters=num_filters,
+        stride=stride,
+        padding=padding,
+    )
+
+
+def lower_conv_operands(
+    ifmap: np.ndarray,
+    filters: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "conv",
+) -> tuple[np.ndarray, np.ndarray, ConvShape]:
+    """Materialize the GEMM operands of an im2col-lowered convolution.
+
+    Returns ``(a, b, shape)`` with ``a = (F, C*R*S)`` (each filter
+    flattened into one row), ``b = (C*R*S, P*Q)`` (each convolution window
+    flattened into one column, C-contiguous) and the recovered
+    :class:`ConvShape`, so that ``a @ b`` is the flattened OFMAP: folding
+    it back with :func:`repro.im2col.software.col2im_output` reproduces
+    ``repro.golden.conv.conv2d`` exactly.  The shape is derived (and the
+    tensors validated) exactly once, here — callers that need the geometry
+    take it from the return value instead of re-deriving it.
+
+    ``b`` is materialized contiguously (not as a transposed im2col view) so
+    downstream consumers — the batched wavefront engine and the serving
+    layer's stacked-matmul fast path — all multiply identically-laid-out
+    operands and stay bit-exact with each other.
+    """
+    from repro.im2col.software import im2col
+
+    shape = conv_shape_from_tensors(ifmap, filters, stride, padding, name=name)
+    if shape.depthwise:  # pragma: no cover - (F, C, R, S) can't set the flag
+        raise ValueError("depthwise convolutions are lowered per channel")
+    lowered = im2col(
+        np.asarray(ifmap, dtype=np.float64),
+        (shape.kernel_h, shape.kernel_w),
+        stride=stride,
+        padding=padding,
+    )
+    a = np.asarray(filters, dtype=np.float64).reshape(shape.num_filters, -1)
+    b = np.ascontiguousarray(lowered.T)
+    return a, b, shape

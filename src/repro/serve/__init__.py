@@ -5,9 +5,12 @@ serving layer — the ROADMAP's "async/sharded batch serving of many GEMMs"
 — with four separable pieces:
 
 :mod:`repro.serve.job`
-    The job model: :class:`Job` (operands + tenant, priority, deadline
-    hint, simulated arrival) and :class:`JobResult` (the bit-exact
-    :class:`repro.api.RunResult` plus serving-side latency accounting).
+    The job model: :class:`Job` (GEMM operands + tenant, priority, deadline
+    hint, simulated arrival), :class:`ConvJob` (a convolution layer,
+    im2col-lowered at construction so it schedules, prices and batches
+    exactly like the GEMM it lowers to, then folds back to an OFMAP) and
+    :class:`JobResult` (the bit-exact :class:`repro.api.RunResult` plus
+    serving-side latency accounting).
 :mod:`repro.serve.queues`
     Per-tenant FIFO queues with weighted-fair virtual-time dequeue, and
     the admission controller that prices every job through the shared
@@ -21,23 +24,49 @@ serving layer — the ROADMAP's "async/sharded batch serving of many GEMMs"
     worker utilization, batching and cache statistics, JSON-serializable
     for the ``repro serve --json`` CLI.
 
-Traces to replay come from :mod:`repro.workloads.serving`.
+Traces to replay come from :mod:`repro.workloads.serving` (pass
+``conv_fraction > 0`` to :func:`repro.workloads.serving.synthetic_trace`
+for a mixed GEMM+conv trace).
 
-Quickstart::
+Quickstart — two workers serving four GEMM jobs, each result bit-exact
+against a direct ``run_gemm`` call:
 
-    from repro import AxonAccelerator, ArrayConfig
-    from repro.serve import AsyncGemmScheduler
-    from repro.workloads import synthetic_trace
+>>> import numpy as np
+>>> from repro import AxonAccelerator, ArrayConfig
+>>> from repro.serve import AsyncGemmScheduler, Job
+>>> fleet = [AxonAccelerator(ArrayConfig(8, 8)) for _ in range(2)]
+>>> jobs = [Job(job_id=f"j{i}", tenant=f"t{i % 2}", a=np.eye(8), b=np.eye(8))
+...         for i in range(4)]
+>>> report, results = AsyncGemmScheduler(fleet, max_batch=2).serve(jobs)
+>>> report.jobs_completed
+4
+>>> direct = fleet[0].run_gemm(np.eye(8), np.eye(8))
+>>> all(r.result.cycles == direct.cycles for r in results)
+True
 
-    fleet = [AxonAccelerator(ArrayConfig(32, 32)) for _ in range(4)]
-    jobs = synthetic_trace(fleet[0], tenants=4, jobs_per_tenant=8)
-    report, results = AsyncGemmScheduler(fleet).serve(jobs)
-    print(report.jobs_per_second, report.cache_hit_rate)
+Conv layers serve the same way — wrap the tensors in a :class:`ConvJob`
+and the scheduler prices, batches and executes the im2col-lowered GEMM,
+folding the result back to an OFMAP:
+
+>>> rng = np.random.default_rng(0)
+>>> job = ConvJob(job_id="c0", tenant="t0",
+...               ifmap=rng.standard_normal((3, 8, 8)),
+...               filters=rng.standard_normal((4, 3, 3, 3)), padding=1)
+>>> _, (served,) = AsyncGemmScheduler(fleet[:1]).serve([job])
+>>> served.result.output.shape
+(4, 8, 8)
 """
 
 from __future__ import annotations
 
-from repro.serve.job import STATUS_COMPLETED, STATUS_REJECTED, Job, JobResult
+from repro.serve.job import (
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+    AnyJob,
+    ConvJob,
+    Job,
+    JobResult,
+)
 from repro.serve.queues import (
     ADMISSION_POLICIES,
     POLICY_DEPRIORITIZE,
@@ -65,6 +94,8 @@ from repro.serve.scheduler import (
 
 __all__ = [
     "Job",
+    "ConvJob",
+    "AnyJob",
     "JobResult",
     "STATUS_COMPLETED",
     "STATUS_REJECTED",

@@ -2,7 +2,12 @@
 
 A :class:`Job` wraps one ``run_gemm`` invocation — the operands plus the
 multi-tenant metadata the scheduler needs (tenant id, priority, deadline
-hint, simulated arrival time).  A :class:`JobResult` wraps the
+hint, simulated arrival time).  A :class:`ConvJob` wraps one ``run_conv``
+invocation: it carries the IFMAP / filter tensors, im2col-lowers them to
+GEMM operands at construction, and is thereafter indistinguishable from a
+GEMM job to the queues, the admission controller and the batch packer —
+conv jobs are priced by their lowered GEMM shape and stack into the same
+same-shape batches.  A :class:`JobResult` wraps the
 :class:`repro.api.RunResult` the accelerator produced together with the
 serving-side accounting: when the job arrived, started and finished on the
 simulated clock, which worker and batch ran it, and what the admission
@@ -14,19 +19,71 @@ Everything here is plain data; the scheduling policy lives in
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.api import RunResult
+from repro.energy.dram_energy import dram_energy_mj
+from repro.im2col.lowering import lower_conv_operands
+from repro.im2col.software import col2im_output
 
 #: Admission outcomes recorded on a :class:`JobResult`.
 STATUS_COMPLETED = "completed"
 STATUS_REJECTED = "rejected"
 
 
+class _GemmOperandsMixin:
+    """The scheduler-facing interface shared by every job kind.
+
+    Any job exposing ``(M, K)`` / ``(K, N)`` operands as ``a`` / ``b`` —
+    directly (:class:`Job`) or via lowering (:class:`ConvJob`) — gets the
+    shape-derived properties the queues, the admission pricer and the batch
+    packer consume, plus the default no-op result post-processing.  Keeping
+    this in one place means a new scheduler-facing property is added once
+    and every job kind grows it together.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.a.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The ``(M, K, N)`` GEMM shape — the batching key."""
+        return (self.m, self.k, self.n)
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    def finalize_result(self, run: RunResult, accelerator) -> RunResult:
+        """Post-process one executed :class:`RunResult` for this job.
+
+        The scheduler calls this on the result of the (possibly batched)
+        GEMM execution before wrapping it in a :class:`JobResult`.  Plain
+        GEMM jobs pass the result through untouched; :class:`ConvJob`
+        overrides it to fold the flat GEMM output back into the OFMAP and
+        attach the conv traffic accounting.  Must never change ``cycles``
+        (the scheduler pins executed cycles against the plan).
+        """
+        return run
+
+
 @dataclass(frozen=True, eq=False)
-class Job:
+class Job(_GemmOperandsMixin):
     """One GEMM awaiting execution on behalf of a tenant.
 
     Attributes
@@ -83,26 +140,95 @@ class Job:
         if self.arrival_cycle < 0:
             raise ValueError(f"job {self.job_id!r}: arrival_cycle must be >= 0")
 
-    @property
-    def m(self) -> int:
-        return self.a.shape[0]
+
+@dataclass(frozen=True, eq=False)
+class ConvJob(_GemmOperandsMixin):
+    """One convolution layer awaiting execution on behalf of a tenant.
+
+    Construction im2col-lowers the tensors once
+    (:func:`repro.im2col.lowering.lower_conv_operands`), so the scheduler
+    sees exactly the :class:`Job` interface: ``a``/``b`` operands, the
+    lowered ``shape`` as the batching key, and ``m``/``k``/``n`` for
+    admission pricing ("price the conv as its lowered GEMM").  After
+    execution, :meth:`finalize_result` folds the GEMM result back into the
+    ``(F, P, Q)`` OFMAP and attaches the same ``dram_bytes`` /
+    ``dram_energy_mj`` a direct :meth:`repro.api._AcceleratorBase.run_conv`
+    call reports — the completed :class:`JobResult` is bit-exact against
+    ``run_conv``.
+
+    Attributes
+    ----------
+    job_id, tenant, name, priority, deadline_hint_cycles, arrival_cycle:
+        As on :class:`Job`.
+    ifmap:
+        Input feature map ``(C, H, W)``.
+    filters:
+        Filter bank ``(F, C, R, S)``.
+    stride, padding:
+        Convolution hyper-parameters (same along both spatial axes).
+    """
+
+    job_id: str
+    tenant: str
+    ifmap: np.ndarray
+    filters: np.ndarray
+    stride: int = 1
+    padding: int = 0
+    name: str = "conv"
+    priority: int = 0
+    deadline_hint_cycles: int | None = None
+    arrival_cycle: int = 0
+    #: Lowered GEMM operands, computed at construction (not constructor args).
+    a: np.ndarray = field(init=False, repr=False)
+    b: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        ifmap = np.asarray(self.ifmap, dtype=np.float64)
+        filters = np.asarray(self.filters, dtype=np.float64)
+        try:
+            a, b, layer = lower_conv_operands(
+                ifmap, filters, self.stride, self.padding, name=self.name
+            )
+        except ValueError as error:
+            # Per-job boundary, like Job: one tenant's malformed layer must
+            # not abort a whole multi-tenant serve() run deep in planning.
+            raise ValueError(f"job {self.job_id!r}: {error}") from None
+        object.__setattr__(self, "ifmap", ifmap)
+        object.__setattr__(self, "filters", filters)
+        object.__setattr__(self, "_conv_shape", layer)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        if self.arrival_cycle < 0:
+            raise ValueError(f"job {self.job_id!r}: arrival_cycle must be >= 0")
 
     @property
-    def k(self) -> int:
-        return self.a.shape[1]
+    def conv_shape(self):
+        """The :class:`repro.im2col.lowering.ConvShape` this job executes."""
+        return self._conv_shape
 
-    @property
-    def n(self) -> int:
-        return self.b.shape[1]
+    def finalize_result(self, run: RunResult, accelerator) -> RunResult:
+        """Fold the GEMM result into the OFMAP and attach conv traffic.
 
-    @property
-    def shape(self) -> tuple[int, int, int]:
-        """The ``(M, K, N)`` GEMM shape — the batching key."""
-        return (self.m, self.k, self.n)
+        Produces exactly what ``accelerator.run_conv(ifmap, filters, ...)``
+        returns for this layer: the ``(F, P, Q)`` output tensor plus the
+        design's im2col DRAM traffic and energy.  Cycles and work counters
+        pass through unchanged — the lowered GEMM *is* the execution.
+        """
+        layer = self.conv_shape
+        traffic = accelerator.conv_traffic(layer)
+        return dataclasses.replace(
+            run,
+            output=col2im_output(run.output, layer.out_h, layer.out_w),
+            dram_bytes=traffic.total_bytes,
+            dram_energy_mj=dram_energy_mj(traffic.total_bytes, accelerator.dram),
+        )
 
-    @property
-    def macs(self) -> int:
-        return self.m * self.k * self.n
+
+#: The job kinds the scheduler accepts: plain GEMMs and lowered convs share
+#: the :class:`_GemmOperandsMixin` interface but are otherwise unrelated
+#: classes, so annotations spell the union out rather than pretending
+#: everything is a :class:`Job`.
+AnyJob = Job | ConvJob
 
 
 @dataclass(frozen=True)

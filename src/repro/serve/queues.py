@@ -27,7 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.serve.job import Job
+from repro.serve.job import AnyJob
 
 #: Admission policies for over-budget tenants.
 POLICY_REJECT = "reject"
@@ -67,7 +67,7 @@ class AdmissionController:
 
     def __init__(
         self,
-        pricer: Callable[[Job], int],
+        pricer: Callable[[AnyJob], int],
         budgets: Mapping[str, int] | None = None,
         policy: str = POLICY_DEPRIORITIZE,
     ):
@@ -88,7 +88,7 @@ class AdmissionController:
             )
         return self._stats[tenant]
 
-    def admit(self, job: Job) -> AdmissionDecision:
+    def admit(self, job: AnyJob) -> AdmissionDecision:
         """Price ``job`` and decide whether (and how) it may run.
 
         Admitted jobs — deprioritized ones included, since they do
@@ -118,7 +118,7 @@ class AdmissionController:
 class QueuedJob:
     """A job waiting in the fair queue, with its admission pricing."""
 
-    job: Job
+    job: AnyJob
     priced_cycles: int
     deprioritized: bool = False
 

@@ -3,7 +3,10 @@
 :class:`AsyncGemmScheduler` packs :class:`repro.serve.job.Job` streams onto
 a homogeneous fleet of accelerator instances (:class:`SystolicAccelerator`
 or :class:`AxonAccelerator`, single arrays or ``scale_out=(P_R, P_C)``
-grids).  Two clocks are involved, deliberately decoupled:
+grids).  Convolution jobs (:class:`repro.serve.job.ConvJob`) ride the same
+machinery: they arrive already im2col-lowered, are priced and batched by
+their lowered GEMM shape, and fold their output back into an OFMAP at
+result-assembly time.  Two clocks are involved, deliberately decoupled:
 
 * **Simulated clock** — drives all scheduling semantics.  Job arrivals,
   weighted-fair dequeue, batch formation, worker occupancy, per-tenant
@@ -46,7 +49,7 @@ from repro.engine.scaleout import iter_partition_share_shapes
 from repro.serve.job import (
     STATUS_COMPLETED,
     STATUS_REJECTED,
-    Job,
+    AnyJob,
     JobResult,
 )
 from repro.serve.queues import (
@@ -113,7 +116,7 @@ def planned_gemm_cycles(accelerator, m: int, k: int, n: int) -> int:
     )
 
 
-def _batch_eligible(accelerator, jobs: Sequence[Job]) -> bool:
+def _batch_eligible(accelerator, jobs: Sequence[AnyJob]) -> bool:
     """Whether the stacked-matmul fast path may run this batch."""
     if len(jobs) < 2 or not stacked_matmul_is_bitexact():
         return False
@@ -125,7 +128,7 @@ def _batch_eligible(accelerator, jobs: Sequence[Job]) -> bool:
     return all(job.shape == shape for job in jobs)
 
 
-def run_batch(accelerator, jobs: Sequence[Job]) -> list[RunResult]:
+def run_batch(accelerator, jobs: Sequence[AnyJob]) -> list[RunResult]:
     """Execute one batch's numerics, bit-exact with per-job ``run_gemm``.
 
     Same-shape batches on a plain wavefront worker take the stacked
@@ -273,12 +276,12 @@ class AsyncGemmScheduler:
 
     # -- pricing ----------------------------------------------------------
 
-    def price_job(self, job: Job) -> int:
+    def price_job(self, job: AnyJob) -> int:
         """Admission price: the Eq. 2/3 analytical estimate (memoized in
         the shared estimate cache, so steady-state traffic is all hits)."""
         return self.fleet[0].estimate_gemm_cycles(job.m, job.k, job.n)
 
-    def _planned_cycles(self, job: Job) -> int:
+    def _planned_cycles(self, job: AnyJob) -> int:
         shape = job.shape
         cycles = self._planned_cycles_memo.get(shape)
         if cycles is None:
@@ -289,7 +292,7 @@ class AsyncGemmScheduler:
     # -- planning (simulated clock) ---------------------------------------
 
     def _plan(
-        self, jobs: Sequence[Job]
+        self, jobs: Sequence[AnyJob]
     ) -> tuple[list[_ScheduledBatch], list[JobResult], dict[int, _WorkerLedger]]:
         """Build the deterministic simulated-clock schedule.
 
@@ -380,7 +383,7 @@ class AsyncGemmScheduler:
 
     # -- execution (host clock) -------------------------------------------
 
-    async def serve_async(self, jobs: Sequence[Job]) -> tuple[ServeReport, list[JobResult]]:
+    async def serve_async(self, jobs: Sequence[AnyJob]) -> tuple[ServeReport, list[JobResult]]:
         """Serve a trace: plan on the simulated clock, execute concurrently.
 
         Returns the aggregate :class:`ServeReport` and one
@@ -415,6 +418,12 @@ class AsyncGemmScheduler:
                         f"{entry.job.job_id!r}: planned {planned} cycles but "
                         f"execution reported {run.cycles}"
                     )
+                # Job-kind post-processing: conv jobs fold the flat GEMM
+                # result into their OFMAP and attach im2col traffic, so the
+                # JobResult matches a direct run_conv call bit-for-bit.
+                run = entry.job.finalize_result(
+                    run, self.fleet[batch.worker_id]
+                )
                 start = cursor
                 cursor += planned
                 results.append(
@@ -462,13 +471,13 @@ class AsyncGemmScheduler:
         results.sort(key=lambda item: item.job_id)
         return report, results
 
-    def serve(self, jobs: Sequence[Job]) -> tuple[ServeReport, list[JobResult]]:
+    def serve(self, jobs: Sequence[AnyJob]) -> tuple[ServeReport, list[JobResult]]:
         """Synchronous wrapper around :meth:`serve_async`."""
         return asyncio.run(self.serve_async(jobs))
 
 
 def serial_baseline(
-    fleet_worker, jobs: Sequence[Job], *, clock_hz: float = DEFAULT_CLOCK_HZ
+    fleet_worker, jobs: Sequence[AnyJob], *, clock_hz: float = DEFAULT_CLOCK_HZ
 ) -> tuple[ServeReport, list[JobResult]]:
     """Naive serial dispatch: one worker, no batching, strict arrival order.
 

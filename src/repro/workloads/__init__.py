@@ -35,8 +35,10 @@ from repro.workloads.gemv import GEMV_WORKLOADS, gemv_workloads
 from repro.workloads.depthwise import DEPTHWISE_WORKLOADS, depthwise_workloads
 from repro.workloads.sparse import sparse_matrix, sparse_gemm_pair
 from repro.workloads.serving import (
+    DEFAULT_CONV_WORKLOADS,
     TenantTrafficSpec,
     equal_tenants,
+    scaled_conv_workload,
     scaled_workload,
     synthetic_trace,
     tenant_budgets,
@@ -66,7 +68,9 @@ __all__ = [
     "sparse_matrix",
     "sparse_gemm_pair",
     "TenantTrafficSpec",
+    "DEFAULT_CONV_WORKLOADS",
     "equal_tenants",
+    "scaled_conv_workload",
     "scaled_workload",
     "synthetic_trace",
     "tenant_budgets",

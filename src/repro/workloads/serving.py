@@ -1,11 +1,14 @@
 """Synthetic multi-tenant serving traces over the Table 3 workload mix.
 
-``repro serve`` and the serving-throughput benchmark replay traces built
-here: each tenant offers a Poisson stream of GEMM jobs drawn from the
-Table 3 shapes (dimension-capped so functional execution stays fast), with
-arrival rates calibrated in *offered load* — multiples of one worker's
-service capacity — rather than raw QPS, so a trace saturates a fleet the
-same way regardless of the array configuration it targets.
+``repro serve`` and the serving-throughput benchmarks replay traces built
+here: each tenant offers a Poisson stream of jobs drawn from the Table 3
+GEMM shapes (dimension-capped so functional execution stays fast) —
+optionally mixed with convolution layers (``conv_fraction`` > 0 turns that
+share of each tenant's jobs into :class:`repro.serve.job.ConvJob` instances
+drawn from a CNN layer pool) — with arrival rates calibrated in *offered
+load*: multiples of one worker's service capacity rather than raw QPS, so a
+trace saturates a fleet the same way regardless of the array configuration
+it targets.
 
 The construction is fully deterministic for a given seed: per-tenant
 substreams come from ``numpy``'s seed-sequence spawning, so adding a tenant
@@ -19,10 +22,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.im2col.lowering import GemmShape
-from repro.serve.job import Job
+from repro.golden.conv import conv_output_shape
+from repro.im2col.lowering import ConvShape, GemmShape, lower_conv_to_gemm
+from repro.serve.job import ConvJob, Job
 from repro.serve.scheduler import planned_gemm_cycles
 from repro.workloads.gemm_workloads import TABLE3_WORKLOADS
+from repro.workloads.resnet50 import RESNET50_CONV_LAYERS
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,53 @@ def scaled_workload(shape: GemmShape, max_dim: int) -> GemmShape:
     )
 
 
+def scaled_conv_workload(conv: ConvShape, max_dim: int) -> ConvShape:
+    """Cap a conv layer so its lowered GEMM dimensions stay near ``max_dim``.
+
+    The conv analogue of :func:`scaled_workload`: filters are clamped to
+    ``max_dim`` (lowered ``M``), channels so that ``C*R*S <= max_dim``
+    (lowered ``K``), and the IFMAP is shrunk so the layer produces at most
+    ``~max_dim`` output pixels (lowered ``N``) — kernel, stride and padding
+    are preserved, so the lowered shapes keep the network's geometric
+    diversity while staying cheap to execute functionally thousands of
+    times.
+    """
+    if max_dim < 1:
+        raise ValueError(f"max_dim must be >= 1, got {max_dim}")
+    window = conv.kernel_h * conv.kernel_w
+    channels = min(conv.in_channels, max(1, max_dim // window))
+    out_target = max(1, int(max_dim**0.5))
+    # Smallest IFMAP whose output is out_target (capped by the original).
+    def capped(in_size: int, kernel: int) -> int:
+        current_out = conv_output_shape(in_size, kernel, conv.stride, conv.padding)
+        target = min(current_out, out_target)
+        return max(1, (target - 1) * conv.stride + kernel - 2 * conv.padding)
+
+    return ConvShape(
+        name=conv.name,
+        in_channels=channels,
+        ifmap_h=capped(conv.ifmap_h, conv.kernel_h),
+        ifmap_w=capped(conv.ifmap_w, conv.kernel_w),
+        kernel_h=conv.kernel_h,
+        kernel_w=conv.kernel_w,
+        num_filters=min(conv.num_filters, max_dim),
+        stride=conv.stride,
+        padding=conv.padding,
+        depthwise=conv.depthwise,
+    )
+
+
+#: Default conv-layer pool for mixed traces: a geometrically diverse slice
+#: of ResNet-50 (the 7x7/stride-2 stem, an early 3x3, a 1x1 expansion and a
+#: deep stride-2 3x3), scaled per-trace by ``scaled_conv_workload``.
+DEFAULT_CONV_WORKLOADS: tuple[ConvShape, ...] = (
+    RESNET50_CONV_LAYERS[0],   # stem 7x7 s2
+    RESNET50_CONV_LAYERS[2],   # conv2 block0 3x3
+    RESNET50_CONV_LAYERS[3],   # conv2 block0 1x1 expand
+    RESNET50_CONV_LAYERS[24],  # a deeper 3x3
+)
+
+
 def synthetic_trace(
     accelerator,
     tenants: Sequence[TenantTrafficSpec] | int = 4,
@@ -103,9 +155,11 @@ def synthetic_trace(
     offered_load: float = 4.0,
     max_dim: int = 128,
     workloads: Sequence[GemmShape] = TABLE3_WORKLOADS,
+    conv_fraction: float = 0.0,
+    conv_workloads: Sequence[ConvShape] = DEFAULT_CONV_WORKLOADS,
     seed: int = 0,
     deadline_slack: float | None = None,
-) -> list[Job]:
+) -> list[Job | ConvJob]:
     """Build a deterministic mixed-workload trace for a serving run.
 
     Parameters
@@ -126,9 +180,17 @@ def synthetic_trace(
         saturates a fleet of four.
     max_dim:
         Dimension cap applied to every workload shape
-        (:func:`scaled_workload`).
+        (:func:`scaled_workload` / :func:`scaled_conv_workload`).
     workloads:
-        Shape pool to sample uniformly per job (default: all of Table 3).
+        GEMM shape pool to sample uniformly per job (default: all of
+        Table 3).
+    conv_fraction:
+        Probability in ``[0, 1]`` that a job is a convolution layer
+        (:class:`repro.serve.job.ConvJob`) instead of a plain GEMM.  0
+        (default) reproduces the pure-GEMM traces bit-for-bit.
+    conv_workloads:
+        Conv layer pool sampled for conv jobs (default: a diverse
+        ResNet-50 slice), each scaled by :func:`scaled_conv_workload`.
     seed:
         Root seed; tenant substreams are spawned from it.
     deadline_slack:
@@ -144,23 +206,38 @@ def synthetic_trace(
         raise ValueError(f"jobs_per_tenant must be >= 1, got {jobs_per_tenant}")
     if offered_load <= 0:
         raise ValueError(f"offered_load must be > 0, got {offered_load}")
+    if not 0.0 <= conv_fraction <= 1.0:
+        raise ValueError(f"conv_fraction must be in [0, 1], got {conv_fraction}")
 
     pool = tuple(scaled_workload(shape, max_dim) for shape in workloads)
     if not pool:
         raise ValueError("workload pool is empty")
+    conv_pool: tuple[ConvShape, ...] = ()
+    if conv_fraction > 0:
+        conv_pool = tuple(
+            scaled_conv_workload(shape, max_dim) for shape in conv_workloads
+        )
+        if not conv_pool:
+            raise ValueError("conv_fraction > 0 needs a non-empty conv pool")
     # Calibrate against the tile-exact cycles jobs will actually occupy a
     # worker for (the padded Eq. 2/3 estimates used for admission pricing
     # overprice ragged shapes, which would silently deflate the real load).
     mean_cost = sum(
         planned_gemm_cycles(accelerator, shape.m, shape.k, shape.n) for shape in pool
     ) / len(pool)
+    if conv_pool:
+        lowered = tuple(lower_conv_to_gemm(shape) for shape in conv_pool)
+        conv_mean = sum(
+            planned_gemm_cycles(accelerator, g.m, g.k, g.n) for g in lowered
+        ) / len(lowered)
+        mean_cost = (1.0 - conv_fraction) * mean_cost + conv_fraction * conv_mean
 
     # offered_load jobs-in-service on average across the whole trace;
     # apportion the aggregate rate by each tenant's load share.
     total_share = sum(spec.load_share for spec in tenants)
     aggregate_rate = offered_load / mean_cost  # jobs per cycle
 
-    jobs: list[Job] = []
+    jobs: list[Job | ConvJob] = []
     streams = np.random.SeedSequence(seed).spawn(len(tenants))
     for spec, stream in zip(tenants, streams):
         rng = np.random.default_rng(stream)
@@ -168,20 +245,47 @@ def synthetic_trace(
         arrival = 0.0
         for index in range(jobs_per_tenant):
             arrival += rng.exponential(1.0 / rate)
-            shape = pool[int(rng.integers(len(pool)))]
-            a = rng.standard_normal((shape.m, shape.k))
-            b = rng.standard_normal((shape.k, shape.n))
+            is_conv = conv_pool and rng.random() < conv_fraction
+            if is_conv:
+                conv = conv_pool[int(rng.integers(len(conv_pool)))]
+                gemm = lower_conv_to_gemm(conv)
+            else:
+                gemm = pool[int(rng.integers(len(pool)))]
             deadline = None
             if deadline_slack is not None:
-                priced = accelerator.estimate_gemm_cycles(shape.m, shape.k, shape.n)
+                priced = accelerator.estimate_gemm_cycles(gemm.m, gemm.k, gemm.n)
                 deadline = int(round(deadline_slack * priced))
+            if is_conv:
+                jobs.append(
+                    ConvJob(
+                        job_id=f"{spec.name}-{index:04d}",
+                        tenant=spec.name,
+                        ifmap=rng.standard_normal(
+                            (conv.in_channels, conv.ifmap_h, conv.ifmap_w)
+                        ),
+                        filters=rng.standard_normal(
+                            (
+                                conv.num_filters,
+                                conv.in_channels,
+                                conv.kernel_h,
+                                conv.kernel_w,
+                            )
+                        ),
+                        stride=conv.stride,
+                        padding=conv.padding,
+                        name=conv.name,
+                        deadline_hint_cycles=deadline,
+                        arrival_cycle=int(round(arrival)),
+                    )
+                )
+                continue
             jobs.append(
                 Job(
                     job_id=f"{spec.name}-{index:04d}",
                     tenant=spec.name,
-                    a=a,
-                    b=b,
-                    name=shape.name,
+                    a=rng.standard_normal((gemm.m, gemm.k)),
+                    b=rng.standard_normal((gemm.k, gemm.n)),
+                    name=gemm.name,
                     deadline_hint_cycles=deadline,
                     arrival_cycle=int(round(arrival)),
                 )

@@ -83,6 +83,47 @@ class TestCli:
             assert entry["output_shape"] == [16, 12]
             assert len(entry["output_sha256"]) == 64
 
+    def test_conv_command_runs_both_architectures(self, capsys):
+        args = ["conv", "--channels", "4", "--height", "12", "--width", "12",
+                "--filters", "8", "--rows", "8", "--cols", "8"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "lowered GEMM" in out
+        assert re.search(r"systolic\s+wavefront\s.*\sok\s", out)
+        assert re.search(r"axon\s+wavefront\s.*\sok\s", out)
+
+    def test_conv_command_stride_scale_out_and_dataflow(self, capsys):
+        args = ["conv", "--channels", "3", "--height", "11", "--width", "9",
+                "--filters", "5", "--stride", "2", "--padding", "1",
+                "--rows", "8", "--cols", "8", "--dataflow", "WS",
+                "--scale-out", "2", "2", "--arch", "axon"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"axon\s+wavefront\s+2x2\s.*\sok\s", out)
+
+    def test_conv_command_json_output(self, capsys):
+        args = ["conv", "--channels", "3", "--height", "10", "--width", "10",
+                "--filters", "6", "--rows", "8", "--cols", "8", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lowered_gemm"] == {"m": 6, "k": 27, "n": 100}
+        assert payload["layer"]["ofmap"] == [6, 10, 10]
+        for entry in payload["results"]:
+            assert entry["golden_match"] is True
+            assert entry["output_shape"] == [6, 10, 10]
+            assert entry["dram_bytes"] is not None
+
+    def test_serve_command_conv_fraction(self, capsys):
+        args = ["serve", "--workers", "2", "--tenants", "2",
+                "--jobs-per-tenant", "4", "--max-dim", "48",
+                "--conv-fraction", "0.5", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["jobs_completed"] == 8
+        # Conv jobs fold to 3-D OFMAPs; the trace must contain at least one.
+        dims = {len(job["result"]["output_shape"]) for job in payload["jobs"]}
+        assert 3 in dims
+
     def test_serve_command_prints_report(self, capsys):
         args = ["serve", "--tenants", "2", "--jobs-per-tenant", "3",
                 "--workers", "2", "--rows", "8", "--cols", "8",

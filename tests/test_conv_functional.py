@@ -1,0 +1,216 @@
+"""Functional conv execution (:meth:`repro.api._AcceleratorBase.run_conv`).
+
+The tentpole contract: an im2col-lowered convolution pushed through the
+batched wavefront engine must reproduce the golden direct convolution
+(:func:`repro.golden.conv.conv2d`) on every dataflow, both orchestrations,
+every engine, strides/padding, and Eq. 3 scale-out grids — with the cycle
+accounting identical to running the lowered GEMM, and the zero-gating /
+traffic side-channels intact.
+
+Bit-exactness methodology: with small-integer-valued float64 tensors every
+product and partial sum is exactly representable, so *any* accumulation
+order (BLAS fast path, hardware-order exact path, cycle simulators,
+scale-out reductions) must produce the identical bit pattern — the
+comparisons below use ``np.array_equal``, not ``allclose``.  Gaussian
+operands additionally pin the fast path to last-ulp agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import AxonAccelerator, SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+from repro.golden.conv import conv2d, conv_output_shape
+from repro.im2col.lowering import (
+    conv_shape_from_tensors,
+    lower_conv_operands,
+    lower_conv_to_gemm,
+)
+
+DATAFLOWS = (
+    Dataflow.OUTPUT_STATIONARY,
+    Dataflow.WEIGHT_STATIONARY,
+    Dataflow.INPUT_STATIONARY,
+)
+
+#: (channels, height, width, filters, kernel, stride, padding) cases chosen
+#: to exercise ragged tilings, stride folding and padding rings.
+CONV_CASES = (
+    (3, 8, 8, 4, 3, 1, 1),    # same-size 3x3
+    (2, 9, 7, 5, 3, 2, 1),    # non-square IFMAP, stride 2
+    (4, 6, 6, 3, 1, 1, 0),    # pointwise 1x1
+    (1, 12, 12, 6, 5, 2, 2),  # single channel, large kernel
+)
+
+
+def _integer_layer(rng, channels, height, width, filters, kernel):
+    ifmap = rng.integers(-4, 5, (channels, height, width)).astype(np.float64)
+    weights = rng.integers(-4, 5, (filters, channels, kernel, kernel)).astype(
+        np.float64
+    )
+    return ifmap, weights
+
+
+class TestLowering:
+    def test_operands_match_shape_lowering(self, rng):
+        ifmap, weights = _integer_layer(rng, 3, 10, 8, 5, 3)
+        a, b, layer = lower_conv_operands(ifmap, weights, 2, 1, name="l")
+        gemm = lower_conv_to_gemm(layer)
+        assert a.shape == (gemm.m, gemm.k)
+        assert b.shape == (gemm.k, gemm.n)
+        assert b.flags["C_CONTIGUOUS"]
+
+    def test_operand_product_is_the_flat_ofmap(self, rng):
+        ifmap, weights = _integer_layer(rng, 3, 8, 8, 4, 3)
+        a, b, _ = lower_conv_operands(ifmap, weights, 1, 1)
+        golden = conv2d(ifmap, weights, stride=1, padding=1)
+        assert np.array_equal((a @ b).reshape(golden.shape), golden)
+
+    def test_tensor_validation(self, rng):
+        ifmap, weights = _integer_layer(rng, 3, 8, 8, 4, 3)
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv_shape_from_tensors(ifmap, np.zeros((4, 2, 3, 3)))
+        with pytest.raises(ValueError, match=r"\(C, H, W\)"):
+            conv_shape_from_tensors(ifmap[0], weights)
+        with pytest.raises(ValueError, match=r"\(F, C, R, S\)"):
+            conv_shape_from_tensors(ifmap, weights[0])
+
+
+class TestRunConvBitExact:
+    @pytest.mark.parametrize("dataflow", DATAFLOWS, ids=lambda d: d.name)
+    @pytest.mark.parametrize("accelerator_cls", (SystolicAccelerator, AxonAccelerator))
+    @pytest.mark.parametrize("engine", ("wavefront", "wavefront-exact", "cycle"))
+    def test_all_engines_match_golden(
+        self, small_array, rng, dataflow, accelerator_cls, engine
+    ):
+        channels, height, width, filters, kernel, stride, padding = CONV_CASES[1]
+        ifmap, weights = _integer_layer(rng, channels, height, width, filters, kernel)
+        golden = conv2d(ifmap, weights, stride=stride, padding=padding)
+        accelerator = accelerator_cls(small_array, dataflow, engine=engine)
+        result = accelerator.run_conv(ifmap, weights, stride=stride, padding=padding)
+        assert result.output.shape == golden.shape
+        assert np.array_equal(result.output, golden)
+        assert result.engine == engine
+
+    @pytest.mark.parametrize("case", CONV_CASES, ids=lambda c: "x".join(map(str, c)))
+    def test_stride_padding_sweep_on_wavefront(self, small_array, rng, case):
+        channels, height, width, filters, kernel, stride, padding = case
+        ifmap, weights = _integer_layer(rng, channels, height, width, filters, kernel)
+        golden = conv2d(ifmap, weights, stride=stride, padding=padding)
+        for dataflow in DATAFLOWS:
+            result = AxonAccelerator(small_array, dataflow).run_conv(
+                ifmap, weights, stride=stride, padding=padding
+            )
+            assert np.array_equal(result.output, golden), dataflow
+
+    @pytest.mark.parametrize("dataflow", DATAFLOWS, ids=lambda d: d.name)
+    def test_scale_out_grid_matches_golden(self, small_array, rng, dataflow):
+        channels, height, width, filters, kernel, stride, padding = CONV_CASES[0]
+        ifmap, weights = _integer_layer(rng, channels, height, width, filters, kernel)
+        golden = conv2d(ifmap, weights, stride=stride, padding=padding)
+        for accelerator_cls in (SystolicAccelerator, AxonAccelerator):
+            grid = accelerator_cls(
+                small_array, dataflow, scale_out=(2, 2)
+            ).run_conv(ifmap, weights, stride=stride, padding=padding)
+            assert np.array_equal(grid.output, golden)
+            assert grid.scale_out == (2, 2)
+
+    def test_gaussian_operands_match_to_last_ulp(self, small_array, rng):
+        ifmap = rng.standard_normal((3, 10, 10))
+        weights = rng.standard_normal((6, 3, 3, 3))
+        golden = conv2d(ifmap, weights, padding=1)
+        result = AxonAccelerator(small_array).run_conv(ifmap, weights, padding=1)
+        np.testing.assert_allclose(result.output, golden, rtol=1e-13, atol=1e-13)
+
+
+class TestRunConvAccounting:
+    def test_cycles_equal_the_lowered_gemm_run(self, small_array, rng):
+        """A conv costs exactly its lowered GEMM on every dataflow."""
+        ifmap, weights = _integer_layer(rng, 3, 9, 9, 5, 3)
+        a, b, _ = lower_conv_operands(ifmap, weights, 1, 1)
+        for dataflow in DATAFLOWS:
+            accelerator = AxonAccelerator(small_array, dataflow)
+            conv_run = accelerator.run_conv(ifmap, weights, padding=1)
+            gemm_run = accelerator.run_gemm(a, b)
+            assert conv_run.cycles == gemm_run.cycles
+            assert conv_run.macs == gemm_run.macs
+            assert conv_run.active_pe_cycles == gemm_run.active_pe_cycles
+            assert conv_run.utilization == gemm_run.utilization
+
+    def test_cycle_engine_agrees_with_wavefront_accounting(self, small_array, rng):
+        ifmap, weights = _integer_layer(rng, 2, 8, 8, 4, 3)
+        for dataflow in DATAFLOWS:
+            wavefront = AxonAccelerator(small_array, dataflow).run_conv(
+                ifmap, weights, padding=1
+            )
+            cycle = AxonAccelerator(small_array, dataflow, engine="cycle").run_conv(
+                ifmap, weights, padding=1
+            )
+            assert wavefront.cycles == cycle.cycles
+            assert wavefront.active_pe_cycles == cycle.active_pe_cycles
+
+    def test_macs_match_the_layer(self, small_array, rng):
+        ifmap, weights = _integer_layer(rng, 3, 8, 8, 4, 3)
+        layer = conv_shape_from_tensors(ifmap, weights, 1, 1)
+        result = SystolicAccelerator(small_array).run_conv(ifmap, weights, padding=1)
+        assert result.macs == layer.macs
+
+    def test_zero_gating_counters_survive_lowering(self, small_array, rng):
+        ifmap, weights = _integer_layer(rng, 3, 8, 8, 4, 3)
+        ifmap[ifmap < 0] = 0.0  # plenty of zeros to gate
+        gated = AxonAccelerator(small_array, zero_gating=True).run_conv(
+            ifmap, weights, padding=1
+        )
+        ungated = AxonAccelerator(small_array).run_conv(ifmap, weights, padding=1)
+        assert gated.gated_macs > 0
+        assert gated.performed_macs + gated.gated_macs == gated.macs
+        assert np.array_equal(gated.output, ungated.output)
+
+    def test_traffic_fields_match_estimate(self, small_array, rng):
+        """run_conv reports the same im2col traffic model estimate_conv does."""
+        ifmap, weights = _integer_layer(rng, 3, 8, 8, 4, 3)
+        layer = conv_shape_from_tensors(ifmap, weights, 1, 1)
+        for accelerator_cls in (SystolicAccelerator, AxonAccelerator):
+            accelerator = accelerator_cls(small_array)
+            run = accelerator.run_conv(ifmap, weights, padding=1)
+            estimate = accelerator.estimate_conv(layer)
+            assert run.dram_bytes == estimate.dram_bytes
+            assert run.dram_energy_mj == estimate.dram_energy_mj
+        # The two orchestrations report *different* traffic (on-chip vs
+        # software im2col) — the conv side-channel is design-specific.
+        software = SystolicAccelerator(small_array).run_conv(ifmap, weights, padding=1)
+        onchip = AxonAccelerator(small_array).run_conv(ifmap, weights, padding=1)
+        assert onchip.dram_bytes < software.dram_bytes
+
+    def test_estimate_conv_cycles_match_functional_estimates(self, small_array):
+        """The conv-keyed estimate is the lowered GEMM's Eq. 2 estimate."""
+        layer = conv_shape_from_tensors(
+            np.zeros((3, 16, 16)), np.zeros((8, 3, 3, 3)), 2, 1
+        )
+        gemm = lower_conv_to_gemm(layer)
+        accelerator = AxonAccelerator(small_array)
+        assert accelerator.estimate_conv_cycles(layer) == (
+            accelerator.estimate_gemm_cycles(gemm.m, gemm.k, gemm.n)
+        )
+
+    def test_output_shape_follows_conv_arithmetic(self, small_array, rng):
+        ifmap, weights = _integer_layer(rng, 2, 11, 9, 3, 3)
+        result = AxonAccelerator(small_array).run_conv(ifmap, weights, stride=2)
+        assert result.output.shape == (
+            3,
+            conv_output_shape(11, 3, 2, 0),
+            conv_output_shape(9, 3, 2, 0),
+        )
+
+    def test_json_view_of_a_conv_run(self, small_array, rng):
+        ifmap, weights = _integer_layer(rng, 2, 8, 8, 3, 3)
+        payload = AxonAccelerator(small_array).run_conv(
+            ifmap, weights, padding=1, name="stem"
+        ).to_dict()
+        assert payload["name"] == "stem"
+        assert payload["output_shape"] == [3, 8, 8]
+        assert payload["dram_bytes"] is not None
+        assert isinstance(payload["output_sha256"], str)

@@ -146,7 +146,7 @@ class TestUtilizationValidation:
         from repro.im2col.lowering import ConvShape
 
         accelerator = AxonAccelerator(small_array)
-        monkeypatch.setattr(accelerator, "estimate_gemm_cycles", lambda m, k, n: 1)
+        monkeypatch.setattr(accelerator, "estimate_conv_cycles", lambda layer: 1)
         layer = ConvShape("l", 8, 7, 7, 3, 3, 8, padding=1)
         with pytest.raises(UtilizationValidationError):
             accelerator.estimate_conv(layer)

@@ -20,12 +20,14 @@ from repro.arch.dataflow import Dataflow
 from repro.engine import (
     DEFAULT_ESTIMATE_CACHE_CAPACITY,
     LRUEstimateCache,
+    cached_conv_cycles,
     cached_gemm_cycles,
     clear_estimate_cache,
     estimate_cache_capacity,
     estimate_cache_info,
     set_estimate_cache_capacity,
 )
+from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
 
 
 @pytest.fixture(autouse=True)
@@ -87,6 +89,91 @@ class TestCacheKeying:
         assert cached_gemm_cycles.cache_info() == estimate_cache_info()
         cached_gemm_cycles.cache_clear()
         assert estimate_cache_info().currsize == 0
+
+
+_CONV = ConvShape(
+    "stem", in_channels=3, ifmap_h=16, ifmap_w=16,
+    kernel_h=3, kernel_w=3, num_filters=8, stride=2, padding=1,
+)
+
+
+def _conv_lookup(conv=_CONV, engine="wavefront", grid=(1, 1)):
+    return cached_conv_cycles(
+        conv, 16, 16, Dataflow.OUTPUT_STATIONARY, False, engine, *grid
+    )
+
+
+class TestConvCacheKeying:
+    def test_conv_and_lowered_gemm_do_not_alias(self):
+        """A conv estimate and its lowered GEMM's estimate get distinct keys.
+
+        Today the two values agree (a conv costs exactly its im2col-lowered
+        GEMM), so aliasing would be invisible in the cycle counts — the
+        entry count is what detects it.
+        """
+        gemm = lower_conv_to_gemm(_CONV)
+        conv_cycles = _conv_lookup()
+        # The conv miss warms the lowered GEMM's entry as well.
+        info = estimate_cache_info()
+        assert info.currsize == 2 and info.misses == 2 and info.hits == 0
+        # Pricing the lowered GEMM directly hits its own, separate entry.
+        assert _lookup(shape=(gemm.m, gemm.k, gemm.n)) == conv_cycles
+        info = estimate_cache_info()
+        assert info.currsize == 2 and info.hits == 1
+
+    def test_conv_estimates_hit_on_revisit(self):
+        _conv_lookup()
+        hits_before = estimate_cache_info().hits
+        assert _conv_lookup() == _conv_lookup()
+        assert estimate_cache_info().hits == hits_before + 2
+
+    def test_conv_geometry_is_part_of_the_key(self):
+        """Distinct conv geometries never alias, even with one lowered shape.
+
+        A 1x1-kernel layer on a 4x4 IFMAP and a 2x2-kernel stride-2 layer
+        on an 8x8 IFMAP both lower to M=8, K=C*R*S=16, N=16 — a key carrying
+        only the lowered GEMM shape would collapse them.
+        """
+        small = ConvShape(
+            "a", in_channels=16, ifmap_h=4, ifmap_w=4,
+            kernel_h=1, kernel_w=1, num_filters=8,
+        )
+        strided = ConvShape(
+            "b", in_channels=4, ifmap_h=8, ifmap_w=8,
+            kernel_h=2, kernel_w=2, num_filters=8, stride=2,
+        )
+        assert lower_conv_to_gemm(small) != lower_conv_to_gemm(strided)
+        small_gemm = lower_conv_to_gemm(small)
+        strided_gemm = lower_conv_to_gemm(strided)
+        assert (small_gemm.m, small_gemm.k, small_gemm.n) == (
+            strided_gemm.m, strided_gemm.k, strided_gemm.n,
+        )
+        _conv_lookup(conv=small)
+        misses_before = estimate_cache_info().misses
+        _conv_lookup(conv=strided)
+        # The second layer misses its own conv key (but hits the shared
+        # lowered-GEMM entry the first layer warmed).
+        assert estimate_cache_info().misses == misses_before + 1
+
+    def test_conv_engine_and_grid_do_not_alias(self):
+        single = _conv_lookup(grid=(1, 1))
+        quad = _conv_lookup(grid=(2, 2))
+        assert single != quad
+        _conv_lookup(engine="cycle")
+        # 3 conv entries + their lowered-GEMM entries (gemm keys also
+        # distinguish grid and engine).
+        assert estimate_cache_info().currsize == 6
+
+    def test_accelerator_estimate_conv_rides_the_conv_cache(self):
+        from repro.api import AxonAccelerator
+        from repro.arch.array_config import ArrayConfig
+
+        accelerator = AxonAccelerator(ArrayConfig(16, 16))
+        first = accelerator.estimate_conv(_CONV)
+        hits_before = estimate_cache_info().hits
+        second = accelerator.estimate_conv(_CONV)
+        assert second.cycles == first.cycles
+        assert estimate_cache_info().hits == hits_before + 1
 
 
 class TestCapacityConfiguration:
