@@ -229,6 +229,33 @@ class _AcceleratorBase:
         """Number of physical arrays (1 unless scale-out is configured)."""
         return self.scale_out[0] * self.scale_out[1]
 
+    def describe(self) -> str:
+        """Compact worker-class label for this configuration.
+
+        Two accelerators produce the same label exactly when any GEMM runs
+        identically (same cycles, same counters, bit-exact output) on both —
+        the serving layer uses it to group a heterogeneous fleet into worker
+        classes (:mod:`repro.serve.fleet`) and to key per-class report rows.
+
+        >>> from repro import ArrayConfig, AxonAccelerator
+        >>> AxonAccelerator(ArrayConfig(32, 32)).describe()
+        'axon-32x32-OS-wavefront'
+        >>> AxonAccelerator(ArrayConfig(16, 16), zero_gating=True,
+        ...                 scale_out=(2, 2)).describe()
+        'axon-16x16-OS-wavefront-2x2-zg'
+        """
+        parts = [
+            "axon" if self.axon else "systolic",
+            f"{self.config.rows}x{self.config.cols}",
+            self.dataflow.value,
+            self.engine,
+        ]
+        if self.scale_out != (1, 1):
+            parts.append("{}x{}".format(*self.scale_out))
+        if self.zero_gating:
+            parts.append("zg")
+        return "-".join(parts)
+
     @property
     def _total_pes(self) -> int:
         """PEs across the whole (possibly multi-array) complex."""

@@ -8,6 +8,8 @@ Provides quick access to the analytical models without writing Python::
     python -m repro.cli conv --channels 16 --height 32 --width 32 --filters 32
     python -m repro.cli serve --workers 4 --tenants 4 --jobs-per-tenant 12
     python -m repro.cli serve --workers 4 --tenants 4 --conv-fraction 0.35
+    python -m repro.cli serve --streaming --batch-window 2048 --tenants 4
+    python -m repro.cli serve --fleet "2*axon:32x32,2*axon:16x16@2x2"
     python -m repro.cli workloads
     python -m repro.cli speedup --array 256
     python -m repro.cli traffic --network resnet50
@@ -21,8 +23,12 @@ across an Eq. 3 multi-array grid; ``conv`` does the same for a randomized
 convolution layer (im2col-lowered onto the engine, verified against the
 golden ``conv2d``); ``serve`` replays a synthetic multi-tenant Table 3
 trace through the batch-serving subsystem (:mod:`repro.serve`) — mixed
-with CNN conv-layer jobs when ``--conv-fraction`` > 0 — and prints the
-per-tenant latency / throughput / fairness report; ``cache`` reports the
+with CNN conv-layer jobs when ``--conv-fraction`` > 0, streamed online
+job-by-job with ``--streaming`` (optionally holding batches open for
+``--batch-window`` cycles), over a heterogeneous fleet with ``--fleet``
+(e.g. ``"2*axon:32x32,2*axon:16x16@2x2"``; placement per worker class,
+``--placement priced|random``) — and prints the per-tenant latency /
+throughput / fairness report; ``cache`` reports the
 shared estimate-cache statistics (``--clear-cache`` resets them) so
 long-lived sweep services can observe hit rates.  ``run``, ``conv`` and
 ``serve`` take ``--json`` for machine-readable output.  The other
@@ -57,9 +63,13 @@ from repro.energy import ASAP7, NODES, area_report, inference_energy_report, pow
 from repro.im2col.traffic import network_traffic
 from repro.serve import (
     ADMISSION_POLICIES,
+    PLACEMENT_PRICED,
+    PLACEMENTS,
     POLICY_DEPRIORITIZE,
     AsyncGemmScheduler,
+    build_fleet,
     format_serve_report,
+    parse_fleet_spec,
 )
 from repro.workloads.serving import (
     equal_tenants,
@@ -318,7 +328,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         return SystolicAccelerator(config, dataflow, engine=args.engine, scale_out=grid)
 
-    fleet = [make_worker() for _ in range(args.workers)]
+    if args.fleet:
+        # A --fleet spec describes the whole (possibly heterogeneous)
+        # fleet; --workers / --rows / --cols / --scale-out are superseded.
+        specs = parse_fleet_spec(args.fleet, default_arch=args.arch)
+        fleet = build_fleet(
+            specs,
+            dataflow=dataflow,
+            engine=args.engine,
+            zero_gating=args.zero_gating,
+        )
+    else:
+        fleet = [make_worker() for _ in range(args.workers)]
     tenants = equal_tenants(args.tenants)
     if args.budget_cycles is not None:
         tenants = tuple(
@@ -326,7 +347,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for spec in tenants
         )
     jobs = synthetic_trace(
-        fleet[0],
+        fleet,
         tenants,
         jobs_per_tenant=args.jobs_per_tenant,
         offered_load=args.offered_load,
@@ -341,8 +362,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         budgets=tenant_budgets(tenants),
         admission_policy=args.admission,
         clock_hz=args.clock_ghz * 1e9,
+        batch_window_cycles=args.batch_window,
+        placement=args.placement,
     )
-    report, results = scheduler.serve(jobs)
+    if args.streaming:
+        # Online serving: feed the trace job-by-job in arrival order and
+        # close the stream.  Produces the same schedule as serve() — the
+        # point on the CLI is exercising the streaming path end to end.
+        for job in jobs:
+            scheduler.submit(job)
+        report, results = scheduler.drain()
+    else:
+        report, results = scheduler.serve(jobs)
     if args.json:
         print(
             json.dumps(
@@ -509,6 +540,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tenants", type=_positive_int, default=4)
     serve.add_argument("--jobs-per-tenant", type=_positive_int, default=12)
     serve.add_argument("--workers", type=_positive_int, default=4, help="fleet size")
+    serve.add_argument(
+        "--fleet", default=None, metavar="SPEC",
+        help="heterogeneous fleet spec: comma-separated "
+        "[COUNT*][ARCH:]ROWSxCOLS[@PRxPC] groups, e.g. "
+        "'2*axon:32x32,2*axon:16x16@2x2' (supersedes --workers/--rows/"
+        "--cols/--scale-out; ARCH defaults to --arch)",
+    )
     serve.add_argument("--rows", type=int, default=32)
     serve.add_argument("--cols", type=int, default=32)
     serve.add_argument("--dataflow", default="OS", choices=["OS", "WS", "IS"])
@@ -521,8 +559,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--max-batch", type=_positive_int, default=8)
     serve.add_argument(
+        "--streaming", action="store_true",
+        help="serve the trace online via submit()/drain() instead of the "
+        "one-shot serve() call (bit-identical schedule)",
+    )
+    serve.add_argument(
+        "--batch-window", type=_non_negative_int, default=None,
+        metavar="CYCLES",
+        help="hold a young batch open up to this many simulated cycles for "
+        "same-shape arrivals (default: dispatch immediately)",
+    )
+    serve.add_argument(
+        "--placement", default=PLACEMENT_PRICED, choices=list(PLACEMENTS),
+        help="heterogeneous-fleet placement policy (priced = estimate-cache "
+        "priced earliest finish; random = uniform baseline)",
+    )
+    serve.add_argument(
         "--offered-load", type=_positive_float, default=8.0,
-        help="aggregate arrival rate in multiples of one worker's capacity",
+        help="aggregate arrival rate in multiples of one average worker's "
+        "capacity (the fleet mean, for heterogeneous fleets)",
     )
     serve.add_argument(
         "--max-dim", type=_positive_int, default=128,

@@ -1,8 +1,8 @@
-"""Batch-serving subsystem: async multi-tenant GEMM scheduling.
+"""Batch-serving subsystem: online multi-tenant GEMM scheduling.
 
 This package turns the single-GEMM façades of :mod:`repro.api` into a
-serving layer — the ROADMAP's "async/sharded batch serving of many GEMMs"
-— with four separable pieces:
+serving layer — the ROADMAP's "async/sharded batch serving of many GEMMs",
+grown online and heterogeneous — with five separable pieces:
 
 :mod:`repro.serve.job`
     The job model: :class:`Job` (GEMM operands + tenant, priority, deadline
@@ -15,14 +15,26 @@ serving layer — the ROADMAP's "async/sharded batch serving of many GEMMs"
     Per-tenant FIFO queues with weighted-fair virtual-time dequeue, and
     the admission controller that prices every job through the shared
     estimate cache before it runs.
+:mod:`repro.serve.fleet`
+    Fleet configuration: :class:`WorkerSpec` groups of identical workers,
+    the ``repro serve --fleet`` spec grammar (:func:`parse_fleet_spec`)
+    and :func:`build_fleet` — fleets may be heterogeneous (mixed array
+    geometries, architectures and scale-out grids).
 :mod:`repro.serve.scheduler`
-    :class:`AsyncGemmScheduler` — the asyncio + thread-pool dispatcher
-    that packs same-shape jobs into stacked batches across a fleet of
-    accelerator workers on a deterministic simulated clock.
+    :class:`AsyncGemmScheduler` — the simulated-clock dispatcher.  Jobs
+    are served either one-shot (:meth:`~AsyncGemmScheduler.serve` a whole
+    trace) or **streamed online**
+    (:meth:`~AsyncGemmScheduler.submit` jobs one at a time as they arrive,
+    then :meth:`~AsyncGemmScheduler.drain`): arrivals are admitted, queued
+    and dispatched as the simulated clock reaches them, batching windows
+    close on a cycle deadline, and on heterogeneous fleets each batch is
+    placed on the worker class that finishes it soonest, priced through
+    the estimate cache.
 :mod:`repro.serve.report`
     :class:`ServeReport` — per-tenant p50/p95 latency and throughput,
-    worker utilization, batching and cache statistics, JSON-serializable
-    for the ``repro serve --json`` CLI.
+    worker and worker-class utilization, batching, fleet description and
+    cache statistics, JSON-serializable for the ``repro serve --json``
+    CLI.
 
 Traces to replay come from :mod:`repro.workloads.serving` (pass
 ``conv_fraction > 0`` to :func:`repro.workloads.serving.synthetic_trace`
@@ -44,6 +56,20 @@ against a direct ``run_gemm`` call:
 >>> all(r.result.cycles == direct.cycles for r in results)
 True
 
+The same trace streams online — ``submit()`` one job at a time (in
+arrival order) and ``drain()``; the schedule and every result are
+bit-identical to the one-shot call:
+
+>>> streaming = AsyncGemmScheduler(fleet, max_batch=2)
+>>> for job in jobs:
+...     streaming.submit(job)
+>>> stream_report, stream_results = streaming.drain()
+>>> stream_report.makespan_cycles == report.makespan_cycles
+True
+>>> all(np.array_equal(a.result.output, b.result.output)
+...     for a, b in zip(stream_results, results))
+True
+
 Conv layers serve the same way — wrap the tensors in a :class:`ConvJob`
 and the scheduler prices, batches and executes the im2col-lowered GEMM,
 folding the result back to an OFMAP:
@@ -59,6 +85,12 @@ folding the result back to an OFMAP:
 
 from __future__ import annotations
 
+from repro.serve.fleet import (
+    FLEET_ARCHS,
+    WorkerSpec,
+    build_fleet,
+    parse_fleet_spec,
+)
 from repro.serve.job import (
     STATUS_COMPLETED,
     STATUS_REJECTED,
@@ -79,12 +111,16 @@ from repro.serve.queues import (
 from repro.serve.report import (
     ServeReport,
     TenantServeStats,
+    WorkerClassStats,
     WorkerStats,
     compile_serve_report,
     format_serve_report,
 )
 from repro.serve.scheduler import (
     DEFAULT_CLOCK_HZ,
+    PLACEMENT_PRICED,
+    PLACEMENT_RANDOM,
+    PLACEMENTS,
     AsyncGemmScheduler,
     planned_gemm_cycles,
     run_batch,
@@ -106,12 +142,20 @@ __all__ = [
     "AdmissionDecision",
     "QueuedJob",
     "WeightedFairQueue",
+    "FLEET_ARCHS",
+    "WorkerSpec",
+    "build_fleet",
+    "parse_fleet_spec",
     "ServeReport",
     "TenantServeStats",
+    "WorkerClassStats",
     "WorkerStats",
     "compile_serve_report",
     "format_serve_report",
     "DEFAULT_CLOCK_HZ",
+    "PLACEMENT_PRICED",
+    "PLACEMENT_RANDOM",
+    "PLACEMENTS",
     "AsyncGemmScheduler",
     "planned_gemm_cycles",
     "run_batch",

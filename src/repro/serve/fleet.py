@@ -1,0 +1,171 @@
+"""Fleet configuration for the serving layer, heterogeneous fleets included.
+
+The scheduler (:class:`repro.serve.scheduler.AsyncGemmScheduler`) takes a
+plain list of accelerator instances and groups them into *worker classes*
+by configuration.  This module owns the declarative side: a
+:class:`WorkerSpec` describes one group of identical workers (how many, the
+array geometry, the architecture, the Eq. 3 scale-out grid),
+:func:`parse_fleet_spec` reads the compact ``repro serve --fleet`` spec
+grammar, and :func:`build_fleet` instantiates the accelerators.
+
+The spec grammar is a comma-separated list of worker groups::
+
+    [COUNT*][ARCH:]ROWSxCOLS[@PRxPC]
+
+* ``COUNT`` — workers in the group (default 1);
+* ``ARCH`` — ``axon`` or ``systolic`` (default: the ``default_arch``
+  argument, ``axon``);
+* ``ROWSxCOLS`` — the array geometry;
+* ``@PRxPC`` — an optional Eq. 3 scale-out grid per worker.
+
+Examples
+--------
+>>> parse_fleet_spec("2*32x32,16x16@2x2")
+(WorkerSpec(rows=32, cols=32, count=2, arch='axon', scale_out=(1, 1)),\
+ WorkerSpec(rows=16, cols=16, count=1, arch='axon', scale_out=(2, 2)))
+>>> fleet = build_fleet(parse_fleet_spec("2*32x32,systolic:16x16@2x2"))
+>>> [worker.describe() for worker in fleet]
+['axon-32x32-OS-wavefront', 'axon-32x32-OS-wavefront', \
+'systolic-16x16-OS-wavefront-2x2']
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api import AxonAccelerator, SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.arch.dataflow import Dataflow
+from repro.engine import DEFAULT_ENGINE
+
+#: Architectures a worker group may name.
+FLEET_ARCHS = ("axon", "systolic")
+
+_GROUP_PATTERN = re.compile(
+    r"^(?:(?P<count>\d+)\*)?"
+    r"(?:(?P<arch>[a-zA-Z]+):)?"
+    r"(?P<rows>\d+)x(?P<cols>\d+)"
+    r"(?:@(?P<p_r>\d+)x(?P<p_c>\d+))?$"
+)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One group of identically configured workers in a fleet.
+
+    >>> WorkerSpec(rows=32, cols=32, count=4).label()
+    '4*axon:32x32'
+    >>> WorkerSpec(rows=16, cols=16, arch="systolic", scale_out=(2, 2)).label()
+    'systolic:16x16@2x2'
+    """
+
+    rows: int
+    cols: int
+    count: int = 1
+    arch: str = "axon"
+    scale_out: tuple[int, int] = (1, 1)
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError(f"worker count must be >= 1, got {self.count}")
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                f"array geometry must be positive, got {self.rows}x{self.cols}"
+            )
+        if self.arch not in FLEET_ARCHS:
+            raise ValueError(
+                f"unknown arch {self.arch!r}; expected one of "
+                f"{', '.join(FLEET_ARCHS)}"
+            )
+        if self.scale_out[0] < 1 or self.scale_out[1] < 1:
+            raise ValueError(
+                f"scale-out grid must be positive, got {self.scale_out!r}"
+            )
+
+    def label(self) -> str:
+        """The group back in spec-grammar form (round-trips the parser)."""
+        text = f"{self.arch}:{self.rows}x{self.cols}"
+        if self.count != 1:
+            text = f"{self.count}*{text}"
+        if self.scale_out != (1, 1):
+            text += "@{}x{}".format(*self.scale_out)
+        return text
+
+
+def parse_fleet_spec(
+    text: str, default_arch: str = "axon"
+) -> tuple[WorkerSpec, ...]:
+    """Parse a ``--fleet`` spec string into :class:`WorkerSpec` groups.
+
+    See the module docstring for the grammar.  Raises :class:`ValueError`
+    on malformed groups, naming the offending fragment.
+
+    >>> parse_fleet_spec("48x48", default_arch="systolic")
+    (WorkerSpec(rows=48, cols=48, count=1, arch='systolic', scale_out=(1, 1)),)
+    """
+    groups = [fragment.strip() for fragment in text.split(",") if fragment.strip()]
+    if not groups:
+        raise ValueError(f"empty fleet spec {text!r}")
+    specs = []
+    for fragment in groups:
+        match = _GROUP_PATTERN.match(fragment)
+        if match is None:
+            raise ValueError(
+                f"malformed fleet group {fragment!r}; expected "
+                f"[COUNT*][ARCH:]ROWSxCOLS[@PRxPC], e.g. '2*axon:32x32@2x2'"
+            )
+        p_r, p_c = match.group("p_r"), match.group("p_c")
+        specs.append(
+            WorkerSpec(
+                rows=int(match.group("rows")),
+                cols=int(match.group("cols")),
+                count=int(match.group("count") or 1),
+                arch=(match.group("arch") or default_arch).lower(),
+                scale_out=(int(p_r), int(p_c)) if p_r else (1, 1),
+            )
+        )
+    return tuple(specs)
+
+
+def build_fleet(
+    specs: Sequence[WorkerSpec],
+    *,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+    engine: str = DEFAULT_ENGINE,
+    zero_gating: bool = False,
+) -> list:
+    """Instantiate the accelerators a fleet spec describes, in spec order.
+
+    ``dataflow``, ``engine`` and ``zero_gating`` apply fleet-wide
+    (``zero_gating`` only affects Axon workers — the conventional array
+    never gates).  The returned list goes straight into
+    :class:`repro.serve.scheduler.AsyncGemmScheduler`.
+
+    >>> fleet = build_fleet([WorkerSpec(rows=8, cols=8, count=2)])
+    >>> len(fleet), fleet[0].config.rows
+    (2, 8)
+    """
+    fleet = []
+    for spec in specs:
+        config = ArrayConfig(spec.rows, spec.cols)
+        grid = None if spec.scale_out == (1, 1) else spec.scale_out
+        for _ in range(spec.count):
+            if spec.arch == "axon":
+                fleet.append(
+                    AxonAccelerator(
+                        config,
+                        dataflow,
+                        zero_gating=zero_gating,
+                        engine=engine,
+                        scale_out=grid,
+                    )
+                )
+            else:
+                fleet.append(
+                    SystolicAccelerator(
+                        config, dataflow, engine=engine, scale_out=grid
+                    )
+                )
+    return fleet

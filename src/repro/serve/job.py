@@ -236,11 +236,14 @@ class JobResult:
     """Outcome of one served (or rejected) job.
 
     ``result`` is the exact :class:`RunResult` a direct ``run_gemm`` call
-    would have produced — bit-exact output, identical counters — and is
-    ``None`` only for jobs the admission controller rejected.  The cycle
-    fields are simulated-clock instants: ``latency_cycles`` is
-    arrival-to-finish (queueing included), ``queue_cycles`` the portion
-    spent waiting for a worker.
+    *on the worker that hosted the job* would have produced — bit-exact
+    output, identical counters — and is ``None`` only for jobs the
+    admission controller rejected.  On a heterogeneous fleet
+    ``worker_class`` records that worker's configuration label
+    (:meth:`repro.api._AcceleratorBase.describe`).  The cycle fields are
+    simulated-clock instants: ``latency_cycles`` is arrival-to-finish
+    (queueing included), ``queue_cycles`` the portion spent waiting for a
+    worker.
     """
 
     job_id: str
@@ -253,6 +256,7 @@ class JobResult:
     start_cycle: int | None = None
     finish_cycle: int | None = None
     worker_id: int | None = None
+    worker_class: str | None = None
     batch_id: int | None = None
     batch_size: int = 0
     deadline_hint_cycles: int | None = None
@@ -303,6 +307,7 @@ class JobResult:
                 None if self.latency_cycles is None else int(self.latency_cycles)
             ),
             "worker_id": self.worker_id,
+            "worker_class": self.worker_class,
             "batch_id": self.batch_id,
             "batch_size": self.batch_size,
             "deadline_hint_cycles": self.deadline_hint_cycles,

@@ -116,11 +116,18 @@ class AdmissionController:
 
 @dataclass(frozen=True)
 class QueuedJob:
-    """A job waiting in the fair queue, with its admission pricing."""
+    """A job waiting in the fair queue, with its admission pricing.
+
+    ``enqueued_cycle`` is the simulated instant the job entered the queue —
+    its arrival cycle, or the stream planner's horizon for jobs submitted
+    late (:meth:`repro.serve.scheduler.AsyncGemmScheduler.submit`).  The
+    batching window measures its deadline from this instant.
+    """
 
     job: AnyJob
     priced_cycles: int
     deprioritized: bool = False
+    enqueued_cycle: int = 0
 
 
 @dataclass
@@ -207,6 +214,43 @@ class WeightedFairQueue:
         consult it per batch without rescanning the backlog.
         """
         return self._queued_priced_cycles
+
+    def peek_head(self) -> QueuedJob | None:
+        """The entry :meth:`next_batch` would serve next, without dequeuing.
+
+        Follows the same selection rule — the non-empty in-budget tenant
+        with the least virtual time, the deprioritized backlog otherwise —
+        but charges nothing, so the dispatcher can inspect the head job's
+        shape and queue-entry cycle (for batching-window deadlines and
+        placement pricing) before committing to a dispatch.  Returns None
+        on an empty queue.
+        """
+        tenant = self._select_tenant()
+        if tenant is not None:
+            return tenant.jobs[0]
+        if self._backlog:
+            return self._backlog[0]
+        return None
+
+    def count_shape(self, shape: tuple[int, int, int]) -> int:
+        """Queued jobs of the given GEMM shape that could share a batch now.
+
+        An O(queue) scan the dispatcher uses to close a batching window
+        early: once a full batch of the head's shape is waiting, there is
+        nothing left to wait for.  Deprioritized backlog jobs only count
+        when every in-budget queue is empty — :meth:`next_batch` cannot
+        batch them otherwise, so counting them would close windows on
+        mates the dispatch could not actually gather.
+        """
+        active = self._active_tenants()
+        if active:
+            return sum(
+                1
+                for queue in active
+                for entry in queue.jobs
+                if entry.job.shape == shape
+            )
+        return sum(1 for entry in self._backlog if entry.job.shape == shape)
 
     def next_batch(
         self, max_batch: int = 1, cycle_budget: int | None = None

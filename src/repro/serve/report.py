@@ -4,14 +4,18 @@ A :class:`ServeReport` condenses one serving run into the numbers an
 operator actually watches: per-tenant p50/p95 simulated latency and
 throughput, per-worker utilization over the makespan, batching efficiency,
 admission outcomes and the estimate-cache hit rate the admission controller
-achieved.  Everything is JSON-serializable (``repro serve --json``) and
-printable (:func:`format_serve_report`).
+achieved.  On heterogeneous fleets the same latency/utilization breakdown
+is additionally rolled up per *worker class*
+(:class:`WorkerClassStats`), and the report records the fleet description,
+the batching-window setting and the placement policy so a ``--json``
+artifact is self-describing.  Everything is JSON-serializable
+(``repro serve --json``) and printable (:func:`format_serve_report`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.latency import LatencySummary, summarize_latencies
 from repro.analysis.reports import format_table
@@ -20,13 +24,19 @@ from repro.serve.job import JobResult
 
 @dataclass(frozen=True)
 class WorkerStats:
-    """One fleet member's share of the run."""
+    """One fleet member's share of the run.
+
+    ``worker_class`` is the worker's configuration label
+    (:meth:`repro.api._AcceleratorBase.describe`); on a homogeneous fleet
+    every worker carries the same one.
+    """
 
     worker_id: int
     jobs: int
     batches: int
     busy_cycles: int
     utilization: float
+    worker_class: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -35,6 +45,37 @@ class WorkerStats:
             "batches": self.batches,
             "busy_cycles": int(self.busy_cycles),
             "utilization": self.utilization,
+            "worker_class": self.worker_class,
+        }
+
+
+@dataclass(frozen=True)
+class WorkerClassStats:
+    """One worker class's share of the run (heterogeneous-fleet rollup).
+
+    Aggregates every fleet member of the class: ``utilization`` is the
+    class's mean per-worker utilization over the makespan, ``latency``
+    summarizes the simulated arrival-to-finish cycles of the jobs the
+    class completed (None when it ran nothing).
+    """
+
+    worker_class: str
+    workers: int
+    jobs: int
+    batches: int
+    busy_cycles: int
+    utilization: float
+    latency: LatencySummary | None
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_class": self.worker_class,
+            "workers": self.workers,
+            "jobs": self.jobs,
+            "batches": self.batches,
+            "busy_cycles": int(self.busy_cycles),
+            "utilization": self.utilization,
+            "latency_cycles": None if self.latency is None else self.latency.to_dict(),
         }
 
 
@@ -78,7 +119,14 @@ class TenantServeStats:
 
 @dataclass(frozen=True)
 class ServeReport:
-    """Aggregate outcome of one serving run."""
+    """Aggregate outcome of one serving run.
+
+    ``fleet`` lists each worker's class label in fleet order,
+    ``batch_window_cycles`` / ``placement`` echo the scheduler's batching
+    window and placement policy, and ``worker_class_stats`` breaks
+    utilization and latency down per worker class — together they make a
+    serialized report self-describing.
+    """
 
     jobs_submitted: int
     jobs_completed: int
@@ -94,6 +142,10 @@ class ServeReport:
     cache_misses: int
     tenants: tuple[TenantServeStats, ...]
     workers: tuple[WorkerStats, ...]
+    fleet: tuple[str, ...] = ()
+    batch_window_cycles: int | None = None
+    placement: str = "priced"
+    worker_class_stats: tuple[WorkerClassStats, ...] = ()
 
     @property
     def simulated_seconds(self) -> float:
@@ -128,6 +180,9 @@ class ServeReport:
             "batched_jobs": self.batched_jobs,
             "max_batch": self.max_batch,
             "fleet_size": self.fleet_size,
+            "fleet": list(self.fleet),
+            "batch_window_cycles": self.batch_window_cycles,
+            "placement": self.placement,
             "makespan_cycles": int(self.makespan_cycles),
             "clock_hz": self.clock_hz,
             "simulated_seconds": self.simulated_seconds,
@@ -139,7 +194,51 @@ class ServeReport:
             "mean_worker_utilization": self.mean_worker_utilization,
             "tenants": [tenant.to_dict() for tenant in self.tenants],
             "workers": [worker.to_dict() for worker in self.workers],
+            "worker_classes": [
+                stats.to_dict() for stats in self.worker_class_stats
+            ],
         }
+
+
+def _compile_class_stats(
+    results: Sequence[JobResult],
+    workers: Sequence[WorkerStats],
+    makespan: int,
+) -> tuple[WorkerClassStats, ...]:
+    """Roll per-worker counters and per-job latencies up to worker classes."""
+    class_order: list[str] = []
+    members: dict[str, list[WorkerStats]] = {}
+    for worker in workers:
+        if worker.worker_class not in members:
+            class_order.append(worker.worker_class)
+            members[worker.worker_class] = []
+        members[worker.worker_class].append(worker)
+    by_worker_id = {worker.worker_id: worker.worker_class for worker in workers}
+
+    latencies: dict[str, list[int]] = {label: [] for label in class_order}
+    for result in results:
+        if result.completed and result.worker_id in by_worker_id:
+            latencies[by_worker_id[result.worker_id]].append(result.latency_cycles)
+
+    stats = []
+    for label in class_order:
+        group = members[label]
+        busy = sum(worker.busy_cycles for worker in group)
+        population = latencies[label]
+        stats.append(
+            WorkerClassStats(
+                worker_class=label,
+                workers=len(group),
+                jobs=sum(worker.jobs for worker in group),
+                batches=sum(worker.batches for worker in group),
+                busy_cycles=busy,
+                utilization=(
+                    busy / (len(group) * makespan) if makespan else 0.0
+                ),
+                latency=summarize_latencies(population) if population else None,
+            )
+        )
+    return tuple(stats)
 
 
 def compile_serve_report(
@@ -152,6 +251,9 @@ def compile_serve_report(
     wall_seconds: float,
     cache_hits: int,
     cache_misses: int,
+    fleet: Sequence[str] = (),
+    batch_window_cycles: int | None = None,
+    placement: str = "priced",
 ) -> ServeReport:
     """Fold per-job results and worker counters into a :class:`ServeReport`."""
     results = sorted(job_results, key=lambda r: r.job_id)
@@ -212,11 +314,19 @@ def compile_serve_report(
         cache_misses=cache_misses,
         tenants=tuple(tenants),
         workers=workers,
+        fleet=tuple(fleet),
+        batch_window_cycles=batch_window_cycles,
+        placement=placement,
+        worker_class_stats=_compile_class_stats(results, workers, makespan),
     )
 
 
 def format_serve_report(report: ServeReport) -> str:
-    """Operator-readable tables: run summary, per-tenant SLOs, per-worker."""
+    """Operator-readable tables: run summary, per-tenant SLOs, per-worker.
+
+    Heterogeneous fleets (more than one worker class) get an additional
+    per-class rollup table between the tenant and worker tables.
+    """
     summary = format_table(
         ("metric", "value"),
         [
@@ -226,6 +336,12 @@ def format_serve_report(report: ServeReport) -> str:
             ("batches", report.batches),
             ("jobs sharing a batch", report.batched_jobs),
             ("fleet size", report.fleet_size),
+            ("worker classes", max(len(report.worker_class_stats), 1)),
+            (
+                "batching window (cycles)",
+                "-" if not report.batch_window_cycles else report.batch_window_cycles,
+            ),
+            ("placement", report.placement),
             ("makespan (cycles)", report.makespan_cycles),
             ("simulated throughput (jobs/s)", round(report.jobs_per_second, 2)),
             ("mean worker utilization", round(report.mean_worker_utilization, 4)),
@@ -259,11 +375,49 @@ def format_serve_report(report: ServeReport) -> str:
         ),
         tenant_rows,
     )
+    sections = [summary, tenants]
+    if len(report.worker_class_stats) > 1:
+        class_rows = [
+            (
+                c.worker_class,
+                c.workers,
+                c.jobs,
+                c.batches,
+                "-" if c.latency is None else int(c.latency.p50),
+                "-" if c.latency is None else int(c.latency.p95),
+                round(c.utilization, 4),
+            )
+            for c in report.worker_class_stats
+        ]
+        sections.append(
+            format_table(
+                (
+                    "worker class",
+                    "workers",
+                    "jobs",
+                    "batches",
+                    "p50 latency",
+                    "p95 latency",
+                    "utilization",
+                ),
+                class_rows,
+            )
+        )
     worker_rows = [
-        (w.worker_id, w.jobs, w.batches, w.busy_cycles, round(w.utilization, 4))
+        (
+            w.worker_id,
+            w.worker_class or "-",
+            w.jobs,
+            w.batches,
+            w.busy_cycles,
+            round(w.utilization, 4),
+        )
         for w in report.workers
     ]
-    workers = format_table(
-        ("worker", "jobs", "batches", "busy cycles", "utilization"), worker_rows
+    sections.append(
+        format_table(
+            ("worker", "class", "jobs", "batches", "busy cycles", "utilization"),
+            worker_rows,
+        )
     )
-    return "\n\n".join([summary, tenants, workers])
+    return "\n\n".join(sections)

@@ -1,24 +1,44 @@
-"""Async multi-tenant GEMM dispatcher over a simulated-clock fleet.
+"""Online multi-tenant GEMM dispatcher over a simulated-clock fleet.
 
-:class:`AsyncGemmScheduler` packs :class:`repro.serve.job.Job` streams onto
-a homogeneous fleet of accelerator instances (:class:`SystolicAccelerator`
-or :class:`AxonAccelerator`, single arrays or ``scale_out=(P_R, P_C)``
-grids).  Convolution jobs (:class:`repro.serve.job.ConvJob`) ride the same
-machinery: they arrive already im2col-lowered, are priced and batched by
-their lowered GEMM shape, and fold their output back into an OFMAP at
-result-assembly time.  Two clocks are involved, deliberately decoupled:
+:class:`AsyncGemmScheduler` dispatches :class:`repro.serve.job.Job` streams
+onto a fleet of accelerator instances (:class:`SystolicAccelerator` or
+:class:`AxonAccelerator`, single arrays or ``scale_out=(P_R, P_C)`` grids).
+The fleet may be **heterogeneous**: workers of distinct array geometry,
+dataflow, engine or scale-out grid form *worker classes* (grouped by
+:meth:`repro.api._AcceleratorBase.describe`), and the placement policy
+prices every (job-shape, worker-class) pair through the shared estimate
+cache to put each batch where it finishes soonest (see
+:mod:`repro.serve.fleet` for fleet construction helpers).  Convolution jobs
+(:class:`repro.serve.job.ConvJob`) ride the same machinery: they arrive
+already im2col-lowered, are priced and batched by their lowered GEMM shape,
+and fold their output back into an OFMAP at result-assembly time.
+
+Jobs can be served **one-shot** (hand a whole trace to :meth:`serve`) or
+**streamed online**: :meth:`~AsyncGemmScheduler.submit` feeds jobs one at a
+time, the planner admits, queues, batches and dispatches them as the
+simulated clock reaches each ``arrival_cycle``, and
+:meth:`~AsyncGemmScheduler.drain` closes the stream and returns the report.
+``serve()`` is literally "submit everything in arrival order, then drain",
+so the two paths produce bit-identical schedules and results.  A *batching
+window* (``batch_window_cycles``) lets an idle worker hold a young batch
+open for same-shape mates that arrive within the window — batches close on
+that cycle deadline (or when a full batch is waiting), never by waiting for
+the rest of the trace.
+
+Two clocks are involved, deliberately decoupled:
 
 * **Simulated clock** — drives all scheduling semantics.  Job arrivals,
-  weighted-fair dequeue, batch formation, worker occupancy, per-tenant
-  latency and the run's makespan are all computed in accelerator cycles
-  from the closed-form tile accounting
+  weighted-fair dequeue, batch formation, batching-window deadlines, worker
+  occupancy, per-tenant latency and the run's makespan are all computed in
+  accelerator cycles from the closed-form tile accounting
   (:func:`repro.engine.batched.gemm_cycle_accounting`), which is exactly
-  what ``run_gemm`` would report.  The schedule is therefore deterministic:
-  it depends only on the trace, the fleet and the policies — never on host
-  thread timing.
+  what ``run_gemm`` would report on the hosting worker's class.  The
+  schedule is therefore deterministic: it depends only on the trace, the
+  fleet and the policies — never on host thread timing.
 * **Host wall clock** — the numerics (the actual matrices) execute through
-  an ``asyncio`` dispatch loop over a thread-pool executor, one submission
-  per scheduled batch, so independent batches overlap on the host.
+  a thread-pool executor, one submission per scheduled batch, so
+  independent batches overlap on the host (streamed batches start executing
+  the moment their dispatch is final, before ``drain()`` is even called).
   Same-shape batches run as one stacked ``np.matmul`` with the tile-group
   accounting computed once for the whole batch (verified at import against
   per-slice BLAS — the outputs stay bit-exact with direct ``run_gemm``;
@@ -27,8 +47,9 @@ result-assembly time.  Two clocks are involved, deliberately decoupled:
 
 Every completed :class:`JobResult` carries a :class:`repro.api.RunResult`
 that is bit-exact — output matrix and every counter — with what a direct
-``accelerator.run_gemm(job.a, job.b)`` call returns; the scheduler asserts
-the planned cycles against the executed cycles and refuses to mis-report.
+``run_gemm(job.a, job.b)`` call on the hosting worker returns; the
+scheduler asserts the planned cycles against the executed cycles and
+refuses to mis-report.
 """
 
 from __future__ import annotations
@@ -37,7 +58,7 @@ import asyncio
 import heapq
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -62,6 +83,11 @@ from repro.serve.report import ServeReport, WorkerStats, compile_serve_report
 
 #: Default simulated clock for cycle -> second conversions (1 GHz).
 DEFAULT_CLOCK_HZ = 1e9
+
+#: Placement policies for heterogeneous fleets.
+PLACEMENT_PRICED = "priced"
+PLACEMENT_RANDOM = "random"
+PLACEMENTS = (PLACEMENT_PRICED, PLACEMENT_RANDOM)
 
 _STACKED_PROBE: bool | None = None
 
@@ -205,16 +231,259 @@ class _WorkerLedger:
     busy_cycles: int = 0
 
 
+class _OnlinePlanner:
+    """Incremental simulated-clock planner behind ``submit()`` and ``serve()``.
+
+    Jobs are *offered* one at a time in arrival order; the planner advances
+    the simulated clock to each arrival, firing every worker wake event
+    strictly before it, so a dispatch at simulated cycle ``T`` only ever
+    sees jobs whose arrival is ``<= T`` — exactly the information an online
+    system has.  ``finish()`` marks the end of the stream and fires the
+    remaining events (batching windows still run to their deadlines; the
+    simulated clock does not know the stream ended).
+
+    Worker life cycle: every worker is *idle* (parked, no pending event)
+    until work could exist for it, *waking* (an event in the heap — because
+    it finished a batch, a job arrived, a batching window closed, or a
+    cheaper busy sibling is about to free up), or *busy* until
+    ``_free_at``.  Stale wake events are invalidated lazily via the
+    ``_wake`` map.
+    """
+
+    def __init__(self, scheduler: "AsyncGemmScheduler"):
+        self._s = scheduler
+        fleet_size = len(scheduler.fleet)
+        self.admission = AdmissionController(
+            scheduler.price_job, scheduler.budgets, scheduler.admission_policy
+        )
+        self.queue = WeightedFairQueue(scheduler.weights)
+        self.ledgers = {wid: _WorkerLedger(wid) for wid in range(fleet_size)}
+        self.batches: list[_ScheduledBatch] = []
+        self.rejected: list[JobResult] = []
+        self.tenants: set[str] = set()
+        self.seen_ids: set[str] = set()
+        self.horizon = 0
+        self.finished = False
+        self._free_at = [0] * fleet_size
+        self._heap: list[tuple[int, int]] = []
+        self._wake: dict[int, int] = {}
+        self._idle = set(range(fleet_size))
+        self._window_wait: set[int] = set()
+        # Only the "random" placement baseline draws from this; the priced
+        # policy is deterministic without it.
+        self._rng = np.random.default_rng(scheduler.placement_seed)
+
+    # -- event plumbing ---------------------------------------------------
+
+    def _schedule_wake(self, worker_id: int, cycle: int) -> None:
+        self._idle.discard(worker_id)
+        self._wake[worker_id] = cycle
+        heapq.heappush(self._heap, (cycle, worker_id))
+
+    def _advance(self, limit: int | None) -> None:
+        """Fire wake events strictly before ``limit`` (all when None).
+
+        Strictly before: a worker waking at exactly an arrival instant must
+        see that arrival queued first, which happens right after this call.
+        """
+        while self._heap:
+            cycle, worker_id = self._heap[0]
+            if limit is not None and cycle >= limit:
+                break
+            heapq.heappop(self._heap)
+            if self._wake.get(worker_id) != cycle:
+                continue  # superseded by a later (or earlier) reschedule
+            del self._wake[worker_id]
+            self._window_wait.discard(worker_id)
+            self._on_wake(worker_id, cycle)
+
+    # -- the streaming interface ------------------------------------------
+
+    def offer(self, job: AnyJob) -> None:
+        """Admit one job at its arrival cycle and plan up to that instant.
+
+        Jobs should be offered in ``(arrival_cycle, job_id)`` order; a job
+        offered late (arrival before the current planning horizon) is
+        enqueued at the horizon instead — already-planned dispatches are
+        never revised.
+        """
+        if self.finished:
+            raise RuntimeError("stream already drained; start a new one")
+        if job.job_id in self.seen_ids:
+            raise ValueError(f"duplicate job_id {job.job_id!r} in trace")
+        self.seen_ids.add(job.job_id)
+        self.tenants.add(job.tenant)
+        self._advance(job.arrival_cycle)
+        entry_cycle = max(job.arrival_cycle, self.horizon)
+        self.horizon = entry_cycle
+
+        decision = self.admission.admit(job)
+        if not decision.admitted:
+            self.rejected.append(
+                JobResult(
+                    job_id=job.job_id,
+                    tenant=job.tenant,
+                    name=job.name,
+                    status=STATUS_REJECTED,
+                    priced_cycles=decision.priced_cycles,
+                    arrival_cycle=job.arrival_cycle,
+                    deadline_hint_cycles=job.deadline_hint_cycles,
+                )
+            )
+            return
+        self.queue.push(
+            QueuedJob(
+                job,
+                decision.priced_cycles,
+                decision.deprioritized,
+                enqueued_cycle=entry_cycle,
+            )
+        )
+        # Work exists again: idle workers become dispatch candidates the
+        # moment this job is visible.
+        for worker_id in sorted(self._idle):
+            self._schedule_wake(
+                worker_id, max(self._free_at[worker_id], entry_cycle)
+            )
+        # Early window close: once a full batch of this shape is waiting,
+        # a window-holding worker has nothing left to wait for.
+        if self._window_wait and self.queue.count_shape(job.shape) >= self._s.max_batch:
+            for worker_id in sorted(self._window_wait):
+                self._schedule_wake(
+                    worker_id, max(self._free_at[worker_id], entry_cycle)
+                )
+            self._window_wait.clear()
+
+    def finish(self):
+        """End the stream and fire every remaining event.
+
+        Returns ``(batches, rejected, ledgers)``; idempotent.
+        """
+        if not self.finished:
+            self.finished = True
+            self._advance(None)
+        return self.batches, self.rejected, self.ledgers
+
+    # -- dispatch decisions -----------------------------------------------
+
+    def _on_wake(self, worker_id: int, cycle: int) -> None:
+        scheduler = self._s
+        while True:
+            head = self.queue.peek_head()
+            if head is None:
+                self._idle.add(worker_id)
+                return
+            window = scheduler.batch_window_cycles
+            if window:
+                # The head's batching window: hold the dispatch open until
+                # `enqueued + window` for same-shape mates, unless a full
+                # batch is already waiting.
+                deadline = head.enqueued_cycle + window
+                if (
+                    cycle < deadline
+                    and self.queue.count_shape(head.job.shape) < scheduler.max_batch
+                ):
+                    self._schedule_wake(worker_id, deadline)
+                    self._window_wait.add(worker_id)
+                    return
+            target, defer_until = self._place(head.job.shape, cycle)
+            if target is None:
+                self._schedule_wake(worker_id, defer_until)
+                return
+            self._dispatch(target, cycle)
+            if target == worker_id:
+                return
+            # This worker stayed free (a sibling out-priced it for that
+            # shape); let it try to host the next head-of-line batch.
+
+    def _place(self, shape, cycle: int):
+        """Choose the worker to host the head batch, or defer.
+
+        Ranks worker classes by the estimate-cache price of ``shape``
+        (:meth:`AsyncGemmScheduler.placement_cost`) and returns
+        ``(worker_id, None)`` for the free worker with the soonest priced
+        finish — or ``(None, wake_cycle)`` when a *busy* worker would still
+        finish the job sooner than any free one, in which case the caller
+        parks until that worker frees up.  Under the ``"random"`` baseline
+        the batch lands on a uniformly drawn worker instead.
+        """
+        scheduler = self._s
+        fleet_size = len(scheduler.fleet)
+        if scheduler.placement == PLACEMENT_RANDOM:
+            return int(self._rng.integers(fleet_size)), None
+        costs = [
+            scheduler.placement_cost(shape, worker_id)
+            for worker_id in range(fleet_size)
+        ]
+        free = [v for v in range(fleet_size) if self._free_at[v] <= cycle]
+        best_free = min(free, key=lambda v: (costs[v], v))
+        best_free_finish = cycle + costs[best_free]
+        busy = [
+            (self._free_at[v] + costs[v], self._free_at[v], v)
+            for v in range(fleet_size)
+            if self._free_at[v] > cycle
+        ]
+        if busy:
+            finish, frees_at, _ = min(busy)
+            if finish < best_free_finish:
+                # Waiting for the faster sibling beats starting now on the
+                # best free worker; re-evaluate when it frees (strictly
+                # later, so the event loop always makes progress).
+                return None, frees_at
+        return best_free, None
+
+    def _dispatch(self, target: int, cycle: int) -> None:
+        scheduler = self._s
+        # Adaptive batch bound: a batch occupies its worker for the sum of
+        # its jobs' cycles, so hoarding the whole backlog would idle the
+        # siblings that free up mid-batch and stretch the makespan.  Cap
+        # each batch at one fair slice (1/fleet) of the queued work; deep
+        # backlogs still batch to max_batch.
+        budget = -(-self.queue.total_priced_cycles() // len(scheduler.fleet))
+        entries = tuple(
+            self.queue.next_batch(scheduler.max_batch, cycle_budget=budget)
+        )
+        job_cycles = tuple(
+            scheduler.planned_job_cycles(entry.job, target) for entry in entries
+        )
+        batch = _ScheduledBatch(
+            batch_id=len(self.batches),
+            worker_id=target,
+            start_cycle=max(cycle, self._free_at[target]),
+            entries=entries,
+            job_cycles=job_cycles,
+        )
+        self.batches.append(batch)
+        ledger = self.ledgers[target]
+        ledger.jobs += len(entries)
+        ledger.batches += 1
+        ledger.busy_cycles += batch.total_cycles
+        self._free_at[target] = batch.finish_cycle
+        self._schedule_wake(target, batch.finish_cycle)
+
+
+@dataclass
+class _StreamState:
+    """One open ``submit()`` stream: its planner and eager executions."""
+
+    planner: _OnlinePlanner
+    pool: ThreadPoolExecutor
+    futures: list = field(default_factory=list)
+    wall_start: float = 0.0
+    cache_before: object = None
+
+
 class AsyncGemmScheduler:
     """Schedules many concurrent GEMM jobs across an accelerator fleet.
 
     Parameters
     ----------
     fleet:
-        One or more accelerator instances.  The fleet must be homogeneous
-        (same array shape, dataflow, orchestration, engine and scale-out
-        grid) so any job can run on any worker with identical results —
-        which is what makes the simulated schedule meaningful.
+        One or more accelerator instances.  The fleet may be heterogeneous:
+        workers are grouped into *classes* by configuration
+        (:meth:`repro.api._AcceleratorBase.describe`), each class has its
+        own per-shape cycle costs, and the placement policy decides which
+        class hosts each batch.
     max_batch:
         Upper bound on jobs per dispatched batch (same-shape jobs are
         packed together; 1 disables batching).
@@ -228,6 +497,22 @@ class AsyncGemmScheduler:
     clock_hz:
         Simulated clock frequency used to convert cycles to seconds in the
         report.
+    batch_window_cycles:
+        Batching window: an idle worker holds a young head-of-line batch
+        open for up to this many simulated cycles past its queue entry,
+        gathering same-shape mates that arrive within the window, then
+        dispatches at the deadline (earlier when a full batch is already
+        waiting).  ``None`` or 0 (default) disables the wait — a worker
+        dispatches the moment it is free, which is also the pre-streaming
+        planner's behavior.
+    placement:
+        ``"priced"`` (default) places each batch on the worker with the
+        soonest estimated finish, pricing every (job-shape, worker-class)
+        pair through the shared estimate cache; ``"random"`` assigns
+        uniformly at random (the baseline heterogeneous placement is
+        benchmarked against).
+    placement_seed:
+        Seed for the ``"random"`` placement baseline (ignored otherwise).
     """
 
     def __init__(
@@ -239,28 +524,53 @@ class AsyncGemmScheduler:
         budgets: Mapping[str, int] | None = None,
         admission_policy: str = POLICY_DEPRIORITIZE,
         clock_hz: float = DEFAULT_CLOCK_HZ,
+        batch_window_cycles: int | None = None,
+        placement: str = PLACEMENT_PRICED,
+        placement_seed: int = 0,
     ):
         fleet = list(fleet)
         if not fleet:
             raise ValueError("fleet must contain at least one accelerator")
-        signature = self._worker_signature(fleet[0])
-        for worker in fleet[1:]:
-            if self._worker_signature(worker) != signature:
-                raise ValueError(
-                    "fleet must be homogeneous (same array shape, dataflow, "
-                    "orchestration, engine and scale-out grid on every worker)"
-                )
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if clock_hz <= 0:
             raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+        if batch_window_cycles is not None and batch_window_cycles < 0:
+            raise ValueError(
+                f"batch_window_cycles must be >= 0, got {batch_window_cycles}"
+            )
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; "
+                f"expected one of {', '.join(PLACEMENTS)}"
+            )
         self.fleet = fleet
         self.max_batch = max_batch
         self.weights = dict(weights or {})
         self.budgets = dict(budgets or {})
         self.admission_policy = admission_policy
         self.clock_hz = clock_hz
-        self._planned_cycles_memo: dict[tuple[int, int, int], int] = {}
+        self.batch_window_cycles = batch_window_cycles
+        self.placement = placement
+        self.placement_seed = placement_seed
+        # Group the fleet into worker classes: workers with identical
+        # signatures run any job identically, so one representative per
+        # class prices and plans for all of them.
+        signatures: list[tuple] = []
+        self._class_reps: list = []
+        self._worker_class_ids: list[int] = []
+        for worker in fleet:
+            signature = self._worker_signature(worker)
+            try:
+                index = signatures.index(signature)
+            except ValueError:
+                index = len(signatures)
+                signatures.append(signature)
+                self._class_reps.append(worker)
+            self._worker_class_ids.append(index)
+        self.worker_classes = tuple(rep.describe() for rep in self._class_reps)
+        self._planned_cycles_memo: dict[tuple, int] = {}
+        self._stream: _StreamState | None = None
 
     @staticmethod
     def _worker_signature(accelerator) -> tuple:
@@ -274,125 +584,172 @@ class AsyncGemmScheduler:
             accelerator.scale_out,
         )
 
+    @property
+    def fleet_description(self) -> tuple[str, ...]:
+        """Per-worker class labels, in fleet order (for the report)."""
+        return tuple(
+            self.worker_classes[class_id] for class_id in self._worker_class_ids
+        )
+
+    def worker_class(self, worker_id: int) -> str:
+        """The class label of one fleet member."""
+        return self.worker_classes[self._worker_class_ids[worker_id]]
+
     # -- pricing ----------------------------------------------------------
 
     def price_job(self, job: AnyJob) -> int:
-        """Admission price: the Eq. 2/3 analytical estimate (memoized in
-        the shared estimate cache, so steady-state traffic is all hits)."""
-        return self.fleet[0].estimate_gemm_cycles(job.m, job.k, job.n)
+        """Admission price: the best-case placement of the job's shape.
 
-    def _planned_cycles(self, job: AnyJob) -> int:
-        shape = job.shape
-        cycles = self._planned_cycles_memo.get(shape)
+        The minimum over worker classes of the Eq. 2/3 analytical estimate
+        (each memoized in the shared estimate cache, so steady-state
+        traffic is all hits).  On a homogeneous fleet this is exactly the
+        single-class estimate the pre-streaming scheduler charged.
+        """
+        return min(
+            rep.estimate_gemm_cycles(job.m, job.k, job.n)
+            for rep in self._class_reps
+        )
+
+    def placement_cost(self, shape: tuple[int, int, int], worker_id: int) -> int:
+        """Estimate-cache price of one job of ``shape`` on this worker.
+
+        The (job-shape, worker-class) pricing the placement policy ranks
+        candidate hosts by; repeated lookups are estimate-cache hits.
+        """
+        rep = self._class_reps[self._worker_class_ids[worker_id]]
+        return rep.estimate_gemm_cycles(*shape)
+
+    def planned_job_cycles(self, job: AnyJob, worker_id: int) -> int:
+        """Tile-exact cycles ``job`` will occupy this worker for (memoized).
+
+        This is what the executed :class:`RunResult` will report on that
+        worker's class, so planned finish times are asserted against
+        execution.
+        """
+        key = (job.shape, self._worker_class_ids[worker_id])
+        cycles = self._planned_cycles_memo.get(key)
         if cycles is None:
-            cycles = planned_gemm_cycles(self.fleet[0], *shape)
-            self._planned_cycles_memo[shape] = cycles
+            rep = self._class_reps[self._worker_class_ids[worker_id]]
+            cycles = planned_gemm_cycles(rep, *job.shape)
+            self._planned_cycles_memo[key] = cycles
         return cycles
 
-    # -- planning (simulated clock) ---------------------------------------
+    # -- streaming API (online arrivals) -----------------------------------
 
-    def _plan(
-        self, jobs: Sequence[AnyJob]
-    ) -> tuple[list[_ScheduledBatch], list[JobResult], dict[int, _WorkerLedger]]:
-        """Build the deterministic simulated-clock schedule.
-
-        Event loop over (worker-free, job-arrival) instants: the earliest
-        free worker pulls the weighted-fair head-of-line job — plus up to
-        ``max_batch - 1`` queued same-shape mates — the moment both it and
-        work are available.  Returns the planned batches, the rejected
-        jobs' results, and per-worker occupancy ledgers.
-        """
-        arrivals = sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id))
-        seen: set[str] = set()
-        for job in arrivals:
-            if job.job_id in seen:
-                raise ValueError(f"duplicate job_id {job.job_id!r} in trace")
-            seen.add(job.job_id)
-
-        admission = AdmissionController(
-            self.price_job, self.budgets, self.admission_policy
-        )
-        queue = WeightedFairQueue(self.weights)
-        ledgers = {wid: _WorkerLedger(wid) for wid in range(len(self.fleet))}
-        heap: list[tuple[int, int]] = [(0, wid) for wid in range(len(self.fleet))]
-        heapq.heapify(heap)
-
-        rejected: list[JobResult] = []
-        batches: list[_ScheduledBatch] = []
-        index = 0
-
-        def admit_through(cycle: int) -> int:
-            nonlocal index
-            while index < len(arrivals) and arrivals[index].arrival_cycle <= cycle:
-                job = arrivals[index]
-                index += 1
-                decision = admission.admit(job)
-                if not decision.admitted:
-                    rejected.append(
-                        JobResult(
-                            job_id=job.job_id,
-                            tenant=job.tenant,
-                            name=job.name,
-                            status=STATUS_REJECTED,
-                            priced_cycles=decision.priced_cycles,
-                            arrival_cycle=job.arrival_cycle,
-                            deadline_hint_cycles=job.deadline_hint_cycles,
-                        )
-                    )
-                    continue
-                queue.push(
-                    QueuedJob(job, decision.priced_cycles, decision.deprioritized)
-                )
-            return cycle
-
-        while True:
-            free_at, worker_id = heapq.heappop(heap)
-            clock = admit_through(free_at)
-            if not len(queue):
-                if index >= len(arrivals):
-                    heapq.heappush(heap, (free_at, worker_id))
-                    break
-                # The fleet is idle: fast-forward to the next arrival.
-                clock = admit_through(arrivals[index].arrival_cycle)
-                if not len(queue):  # every arrival at that instant was rejected
-                    heapq.heappush(heap, (max(free_at, clock), worker_id))
-                    continue
-                clock = max(free_at, clock)
-            # Adaptive batch bound: a batch occupies this worker for the sum
-            # of its jobs' cycles, so hoarding the whole backlog would idle
-            # the siblings that free up mid-batch and stretch the makespan.
-            # Cap each batch at this worker's fair slice (1/fleet) of the
-            # queued work; deep backlogs still batch to max_batch.
-            budget = -(-queue.total_priced_cycles() // len(self.fleet))
-            entries = tuple(queue.next_batch(self.max_batch, cycle_budget=budget))
-            job_cycles = tuple(self._planned_cycles(entry.job) for entry in entries)
-            batch = _ScheduledBatch(
-                batch_id=len(batches),
-                worker_id=worker_id,
-                start_cycle=clock,
-                entries=entries,
-                job_cycles=job_cycles,
+    def _open_stream(self) -> _StreamState:
+        if self._stream is None:
+            self._stream = _StreamState(
+                planner=_OnlinePlanner(self),
+                pool=ThreadPoolExecutor(max_workers=max(1, len(self.fleet))),
+                wall_start=time.perf_counter(),
+                cache_before=estimate_cache_info(),
             )
-            batches.append(batch)
-            ledger = ledgers[worker_id]
-            ledger.jobs += len(entries)
-            ledger.batches += 1
-            ledger.busy_cycles += batch.total_cycles
-            heapq.heappush(heap, (batch.finish_cycle, worker_id))
-        return batches, rejected, ledgers
+        return self._stream
 
-    # -- execution (host clock) -------------------------------------------
+    def _launch_planned(self, stream: _StreamState) -> None:
+        """Start executing every newly finalized batch's numerics."""
+        for batch in stream.planner.batches[len(stream.futures) :]:
+            stream.futures.append(
+                stream.pool.submit(
+                    run_batch,
+                    self.fleet[batch.worker_id],
+                    [entry.job for entry in batch.entries],
+                )
+            )
 
-    async def serve_async(self, jobs: Sequence[AnyJob]) -> tuple[ServeReport, list[JobResult]]:
-        """Serve a trace: plan on the simulated clock, execute concurrently.
+    def submit(self, job: AnyJob) -> None:
+        """Feed one job into the open stream (opening it if needed).
 
-        Returns the aggregate :class:`ServeReport` and one
+        The simulated planner advances to ``job.arrival_cycle``, firing
+        every dispatch that is final by then; those batches' numerics start
+        executing on the thread pool immediately.  Submit jobs in
+        ``(arrival_cycle, job_id)`` order for schedules bit-identical to
+        one-shot :meth:`serve`; a job submitted late (arrival before the
+        planning horizon) is queued at the horizon instead.
+
+        >>> import numpy as np
+        >>> from repro import AxonAccelerator, ArrayConfig
+        >>> from repro.serve import AsyncGemmScheduler, Job
+        >>> scheduler = AsyncGemmScheduler([AxonAccelerator(ArrayConfig(8, 8))])
+        >>> scheduler.submit(Job(job_id="j0", tenant="t",
+        ...                      a=np.eye(8), b=np.eye(8)))
+        >>> report, (result,) = scheduler.drain()
+        >>> result.status, report.jobs_completed
+        ('completed', 1)
+        """
+        stream = self._open_stream()
+        stream.planner.offer(job)
+        self._launch_planned(stream)
+
+    def drain(self) -> tuple[ServeReport, list[JobResult]]:
+        """Close the stream: flush the planner, await every batch, report.
+
+        Batching windows still close on their cycle deadlines — the
+        simulated clock does not know the stream ended.  Returns the same
+        ``(ServeReport, [JobResult])`` pair as :meth:`serve`; the scheduler
+        is immediately reusable for a new stream (or ``serve()`` call)
+        afterwards.  Draining an unopened stream returns an empty report.
+        """
+        stream = self._stream
+        self._stream = None
+        if stream is None:
+            # Nothing was submitted: report an empty run without spinning
+            # up (and immediately tearing down) an executor pool.
+            planner = _OnlinePlanner(self)
+            batches, rejected, ledgers = planner.finish()
+            return self._assemble(
+                batches,
+                rejected,
+                ledgers,
+                [],
+                tenants=planner.tenants,
+                wall_seconds=0.0,
+                cache_before=estimate_cache_info(),
+            )
+        try:
+            batches, rejected, ledgers = stream.planner.finish()
+            self._launch_planned(stream)
+            batch_runs = [future.result() for future in stream.futures]
+        finally:
+            stream.pool.shutdown(wait=True)
+        return self._assemble(
+            batches,
+            rejected,
+            ledgers,
+            batch_runs,
+            tenants=stream.planner.tenants,
+            wall_seconds=time.perf_counter() - stream.wall_start,
+            cache_before=stream.cache_before,
+        )
+
+    async def drain_async(self) -> tuple[ServeReport, list[JobResult]]:
+        """Async wrapper around :meth:`drain` (the wait runs off-loop)."""
+        return await asyncio.get_running_loop().run_in_executor(None, self.drain)
+
+    # -- one-shot API -------------------------------------------------------
+
+    async def serve_async(
+        self, jobs: Sequence[AnyJob]
+    ) -> tuple[ServeReport, list[JobResult]]:
+        """Serve a whole trace: plan on the simulated clock, execute concurrently.
+
+        Equivalent to submitting every job in ``(arrival_cycle, job_id)``
+        order and draining — the plan comes from the same online planner,
+        so one-shot and streamed serving produce bit-identical schedules
+        and results.  Returns the aggregate :class:`ServeReport` and one
         :class:`JobResult` per submitted job (rejected jobs included),
         sorted by ``job_id``.
         """
+        if self._stream is not None:
+            raise RuntimeError(
+                "a submit() stream is open; drain() it before calling serve()"
+            )
         wall_start = time.perf_counter()
         cache_before = estimate_cache_info()
-        batches, rejected, ledgers = self._plan(jobs)
+        planner = _OnlinePlanner(self)
+        for job in sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id)):
+            planner.offer(job)
+        batches, rejected, ledgers = planner.finish()
 
         loop = asyncio.get_running_loop()
         pool_size = max(1, len(self.fleet))
@@ -408,9 +765,37 @@ class AsyncGemmScheduler:
             ]
             batch_runs = await asyncio.gather(*futures)
 
+        return self._assemble(
+            batches,
+            rejected,
+            ledgers,
+            batch_runs,
+            tenants=planner.tenants,
+            wall_seconds=time.perf_counter() - wall_start,
+            cache_before=cache_before,
+        )
+
+    def serve(self, jobs: Sequence[AnyJob]) -> tuple[ServeReport, list[JobResult]]:
+        """Synchronous wrapper around :meth:`serve_async`."""
+        return asyncio.run(self.serve_async(jobs))
+
+    # -- result assembly ----------------------------------------------------
+
+    def _assemble(
+        self,
+        batches: list[_ScheduledBatch],
+        rejected: list[JobResult],
+        ledgers: dict[int, _WorkerLedger],
+        batch_runs: Sequence[Sequence[RunResult]],
+        *,
+        tenants: set[str],
+        wall_seconds: float,
+        cache_before,
+    ) -> tuple[ServeReport, list[JobResult]]:
         results = list(rejected)
         for batch, runs in zip(batches, batch_runs):
             cursor = batch.start_cycle
+            worker_class = self.worker_class(batch.worker_id)
             for entry, planned, run in zip(batch.entries, batch.job_cycles, runs):
                 if run.cycles != planned:
                     raise RuntimeError(
@@ -421,9 +806,7 @@ class AsyncGemmScheduler:
                 # Job-kind post-processing: conv jobs fold the flat GEMM
                 # result into their OFMAP and attach im2col traffic, so the
                 # JobResult matches a direct run_conv call bit-for-bit.
-                run = entry.job.finalize_result(
-                    run, self.fleet[batch.worker_id]
-                )
+                run = entry.job.finalize_result(run, self.fleet[batch.worker_id])
                 start = cursor
                 cursor += planned
                 results.append(
@@ -438,6 +821,7 @@ class AsyncGemmScheduler:
                         start_cycle=start,
                         finish_cycle=cursor,
                         worker_id=batch.worker_id,
+                        worker_class=worker_class,
                         batch_id=batch.batch_id,
                         batch_size=len(batch.entries),
                         deadline_hint_cycles=entry.job.deadline_hint_cycles,
@@ -454,26 +838,25 @@ class AsyncGemmScheduler:
                 batches=ledger.batches,
                 busy_cycles=ledger.busy_cycles,
                 utilization=ledger.busy_cycles / makespan if makespan else 0.0,
+                worker_class=self.worker_class(ledger.worker_id),
             )
             for ledger in ledgers.values()
         ]
         report = compile_serve_report(
             results,
             workers=worker_stats,
-            budgets={tenant: self.budgets.get(tenant) for tenant in
-                     {job.tenant for job in jobs}},
+            budgets={tenant: self.budgets.get(tenant) for tenant in tenants},
             max_batch=self.max_batch,
             clock_hz=self.clock_hz,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=wall_seconds,
             cache_hits=cache_after.hits - cache_before.hits,
             cache_misses=cache_after.misses - cache_before.misses,
+            fleet=self.fleet_description,
+            batch_window_cycles=self.batch_window_cycles,
+            placement=self.placement,
         )
         results.sort(key=lambda item: item.job_id)
         return report, results
-
-    def serve(self, jobs: Sequence[AnyJob]) -> tuple[ServeReport, list[JobResult]]:
-        """Synchronous wrapper around :meth:`serve_async`."""
-        return asyncio.run(self.serve_async(jobs))
 
 
 def serial_baseline(

@@ -6,7 +6,8 @@ GEMM shapes (dimension-capped so functional execution stays fast) —
 optionally mixed with convolution layers (``conv_fraction`` > 0 turns that
 share of each tenant's jobs into :class:`repro.serve.job.ConvJob` instances
 drawn from a CNN layer pool) — with arrival rates calibrated in *offered
-load*: multiples of one worker's service capacity rather than raw QPS, so a
+load*: multiples of one worker's service capacity (the fleet's mean worker,
+when a possibly heterogeneous fleet is passed) rather than raw QPS, so a
 trace saturates a fleet the same way regardless of the array configuration
 it targets.
 
@@ -167,9 +168,14 @@ def synthetic_trace(
     accelerator:
         Calibration target: the tile-exact cycles the pool's shapes occupy
         it for (:func:`repro.serve.scheduler.planned_gemm_cycles`) set the
-        mean service time that ``offered_load`` is expressed against.
-        Deadline hints, by contrast, are priced with the same analytical
-        estimates admission uses (:meth:`estimate_gemm_cycles`).
+        mean service time that ``offered_load`` is expressed against.  A
+        *sequence* of accelerators calibrates against a (possibly
+        heterogeneous) fleet instead: the mean service time averages over
+        every worker, so ``offered_load`` keeps meaning multiples of one
+        average worker's capacity.  Deadline hints, by contrast, are priced
+        with the same analytical estimates admission uses
+        (:meth:`estimate_gemm_cycles` — the best class on a fleet,
+        matching :meth:`repro.serve.scheduler.AsyncGemmScheduler.price_job`).
     tenants:
         Tenant specs, or an integer for that many identical tenants.
     jobs_per_tenant:
@@ -197,6 +203,12 @@ def synthetic_trace(
         When set, each job carries ``deadline_hint_cycles = slack x`` its
         priced cycles (advisory; lets reports count deadline misses).
     """
+    if isinstance(accelerator, (list, tuple)):
+        calibration = list(accelerator)
+        if not calibration:
+            raise ValueError("calibration fleet must not be empty")
+    else:
+        calibration = [accelerator]
     if isinstance(tenants, int):
         tenants = equal_tenants(tenants)
     tenants = tuple(tenants)
@@ -222,13 +234,20 @@ def synthetic_trace(
     # Calibrate against the tile-exact cycles jobs will actually occupy a
     # worker for (the padded Eq. 2/3 estimates used for admission pricing
     # overprice ragged shapes, which would silently deflate the real load).
+    # Fleet calibration averages the per-worker costs, so a heterogeneous
+    # fleet is offered the load its *mean* worker sustains.
+    def fleet_mean_cycles(m: int, k: int, n: int) -> float:
+        return sum(
+            planned_gemm_cycles(worker, m, k, n) for worker in calibration
+        ) / len(calibration)
+
     mean_cost = sum(
-        planned_gemm_cycles(accelerator, shape.m, shape.k, shape.n) for shape in pool
+        fleet_mean_cycles(shape.m, shape.k, shape.n) for shape in pool
     ) / len(pool)
     if conv_pool:
         lowered = tuple(lower_conv_to_gemm(shape) for shape in conv_pool)
         conv_mean = sum(
-            planned_gemm_cycles(accelerator, g.m, g.k, g.n) for g in lowered
+            fleet_mean_cycles(g.m, g.k, g.n) for g in lowered
         ) / len(lowered)
         mean_cost = (1.0 - conv_fraction) * mean_cost + conv_fraction * conv_mean
 
@@ -253,7 +272,10 @@ def synthetic_trace(
                 gemm = pool[int(rng.integers(len(pool)))]
             deadline = None
             if deadline_slack is not None:
-                priced = accelerator.estimate_gemm_cycles(gemm.m, gemm.k, gemm.n)
+                priced = min(
+                    worker.estimate_gemm_cycles(gemm.m, gemm.k, gemm.n)
+                    for worker in calibration
+                )
                 deadline = int(round(deadline_slack * priced))
             if is_conv:
                 jobs.append(

@@ -239,6 +239,18 @@ class TestWeightedFairQueue:
             queue.next_batch(8)
         assert queue.total_priced_cycles() == 0
 
+    def test_count_shape_sees_only_batchable_jobs(self, rng):
+        queue = WeightedFairQueue()
+        queue.push(self._entry(rng, "a", shape=(6, 5, 4)))
+        queue.push(
+            QueuedJob(_job("bg", "b", 6, 5, 4, rng), 10, deprioritized=True)
+        )
+        # The backlog job cannot join a batch while in-budget work exists.
+        assert queue.count_shape((6, 5, 4)) == 1
+        queue.next_batch(1)
+        assert queue.count_shape((6, 5, 4)) == 1  # backlog is the head now
+        assert queue.count_shape((9, 9, 9)) == 0
+
     def test_deprioritized_served_only_when_main_empty(self, rng):
         queue = WeightedFairQueue()
         backlog = QueuedJob(_job("bg", "over", 4, 4, 4, rng), 100, deprioritized=True)
@@ -418,15 +430,33 @@ class TestAsyncGemmScheduler:
 
         assert run_once() == run_once()
 
-    def test_heterogeneous_fleet_rejected(self, small_array, paper_array):
-        with pytest.raises(ValueError, match="homogeneous"):
-            AsyncGemmScheduler(
-                [SystolicAccelerator(small_array), SystolicAccelerator(paper_array)]
-            )
-        with pytest.raises(ValueError, match="homogeneous"):
-            AsyncGemmScheduler(
-                [SystolicAccelerator(small_array), AxonAccelerator(small_array)]
-            )
+    def test_heterogeneous_fleet_grouped_into_classes(self, rng, small_array,
+                                                      paper_array):
+        fleet = [
+            SystolicAccelerator(small_array),
+            SystolicAccelerator(paper_array),
+            AxonAccelerator(small_array),
+        ]
+        scheduler = AsyncGemmScheduler(fleet)
+        assert len(scheduler.worker_classes) == 3
+        assert scheduler.fleet_description == tuple(
+            worker.describe() for worker in fleet
+        )
+        jobs = [_job(f"j{i}", "t", 20, 12, 18, rng) for i in range(6)]
+        report, results = scheduler.serve(jobs)
+        assert report.jobs_completed == 6
+        # Every result is bit-exact against a direct run on the class of
+        # the worker that actually hosted it.
+        by_id = {job.job_id: job for job in jobs}
+        by_class = {worker.describe(): worker for worker in fleet}
+        for result in results:
+            job = by_id[result.job_id]
+            direct = by_class[result.worker_class].run_gemm(job.a, job.b)
+            assert np.array_equal(result.result.output, direct.output)
+            assert result.result.cycles == direct.cycles
+        assert {c.worker_class for c in report.worker_class_stats} == set(
+            scheduler.worker_classes
+        )
 
     def test_duplicate_job_ids_rejected(self, rng, small_array):
         jobs = [_job("same", "t", 8, 8, 8, rng), _job("same", "t", 8, 8, 8, rng)]

@@ -1,0 +1,411 @@
+"""Tests for online serving: ``submit()``/``drain()`` streaming, batching
+windows, and heterogeneous fleets with priced placement.
+
+The headline invariant (ISSUE 5): serving a trace by streaming it job-by-
+job in arrival order is *bit-identical* — schedule, every output matrix,
+every counter, per-tenant fairness — to the one-shot ``serve()`` call,
+because both run the same online planner.  On heterogeneous fleets, every
+result is bit-exact against a direct run on the worker class that hosted
+it, and the priced placement policy beats random assignment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.api import AxonAccelerator, SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.serve import (
+    AsyncGemmScheduler,
+    Job,
+    WorkerSpec,
+    build_fleet,
+    parse_fleet_spec,
+)
+from repro.workloads import synthetic_trace
+
+#: Report keys that legitimately differ between two identical schedules
+#: (host timing and warm-cache effects).
+_NONDETERMINISTIC_KEYS = ("wall_seconds", "cache_hits", "cache_misses",
+                          "cache_hit_rate")
+
+
+def _job(job_id, tenant, m, k, n, rng, **kwargs):
+    return Job(
+        job_id=job_id,
+        tenant=tenant,
+        a=rng.standard_normal((m, k)),
+        b=rng.standard_normal((k, n)),
+        **kwargs,
+    )
+
+
+def _fleet(cls, config, count, **kwargs):
+    return [cls(config, **kwargs) for _ in range(count)]
+
+
+def _comparable(report):
+    payload = report.to_dict()
+    for key in _NONDETERMINISTIC_KEYS:
+        payload.pop(key)
+    return payload
+
+
+def _stream(scheduler, jobs):
+    for job in sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id)):
+        scheduler.submit(job)
+    return scheduler.drain()
+
+
+def _assert_equivalent(one_shot, streamed):
+    report_a, results_a = one_shot
+    report_b, results_b = streamed
+    assert _comparable(report_a) == _comparable(report_b)
+    assert len(results_a) == len(results_b)
+    for a, b in zip(results_a, results_b):
+        # to_dict(True) embeds the full output matrix: this is bit-exact
+        # equality of everything, not approximate agreement.
+        assert a.to_dict(include_output=True) == b.to_dict(include_output=True)
+
+
+class TestStreamingEquivalence:
+    def test_submit_in_arrival_order_matches_serve(self, small_array):
+        jobs = synthetic_trace(
+            SystolicAccelerator(small_array), tenants=3, jobs_per_tenant=5,
+            offered_load=6.0, max_dim=48, seed=7,
+        )
+        fleet = _fleet(SystolicAccelerator, small_array, 2)
+        _assert_equivalent(
+            AsyncGemmScheduler(fleet, max_batch=4).serve(jobs),
+            _stream(AsyncGemmScheduler(fleet, max_batch=4), jobs),
+        )
+
+    def test_equivalence_holds_with_batching_window(self, small_array):
+        jobs = synthetic_trace(
+            SystolicAccelerator(small_array), tenants=2, jobs_per_tenant=6,
+            offered_load=4.0, max_dim=48, seed=13,
+        )
+        fleet = _fleet(SystolicAccelerator, small_array, 2)
+        kwargs = dict(max_batch=4, batch_window_cycles=512)
+        _assert_equivalent(
+            AsyncGemmScheduler(fleet, **kwargs).serve(jobs),
+            _stream(AsyncGemmScheduler(fleet, **kwargs), jobs),
+        )
+
+    def test_equivalence_on_heterogeneous_fleet(self, small_array, paper_array):
+        jobs = synthetic_trace(
+            SystolicAccelerator(small_array), tenants=3, jobs_per_tenant=4,
+            offered_load=6.0, max_dim=48, seed=21,
+        )
+        fleet = [
+            SystolicAccelerator(small_array),
+            SystolicAccelerator(paper_array),
+        ]
+        _assert_equivalent(
+            AsyncGemmScheduler(fleet, max_batch=4).serve(jobs),
+            _stream(AsyncGemmScheduler(fleet, max_batch=4), jobs),
+        )
+
+    def test_equivalence_with_conv_jobs(self, small_array):
+        jobs = synthetic_trace(
+            SystolicAccelerator(small_array), tenants=2, jobs_per_tenant=4,
+            offered_load=4.0, max_dim=48, conv_fraction=0.5, seed=5,
+        )
+        fleet = _fleet(SystolicAccelerator, small_array, 2)
+        _assert_equivalent(
+            AsyncGemmScheduler(fleet, max_batch=4).serve(jobs),
+            _stream(AsyncGemmScheduler(fleet, max_batch=4), jobs),
+        )
+
+    def test_identical_per_tenant_fairness(self, small_array):
+        jobs = synthetic_trace(
+            SystolicAccelerator(small_array), tenants=4, jobs_per_tenant=5,
+            offered_load=8.0, max_dim=48, seed=2,
+        )
+        fleet = _fleet(SystolicAccelerator, small_array, 2)
+        weights = {"tenant-0": 2.0}
+        report_a, _ = AsyncGemmScheduler(fleet, max_batch=4, weights=weights).serve(jobs)
+        report_b, _ = _stream(
+            AsyncGemmScheduler(fleet, max_batch=4, weights=weights), jobs
+        )
+        assert [t.to_dict() for t in report_a.tenants] == [
+            t.to_dict() for t in report_b.tenants
+        ]
+
+    def test_scheduler_reusable_after_drain(self, rng, small_array):
+        scheduler = AsyncGemmScheduler(_fleet(SystolicAccelerator, small_array, 1))
+        scheduler.submit(_job("a", "t", 8, 8, 8, rng))
+        first, _ = scheduler.drain()
+        scheduler.submit(_job("a", "t", 8, 8, 8, rng))  # id free again
+        second, _ = scheduler.drain()
+        assert first.jobs_completed == second.jobs_completed == 1
+        report, _ = scheduler.serve([_job("b", "t", 8, 8, 8, rng)])
+        assert report.jobs_completed == 1
+
+    def test_serve_while_stream_open_raises(self, rng, small_array):
+        scheduler = AsyncGemmScheduler(_fleet(SystolicAccelerator, small_array, 1))
+        scheduler.submit(_job("a", "t", 8, 8, 8, rng))
+        with pytest.raises(RuntimeError, match="drain"):
+            scheduler.serve([_job("b", "t", 8, 8, 8, rng)])
+        report, _ = scheduler.drain()
+        assert report.jobs_completed == 1
+
+    def test_duplicate_submit_rejected(self, rng, small_array):
+        scheduler = AsyncGemmScheduler(_fleet(SystolicAccelerator, small_array, 1))
+        scheduler.submit(_job("same", "t", 8, 8, 8, rng))
+        with pytest.raises(ValueError, match="duplicate job_id"):
+            scheduler.submit(_job("same", "t", 8, 8, 8, rng))
+        scheduler.drain()
+
+    def test_empty_drain_returns_empty_report(self, small_array):
+        report, results = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 1)
+        ).drain()
+        assert report.jobs_submitted == 0
+        assert report.makespan_cycles == 0
+        assert results == []
+
+    def test_late_submission_enqueued_at_horizon(self, rng, small_array):
+        scheduler = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 1), max_batch=1
+        )
+        scheduler.submit(_job("early", "t", 8, 8, 8, rng, arrival_cycle=1000))
+        # Arrival 0 is behind the planning horizon (1000): the job joins
+        # the queue at the horizon instead of rewriting history.
+        scheduler.submit(_job("late", "t", 8, 8, 8, rng, arrival_cycle=0))
+        report, results = scheduler.drain()
+        assert report.jobs_completed == 2
+        late = next(r for r in results if r.job_id == "late")
+        assert late.start_cycle >= 1000
+        assert late.queue_cycles >= 1000  # measured from its own arrival
+
+
+class TestBatchingWindow:
+    def test_window_gathers_late_same_shape_mates(self, rng, small_array):
+        jobs = [
+            _job(f"j{i}", "t", 16, 8, 12, rng, arrival_cycle=i * 100)
+            for i in range(3)
+        ]
+        report, results = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 1),
+            max_batch=4,
+            batch_window_cycles=1000,
+        ).serve(jobs)
+        # All three arrivals (0, 100, 200) fall inside the head's window,
+        # so they dispatch as one batch at the window deadline.
+        assert report.batches == 1
+        assert report.batched_jobs == 3
+        assert all(r.batch_size == 3 for r in results)
+        assert min(r.start_cycle for r in results) == 1000
+
+    def test_full_batch_closes_window_early(self, rng, small_array):
+        jobs = [
+            _job("j0", "t", 16, 8, 12, rng, arrival_cycle=0),
+            _job("j1", "t", 16, 8, 12, rng, arrival_cycle=50),
+        ]
+        report, results = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 1),
+            max_batch=2,
+            batch_window_cycles=10_000,
+        ).serve(jobs)
+        # A full batch is waiting at cycle 50; nothing left to wait for.
+        assert report.batches == 1
+        assert min(r.start_cycle for r in results) == 50
+
+    def test_backlog_mates_do_not_close_the_window_early(self, rng, small_array):
+        priced = SystolicAccelerator(small_array).estimate_gemm_cycles(16, 8, 12)
+        jobs = [
+            _job("over-0", "over", 16, 8, 12, rng, arrival_cycle=0),
+            # Over budget: deprioritized to the backlog, which next_batch
+            # cannot pull from while in-budget work is queued — so this
+            # job must not count toward a "full batch is waiting".
+            _job("over-1", "over", 16, 8, 12, rng, arrival_cycle=0),
+            _job("ok-0", "ok", 16, 8, 12, rng, arrival_cycle=300),
+        ]
+        report, results = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 1),
+            max_batch=2,
+            batch_window_cycles=500,
+            budgets={"over": priced},
+        ).serve(jobs)
+        by_id = {r.job_id: r for r in results}
+        # The window holds past cycle 0 (only one batchable shape-mate
+        # exists) and closes when ok-0 fills the batch at 300 — not at 0,
+        # which is what counting the unbatchable backlog mate would give.
+        assert min(r.start_cycle for r in results) == 300
+        assert by_id["over-0"].batch_size == 2
+        assert by_id["ok-0"].batch_id == by_id["over-0"].batch_id
+        assert by_id["over-1"].start_cycle >= by_id["over-0"].finish_cycle
+
+    def test_without_window_dispatch_is_immediate(self, rng, small_array):
+        jobs = [
+            _job(f"j{i}", "t", 16, 8, 12, rng, arrival_cycle=i * 100)
+            for i in range(3)
+        ]
+        report, results = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 1), max_batch=4
+        ).serve(jobs)
+        assert min(r.start_cycle for r in results) == 0
+
+    def test_zero_window_equals_no_window(self, small_array):
+        jobs = synthetic_trace(
+            SystolicAccelerator(small_array), tenants=2, jobs_per_tenant=5,
+            offered_load=6.0, max_dim=48, seed=17,
+        )
+        fleet = _fleet(SystolicAccelerator, small_array, 2)
+        report_none, results_none = AsyncGemmScheduler(fleet, max_batch=4).serve(jobs)
+        report_zero, results_zero = AsyncGemmScheduler(
+            fleet, max_batch=4, batch_window_cycles=0
+        ).serve(jobs)
+        a, b = _comparable(report_none), _comparable(report_zero)
+        # The report echoes the configured window (None vs 0); the
+        # schedules themselves must be identical.
+        assert (a.pop("batch_window_cycles"), b.pop("batch_window_cycles")) == (None, 0)
+        assert a == b
+        for x, y in zip(results_none, results_zero):
+            assert x.to_dict(include_output=True) == y.to_dict(include_output=True)
+
+    def test_negative_window_rejected(self, small_array):
+        with pytest.raises(ValueError, match="batch_window_cycles"):
+            AsyncGemmScheduler(
+                _fleet(SystolicAccelerator, small_array, 1),
+                batch_window_cycles=-1,
+            )
+
+
+class TestHeterogeneousPlacement:
+    def test_priced_placement_prefers_the_cheaper_class(self, rng, small_array):
+        slow = SystolicAccelerator(small_array)            # 8x8
+        fast = SystolicAccelerator(ArrayConfig(32, 32))
+        scheduler = AsyncGemmScheduler([slow, fast], max_batch=1)
+        jobs = [_job(f"j{i}", "t", 64, 64, 64, rng) for i in range(4)]
+        report, results = scheduler.serve(jobs)
+        hosted = {}
+        for result in results:
+            hosted[result.worker_class] = hosted.get(result.worker_class, 0) + 1
+        assert hosted.get(fast.describe(), 0) > hosted.get(slow.describe(), 0)
+
+    def test_priced_beats_random_assignment(self, small_array):
+        spec = "2*systolic:32x32,2*systolic:16x16"
+        jobs = synthetic_trace(
+            build_fleet(parse_fleet_spec(spec)), tenants=3, jobs_per_tenant=6,
+            offered_load=8.0, max_dim=64, seed=4,
+        )
+        priced, _ = AsyncGemmScheduler(
+            build_fleet(parse_fleet_spec(spec)), max_batch=8
+        ).serve(jobs)
+        random, _ = AsyncGemmScheduler(
+            build_fleet(parse_fleet_spec(spec)), max_batch=8, placement="random"
+        ).serve(jobs)
+        assert priced.jobs_per_second > random.jobs_per_second
+
+    def test_random_placement_deterministic_for_a_seed(self, small_array,
+                                                       paper_array):
+        jobs = synthetic_trace(
+            SystolicAccelerator(small_array), tenants=2, jobs_per_tenant=4,
+            offered_load=4.0, max_dim=48, seed=9,
+        )
+
+        def run():
+            fleet = [
+                SystolicAccelerator(small_array),
+                SystolicAccelerator(paper_array),
+            ]
+            report, results = AsyncGemmScheduler(
+                fleet, max_batch=4, placement="random", placement_seed=11
+            ).serve(jobs)
+            return _comparable(report), [
+                (r.job_id, r.worker_id, r.start_cycle) for r in results
+            ]
+
+        assert run() == run()
+
+    def test_price_job_is_best_class_estimate(self, rng, small_array):
+        slow = SystolicAccelerator(small_array)
+        fast = SystolicAccelerator(ArrayConfig(32, 32))
+        scheduler = AsyncGemmScheduler([slow, fast])
+        job = _job("j", "t", 48, 24, 36, rng)
+        assert scheduler.price_job(job) == min(
+            slow.estimate_gemm_cycles(48, 24, 36),
+            fast.estimate_gemm_cycles(48, 24, 36),
+        )
+
+    def test_mixed_arch_results_bit_exact_per_class(self, rng, small_array):
+        fleet = [SystolicAccelerator(small_array), AxonAccelerator(small_array)]
+        scheduler = AsyncGemmScheduler(fleet, max_batch=2)
+        jobs = [_job(f"j{i}", "t", 20, 11, 13, rng) for i in range(4)]
+        _, results = scheduler.serve(jobs)
+        by_class = {worker.describe(): worker for worker in fleet}
+        by_id = {job.job_id: job for job in jobs}
+        for result in results:
+            job = by_id[result.job_id]
+            direct = by_class[result.worker_class].run_gemm(job.a, job.b)
+            assert np.array_equal(result.result.output, direct.output)
+            assert result.result.cycles == direct.cycles
+            assert result.result.active_pe_cycles == direct.active_pe_cycles
+
+    def test_invalid_placement_rejected(self, small_array):
+        with pytest.raises(ValueError, match="placement"):
+            AsyncGemmScheduler(
+                _fleet(SystolicAccelerator, small_array, 1), placement="psychic"
+            )
+
+    def test_report_is_self_describing(self, rng, small_array, paper_array):
+        fleet = [
+            SystolicAccelerator(small_array),
+            SystolicAccelerator(paper_array),
+        ]
+        scheduler = AsyncGemmScheduler(fleet, max_batch=2, batch_window_cycles=64)
+        report, _ = scheduler.serve([_job("j", "t", 16, 8, 12, rng)])
+        payload = report.to_dict()
+        assert payload["fleet"] == list(scheduler.fleet_description)
+        assert payload["batch_window_cycles"] == 64
+        assert payload["placement"] == "priced"
+        assert [c["worker_class"] for c in payload["worker_classes"]] == [
+            worker.describe() for worker in fleet
+        ]
+        # The pre-streaming keys are still present and untouched.
+        for key in ("jobs_submitted", "makespan_cycles", "tenants", "workers",
+                    "cache_hit_rate", "jobs_per_second"):
+            assert key in payload
+
+
+class TestFleetSpec:
+    def test_parse_round_trips_labels(self):
+        specs = parse_fleet_spec("2*axon:32x32,systolic:16x16@2x2")
+        assert [spec.label() for spec in specs] == [
+            "2*axon:32x32",
+            "systolic:16x16@2x2",
+        ]
+
+    def test_parse_defaults(self):
+        (spec,) = parse_fleet_spec("48x48", default_arch="systolic")
+        assert spec == WorkerSpec(rows=48, cols=48, count=1, arch="systolic")
+
+    def test_build_fleet_expands_counts_in_order(self):
+        fleet = build_fleet(parse_fleet_spec("2*32x32,16x16@2x2"))
+        assert [worker.describe() for worker in fleet] == [
+            "axon-32x32-OS-wavefront",
+            "axon-32x32-OS-wavefront",
+            "axon-16x16-OS-wavefront-2x2",
+        ]
+        assert fleet[2].scale_out == (2, 2)
+
+    @pytest.mark.parametrize(
+        "text", ["", "32", "32x", "axon32x32", "0*32x32", "32x32@2", "weird:8x8"]
+    )
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_fleet_spec(text)
+
+    def test_worker_spec_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            WorkerSpec(rows=8, cols=8, count=0)
+        with pytest.raises(ValueError, match="geometry"):
+            WorkerSpec(rows=0, cols=8)
+        with pytest.raises(ValueError, match="arch"):
+            WorkerSpec(rows=8, cols=8, arch="tpu")
+        with pytest.raises(ValueError, match="scale-out"):
+            WorkerSpec(rows=8, cols=8, scale_out=(0, 2))
