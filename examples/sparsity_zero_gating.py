@@ -16,7 +16,7 @@ import numpy as np
 from repro.arch.array_config import ArrayConfig
 from repro.core.axon_os import AxonOSArray
 from repro.core.zero_gating import gated_power_fraction, zero_gating_stats
-from repro.energy import conventional_array_power_mw, ASAP7
+from repro.energy import ASAP7, conventional_array_power_mw
 from repro.workloads.sparse import sparse_gemm_pair
 
 

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.analysis.speedup import WorkloadSpeedup, workload_speedups
 from repro.arch.dataflow import Dataflow
 from repro.core.runtime_model import (
     axon_fill_latency,
     conventional_fill_latency,
 )
-from repro.analysis.speedup import WorkloadSpeedup, workload_speedups
 from repro.im2col.lowering import GemmShape
 
 

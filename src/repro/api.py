@@ -51,14 +51,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
 from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow
-from repro.arch.dram import DRAMModel, LPDDR3
-from repro.arch.systolic_os import ConventionalOSArray
+from repro.arch.dram import LPDDR3, DRAMModel
 from repro.arch.stationary import ConventionalStationaryArray
+from repro.arch.systolic_os import ConventionalOSArray
 from repro.arch.tiling import tile_gemm, tile_gemm_stationary
 from repro.core.axon_os import AxonOSArray
 from repro.core.axon_stationary import AxonStationaryArray
@@ -66,12 +67,8 @@ from repro.energy.dram_energy import dram_energy_mj
 from repro.engine import DEFAULT_ENGINE, normalize_engine
 from repro.engine.batched import GemmExecution, execute_gemm
 from repro.engine.cache import cached_conv_cycles, cached_gemm_cycles
-from repro.engine.scaleout import scale_out_reduce
-from repro.im2col.lowering import (
-    ConvShape,
-    lower_conv_operands,
-    lower_conv_to_gemm,
-)
+from repro.engine.scaleout import ScaleOutExecution, scale_out_reduce
+from repro.im2col.lowering import ConvShape, lower_conv_operands
 from repro.im2col.software import col2im_output
 from repro.im2col.traffic import (
     ConvTrafficReport,
@@ -217,7 +214,7 @@ class _AcceleratorBase:
         dram: DRAMModel = LPDDR3,
         engine: str = DEFAULT_ENGINE,
         scale_out: tuple[int, int] | None = None,
-    ):
+    ) -> None:
         self.config = config
         self.dataflow = dataflow
         self.dram = dram
@@ -299,10 +296,12 @@ class _AcceleratorBase:
 
     # -- functional execution ---------------------------------------------
 
-    def _tile_simulator(self):
+    def _tile_simulator(self) -> Any:
         raise NotImplementedError
 
-    def _execute_operands(self, a: np.ndarray, b: np.ndarray):
+    def _execute_operands(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> GemmExecution | ScaleOutExecution:
         """Run one GEMM's operands through the configured engine.
 
         The shared execution core of :meth:`run_gemm` and :meth:`run_conv`:
@@ -393,7 +392,7 @@ class _AcceleratorBase:
         """
         m, k = a.shape
         _, n = b.shape
-        output = np.zeros((m, n))
+        output = np.zeros((m, n), dtype=np.float64)
         total_cycles = 0
         active_pe_cycles = 0
         performed = 0
@@ -417,7 +416,9 @@ class _AcceleratorBase:
             dataflow=self.dataflow,
         )
 
-    def _iter_cycle_tiles(self, a: np.ndarray, b: np.ndarray, output: np.ndarray):
+    def _iter_cycle_tiles(
+        self, a: np.ndarray, b: np.ndarray, output: np.ndarray
+    ) -> Iterator[Any]:
         """Run each tile on the cycle simulator, scattering into ``output``.
 
         Only the output scatter differs between the dataflow families — OS
@@ -571,7 +572,9 @@ class _AcceleratorBase:
             scale_out=self.scale_out,
         )
 
-    def estimate_network(self, layers, name: str = "network") -> RunResult:
+    def estimate_network(
+        self, layers: Iterable[ConvShape], name: str = "network"
+    ) -> RunResult:
         """Aggregate conv-layer estimates over a whole network."""
         cycles = 0
         macs = 0
@@ -629,7 +632,7 @@ class SystolicAccelerator(_AcceleratorBase):
 
     axon = False
 
-    def _tile_simulator(self):
+    def _tile_simulator(self) -> Any:
         if self.dataflow is Dataflow.OUTPUT_STATIONARY:
             return ConventionalOSArray(self.config)
         return ConventionalStationaryArray(self.config, self.dataflow)
@@ -658,11 +661,11 @@ class AxonAccelerator(_AcceleratorBase):
         zero_gating: bool = False,
         engine: str = DEFAULT_ENGINE,
         scale_out: tuple[int, int] | None = None,
-    ):
+    ) -> None:
         super().__init__(config, dataflow, dram, engine=engine, scale_out=scale_out)
         self.zero_gating = zero_gating
 
-    def _tile_simulator(self):
+    def _tile_simulator(self) -> Any:
         if self.dataflow is Dataflow.OUTPUT_STATIONARY:
             return AxonOSArray(self.config, zero_gating=self.zero_gating)
         return AxonStationaryArray(

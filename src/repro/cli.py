@@ -71,18 +71,18 @@ from repro.serve import (
     format_serve_report,
     parse_fleet_spec,
 )
+from repro.workloads import (
+    EFFICIENTNET_B0_LAYERS,
+    MOBILENET_V1_LAYERS,
+    RESNET50_CONV_LAYERS,
+    TABLE3_WORKLOADS,
+    YOLOV3_CONV_LAYERS,
+)
 from repro.workloads.serving import (
     equal_tenants,
     synthetic_trace,
     tenant_budgets,
     tenant_weights,
-)
-from repro.workloads import (
-    RESNET50_CONV_LAYERS,
-    TABLE3_WORKLOADS,
-    YOLOV3_CONV_LAYERS,
-    MOBILENET_V1_LAYERS,
-    EFFICIENTNET_B0_LAYERS,
 )
 
 #: Conv-layer tables addressable from the command line.
@@ -317,7 +317,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     dataflow = Dataflow.from_string(args.dataflow)
     grid = _scale_out(args)
 
-    def make_worker():
+    def make_worker() -> AxonAccelerator | SystolicAccelerator:
         if args.arch == "axon":
             return AxonAccelerator(
                 config,
@@ -461,6 +461,27 @@ def _cmd_hardware(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here so the analyzer (pure stdlib) never taxes the hot
+    # simulation commands, and vice versa.
+    from pathlib import Path
+
+    from repro.devtools import doctest_modules, run_lint
+
+    root = Path(args.root).resolve() if args.root else None
+    if args.doctest_modules:
+        for rel_path in doctest_modules(root=root):
+            print(rel_path)
+        return 0
+    paths = [Path(p) for p in args.path] if args.path else None
+    report = run_lint(root=root, paths=paths)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -627,6 +648,38 @@ def build_parser() -> argparse.ArgumentParser:
     hardware.add_argument("--cols", type=int, default=16)
     hardware.add_argument("--node", choices=sorted(NODES), default="ASAP7")
     hardware.set_defaults(func=_cmd_hardware)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's domain-aware static analyzer",
+        description=(
+            "Check the tree against the repo's correctness invariants "
+            "(lock discipline, simulated-clock purity, cache-key hygiene, "
+            "dtype exactness, public-API doc coverage). Exits non-zero on "
+            "any finding; see docs/static-analysis.md."
+        ),
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: located from the installed package)",
+    )
+    lint.add_argument(
+        "--path",
+        action="append",
+        default=None,
+        help="lint only this file (repeatable; default: all of src/repro)",
+    )
+    lint.add_argument(
+        "--doctest-modules",
+        action="store_true",
+        help=(
+            "print the public-API module list the CI docs job should "
+            "doctest, derived from the api-coverage rule, and exit"
+        ),
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,61 @@
+"""The :class:`Finding` record every ``reprolint`` rule emits.
+
+A finding pins one invariant violation to a file and line, names the rule
+that detected it, and carries a human-actionable ``fix_hint`` so the CI
+failure message says how to repair the tree, not just that it is broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Recognised severities, most severe first.  ``error`` findings gate CI;
+#: ``warning`` is reserved for advisory rules (none ship warnings today,
+#: but the plugin API supports them so a new rule can soft-launch).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Ordered by ``(path, line, col, rule_id)`` so reports are stable across
+    runs and rule-execution order.
+
+    >>> f = Finding(path="src/repro/x.py", line=3, col=0, rule_id="RPL104",
+    ...             severity="error", message="np.sum without dtype",
+    ...             fix_hint="pass an explicit dtype= accumulator")
+    >>> f.location
+    'src/repro/x.py:3:0'
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    fix_hint: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"expected one of {', '.join(SEVERITIES)}"
+            )
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor of the finding."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def format(self) -> str:
+        """One-line human-readable rendering (the CLI text output)."""
+        return (
+            f"{self.location}: {self.rule_id} [{self.severity}] "
+            f"{self.message} (fix: {self.fix_hint})"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view (``repro lint --json``)."""
+        return asdict(self)

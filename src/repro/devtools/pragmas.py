@@ -1,0 +1,110 @@
+"""Inline suppression pragmas: ``# reprolint: disable=<id> (<reason>)``.
+
+A pragma suppresses findings of the named rule on its own line.  The
+parenthesised reason is mandatory — an unexplained suppression is itself a
+finding (rule ``RPL100``), so every exception to an invariant documents
+why it is safe.  Multiple ids may be listed comma-separated; they share
+the one reason::
+
+    t0 = time.perf_counter()  # reprolint: disable=RPL102 (wall-clock reporting)
+
+The parser runs on :mod:`tokenize` COMMENT tokens, so pragmas inside
+string literals or docstrings are inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: Rule id reserved for pragma hygiene violations (malformed pragma,
+#: missing reason, unknown rule id).  A bad pragma never suppresses.
+PRAGMA_RULE_ID = "RPL100"
+
+_PRAGMA_PATTERN = re.compile(r"#\s*reprolint:\s*(?P<body>.*)$")
+_DISABLE_PATTERN = re.compile(
+    r"^disable=(?P<ids>[A-Za-z0-9_,\s]+?)\s*\((?P<reason>[^()]+)\)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment.
+
+    ``valid`` is False for malformed pragmas (missing ``(<reason>)``,
+    empty id list); ``problem`` then says what is wrong.  Invalid pragmas
+    suppress nothing and are reported under :data:`PRAGMA_RULE_ID`.
+    """
+
+    line: int
+    col: int
+    rule_ids: tuple[str, ...]
+    reason: str
+    valid: bool
+    problem: str = ""
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every ``reprolint:`` pragma from ``source``.
+
+    >>> [p.rule_ids for p in parse_pragmas(
+    ...     "x = 1  # reprolint: disable=RPL104 (doctest example)")]
+    [('RPL104',)]
+    >>> parse_pragmas("x = 1  # reprolint: disable=RPL104")[0].valid
+    False
+    """
+    pragmas: list[Pragma] = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_PATTERN.search(token.string)
+            if match is None:
+                continue
+            line, col = token.start
+            body = match.group("body").strip()
+            disable = _DISABLE_PATTERN.match(body)
+            if disable is None:
+                pragmas.append(
+                    Pragma(
+                        line=line,
+                        col=col,
+                        rule_ids=(),
+                        reason="",
+                        valid=False,
+                        problem=(
+                            "malformed pragma; expected "
+                            "'# reprolint: disable=<id>[,<id>...] (<reason>)'"
+                        ),
+                    )
+                )
+                continue
+            ids = tuple(
+                fragment.strip()
+                for fragment in disable.group("ids").split(",")
+                if fragment.strip()
+            )
+            reason = disable.group("reason").strip()
+            if not ids or not reason:
+                pragmas.append(
+                    Pragma(
+                        line=line,
+                        col=col,
+                        rule_ids=ids,
+                        reason=reason,
+                        valid=False,
+                        problem="pragma needs at least one rule id and a reason",
+                    )
+                )
+                continue
+            pragmas.append(
+                Pragma(line=line, col=col, rule_ids=ids, reason=reason, valid=True)
+            )
+    except tokenize.TokenError:
+        # Unterminated source cannot carry trustworthy pragmas; the rules
+        # themselves will fail to parse it and report nothing either.
+        return pragmas
+    return pragmas

@@ -1,0 +1,44 @@
+"""The ``reprolint`` rule registry.
+
+Adding a rule is: write a :class:`repro.devtools.rules.base.Rule`
+subclass in a new module here, append it to :data:`RULE_CLASSES`, add a
+good/bad fixture pair under ``tests/devtools/fixtures/`` and a section in
+``docs/static-analysis.md``.  The runner, the CLI, the pragma validator
+and the CI gate all pick it up from the registry.
+"""
+
+from repro.devtools.pragmas import PRAGMA_RULE_ID
+from repro.devtools.rules.api_coverage import ApiCoverageRule
+from repro.devtools.rules.base import LintConfig, ModuleContext, Rule
+from repro.devtools.rules.cache_keys import CacheKeyHygieneRule
+from repro.devtools.rules.clock_purity import ClockPurityRule
+from repro.devtools.rules.dtype_exactness import DtypeExactnessRule
+from repro.devtools.rules.lock_discipline import LockDisciplineRule
+
+#: Every shipped rule, in id order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    LockDisciplineRule,
+    ClockPurityRule,
+    CacheKeyHygieneRule,
+    DtypeExactnessRule,
+    ApiCoverageRule,
+)
+
+
+def all_rule_ids() -> tuple[str, ...]:
+    """Every id a pragma may name (shipped rules plus the pragma rule)."""
+    return (PRAGMA_RULE_ID,) + tuple(rule.rule_id for rule in RULE_CLASSES)
+
+
+__all__ = [
+    "ApiCoverageRule",
+    "CacheKeyHygieneRule",
+    "ClockPurityRule",
+    "DtypeExactnessRule",
+    "LintConfig",
+    "LockDisciplineRule",
+    "ModuleContext",
+    "RULE_CLASSES",
+    "Rule",
+    "all_rule_ids",
+]

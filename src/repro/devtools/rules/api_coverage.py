@@ -1,0 +1,200 @@
+"""RPL105 — public-API docstring and doctest coverage.
+
+Invariant: every name exported from the public modules (``repro.api``,
+``repro.engine``, ``repro.serve``, plus the conv-lowering entry point)
+resolves to a documented definition, and every module that *defines* part
+of that surface carries at least one doctest.  The doctests are executed
+by the CI ``docs`` job, whose module list is derived from this rule's
+walk (``repro lint --doctest-modules``) — so a new public module cannot
+silently escape the doctest run, and a deleted docstring fails the lint
+gate rather than rotting quietly.
+
+Resolution is purely static: ``__all__`` (or, absent one, the public
+top-level definitions) is resolved through ``from repro...`` re-export
+chains inside the tree.  Constants (plain assignments) are exempt from
+the docstring requirement — they are documented with ``#:`` comments —
+but the module defining them still needs its doctest.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import LintConfig, ModuleContext, Rule
+
+#: Re-export chains longer than this indicate an import cycle; bail out.
+_MAX_RESOLUTION_HOPS = 8
+
+
+class ApiCoverageRule(Rule):
+    rule_id = "RPL105"
+    name = "api-coverage"
+    severity = "error"
+    fix_hint = (
+        "add a docstring to the exported definition, and at least one "
+        ">>> doctest example somewhere in its defining module"
+    )
+    description = (
+        "everything exported from repro.api / repro.engine / repro.serve "
+        "must be documented, and each defining module must carry a doctest"
+    )
+
+    def __init__(self, config: LintConfig) -> None:
+        super().__init__(config)
+        self._defining_modules: list[str] = []
+
+    def check_project(
+        self, root: Path, modules: dict[str, ModuleContext]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        defining_modules: set[str] = set()
+        for rel_path in self.config.api_modules:
+            ctx = modules.get(rel_path)
+            if ctx is None:
+                continue
+            defining_modules.add(rel_path)
+            for export in _exported_names(ctx.tree):
+                resolved = _resolve(export, ctx, modules)
+                if resolved is None:
+                    continue
+                target_ctx, definition = resolved
+                defining_modules.add(target_ctx.rel_path)
+                if definition is None:
+                    continue  # constant: '#:' comments document these
+                if ast.get_docstring(definition) is None:
+                    findings.append(
+                        self.finding(
+                            target_ctx,
+                            definition,
+                            f"public API {export!r} (exported via "
+                            f"{ctx.rel_path}) has no docstring",
+                        )
+                    )
+        for rel_path in sorted(defining_modules):
+            ctx = modules.get(rel_path)
+            if ctx is None:
+                continue
+            if not _has_doctest(ctx.tree):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        ctx.tree,
+                        f"{rel_path} defines public API but carries no "
+                        ">>> doctest; the CI docs job doctests every "
+                        "public module",
+                    )
+                )
+        self._defining_modules = sorted(defining_modules)
+        return findings
+
+    def doctest_modules(
+        self, root: Path, modules: dict[str, ModuleContext]
+    ) -> list[str]:
+        """Repo-relative paths of every module defining public API.
+
+        This is the derived input of the CI ``docs`` job's doctest step.
+        """
+        self.check_project(root, modules)
+        return list(self._defining_modules)
+
+
+def _exported_names(tree: ast.Module) -> list[str]:
+    """``__all__`` if present, else the public top-level definitions."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            return [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ]
+    names: list[str] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.append(node.name)
+    return names
+
+
+def _module_rel_path(module: str) -> tuple[str, str]:
+    """Candidate file paths for an absolute ``repro.x.y`` module name."""
+    base = "src/" + module.replace(".", "/")
+    return (base + ".py", base + "/__init__.py")
+
+
+def _imports(tree: ast.Module) -> dict[str, str]:
+    """Map imported names to the absolute module they come from."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = node.module
+    return table
+
+
+def _resolve(
+    name: str, ctx: ModuleContext, modules: dict[str, ModuleContext]
+) -> tuple[ModuleContext, ast.AST | None] | None:
+    """Follow ``name`` through re-export chains to its definition.
+
+    Returns ``(defining module, definition node)`` — the node is ``None``
+    for constants (plain assignments) — or ``None`` when the name leaves
+    the analyzed tree (e.g. a numpy re-export) or cannot be found.
+    """
+    current = ctx
+    for _ in range(_MAX_RESOLUTION_HOPS):
+        definition = _local_definition(name, current.tree)
+        if definition is not _UNRESOLVED:
+            return current, definition
+        source = _imports(current.tree).get(name)
+        if source is None:
+            return None
+        next_ctx = None
+        for candidate in _module_rel_path(source):
+            next_ctx = modules.get(candidate)
+            if next_ctx is not None:
+                break
+        if next_ctx is None:
+            return None  # outside the analyzed tree (third-party)
+        current = next_ctx
+    return None
+
+
+#: Sentinel distinguishing "defined here as a constant" (None) from
+#: "not defined here at all".
+_UNRESOLVED = object()
+
+
+def _local_definition(name: str, tree: ast.Module) -> ast.AST | None:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name == name:
+                return node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return None  # a constant
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return None
+    return _UNRESOLVED  # type: ignore[return-value]
+
+
+def _has_doctest(tree: ast.Module) -> bool:
+    """Whether any docstring in the module contains a ``>>>`` example."""
+    docstring = ast.get_docstring(tree)
+    if docstring and ">>>" in docstring:
+        return True
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            docstring = ast.get_docstring(node)
+            if docstring and ">>>" in docstring:
+                return True
+    return False

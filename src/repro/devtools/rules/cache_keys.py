@@ -1,0 +1,137 @@
+"""RPL103 — estimate-cache key hygiene.
+
+Invariant: every key handed to the shared estimate cache
+(:meth:`repro.engine.cache.LRUEstimateCache.memoize`) is built by one of
+the audited constructors (:func:`repro.engine.cache.gemm_estimate_key`,
+:func:`repro.engine.cache.conv_estimate_key`), whose keyword-only
+signatures force the engine / scale-out grid / dataflow fields into the
+key.  Hand-built tuples are exactly the PR 4 bug class: a key missing one
+discriminating field silently aliases a different configuration's entry
+and corrupts admission pricing with a *plausible* number — the hardest
+kind of wrong.  This rule makes that class of bug structurally
+impossible: an inline tuple (or any expression that does not flow through
+an audited helper) at a ``memoize`` call site fails CI.
+
+Accepted key expressions at ``<cache>.memoize(key, ...)`` call sites:
+
+* a direct call to an audited helper, or
+* a local name assigned from such a call earlier in the same function.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, Rule
+
+
+class CacheKeyHygieneRule(Rule):
+    rule_id = "RPL103"
+    name = "cache-key-hygiene"
+    severity = "error"
+    fix_hint = (
+        "build the key with repro.engine.cache.gemm_estimate_key / "
+        "conv_estimate_key (and extend those helpers if a new field is "
+        "needed) instead of hand-assembling a tuple"
+    )
+    description = (
+        "estimate-cache keys must flow through the audited key "
+        "constructors so they always carry the engine/grid/dataflow "
+        "fields and can never alias"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        self._walk(ctx, ctx.tree, enclosing=None, findings=findings)
+        return findings
+
+    def _walk(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        enclosing: ast.AST | None,
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            enclosing = node
+        for child in ast.iter_child_nodes(node):
+            self._walk(ctx, child, enclosing, findings)
+        if isinstance(node, ast.Call) and self._is_memoize_call(node):
+            key = self._key_argument(node)
+            if key is None:
+                return
+            if not self._is_audited(key, enclosing):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        key,
+                        "estimate-cache key built inline at a memoize() call "
+                        "site; hand-built keys can alias across engines, "
+                        "grids or dataflows",
+                    )
+                )
+
+    @staticmethod
+    def _is_memoize_call(node: ast.Call) -> bool:
+        return isinstance(node.func, ast.Attribute) and node.func.attr == "memoize"
+
+    @staticmethod
+    def _key_argument(node: ast.Call) -> ast.expr | None:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "key":
+                return keyword.value
+        return None
+
+    def _is_audited(self, key: ast.expr, enclosing: ast.AST | None) -> bool:
+        if self._is_audited_call(key):
+            return True
+        if isinstance(key, ast.Name) and enclosing is not None:
+            return self._name_flows_from_helper(key.id, enclosing)
+        return False
+
+    def _is_audited_call(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        terminal = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return terminal in self.config.audited_key_helpers
+
+    def _name_flows_from_helper(self, name: str, enclosing: ast.AST) -> bool:
+        """Whether ``name`` is assigned from an audited helper in this scope."""
+        found = False
+
+        def walk(node: ast.AST) -> None:
+            nonlocal found
+            if found:
+                return
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                and node is not enclosing
+            ):
+                return  # a nested scope's assignments do not leak out
+            if isinstance(node, ast.Assign) and self._is_audited_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        found = True
+                        return
+            if (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and self._is_audited_call(node.value)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == name
+            ):
+                found = True
+                return
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+
+        walk(enclosing)
+        return found

@@ -1,0 +1,130 @@
+"""RPL104 — accumulator dtype exactness in the integer-exact numeric paths.
+
+Invariant: in ``src/repro/engine/``, ``src/repro/golden/`` and
+``src/repro/api.py`` — the paths whose outputs are pinned *bit-exact*
+against each other by the test suite — every NumPy accumulation and every
+accumulator buffer states its dtype explicitly.  An implicit accumulator
+is a latent exactness bug: ``np.sum`` of an ``int32`` array promotes
+platform-dependently, ``np.zeros`` silently manufactures ``float64``
+buffers, and ``np.dot`` / ``np.tensordot`` offer *no* way to pin the
+accumulator at all, so they are banned outright in these paths in favour
+of ``np.einsum(..., dtype=...)`` or the ``@`` operator on operands whose
+dtype is already pinned.
+
+Flagged inside the exact paths:
+
+* reductions with a ``dtype=`` parameter called without one —
+  ``np.sum`` / ``prod`` / ``cumsum`` / ``cumprod`` / ``einsum`` and the
+  matching ``ndarray`` methods;
+* accumulator constructors without ``dtype=`` — ``np.zeros`` / ``ones``
+  / ``empty`` / ``full``;
+* accumulators with no dtype parameter — ``np.dot`` / ``vdot`` /
+  ``inner`` / ``tensordot`` (use einsum with an explicit dtype instead).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, Rule, dotted_name
+
+#: Reductions that accept ``dtype=`` — calling one without it leaves the
+#: accumulator to NumPy's platform-dependent promotion rules.
+_REDUCTIONS_WITH_DTYPE = ("sum", "prod", "cumsum", "cumprod", "einsum")
+#: Array constructors that default to ``float64`` unless told otherwise.
+_CONSTRUCTORS = ("zeros", "ones", "empty", "full")
+#: Accumulating callables with no way to pin the accumulator dtype.
+_NO_DTYPE_PARAM = ("dot", "vdot", "inner", "tensordot")
+
+
+class DtypeExactnessRule(Rule):
+    rule_id = "RPL104"
+    name = "dtype-exactness"
+    severity = "error"
+    fix_hint = (
+        "pass an explicit dtype= (e.g. np.int64 for exact integer "
+        "accumulation, np.float64 for the reference float path)"
+    )
+    description = (
+        "NumPy accumulations and accumulator buffers in the integer-exact "
+        "engine/golden paths must pin their dtype explicitly"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        if not self.config.in_scope(ctx.rel_path, self.config.dtype_exact_paths):
+            return []
+        numpy_aliases = _numpy_aliases(ctx.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            found = self._check_call(ctx, node, numpy_aliases)
+            if found is not None:
+                findings.append(found)
+        return findings
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call, numpy_aliases: set[str]
+    ) -> Finding | None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        is_numpy = (
+            isinstance(func.value, ast.Name) and func.value.id in numpy_aliases
+        )
+        has_dtype = any(keyword.arg == "dtype" for keyword in node.keywords)
+
+        if is_numpy and attr in _NO_DTYPE_PARAM:
+            name = f"{func.value.id}.{attr}"  # type: ignore[union-attr]
+            return self.finding(
+                ctx,
+                node,
+                f"'{name}' cannot pin its accumulator dtype",
+                fix_hint=(
+                    "use np.einsum(..., dtype=...) or the @ operator on "
+                    "operands whose dtype is already pinned"
+                ),
+            )
+        if attr in _REDUCTIONS_WITH_DTYPE and not has_dtype:
+            # np.sum(...) and arr.sum(...) both accumulate; method calls on
+            # non-arrays do not occur in the exact paths, and a stray one
+            # can always carry a pragma with its reason.
+            if is_numpy or _looks_like_array_method(func):
+                rendered = dotted_name(func) or f"<expr>.{attr}"
+                return self.finding(
+                    ctx,
+                    node,
+                    f"reduction '{rendered}' without an explicit dtype= "
+                    "accumulator",
+                )
+        if is_numpy and attr in _CONSTRUCTORS and not has_dtype:
+            name = f"{func.value.id}.{attr}"  # type: ignore[union-attr]
+            return self.finding(
+                ctx,
+                node,
+                f"accumulator buffer '{name}(...)' without an explicit "
+                "dtype= (defaults to float64 silently)",
+            )
+        return None
+
+
+def _looks_like_array_method(func: ast.Attribute) -> bool:
+    """True for ``<expr>.sum()``-style method reductions.
+
+    ``np.sum`` is handled by the alias check; this catches the bound
+    methods on arrays and array-valued expressions.  Plain ``sum(...)``
+    builtins are :class:`ast.Name` calls and never reach here.
+    """
+    return not isinstance(func.value, ast.Name) or func.value.id not in ("math",)
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases

@@ -1,0 +1,203 @@
+"""RPL101 — lock discipline for classes with a ``self._lock``.
+
+Invariant: any ``self._*`` attribute a class ever mutates inside a
+``with self._lock:`` block is *lock-guarded* — every other read or write
+of it must also happen under the lock.  This is a lightweight static race
+detector for the thread-pool dispatch path
+(:class:`repro.serve.scheduler.AsyncGemmScheduler`) and the shared
+estimate cache: one off-lock read is exactly how a torn ``_stream`` or a
+stale capacity slips past the test suite, because races do not reproduce
+under ``pytest -x``.
+
+Recognised escape hatches, both visible to the analyzer:
+
+* ``__init__`` / ``__post_init__`` construct the object before it is
+  shared, so they may touch guarded attributes freely;
+* a method whose first statement (after the docstring) is
+  ``assert self._lock.locked(), ...`` declares *lock held by caller* and
+  is treated as one big locked region (the assert also fails fast at
+  runtime if the contract is broken).
+
+Closures defined inside a locked region are deliberately treated as
+*unlocked*: they may outlive the ``with`` block (thread-pool callbacks),
+so touching guarded state from one is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, Rule, is_self_attribute
+
+#: Methods allowed to touch guarded attributes without the lock: the
+#: object is not yet (or no longer) shared while they run.
+_CONSTRUCTION_METHODS = ("__init__", "__post_init__", "__del__")
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "RPL101"
+    name = "lock-discipline"
+    severity = "error"
+    fix_hint = (
+        "move the access inside 'with self._lock:' or start the method with "
+        "'assert self._lock.locked()' if the caller holds it"
+    )
+    description = (
+        "attributes mutated under 'with self._lock:' must never be read or "
+        "written outside the lock"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    # -- per-class analysis -------------------------------------------------
+
+    def _check_class(self, ctx: ModuleContext, cls: ast.ClassDef) -> list[Finding]:
+        methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        guarded: set[str] = set()
+        for method in methods:
+            self._collect_guarded(method, guarded)
+        guarded -= set(self.config.lock_attr_names)
+        if not guarded:
+            return []
+
+        findings: list[Finding] = []
+        for method in methods:
+            if method.name in _CONSTRUCTION_METHODS:
+                continue
+            locked = self._asserts_lock_held(method)
+            for access, under_lock in self._iter_self_accesses(method, locked):
+                if under_lock or access.attr not in guarded:
+                    continue
+                findings.append(
+                    self.finding(
+                        ctx,
+                        access,
+                        f"'{cls.name}.{method.name}' accesses lock-guarded "
+                        f"attribute 'self.{access.attr}' outside "
+                        "'with self._lock:'",
+                    )
+                )
+        return findings
+
+    def _is_lock_expr(self, node: ast.expr) -> bool:
+        return is_self_attribute(node) and node.attr in self.config.lock_attr_names
+
+    def _lock_items(self, node: ast.With | ast.AsyncWith) -> bool:
+        return any(self._is_lock_expr(item.context_expr) for item in node.items)
+
+    def _asserts_lock_held(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """True when the first real statement asserts ``self._lock.locked()``."""
+        body = list(method.body)
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]  # skip the docstring
+        if not body or not isinstance(body[0], ast.Assert):
+            return False
+        test = body[0].test
+        return (
+            isinstance(test, ast.Call)
+            and isinstance(test.func, ast.Attribute)
+            and test.func.attr == "locked"
+            and self._is_lock_expr(test.func.value)
+        )
+
+    def _collect_guarded(
+        self, method: ast.FunctionDef | ast.AsyncFunctionDef, guarded: set[str]
+    ) -> None:
+        """Add attribute names mutated inside lock blocks of ``method``."""
+        whole_method_locked = self._asserts_lock_held(method)
+
+        def walk(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = locked or self._lock_items(node)
+                for item in node.items:
+                    walk(item, locked)
+                for stmt in node.body:
+                    walk(stmt, inner)
+                return
+            if isinstance(node, _FUNCTION_NODES) and node is not method:
+                # Closures may escape the lock's dynamic extent.
+                for child in ast.iter_child_nodes(node):
+                    walk(child, False)
+                return
+            if locked:
+                for name in _mutated_self_attrs(node):
+                    guarded.add(name)
+            for child in ast.iter_child_nodes(node):
+                walk(child, locked)
+
+        walk(method, whole_method_locked)
+
+    def _iter_self_accesses(
+        self, method: ast.FunctionDef | ast.AsyncFunctionDef, method_locked: bool
+    ) -> list[tuple[ast.Attribute, bool]]:
+        """Every ``self.X`` node in ``method`` with its lock state."""
+        accesses: list[tuple[ast.Attribute, bool]] = []
+
+        def walk(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = locked or self._lock_items(node)
+                for item in node.items:
+                    walk(item, locked)
+                for stmt in node.body:
+                    walk(stmt, inner)
+                return
+            if isinstance(node, _FUNCTION_NODES) and node is not method:
+                for child in ast.iter_child_nodes(node):
+                    walk(child, False)
+                return
+            if is_self_attribute(node):
+                accesses.append((node, locked))
+            for child in ast.iter_child_nodes(node):
+                walk(child, locked)
+
+        walk(method, method_locked)
+        return accesses
+
+
+def _mutated_self_attrs(node: ast.AST) -> list[str]:
+    """Names of ``self`` attributes this single statement mutates."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    names: list[str] = []
+    for target in targets:
+        base = target
+        # Unwrap subscript stores: ``self._entries[key] = v`` mutates
+        # ``self._entries`` even though the attribute node itself is a Load.
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, (ast.Tuple, ast.List)):
+            for element in base.elts:
+                names.extend(_unwrap_attr(element))
+        else:
+            names.extend(_unwrap_attr(base))
+    return names
+
+
+def _unwrap_attr(node: ast.expr) -> list[str]:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if is_self_attribute(node):
+        return [node.attr]
+    return []

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.dram import DRAMModel, LPDDR3
+from repro.arch.dram import LPDDR3, DRAMModel
 from repro.im2col.traffic import ConvTrafficReport
 
 

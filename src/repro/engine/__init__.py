@@ -54,7 +54,9 @@ reduces outputs and counters into one aggregate; and
 :mod:`repro.engine.cache` memoizes analytical estimates across sweep points
 — GEMM estimates under ``(M, K, N, array, dataflow, engine, grid)`` keys
 (:func:`cached_gemm_cycles`) and convolution estimates under conv-geometry
-keys that never alias them (:func:`cached_conv_cycles`).
+keys that never alias them (:func:`cached_conv_cycles`); every key is built
+by the audited constructors :func:`gemm_estimate_key` /
+:func:`conv_estimate_key` (enforced by ``reprolint`` rule RPL103).
 
 The shape-only accounting is available without touching operand data:
 
@@ -86,8 +88,10 @@ from repro.engine.cache import (
     cached_conv_cycles,
     cached_gemm_cycles,
     clear_estimate_cache,
+    conv_estimate_key,
     estimate_cache_capacity,
     estimate_cache_info,
+    gemm_estimate_key,
     set_estimate_cache_capacity,
 )
 from repro.engine.scaleout import (
@@ -156,8 +160,10 @@ __all__ = [
     "cached_conv_cycles",
     "cached_gemm_cycles",
     "clear_estimate_cache",
+    "conv_estimate_key",
     "estimate_cache_capacity",
     "estimate_cache_info",
+    "gemm_estimate_key",
     "set_estimate_cache_capacity",
     "AxonWavefrontOSArray",
     "AxonWavefrontStationaryArray",

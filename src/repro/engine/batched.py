@@ -165,6 +165,10 @@ def gemm_cycle_accounting(
     This is exactly the accounting :func:`execute_gemm` attaches to its
     functional result (the engine test-suite pins both to the cycle
     simulators), evaluated without touching any operand data.
+
+    >>> accounting = gemm_cycle_accounting(64, 32, 48, 16, 16)
+    >>> accounting.tile_count, accounting.total_cycles
+    (12, 936)
     """
     if rows <= 0 or cols <= 0:
         raise ValueError("array dimensions must be positive")
@@ -206,7 +210,7 @@ def _exact_stationary_output(
     _, n = b.shape
     extent = m if dataflow is Dataflow.WEIGHT_STATIONARY else n
     positions = np.arange(extent) % cols
-    output = np.zeros((m, n))
+    output = np.zeros((m, n), dtype=np.float64)
     for k_start in range(0, k, rows):
         a_chunk = a[:, k_start : k_start + rows]
         b_chunk = b[k_start : k_start + rows, :]

@@ -91,7 +91,7 @@ class LRUEstimateCache:
     does not lose its observed hit rate — and reset on :meth:`clear`.
     """
 
-    def __init__(self, capacity: int | None = DEFAULT_ESTIMATE_CACHE_CAPACITY):
+    def __init__(self, capacity: int | None = DEFAULT_ESTIMATE_CACHE_CAPACITY) -> None:
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, int] = OrderedDict()
         self._hits = 0
@@ -109,8 +109,14 @@ class LRUEstimateCache:
 
     @property
     def capacity(self) -> int | None:
-        """The current entry bound (None = unbounded)."""
-        return self._capacity
+        """The current entry bound (None = unbounded).
+
+        Read under the lock: :meth:`resize` changes ``_capacity`` from
+        other threads, and a torn read here would let a monitoring
+        thread observe a bound the cache never had.
+        """
+        with self._lock:
+            return self._capacity
 
     def memoize(self, key: Hashable, compute: Callable[[], int]) -> int:
         """Return the cached value for ``key``, computing it on a miss.
@@ -135,6 +141,7 @@ class LRUEstimateCache:
 
     def _evict(self) -> None:
         """Drop LRU entries until the bound holds (lock must be held)."""
+        assert self._lock.locked(), "caller must hold the estimate-cache lock"
         if self._capacity is None:
             return
         while len(self._entries) > self._capacity:
@@ -172,6 +179,90 @@ class LRUEstimateCache:
 _ESTIMATE_CACHE = LRUEstimateCache(_capacity_from_env())
 
 
+def gemm_estimate_key(
+    m: int,
+    k: int,
+    n: int,
+    *,
+    rows: int,
+    cols: int,
+    dataflow: Dataflow,
+    axon: bool,
+    engine: str,
+    partitions_rows: int,
+    partitions_cols: int,
+) -> tuple[Hashable, ...]:
+    """The audited estimate-cache key for one GEMM design point.
+
+    Every GEMM estimate key flows through here (enforced by the
+    ``reprolint`` cache-key-hygiene rule, RPL103), so the fields that keep
+    entries from aliasing — the engine name, the ``P_R x P_C`` scale-out
+    grid and the dataflow — are keyword-only and cannot be forgotten the
+    way a hand-assembled tuple forgets them.  Values are normalised so
+    ``numpy`` integers and plain ``int`` build the same key.
+
+    >>> gemm_estimate_key(8, 4, 8, rows=16, cols=16,
+    ...                   dataflow=Dataflow.OUTPUT_STATIONARY, axon=True,
+    ...                   engine="wavefront",
+    ...                   partitions_rows=1, partitions_cols=1)
+    ('gemm', 8, 4, 8, 16, 16, <Dataflow.OUTPUT_STATIONARY: 'OS'>, True, \
+'wavefront', 1, 1)
+    """
+    return (
+        "gemm",
+        int(m),
+        int(k),
+        int(n),
+        int(rows),
+        int(cols),
+        dataflow,
+        bool(axon),
+        str(engine),
+        int(partitions_rows),
+        int(partitions_cols),
+    )
+
+
+def conv_estimate_key(
+    conv: ConvShape,
+    *,
+    rows: int,
+    cols: int,
+    dataflow: Dataflow,
+    axon: bool,
+    engine: str,
+    partitions_rows: int,
+    partitions_cols: int,
+) -> tuple[Hashable, ...]:
+    """The audited estimate-cache key for one convolution layer.
+
+    ``"conv"``-tagged and carrying the full convolution geometry —
+    kernel, stride, padding, depthwise — so a conv estimate can never
+    alias the lowered GEMM's entry (the PR 4 bug class this helper and
+    rule RPL103 exist to prevent), plus the same keyword-only engine /
+    grid / dataflow discriminators as :func:`gemm_estimate_key`.
+    """
+    return (
+        "conv",
+        int(conv.in_channels),
+        int(conv.ifmap_h),
+        int(conv.ifmap_w),
+        int(conv.kernel_h),
+        int(conv.kernel_w),
+        int(conv.num_filters),
+        int(conv.stride),
+        int(conv.padding),
+        bool(conv.depthwise),
+        int(rows),
+        int(cols),
+        dataflow,
+        bool(axon),
+        str(engine),
+        int(partitions_rows),
+        int(partitions_cols),
+    )
+
+
 def cached_gemm_cycles(
     m: int,
     k: int,
@@ -190,9 +281,17 @@ def cached_gemm_cycles(
     on a ``P_R x P_C`` grid of ``rows x cols`` arrays; the default ``1 x 1``
     grid is Eq. 2 scale-up execution.
     """
-    key = (
-        m, k, n, rows, cols, dataflow, axon, engine,
-        partitions_rows, partitions_cols,
+    key = gemm_estimate_key(
+        m,
+        k,
+        n,
+        rows=rows,
+        cols=cols,
+        dataflow=dataflow,
+        axon=axon,
+        engine=engine,
+        partitions_rows=partitions_rows,
+        partitions_cols=partitions_cols,
     )
 
     def compute() -> int:
@@ -229,13 +328,15 @@ def cached_conv_cycles(
     GEMM pricing of the same shape — e.g. serving admission for a
     :class:`repro.serve.job.ConvJob` — is a hit.
     """
-    key = (
-        "conv",
-        conv.in_channels, conv.ifmap_h, conv.ifmap_w,
-        conv.kernel_h, conv.kernel_w, conv.num_filters,
-        conv.stride, conv.padding, conv.depthwise,
-        rows, cols, dataflow, axon, engine,
-        partitions_rows, partitions_cols,
+    key = conv_estimate_key(
+        conv,
+        rows=rows,
+        cols=cols,
+        dataflow=dataflow,
+        axon=axon,
+        engine=engine,
+        partitions_rows=partitions_rows,
+        partitions_cols=partitions_cols,
     )
 
     def compute() -> int:

@@ -29,7 +29,7 @@ contributing zero cycles and zero work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -104,6 +104,11 @@ def iter_partition_share_shapes(
     data — e.g. the serving scheduler's makespan planning
     (:func:`repro.serve.scheduler.planned_gemm_cycles`).  Keeping it next
     to the operand iterator is what stops the two from drifting apart.
+
+    >>> from repro.arch.dataflow import Dataflow
+    >>> list(iter_partition_share_shapes(
+    ...     6, 4, 6, Dataflow.OUTPUT_STATIONARY, 2, 2))
+    [(3, 4, 3), (3, 4, 3), (3, 4, 3), (3, 4, 3)]
     """
     if dataflow is Dataflow.OUTPUT_STATIONARY:
         row_spans, col_spans = partition_spans(m, p_r), partition_spans(n, p_c)
@@ -175,7 +180,7 @@ def scale_out_reduce(
     dataflow: Dataflow,
     partitions_rows: int,
     partitions_cols: int,
-    run_share,
+    run_share: Callable[[np.ndarray, np.ndarray], GemmExecution],
 ) -> ScaleOutExecution:
     """Partition a GEMM per Eq. 3, run each share, reduce the results.
 
@@ -212,7 +217,7 @@ def scale_out_reduce(
             shares=(execution,),
         )
 
-    output = np.zeros((m, n))
+    output = np.zeros((m, n), dtype=np.float64)
     shares: dict[tuple[int, int], GemmExecution] = {}
     total_cycles = 0
     mac_count = 0

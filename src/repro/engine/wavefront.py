@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow, map_gemm
 from repro.arch.stationary import StationaryRunResult
 from repro.arch.systolic_os import OSRunResult
@@ -65,13 +66,18 @@ def sequential_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ``s = 0 .. K-1`` in order, exactly like the PE accumulators in the cycle
     simulators, so the result is bit-identical to theirs (BLAS ``a @ b`` may
     reassociate the reduction and differ in the last ulp).
+
+    >>> import numpy as np
+    >>> sequential_matmul(np.array([[1.0, 2.0], [3.0, 4.0]]), np.eye(2))
+    array([[1., 2.],
+           [3., 4.]])
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     m, k = a.shape
     _, n = b.shape
-    acc = np.zeros((m, n))
-    buf = np.empty((m, n))
+    acc = np.zeros((m, n), dtype=np.float64)
+    buf = np.empty((m, n), dtype=np.float64)
     for s in range(k):
         np.multiply(a[:, s, None], b[s, None, :], out=buf)
         acc += buf
@@ -129,7 +135,9 @@ def zero_gating_counts(a: np.ndarray, b: np.ndarray) -> tuple[int, int]:
     _, n = b.shape
     a_nonzero = np.count_nonzero(a, axis=0).astype(np.int64)  # per column s
     b_nonzero = np.count_nonzero(b, axis=1).astype(np.int64)  # per row s
-    performed = int(np.dot(a_nonzero, b_nonzero))
+    # einsum with a pinned int64 accumulator — np.dot cannot pin one, and
+    # gated-MAC counts feed cycle accounting that must stay integer-exact.
+    performed = int(np.einsum("s,s->", a_nonzero, b_nonzero, dtype=np.int64))
     return performed, m * n * k - performed
 
 
@@ -140,7 +148,7 @@ class ConventionalWavefrontOSArray:
     bit-identical to the cycle simulator's, derived analytically.
     """
 
-    def __init__(self, config):
+    def __init__(self, config: ArrayConfig) -> None:
         self.config = config
 
     def run_tile(self, a: np.ndarray, b: np.ndarray) -> OSRunResult:
@@ -172,7 +180,7 @@ class AxonWavefrontOSArray:
     zero-gating MAC counters derived from the operand zero masks.
     """
 
-    def __init__(self, config, zero_gating: bool = False):
+    def __init__(self, config: ArrayConfig, zero_gating: bool = False) -> None:
         self.config = config
         self.zero_gating = zero_gating
 
@@ -247,8 +255,8 @@ def bypass_add_matmul(
         raise ValueError(
             f"spatial_positions must have shape ({extent},), got {split.shape}"
         )
-    upper = np.zeros((m, n))
-    lower = np.zeros((m, n))
+    upper = np.zeros((m, n), dtype=np.float64)
+    lower = np.zeros((m, n), dtype=np.float64)
     if dataflow is Dataflow.WEIGHT_STATIONARY:
         for r in range(k):  # downward segment: ascending rows from the feeder
             lower += np.where(split <= r, a[:, r], 0.0)[:, None] * b[r, None, :]
@@ -272,7 +280,7 @@ class ConventionalWavefrontStationaryArray:
     count is Eq. 1 under the Table 1 mapping.
     """
 
-    def __init__(self, config, dataflow: Dataflow):
+    def __init__(self, config: ArrayConfig, dataflow: Dataflow) -> None:
         if dataflow is Dataflow.OUTPUT_STATIONARY:
             raise ValueError(
                 "use ConventionalWavefrontOSArray for the output-stationary dataflow"
@@ -311,7 +319,9 @@ class AxonWavefrontStationaryArray:
     zero-gating MAC counters — via :func:`bypass_add_matmul`.
     """
 
-    def __init__(self, config, dataflow: Dataflow, zero_gating: bool = False):
+    def __init__(
+        self, config: ArrayConfig, dataflow: Dataflow, zero_gating: bool = False
+    ) -> None:
         if dataflow is Dataflow.OUTPUT_STATIONARY:
             raise ValueError(
                 "use AxonWavefrontOSArray for the output-stationary dataflow"

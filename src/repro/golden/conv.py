@@ -78,7 +78,12 @@ def conv2d(
             window = padded[
                 :, row * stride : row * stride + k_h, col * stride : col * stride + k_w
             ]
-            ofmap[:, row, col] = np.tensordot(filters, window, axes=([1, 2, 3], [0, 1, 2]))
+            # einsum with a pinned float64 accumulator: np.tensordot offers
+            # no dtype parameter, and the reference model's accumulation
+            # must never float with NumPy's promotion rules (RPL104).
+            ofmap[:, row, col] = np.einsum(
+                "fcrs,crs->f", filters, window, dtype=np.float64
+            )
     return ofmap
 
 
@@ -141,5 +146,7 @@ def depthwise_conv2d(
             window = padded[
                 :, row * stride : row * stride + k_h, col * stride : col * stride + k_w
             ]
-            ofmap[:, row, col] = np.einsum("crs,crs->c", window, filters)
+            ofmap[:, row, col] = np.einsum(
+                "crs,crs->c", window, filters, dtype=np.float64
+            )
     return ofmap

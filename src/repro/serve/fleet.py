@@ -67,7 +67,7 @@ class WorkerSpec:
     arch: str = "axon"
     scale_out: tuple[int, int] = (1, 1)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.count < 1:
             raise ValueError(f"worker count must be >= 1, got {self.count}")
         if self.rows < 1 or self.cols < 1:

@@ -24,9 +24,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.api import RunResult
+from repro.api import RunResult, _AcceleratorBase
 from repro.energy.dram_energy import dram_energy_mj
-from repro.im2col.lowering import lower_conv_operands
+from repro.im2col.lowering import ConvShape, lower_conv_operands
 from repro.im2col.software import col2im_output
 
 #: Admission outcomes recorded on a :class:`JobResult`.
@@ -69,7 +69,9 @@ class _GemmOperandsMixin:
     def macs(self) -> int:
         return self.m * self.k * self.n
 
-    def finalize_result(self, run: RunResult, accelerator) -> RunResult:
+    def finalize_result(
+        self, run: RunResult, accelerator: _AcceleratorBase
+    ) -> RunResult:
         """Post-process one executed :class:`RunResult` for this job.
 
         The scheduler calls this on the result of the (possibly batched)
@@ -108,6 +110,11 @@ class Job(_GemmOperandsMixin):
     arrival_cycle:
         Simulated-clock arrival time; the job is invisible to the
         scheduler before this instant.
+
+    >>> import numpy as np
+    >>> job = Job(job_id="j0", tenant="acme", a=np.ones((4, 8)), b=np.ones((8, 2)))
+    >>> job.shape, job.macs
+    ((4, 8, 2), 64)
     """
 
     job_id: str
@@ -119,7 +126,7 @@ class Job(_GemmOperandsMixin):
     deadline_hint_cycles: int | None = None
     arrival_cycle: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         a = np.asarray(self.a, dtype=np.float64)
         b = np.asarray(self.b, dtype=np.float64)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
@@ -182,7 +189,7 @@ class ConvJob(_GemmOperandsMixin):
     a: np.ndarray = field(init=False, repr=False)
     b: np.ndarray = field(init=False, repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         ifmap = np.asarray(self.ifmap, dtype=np.float64)
         filters = np.asarray(self.filters, dtype=np.float64)
         try:
@@ -202,11 +209,13 @@ class ConvJob(_GemmOperandsMixin):
             raise ValueError(f"job {self.job_id!r}: arrival_cycle must be >= 0")
 
     @property
-    def conv_shape(self):
+    def conv_shape(self) -> ConvShape:
         """The :class:`repro.im2col.lowering.ConvShape` this job executes."""
         return self._conv_shape
 
-    def finalize_result(self, run: RunResult, accelerator) -> RunResult:
+    def finalize_result(
+        self, run: RunResult, accelerator: _AcceleratorBase
+    ) -> RunResult:
         """Fold the GEMM result into the OFMAP and attach conv traffic.
 
         Produces exactly what ``accelerator.run_conv(ifmap, filters, ...)``

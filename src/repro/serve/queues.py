@@ -70,7 +70,7 @@ class AdmissionController:
         pricer: Callable[[AnyJob], int],
         budgets: Mapping[str, int] | None = None,
         policy: str = POLICY_DEPRIORITIZE,
-    ):
+    ) -> None:
         if policy not in ADMISSION_POLICIES:
             raise ValueError(
                 f"unknown admission policy {policy!r}; "
@@ -162,9 +162,22 @@ class WeightedFairQueue:
     lazily on first push).  Deprioritized jobs, regardless of tenant, go to
     a global FIFO backlog that is only served — and only batched from —
     once every in-budget queue is empty.
+
+    >>> import numpy as np
+    >>> from repro.serve.job import Job
+    >>> queue = WeightedFairQueue(weights={"acme": 2.0, "bob": 1.0})
+    >>> for tenant in ("acme", "bob"):
+    ...     queue.push(QueuedJob(
+    ...         job=Job(job_id=tenant + "-0", tenant=tenant,
+    ...                 a=np.eye(4), b=np.eye(4)),
+    ...         priced_cycles=100))
+    >>> len(queue)
+    2
+    >>> [entry.job.tenant for entry in queue.next_batch()]
+    ['acme']
     """
 
-    def __init__(self, weights: Mapping[str, float] | None = None):
+    def __init__(self, weights: Mapping[str, float] | None = None) -> None:
         self._weights = dict(weights or {})
         for tenant, weight in self._weights.items():
             if weight <= 0:

@@ -29,6 +29,11 @@ class WorkerStats:
     ``worker_class`` is the worker's configuration label
     (:meth:`repro.api._AcceleratorBase.describe`); on a homogeneous fleet
     every worker carries the same one.
+
+    >>> stats = WorkerStats(worker_id=0, jobs=3, batches=2,
+    ...                     busy_cycles=1200, utilization=0.75)
+    >>> stats.to_dict()["utilization"]
+    0.75
     """
 
     worker_id: int

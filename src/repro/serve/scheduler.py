@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -63,9 +64,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.api import RunResult, _validated_utilization
+from repro.api import RunResult, _AcceleratorBase, _validated_utilization
 from repro.engine.batched import gemm_cycle_accounting
-from repro.engine.cache import estimate_cache_info
+from repro.engine.cache import CacheInfo, estimate_cache_info
 from repro.engine.scaleout import iter_partition_share_shapes
 from repro.serve.job import (
     STATUS_COMPLETED,
@@ -114,7 +115,7 @@ def stacked_matmul_is_bitexact() -> bool:
     return _STACKED_PROBE
 
 
-def planned_gemm_cycles(accelerator, m: int, k: int, n: int) -> int:
+def planned_gemm_cycles(accelerator: _AcceleratorBase, m: int, k: int, n: int) -> int:
     """The exact cycles ``accelerator.run_gemm`` will report for this shape.
 
     Unlike :meth:`estimate_gemm_cycles` (the Eq. 2/3 analytical pricing
@@ -142,7 +143,7 @@ def planned_gemm_cycles(accelerator, m: int, k: int, n: int) -> int:
     )
 
 
-def _batch_eligible(accelerator, jobs: Sequence[AnyJob]) -> bool:
+def _batch_eligible(accelerator: _AcceleratorBase, jobs: Sequence[AnyJob]) -> bool:
     """Whether the stacked-matmul fast path may run this batch."""
     if len(jobs) < 2 or not stacked_matmul_is_bitexact():
         return False
@@ -154,7 +155,9 @@ def _batch_eligible(accelerator, jobs: Sequence[AnyJob]) -> bool:
     return all(job.shape == shape for job in jobs)
 
 
-def run_batch(accelerator, jobs: Sequence[AnyJob]) -> list[RunResult]:
+def run_batch(
+    accelerator: _AcceleratorBase, jobs: Sequence[AnyJob]
+) -> list[RunResult]:
     """Execute one batch's numerics, bit-exact with per-job ``run_gemm``.
 
     Same-shape batches on a plain wavefront worker take the stacked
@@ -250,7 +253,7 @@ class _OnlinePlanner:
     ``_wake`` map.
     """
 
-    def __init__(self, scheduler: "AsyncGemmScheduler"):
+    def __init__(self, scheduler: "AsyncGemmScheduler") -> None:
         self._s = scheduler
         fleet_size = len(scheduler.fleet)
         self.admission = AdmissionController(
@@ -354,7 +357,9 @@ class _OnlinePlanner:
                 )
             self._window_wait.clear()
 
-    def finish(self):
+    def finish(
+        self,
+    ) -> tuple[list[_ScheduledBatch], list[JobResult], dict[int, _WorkerLedger]]:
         """End the stream and fire every remaining event.
 
         Returns ``(batches, rejected, ledgers)``; idempotent.
@@ -396,7 +401,9 @@ class _OnlinePlanner:
             # This worker stayed free (a sibling out-priced it for that
             # shape); let it try to host the next head-of-line batch.
 
-    def _place(self, shape, cycle: int):
+    def _place(
+        self, shape: tuple[int, int, int], cycle: int
+    ) -> tuple[int | None, int | None]:
         """Choose the worker to host the head batch, or defer.
 
         Ranks worker classes by the estimate-cache price of ``shape``
@@ -517,7 +524,7 @@ class AsyncGemmScheduler:
 
     def __init__(
         self,
-        fleet: Sequence,
+        fleet: Sequence[_AcceleratorBase],
         *,
         max_batch: int = 8,
         weights: Mapping[str, float] | None = None,
@@ -527,7 +534,7 @@ class AsyncGemmScheduler:
         batch_window_cycles: int | None = None,
         placement: str = PLACEMENT_PRICED,
         placement_seed: int = 0,
-    ):
+    ) -> None:
         fleet = list(fleet)
         if not fleet:
             raise ValueError("fleet must contain at least one accelerator")
@@ -569,11 +576,24 @@ class AsyncGemmScheduler:
                 self._class_reps.append(worker)
             self._worker_class_ids.append(index)
         self.worker_classes = tuple(rep.describe() for rep in self._class_reps)
+        # Two locks for the two pieces of cross-thread mutable state.
+        # ``_lock`` guards the open submit() stream: submit() may run on
+        # the event-loop thread while drain() runs on an executor thread
+        # (drain_async does exactly that).  ``_memo_lock`` guards the
+        # planned-cycles memo; it is a *leaf* lock — planned_job_cycles is
+        # called from inside the planner while submit() already holds
+        # ``_lock`` (and the locks are non-reentrant), so the memo needs
+        # its own, and it never acquires anything else while held.
+        # Everything else on the scheduler is immutable after
+        # construction.  reprolint's lock-discipline rule (RPL101)
+        # enforces that these attributes are never touched off-lock.
+        self._lock = threading.Lock()
+        self._memo_lock = threading.Lock()
         self._planned_cycles_memo: dict[tuple, int] = {}
         self._stream: _StreamState | None = None
 
     @staticmethod
-    def _worker_signature(accelerator) -> tuple:
+    def _worker_signature(accelerator: _AcceleratorBase) -> tuple:
         return (
             accelerator.config.rows,
             accelerator.config.cols,
@@ -627,16 +647,21 @@ class AsyncGemmScheduler:
         execution.
         """
         key = (job.shape, self._worker_class_ids[worker_id])
-        cycles = self._planned_cycles_memo.get(key)
+        with self._memo_lock:
+            cycles = self._planned_cycles_memo.get(key)
         if cycles is None:
+            # Computed outside the lock: the accounting is pure, so a
+            # concurrent duplicate computation is harmless and brief.
             rep = self._class_reps[self._worker_class_ids[worker_id]]
             cycles = planned_gemm_cycles(rep, *job.shape)
-            self._planned_cycles_memo[key] = cycles
+            with self._memo_lock:
+                self._planned_cycles_memo[key] = cycles
         return cycles
 
     # -- streaming API (online arrivals) -----------------------------------
 
     def _open_stream(self) -> _StreamState:
+        assert self._lock.locked(), "caller must hold the scheduler lock"
         if self._stream is None:
             self._stream = _StreamState(
                 planner=_OnlinePlanner(self),
@@ -677,9 +702,10 @@ class AsyncGemmScheduler:
         >>> result.status, report.jobs_completed
         ('completed', 1)
         """
-        stream = self._open_stream()
-        stream.planner.offer(job)
-        self._launch_planned(stream)
+        with self._lock:
+            stream = self._open_stream()
+            stream.planner.offer(job)
+            self._launch_planned(stream)
 
     def drain(self) -> tuple[ServeReport, list[JobResult]]:
         """Close the stream: flush the planner, await every batch, report.
@@ -690,8 +716,11 @@ class AsyncGemmScheduler:
         is immediately reusable for a new stream (or ``serve()`` call)
         afterwards.  Draining an unopened stream returns an empty report.
         """
-        stream = self._stream
-        self._stream = None
+        with self._lock:
+            # Pop the stream atomically; once detached it belongs to this
+            # call alone, so the flush/await below can run off-lock.
+            stream = self._stream
+            self._stream = None
         if stream is None:
             # Nothing was submitted: report an empty run without spinning
             # up (and immediately tearing down) an executor pool.
@@ -740,7 +769,9 @@ class AsyncGemmScheduler:
         :class:`JobResult` per submitted job (rejected jobs included),
         sorted by ``job_id``.
         """
-        if self._stream is not None:
+        with self._lock:
+            stream_open = self._stream is not None
+        if stream_open:
             raise RuntimeError(
                 "a submit() stream is open; drain() it before calling serve()"
             )
@@ -790,7 +821,7 @@ class AsyncGemmScheduler:
         *,
         tenants: set[str],
         wall_seconds: float,
-        cache_before,
+        cache_before: CacheInfo,
     ) -> tuple[ServeReport, list[JobResult]]:
         results = list(rejected)
         for batch, runs in zip(batches, batch_runs):
@@ -860,7 +891,10 @@ class AsyncGemmScheduler:
 
 
 def serial_baseline(
-    fleet_worker, jobs: Sequence[AnyJob], *, clock_hz: float = DEFAULT_CLOCK_HZ
+    fleet_worker: _AcceleratorBase,
+    jobs: Sequence[AnyJob],
+    *,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
 ) -> tuple[ServeReport, list[JobResult]]:
     """Naive serial dispatch: one worker, no batching, strict arrival order.
 

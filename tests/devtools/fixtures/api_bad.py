@@ -1,0 +1,11 @@
+# expect[1]: RPL105 -- the module defines public API but has no doctest;
+# the module-level finding anchors at line 1.
+"""Bad fixture for RPL105: undocumented export, no doctest anywhere."""
+
+__all__ = ["estimate", "LIMIT"]
+
+LIMIT = 64
+
+
+def estimate(m, k, n):  # expect: RPL105
+    return m * k * n

@@ -1,0 +1,14 @@
+"""Good fixture for RPL105: documented exports and a module doctest.
+
+>>> estimate(2, 3, 4)
+24
+"""
+
+__all__ = ["estimate", "LIMIT"]
+
+LIMIT = 64
+
+
+def estimate(m, k, n):
+    """Idealized MAC count of an ``M x K x N`` GEMM."""
+    return m * k * n

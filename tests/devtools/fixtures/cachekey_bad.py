@@ -1,0 +1,19 @@
+# Bad fixture for RPL103: hand-built estimate-cache keys at memoize()
+# call sites.
+
+
+class _Cache:
+    def memoize(self, key, compute):
+        return compute()
+
+
+CACHE = _Cache()
+
+
+def price(m, k, n):
+    return CACHE.memoize(("gemm", m, k, n), lambda: m * k * n)  # expect: RPL103
+
+
+def price_named(m, k, n):
+    key = (m, k, n)
+    return CACHE.memoize(key, lambda: m * k * n)  # expect: RPL103

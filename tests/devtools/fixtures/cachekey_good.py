@@ -1,0 +1,45 @@
+# Good fixture for RPL103: every memoize() key flows through an audited
+# key constructor — directly or via a local name.
+from repro.engine.cache import gemm_estimate_key
+
+
+class _Cache:
+    def memoize(self, key, compute):
+        return compute()
+
+
+CACHE = _Cache()
+
+
+def price(m, k, n):
+    return CACHE.memoize(
+        gemm_estimate_key(
+            m,
+            k,
+            n,
+            rows=8,
+            cols=8,
+            dataflow="os",
+            axon=True,
+            engine="wavefront",
+            partitions_rows=1,
+            partitions_cols=1,
+        ),
+        lambda: m * k * n,
+    )
+
+
+def price_named(m, k, n):
+    key = gemm_estimate_key(
+        m,
+        k,
+        n,
+        rows=8,
+        cols=8,
+        dataflow="os",
+        axon=True,
+        engine="wavefront",
+        partitions_rows=1,
+        partitions_cols=1,
+    )
+    return CACHE.memoize(key, lambda: m * k * n)

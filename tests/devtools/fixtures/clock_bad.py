@@ -1,0 +1,32 @@
+# Bad fixture for RPL102: wall-clock reads and unseeded RNGs in a
+# simulated-clock path.
+import random
+import time
+from datetime import datetime
+from time import monotonic  # expect: RPL102
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # expect: RPL102
+
+
+def when():
+    return datetime.now()  # expect: RPL102
+
+
+def noise():
+    return np.random.rand(4)  # expect: RPL102
+
+
+def generator():
+    return np.random.default_rng()  # expect: RPL102
+
+
+def pick():
+    return random.random()  # expect: RPL102
+
+
+def tick():
+    return monotonic()

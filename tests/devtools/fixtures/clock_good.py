@@ -1,0 +1,18 @@
+# Good fixture for RPL102: wall-clock reporting via perf_counter and
+# explicitly seeded generators only.
+import random
+import time
+
+import numpy as np
+
+
+def wall_report():
+    return time.perf_counter()
+
+
+def generator():
+    return np.random.default_rng(20250613)
+
+
+def stream():
+    return random.Random(7).random()

@@ -1,0 +1,23 @@
+# Bad fixture for RPL104: dtype-less accumulations and buffers in an
+# integer-exact path.
+import numpy as np
+
+
+def total(values):
+    return np.sum(values)  # expect: RPL104
+
+
+def running(values):
+    return values.cumsum()  # expect: RPL104
+
+
+def buffer(m, n):
+    return np.zeros((m, n))  # expect: RPL104
+
+
+def contract(a, b):
+    return np.dot(a, b)  # expect: RPL104
+
+
+def fold(a, b):
+    return np.tensordot(a, b, axes=1)  # expect: RPL104

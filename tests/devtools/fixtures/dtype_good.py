@@ -1,0 +1,29 @@
+# Good fixture for RPL104: every accumulator pins its dtype; matmul and
+# math.prod are deliberately out of the rule's scope.
+import math
+
+import numpy as np
+
+
+def total(values):
+    return np.sum(values, dtype=np.int64)
+
+
+def running(values):
+    return values.cumsum(dtype=np.int64)
+
+
+def buffer(m, n):
+    return np.zeros((m, n), dtype=np.float64)
+
+
+def contract(a, b):
+    return np.einsum("ij,jk->ik", a, b, dtype=np.float64)
+
+
+def product(values):
+    return math.prod(values)
+
+
+def matmul(a, b):
+    return a @ b

@@ -1,0 +1,27 @@
+# Bad fixture for RPL101: off-lock access to lock-guarded attributes.
+# "# expect:" markers pin the exact finding lines the rule must report.
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+
+    def peek(self):
+        return self._value  # expect: RPL101
+
+    def reset(self):
+        self._value = 0  # expect: RPL101
+
+    def deferred(self):
+        with self._lock:
+
+            def callback():
+                return self._value  # expect: RPL101
+
+            return callback

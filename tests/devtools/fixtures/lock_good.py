@@ -1,0 +1,29 @@
+# Good fixture for RPL101: every guarded access stays under the lock,
+# __init__ constructs freely, and an assert-locked helper is recognised.
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+        self._unguarded = "never mutated under the lock"
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+
+    def peek(self):
+        with self._lock:
+            return self._value
+
+    def _drop(self):
+        assert self._lock.locked(), "caller must hold the lock"
+        self._value = 0
+
+    def reset(self):
+        with self._lock:
+            self._drop()
+
+    def label(self):
+        return self._unguarded

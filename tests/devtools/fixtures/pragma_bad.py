@@ -1,0 +1,6 @@
+# Bad fixture for RPL100: a reasonless pragma and an unknown rule id.
+# expect[5]: RPL100
+# expect[6]: RPL100
+
+X = 1  # reprolint: disable=RPL104
+Y = 2  # reprolint: disable=RPL999 (fixture exercises the unknown-id check)

@@ -1,0 +1,5 @@
+# Good fixture for RPL100: a real RPL102 finding suppressed by a
+# well-formed pragma carrying its mandatory reason.
+import time
+
+T0 = time.time()  # reprolint: disable=RPL102 (fixture: documents the pragma form)

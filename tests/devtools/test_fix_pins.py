@@ -1,0 +1,167 @@
+"""Bit-exactness pins for the fixes the analyzer demanded at head.
+
+Every true positive ``reprolint`` reported was fixed in the same PR that
+introduced the rule; each fix is pinned here so it cannot regress into
+the behaviour the rule exists to forbid:
+
+* RPL104 rewrote ``np.dot`` / ``np.tensordot`` accumulations into
+  ``np.einsum(..., dtype=...)`` in the zero-gating counters and the
+  golden conv reference — pinned bit-exact against naive Python loops
+  on integer-valued tensors.
+* RPL103 routed every estimate-cache key through the audited
+  constructors — pinned by non-aliasing checks across the engine, grid
+  and dataflow axes (the PR 4 bug class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.dataflow import Dataflow
+from repro.engine.cache import (
+    cached_gemm_cycles,
+    clear_estimate_cache,
+    conv_estimate_key,
+    estimate_cache_info,
+    gemm_estimate_key,
+)
+from repro.engine.wavefront import sequential_matmul, zero_gating_counts
+from repro.golden.conv import conv2d, depthwise_conv2d
+from repro.im2col.lowering import ConvShape
+
+
+def _int_tensor(rng, shape, low=-4, high=5):
+    return rng.integers(low, high, size=shape).astype(np.float64)
+
+
+class TestEinsumRewritesAreExact:
+    def test_zero_gating_counts_match_python_reference(self, rng):
+        a = _int_tensor(rng, (13, 9))
+        b = _int_tensor(rng, (9, 7))
+        a[rng.random((13, 9)) < 0.4] = 0.0
+        b[rng.random((9, 7)) < 0.4] = 0.0
+        performed, gated = zero_gating_counts(a, b)
+        expected_performed = sum(
+            int(np.count_nonzero(a[:, s])) * int(np.count_nonzero(b[s, :]))
+            for s in range(9)
+        )
+        assert performed == expected_performed
+        assert gated == 13 * 9 * 7 - expected_performed
+
+    def test_conv2d_matches_naive_loops_exactly(self, rng):
+        ifmap = _int_tensor(rng, (3, 6, 6))
+        filters = _int_tensor(rng, (4, 3, 3, 3))
+        out = conv2d(ifmap, filters, stride=1, padding=1)
+        f, c, r, s = filters.shape
+        p = q = 6
+        expected = np.zeros((f, p, q), dtype=np.float64)
+        padded = np.pad(ifmap, ((0, 0), (1, 1), (1, 1)))
+        for fi in range(f):
+            for row in range(p):
+                for col in range(q):
+                    acc = 0.0
+                    for ci in range(c):
+                        for ri in range(r):
+                            for si in range(s):
+                                acc += (
+                                    filters[fi, ci, ri, si]
+                                    * padded[ci, row + ri, col + si]
+                                )
+                    expected[fi, row, col] = acc
+        assert np.array_equal(out, expected)
+
+    def test_depthwise_conv2d_matches_naive_loops_exactly(self, rng):
+        ifmap = _int_tensor(rng, (3, 5, 5))
+        filters = _int_tensor(rng, (3, 3, 3))
+        out = depthwise_conv2d(ifmap, filters, stride=1, padding=0)
+        c, r, s = filters.shape
+        p = q = 3
+        expected = np.zeros((c, p, q), dtype=np.float64)
+        for ci in range(c):
+            for row in range(p):
+                for col in range(q):
+                    acc = 0.0
+                    for ri in range(r):
+                        for si in range(s):
+                            acc += (
+                                filters[ci, ri, si] * ifmap[ci, row + ri, col + si]
+                            )
+                    expected[ci, row, col] = acc
+        assert np.array_equal(out, expected)
+
+    def test_sequential_matmul_integer_exact(self, rng):
+        a = _int_tensor(rng, (11, 6))
+        b = _int_tensor(rng, (6, 9))
+        out = sequential_matmul(a, b)
+        expected = np.array(
+            [
+                [sum(a[i, s] * b[s, j] for s in range(6)) for j in range(9)]
+                for i in range(11)
+            ],
+            dtype=np.float64,
+        )
+        assert np.array_equal(out, expected)
+
+
+class TestAuditedKeysNeverAlias:
+    _BASE = dict(
+        rows=16,
+        cols=16,
+        dataflow=Dataflow.OUTPUT_STATIONARY,
+        axon=True,
+        engine="wavefront",
+        partitions_rows=1,
+        partitions_cols=1,
+    )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"engine": "wavefront-exact"},
+            {"rows": 32},
+            {"cols": 8},
+            {"dataflow": Dataflow.WEIGHT_STATIONARY},
+            {"axon": False},
+            {"partitions_rows": 2},
+            {"partitions_cols": 4},
+        ],
+    )
+    def test_gemm_keys_distinct_across_every_axis(self, override):
+        base = gemm_estimate_key(64, 32, 48, **self._BASE)
+        assert base != gemm_estimate_key(64, 32, 48, **{**self._BASE, **override})
+
+    def test_numpy_ints_build_the_same_key(self):
+        plain = gemm_estimate_key(64, 32, 48, **self._BASE)
+        promoted = gemm_estimate_key(
+            np.int64(64), np.int32(32), np.int64(48), **self._BASE
+        )
+        assert plain == promoted
+
+    def test_conv_key_never_aliases_its_lowered_gemm(self):
+        conv = ConvShape(
+            "pin", in_channels=3, ifmap_h=8, ifmap_w=8, kernel_h=3,
+            kernel_w=3, num_filters=4, stride=1, padding=1,
+        )
+        conv_key = conv_estimate_key(conv, **self._BASE)
+        assert conv_key[0] == "conv"
+        # Distinct from the GEMM key of any shape (the tags differ).
+        assert conv_key != gemm_estimate_key(64, 32, 48, **self._BASE)
+        # Geometry that the lowered GEMM shape cannot see still separates
+        # entries: same output, different padding/stride.
+        other = ConvShape(
+            "pin", in_channels=3, ifmap_h=8, ifmap_w=8, kernel_h=3,
+            kernel_w=3, num_filters=4, stride=1, padding=2,
+        )
+        assert conv_key != conv_estimate_key(other, **self._BASE)
+
+    def test_memoization_still_hits_through_the_helpers(self):
+        clear_estimate_cache()
+        args = (40, 24, 56, 16, 16, Dataflow.OUTPUT_STATIONARY, True)
+        first = cached_gemm_cycles(*args)
+        before = estimate_cache_info()
+        second = cached_gemm_cycles(*args)
+        after = estimate_cache_info()
+        assert first == second
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses

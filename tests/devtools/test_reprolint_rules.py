@@ -1,0 +1,141 @@
+"""Fixture-driven tests for every ``reprolint`` rule.
+
+Each rule ships one *bad* fixture (every violation marked with an
+``# expect: <id>`` comment pinning the exact line the rule must report)
+and one *good* fixture that must lint clean — the zero-false-positive
+half of the contract.  The expected findings are parsed out of the
+fixtures themselves, so a fixture edit cannot silently desynchronise the
+assertions; ``# expect[<line>]: <id>`` pins findings that cannot share
+their own line (module-level findings anchor at line 1).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import all_rule_ids, parse_pragmas, run_lint
+from repro.devtools.rules.base import LintConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Widens the scoped rules onto the fixture tree: the empty-string scope
+#: matches every path, and the API modules are the fixture files.
+FIXTURE_CONFIG = LintConfig(
+    clock_pure_paths=("",),
+    dtype_exact_paths=("",),
+    api_modules=("api_good.py", "api_bad.py"),
+)
+
+_EXPECT_PATTERN = re.compile(r"#\s*expect(?:\[(?P<line>\d+)\])?:\s*(?P<ids>[A-Z0-9, ]+)")
+
+
+def lint_fixture(name: str):
+    return run_lint(
+        root=FIXTURES, paths=[FIXTURES / name], config=FIXTURE_CONFIG
+    )
+
+
+def expected_findings(name: str) -> set[tuple[str, int]]:
+    """``(rule_id, line)`` pairs declared by the fixture's expect markers."""
+    expected: set[tuple[str, int]] = set()
+    for lineno, text in enumerate((FIXTURES / name).read_text().splitlines(), 1):
+        match = _EXPECT_PATTERN.search(text)
+        if match is None:
+            continue
+        line = int(match.group("line")) if match.group("line") else lineno
+        for rule_id in match.group("ids").split(","):
+            expected.add((rule_id.strip(), line))
+    return expected
+
+
+BAD_FIXTURES = [
+    ("lock_bad.py", "RPL101"),
+    ("clock_bad.py", "RPL102"),
+    ("cachekey_bad.py", "RPL103"),
+    ("dtype_bad.py", "RPL104"),
+    ("api_bad.py", "RPL105"),
+    ("pragma_bad.py", "RPL100"),
+]
+
+GOOD_FIXTURES = [
+    "lock_good.py",
+    "clock_good.py",
+    "cachekey_good.py",
+    "dtype_good.py",
+    "api_good.py",
+]
+
+
+@pytest.mark.parametrize("name,rule_id", BAD_FIXTURES)
+def test_bad_fixture_reports_exact_lines(name, rule_id):
+    expected = expected_findings(name)
+    assert expected, f"{name} declares no expect markers"
+    assert all(rid == rule_id for rid, _ in expected)
+    report = lint_fixture(name)
+    assert {(f.rule_id, f.line) for f in report.findings} == expected
+
+
+@pytest.mark.parametrize("name", GOOD_FIXTURES)
+def test_good_fixture_is_clean(name):
+    report = lint_fixture(name)
+    assert report.findings == [], [f.format() for f in report.findings]
+
+
+def test_valid_pragma_suppresses_and_counts():
+    report = lint_fixture("pragma_good.py")
+    assert report.findings == [], [f.format() for f in report.findings]
+    assert report.suppressed == 1
+
+
+def test_invalid_pragma_never_suppresses():
+    # The reasonless pragma on the np.sum line must not hide the RPL104
+    # finding it names — a bad pragma is a finding, not a suppression.
+    source = "import numpy as np\nX = np.sum([1])  # reprolint: disable=RPL104\n"
+    bad = FIXTURES / "_generated_reasonless.py"
+    bad.write_text(source)
+    try:
+        report = run_lint(root=FIXTURES, paths=[bad], config=FIXTURE_CONFIG)
+        ids = sorted(f.rule_id for f in report.findings)
+        assert ids == ["RPL100", "RPL104"]
+        assert report.suppressed == 0
+    finally:
+        bad.unlink()
+
+
+def test_pragma_parser_requires_reason():
+    pragmas = parse_pragmas("x = 1  # reprolint: disable=RPL102 (why not)\n")
+    assert [p.valid for p in pragmas] == [True]
+    assert pragmas[0].rule_ids == ("RPL102",)
+    assert pragmas[0].reason == "why not"
+    assert parse_pragmas("x = 1  # reprolint: disable=RPL102\n")[0].valid is False
+
+
+def test_rule_registry_ids_are_stable():
+    assert all_rule_ids() == ("RPL100", "RPL101", "RPL102", "RPL103", "RPL104", "RPL105")
+
+
+def test_real_tree_lints_clean():
+    """The merged head carries zero findings — the CI analyze gate."""
+    report = run_lint()
+    assert report.findings == [], "\n" + "\n".join(
+        f.format() for f in report.findings
+    )
+    assert report.checked_files > 50
+
+
+def test_doctest_modules_cover_public_surface():
+    from repro.devtools import doctest_modules
+
+    modules = doctest_modules()
+    assert "src/repro/api.py" in modules
+    assert "src/repro/engine/__init__.py" in modules
+    assert "src/repro/serve/__init__.py" in modules
+    assert "src/repro/serve/scheduler.py" in modules
+    assert "src/repro/engine/cache.py" in modules
+    # Everything listed must exist and parse as a module path.
+    root = Path(run_lint().root)
+    for rel in modules:
+        assert (root / rel).is_file()

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch.array_config import ArrayConfig, PAPER_PROTOTYPE
+from repro.arch.array_config import PAPER_PROTOTYPE, ArrayConfig
 from repro.arch.dataflow import Dataflow, SpatioTemporalMapping, map_gemm
 from repro.arch.skew import (
     skew_fill_cycles,

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch.array_config import ArrayConfig, PAPER_PROTOTYPE
+from repro.arch.array_config import PAPER_PROTOTYPE, ArrayConfig
 from repro.arch.dataflow import Dataflow
 from repro.arch.dram import LPDDR3, DRAMModel
 from repro.baselines import (
@@ -33,7 +33,6 @@ from repro.energy import (
     inference_energy_report,
     memory_bound_speedup,
     power_report,
-    sauria_array_area_mm2,
     sauria_array_power_mw,
     sparsity_power_reduction,
 )

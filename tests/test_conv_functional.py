@@ -21,7 +21,6 @@ import numpy as np
 import pytest
 
 from repro.api import AxonAccelerator, SystolicAccelerator
-from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow
 from repro.golden.conv import conv2d, conv_output_shape
 from repro.im2col.lowering import (

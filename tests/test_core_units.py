@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.im2col_unit import SOURCE_NEIGHBOUR, SOURCE_SRAM, Im2colFeeder
+from repro.core.im2col_unit import SOURCE_SRAM, Im2colFeeder
 from repro.core.unified_pe import PEMode, UnifiedPE
 from repro.core.zero_gating import (
     ZeroGatingStats,

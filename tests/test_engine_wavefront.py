@@ -180,7 +180,7 @@ class TestWavefrontSmoke:
         wavefront engine must stay interactive, so any accidental fallback
         or de-vectorization of the hot path fails loudly here.
         """
-        from repro.api import SystolicAccelerator, AxonAccelerator
+        from repro.api import AxonAccelerator, SystolicAccelerator
 
         a = rng.standard_normal((128, 128))
         b = rng.standard_normal((128, 128))

@@ -37,11 +37,11 @@ from repro.energy import (
     power_report,
     sparsity_power_reduction,
 )
-from repro.im2col.traffic import network_traffic, traffic_reduction
 from repro.im2col.lowering import ConvShape
+from repro.im2col.traffic import network_traffic, traffic_reduction
 from repro.workloads import (
-    GEMV_WORKLOADS,
     DEPTHWISE_WORKLOADS,
+    GEMV_WORKLOADS,
     RESNET50_CONV_LAYERS,
     TABLE3_WORKLOADS,
     YOLOV3_CONV_LAYERS,

@@ -10,10 +10,10 @@ from hypothesis import strategies as st
 from repro.golden import conv2d
 from repro.im2col import (
     ConvShape,
-    im2col,
-    im2col_row_major_windows,
     col2im_output,
+    im2col,
     im2col_matrix_elements,
+    im2col_row_major_windows,
     lower_conv_to_gemm,
     onchip_im2col_traffic,
     repetition_fraction,

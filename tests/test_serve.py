@@ -16,7 +16,6 @@ import numpy as np
 import pytest
 
 from repro.api import AxonAccelerator, SystolicAccelerator
-from repro.arch.array_config import ArrayConfig
 from repro.arch.dataflow import Dataflow
 from repro.serve import (
     POLICY_REJECT,
@@ -546,9 +545,8 @@ class TestSyntheticTrace:
         )
         jobs = synthetic_trace(accelerator, specs, jobs_per_tenant=20, seed=3,
                                max_dim=32)
-        span = lambda tenant: max(
-            j.arrival_cycle for j in jobs if j.tenant == tenant
-        )
+        def span(tenant):
+            return max(j.arrival_cycle for j in jobs if j.tenant == tenant)
         # 4x the rate => the same job count arrives in roughly 1/4 the span.
         assert span("fast") < span("slow") / 2
 
