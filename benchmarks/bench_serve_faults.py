@@ -1,0 +1,295 @@
+"""Fault-tolerant serving — recovery throughput and enforced deadlines.
+
+Two chaos scenarios over the deterministic fault layer
+(:mod:`repro.serve.faults`), both asserting the robustness floors this PR
+is built to clear and writing a JSON artifact (``SERVE_FAULTS_JSON``,
+default ``serve_faults.json``) that CI uploads:
+
+* **Scenario A — permanent worker death.**  The heterogeneous 4-worker
+  fleet from the streaming benchmark loses one of its fast 32x32 workers
+  a third of the way through the fault-free makespan.  Every job must
+  still complete (zero lost results), each one bit-exact against a direct
+  ``run_gemm`` on the class that hosted it, and the degraded fleet must
+  still sustain >= 2x the naive serial throughput.
+
+* **Scenario B — enforced deadlines under overload.**  A saturating trace
+  (12x one worker's capacity) with per-job deadline hints is served twice:
+  hints-only (the advisory baseline) and with ``enforce_deadlines=True``
+  plus overload shedding that protects the two latency-target tenants.
+  Enforcement must cut the latency-target tenants' p95 latency below the
+  baseline while still completing at least as many latency-target jobs as
+  the floor.
+
+Run explicitly (tier 2)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_faults.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.reports import format_table
+from repro.api import SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.serve import (
+    AsyncGemmScheduler,
+    FaultPlan,
+    WorkerFault,
+    build_fleet,
+    parse_fleet_spec,
+    serial_baseline,
+)
+from repro.workloads import (
+    TenantTrafficSpec,
+    synthetic_trace,
+    tenant_slo_classes,
+    tenant_weights,
+)
+
+#: Same heterogeneous fleet the streaming benchmark uses.
+FLEET_SPEC = "2*systolic:32x32,2*systolic:16x16@2x2"
+SERIAL_ARRAY = ArrayConfig(32, 32)
+TENANTS = 4
+JOBS_PER_TENANT = 15
+OFFERED_LOAD = 8.0
+MAX_DIM = 128
+MAX_BATCH = 8
+SEED = 0
+RECOVERY_SERIAL_FLOOR = 2.0
+
+#: Scenario B: saturating load, two protected tenants, tight-ish hints,
+#: and a shed threshold low enough that the backlog actually trips it.
+OVERLOAD = 16.0
+DEADLINE_SLACK = 10.0
+LATENCY_TENANTS = 2
+SHED_CYCLES = 40_000
+
+
+def _fleet():
+    return build_fleet(parse_fleet_spec(FLEET_SPEC))
+
+
+def _trace(fleet):
+    return synthetic_trace(
+        fleet,
+        tenants=TENANTS,
+        jobs_per_tenant=JOBS_PER_TENANT,
+        offered_load=OFFERED_LOAD,
+        max_dim=MAX_DIM,
+        seed=SEED,
+    )
+
+
+def test_serve_faults(benchmark):
+    fleet = _fleet()
+    jobs = _trace(fleet)
+
+    serial_report, _ = serial_baseline(SystolicAccelerator(SERIAL_ARRAY), jobs)
+
+    # --- Scenario A: kill a fast worker a third of the way through -------
+    clean_report, _ = AsyncGemmScheduler(fleet, max_batch=MAX_BATCH).serve(jobs)
+    death_cycle = max(1, clean_report.makespan_cycles // 3)
+    plan = FaultPlan((WorkerFault(0, "permanent", death_cycle),))
+    chaos = AsyncGemmScheduler(
+        _fleet(), max_batch=MAX_BATCH, fault_plan=plan, max_retries=3
+    )
+    chaos_report, chaos_results = chaos.serve(jobs)
+
+    fleet_reference = {worker.describe(): worker for worker in fleet}
+    by_id = {job.job_id: job for job in jobs}
+    for result in chaos_results:
+        assert result.completed, f"{result.job_id} lost: {result.status}"
+        job = by_id[result.job_id]
+        direct = fleet_reference[result.worker_class].run_gemm(
+            job.a, job.b, name=job.name
+        )
+        assert np.array_equal(result.result.output, direct.output), result.job_id
+        assert result.result.cycles == direct.cycles
+        if result.worker_id == 0:
+            assert result.start_cycle < death_cycle
+
+    recovery_vs_serial = (
+        chaos_report.jobs_per_second / serial_report.jobs_per_second
+    )
+    dead = next(w for w in chaos_report.workers if w.worker_id == 0)
+    assert dead.alive is False
+    assert chaos_report.jobs_completed == len(jobs)
+    assert chaos_report.jobs_failed == 0
+    assert recovery_vs_serial >= RECOVERY_SERIAL_FLOOR, (
+        f"degraded fleet only {recovery_vs_serial:.2f}x serial jobs/sec "
+        f"(floor: {RECOVERY_SERIAL_FLOOR}x)"
+    )
+
+    # --- Scenario B: enforced deadlines + shedding under overload --------
+    tenants = tuple(
+        TenantTrafficSpec(
+            f"tenant-{index}",
+            slo="latency-target" if index < LATENCY_TENANTS else "best-effort",
+        )
+        for index in range(TENANTS)
+    )
+    overload_jobs = synthetic_trace(
+        fleet,
+        tenants,
+        jobs_per_tenant=JOBS_PER_TENANT,
+        offered_load=OVERLOAD,
+        max_dim=MAX_DIM,
+        seed=SEED,
+        deadline_slack=DEADLINE_SLACK,
+    )
+    common = dict(
+        max_batch=MAX_BATCH,
+        weights=tenant_weights(tenants),
+        slo_classes=tenant_slo_classes(tenants),
+    )
+    baseline_report, _ = AsyncGemmScheduler(_fleet(), **common).serve(
+        overload_jobs
+    )
+    enforced_report, enforced_results = AsyncGemmScheduler(
+        _fleet(),
+        enforce_deadlines=True,
+        shed_cycles=SHED_CYCLES,
+        **common,
+    ).serve(overload_jobs)
+    # Shedding only ever evicts best-effort work — the latency-target
+    # tenants are exactly the protected set.
+    shed_tenants = {r.tenant for r in enforced_results if r.status == "shed"}
+    assert shed_tenants.isdisjoint(tenant_slo_classes(tenants))
+
+    def latency_p95(report):
+        stats = [
+            t for t in report.tenants
+            if t.tenant in tenant_slo_classes(tenants) and t.latency is not None
+        ]
+        assert stats, "latency-target tenants completed nothing"
+        return max(t.latency.p95 for t in stats)
+
+    def latency_done(report):
+        return sum(
+            t.completed for t in report.tenants
+            if t.tenant in tenant_slo_classes(tenants)
+        )
+
+    baseline_p95 = latency_p95(baseline_report)
+    enforced_p95 = latency_p95(enforced_report)
+    completed_floor = latency_done(enforced_report)
+    assert completed_floor >= LATENCY_TENANTS * JOBS_PER_TENANT // 2, (
+        "enforcement completed too few latency-target jobs "
+        f"({completed_floor})"
+    )
+    assert enforced_p95 < baseline_p95, (
+        f"enforced p95 {enforced_p95:.0f} not below hint-only baseline "
+        f"{baseline_p95:.0f}"
+    )
+
+    # Steady-state timing of the chaos path (dominant recovery scenario).
+    def replay():
+        scheduler = AsyncGemmScheduler(
+            _fleet(), max_batch=MAX_BATCH, fault_plan=plan, max_retries=3
+        )
+        return scheduler.serve(jobs)
+
+    benchmark(replay)
+
+    emit(
+        f"Scenario A — worker 0 dies @ {death_cycle} cycles "
+        f"({FLEET_SPEC}, {len(jobs)} jobs)",
+        format_table(
+            ("dispatch", "makespan (cycles)", "jobs/s (simulated)", "vs serial",
+             "retries", "lost"),
+            [
+                (
+                    "naive serial (1x32x32)",
+                    serial_report.makespan_cycles,
+                    round(serial_report.jobs_per_second),
+                    1.0,
+                    0,
+                    0,
+                ),
+                (
+                    "fault-free fleet",
+                    clean_report.makespan_cycles,
+                    round(clean_report.jobs_per_second),
+                    round(
+                        clean_report.jobs_per_second
+                        / serial_report.jobs_per_second,
+                        2,
+                    ),
+                    clean_report.retries,
+                    0,
+                ),
+                (
+                    "fleet minus worker 0 (recovered)",
+                    chaos_report.makespan_cycles,
+                    round(chaos_report.jobs_per_second),
+                    round(recovery_vs_serial, 2),
+                    chaos_report.retries,
+                    chaos_report.jobs_failed,
+                ),
+            ],
+        ),
+    )
+    emit(
+        f"Scenario B — overload {OVERLOAD}x, deadline slack {DEADLINE_SLACK}x, "
+        f"{LATENCY_TENANTS} latency-target tenants",
+        format_table(
+            ("policy", "completed", "expired", "shed",
+             "latency-target p95", "latency-target done"),
+            [
+                (
+                    "hints only (advisory)",
+                    baseline_report.jobs_completed,
+                    baseline_report.jobs_expired,
+                    baseline_report.jobs_shed,
+                    round(baseline_p95),
+                    latency_done(baseline_report),
+                ),
+                (
+                    "enforced + shedding",
+                    enforced_report.jobs_completed,
+                    enforced_report.jobs_expired,
+                    enforced_report.jobs_shed,
+                    round(enforced_p95),
+                    completed_floor,
+                ),
+            ],
+        ),
+    )
+
+    artifact = {
+        "params": {
+            "fleet": FLEET_SPEC,
+            "serial_array": [SERIAL_ARRAY.rows, SERIAL_ARRAY.cols],
+            "tenants": TENANTS,
+            "jobs_per_tenant": JOBS_PER_TENANT,
+            "offered_load": OFFERED_LOAD,
+            "overload": OVERLOAD,
+            "deadline_slack": DEADLINE_SLACK,
+            "latency_tenants": LATENCY_TENANTS,
+            "shed_cycles": SHED_CYCLES,
+            "max_dim": MAX_DIM,
+            "max_batch": MAX_BATCH,
+            "seed": SEED,
+            "fault_plan": plan.spec(),
+            "death_cycle": death_cycle,
+        },
+        "serial": serial_report.to_dict(),
+        "fault_free": clean_report.to_dict(),
+        "worker_death": chaos_report.to_dict(),
+        "recovery_vs_serial": recovery_vs_serial,
+        "deadline_baseline": baseline_report.to_dict(),
+        "deadline_enforced": enforced_report.to_dict(),
+        "latency_target_p95_baseline": baseline_p95,
+        "latency_target_p95_enforced": enforced_p95,
+        "latency_target_completed_enforced": completed_floor,
+        "bit_exact_jobs": len(chaos_results),
+    }
+    artifact_path = os.environ.get("SERVE_FAULTS_JSON", "serve_faults.json")
+    with open(artifact_path, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+    emit("Fault-tolerance artifact", f"wrote {artifact_path}")

@@ -10,6 +10,8 @@ Provides quick access to the analytical models without writing Python::
     python -m repro.cli serve --workers 4 --tenants 4 --conv-fraction 0.35
     python -m repro.cli serve --streaming --batch-window 2048 --tenants 4
     python -m repro.cli serve --fleet "2*axon:32x32,2*axon:16x16@2x2"
+    python -m repro.cli serve --faults "1:perm@40000,2:slow@0x2.0" --max-retries 3
+    python -m repro.cli serve --enforce-deadlines --deadline-slack 8 --latency-tenants 2
     python -m repro.cli workloads
     python -m repro.cli speedup --array 256
     python -m repro.cli traffic --network resnet50
@@ -27,7 +29,13 @@ with CNN conv-layer jobs when ``--conv-fraction`` > 0, streamed online
 job-by-job with ``--streaming`` (optionally holding batches open for
 ``--batch-window`` cycles), over a heterogeneous fleet with ``--fleet``
 (e.g. ``"2*axon:32x32,2*axon:16x16@2x2"``; placement per worker class,
-``--placement priced|random``) — and prints the per-tenant latency /
+``--placement priced|random``), under a deterministic fault plan with
+``--faults`` (scripted worker deaths / outages / slowdowns with bounded
+``--max-retries`` requeues, see :mod:`repro.serve.faults`), with
+``--enforce-deadlines`` expiring jobs whose ``--deadline-slack`` laxity
+ran out and ``--shed-cycles`` shedding best-effort tenants (the first
+``--latency-tenants`` tenants are latency-target) under overload — and
+prints the per-tenant latency /
 throughput / fairness report; ``cache`` reports the
 shared estimate-cache statistics (``--clear-cache`` resets them) so
 long-lived sweep services can observe hit rates.  ``run``, ``conv`` and
@@ -66,9 +74,11 @@ from repro.serve import (
     PLACEMENT_PRICED,
     PLACEMENTS,
     POLICY_DEPRIORITIZE,
+    SLO_LATENCY_TARGET,
     AsyncGemmScheduler,
     build_fleet,
     format_serve_report,
+    parse_fault_spec,
     parse_fleet_spec,
 )
 from repro.workloads import (
@@ -82,6 +92,7 @@ from repro.workloads.serving import (
     equal_tenants,
     synthetic_trace,
     tenant_budgets,
+    tenant_slo_classes,
     tenant_weights,
 )
 
@@ -331,7 +342,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.fleet:
         # A --fleet spec describes the whole (possibly heterogeneous)
         # fleet; --workers / --rows / --cols / --scale-out are superseded.
-        specs = parse_fleet_spec(args.fleet, default_arch=args.arch)
+        try:
+            specs = parse_fleet_spec(args.fleet, default_arch=args.arch)
+        except ValueError as error:
+            print(f"repro serve: invalid --fleet spec: {error}", file=sys.stderr)
+            return 2
         fleet = build_fleet(
             specs,
             dataflow=dataflow,
@@ -340,11 +355,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     else:
         fleet = [make_worker() for _ in range(args.workers)]
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = parse_fault_spec(args.faults)
+        except ValueError as error:
+            print(f"repro serve: invalid --faults spec: {error}", file=sys.stderr)
+            return 2
+    if args.latency_tenants > args.tenants:
+        print(
+            f"repro serve: --latency-tenants ({args.latency_tenants}) exceeds "
+            f"--tenants ({args.tenants})",
+            file=sys.stderr,
+        )
+        return 2
     tenants = equal_tenants(args.tenants)
     if args.budget_cycles is not None:
         tenants = tuple(
             dataclasses.replace(spec, budget_cycles=args.budget_cycles)
             for spec in tenants
+        )
+    if args.latency_tenants:
+        tenants = tuple(
+            dataclasses.replace(spec, slo=SLO_LATENCY_TARGET)
+            if index < args.latency_tenants
+            else spec
+            for index, spec in enumerate(tenants)
         )
     jobs = synthetic_trace(
         fleet,
@@ -354,17 +390,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_dim=args.max_dim,
         conv_fraction=args.conv_fraction,
         seed=args.seed,
+        deadline_slack=args.deadline_slack,
     )
-    scheduler = AsyncGemmScheduler(
-        fleet,
-        max_batch=args.max_batch,
-        weights=tenant_weights(tenants),
-        budgets=tenant_budgets(tenants),
-        admission_policy=args.admission,
-        clock_hz=args.clock_ghz * 1e9,
-        batch_window_cycles=args.batch_window,
-        placement=args.placement,
-    )
+    try:
+        scheduler = AsyncGemmScheduler(
+            fleet,
+            max_batch=args.max_batch,
+            weights=tenant_weights(tenants),
+            budgets=tenant_budgets(tenants),
+            admission_policy=args.admission,
+            clock_hz=args.clock_ghz * 1e9,
+            batch_window_cycles=args.batch_window,
+            placement=args.placement,
+            fault_plan=fault_plan,
+            max_retries=args.max_retries,
+            enforce_deadlines=args.enforce_deadlines,
+            shed_cycles=args.shed_cycles,
+            slo_classes=tenant_slo_classes(tenants),
+        )
+    except ValueError as error:
+        # e.g. a fault plan naming workers the fleet doesn't have.
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
     if args.streaming:
         # Online serving: feed the trace job-by-job in arrival order and
         # close the stream.  Produces the same schedule as serve() — the
@@ -615,6 +662,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--admission", default=POLICY_DEPRIORITIZE, choices=list(ADMISSION_POLICIES),
         help="what happens to over-budget jobs",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault plan: comma-separated "
+        "WORKER:KIND@CYCLE[+DOWN][xFACTOR] fragments, e.g. "
+        "'0:perm@40000,1:transient@2000+500,2:slow@0x2.0' "
+        "(kinds: permanent/perm, transient/fail, slowdown/slow)",
+    )
+    serve.add_argument(
+        "--max-retries", type=_non_negative_int, default=2,
+        help="extra dispatch attempts per job after a worker failure "
+        "before it is marked failed",
+    )
+    serve.add_argument(
+        "--enforce-deadlines", action="store_true",
+        help="expire queued jobs whose deadline hint can no longer be met "
+        "(hints become contracts instead of advisory)",
+    )
+    serve.add_argument(
+        "--shed-cycles", type=_positive_int, default=None, metavar="CYCLES",
+        help="overload shedding: when the queued priced-cycle backlog "
+        "exceeds this, shed best-effort work before latency-target work",
+    )
+    serve.add_argument(
+        "--deadline-slack", type=_positive_float, default=None, metavar="X",
+        help="give every job a deadline hint of X times its priced cycles",
+    )
+    serve.add_argument(
+        "--latency-tenants", type=_non_negative_int, default=0, metavar="N",
+        help="mark the first N tenants latency-target (shed last); the "
+        "rest stay best-effort",
     )
     serve.add_argument("--clock-ghz", type=_positive_float, default=1.0)
     serve.add_argument("--seed", type=int, default=0)

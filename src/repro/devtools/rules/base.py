@@ -33,6 +33,11 @@ class LintConfig:
     clock_pure_paths: tuple[str, ...] = ("src/repro/serve/", "src/repro/engine/")
     #: Wall-clock callables that stay legal inside the pure paths.
     clock_allowed: tuple[str, ...] = ("time.perf_counter",)
+    #: Strict clock-purity scope: files where even ``clock_allowed``
+    #: escapes and seeded *stdlib* RNGs are forbidden — the fault plan
+    #: must be a pure function of (spec, seed, simulated cycle), so the
+    #: only randomness source is a seeded numpy ``Generator``.
+    clock_strict_paths: tuple[str, ...] = ("src/repro/serve/faults.py",)
     #: Integer-exact numeric paths where accumulations must pin ``dtype=``.
     dtype_exact_paths: tuple[str, ...] = (
         "src/repro/engine/",

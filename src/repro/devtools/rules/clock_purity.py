@@ -15,6 +15,13 @@ the stdlib :mod:`random` module, NumPy's legacy global RNG
 is legal for reporting how long the simulation itself took — it must
 never feed back into scheduling) and ``default_rng(seed)`` with an
 explicit seed.
+
+Files in ``clock_strict_paths`` (the fault-injection module) are held to
+a harder bar: the ``clock_allowed`` escapes are *also* forbidden there,
+as are the stdlib ``random.Random`` / ``random.SystemRandom`` classes
+even though they can be seeded.  A fault plan must be a pure function of
+(spec, seed, simulated cycle) — the only legal randomness is a seeded
+numpy ``Generator`` — because chaos tests replay plans bit-for-bit.
 """
 
 from __future__ import annotations
@@ -62,25 +69,28 @@ class ClockPurityRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> list[Finding]:
-        if not self.config.in_scope(ctx.rel_path, self.config.clock_pure_paths):
+        strict = self.config.in_scope(ctx.rel_path, self.config.clock_strict_paths)
+        if not strict and not self.config.in_scope(
+            ctx.rel_path, self.config.clock_pure_paths
+        ):
             return []
         aliases = _import_aliases(ctx.tree)
         findings: list[Finding] = []
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom):
-                findings.extend(self._check_import_from(ctx, node))
+                findings.extend(self._check_import_from(ctx, node, strict))
             elif isinstance(node, ast.Call):
                 found = self._check_call(ctx, node, aliases)
                 if found is not None:
                     findings.append(found)
             elif isinstance(node, ast.Attribute):
-                found = self._check_attribute(ctx, node, aliases)
+                found = self._check_attribute(ctx, node, aliases, strict)
                 if found is not None:
                     findings.append(found)
         return findings
 
     def _check_import_from(
-        self, ctx: ModuleContext, node: ast.ImportFrom
+        self, ctx: ModuleContext, node: ast.ImportFrom, strict: bool
     ) -> list[Finding]:
         findings: list[Finding] = []
         if node.module == "time":
@@ -94,16 +104,31 @@ class ClockPurityRule(Rule):
                             "in a simulated-clock path",
                         )
                     )
-        elif node.module == "random":
-            for alias in node.names:
-                if alias.name not in _STDLIB_RANDOM_ALLOWED:
+                elif strict:
                     findings.append(
                         self.finding(
                             ctx,
                             node,
-                            "module-level stdlib random import "
-                            f"'from random import {alias.name}' (global, "
-                            "unseeded state)",
+                            f"wall-clock import 'from time import {alias.name}' "
+                            "in a strict clock-pure path (no wall-clock "
+                            "escapes in the fault plan)",
+                        )
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if strict or alias.name not in _STDLIB_RANDOM_ALLOWED:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "stdlib random import "
+                            f"'from random import {alias.name}' "
+                            + (
+                                "(strict path: only a seeded numpy "
+                                "Generator is legal)"
+                                if strict
+                                else "(global, unseeded state)"
+                            ),
                         )
                     )
         return findings
@@ -122,11 +147,28 @@ class ClockPurityRule(Rule):
         return None
 
     def _check_attribute(
-        self, ctx: ModuleContext, node: ast.Attribute, aliases: dict[str, str]
+        self, ctx: ModuleContext, node: ast.Attribute, aliases: dict[str, str],
+        strict: bool = False,
     ) -> Finding | None:
         name = _canonical(node, aliases)
-        if name is None or name in self.config.clock_allowed:
+        if name is None:
             return None
+        if name in self.config.clock_allowed:
+            if strict:
+                return self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read '{name}' in a strict clock-pure path "
+                    "(clock_allowed escapes do not apply to the fault plan)",
+                )
+            return None
+        if strict and name.startswith("random.") and name.count(".") == 1:
+            return self.finding(
+                ctx,
+                node,
+                f"stdlib RNG '{name}' in a strict clock-pure path (only a "
+                "seeded numpy Generator is legal)",
+            )
         if name in (f"time.{attr}" for attr in _TIME_FORBIDDEN):
             return self.finding(
                 ctx, node, f"wall-clock read '{name}' in a simulated-clock path"

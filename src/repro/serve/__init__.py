@@ -35,6 +35,15 @@ grown online and heterogeneous — with five separable pieces:
     worker and worker-class utilization, batching, fleet description and
     cache statistics, JSON-serializable for the ``repro serve --json``
     CLI.
+:mod:`repro.serve.faults`
+    The deterministic chaos layer: :class:`FaultPlan` /
+    :class:`FaultInjector` script per-worker failures (permanent death,
+    transient outage, slowdown) on the simulated clock.  The scheduler
+    retries/requeues interrupted work (bounded by ``max_retries``),
+    enforces deadlines when asked (``enforce_deadlines=True`` expires
+    jobs whose laxity ran out), supports mid-stream
+    :meth:`~AsyncGemmScheduler.cancel`, and sheds best-effort tenants
+    before latency-target tenants under overload (``shed_cycles``).
 
 Traces to replay come from :mod:`repro.workloads.serving` (pass
 ``conv_fraction > 0`` to :func:`repro.workloads.serving.synthetic_trace`
@@ -85,6 +94,18 @@ folding the result back to an OFMAP:
 
 from __future__ import annotations
 
+from repro.serve.faults import (
+    FAULT_KINDS,
+    FAULT_PERMANENT,
+    FAULT_SLOWDOWN,
+    FAULT_TRANSIENT,
+    FailureEvent,
+    FaultInjector,
+    FaultPlan,
+    WorkerFault,
+    parse_fault_spec,
+    random_fault_plan,
+)
 from repro.serve.fleet import (
     FLEET_ARCHS,
     WorkerSpec,
@@ -92,8 +113,16 @@ from repro.serve.fleet import (
     parse_fleet_spec,
 )
 from repro.serve.job import (
+    JOB_STATUSES,
+    SLO_BEST_EFFORT,
+    SLO_CLASSES,
+    SLO_LATENCY_TARGET,
+    STATUS_CANCELLED,
     STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
     STATUS_REJECTED,
+    STATUS_SHED,
     AnyJob,
     ConvJob,
     Job,
@@ -133,8 +162,26 @@ __all__ = [
     "ConvJob",
     "AnyJob",
     "JobResult",
+    "JOB_STATUSES",
     "STATUS_COMPLETED",
     "STATUS_REJECTED",
+    "STATUS_FAILED",
+    "STATUS_CANCELLED",
+    "STATUS_EXPIRED",
+    "STATUS_SHED",
+    "SLO_CLASSES",
+    "SLO_LATENCY_TARGET",
+    "SLO_BEST_EFFORT",
+    "FAULT_KINDS",
+    "FAULT_PERMANENT",
+    "FAULT_SLOWDOWN",
+    "FAULT_TRANSIENT",
+    "FailureEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "WorkerFault",
+    "parse_fault_spec",
+    "random_fault_plan",
     "ADMISSION_POLICIES",
     "POLICY_DEPRIORITIZE",
     "POLICY_REJECT",

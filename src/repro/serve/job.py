@@ -29,9 +29,33 @@ from repro.energy.dram_energy import dram_energy_mj
 from repro.im2col.lowering import ConvShape, lower_conv_operands
 from repro.im2col.software import col2im_output
 
-#: Admission outcomes recorded on a :class:`JobResult`.
+#: Terminal outcomes recorded on a :class:`JobResult`.  ``completed`` is
+#: the only status carrying a :class:`repro.api.RunResult`; the rest are
+#: jobs the serving stack resolved without (fully) executing them:
+#: ``rejected`` by admission, ``failed`` after exhausting retries on
+#: worker faults, ``cancelled`` by a client, ``expired`` by deadline
+#: enforcement, ``shed`` by the overload policy.
 STATUS_COMPLETED = "completed"
 STATUS_REJECTED = "rejected"
+STATUS_FAILED = "failed"
+STATUS_CANCELLED = "cancelled"
+STATUS_EXPIRED = "expired"
+STATUS_SHED = "shed"
+JOB_STATUSES = (
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+    STATUS_FAILED,
+    STATUS_CANCELLED,
+    STATUS_EXPIRED,
+    STATUS_SHED,
+)
+
+#: Per-tenant SLO classes the overload-shedding policy distinguishes:
+#: under sustained queue growth, ``best-effort`` tenants are shed before
+#: ``latency-target`` tenants lose anything.
+SLO_LATENCY_TARGET = "latency-target"
+SLO_BEST_EFFORT = "best-effort"
+SLO_CLASSES = (SLO_LATENCY_TARGET, SLO_BEST_EFFORT)
 
 
 class _GemmOperandsMixin:
@@ -105,8 +129,11 @@ class Job(_GemmOperandsMixin):
         *same tenant* (cross-tenant ordering stays with the weighted-fair
         scheduler, so one tenant's priorities cannot starve another).
     deadline_hint_cycles:
-        Optional latency target relative to arrival; purely advisory —
-        recorded as ``deadline_met`` on the result, never used to drop work.
+        Optional latency target relative to arrival.  Advisory by default
+        (recorded as ``deadline_met`` on the result); with the
+        scheduler's ``enforce_deadlines=True`` it becomes binding —
+        queued jobs whose laxity has run out expire instead of wasting
+        fleet cycles on work nobody is waiting for.
     arrival_cycle:
         Simulated-clock arrival time; the job is invisible to the
         scheduler before this instant.
@@ -246,13 +273,16 @@ class JobResult:
 
     ``result`` is the exact :class:`RunResult` a direct ``run_gemm`` call
     *on the worker that hosted the job* would have produced — bit-exact
-    output, identical counters — and is ``None`` only for jobs the
-    admission controller rejected.  On a heterogeneous fleet
-    ``worker_class`` records that worker's configuration label
-    (:meth:`repro.api._AcceleratorBase.describe`).  The cycle fields are
-    simulated-clock instants: ``latency_cycles`` is arrival-to-finish
-    (queueing included), ``queue_cycles`` the portion spent waiting for a
-    worker.
+    output, identical counters — and is ``None`` for every non-completed
+    status (rejected, failed, cancelled, expired, shed).  On a
+    heterogeneous fleet ``worker_class`` records that worker's
+    configuration label (:meth:`repro.api._AcceleratorBase.describe`).
+    The cycle fields are simulated-clock instants: ``latency_cycles`` is
+    arrival-to-finish (queueing included), ``queue_cycles`` the portion
+    spent waiting for a worker.  ``attempts`` counts dispatches — 1 for a
+    first-try completion, more when worker faults forced retries, 0 for
+    jobs resolved without ever dispatching; ``resolved_cycle`` is the
+    simulated instant a non-completed job left the system.
     """
 
     job_id: str
@@ -270,6 +300,8 @@ class JobResult:
     batch_size: int = 0
     deadline_hint_cycles: int | None = None
     deprioritized: bool = field(default=False)
+    attempts: int = 0
+    resolved_cycle: int | None = None
 
     @property
     def completed(self) -> bool:
@@ -291,9 +323,18 @@ class JobResult:
 
     @property
     def deadline_met(self) -> bool | None:
-        """Whether the advisory deadline hint was met (None without a hint)."""
-        if self.deadline_hint_cycles is None or self.latency_cycles is None:
+        """Whether the deadline hint was met (None without a hint).
+
+        Only completed jobs can meet a deadline: expired, failed, shed or
+        cancelled jobs report ``False`` when they carried a hint, so the
+        metric never counts abandoned work as on-time (report-level
+        statistics additionally expose the completed-jobs denominator as
+        ``deadline_eligible``).
+        """
+        if self.deadline_hint_cycles is None:
             return None
+        if not self.completed or self.latency_cycles is None:
+            return False
         return self.latency_cycles <= self.deadline_hint_cycles
 
     def to_dict(self, include_output: bool = False) -> dict:
@@ -322,6 +363,10 @@ class JobResult:
             "deadline_hint_cycles": self.deadline_hint_cycles,
             "deadline_met": self.deadline_met,
             "deprioritized": self.deprioritized,
+            "attempts": self.attempts,
+            "resolved_cycle": (
+                None if self.resolved_cycle is None else int(self.resolved_cycle)
+            ),
             "result": (
                 None if self.result is None else self.result.to_dict(include_output)
             ),

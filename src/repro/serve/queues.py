@@ -119,15 +119,19 @@ class QueuedJob:
     """A job waiting in the fair queue, with its admission pricing.
 
     ``enqueued_cycle`` is the simulated instant the job entered the queue —
-    its arrival cycle, or the stream planner's horizon for jobs submitted
-    late (:meth:`repro.serve.scheduler.AsyncGemmScheduler.submit`).  The
-    batching window measures its deadline from this instant.
+    its arrival cycle, the stream planner's horizon for jobs submitted
+    late (:meth:`repro.serve.scheduler.AsyncGemmScheduler.submit`), or the
+    failure cycle for a job requeued after a worker fault.  The batching
+    window measures its deadline from this instant.  ``attempts`` counts
+    dispatches that already failed under a fault plan (0 for a job that
+    has never been dispatched).
     """
 
     job: AnyJob
     priced_cycles: int
     deprioritized: bool = False
     enqueued_cycle: int = 0
+    attempts: int = 0
 
 
 @dataclass
@@ -264,6 +268,72 @@ class WeightedFairQueue:
                 if entry.job.shape == shape
             )
         return sum(1 for entry in self._backlog if entry.job.shape == shape)
+
+    def remove_matching(
+        self, predicate: Callable[[QueuedJob], bool]
+    ) -> list[QueuedJob]:
+        """Remove and return every queued entry the predicate selects.
+
+        Used by deadline enforcement (expire every lapsed job in one
+        sweep) and by stream teardown.  Removal charges no virtual time —
+        the work never ran — and the order of the returned list is
+        deterministic: tenants in name order, FIFO within each, the
+        deprioritized backlog last.
+        """
+        removed: list[QueuedJob] = []
+        for name in sorted(self._tenants):
+            queue = self._tenants[name]
+            kept: deque[QueuedJob] = deque()
+            for entry in queue.jobs:
+                (removed if predicate(entry) else kept).append(entry)
+            queue.jobs = kept
+        kept_backlog: deque[QueuedJob] = deque()
+        for entry in self._backlog:
+            (removed if predicate(entry) else kept_backlog).append(entry)
+        self._backlog = kept_backlog
+        self._queued_priced_cycles -= sum(entry.priced_cycles for entry in removed)
+        return removed
+
+    def pop_job(self, job_id: str) -> QueuedJob | None:
+        """Remove one queued entry by job id (None when not queued).
+
+        The cancellation primitive: a job that is still queued (or
+        requeued after a fault) can be withdrawn; a job already inside a
+        dispatched batch cannot.
+        """
+        removed = self.remove_matching(lambda entry: entry.job.job_id == job_id)
+        return removed[0] if removed else None
+
+    def pop_oldest(
+        self, predicate: Callable[[QueuedJob], bool]
+    ) -> QueuedJob | None:
+        """Remove the oldest matching entry (by enqueue cycle, then id).
+
+        The shedding victim selector: under overload the policy drops the
+        longest-waiting entry of the sheddable class, which both frees
+        the most-stale work and keeps the choice deterministic.
+        """
+        oldest: QueuedJob | None = None
+        for queue in self._tenants.values():
+            for entry in queue.jobs:
+                if predicate(entry) and (
+                    oldest is None
+                    or (entry.enqueued_cycle, entry.job.job_id)
+                    < (oldest.enqueued_cycle, oldest.job.job_id)
+                ):
+                    oldest = entry
+        for entry in self._backlog:
+            if predicate(entry) and (
+                oldest is None
+                or (entry.enqueued_cycle, entry.job.job_id)
+                < (oldest.enqueued_cycle, oldest.job.job_id)
+            ):
+                oldest = entry
+        if oldest is None:
+            return None
+        target_id = oldest.job.job_id
+        removed = self.remove_matching(lambda entry: entry.job.job_id == target_id)
+        return removed[0]
 
     def next_batch(
         self, max_batch: int = 1, cycle_budget: int | None = None

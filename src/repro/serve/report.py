@@ -19,7 +19,14 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.latency import LatencySummary, summarize_latencies
 from repro.analysis.reports import format_table
-from repro.serve.job import JobResult
+from repro.serve.job import (
+    STATUS_CANCELLED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    JobResult,
+)
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,10 @@ class WorkerStats:
     busy_cycles: int
     utilization: float
     worker_class: str = ""
+    #: Fault-plan interruptions this worker suffered (batches cut short).
+    failures: int = 0
+    #: False once the worker permanently died mid-run.
+    alive: bool = True
 
     def to_dict(self) -> dict:
         return {
@@ -51,6 +62,8 @@ class WorkerStats:
             "busy_cycles": int(self.busy_cycles),
             "utilization": self.utilization,
             "worker_class": self.worker_class,
+            "failures": self.failures,
+            "alive": self.alive,
         }
 
 
@@ -91,7 +104,12 @@ class TenantServeStats:
     ``latency`` summarizes simulated arrival-to-finish cycles of the
     tenant's completed jobs (None when nothing completed);
     ``throughput_jobs_per_sec`` is completed jobs over the run's simulated
-    makespan at the configured clock.
+    makespan at the configured clock.  Every terminal status is counted
+    separately (``rejected`` is admission rejections only — failed,
+    cancelled, expired and shed jobs each have their own counter), and
+    the deadline statistics carry an explicit denominator:
+    ``deadline_met`` out of ``deadline_eligible`` *completed* jobs that
+    carried a hint, so abandoned work never inflates the met rate.
     """
 
     tenant: str
@@ -105,6 +123,13 @@ class TenantServeStats:
     mean_queue_cycles: float | None
     throughput_jobs_per_sec: float
     deadline_misses: int
+    failed: int = 0
+    cancelled: int = 0
+    expired: int = 0
+    shed: int = 0
+    retries: int = 0
+    deadline_met: int = 0
+    deadline_eligible: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -119,6 +144,13 @@ class TenantServeStats:
             "mean_queue_cycles": self.mean_queue_cycles,
             "throughput_jobs_per_sec": self.throughput_jobs_per_sec,
             "deadline_misses": self.deadline_misses,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "shed": self.shed,
+            "retries": self.retries,
+            "deadline_met": self.deadline_met,
+            "deadline_eligible": self.deadline_eligible,
         }
 
 
@@ -130,7 +162,13 @@ class ServeReport:
     ``batch_window_cycles`` / ``placement`` echo the scheduler's batching
     window and placement policy, and ``worker_class_stats`` breaks
     utilization and latency down per worker class — together they make a
-    serialized report self-describing.
+    serialized report self-describing.  The robustness block counts every
+    terminal status separately (``jobs_rejected`` is admission rejections
+    only), ``retries`` totals the extra dispatches worker faults forced,
+    ``deadline_met`` / ``deadline_eligible`` make the deadline statistic's
+    denominator explicit (completed jobs that carried a hint), and
+    ``enforce_deadlines`` / ``max_retries`` / ``faults`` echo the fault
+    and SLO configuration the run executed under.
     """
 
     jobs_submitted: int
@@ -151,6 +189,16 @@ class ServeReport:
     batch_window_cycles: int | None = None
     placement: str = "priced"
     worker_class_stats: tuple[WorkerClassStats, ...] = ()
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    jobs_expired: int = 0
+    jobs_shed: int = 0
+    retries: int = 0
+    deadline_met: int = 0
+    deadline_eligible: int = 0
+    enforce_deadlines: bool = False
+    max_retries: int = 0
+    faults: str | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -176,11 +224,33 @@ class ServeReport:
             return 0.0
         return sum(w.utilization for w in self.workers) / len(self.workers)
 
+    @property
+    def deadline_met_rate(self) -> float | None:
+        """Share of deadline-eligible completed jobs that met their hint.
+
+        None when no completed job carried a hint — the statistic is
+        undefined rather than vacuously perfect.
+        """
+        if not self.deadline_eligible:
+            return None
+        return self.deadline_met / self.deadline_eligible
+
     def to_dict(self) -> dict:
         return {
             "jobs_submitted": self.jobs_submitted,
             "jobs_completed": self.jobs_completed,
             "jobs_rejected": self.jobs_rejected,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "jobs_expired": self.jobs_expired,
+            "jobs_shed": self.jobs_shed,
+            "retries": self.retries,
+            "deadline_met": self.deadline_met,
+            "deadline_eligible": self.deadline_eligible,
+            "deadline_met_rate": self.deadline_met_rate,
+            "enforce_deadlines": self.enforce_deadlines,
+            "max_retries": self.max_retries,
+            "faults": self.faults,
             "batches": self.batches,
             "batched_jobs": self.batched_jobs,
             "max_batch": self.max_batch,
@@ -259,9 +329,16 @@ def compile_serve_report(
     fleet: Sequence[str] = (),
     batch_window_cycles: int | None = None,
     placement: str = "priced",
+    enforce_deadlines: bool = False,
+    max_retries: int = 0,
+    faults: str | None = None,
 ) -> ServeReport:
     """Fold per-job results and worker counters into a :class:`ServeReport`."""
     results = sorted(job_results, key=lambda r: r.job_id)
+
+    def count(entries: Sequence[JobResult], status: str) -> int:
+        return sum(1 for r in entries if r.status == status)
+
     workers = tuple(sorted(workers, key=lambda w: w.worker_id))
     makespan = max(
         (r.finish_cycle for r in results if r.finish_cycle is not None), default=0
@@ -278,12 +355,13 @@ def compile_serve_report(
         done = [r for r in entries if r.completed]
         latencies = [r.latency_cycles for r in done]
         queues = [r.queue_cycles for r in done]
+        eligible = [r for r in done if r.deadline_hint_cycles is not None]
         tenants.append(
             TenantServeStats(
                 tenant=tenant,
                 submitted=len(entries),
                 completed=len(done),
-                rejected=sum(1 for r in entries if not r.completed),
+                rejected=count(entries, STATUS_REJECTED),
                 deprioritized=sum(1 for r in entries if r.deprioritized),
                 priced_cycles=sum(r.priced_cycles for r in done),
                 budget_cycles=budgets.get(tenant),
@@ -295,6 +373,13 @@ def compile_serve_report(
                     len(done) / simulated_seconds if simulated_seconds else 0.0
                 ),
                 deadline_misses=sum(1 for r in done if r.deadline_met is False),
+                failed=count(entries, STATUS_FAILED),
+                cancelled=count(entries, STATUS_CANCELLED),
+                expired=count(entries, STATUS_EXPIRED),
+                shed=count(entries, STATUS_SHED),
+                retries=sum(max(0, r.attempts - 1) for r in entries),
+                deadline_met=sum(1 for r in eligible if r.deadline_met),
+                deadline_eligible=len(eligible),
             )
         )
 
@@ -304,10 +389,23 @@ def compile_serve_report(
             key = (result.worker_id, result.batch_id)
             batch_sizes[key] = batch_sizes.get(key, 0) + 1
 
+    eligible_results = [
+        r for r in results if r.completed and r.deadline_hint_cycles is not None
+    ]
     return ServeReport(
         jobs_submitted=len(results),
         jobs_completed=sum(1 for r in results if r.completed),
-        jobs_rejected=sum(1 for r in results if not r.completed),
+        jobs_rejected=count(results, STATUS_REJECTED),
+        jobs_failed=count(results, STATUS_FAILED),
+        jobs_cancelled=count(results, STATUS_CANCELLED),
+        jobs_expired=count(results, STATUS_EXPIRED),
+        jobs_shed=count(results, STATUS_SHED),
+        retries=sum(max(0, r.attempts - 1) for r in results),
+        deadline_met=sum(1 for r in eligible_results if r.deadline_met),
+        deadline_eligible=len(eligible_results),
+        enforce_deadlines=enforce_deadlines,
+        max_retries=max_retries,
+        faults=faults,
         batches=len(batch_sizes),
         batched_jobs=sum(size for size in batch_sizes.values() if size > 1),
         max_batch=max_batch,
@@ -332,12 +430,36 @@ def format_serve_report(report: ServeReport) -> str:
     Heterogeneous fleets (more than one worker class) get an additional
     per-class rollup table between the tenant and worker tables.
     """
+    resolved = [
+        ("jobs failed", report.jobs_failed),
+        ("jobs cancelled", report.jobs_cancelled),
+        ("jobs expired", report.jobs_expired),
+        ("jobs shed", report.jobs_shed),
+        ("fault retries", report.retries),
+    ]
     summary = format_table(
         ("metric", "value"),
         [
             ("jobs submitted", report.jobs_submitted),
             ("jobs completed", report.jobs_completed),
             ("jobs rejected", report.jobs_rejected),
+        ]
+        # Unhappy-path rows appear only when the run had any, so the
+        # fault-free report stays as compact as before.
+        + [(label, value) for label, value in resolved if value]
+        + (
+            [
+                (
+                    "deadlines met",
+                    f"{report.deadline_met}/{report.deadline_eligible}"
+                    + (" (enforced)" if report.enforce_deadlines else ""),
+                )
+            ]
+            if report.deadline_eligible or report.enforce_deadlines
+            else []
+        )
+        + ([("fault plan", report.faults)] if report.faults else [])
+        + [
             ("batches", report.batches),
             ("jobs sharing a batch", report.batched_jobs),
             ("fleet size", report.fleet_size),
@@ -359,6 +481,8 @@ def format_serve_report(report: ServeReport) -> str:
             t.tenant,
             t.completed,
             t.rejected,
+            # Jobs the robustness layer resolved without completing them.
+            t.failed + t.cancelled + t.expired + t.shed,
             t.deprioritized,
             "-" if t.latency is None else int(t.latency.p50),
             "-" if t.latency is None else int(t.latency.p95),
@@ -372,6 +496,7 @@ def format_serve_report(report: ServeReport) -> str:
             "tenant",
             "done",
             "rejected",
+            "lost",
             "deprio",
             "p50 latency",
             "p95 latency",
@@ -416,12 +541,23 @@ def format_serve_report(report: ServeReport) -> str:
             w.batches,
             w.busy_cycles,
             round(w.utilization, 4),
+            w.failures,
+            "yes" if w.alive else "DEAD",
         )
         for w in report.workers
     ]
     sections.append(
         format_table(
-            ("worker", "class", "jobs", "batches", "busy cycles", "utilization"),
+            (
+                "worker",
+                "class",
+                "jobs",
+                "batches",
+                "busy cycles",
+                "utilization",
+                "failures",
+                "alive",
+            ),
             worker_rows,
         )
     )

@@ -55,6 +55,7 @@ refuses to mis-report.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import heapq
 import threading
 import time
@@ -68,9 +69,17 @@ from repro.api import RunResult, _AcceleratorBase, _validated_utilization
 from repro.engine.batched import gemm_cycle_accounting
 from repro.engine.cache import CacheInfo, estimate_cache_info
 from repro.engine.scaleout import iter_partition_share_shapes
+from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.job import (
+    SLO_BEST_EFFORT,
+    SLO_CLASSES,
+    SLO_LATENCY_TARGET,
+    STATUS_CANCELLED,
     STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
     STATUS_REJECTED,
+    STATUS_SHED,
     AnyJob,
     JobResult,
 )
@@ -207,13 +216,31 @@ def run_batch(
 
 @dataclass(frozen=True)
 class _ScheduledBatch:
-    """One planned dispatch: which jobs run where, and when (simulated)."""
+    """One planned dispatch: which jobs run where, and when (simulated).
+
+    ``job_cycles`` are the healthy tile-exact service cycles (what the
+    executed :class:`RunResult` reports and the drift assertion pins);
+    ``service_cycles`` are the same durations after any slowdown fault in
+    effect at dispatch.  When a fault plan cuts the batch,
+    ``completed_count`` marks the executed prefix (the jobs whose
+    stretched service fits before ``fail_cycle``) — the suffix never runs
+    and is requeued by the planner.
+    """
 
     batch_id: int
     worker_id: int
     start_cycle: int
     entries: tuple[QueuedJob, ...]
     job_cycles: tuple[int, ...]
+    service_cycles: tuple[int, ...] = ()
+    completed_count: int = -1
+    fail_cycle: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.service_cycles:
+            object.__setattr__(self, "service_cycles", self.job_cycles)
+        if self.completed_count < 0:
+            object.__setattr__(self, "completed_count", len(self.entries))
 
     @property
     def total_cycles(self) -> int:
@@ -221,7 +248,18 @@ class _ScheduledBatch:
 
     @property
     def finish_cycle(self) -> int:
-        return self.start_cycle + self.total_cycles
+        """When the batch would finish absent its fault (stretched)."""
+        return self.start_cycle + sum(self.service_cycles)
+
+    @property
+    def end_cycle(self) -> int:
+        """When the worker actually stops working on this batch."""
+        return self.fail_cycle if self.fail_cycle is not None else self.finish_cycle
+
+    @property
+    def executed(self) -> tuple[QueuedJob, ...]:
+        """The prefix of entries that actually runs to completion."""
+        return self.entries[: self.completed_count]
 
 
 @dataclass
@@ -232,6 +270,8 @@ class _WorkerLedger:
     jobs: int = 0
     batches: int = 0
     busy_cycles: int = 0
+    failures: int = 0
+    alive: bool = True
 
 
 class _OnlinePlanner:
@@ -251,6 +291,15 @@ class _OnlinePlanner:
     cheaper busy sibling is about to free up), or *busy* until
     ``_free_at``.  Stale wake events are invalidated lazily via the
     ``_wake`` map.
+
+    Under a fault plan the planner additionally carries *requeue events*:
+    a batch cut by a worker fault returns its unexecuted jobs to the fair
+    queue at the failure cycle (interleaved with wakes in event order), a
+    permanently dead worker leaves the idle/wake cycle for good, and a
+    transient outage parks its worker until the outage window ends.  All
+    of it stays on the simulated clock, so faulty runs are exactly as
+    deterministic — and as streaming/one-shot bit-identical — as healthy
+    ones.
     """
 
     def __init__(self, scheduler: "AsyncGemmScheduler") -> None:
@@ -262,16 +311,19 @@ class _OnlinePlanner:
         self.queue = WeightedFairQueue(scheduler.weights)
         self.ledgers = {wid: _WorkerLedger(wid) for wid in range(fleet_size)}
         self.batches: list[_ScheduledBatch] = []
-        self.rejected: list[JobResult] = []
+        self.terminal: list[JobResult] = []
         self.tenants: set[str] = set()
         self.seen_ids: set[str] = set()
         self.horizon = 0
         self.finished = False
+        self.injector = scheduler.fault_injector
         self._free_at = [0] * fleet_size
         self._heap: list[tuple[int, int]] = []
         self._wake: dict[int, int] = {}
         self._idle = set(range(fleet_size))
         self._window_wait: set[int] = set()
+        self._requeues: list[tuple[int, int, QueuedJob]] = []
+        self._requeue_seq = 0
         # Only the "random" placement baseline draws from this; the priced
         # policy is deterministic without it.
         self._rng = np.random.default_rng(scheduler.placement_seed)
@@ -284,21 +336,108 @@ class _OnlinePlanner:
         heapq.heappush(self._heap, (cycle, worker_id))
 
     def _advance(self, limit: int | None) -> None:
-        """Fire wake events strictly before ``limit`` (all when None).
+        """Fire wake and requeue events strictly before ``limit`` (all when None).
 
         Strictly before: a worker waking at exactly an arrival instant must
         see that arrival queued first, which happens right after this call.
+        Requeue events at a cycle fire before wakes at the same cycle, so a
+        worker waking at a failure instant sees the returned work.
         """
-        while self._heap:
+        while True:
+            wake_cycle = self._heap[0][0] if self._heap else None
+            requeue_cycle = self._requeues[0][0] if self._requeues else None
+            if requeue_cycle is not None and (
+                wake_cycle is None or requeue_cycle <= wake_cycle
+            ):
+                if limit is not None and requeue_cycle >= limit:
+                    return
+                cycle, _, entry = heapq.heappop(self._requeues)
+                self._requeue(entry, cycle)
+                continue
+            if wake_cycle is None:
+                return
             cycle, worker_id = self._heap[0]
             if limit is not None and cycle >= limit:
-                break
+                return
             heapq.heappop(self._heap)
             if self._wake.get(worker_id) != cycle:
                 continue  # superseded by a later (or earlier) reschedule
             del self._wake[worker_id]
             self._window_wait.discard(worker_id)
             self._on_wake(worker_id, cycle)
+
+    def _terminal_entry(
+        self, entry: QueuedJob, status: str, cycle: int, attempts: int
+    ) -> None:
+        """Resolve a queued entry without executing it (no RunResult)."""
+        job = entry.job
+        self.terminal.append(
+            JobResult(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                name=job.name,
+                status=status,
+                priced_cycles=entry.priced_cycles,
+                arrival_cycle=job.arrival_cycle,
+                deadline_hint_cycles=job.deadline_hint_cycles,
+                deprioritized=entry.deprioritized,
+                attempts=attempts,
+                resolved_cycle=cycle,
+            )
+        )
+
+    def _lapsed(self, entry: QueuedJob, cycle: int) -> bool:
+        """Whether the entry can no longer meet its deadline, even started now."""
+        hint = entry.job.deadline_hint_cycles
+        if hint is None:
+            return False
+        return cycle + entry.priced_cycles > entry.job.arrival_cycle + hint
+
+    def _expire_queued(self, cycle: int) -> None:
+        """Expire every queued job whose laxity has run out at ``cycle``."""
+        for entry in self.queue.remove_matching(
+            lambda entry: self._lapsed(entry, cycle)
+        ):
+            self._terminal_entry(entry, STATUS_EXPIRED, cycle, entry.attempts)
+
+    def _notify_work(self, entry_cycle: int, shape: tuple[int, int, int]) -> None:
+        """Wake idle (alive) workers and close filled batching windows."""
+        for worker_id in sorted(self._idle):
+            if self.injector is not None and not self.injector.alive(
+                worker_id, entry_cycle
+            ):
+                continue
+            self._schedule_wake(
+                worker_id, max(self._free_at[worker_id], entry_cycle)
+            )
+        # Early window close: once a full batch of this shape is waiting,
+        # a window-holding worker has nothing left to wait for.
+        if self._window_wait and self.queue.count_shape(shape) >= self._s.max_batch:
+            for worker_id in sorted(self._window_wait):
+                self._schedule_wake(
+                    worker_id, max(self._free_at[worker_id], entry_cycle)
+                )
+            self._window_wait.clear()
+
+    def _no_alive_workers(self, cycle: int) -> bool:
+        """Whether every fleet member has permanently died by ``cycle``."""
+        if self.injector is None:
+            return False
+        return all(
+            not self.injector.alive(worker_id, cycle)
+            for worker_id in range(len(self._s.fleet))
+        )
+
+    def _requeue(self, entry: QueuedJob, cycle: int) -> None:
+        """Return a fault-interrupted job to the queue at the failure cycle."""
+        if self._s.enforce_deadlines and self._lapsed(entry, cycle):
+            self._terminal_entry(entry, STATUS_EXPIRED, cycle, entry.attempts)
+            return
+        if self._no_alive_workers(cycle):
+            self._terminal_entry(entry, STATUS_FAILED, cycle, entry.attempts)
+            return
+        self.queue.push(entry)
+        self._notify_work(cycle, entry.job.shape)
 
     # -- the streaming interface ------------------------------------------
 
@@ -314,15 +453,18 @@ class _OnlinePlanner:
             raise RuntimeError("stream already drained; start a new one")
         if job.job_id in self.seen_ids:
             raise ValueError(f"duplicate job_id {job.job_id!r} in trace")
+        scheduler = self._s
         self.seen_ids.add(job.job_id)
         self.tenants.add(job.tenant)
         self._advance(job.arrival_cycle)
         entry_cycle = max(job.arrival_cycle, self.horizon)
         self.horizon = entry_cycle
+        if scheduler.enforce_deadlines:
+            self._expire_queued(entry_cycle)
 
         decision = self.admission.admit(job)
         if not decision.admitted:
-            self.rejected.append(
+            self.terminal.append(
                 JobResult(
                     job_id=job.job_id,
                     tenant=job.tenant,
@@ -331,48 +473,102 @@ class _OnlinePlanner:
                     priced_cycles=decision.priced_cycles,
                     arrival_cycle=job.arrival_cycle,
                     deadline_hint_cycles=job.deadline_hint_cycles,
+                    resolved_cycle=entry_cycle,
                 )
             )
             return
-        self.queue.push(
-            QueuedJob(
-                job,
-                decision.priced_cycles,
-                decision.deprioritized,
-                enqueued_cycle=entry_cycle,
-            )
+        entry = QueuedJob(
+            job,
+            decision.priced_cycles,
+            decision.deprioritized,
+            enqueued_cycle=entry_cycle,
         )
+        # A deadline that is already unmeetable at arrival expires at the
+        # door — the fleet never spends cycles on it.
+        if scheduler.enforce_deadlines and self._lapsed(entry, entry_cycle):
+            self._terminal_entry(entry, STATUS_EXPIRED, entry_cycle, 0)
+            return
+        # Overload shedding: when admitting this job would push the queued
+        # backlog past the threshold, best-effort work is shed first — the
+        # incoming job itself if it is best-effort, else the oldest queued
+        # best-effort entries make room for the latency-target arrival.
+        if (
+            scheduler.shed_cycles is not None
+            and self.queue.total_priced_cycles() + entry.priced_cycles
+            > scheduler.shed_cycles
+        ):
+            if scheduler.tenant_slo(job.tenant) != SLO_LATENCY_TARGET:
+                self._terminal_entry(entry, STATUS_SHED, entry_cycle, 0)
+                return
+            self.queue.push(entry)
+            while self.queue.total_priced_cycles() > scheduler.shed_cycles:
+                victim = self.queue.pop_oldest(
+                    lambda queued: scheduler.tenant_slo(queued.job.tenant)
+                    != SLO_LATENCY_TARGET
+                )
+                if victim is None:
+                    break
+                self._terminal_entry(
+                    victim, STATUS_SHED, entry_cycle, victim.attempts
+                )
+            self._notify_work(entry_cycle, job.shape)
+            return
+        self.queue.push(entry)
         # Work exists again: idle workers become dispatch candidates the
         # moment this job is visible.
-        for worker_id in sorted(self._idle):
-            self._schedule_wake(
-                worker_id, max(self._free_at[worker_id], entry_cycle)
-            )
-        # Early window close: once a full batch of this shape is waiting,
-        # a window-holding worker has nothing left to wait for.
-        if self._window_wait and self.queue.count_shape(job.shape) >= self._s.max_batch:
-            for worker_id in sorted(self._window_wait):
-                self._schedule_wake(
-                    worker_id, max(self._free_at[worker_id], entry_cycle)
-                )
-            self._window_wait.clear()
+        self._notify_work(entry_cycle, job.shape)
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a queued (or requeued) job; False once it is executing.
+
+        Cancellation is planner-local bookkeeping on the simulated clock:
+        the entry leaves the fair queue and resolves as ``cancelled`` at
+        the current planning horizon.  Jobs already inside a dispatched
+        batch — or already resolved — are not cancellable.
+        """
+        if self.finished:
+            return False
+        entry = self.queue.pop_job(job_id)
+        if entry is None:
+            # The job may still be waiting in a pending requeue event.
+            for index, (cycle, seq, queued) in enumerate(self._requeues):
+                if queued.job.job_id == job_id:
+                    self._requeues.pop(index)
+                    heapq.heapify(self._requeues)
+                    self._terminal_entry(
+                        queued, STATUS_CANCELLED, max(self.horizon, cycle),
+                        queued.attempts,
+                    )
+                    return True
+            return False
+        self._terminal_entry(entry, STATUS_CANCELLED, self.horizon, entry.attempts)
+        return True
 
     def finish(
         self,
     ) -> tuple[list[_ScheduledBatch], list[JobResult], dict[int, _WorkerLedger]]:
         """End the stream and fire every remaining event.
 
-        Returns ``(batches, rejected, ledgers)``; idempotent.
+        Returns ``(batches, terminal, ledgers)`` where ``terminal`` holds
+        every job resolved without execution (rejected, failed, cancelled,
+        expired, shed); idempotent.  Work stranded by a fully dead fleet
+        resolves as ``failed`` here rather than being silently dropped.
         """
         if not self.finished:
             self.finished = True
             self._advance(None)
-        return self.batches, self.rejected, self.ledgers
+            for entry in self.queue.remove_matching(lambda entry: True):
+                self._terminal_entry(
+                    entry, STATUS_FAILED, self.horizon, entry.attempts
+                )
+        return self.batches, self.terminal, self.ledgers
 
     # -- dispatch decisions -----------------------------------------------
 
     def _on_wake(self, worker_id: int, cycle: int) -> None:
         scheduler = self._s
+        if scheduler.enforce_deadlines:
+            self._expire_queued(cycle)
         while True:
             head = self.queue.peek_head()
             if head is None:
@@ -393,6 +589,11 @@ class _OnlinePlanner:
                     return
             target, defer_until = self._place(head.job.shape, cycle)
             if target is None:
+                if defer_until is None:
+                    # Every fleet member has permanently died: nothing can
+                    # ever host this work again.  finish() resolves the
+                    # stranded queue as failed.
+                    return
                 self._schedule_wake(worker_id, defer_until)
                 return
             self._dispatch(target, cycle)
@@ -400,6 +601,28 @@ class _OnlinePlanner:
                 return
             # This worker stayed free (a sibling out-priced it for that
             # shape); let it try to host the next head-of-line batch.
+
+    def _available_at(self, worker_id: int, cycle: int) -> int | None:
+        """Earliest instant >= ``cycle`` this worker could start a batch.
+
+        ``None`` for a worker that has permanently died (it can never
+        start again).  Transient outage windows push the start past their
+        end; a worker still busy with a batch starts when it frees.  With
+        no fault plan this is simply ``max(free_at, cycle)``.
+        """
+        start = max(self._free_at[worker_id], cycle)
+        injector = self.injector
+        if injector is None:
+            return start
+        while True:
+            until = injector.unavailable_until(worker_id, start)
+            if until is None:
+                break
+            start = until
+        death = injector.permanent_at(worker_id)
+        if death is not None and start >= death:
+            return None
+        return start
 
     def _place(
         self, shape: tuple[int, int, int], cycle: int
@@ -409,27 +632,47 @@ class _OnlinePlanner:
         Ranks worker classes by the estimate-cache price of ``shape``
         (:meth:`AsyncGemmScheduler.placement_cost`) and returns
         ``(worker_id, None)`` for the free worker with the soonest priced
-        finish — or ``(None, wake_cycle)`` when a *busy* worker would still
-        finish the job sooner than any free one, in which case the caller
-        parks until that worker frees up.  Under the ``"random"`` baseline
-        the batch lands on a uniformly drawn worker instead.
+        finish — or ``(None, wake_cycle)`` when a *busy* (or transiently
+        down) worker would still finish the job sooner than any free one,
+        in which case the caller parks until it is available.  Permanently
+        dead workers are drained from consideration entirely; ``(None,
+        None)`` means the whole fleet is dead.  Under the ``"random"``
+        baseline the batch lands on a uniformly drawn live worker instead.
         """
         scheduler = self._s
         fleet_size = len(scheduler.fleet)
         if scheduler.placement == PLACEMENT_RANDOM:
-            return int(self._rng.integers(fleet_size)), None
+            candidates = [
+                v for v in range(fleet_size) if self._available_at(v, cycle) is not None
+            ]
+            if not candidates:
+                return None, None
+            if len(candidates) == fleet_size:
+                # Bit-compatible with the fault-free baseline: same draw
+                # stream as indexing the whole fleet directly.
+                return int(self._rng.integers(fleet_size)), None
+            return candidates[int(self._rng.integers(len(candidates)))], None
         costs = [
             scheduler.placement_cost(shape, worker_id)
             for worker_id in range(fleet_size)
         ]
-        free = [v for v in range(fleet_size) if self._free_at[v] <= cycle]
+        free: list[int] = []
+        busy: list[tuple[int, int, int]] = []
+        for v in range(fleet_size):
+            available = self._available_at(v, cycle)
+            if available is None:
+                continue
+            if available <= cycle:
+                free.append(v)
+            else:
+                busy.append((available + costs[v], available, v))
+        if not free and not busy:
+            return None, None
+        if not free:
+            _, frees_at, _ = min(busy)
+            return None, frees_at
         best_free = min(free, key=lambda v: (costs[v], v))
         best_free_finish = cycle + costs[best_free]
-        busy = [
-            (self._free_at[v] + costs[v], self._free_at[v], v)
-            for v in range(fleet_size)
-            if self._free_at[v] > cycle
-        ]
         if busy:
             finish, frees_at, _ = min(busy)
             if finish < best_free_finish:
@@ -453,20 +696,79 @@ class _OnlinePlanner:
         job_cycles = tuple(
             scheduler.planned_job_cycles(entry.job, target) for entry in entries
         )
+        start = self._available_at(target, cycle)
+        assert start is not None, "placement never selects a dead worker"
+        injector = self.injector
+        if injector is None:
+            service_cycles = job_cycles
+            failure = None
+        else:
+            service_cycles = tuple(
+                injector.stretch(target, start, cycles) for cycles in job_cycles
+            )
+            failure = injector.next_failure(target, start)
+        finish = start + sum(service_cycles)
+        fail_cycle: int | None = None
+        resume: int | None = None
+        completed = len(entries)
+        if failure is not None and failure.cycle < finish:
+            # The fault cuts the batch: jobs whose stretched service fits
+            # entirely before the failure instant complete; the suffix is
+            # lost and requeues (or fails out) at the failure cycle.
+            fail_cycle = failure.cycle
+            resume = failure.resume_cycle
+            completed = 0
+            elapsed = start
+            for duration in service_cycles:
+                if elapsed + duration > fail_cycle:
+                    break
+                completed += 1
+                elapsed += duration
         batch = _ScheduledBatch(
             batch_id=len(self.batches),
             worker_id=target,
-            start_cycle=max(cycle, self._free_at[target]),
+            start_cycle=start,
             entries=entries,
             job_cycles=job_cycles,
+            service_cycles=service_cycles,
+            completed_count=completed,
+            fail_cycle=fail_cycle,
         )
         self.batches.append(batch)
         ledger = self.ledgers[target]
-        ledger.jobs += len(entries)
+        ledger.jobs += completed
         ledger.batches += 1
-        ledger.busy_cycles += batch.total_cycles
-        self._free_at[target] = batch.finish_cycle
-        self._schedule_wake(target, batch.finish_cycle)
+        ledger.busy_cycles += batch.end_cycle - start
+        if fail_cycle is None:
+            self._free_at[target] = finish
+            self._schedule_wake(target, finish)
+            return
+        ledger.failures += 1
+        for entry in entries[completed:]:
+            attempts = entry.attempts + 1
+            if attempts > scheduler.max_retries:
+                self._terminal_entry(entry, STATUS_FAILED, fail_cycle, attempts)
+            else:
+                self._requeue_seq += 1
+                heapq.heappush(
+                    self._requeues,
+                    (
+                        fail_cycle,
+                        self._requeue_seq,
+                        dataclasses.replace(
+                            entry, attempts=attempts, enqueued_cycle=fail_cycle
+                        ),
+                    ),
+                )
+        if resume is None:
+            # Permanent death: the worker leaves the wake cycle for good
+            # and _place never considers it again.
+            ledger.alive = False
+            self._free_at[target] = fail_cycle
+            self._idle.discard(target)
+        else:
+            self._free_at[target] = resume
+            self._schedule_wake(target, resume)
 
 
 @dataclass
@@ -520,6 +822,29 @@ class AsyncGemmScheduler:
         benchmarked against).
     placement_seed:
         Seed for the ``"random"`` placement baseline (ignored otherwise).
+    fault_plan:
+        Optional :class:`repro.serve.faults.FaultPlan` of scripted worker
+        faults on the simulated clock (permanent deaths, transient
+        outages, slowdowns).  Batches cut by a fault requeue their
+        unexecuted jobs; completed jobs stay bit-exact regardless.
+    max_retries:
+        Extra dispatch attempts a fault-interrupted job is allowed after
+        its first (default 2); a job whose attempts are exhausted resolves
+        as ``failed``.
+    enforce_deadlines:
+        When True, ``deadline_hint_cycles`` becomes binding: queued jobs
+        whose laxity has run out (``now + priced_cycles`` past the
+        deadline) expire instead of occupying the fleet.
+    shed_cycles:
+        Overload threshold on queued priced cycles.  When admitting a job
+        would push the backlog past it, best-effort work is shed —
+        incoming best-effort jobs at the door, the oldest queued
+        best-effort entries when the arrival is latency-target.  ``None``
+        (default) disables shedding.
+    slo_classes:
+        Per-tenant SLO class mapping (``"latency-target"`` or
+        ``"best-effort"``); absent tenants are best-effort.  Only the
+        shedding policy reads it.
     """
 
     def __init__(
@@ -534,6 +859,11 @@ class AsyncGemmScheduler:
         batch_window_cycles: int | None = None,
         placement: str = PLACEMENT_PRICED,
         placement_seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+        max_retries: int = 2,
+        enforce_deadlines: bool = False,
+        shed_cycles: int | None = None,
+        slo_classes: Mapping[str, str] | None = None,
     ) -> None:
         fleet = list(fleet)
         if not fleet:
@@ -551,6 +881,16 @@ class AsyncGemmScheduler:
                 f"unknown placement {placement!r}; "
                 f"expected one of {', '.join(PLACEMENTS)}"
             )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if shed_cycles is not None and shed_cycles < 1:
+            raise ValueError(f"shed_cycles must be >= 1, got {shed_cycles}")
+        for tenant, slo in dict(slo_classes or {}).items():
+            if slo not in SLO_CLASSES:
+                raise ValueError(
+                    f"tenant {tenant!r}: unknown SLO class {slo!r}; "
+                    f"expected one of {', '.join(SLO_CLASSES)}"
+                )
         self.fleet = fleet
         self.max_batch = max_batch
         self.weights = dict(weights or {})
@@ -560,6 +900,16 @@ class AsyncGemmScheduler:
         self.batch_window_cycles = batch_window_cycles
         self.placement = placement
         self.placement_seed = placement_seed
+        self.fault_plan = fault_plan
+        self.fault_injector = (
+            FaultInjector(fault_plan, len(fleet))
+            if fault_plan is not None and fault_plan.faults
+            else None
+        )
+        self.max_retries = max_retries
+        self.enforce_deadlines = enforce_deadlines
+        self.shed_cycles = shed_cycles
+        self.slo_classes = dict(slo_classes or {})
         # Group the fleet into worker classes: workers with identical
         # signatures run any job identically, so one representative per
         # class prices and plans for all of them.
@@ -614,6 +964,10 @@ class AsyncGemmScheduler:
     def worker_class(self, worker_id: int) -> str:
         """The class label of one fleet member."""
         return self.worker_classes[self._worker_class_ids[worker_id]]
+
+    def tenant_slo(self, tenant: str) -> str:
+        """The tenant's SLO class (best-effort unless configured otherwise)."""
+        return self.slo_classes.get(tenant, SLO_BEST_EFFORT)
 
     # -- pricing ----------------------------------------------------------
 
@@ -672,13 +1026,18 @@ class AsyncGemmScheduler:
         return self._stream
 
     def _launch_planned(self, stream: _StreamState) -> None:
-        """Start executing every newly finalized batch's numerics."""
+        """Start executing every newly finalized batch's numerics.
+
+        Only the executed prefix of a fault-cut batch runs — jobs the
+        fault plan interrupted never touch the numerics pool (they requeue
+        and execute, bit-exact, on their retry dispatch instead).
+        """
         for batch in stream.planner.batches[len(stream.futures) :]:
             stream.futures.append(
                 stream.pool.submit(
                     run_batch,
                     self.fleet[batch.worker_id],
-                    [entry.job for entry in batch.entries],
+                    [entry.job for entry in batch.executed],
                 )
             )
 
@@ -707,6 +1066,36 @@ class AsyncGemmScheduler:
             stream.planner.offer(job)
             self._launch_planned(stream)
 
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a submitted job that has not started executing.
+
+        Thread-safe: may be called from any thread while a ``submit()``
+        stream is open.  Returns True when the job was still queued (or
+        awaiting a fault retry) and is now resolved as ``cancelled`` —
+        its :class:`JobResult` appears in the drained report.  Returns
+        False when there is no open stream, the job is unknown, or it
+        already executed (results are never revoked).
+
+        >>> import numpy as np
+        >>> from repro import AxonAccelerator, ArrayConfig
+        >>> from repro.serve import AsyncGemmScheduler, Job
+        >>> scheduler = AsyncGemmScheduler([AxonAccelerator(ArrayConfig(8, 8))])
+        >>> scheduler.submit(Job(job_id="j0", tenant="t",
+        ...                      a=np.eye(8), b=np.eye(8), arrival_cycle=0))
+        >>> scheduler.submit(Job(job_id="j1", tenant="t",
+        ...                      a=np.eye(8), b=np.eye(8), arrival_cycle=1))
+        >>> scheduler.cancel("j1")
+        True
+        >>> report, results = scheduler.drain()
+        >>> [(r.job_id, r.status) for r in results]
+        [('j0', 'completed'), ('j1', 'cancelled')]
+        """
+        with self._lock:
+            stream = self._stream
+            if stream is None:
+                return False
+            return stream.planner.cancel(job_id)
+
     def drain(self) -> tuple[ServeReport, list[JobResult]]:
         """Close the stream: flush the planner, await every batch, report.
 
@@ -725,10 +1114,10 @@ class AsyncGemmScheduler:
             # Nothing was submitted: report an empty run without spinning
             # up (and immediately tearing down) an executor pool.
             planner = _OnlinePlanner(self)
-            batches, rejected, ledgers = planner.finish()
+            batches, terminal, ledgers = planner.finish()
             return self._assemble(
                 batches,
-                rejected,
+                terminal,
                 ledgers,
                 [],
                 tenants=planner.tenants,
@@ -736,14 +1125,14 @@ class AsyncGemmScheduler:
                 cache_before=estimate_cache_info(),
             )
         try:
-            batches, rejected, ledgers = stream.planner.finish()
+            batches, terminal, ledgers = stream.planner.finish()
             self._launch_planned(stream)
             batch_runs = [future.result() for future in stream.futures]
         finally:
             stream.pool.shutdown(wait=True)
         return self._assemble(
             batches,
-            rejected,
+            terminal,
             ledgers,
             batch_runs,
             tenants=stream.planner.tenants,
@@ -780,7 +1169,7 @@ class AsyncGemmScheduler:
         planner = _OnlinePlanner(self)
         for job in sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id)):
             planner.offer(job)
-        batches, rejected, ledgers = planner.finish()
+        batches, terminal, ledgers = planner.finish()
 
         loop = asyncio.get_running_loop()
         pool_size = max(1, len(self.fleet))
@@ -790,7 +1179,7 @@ class AsyncGemmScheduler:
                     pool,
                     run_batch,
                     self.fleet[batch.worker_id],
-                    [entry.job for entry in batch.entries],
+                    [entry.job for entry in batch.executed],
                 )
                 for batch in batches
             ]
@@ -798,7 +1187,7 @@ class AsyncGemmScheduler:
 
         return self._assemble(
             batches,
-            rejected,
+            terminal,
             ledgers,
             batch_runs,
             tenants=planner.tenants,
@@ -815,7 +1204,7 @@ class AsyncGemmScheduler:
     def _assemble(
         self,
         batches: list[_ScheduledBatch],
-        rejected: list[JobResult],
+        terminal: list[JobResult],
         ledgers: dict[int, _WorkerLedger],
         batch_runs: Sequence[Sequence[RunResult]],
         *,
@@ -823,11 +1212,13 @@ class AsyncGemmScheduler:
         wall_seconds: float,
         cache_before: CacheInfo,
     ) -> tuple[ServeReport, list[JobResult]]:
-        results = list(rejected)
+        results = list(terminal)
         for batch, runs in zip(batches, batch_runs):
             cursor = batch.start_cycle
             worker_class = self.worker_class(batch.worker_id)
-            for entry, planned, run in zip(batch.entries, batch.job_cycles, runs):
+            for entry, planned, stretched, run in zip(
+                batch.executed, batch.job_cycles, batch.service_cycles, runs
+            ):
                 if run.cycles != planned:
                     raise RuntimeError(
                         f"scheduler accounting drift on job "
@@ -839,7 +1230,10 @@ class AsyncGemmScheduler:
                 # JobResult matches a direct run_conv call bit-for-bit.
                 run = entry.job.finalize_result(run, self.fleet[batch.worker_id])
                 start = cursor
-                cursor += planned
+                # Occupancy advances by the slowdown-stretched service;
+                # the RunResult keeps the healthy tile-exact cycles (a
+                # straggler delays work, it does not change what ran).
+                cursor += stretched
                 results.append(
                     JobResult(
                         job_id=entry.job.job_id,
@@ -857,11 +1251,12 @@ class AsyncGemmScheduler:
                         batch_size=len(batch.entries),
                         deadline_hint_cycles=entry.job.deadline_hint_cycles,
                         deprioritized=entry.deprioritized,
+                        attempts=entry.attempts + 1,
                     )
                 )
 
         cache_after = estimate_cache_info()
-        makespan = max((batch.finish_cycle for batch in batches), default=0)
+        makespan = max((batch.end_cycle for batch in batches), default=0)
         worker_stats = [
             WorkerStats(
                 worker_id=ledger.worker_id,
@@ -870,6 +1265,14 @@ class AsyncGemmScheduler:
                 busy_cycles=ledger.busy_cycles,
                 utilization=ledger.busy_cycles / makespan if makespan else 0.0,
                 worker_class=self.worker_class(ledger.worker_id),
+                failures=ledger.failures,
+                # A worker is reported dead once its scripted death falls
+                # inside the run, whether or not a batch was cut by it.
+                alive=ledger.alive
+                and (
+                    self.fault_injector is None
+                    or self.fault_injector.alive(ledger.worker_id, makespan)
+                ),
             )
             for ledger in ledgers.values()
         ]
@@ -885,6 +1288,13 @@ class AsyncGemmScheduler:
             fleet=self.fleet_description,
             batch_window_cycles=self.batch_window_cycles,
             placement=self.placement,
+            enforce_deadlines=self.enforce_deadlines,
+            max_retries=self.max_retries,
+            faults=(
+                self.fault_plan.spec()
+                if self.fault_plan is not None and self.fault_plan.faults
+                else None
+            ),
         )
         results.sort(key=lambda item: item.job_id)
         return report, results

@@ -42,6 +42,7 @@ from repro.workloads.serving import (
     scaled_workload,
     synthetic_trace,
     tenant_budgets,
+    tenant_slo_classes,
     tenant_weights,
 )
 
@@ -74,5 +75,6 @@ __all__ = [
     "scaled_workload",
     "synthetic_trace",
     "tenant_budgets",
+    "tenant_slo_classes",
     "tenant_weights",
 ]

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.golden.conv import conv_output_shape
 from repro.im2col.lowering import ConvShape, GemmShape, lower_conv_to_gemm
-from repro.serve.job import ConvJob, Job
+from repro.serve.job import SLO_BEST_EFFORT, SLO_CLASSES, ConvJob, Job
 from repro.serve.scheduler import planned_gemm_cycles
 from repro.workloads.gemm_workloads import TABLE3_WORKLOADS
 from repro.workloads.resnet50 import RESNET50_CONV_LAYERS
@@ -52,12 +52,18 @@ class TenantTrafficSpec:
     weight: float = 1.0
     load_share: float = 1.0
     budget_cycles: int | None = None
+    slo: str = SLO_BEST_EFFORT
 
     def __post_init__(self):
         if self.weight <= 0:
             raise ValueError(f"tenant {self.name!r}: weight must be > 0")
         if self.load_share <= 0:
             raise ValueError(f"tenant {self.name!r}: load_share must be > 0")
+        if self.slo not in SLO_CLASSES:
+            raise ValueError(
+                f"tenant {self.name!r}: slo must be one of {SLO_CLASSES}, "
+                f"got {self.slo!r}"
+            )
 
 
 def equal_tenants(count: int, prefix: str = "tenant") -> tuple[TenantTrafficSpec, ...]:
@@ -79,6 +85,22 @@ def tenant_budgets(tenants: Sequence[TenantTrafficSpec]) -> dict[str, int]:
         spec.name: spec.budget_cycles
         for spec in tenants
         if spec.budget_cycles is not None
+    }
+
+
+def tenant_slo_classes(tenants: Sequence[TenantTrafficSpec]) -> dict[str, str]:
+    """SLO classes keyed by tenant, for ``AsyncGemmScheduler(slo_classes=...)``.
+
+    Best-effort tenants are omitted (it is the scheduler's default class),
+    so the mapping only names the tenants shedding must protect.
+
+    >>> specs = (TenantTrafficSpec("a", slo="latency-target"),
+    ...          TenantTrafficSpec("b"))
+    >>> tenant_slo_classes(specs)
+    {'a': 'latency-target'}
+    """
+    return {
+        spec.name: spec.slo for spec in tenants if spec.slo != SLO_BEST_EFFORT
     }
 
 

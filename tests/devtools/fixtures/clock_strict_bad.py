@@ -1,0 +1,17 @@
+# Bad fixture for the RPL102 strict scope: clock_allowed escapes and
+# seeded stdlib RNGs are still violations inside the fault-plan module.
+import random
+import time
+from random import Random  # expect: RPL102
+
+
+def wall_report():
+    return time.perf_counter()  # expect: RPL102
+
+
+def seeded_but_stdlib():
+    return random.Random(7).random()  # expect: RPL102
+
+
+def also_stdlib():
+    return Random(9)

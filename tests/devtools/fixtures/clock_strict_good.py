@@ -1,0 +1,13 @@
+# Good fixture for the RPL102 strict scope: the fault-plan module may
+# only draw randomness from a seeded numpy Generator and may not read
+# any wall clock at all — not even the clock_allowed perf_counter.
+import numpy as np
+
+
+def plan(seed: int):
+    rng = np.random.default_rng(seed)
+    return int(rng.integers(1000))
+
+
+def stretch(cycles: int, factor: float) -> int:
+    return int(cycles * factor)

@@ -25,6 +25,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: matches every path, and the API modules are the fixture files.
 FIXTURE_CONFIG = LintConfig(
     clock_pure_paths=("",),
+    clock_strict_paths=("clock_strict_good.py", "clock_strict_bad.py"),
     dtype_exact_paths=("",),
     api_modules=("api_good.py", "api_bad.py"),
 )
@@ -54,6 +55,7 @@ def expected_findings(name: str) -> set[tuple[str, int]]:
 BAD_FIXTURES = [
     ("lock_bad.py", "RPL101"),
     ("clock_bad.py", "RPL102"),
+    ("clock_strict_bad.py", "RPL102"),
     ("cachekey_bad.py", "RPL103"),
     ("dtype_bad.py", "RPL104"),
     ("api_bad.py", "RPL105"),
@@ -63,6 +65,7 @@ BAD_FIXTURES = [
 GOOD_FIXTURES = [
     "lock_good.py",
     "clock_good.py",
+    "clock_strict_good.py",
     "cachekey_good.py",
     "dtype_good.py",
     "api_good.py",

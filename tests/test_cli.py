@@ -155,6 +155,46 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["report"]["jobs_rejected"] == 8
 
+    def test_serve_command_malformed_fleet_spec_is_a_clean_error(self, capsys):
+        # A typo'd spec must produce a one-line validation message and
+        # exit code 2 — not an argparse SystemExit or a traceback.
+        assert main(["serve", "--fleet", "2*axon:32by32"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve: invalid --fleet spec:")
+        assert "2*axon:32by32" in err
+
+    def test_serve_command_malformed_faults_spec_is_a_clean_error(self, capsys):
+        assert main(["serve", "--faults", "0:wat@3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve: invalid --faults spec:")
+        assert "unknown kind 'wat'" in err
+
+    def test_serve_command_fault_plan_must_fit_fleet(self, capsys):
+        args = ["serve", "--workers", "2", "--tenants", "1",
+                "--jobs-per-tenant", "1", "--rows", "8", "--cols", "8",
+                "--max-dim", "32", "--faults", "7:perm@10"]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve:")
+        assert "worker 7" in err
+
+    def test_serve_command_with_faults_and_deadlines(self, capsys):
+        args = ["serve", "--tenants", "2", "--jobs-per-tenant", "3",
+                "--workers", "2", "--rows", "8", "--cols", "8",
+                "--max-dim", "32", "--faults", "0:transient@50+500",
+                "--max-retries", "3", "--enforce-deadlines",
+                "--deadline-slack", "50", "--latency-tenants", "1", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["report"]
+        assert report["enforce_deadlines"] is True
+        assert report["max_retries"] == 3
+        assert report["faults"] == "0:transient@50+500"
+        statuses = {job["status"] for job in payload["jobs"]}
+        assert statuses <= {"completed", "expired"}
+        # Every job resolves one way or the other — none vanish.
+        assert len(payload["jobs"]) == 6
+
     def test_serve_command_scale_out_workers(self, capsys):
         args = ["serve", "--tenants", "2", "--jobs-per-tenant", "2",
                 "--workers", "2", "--rows", "8", "--cols", "8",

@@ -1,0 +1,339 @@
+"""Chaos-matrix pins for the deterministic fault-injection layer.
+
+Every scenario scripts worker failures on the simulated clock
+(:mod:`repro.serve.faults`) and asserts the two invariants the subsystem
+exists for: *whenever a job completes its output is bit-exact* against a
+direct ``run_gemm`` call on the hosting worker, and *the whole run is
+deterministic* — replaying the same trace under the same fault plan
+reproduces the report field for field, and streaming ``submit()``/
+``drain()`` matches one-shot ``serve()`` under faults exactly as it does
+without them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import SystolicAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.serve import (
+    SLO_LATENCY_TARGET,
+    STATUS_CANCELLED,
+    STATUS_COMPLETED,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    STATUS_SHED,
+    AsyncGemmScheduler,
+    FaultInjector,
+    FaultPlan,
+    Job,
+    WorkerFault,
+    parse_fault_spec,
+    random_fault_plan,
+)
+from repro.workloads import synthetic_trace
+
+
+def _fleet(config, count=2):
+    return [SystolicAccelerator(config) for _ in range(count)]
+
+
+def _jobs(rng, count, dim=24, arrival=0, tenant="t", deadline=None):
+    """``count`` same-shape GEMM jobs arriving together (deterministic)."""
+    return [
+        Job(
+            job_id=f"j{index:02d}",
+            tenant=tenant,
+            a=rng.standard_normal((dim, dim)),
+            b=rng.standard_normal((dim, dim)),
+            arrival_cycle=arrival,
+            deadline_hint_cycles=deadline,
+        )
+        for index in range(count)
+    ]
+
+
+def _assert_bitexact(results, fleet, jobs):
+    """Every completed result matches a direct run on its hosting worker."""
+    by_class = {worker.describe(): worker for worker in fleet}
+    by_id = {job.job_id: job for job in jobs}
+    for result in results:
+        if not result.completed:
+            continue
+        job = by_id[result.job_id]
+        direct = by_class[result.worker_class].run_gemm(job.a, job.b)
+        assert np.array_equal(result.result.output, direct.output)
+        assert result.result.cycles == direct.cycles
+
+
+def _comparable(report):
+    payload = report.to_dict()
+    for key in ("wall_seconds", "cache_hits", "cache_misses", "cache_hit_rate"):
+        payload.pop(key)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar and injector semantics
+
+
+def test_fault_spec_round_trips():
+    plan = parse_fault_spec("0:perm@100,1:transient@50+25,2:slow@10x2.0")
+    assert parse_fault_spec(plan.spec()) == plan
+    kinds = [fault.kind for fault in plan.faults]
+    assert kinds == ["permanent", "transient", "slowdown"]
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["", "0:perm", "x:perm@3", "0:wat@3", "0:transient@3", "0:slow@3", "0:perm@3x2.0"],
+)
+def test_malformed_fault_specs_rejected(text):
+    with pytest.raises(ValueError):
+        parse_fault_spec(text)
+
+
+def test_worker_fault_validation():
+    with pytest.raises(ValueError):
+        WorkerFault(0, "transient", 10)  # transient needs a down window
+    with pytest.raises(ValueError):
+        WorkerFault(0, "slowdown", 10, factor=1.0)  # must actually slow down
+    with pytest.raises(ValueError):
+        WorkerFault(0, "permanent", 10, down_cycles=5)  # death has no resume
+
+
+def test_injector_semantics():
+    plan = parse_fault_spec("0:perm@100,1:transient@50+25,2:slow@10x2.0")
+    injector = FaultInjector(plan, 3)
+    assert injector.alive(0, 99) and not injector.alive(0, 100)
+    assert injector.unavailable_until(1, 60) == 75
+    assert injector.unavailable_until(1, 40) is None
+    assert injector.slowdown_factor(2, 9) == 1.0
+    assert injector.slowdown_factor(2, 10) == 2.0
+    assert injector.stretch(2, 10, 5) == 10
+    death = injector.next_failure(0, 0)
+    assert (death.cycle, death.kind, death.resume_cycle) == (100, "permanent", None)
+    outage = injector.next_failure(1, 0)
+    assert (outage.cycle, outage.resume_cycle) == (50, 75)
+    assert injector.next_failure(1, 51) is None  # already past the window
+    with pytest.raises(ValueError):
+        FaultInjector(plan, 2)  # plan names worker 2, fleet has ids 0..1
+
+
+def test_random_fault_plan_is_seed_deterministic():
+    one = random_fault_plan(4, seed=7, horizon_cycles=10_000)
+    two = random_fault_plan(4, seed=7, horizon_cycles=10_000)
+    assert one == two
+    assert one != random_fault_plan(4, seed=8, horizon_cycles=10_000)
+    assert all(fault.worker_id < 4 for fault in one.faults)
+
+
+# ---------------------------------------------------------------------------
+# Chaos matrix: each scenario completes bit-exact or resolves loudly
+
+
+def test_transient_failure_retries_bit_exact(rng, small_array):
+    fleet = _fleet(small_array, 2)
+    jobs = _jobs(rng, 6)
+    plan = parse_fault_spec("0:transient@10+200")
+    scheduler = AsyncGemmScheduler(fleet, max_batch=1, fault_plan=plan)
+    report, results = scheduler.serve(jobs)
+    assert {r.status for r in results} == {STATUS_COMPLETED}
+    assert report.jobs_completed == len(jobs)
+    assert report.retries >= 1
+    assert max(r.attempts for r in results) >= 2
+    assert sum(stats.failures for stats in report.workers) == report.retries
+    _assert_bitexact(results, fleet, jobs)
+
+
+def test_permanent_death_redistributes_with_zero_lost(rng, small_array):
+    fleet = _fleet(small_array, 3)
+    jobs = _jobs(rng, 9)
+    # Find where the fault-free schedule puts worker 1 mid-flight, then
+    # kill it there so in-progress work must move to the survivors.
+    clean_report, _ = AsyncGemmScheduler(fleet, max_batch=1).serve(jobs)
+    death = max(1, clean_report.makespan_cycles // 3)
+    plan = FaultPlan((WorkerFault(1, "permanent", death),))
+    scheduler = AsyncGemmScheduler(fleet, max_batch=1, fault_plan=plan)
+    report, results = scheduler.serve(jobs)
+    assert {r.status for r in results} == {STATUS_COMPLETED}
+    assert report.jobs_failed == 0
+    dead = next(stats for stats in report.workers if stats.worker_id == 1)
+    assert dead.alive is False
+    # Nothing lands on the dead worker after its death.
+    for result in results:
+        if result.worker_id == 1:
+            assert result.start_cycle < death
+    _assert_bitexact(results, fleet, jobs)
+
+
+def test_slowdown_straggler_stretches_but_stays_exact(rng, small_array):
+    fleet = _fleet(small_array, 1)
+    jobs = _jobs(rng, 4)
+    clean_report, _ = AsyncGemmScheduler(fleet, max_batch=1).serve(jobs)
+    plan = parse_fault_spec("0:slow@0x2.0")
+    report, results = AsyncGemmScheduler(
+        fleet, max_batch=1, fault_plan=plan
+    ).serve(jobs)
+    assert {r.status for r in results} == {STATUS_COMPLETED}
+    # Occupancy stretches (2x service on the only worker) but the
+    # RunResult cycles stay the healthy tile-exact counts.
+    assert report.makespan_cycles > clean_report.makespan_cycles
+    _assert_bitexact(results, fleet, jobs)
+
+
+def test_retry_exhaustion_marks_failed(rng, small_array):
+    fleet = _fleet(small_array, 1)
+    jobs = _jobs(rng, 4)
+    plan = parse_fault_spec("0:transient@10+50")
+    scheduler = AsyncGemmScheduler(
+        fleet, max_batch=1, fault_plan=plan, max_retries=0
+    )
+    report, results = scheduler.serve(jobs)
+    statuses = {r.status for r in results}
+    assert STATUS_FAILED in statuses
+    assert report.jobs_failed >= 1
+    assert report.jobs_failed + report.jobs_completed == len(jobs)
+    for result in results:
+        if result.status == STATUS_FAILED:
+            assert result.result is None
+            assert result.attempts == 1  # dispatched once, no retry budget
+            assert result.resolved_cycle is not None
+    _assert_bitexact(results, fleet, jobs)
+
+
+def test_whole_fleet_death_fails_stranded_work_loudly(rng, small_array):
+    fleet = _fleet(small_array, 1)
+    jobs = _jobs(rng, 4)
+    plan = parse_fault_spec("0:perm@10")
+    report, results = AsyncGemmScheduler(
+        fleet, max_batch=1, fault_plan=plan, max_retries=5
+    ).serve(jobs)
+    # Nobody is left to run anything: every job resolves as failed rather
+    # than silently vanishing from the report.
+    assert report.jobs_completed == 0
+    assert report.jobs_failed == len(jobs)
+    assert all(r.status == STATUS_FAILED for r in results)
+
+
+def test_deadline_expiry_under_backlog(rng, small_array):
+    fleet = _fleet(small_array, 1)
+    service = AsyncGemmScheduler(fleet).price_job(_jobs(rng, 1)[0])
+    jobs = _jobs(np.random.default_rng(3), 8, deadline=2 * service)
+    scheduler = AsyncGemmScheduler(fleet, max_batch=1, enforce_deadlines=True)
+    report, results = scheduler.serve(jobs)
+    assert report.jobs_expired > 0
+    assert report.jobs_expired + report.jobs_completed == len(jobs)
+    assert report.enforce_deadlines is True
+    for result in results:
+        if result.status == STATUS_EXPIRED:
+            assert result.result is None
+            assert result.deadline_met is False
+            assert result.resolved_cycle is not None
+    # Only completed jobs enter the deadline denominator.
+    assert report.deadline_eligible == report.jobs_completed
+    assert report.deadline_met <= report.deadline_eligible
+    # The advisory baseline completes everything (hints stay hints).
+    lax_report, _ = AsyncGemmScheduler(fleet, max_batch=1).serve(jobs)
+    assert lax_report.jobs_completed == len(jobs)
+    assert lax_report.jobs_expired == 0
+
+
+def test_cancel_mid_stream(rng, small_array):
+    fleet = _fleet(small_array, 1)
+    jobs = _jobs(rng, 4)
+    scheduler = AsyncGemmScheduler(fleet, max_batch=1)
+    for job in jobs:
+        scheduler.submit(job)
+    assert scheduler.cancel("j03") is True
+    assert scheduler.cancel("j03") is False  # already resolved
+    assert scheduler.cancel("nope") is False
+    report, results = scheduler.drain()
+    by_id = {r.job_id: r for r in results}
+    assert by_id["j03"].status == STATUS_CANCELLED
+    assert by_id["j03"].result is None
+    assert report.jobs_cancelled == 1
+    assert report.jobs_completed == len(jobs) - 1
+    _assert_bitexact(results, fleet, jobs)
+
+
+def test_shedding_protects_latency_target_tenants(rng, small_array):
+    fleet = _fleet(small_array, 1)
+    best_effort = _jobs(rng, 6, tenant="be")
+    latency = [
+        Job(
+            job_id=f"lt{index}",
+            tenant="lt",
+            a=rng.standard_normal((24, 24)),
+            b=rng.standard_normal((24, 24)),
+            arrival_cycle=1,
+        )
+        for index in range(3)
+    ]
+    service = AsyncGemmScheduler(fleet).price_job(best_effort[0])
+    scheduler = AsyncGemmScheduler(
+        fleet,
+        max_batch=1,
+        shed_cycles=3 * service,
+        slo_classes={"lt": SLO_LATENCY_TARGET},
+    )
+    report, results = scheduler.serve(best_effort + latency)
+    shed = [r for r in results if r.status == STATUS_SHED]
+    assert shed, "backlog never tripped the shed threshold"
+    assert {r.tenant for r in shed} == {"be"}  # best-effort sheds first
+    assert all(
+        r.status == STATUS_COMPLETED for r in results if r.tenant == "lt"
+    )
+    assert report.jobs_shed == len(shed)
+    tenant_stats = {stats.tenant: stats for stats in report.tenants}
+    assert tenant_stats["be"].shed == len(shed)
+    assert tenant_stats["lt"].shed == 0
+
+
+# ---------------------------------------------------------------------------
+# Determinism: rerun and streaming/one-shot equivalence under chaos
+
+
+def _chaos_setup(seed=11):
+    fleet = _fleet(ArrayConfig(8, 8), 3)
+    jobs = synthetic_trace(
+        fleet, tenants=3, jobs_per_tenant=4, offered_load=6.0, max_dim=48,
+        seed=seed, deadline_slack=6.0,
+    )
+    plan = random_fault_plan(len(fleet), seed=seed, horizon_cycles=50_000)
+    return fleet, jobs, plan
+
+
+def test_chaos_run_is_deterministic_across_reruns():
+    fleet, jobs, plan = _chaos_setup()
+    kwargs = dict(
+        max_batch=2, fault_plan=plan, max_retries=2, enforce_deadlines=True
+    )
+    report_a, results_a = AsyncGemmScheduler(fleet, **kwargs).serve(jobs)
+    report_b, results_b = AsyncGemmScheduler(fleet, **kwargs).serve(jobs)
+    assert _comparable(report_a) == _comparable(report_b)
+    for one, two in zip(results_a, results_b):
+        assert (one.job_id, one.status, one.attempts) == (
+            two.job_id, two.status, two.attempts
+        )
+        if one.completed:
+            assert np.array_equal(one.result.output, two.result.output)
+
+
+def test_streaming_matches_one_shot_under_faults():
+    fleet, jobs, plan = _chaos_setup(seed=13)
+    kwargs = dict(
+        max_batch=2, fault_plan=plan, max_retries=2, enforce_deadlines=True
+    )
+    one_shot_report, one_shot = AsyncGemmScheduler(fleet, **kwargs).serve(jobs)
+    streaming = AsyncGemmScheduler(fleet, **kwargs)
+    for job in jobs:
+        streaming.submit(job)
+    stream_report, streamed = streaming.drain()
+    assert _comparable(stream_report) == _comparable(one_shot_report)
+    assert [r.job_id for r in streamed] == [r.job_id for r in one_shot]
+    for one, two in zip(streamed, one_shot):
+        assert one.status == two.status
+        if one.completed:
+            assert np.array_equal(one.result.output, two.result.output)
