@@ -30,11 +30,12 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_artifact
 from repro.analysis.reports import format_table
 from repro.api import AxonAccelerator, SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
 from repro.im2col.lowering import conv_shape_from_tensors, lower_conv_to_gemm
+from repro.obs import SCHEMA_KEYS
 from repro.serve import AsyncGemmScheduler, ConvJob, serial_baseline
 from repro.workloads import synthetic_trace
 
@@ -127,16 +128,22 @@ def test_conv_engine_speedup(benchmark, rng):
     )
 
     artifact_engine = {
-        "layer": {
-            "in_channels": CHANNELS, "ifmap": [HEIGHT, WIDTH],
-            "kernel": [KERNEL, KERNEL], "num_filters": FILTERS,
-            "stride": STRIDE, "padding": PADDING,
-        },
-        "lowered_gemm": {"m": gemm.m, "k": gemm.k, "n": gemm.n},
         "speedups": {k: round(v, 1) for k, v in speedups.items()},
         "floor": SPEEDUP_FLOOR,
     }
-    _merge_artifact({"engine": artifact_engine})
+    _merge_artifact(
+        {"engine": artifact_engine},
+        config={
+            "engine": {
+                "layer": {
+                    "in_channels": CHANNELS, "ifmap": [HEIGHT, WIDTH],
+                    "kernel": [KERNEL, KERNEL], "num_filters": FILTERS,
+                    "stride": STRIDE, "padding": PADDING,
+                },
+                "lowered_gemm": {"m": gemm.m, "k": gemm.k, "n": gemm.n},
+            }
+        },
+    )
 
     for label, speedup in speedups.items():
         assert speedup >= SPEEDUP_FLOOR, (
@@ -200,9 +207,17 @@ def test_mixed_trace_serving_throughput(benchmark):
         ),
     )
 
-    _merge_artifact({
-        "serving": {
-            "params": {
+    _merge_artifact(
+        {
+            "serving": {
+                "serial": serial_report.to_dict(),
+                "batched": report.to_dict(),
+                "throughput_ratio": ratio,
+                "bit_exact_jobs": len(results) + len(serial_results),
+            }
+        },
+        config={
+            "serving": {
                 "array": [SERVE_ARRAY.rows, SERVE_ARRAY.cols],
                 "fleet_size": FLEET_SIZE,
                 "tenants": TENANTS,
@@ -213,13 +228,9 @@ def test_mixed_trace_serving_throughput(benchmark):
                 "conv_fraction": CONV_FRACTION,
                 "conv_jobs": conv_jobs,
                 "seed": SEED,
-            },
-            "serial": serial_report.to_dict(),
-            "batched": report.to_dict(),
-            "throughput_ratio": ratio,
-            "bit_exact_jobs": len(results) + len(serial_results),
-        }
-    })
+            }
+        },
+    )
 
     assert ratio >= THROUGHPUT_FLOOR, (
         f"mixed GEMM+conv trace only {ratio:.2f}x the serial jobs/sec "
@@ -228,14 +239,26 @@ def test_mixed_trace_serving_throughput(benchmark):
     assert report.jobs_completed == len(jobs)
 
 
-def _merge_artifact(fragment: dict) -> None:
-    """Accumulate both tests' results into one JSON artifact for CI."""
+def _merge_artifact(fragment: dict, config: dict | None = None) -> None:
+    """Accumulate both tests' results into one schema-v1 artifact for CI.
+
+    Re-reads any artifact already on disk (either vintage), strips the
+    schema envelope, merges the new fragment, and rewrites the whole
+    thing through :func:`benchmarks.conftest.write_artifact` so the two
+    tests' contributions land in one ``conv_functional`` artifact.
+    """
     path = os.environ.get("CONV_BENCH_JSON", "conv_functional.json")
-    payload = {}
+    payload: dict = {}
+    merged_config: dict = {}
     if os.path.exists(path):
         with open(path) as handle:
-            payload = json.load(handle)
+            data = json.load(handle)
+        previous_config = data.get("config")
+        if isinstance(previous_config, dict):
+            merged_config.update(previous_config)
+        payload = {key: value for key, value in data.items() if key not in SCHEMA_KEYS}
     payload.update(fragment)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-    emit("Conv benchmark artifact", f"wrote {path}")
+    merged_config.update(config or {})
+    write_artifact(
+        "conv_functional", "CONV_BENCH_JSON", path, merged_config, payload
+    )

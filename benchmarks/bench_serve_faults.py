@@ -27,12 +27,9 @@ Run explicitly (tier 2)::
 
 from __future__ import annotations
 
-import json
-import os
-
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_artifact
 from repro.analysis.reports import format_table
 from repro.api import SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
@@ -261,8 +258,11 @@ def test_serve_faults(benchmark):
         ),
     )
 
-    artifact = {
-        "params": {
+    write_artifact(
+        "serve_faults",
+        "SERVE_FAULTS_JSON",
+        "serve_faults.json",
+        {
             "fleet": FLEET_SPEC,
             "serial_array": [SERIAL_ARRAY.rows, SERIAL_ARRAY.cols],
             "tenants": TENANTS,
@@ -278,18 +278,16 @@ def test_serve_faults(benchmark):
             "fault_plan": plan.spec(),
             "death_cycle": death_cycle,
         },
-        "serial": serial_report.to_dict(),
-        "fault_free": clean_report.to_dict(),
-        "worker_death": chaos_report.to_dict(),
-        "recovery_vs_serial": recovery_vs_serial,
-        "deadline_baseline": baseline_report.to_dict(),
-        "deadline_enforced": enforced_report.to_dict(),
-        "latency_target_p95_baseline": baseline_p95,
-        "latency_target_p95_enforced": enforced_p95,
-        "latency_target_completed_enforced": completed_floor,
-        "bit_exact_jobs": len(chaos_results),
-    }
-    artifact_path = os.environ.get("SERVE_FAULTS_JSON", "serve_faults.json")
-    with open(artifact_path, "w") as handle:
-        json.dump(artifact, handle, indent=2)
-    emit("Fault-tolerance artifact", f"wrote {artifact_path}")
+        {
+            "serial": serial_report.to_dict(),
+            "fault_free": clean_report.to_dict(),
+            "worker_death": chaos_report.to_dict(),
+            "recovery_vs_serial": recovery_vs_serial,
+            "deadline_baseline": baseline_report.to_dict(),
+            "deadline_enforced": enforced_report.to_dict(),
+            "latency_target_p95_baseline": baseline_p95,
+            "latency_target_p95_enforced": enforced_p95,
+            "latency_target_completed_enforced": completed_floor,
+            "bit_exact_jobs": len(chaos_results),
+        },
+    )

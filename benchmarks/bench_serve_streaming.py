@@ -30,13 +30,11 @@ Run explicitly (tier 2)::
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_artifact
 from repro.analysis.reports import format_table
 from repro.api import SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
@@ -189,8 +187,11 @@ def test_serve_streaming(benchmark):
         ),
     )
 
-    artifact = {
-        "params": {
+    write_artifact(
+        "serve_streaming",
+        "STREAM_BENCH_JSON",
+        "serve_streaming.json",
+        {
             "fleet": FLEET_SPEC,
             "serial_array": [SERIAL_ARRAY.rows, SERIAL_ARRAY.cols],
             "tenants": TENANTS,
@@ -200,19 +201,17 @@ def test_serve_streaming(benchmark):
             "max_batch": MAX_BATCH,
             "seed": SEED,
         },
-        "serial": serial_report.to_dict(),
-        "one_shot": oneshot_report.to_dict(),
-        "streaming": streaming_report.to_dict(),
-        "random_placement": random_report.to_dict(),
-        "streaming_vs_serial": streaming_vs_serial,
-        "streaming_vs_oneshot": streaming_vs_oneshot,
-        "priced_vs_random": priced_vs_random,
-        "bit_exact_jobs": len(streaming_results),
-    }
-    artifact_path = os.environ.get("STREAM_BENCH_JSON", "serve_streaming.json")
-    with open(artifact_path, "w") as handle:
-        json.dump(artifact, handle, indent=2)
-    emit("Streaming serving artifact", f"wrote {artifact_path}")
+        {
+            "serial": serial_report.to_dict(),
+            "one_shot": oneshot_report.to_dict(),
+            "streaming": streaming_report.to_dict(),
+            "random_placement": random_report.to_dict(),
+            "streaming_vs_serial": streaming_vs_serial,
+            "streaming_vs_oneshot": streaming_vs_oneshot,
+            "priced_vs_random": priced_vs_random,
+            "bit_exact_jobs": len(streaming_results),
+        },
+    )
 
     assert streaming_vs_serial >= SERIAL_FLOOR, (
         f"streaming heterogeneous fleet only {streaming_vs_serial:.2f}x the "

@@ -24,16 +24,15 @@ Run explicitly (tier 2)::
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_artifact
 from repro.analysis.reports import format_table
 from repro.api import SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
+from repro.obs import Tracer
 from repro.serve import AsyncGemmScheduler, serial_baseline
 from repro.workloads import synthetic_trace
 
@@ -129,8 +128,11 @@ def test_serve_throughput(benchmark):
         ),
     )
 
-    artifact = {
-        "params": {
+    write_artifact(
+        "serve_throughput",
+        "SERVE_BENCH_JSON",
+        "serve_throughput.json",
+        {
             "array": [ARRAY.rows, ARRAY.cols],
             "fleet_size": FLEET_SIZE,
             "tenants": TENANTS,
@@ -140,16 +142,14 @@ def test_serve_throughput(benchmark):
             "max_batch": MAX_BATCH,
             "seed": SEED,
         },
-        "serial": serial_report.to_dict(),
-        "batched": batched_report.to_dict(),
-        "throughput_ratio": ratio,
-        "fairness_max_min_ratio": fairness,
-        "bit_exact_jobs": len(batched_results) + len(serial_results),
-    }
-    artifact_path = os.environ.get("SERVE_BENCH_JSON", "serve_throughput.json")
-    with open(artifact_path, "w") as handle:
-        json.dump(artifact, handle, indent=2)
-    emit("Serving throughput artifact", f"wrote {artifact_path}")
+        {
+            "serial": serial_report.to_dict(),
+            "batched": batched_report.to_dict(),
+            "throughput_ratio": ratio,
+            "fairness_max_min_ratio": fairness,
+            "bit_exact_jobs": len(batched_results) + len(serial_results),
+        },
+    )
 
     assert ratio >= THROUGHPUT_FLOOR, (
         f"batched async scheduler only {ratio:.2f}x the serial jobs/sec "
@@ -161,3 +161,52 @@ def test_serve_throughput(benchmark):
     )
     assert batched_report.jobs_completed == len(jobs)
     assert batched_report.cache_hit_rate > 0.5  # admission rides the memo
+
+
+#: Tracing must stay cheap enough to leave on in CI: full instrumentation
+#: within 5% of the untraced wall time, plus a grace for timer noise.
+TRACING_OVERHEAD_CEILING = 0.05
+TRACING_OVERHEAD_GRACE_SECONDS = 0.05
+TRACING_TIMING_RUNS = 3
+
+
+def test_tracing_overhead_smoke():
+    """Full tracing adds bounded overhead to the batched serving hot path.
+
+    min-of-N wall timing, traced vs untraced, on the same trace and fleet
+    as the throughput benchmark.  The tracer-disabled path is the default
+    (``tracer=None`` turns every hook into an attribute check), so this
+    guards the *enabled* cost — the observability layer's low-overhead
+    claim — rather than a micro-benchmark of the no-op path.
+    """
+    jobs = _trace()
+    fleet = [SystolicAccelerator(ARRAY) for _ in range(FLEET_SIZE)]
+
+    def timed(tracer: Tracer | None) -> float:
+        start = time.perf_counter()
+        AsyncGemmScheduler(fleet, max_batch=MAX_BATCH, tracer=tracer).serve(jobs)
+        return time.perf_counter() - start
+
+    timed(None)  # warm the estimate cache and code paths out of the timing
+    untraced = min(timed(None) for _ in range(TRACING_TIMING_RUNS))
+    traced = min(timed(Tracer()) for _ in range(TRACING_TIMING_RUNS))
+    budget = (
+        untraced * (1.0 + TRACING_OVERHEAD_CEILING)
+        + TRACING_OVERHEAD_GRACE_SECONDS
+    )
+    emit(
+        "Tracing overhead (min-of-%d wall seconds)" % TRACING_TIMING_RUNS,
+        format_table(
+            ("mode", "wall (s)"),
+            [
+                ("tracer disabled", round(untraced, 4)),
+                ("tracer enabled", round(traced, 4)),
+                ("budget", round(budget, 4)),
+            ],
+        ),
+    )
+    assert traced <= budget, (
+        f"traced serve took {traced:.4f}s vs untraced {untraced:.4f}s "
+        f"(budget {budget:.4f}s = +{TRACING_OVERHEAD_CEILING:.0%} "
+        f"+ {TRACING_OVERHEAD_GRACE_SECONDS}s grace)"
+    )

@@ -4,12 +4,24 @@ Every benchmark regenerates the rows/series of one table or figure of the
 paper and prints them (run pytest with ``-s`` to see the tables); the
 ``benchmark`` fixture times the regeneration itself so the harness doubles as
 a performance regression check for the models.
+
+Benchmarks that persist results write them through :func:`write_artifact`,
+which wraps the payload in the shared schema-v1 envelope
+(:func:`repro.obs.bench.bench_artifact`: ``schema_version`` / ``bench`` /
+``config`` / ``metrics``) so ``repro bench compare`` can diff any two
+artifacts — including against the committed baselines under
+``benchmarks/baselines/`` that the CI observability job gates on.
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
+
+from repro.obs import bench_artifact
 
 
 @pytest.fixture
@@ -22,3 +34,23 @@ def emit(title: str, body: str) -> None:
     """Print a paper-style table with a header line."""
     print(f"\n=== {title} ===")
     print(body)
+
+
+def write_artifact(
+    bench: str,
+    env_var: str,
+    default_path: str,
+    config: dict,
+    payload: dict,
+) -> str:
+    """Write one schema-v1 benchmark artifact and return its path.
+
+    ``env_var`` overrides the destination (the CI hook); the payload's
+    numeric leaves become the artifact's flat ``metrics`` section.
+    """
+    path = os.environ.get(env_var, default_path)
+    with open(path, "w") as handle:
+        json.dump(bench_artifact(bench, config, payload), handle, indent=2)
+        handle.write("\n")
+    emit(f"{bench} artifact", f"wrote {path}")
+    return path

@@ -12,6 +12,9 @@ Provides quick access to the analytical models without writing Python::
     python -m repro.cli serve --fleet "2*axon:32x32,2*axon:16x16@2x2"
     python -m repro.cli serve --faults "1:perm@40000,2:slow@0x2.0" --max-retries 3
     python -m repro.cli serve --enforce-deadlines --deadline-slack 8 --latency-tenants 2
+    python -m repro.cli serve --streaming --trace trace.json
+    python -m repro.cli trace summarize trace.json
+    python -m repro.cli bench compare old.json new.json --fail-on "*jobs_per_second:5%"
     python -m repro.cli workloads
     python -m repro.cli speedup --array 256
     python -m repro.cli traffic --network resnet50
@@ -36,13 +39,21 @@ job-by-job with ``--streaming`` (optionally holding batches open for
 ran out and ``--shed-cycles`` shedding best-effort tenants (the first
 ``--latency-tenants`` tenants are latency-target) under overload — and
 prints the per-tenant latency /
-throughput / fairness report; ``cache`` reports the
+throughput / fairness report; with ``--trace PATH`` the whole run is
+recorded on the simulated clock and written as a Chrome-trace/Perfetto
+JSON (or JSONL when the path ends in ``.jsonl``) — deterministic, so the
+same seed writes byte-identical files; ``trace summarize`` reduces such
+a file back to queue-depth / batch-occupancy / per-tenant latency
+tables; ``bench compare`` diffs two bench JSON artifacts and, with
+``--fail-on "PATTERN:TOL[%][:dir]"`` gates, exits non-zero on any
+regression (the CI bench gate); ``cache`` reports the
 shared estimate-cache statistics (``--clear-cache`` resets them) so
 long-lived sweep services can observe hit rates.  ``run``, ``conv`` and
 ``serve`` take ``--json`` for machine-readable output.  The other
 commands evaluate the analytical models.  The heavier, figure-for-figure
 regeneration lives in ``benchmarks/`` (run via pytest); the CLI is for
-interactive exploration of individual design points.
+interactive exploration of individual design points.  See
+``docs/observability.md`` for the tracing/metrics layer.
 """
 
 from __future__ import annotations
@@ -69,6 +80,17 @@ from repro.engine import (
 )
 from repro.energy import ASAP7, NODES, area_report, inference_energy_report, power_report
 from repro.im2col.traffic import network_traffic
+from repro.obs import (
+    Tracer,
+    compare_metrics,
+    format_compare,
+    format_trace_summary,
+    load_artifact,
+    load_trace_events,
+    parse_fail_on,
+    summarize_trace,
+    write_trace,
+)
 from repro.serve import (
     ADMISSION_POLICIES,
     PLACEMENT_PRICED,
@@ -392,6 +414,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         deadline_slack=args.deadline_slack,
     )
+    tracer = Tracer() if args.trace else None
     try:
         scheduler = AsyncGemmScheduler(
             fleet,
@@ -407,6 +430,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             enforce_deadlines=args.enforce_deadlines,
             shed_cycles=args.shed_cycles,
             slo_classes=tenant_slo_classes(tenants),
+            tracer=tracer,
         )
     except ValueError as error:
         # e.g. a fault plan naming workers the fleet doesn't have.
@@ -421,19 +445,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         report, results = scheduler.drain()
     else:
         report, results = scheduler.serve(jobs)
+    trace_note = None
+    if tracer is not None:
+        trace_format = write_trace(args.trace, tracer)
+        trace_note = {
+            "path": args.trace,
+            "format": trace_format,
+            "events": len(tracer.events),
+        }
+    if args.json:
+        payload: dict[str, object] = {
+            "report": report.to_dict(),
+            "jobs": [result.to_dict() for result in results],
+        }
+        if trace_note is not None:
+            payload["trace"] = trace_note
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(format_serve_report(report))
+    if trace_note is not None:
+        print(
+            f"\ntrace: {trace_note['events']} events "
+            f"({trace_note['format']}) -> {trace_note['path']}"
+        )
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    try:
+        events = load_trace_events(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"repro trace summarize: {error}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(format_trace_summary(summary))
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    try:
+        rules = [parse_fail_on(spec) for spec in args.fail_on or ()]
+    except ValueError as error:
+        print(f"repro bench compare: invalid --fail-on: {error}", file=sys.stderr)
+        return 2
+    try:
+        old_bench, old_metrics = load_artifact(args.old)
+        new_bench, new_metrics = load_artifact(args.new)
+    except (OSError, ValueError) as error:
+        print(f"repro bench compare: {error}", file=sys.stderr)
+        return 2
+    if old_bench and new_bench and old_bench != new_bench:
+        print(
+            f"repro bench compare: artifacts are from different benches "
+            f"({old_bench!r} vs {new_bench!r})",
+            file=sys.stderr,
+        )
+        return 2
+    deltas = compare_metrics(old_metrics, new_metrics, rules)
+    regressions = [delta for delta in deltas if delta.regressed]
     if args.json:
         print(
             json.dumps(
                 {
-                    "report": report.to_dict(),
-                    "jobs": [result.to_dict() for result in results],
+                    "bench": new_bench or old_bench,
+                    "metrics": [delta.to_dict() for delta in deltas],
+                    "regressions": [delta.metric for delta in regressions],
                 },
                 indent=2,
             )
         )
-        return 0
-    print(format_serve_report(report))
-    return 0
+    else:
+        print(format_compare(deltas, only_gated=args.only_gated))
+        if regressions:
+            print(
+                f"\n{len(regressions)} regression(s): "
+                + ", ".join(delta.metric for delta in regressions)
+            )
+    return 1 if regressions else 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -697,10 +788,61 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--clock-ghz", type=_positive_float, default=1.0)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the run on the simulated clock and write a "
+        "Chrome-trace/Perfetto JSON (JSONL when PATH ends in .jsonl); "
+        "deterministic — the same seed writes byte-identical files",
+    )
+    serve.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of the report tables",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", help="inspect trace files written by 'serve --trace'"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="reduce a trace to queue/batch/tenant/cache/worker tables",
+    )
+    summarize.add_argument("trace_file", help="Chrome-trace JSON or JSONL file")
+    summarize.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    summarize.set_defaults(func=_cmd_trace_summarize)
+
+    bench = sub.add_parser(
+        "bench", help="work with benchmark JSON artifacts (benchmarks/*.json)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare",
+        help="diff two bench artifacts; exits 1 when a --fail-on gate trips",
+        description=(
+            "Compare the flat metrics of OLD and NEW benchmark artifacts "
+            "(schema-v1 or legacy). Rows matching a --fail-on gate whose "
+            "change exceeds the tolerance in the losing direction are "
+            "regressions; any regression makes the command exit 1."
+        ),
+    )
+    compare.add_argument("old", help="baseline artifact JSON")
+    compare.add_argument("new", help="candidate artifact JSON")
+    compare.add_argument(
+        "--fail-on", action="append", default=None, metavar="SPEC",
+        help="regression gate PATTERN:TOL[%%][:higher|lower|either] "
+        "(repeatable; first matching gate wins; e.g. "
+        "'*jobs_per_second:5%%' or '*.wall_seconds:50%%:lower')",
+    )
+    compare.add_argument(
+        "--only-gated", action="store_true",
+        help="print only metrics covered by a --fail-on gate",
+    )
+    compare.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    compare.set_defaults(func=_cmd_bench_compare)
 
     workloads = sub.add_parser("workloads", help="list the Table 3 workloads")
     workloads.set_defaults(func=_cmd_workloads)

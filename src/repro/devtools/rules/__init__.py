@@ -14,6 +14,7 @@ from repro.devtools.rules.cache_keys import CacheKeyHygieneRule
 from repro.devtools.rules.clock_purity import ClockPurityRule
 from repro.devtools.rules.dtype_exactness import DtypeExactnessRule
 from repro.devtools.rules.lock_discipline import LockDisciplineRule
+from repro.devtools.rules.trace_purity import TracePurityRule
 
 #: Every shipped rule, in id order.
 RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -22,6 +23,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     CacheKeyHygieneRule,
     DtypeExactnessRule,
     ApiCoverageRule,
+    TracePurityRule,
 )
 
 
@@ -40,5 +42,6 @@ __all__ = [
     "ModuleContext",
     "RULE_CLASSES",
     "Rule",
+    "TracePurityRule",
     "all_rule_ids",
 ]

@@ -53,9 +53,20 @@ class LintConfig:
         "src/repro/engine/__init__.py",
         "src/repro/serve/__init__.py",
         "src/repro/im2col/lowering.py",
+        "src/repro/obs/__init__.py",
     )
     #: ``self`` attributes treated as locks by the lock-discipline rule.
     lock_attr_names: tuple[str, ...] = ("_lock", "_memo_lock")
+    #: The tracing layer, where *no* wall-clock read is legal (not even
+    #: the ``clock_allowed`` escapes) outside the annotation helpers —
+    #: trace exports are byte-compared across same-seed runs in CI.
+    obs_paths: tuple[str, ...] = ("src/repro/obs/",)
+    #: Function names sanctioned to read the wall clock inside
+    #: ``obs_paths`` (they tag their events with the ``wall`` category).
+    wall_annotation_helpers: tuple[str, ...] = ("wall_clock_annotation",)
+    #: Method names that append events to a tracer; their arguments must
+    #: never embed a wall-clock read.
+    trace_emit_methods: tuple[str, ...] = ("emit", "instant", "complete", "counter")
 
     def in_scope(self, rel_path: str, scope: tuple[str, ...]) -> bool:
         """Whether ``rel_path`` falls under one of ``scope``'s entries."""

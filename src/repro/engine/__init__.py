@@ -82,17 +82,21 @@ from repro.engine.batched import (
     gemm_cycle_accounting,
 )
 from repro.engine.cache import (
+    CacheGroupInfo,
     CacheInfo,
     DEFAULT_ESTIMATE_CACHE_CAPACITY,
     LRUEstimateCache,
+    cache_key_group,
     cached_conv_cycles,
     cached_gemm_cycles,
     clear_estimate_cache,
     conv_estimate_key,
     estimate_cache_capacity,
+    estimate_cache_group_info,
     estimate_cache_info,
     gemm_estimate_key,
     set_estimate_cache_capacity,
+    set_estimate_cache_observer,
 )
 from repro.engine.scaleout import (
     PartitionShare,
@@ -154,17 +158,21 @@ __all__ = [
     "iter_partition_share_shapes",
     "iter_partition_shares",
     "scale_out_reduce",
+    "CacheGroupInfo",
     "CacheInfo",
     "DEFAULT_ESTIMATE_CACHE_CAPACITY",
     "LRUEstimateCache",
+    "cache_key_group",
     "cached_conv_cycles",
     "cached_gemm_cycles",
     "clear_estimate_cache",
     "conv_estimate_key",
     "estimate_cache_capacity",
+    "estimate_cache_group_info",
     "estimate_cache_info",
     "gemm_estimate_key",
     "set_estimate_cache_capacity",
+    "set_estimate_cache_observer",
     "AxonWavefrontOSArray",
     "AxonWavefrontStationaryArray",
     "ConventionalWavefrontOSArray",

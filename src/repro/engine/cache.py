@@ -64,6 +64,40 @@ class CacheInfo(NamedTuple):
     currsize: int
 
 
+class CacheGroupInfo(NamedTuple):
+    """Per-group statistics snapshot (see :func:`cache_key_group`)."""
+
+    hits: int
+    misses: int
+    evictions: int
+
+
+def cache_key_group(key: Hashable) -> tuple[Hashable, ...]:
+    """The statistics group an audited estimate key belongs to.
+
+    Both audited key constructors end in the same seven design-point
+    fields — ``(rows, cols, dataflow, axon, engine, partitions_rows,
+    partitions_cols)`` — so grouping on the kind tag plus that tail buckets
+    every entry by the worker-class configuration that priced it, which is
+    exactly the per-worker-class cache accounting ``ServeReport`` exposes.
+    Keys that are not audited estimate keys fall into ``("other",)``.
+
+    >>> key = gemm_estimate_key(8, 4, 8, rows=16, cols=16,
+    ...                         dataflow=Dataflow.OUTPUT_STATIONARY,
+    ...                         axon=False, engine="wavefront",
+    ...                         partitions_rows=1, partitions_cols=1)
+    >>> cache_key_group(key)[:3]
+    ('gemm', 16, 16)
+    """
+    if (
+        isinstance(key, tuple)
+        and len(key) >= 8
+        and key[0] in ("gemm", "conv")
+    ):
+        return (key[0],) + tuple(key[-7:])
+    return ("other",)
+
+
 def _capacity_from_env() -> int | None:
     """Initial capacity: the env override, else the historical default."""
     raw = os.environ.get(CAPACITY_ENV_VAR)
@@ -81,6 +115,23 @@ def _capacity_from_env() -> int | None:
     return None if value < 0 else value
 
 
+def _deliver(
+    observer: Callable[[str, Hashable], None] | None,
+    events: list[tuple[str, Hashable]],
+) -> None:
+    """Deliver queued observer events.
+
+    Called after the statistics lock is released, with the observer
+    snapshotted under it — the callback may do arbitrary work (the
+    serving tracer emits events from it) and must never run inside the
+    cache's critical section.
+    """
+    if observer is None:
+        return
+    for event, key in events:
+        observer(event, key)
+
+
 class LRUEstimateCache:
     """A thread-safe LRU memo with a reconfigurable capacity.
 
@@ -96,7 +147,31 @@ class LRUEstimateCache:
         self._entries: OrderedDict[Hashable, int] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._groups: dict[tuple[Hashable, ...], list[int]] = {}
+        self._observer: Callable[[str, Hashable], None] | None = None
         self._capacity = self._validate_capacity(capacity)
+
+    def _group_stats(self, key: Hashable) -> list[int]:
+        """The mutable ``[hits, misses, evictions]`` triple for ``key``'s
+        group (lock must be held)."""
+        assert self._lock.locked(), "caller must hold the estimate-cache lock"
+        return self._groups.setdefault(cache_key_group(key), [0, 0, 0])
+
+    def set_observer(
+        self, observer: Callable[[str, Hashable], None] | None
+    ) -> Callable[[str, Hashable], None] | None:
+        """Install (or clear) the event observer; returns the previous one.
+
+        The observer is called **outside** the statistics lock with
+        ``(event, key)`` where event is ``"hit"``, ``"miss"`` or
+        ``"evict"`` — the hook the serving tracer uses to turn cache
+        activity into trace events.  Uncounted lookups
+        (``memoize(..., count=False)``) do not notify.
+        """
+        with self._lock:
+            previous = self._observer
+            self._observer = observer
+            return previous
 
     @staticmethod
     def _validate_capacity(capacity: int | None) -> int | None:
@@ -118,51 +193,90 @@ class LRUEstimateCache:
         with self._lock:
             return self._capacity
 
-    def memoize(self, key: Hashable, compute: Callable[[], int]) -> int:
+    def memoize(
+        self, key: Hashable, compute: Callable[[], int], *, count: bool = True
+    ) -> int:
         """Return the cached value for ``key``, computing it on a miss.
 
         The value is computed outside the lock (estimates are pure, so a
         concurrent duplicate computation is harmless and brief), keeping
         executor threads from serialising on the model evaluation.
+
+        ``count=False`` performs the lookup (and fill) without touching the
+        hit/miss statistics or notifying the observer — used when a conv
+        miss warms its lowered GEMM's entry, so one conv pricing counts as
+        exactly one lookup rather than inflating the miss denominator with
+        its internal warming read.
         """
+        notify: list[tuple[str, Hashable]] = []
+        cached: int | None = None
+        hit = False
         with self._lock:
+            observer = self._observer
             if key in self._entries:
-                self._hits += 1
+                if count:
+                    self._hits += 1
+                    self._group_stats(key)[0] += 1
+                    notify.append(("hit", key))
                 self._entries.move_to_end(key)
-                return self._entries[key]
-            self._misses += 1
+                cached = self._entries[key]
+                hit = True
+            elif count:
+                self._misses += 1
+                self._group_stats(key)[1] += 1
+                notify.append(("miss", key))
+        _deliver(observer, notify)
+        if hit:
+            assert cached is not None  # set on the hit path above
+            return cached
         value = compute()
+        notify = []
         with self._lock:
+            observer = self._observer
             if self._capacity != 0:
                 self._entries[key] = value
                 self._entries.move_to_end(key)
-                self._evict()
+                for evicted in self._evict():
+                    notify.append(("evict", evicted))
+        _deliver(observer, notify)
         return value
 
-    def _evict(self) -> None:
-        """Drop LRU entries until the bound holds (lock must be held)."""
+    def _evict(self) -> list[Hashable]:
+        """Drop LRU entries until the bound holds (lock must be held).
+
+        Returns the evicted keys so the caller can notify the observer
+        after releasing the lock.
+        """
         assert self._lock.locked(), "caller must hold the estimate-cache lock"
+        evicted: list[Hashable] = []
         if self._capacity is None:
-            return
+            return evicted
         while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+            key, _ = self._entries.popitem(last=False)
+            self._group_stats(key)[2] += 1
+            evicted.append(key)
+        return evicted
 
     def resize(self, capacity: int | None) -> None:
         """Change the capacity in place, evicting LRU entries if shrinking."""
         capacity = self._validate_capacity(capacity)
+        notify: list[tuple[str, Hashable]] = []
         with self._lock:
+            observer = self._observer
             self._capacity = capacity
             if capacity == 0:
                 self._entries.clear()
             else:
-                self._evict()
+                notify = [("evict", key) for key in self._evict()]
+        _deliver(observer, notify)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/eviction counters."""
         with self._lock:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._groups.clear()
 
     def info(self) -> CacheInfo:
         """Consistent snapshot of the statistics."""
@@ -173,6 +287,19 @@ class LRUEstimateCache:
                 maxsize=self._capacity,
                 currsize=len(self._entries),
             )
+
+    def info_by_group(self) -> dict[tuple[Hashable, ...], CacheGroupInfo]:
+        """Consistent per-group statistics snapshot.
+
+        Groups are :func:`cache_key_group` tuples — one per (kind, array,
+        dataflow, engine, grid) design-point family — so a serving report
+        can attribute hits/misses/evictions to worker classes.
+        """
+        with self._lock:
+            return {
+                group: CacheGroupInfo(*stats)
+                for group, stats in self._groups.items()
+            }
 
 
 #: The process-wide memo shared by the façades, sweeps and serving layer.
@@ -293,6 +420,24 @@ def cached_gemm_cycles(
         partitions_rows=partitions_rows,
         partitions_cols=partitions_cols,
     )
+    compute = _gemm_compute(
+        m, k, n, rows, cols, dataflow, axon, partitions_rows, partitions_cols
+    )
+    return _ESTIMATE_CACHE.memoize(key, compute)
+
+
+def _gemm_compute(
+    m: int,
+    k: int,
+    n: int,
+    rows: int,
+    cols: int,
+    dataflow: Dataflow,
+    axon: bool,
+    partitions_rows: int,
+    partitions_cols: int,
+) -> Callable[[], int]:
+    """The (uncached) GEMM estimate evaluation as a thunk for ``memoize``."""
 
     def compute() -> int:
         if partitions_rows != 1 or partitions_cols != 1:
@@ -304,7 +449,7 @@ def cached_gemm_cycles(
             return workload_runtime(m, k, n, rows, cols, dataflow, axon=True)
         return scalesim_runtime(m, k, n, rows, cols, dataflow)
 
-    return _ESTIMATE_CACHE.memoize(key, compute)
+    return compute
 
 
 def cached_conv_cycles(
@@ -324,9 +469,11 @@ def cached_conv_cycles(
     tagged key carrying the full convolution geometry — kernel, stride,
     padding, depthwise — so a conv estimate and a plain GEMM estimate of
     the lowered shape never alias each other.  A miss warms the lowered
-    GEMM's own entry too (via :func:`cached_gemm_cycles`), so subsequent
-    GEMM pricing of the same shape — e.g. serving admission for a
-    :class:`repro.serve.job.ConvJob` — is a hit.
+    GEMM's own entry too, so subsequent GEMM pricing of the same shape —
+    e.g. serving admission for a :class:`repro.serve.job.ConvJob` — is a
+    hit; the warming read is **uncounted** (``count=False``), so one conv
+    pricing registers exactly one lookup in the statistics instead of a
+    conv miss plus a phantom GEMM miss inflating the denominator.
     """
     key = conv_estimate_key(
         conv,
@@ -341,10 +488,23 @@ def cached_conv_cycles(
 
     def compute() -> int:
         gemm = lower_conv_to_gemm(conv)
-        return cached_gemm_cycles(
-            gemm.m, gemm.k, gemm.n, rows, cols, dataflow, axon, engine,
+        gemm_key = gemm_estimate_key(
+            gemm.m,
+            gemm.k,
+            gemm.n,
+            rows=rows,
+            cols=cols,
+            dataflow=dataflow,
+            axon=axon,
+            engine=engine,
+            partitions_rows=partitions_rows,
+            partitions_cols=partitions_cols,
+        )
+        gemm_compute = _gemm_compute(
+            gemm.m, gemm.k, gemm.n, rows, cols, dataflow, axon,
             partitions_rows, partitions_cols,
         )
+        return _ESTIMATE_CACHE.memoize(gemm_key, gemm_compute, count=False)
 
     return _ESTIMATE_CACHE.memoize(key, compute)
 
@@ -352,6 +512,23 @@ def cached_conv_cycles(
 def estimate_cache_info() -> CacheInfo:
     """Statistics of the shared estimate memo (``functools``-compatible)."""
     return _ESTIMATE_CACHE.info()
+
+
+def estimate_cache_group_info() -> dict[tuple[Hashable, ...], CacheGroupInfo]:
+    """Per-design-point-group statistics of the shared estimate memo."""
+    return _ESTIMATE_CACHE.info_by_group()
+
+
+def set_estimate_cache_observer(
+    observer: Callable[[str, Hashable], None] | None,
+) -> Callable[[str, Hashable], None] | None:
+    """Install (or clear) the shared memo's hit/miss/evict observer.
+
+    Returns the previously installed observer so callers can restore it —
+    the serving scheduler installs one for the duration of a traced run
+    and puts the old one back when the stream drains.
+    """
+    return _ESTIMATE_CACHE.set_observer(observer)
 
 
 def clear_estimate_cache() -> None:

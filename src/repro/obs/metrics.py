@@ -1,0 +1,164 @@
+"""A small deterministic metrics registry: counters, gauges, histograms.
+
+:class:`MetricsRegistry` is the structured replacement for the ad-hoc
+counter fields that used to accumulate informally in ``ServeReport``:
+:meth:`repro.serve.report.ServeReport.metrics` compiles one from the report
+and ``ServeReport.to_dict()`` embeds its stable :meth:`MetricsRegistry.to_dict`
+section, which is also what ``repro bench compare`` diffs across PRs.
+
+Histograms use **exact integer bin edges** (no float buckets): ``observe``
+counts a sample into the first bin whose upper edge is ``>= value``, with a
+final unbounded overflow bin.  Everything serializes with sorted keys so the
+output is byte-stable for identical inputs.
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("jobs.completed").add(3)
+>>> registry.gauge("fleet.workers").set(4)
+>>> hist = registry.histogram("batch.occupancy", (1, 2, 4, 8))
+>>> for size in (1, 1, 3, 8, 9):
+...     hist.observe(size)
+>>> registry.to_dict()["histograms"]["batch.occupancy"]["counts"]
+[2, 0, 1, 1, 1]
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing integer counter.
+
+    >>> counter = Counter("retries")
+    >>> counter.add()
+    >>> counter.add(2)
+    >>> counter.value
+    3
+    """
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time numeric value.
+
+    >>> gauge = Gauge("queue.depth")
+    >>> gauge.set(7)
+    >>> gauge.value
+    7
+    """
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest observation."""
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """A histogram over exact integer bin edges.
+
+    ``edges`` are inclusive upper bounds of the first ``len(edges)`` bins;
+    one overflow bin follows.  Edges must be strictly increasing integers.
+
+    >>> hist = Histogram("latency", (10, 100))
+    >>> for value in (5, 10, 11, 1000):
+    ...     hist.observe(value)
+    >>> hist.counts
+    [2, 1, 1]
+    """
+
+    name: str
+    edges: tuple[int, ...]
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError(f"histogram {self.name!r} needs at least one edge")
+        if any(not isinstance(edge, int) for edge in self.edges):
+            raise ValueError(f"histogram {self.name!r} edges must be exact ints")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError(f"histogram {self.name!r} edges must increase")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: int) -> None:
+        """Count one sample into its bin (last bin catches overflow)."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += 1
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize edges and per-bin counts."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with a stable serialization.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("a").add()
+    >>> registry.counter("a").value
+    1
+    """
+
+    _counters: dict[str, Counter] = field(default_factory=dict)
+    _gauges: dict[str, Gauge] = field(default_factory=dict)
+    _histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it at zero."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Return the gauge called ``name``, creating it at zero."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, edges: tuple[int, ...] = ()) -> Histogram:
+        """Return the histogram called ``name``, creating it with ``edges``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, edges)
+        elif edges and self._histograms[name].edges != edges:
+            raise ValueError(f"histogram {name!r} already registered with "
+                             f"edges {self._histograms[name].edges}")
+        return self._histograms[name]
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize every metric, key-sorted for byte-stable output."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -1,0 +1,250 @@
+"""Post-hoc analysis of exported serving traces.
+
+:func:`summarize_trace` reduces the raw event stream (as loaded by
+:func:`repro.obs.export.load_trace_events`) into the three views the
+``repro trace summarize`` subcommand prints:
+
+* **queue-depth time series** — from the ``queue.depth`` counter samples;
+* **batch-occupancy histogram** — from ``batch.open`` instants;
+* **per-tenant latency breakdown** — from ``job.completed`` instants, with
+  each completed job's latency split into *queue-wait* (before first
+  dispatch, excluding retry waits), *execute* (dispatch → finish), and
+  *retry-wait* (queueing re-accumulated after a fault requeue, located via
+  ``job.requeued`` instants).
+
+The per-tenant p50/p95 use :func:`repro.analysis.latency.summarize_latencies`
+— the identical percentile definition ``ServeReport`` quotes — so numbers
+derived from a trace match the report **exactly**, which the test-suite
+pins.
+
+>>> events = [
+...     {"name": "queue.depth", "ph": "C", "ts": 0, "args": {"depth": 2}},
+...     {"name": "batch.open", "ph": "i", "ts": 5, "args": {"size": 2}},
+...     {"name": "job.completed", "ph": "i", "ts": 9,
+...      "args": {"job_id": "t0-j0", "tenant": "t0", "arrival_cycle": 0,
+...               "latency_cycles": 9, "queue_cycles": 5, "attempts": 1}},
+... ]
+>>> summary = summarize_trace(events)
+>>> summary["batch_occupancy"]["2"]
+1
+>>> summary["tenants"]["t0"]["latency"]["p95"]
+9.0
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.analysis.latency import summarize_latencies
+from repro.analysis.reports import format_table
+
+#: Terminal job event names (``job.<status>``) tallied per tenant.
+TERMINAL_EVENTS = (
+    "job.completed",
+    "job.rejected",
+    "job.failed",
+    "job.cancelled",
+    "job.expired",
+    "job.shed",
+)
+
+
+def _arg(event: dict[str, Any], key: str, default: Any = None) -> Any:
+    args = event.get("args")
+    if isinstance(args, dict):
+        return args.get(key, default)
+    return default
+
+
+def _queue_depth_view(events: list[dict[str, Any]]) -> dict[str, Any]:
+    series = [
+        (int(event["ts"]), int(_arg(event, "depth", 0)))
+        for event in events
+        if event.get("ph") == "C" and event.get("name") == "queue.depth"
+    ]
+    if not series:
+        return {"samples": 0, "max": 0, "mean": 0.0, "final": 0}
+    depths = [depth for _, depth in series]
+    return {
+        "samples": len(series),
+        "max": max(depths),
+        "mean": sum(depths) / len(depths),
+        "final": depths[-1],
+    }
+
+
+def _batch_occupancy_view(events: list[dict[str, Any]]) -> dict[str, int]:
+    occupancy: dict[int, int] = defaultdict(int)
+    for event in events:
+        if event.get("name") == "batch.open":
+            occupancy[int(_arg(event, "size", 0))] += 1
+    return {str(size): occupancy[size] for size in sorted(occupancy)}
+
+
+def _tenant_views(events: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    first_requeue: dict[str, int] = {}
+    for event in events:
+        if event.get("name") == "job.requeued":
+            job_id = str(_arg(event, "job_id"))
+            cycle = int(event["ts"])
+            first_requeue[job_id] = min(
+                cycle, first_requeue.get(job_id, cycle)
+            )
+
+    tenants: dict[str, dict[str, Any]] = {}
+    latencies: dict[str, list[int]] = defaultdict(list)
+    for event in events:
+        name = str(event.get("name", ""))
+        if name not in TERMINAL_EVENTS:
+            continue
+        tenant = str(_arg(event, "tenant", "?"))
+        view = tenants.setdefault(
+            tenant,
+            {
+                "completed": 0,
+                "terminal": defaultdict(int),
+                "queue_wait_cycles": 0,
+                "execute_cycles": 0,
+                "retry_wait_cycles": 0,
+            },
+        )
+        status = name.removeprefix("job.")
+        view["terminal"][status] += 1
+        if status != "completed":
+            continue
+        view["completed"] += 1
+        job_id = str(_arg(event, "job_id"))
+        arrival = int(_arg(event, "arrival_cycle", 0))
+        latency = int(_arg(event, "latency_cycles", 0))
+        queued = int(_arg(event, "queue_cycles", 0))
+        start = arrival + queued
+        retry_wait = 0
+        if job_id in first_requeue:
+            retry_wait = max(0, start - first_requeue[job_id])
+        latencies[tenant].append(latency)
+        view["queue_wait_cycles"] += queued - retry_wait
+        view["retry_wait_cycles"] += retry_wait
+        view["execute_cycles"] += latency - queued
+
+    for tenant, view in tenants.items():
+        view["terminal"] = dict(sorted(view["terminal"].items()))
+        view["latency"] = (
+            summarize_latencies(latencies[tenant]).to_dict()
+            if latencies[tenant]
+            else None
+        )
+    return dict(sorted(tenants.items()))
+
+
+def _cache_view(events: list[dict[str, Any]]) -> dict[str, int]:
+    counts = {"hit": 0, "miss": 0, "evict": 0}
+    for event in events:
+        name = str(event.get("name", ""))
+        if name.startswith("cache."):
+            kind = name.removeprefix("cache.")
+            if kind in counts:
+                counts[kind] += 1
+    return counts
+
+
+def _worker_views(events: list[dict[str, Any]]) -> dict[str, dict[str, int]]:
+    workers: dict[str, dict[str, int]] = {}
+    for event in events:
+        if event.get("name") != "batch.execute" or event.get("ph") != "X":
+            continue
+        track = f"{int(event.get('pid', 0))}:{int(event.get('tid', 0))}"
+        view = workers.setdefault(track, {"batches": 0, "busy_cycles": 0})
+        view["batches"] += 1
+        view["busy_cycles"] += int(event.get("dur", 0))
+    return dict(sorted(workers.items()))
+
+
+def summarize_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Reduce exported trace events into the summary mapping.
+
+    Accepts the event dicts returned by
+    :func:`repro.obs.export.load_trace_events` (either export format).
+    """
+    return {
+        "events": len(events),
+        "queue_depth": _queue_depth_view(events),
+        "batch_occupancy": _batch_occupancy_view(events),
+        "tenants": _tenant_views(events),
+        "cache": _cache_view(events),
+        "workers": _worker_views(events),
+    }
+
+
+def format_trace_summary(summary: dict[str, Any]) -> str:
+    """Render :func:`summarize_trace` output as fixed-width text tables.
+
+    >>> text = format_trace_summary(summarize_trace([]))
+    >>> "queue depth" in text
+    True
+    """
+    depth = summary["queue_depth"]
+    lines = [
+        f"events: {summary['events']}",
+        "",
+        f"queue depth: samples={depth['samples']} max={depth['max']} "
+        f"mean={depth['mean']:.2f} final={depth['final']}",
+    ]
+    occupancy = summary["batch_occupancy"]
+    if occupancy:
+        lines += [
+            "",
+            "batch occupancy:",
+            format_table(
+                ("batch size", "batches"),
+                [(size, count) for size, count in occupancy.items()],
+            ),
+        ]
+    tenants = summary["tenants"]
+    if tenants:
+        rows = []
+        for tenant, view in tenants.items():
+            latency = view["latency"] or {"p50": 0.0, "p95": 0.0}
+            rows.append(
+                (
+                    tenant,
+                    view["completed"],
+                    round(latency["p50"]),
+                    round(latency["p95"]),
+                    view["queue_wait_cycles"],
+                    view["execute_cycles"],
+                    view["retry_wait_cycles"],
+                )
+            )
+        lines += [
+            "",
+            "per-tenant latency breakdown (cycles):",
+            format_table(
+                ("tenant", "completed", "p50", "p95", "queue-wait",
+                 "execute", "retry-wait"),
+                rows,
+            ),
+        ]
+    cache = summary["cache"]
+    lines += [
+        "",
+        f"cache: hit={cache['hit']} miss={cache['miss']} "
+        f"evict={cache['evict']}",
+    ]
+    workers = summary["workers"]
+    if workers:
+        lines += [
+            "",
+            "worker activity:",
+            format_table(
+                ("track (pid:tid)", "batches", "busy cycles"),
+                [
+                    (track, view["batches"], view["busy_cycles"])
+                    for track, view in workers.items()
+                ],
+            ),
+        ]
+    return "\n".join(lines)
+
+
+__all__ = ["TERMINAL_EVENTS", "format_trace_summary", "summarize_trace"]

@@ -138,6 +138,7 @@ from repro.serve.queues import (
     WeightedFairQueue,
 )
 from repro.serve.report import (
+    CacheClassStats,
     ServeReport,
     TenantServeStats,
     WorkerClassStats,
@@ -193,6 +194,7 @@ __all__ = [
     "WorkerSpec",
     "build_fleet",
     "parse_fleet_spec",
+    "CacheClassStats",
     "ServeReport",
     "TenantServeStats",
     "WorkerClassStats",

@@ -47,8 +47,11 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
+
+from repro.obs.tracer import Tracer
 
 #: The fault kinds a :class:`WorkerFault` may carry.
 FAULT_TRANSIENT = "transient"
@@ -375,6 +378,48 @@ class FaultInjector:
         if factor == 1.0:
             return cycles
         return int(math.ceil(cycles * factor))
+
+    def emit_plan(
+        self,
+        tracer: Tracer,
+        track: Mapping[int, tuple[int, int]] | None = None,
+    ) -> None:
+        """Emit the scripted plan as ``worker.fault``/``worker.recover`` events.
+
+        Pure simulated-clock bookkeeping (this module stays under strict
+        RPL102): one instant per scripted fault at its ``at_cycle``, plus a
+        recovery instant at the end of each transient outage.  ``track``
+        maps worker ids to their ``(pid, tid)`` trace track; unmapped
+        workers land on ``(0, worker_id)``.
+
+        >>> from repro.obs.tracer import Tracer
+        >>> injector = FaultInjector(
+        ...     parse_fault_spec("0:transient@100+50"), fleet_size=1)
+        >>> tracer = Tracer()
+        >>> injector.emit_plan(tracer)
+        >>> [(e.name, e.cycle) for e in tracer.events]
+        [('worker.fault', 100), ('worker.recover', 150)]
+        """
+        tracks = dict(track or {})
+        for fault in self.plan.faults:
+            pid, tid = tracks.get(fault.worker_id, (0, fault.worker_id))
+            args: dict[str, object] = {
+                "worker_id": fault.worker_id,
+                "kind": fault.kind,
+            }
+            if fault.kind == FAULT_TRANSIENT:
+                args["down_cycles"] = fault.down_cycles
+            elif fault.kind == FAULT_SLOWDOWN:
+                args["factor"] = fault.factor
+            tracer.instant("worker.fault", fault.at_cycle, pid=pid, tid=tid, **args)
+            if fault.kind == FAULT_TRANSIENT:
+                tracer.instant(
+                    "worker.recover",
+                    fault.at_cycle + fault.down_cycles,
+                    pid=pid,
+                    tid=tid,
+                    worker_id=fault.worker_id,
+                )
 
     def next_failure(self, worker_id: int, start_cycle: int) -> FailureEvent | None:
         """The earliest execution-breaking fault at or after ``start_cycle``.

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.obs.tracer import Tracer
 from repro.serve.job import AnyJob
 
 #: Admission policies for over-budget tenants.
@@ -70,6 +71,8 @@ class AdmissionController:
         pricer: Callable[[AnyJob], int],
         budgets: Mapping[str, int] | None = None,
         policy: str = POLICY_DEPRIORITIZE,
+        *,
+        tracer: Tracer | None = None,
     ) -> None:
         if policy not in ADMISSION_POLICIES:
             raise ValueError(
@@ -79,6 +82,7 @@ class AdmissionController:
         self._pricer = pricer
         self._budgets = dict(budgets or {})
         self.policy = policy
+        self._tracer = tracer
         self._stats: dict[str, TenantAdmissionStats] = {}
 
     def _tenant_stats(self, tenant: str) -> TenantAdmissionStats:
@@ -88,12 +92,13 @@ class AdmissionController:
             )
         return self._stats[tenant]
 
-    def admit(self, job: AnyJob) -> AdmissionDecision:
+    def admit(self, job: AnyJob, *, cycle: int = 0) -> AdmissionDecision:
         """Price ``job`` and decide whether (and how) it may run.
 
         Admitted jobs — deprioritized ones included, since they do
         eventually execute — accrue against the tenant's budget; rejected
-        jobs do not.
+        jobs do not.  ``cycle`` is the simulated instant of the decision;
+        with a tracer attached it timestamps the ``job.priced`` event.
         """
         cost = int(self._pricer(job))
         stats = self._tenant_stats(job.tenant)
@@ -101,13 +106,26 @@ class AdmissionController:
         over_budget = budget is not None and stats.priced_cycles + cost > budget
         if over_budget and self.policy == POLICY_REJECT:
             stats.rejected += 1
-            return AdmissionDecision(False, False, cost)
-        stats.admitted += 1
-        stats.priced_cycles += cost
-        if over_budget:
-            stats.deprioritized += 1
-            return AdmissionDecision(True, True, cost)
-        return AdmissionDecision(True, False, cost)
+            decision = AdmissionDecision(False, False, cost)
+        else:
+            stats.admitted += 1
+            stats.priced_cycles += cost
+            if over_budget:
+                stats.deprioritized += 1
+                decision = AdmissionDecision(True, True, cost)
+            else:
+                decision = AdmissionDecision(True, False, cost)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "job.priced",
+                cycle,
+                job_id=job.job_id,
+                tenant=job.tenant,
+                priced_cycles=cost,
+                admitted=decision.admitted,
+                deprioritized=decision.deprioritized,
+            )
+        return decision
 
     def stats(self) -> dict[str, TenantAdmissionStats]:
         """Per-tenant admission accounting (live references)."""
@@ -181,7 +199,12 @@ class WeightedFairQueue:
     ['acme']
     """
 
-    def __init__(self, weights: Mapping[str, float] | None = None) -> None:
+    def __init__(
+        self,
+        weights: Mapping[str, float] | None = None,
+        *,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._weights = dict(weights or {})
         for tenant, weight in self._weights.items():
             if weight <= 0:
@@ -190,6 +213,7 @@ class WeightedFairQueue:
         self._backlog: deque[QueuedJob] = deque()
         self._virtual_clock = 0.0
         self._queued_priced_cycles = 0
+        self._tracer = tracer
 
     def _tenant(self, name: str) -> _TenantQueue:
         queue = self._tenants.get(name)
@@ -203,14 +227,27 @@ class WeightedFairQueue:
         self._queued_priced_cycles += entry.priced_cycles
         if entry.deprioritized:
             self._backlog.append(entry)
-            return
-        queue = self._tenant(entry.job.tenant)
-        if not queue.jobs:
-            # A tenant returning from idle resumes at the current virtual
-            # clock instead of its stale lag, so it cannot monopolize the
-            # fleet to "catch up" on time it spent offering no load.
-            queue.virtual_time = max(queue.virtual_time, self._virtual_clock)
-        queue.push(entry)
+        else:
+            queue = self._tenant(entry.job.tenant)
+            if not queue.jobs:
+                # A tenant returning from idle resumes at the current virtual
+                # clock instead of its stale lag, so it cannot monopolize the
+                # fleet to "catch up" on time it spent offering no load.
+                queue.virtual_time = max(queue.virtual_time, self._virtual_clock)
+            queue.push(entry)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "job.queued",
+                entry.enqueued_cycle,
+                job_id=entry.job.job_id,
+                tenant=entry.job.tenant,
+                priced_cycles=entry.priced_cycles,
+                deprioritized=entry.deprioritized,
+                attempts=entry.attempts,
+            )
+            self._tracer.counter(
+                "queue.depth", entry.enqueued_cycle, depth=len(self)
+            )
 
     def __len__(self) -> int:
         return sum(len(q.jobs) for q in self._tenants.values()) + len(self._backlog)

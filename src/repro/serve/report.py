@@ -19,6 +19,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.latency import LatencySummary, summarize_latencies
 from repro.analysis.reports import format_table
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.job import (
     STATUS_CANCELLED,
     STATUS_EXPIRED,
@@ -94,6 +95,43 @@ class WorkerClassStats:
             "busy_cycles": int(self.busy_cycles),
             "utilization": self.utilization,
             "latency_cycles": None if self.latency is None else self.latency.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class CacheClassStats:
+    """One worker class's estimate-cache traffic over the run.
+
+    The hit/miss/evict deltas of the cache *groups* keyed to the class's
+    design point (:func:`repro.engine.cache.cache_key_group`), so on a
+    heterogeneous fleet the report shows which class's pricing traffic is
+    actually hitting.  Worker classes differing only in zero gating share
+    a group (gating never changes an estimate); the shared traffic is
+    attributed to the first such class in fleet order.
+
+    >>> stats = CacheClassStats("axon-8x8-OS-wavefront", hits=9, misses=3)
+    >>> stats.hit_rate
+    0.75
+    """
+
+    worker_class: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit share of this class's counted lookups (0.0 when none)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_class": self.worker_class,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
         }
 
 
@@ -199,6 +237,10 @@ class ServeReport:
     enforce_deadlines: bool = False
     max_retries: int = 0
     faults: str | None = None
+    cache_evictions: int = 0
+    cache_class_stats: tuple[CacheClassStats, ...] = ()
+    #: ``(batch_size, count)`` pairs, ascending by size.
+    batch_occupancy: tuple[tuple[int, int], ...] = ()
 
     @property
     def simulated_seconds(self) -> float:
@@ -235,6 +277,80 @@ class ServeReport:
             return None
         return self.deadline_met / self.deadline_eligible
 
+    def metrics(self) -> MetricsRegistry:
+        """The run as a stable metrics registry (simulated quantities only).
+
+        Counter/gauge/histogram names are fixed and key-sorted in the
+        registry's ``to_dict()``, which is what ``repro bench compare``
+        diffs across PRs.  Wall-clock time is deliberately excluded — the
+        registry carries only simulated-clock quantities, so the metrics
+        of two same-seed runs on different machines are identical except
+        for cache counters (which depend on the process-wide estimate
+        cache's starting state).
+
+        >>> report = ServeReport(
+        ...     jobs_submitted=2, jobs_completed=2, jobs_rejected=0,
+        ...     batches=2, batched_jobs=0, max_batch=2, fleet_size=1,
+        ...     makespan_cycles=100, clock_hz=1e9, wall_seconds=0.1,
+        ...     cache_hits=3, cache_misses=1, tenants=(), workers=(),
+        ...     batch_occupancy=((1, 2),))
+        >>> registry = report.metrics().to_dict()
+        >>> registry["counters"]["serve.jobs.completed"]
+        2
+        >>> registry["histograms"]["serve.batch_occupancy"]["counts"][0]
+        2
+        """
+        registry = MetricsRegistry()
+        counts = {
+            "serve.jobs.submitted": self.jobs_submitted,
+            "serve.jobs.completed": self.jobs_completed,
+            "serve.jobs.rejected": self.jobs_rejected,
+            "serve.jobs.failed": self.jobs_failed,
+            "serve.jobs.cancelled": self.jobs_cancelled,
+            "serve.jobs.expired": self.jobs_expired,
+            "serve.jobs.shed": self.jobs_shed,
+            "serve.retries": self.retries,
+            "serve.batches": self.batches,
+            "serve.batched_jobs": self.batched_jobs,
+            "serve.makespan_cycles": int(self.makespan_cycles),
+            "serve.deadline.met": self.deadline_met,
+            "serve.deadline.eligible": self.deadline_eligible,
+            "serve.cache.hits": self.cache_hits,
+            "serve.cache.misses": self.cache_misses,
+            "serve.cache.evictions": self.cache_evictions,
+        }
+        for name, value in counts.items():
+            registry.counter(name).add(value)
+        registry.gauge("serve.jobs_per_second").set(self.jobs_per_second)
+        registry.gauge("serve.cache.hit_rate").set(self.cache_hit_rate)
+        registry.gauge("serve.utilization.mean").set(self.mean_worker_utilization)
+        for tenant in self.tenants:
+            prefix = f"serve.tenant.{tenant.tenant}"
+            registry.counter(f"{prefix}.completed").add(tenant.completed)
+            registry.counter(f"{prefix}.lost").add(
+                tenant.failed + tenant.cancelled + tenant.expired + tenant.shed
+            )
+            if tenant.latency is not None:
+                registry.gauge(f"{prefix}.p50_latency_cycles").set(
+                    tenant.latency.p50
+                )
+                registry.gauge(f"{prefix}.p95_latency_cycles").set(
+                    tenant.latency.p95
+                )
+        for stats in self.cache_class_stats:
+            prefix = f"serve.cache_class.{stats.worker_class}"
+            registry.counter(f"{prefix}.hits").add(stats.hits)
+            registry.counter(f"{prefix}.misses").add(stats.misses)
+            registry.counter(f"{prefix}.evictions").add(stats.evictions)
+        # Exact integer bins: one per batch size up to the configured cap,
+        # with the implicit overflow bin unused by construction.
+        edges = tuple(range(1, max(1, self.max_batch) + 1))
+        histogram = registry.histogram("serve.batch_occupancy", edges=edges)
+        for size, count in self.batch_occupancy:
+            for _ in range(count):
+                histogram.observe(size)
+        return registry
+
     def to_dict(self) -> dict:
         return {
             "jobs_submitted": self.jobs_submitted,
@@ -265,13 +381,21 @@ class ServeReport:
             "wall_seconds": self.wall_seconds,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
             "mean_worker_utilization": self.mean_worker_utilization,
+            "batch_occupancy": {
+                str(size): count for size, count in self.batch_occupancy
+            },
             "tenants": [tenant.to_dict() for tenant in self.tenants],
             "workers": [worker.to_dict() for worker in self.workers],
             "worker_classes": [
                 stats.to_dict() for stats in self.worker_class_stats
             ],
+            "cache_classes": [
+                stats.to_dict() for stats in self.cache_class_stats
+            ],
+            "metrics": self.metrics().to_dict(),
         }
 
 
@@ -332,6 +456,8 @@ def compile_serve_report(
     enforce_deadlines: bool = False,
     max_retries: int = 0,
     faults: str | None = None,
+    cache_evictions: int = 0,
+    cache_class_stats: Sequence[CacheClassStats] = (),
 ) -> ServeReport:
     """Fold per-job results and worker counters into a :class:`ServeReport`."""
     results = sorted(job_results, key=lambda r: r.job_id)
@@ -388,6 +514,9 @@ def compile_serve_report(
         if result.completed and result.batch_id is not None:
             key = (result.worker_id, result.batch_id)
             batch_sizes[key] = batch_sizes.get(key, 0) + 1
+    occupancy: dict[int, int] = {}
+    for size in batch_sizes.values():
+        occupancy[size] = occupancy.get(size, 0) + 1
 
     eligible_results = [
         r for r in results if r.completed and r.deadline_hint_cycles is not None
@@ -406,6 +535,9 @@ def compile_serve_report(
         enforce_deadlines=enforce_deadlines,
         max_retries=max_retries,
         faults=faults,
+        cache_evictions=cache_evictions,
+        cache_class_stats=tuple(cache_class_stats),
+        batch_occupancy=tuple(sorted(occupancy.items())),
         batches=len(batch_sizes),
         batched_jobs=sum(size for size in batch_sizes.values() if size > 1),
         max_batch=max_batch,

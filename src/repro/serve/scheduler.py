@@ -61,14 +61,21 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.api import RunResult, _AcceleratorBase, _validated_utilization
 from repro.engine.batched import gemm_cycle_accounting
-from repro.engine.cache import CacheInfo, estimate_cache_info
+from repro.engine.cache import (
+    CacheGroupInfo,
+    CacheInfo,
+    estimate_cache_group_info,
+    estimate_cache_info,
+    set_estimate_cache_observer,
+)
 from repro.engine.scaleout import iter_partition_share_shapes
+from repro.obs.tracer import Tracer
 from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.job import (
     SLO_BEST_EFFORT,
@@ -89,7 +96,12 @@ from repro.serve.queues import (
     QueuedJob,
     WeightedFairQueue,
 )
-from repro.serve.report import ServeReport, WorkerStats, compile_serve_report
+from repro.serve.report import (
+    CacheClassStats,
+    ServeReport,
+    WorkerStats,
+    compile_serve_report,
+)
 
 #: Default simulated clock for cycle -> second conversions (1 GHz).
 DEFAULT_CLOCK_HZ = 1e9
@@ -100,6 +112,11 @@ PLACEMENT_RANDOM = "random"
 PLACEMENTS = (PLACEMENT_PRICED, PLACEMENT_RANDOM)
 
 _STACKED_PROBE: bool | None = None
+
+
+def _shape_label(shape: tuple[int, int, int]) -> str:
+    """Compact ``MxKxN`` label for trace-event payloads."""
+    return "x".join(str(dim) for dim in shape)
 
 
 def stacked_matmul_is_bitexact() -> bool:
@@ -305,10 +322,14 @@ class _OnlinePlanner:
     def __init__(self, scheduler: "AsyncGemmScheduler") -> None:
         self._s = scheduler
         fleet_size = len(scheduler.fleet)
+        self.tracer = scheduler.tracer
         self.admission = AdmissionController(
-            scheduler.price_job, scheduler.budgets, scheduler.admission_policy
+            scheduler.price_job,
+            scheduler.budgets,
+            scheduler.admission_policy,
+            tracer=self.tracer,
         )
-        self.queue = WeightedFairQueue(scheduler.weights)
+        self.queue = WeightedFairQueue(scheduler.weights, tracer=self.tracer)
         self.ledgers = {wid: _WorkerLedger(wid) for wid in range(fleet_size)}
         self.batches: list[_ScheduledBatch] = []
         self.terminal: list[JobResult] = []
@@ -327,6 +348,39 @@ class _OnlinePlanner:
         # Only the "random" placement baseline draws from this; the priced
         # policy is deterministic without it.
         self._rng = np.random.default_rng(scheduler.placement_seed)
+        # Tracing state: ``_trace_cycle`` is the simulated instant cache
+        # hit/miss/evict events are stamped with (pricing has no cycle of
+        # its own — it happens "at" the admission or wake that asked).
+        self._trace_cycle = 0
+        self._cache_observer_installed = False
+        self._prev_cache_observer: Callable[[str, Hashable], None] | None = None
+        if self.tracer is not None:
+            if self.injector is not None:
+                self.injector.emit_plan(self.tracer, scheduler._track)
+            # Observe the shared estimate cache for the lifetime of this
+            # planner.  Cache traffic only happens from the planner's own
+            # deterministic sections (admission pricing, placement), so the
+            # event order is reproducible; the previous observer (if any)
+            # is restored on finish().
+            self._prev_cache_observer = set_estimate_cache_observer(
+                self._on_cache_event
+            )
+            self._cache_observer_installed = True
+
+    def _on_cache_event(self, kind: str, key: Hashable) -> None:
+        """Forward one estimate-cache hit/miss/evict into the trace."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        family = key[0] if isinstance(key, tuple) and key else "other"
+        tracer.instant(f"cache.{kind}", self._trace_cycle, family=str(family))
+
+    def _restore_cache_observer(self) -> None:
+        """Detach from the shared estimate cache (idempotent)."""
+        if self._cache_observer_installed:
+            self._cache_observer_installed = False
+            set_estimate_cache_observer(self._prev_cache_observer)
+            self._prev_cache_observer = None
 
     # -- event plumbing ---------------------------------------------------
 
@@ -371,20 +425,22 @@ class _OnlinePlanner:
     ) -> None:
         """Resolve a queued entry without executing it (no RunResult)."""
         job = entry.job
-        self.terminal.append(
-            JobResult(
-                job_id=job.job_id,
-                tenant=job.tenant,
-                name=job.name,
-                status=status,
-                priced_cycles=entry.priced_cycles,
-                arrival_cycle=job.arrival_cycle,
-                deadline_hint_cycles=job.deadline_hint_cycles,
-                deprioritized=entry.deprioritized,
-                attempts=attempts,
-                resolved_cycle=cycle,
-            )
+        result = JobResult(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            name=job.name,
+            status=status,
+            priced_cycles=entry.priced_cycles,
+            arrival_cycle=job.arrival_cycle,
+            deadline_hint_cycles=job.deadline_hint_cycles,
+            deprioritized=entry.deprioritized,
+            attempts=attempts,
+            resolved_cycle=cycle,
         )
+        self.terminal.append(result)
+        if self.tracer is not None:
+            for event in result.trace_events():
+                self.tracer.emit(event)
 
     def _lapsed(self, entry: QueuedJob, cycle: int) -> bool:
         """Whether the entry can no longer meet its deadline, even started now."""
@@ -459,23 +515,34 @@ class _OnlinePlanner:
         self._advance(job.arrival_cycle)
         entry_cycle = max(job.arrival_cycle, self.horizon)
         self.horizon = entry_cycle
+        self._trace_cycle = entry_cycle
+        if self.tracer is not None:
+            self.tracer.instant(
+                "job.arrival",
+                job.arrival_cycle,
+                job_id=job.job_id,
+                tenant=job.tenant,
+                shape=_shape_label(job.shape),
+            )
         if scheduler.enforce_deadlines:
             self._expire_queued(entry_cycle)
 
-        decision = self.admission.admit(job)
+        decision = self.admission.admit(job, cycle=entry_cycle)
         if not decision.admitted:
-            self.terminal.append(
-                JobResult(
-                    job_id=job.job_id,
-                    tenant=job.tenant,
-                    name=job.name,
-                    status=STATUS_REJECTED,
-                    priced_cycles=decision.priced_cycles,
-                    arrival_cycle=job.arrival_cycle,
-                    deadline_hint_cycles=job.deadline_hint_cycles,
-                    resolved_cycle=entry_cycle,
-                )
+            result = JobResult(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                name=job.name,
+                status=STATUS_REJECTED,
+                priced_cycles=decision.priced_cycles,
+                arrival_cycle=job.arrival_cycle,
+                deadline_hint_cycles=job.deadline_hint_cycles,
+                resolved_cycle=entry_cycle,
             )
+            self.terminal.append(result)
+            if self.tracer is not None:
+                for event in result.trace_events():
+                    self.tracer.emit(event)
             return
         entry = QueuedJob(
             job,
@@ -561,12 +628,14 @@ class _OnlinePlanner:
                 self._terminal_entry(
                     entry, STATUS_FAILED, self.horizon, entry.attempts
                 )
+            self._restore_cache_observer()
         return self.batches, self.terminal, self.ledgers
 
     # -- dispatch decisions -----------------------------------------------
 
     def _on_wake(self, worker_id: int, cycle: int) -> None:
         scheduler = self._s
+        self._trace_cycle = cycle
         if scheduler.enforce_deadlines:
             self._expire_queued(cycle)
         while True:
@@ -586,6 +655,14 @@ class _OnlinePlanner:
                 ):
                     self._schedule_wake(worker_id, deadline)
                     self._window_wait.add(worker_id)
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "batch.window_open",
+                            cycle,
+                            worker_id=worker_id,
+                            deadline=deadline,
+                            shape=_shape_label(head.job.shape),
+                        )
                     return
             target, defer_until = self._place(head.job.shape, cycle)
             if target is None:
@@ -684,6 +761,7 @@ class _OnlinePlanner:
 
     def _dispatch(self, target: int, cycle: int) -> None:
         scheduler = self._s
+        self._trace_cycle = cycle
         # Adaptive batch bound: a batch occupies its worker for the sum of
         # its jobs' cycles, so hoarding the whole backlog would idle the
         # siblings that free up mid-batch and stretch the makespan.  Cap
@@ -735,6 +813,56 @@ class _OnlinePlanner:
             fail_cycle=fail_cycle,
         )
         self.batches.append(batch)
+        tracer = self.tracer
+        if tracer is not None:
+            pid, tid = scheduler._track[target]
+            tracer.instant(
+                "batch.open",
+                start,
+                pid=pid,
+                tid=tid,
+                batch_id=batch.batch_id,
+                size=len(entries),
+                shape=_shape_label(entries[0].job.shape),
+                worker_id=target,
+            )
+            for entry in entries:
+                tracer.instant(
+                    "job.dispatched",
+                    start,
+                    pid=pid,
+                    tid=tid,
+                    job_id=entry.job.job_id,
+                    tenant=entry.job.tenant,
+                    batch_id=batch.batch_id,
+                    attempts=entry.attempts + 1,
+                )
+            tracer.instant("worker.busy", start, pid=pid, tid=tid, worker_id=target)
+            tracer.complete(
+                "batch.execute",
+                start,
+                batch.end_cycle - start,
+                pid=pid,
+                tid=tid,
+                batch_id=batch.batch_id,
+                size=len(entries),
+                completed=completed,
+                worker_id=target,
+                faulted=fail_cycle is not None,
+            )
+            tracer.instant(
+                "batch.close",
+                batch.end_cycle,
+                pid=pid,
+                tid=tid,
+                batch_id=batch.batch_id,
+                completed=completed,
+            )
+            if fail_cycle is None:
+                tracer.instant(
+                    "worker.idle", batch.end_cycle, pid=pid, tid=tid, worker_id=target
+                )
+            tracer.counter("queue.depth", cycle, depth=len(self.queue))
         ledger = self.ledgers[target]
         ledger.jobs += completed
         ledger.batches += 1
@@ -749,6 +877,15 @@ class _OnlinePlanner:
             if attempts > scheduler.max_retries:
                 self._terminal_entry(entry, STATUS_FAILED, fail_cycle, attempts)
             else:
+                if tracer is not None:
+                    tracer.instant(
+                        "job.requeued",
+                        fail_cycle,
+                        job_id=entry.job.job_id,
+                        tenant=entry.job.tenant,
+                        attempts=attempts,
+                        worker_id=target,
+                    )
                 self._requeue_seq += 1
                 heapq.heappush(
                     self._requeues,
@@ -780,6 +917,7 @@ class _StreamState:
     futures: list = field(default_factory=list)
     wall_start: float = 0.0
     cache_before: object = None
+    groups_before: object = None
 
 
 class AsyncGemmScheduler:
@@ -845,6 +983,15 @@ class AsyncGemmScheduler:
         Per-tenant SLO class mapping (``"latency-target"`` or
         ``"best-effort"``); absent tenants are best-effort.  Only the
         shedding policy reads it.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`.  When attached, the
+        planner emits the full simulated-clock event stream (job
+        lifecycle, batch spans, queue depth, cache hit/miss/evict, fault
+        plan) into it; ``None`` (default) keeps every emission site a
+        single ``is not None`` check.  Traces are deterministic: two
+        same-seed runs emit byte-identical event streams, and streamed
+        vs one-shot serving emit event-for-event identical traces
+        (given identical estimate-cache starting state).
     """
 
     def __init__(
@@ -864,6 +1011,7 @@ class AsyncGemmScheduler:
         enforce_deadlines: bool = False,
         shed_cycles: int | None = None,
         slo_classes: Mapping[str, str] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         fleet = list(fleet)
         if not fleet:
@@ -926,6 +1074,19 @@ class AsyncGemmScheduler:
                 self._class_reps.append(worker)
             self._worker_class_ids.append(index)
         self.worker_classes = tuple(rep.describe() for rep in self._class_reps)
+        self.tracer = tracer
+        # Trace track per worker: one pid per worker class (pid 0 is the
+        # scheduler's own track), one tid per worker.
+        self._track: dict[int, tuple[int, int]] = {
+            worker_id: (class_id + 1, worker_id)
+            for worker_id, class_id in enumerate(self._worker_class_ids)
+        }
+        if tracer is not None:
+            tracer.set_process_label(0, "scheduler")
+            for class_id, label in enumerate(self.worker_classes):
+                tracer.set_process_label(class_id + 1, label)
+            for worker_id, (pid, tid) in self._track.items():
+                tracer.set_thread_label(pid, tid, f"worker {worker_id}")
         # Two locks for the two pieces of cross-thread mutable state.
         # ``_lock`` guards the open submit() stream: submit() may run on
         # the event-loop thread while drain() runs on an executor thread
@@ -1022,6 +1183,7 @@ class AsyncGemmScheduler:
                 pool=ThreadPoolExecutor(max_workers=max(1, len(self.fleet))),
                 wall_start=time.perf_counter(),
                 cache_before=estimate_cache_info(),
+                groups_before=estimate_cache_group_info(),
             )
         return self._stream
 
@@ -1114,6 +1276,8 @@ class AsyncGemmScheduler:
             # Nothing was submitted: report an empty run without spinning
             # up (and immediately tearing down) an executor pool.
             planner = _OnlinePlanner(self)
+            groups_before = estimate_cache_group_info()
+            cache_before = estimate_cache_info()
             batches, terminal, ledgers = planner.finish()
             return self._assemble(
                 batches,
@@ -1122,13 +1286,15 @@ class AsyncGemmScheduler:
                 [],
                 tenants=planner.tenants,
                 wall_seconds=0.0,
-                cache_before=estimate_cache_info(),
+                cache_before=cache_before,
+                groups_before=groups_before,
             )
         try:
             batches, terminal, ledgers = stream.planner.finish()
             self._launch_planned(stream)
             batch_runs = [future.result() for future in stream.futures]
         finally:
+            stream.planner._restore_cache_observer()
             stream.pool.shutdown(wait=True)
         return self._assemble(
             batches,
@@ -1138,6 +1304,7 @@ class AsyncGemmScheduler:
             tenants=stream.planner.tenants,
             wall_seconds=time.perf_counter() - stream.wall_start,
             cache_before=stream.cache_before,
+            groups_before=stream.groups_before,
         )
 
     async def drain_async(self) -> tuple[ServeReport, list[JobResult]]:
@@ -1165,11 +1332,15 @@ class AsyncGemmScheduler:
                 "a submit() stream is open; drain() it before calling serve()"
             )
         wall_start = time.perf_counter()
-        cache_before = estimate_cache_info()
         planner = _OnlinePlanner(self)
-        for job in sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id)):
-            planner.offer(job)
-        batches, terminal, ledgers = planner.finish()
+        cache_before = estimate_cache_info()
+        groups_before = estimate_cache_group_info()
+        try:
+            for job in sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id)):
+                planner.offer(job)
+            batches, terminal, ledgers = planner.finish()
+        finally:
+            planner._restore_cache_observer()
 
         loop = asyncio.get_running_loop()
         pool_size = max(1, len(self.fleet))
@@ -1193,6 +1364,7 @@ class AsyncGemmScheduler:
             tenants=planner.tenants,
             wall_seconds=time.perf_counter() - wall_start,
             cache_before=cache_before,
+            groups_before=groups_before,
         )
 
     def serve(self, jobs: Sequence[AnyJob]) -> tuple[ServeReport, list[JobResult]]:
@@ -1200,6 +1372,58 @@ class AsyncGemmScheduler:
         return asyncio.run(self.serve_async(jobs))
 
     # -- result assembly ----------------------------------------------------
+
+    def _cache_class_deltas(
+        self,
+        before: Mapping[tuple[Hashable, ...], CacheGroupInfo] | None,
+        after: Mapping[tuple[Hashable, ...], CacheGroupInfo],
+    ) -> tuple[tuple[CacheClassStats, ...], int]:
+        """Attribute estimate-cache traffic deltas to worker classes.
+
+        Cache groups key on the design point of the estimate — ``(rows,
+        cols, dataflow, axon, engine, grid)`` — which is the worker-class
+        signature minus zero gating (gating never changes an estimate, so
+        classes differing only in it share a group; the shared delta is
+        attributed to the first such class in fleet order).  Returns the
+        per-class stats in ``worker_classes`` order plus the run's total
+        evictions across *all* groups.
+        """
+        tails: dict[tuple, str] = {}
+        for class_id, rep in enumerate(self._class_reps):
+            tail = (
+                rep.config.rows,
+                rep.config.cols,
+                rep.dataflow,
+                rep.axon,
+                rep.engine,
+                rep.scale_out[0],
+                rep.scale_out[1],
+            )
+            tails.setdefault(tail, self.worker_classes[class_id])
+        totals = {label: [0, 0, 0] for label in self.worker_classes}
+        evictions = 0
+        snapshot = dict(before or {})
+        for group, info in after.items():
+            prev = snapshot.get(group, CacheGroupInfo(0, 0, 0))
+            delta_e = info.evictions - prev.evictions
+            evictions += delta_e
+            label = tails.get(tuple(group[1:]))
+            if label is None:
+                continue
+            counters = totals[label]
+            counters[0] += info.hits - prev.hits
+            counters[1] += info.misses - prev.misses
+            counters[2] += delta_e
+        stats = tuple(
+            CacheClassStats(
+                worker_class=label,
+                hits=totals[label][0],
+                misses=totals[label][1],
+                evictions=totals[label][2],
+            )
+            for label in self.worker_classes
+        )
+        return stats, evictions
 
     def _assemble(
         self,
@@ -1211,7 +1435,9 @@ class AsyncGemmScheduler:
         tenants: set[str],
         wall_seconds: float,
         cache_before: CacheInfo,
+        groups_before: Mapping[tuple[Hashable, ...], CacheGroupInfo] | None = None,
     ) -> tuple[ServeReport, list[JobResult]]:
+        tracer = self.tracer
         results = list(terminal)
         for batch, runs in zip(batches, batch_runs):
             cursor = batch.start_cycle
@@ -1234,28 +1460,37 @@ class AsyncGemmScheduler:
                 # the RunResult keeps the healthy tile-exact cycles (a
                 # straggler delays work, it does not change what ran).
                 cursor += stretched
-                results.append(
-                    JobResult(
-                        job_id=entry.job.job_id,
-                        tenant=entry.job.tenant,
-                        name=entry.job.name,
-                        status=STATUS_COMPLETED,
-                        priced_cycles=entry.priced_cycles,
-                        arrival_cycle=entry.job.arrival_cycle,
-                        result=run,
-                        start_cycle=start,
-                        finish_cycle=cursor,
-                        worker_id=batch.worker_id,
-                        worker_class=worker_class,
-                        batch_id=batch.batch_id,
-                        batch_size=len(batch.entries),
-                        deadline_hint_cycles=entry.job.deadline_hint_cycles,
-                        deprioritized=entry.deprioritized,
-                        attempts=entry.attempts + 1,
-                    )
+                job_result = JobResult(
+                    job_id=entry.job.job_id,
+                    tenant=entry.job.tenant,
+                    name=entry.job.name,
+                    status=STATUS_COMPLETED,
+                    priced_cycles=entry.priced_cycles,
+                    arrival_cycle=entry.job.arrival_cycle,
+                    result=run,
+                    start_cycle=start,
+                    finish_cycle=cursor,
+                    worker_id=batch.worker_id,
+                    worker_class=worker_class,
+                    batch_id=batch.batch_id,
+                    batch_size=len(batch.entries),
+                    deadline_hint_cycles=entry.job.deadline_hint_cycles,
+                    deprioritized=entry.deprioritized,
+                    attempts=entry.attempts + 1,
                 )
+                results.append(job_result)
+                if tracer is not None:
+                    # Completion events ride the hosting worker's track;
+                    # _assemble iterates batches in dispatch order, so the
+                    # emission order is as deterministic as the schedule.
+                    pid, tid = self._track[batch.worker_id]
+                    for event in job_result.trace_events(pid=pid, tid=tid):
+                        tracer.emit(event)
 
         cache_after = estimate_cache_info()
+        cache_class_stats, cache_evictions = self._cache_class_deltas(
+            groups_before, estimate_cache_group_info()
+        )
         makespan = max((batch.end_cycle for batch in batches), default=0)
         worker_stats = [
             WorkerStats(
@@ -1285,6 +1520,8 @@ class AsyncGemmScheduler:
             wall_seconds=wall_seconds,
             cache_hits=cache_after.hits - cache_before.hits,
             cache_misses=cache_after.misses - cache_before.misses,
+            cache_evictions=cache_evictions,
+            cache_class_stats=cache_class_stats,
             fleet=self.fleet_description,
             batch_window_cycles=self.batch_window_cycles,
             placement=self.placement,

@@ -28,6 +28,7 @@ FIXTURE_CONFIG = LintConfig(
     clock_strict_paths=("clock_strict_good.py", "clock_strict_bad.py"),
     dtype_exact_paths=("",),
     api_modules=("api_good.py", "api_bad.py"),
+    obs_paths=("trace_good.py", "trace_bad.py"),
 )
 
 _EXPECT_PATTERN = re.compile(r"#\s*expect(?:\[(?P<line>\d+)\])?:\s*(?P<ids>[A-Z0-9, ]+)")
@@ -59,6 +60,7 @@ BAD_FIXTURES = [
     ("cachekey_bad.py", "RPL103"),
     ("dtype_bad.py", "RPL104"),
     ("api_bad.py", "RPL105"),
+    ("trace_bad.py", "RPL106"),
     ("pragma_bad.py", "RPL100"),
 ]
 
@@ -69,6 +71,7 @@ GOOD_FIXTURES = [
     "cachekey_good.py",
     "dtype_good.py",
     "api_good.py",
+    "trace_good.py",
 ]
 
 
@@ -117,7 +120,9 @@ def test_pragma_parser_requires_reason():
 
 
 def test_rule_registry_ids_are_stable():
-    assert all_rule_ids() == ("RPL100", "RPL101", "RPL102", "RPL103", "RPL104", "RPL105")
+    assert all_rule_ids() == (
+        "RPL100", "RPL101", "RPL102", "RPL103", "RPL104", "RPL105", "RPL106",
+    )
 
 
 def test_real_tree_lints_clean():

@@ -20,12 +20,16 @@ from repro.arch.dataflow import Dataflow
 from repro.engine import (
     DEFAULT_ESTIMATE_CACHE_CAPACITY,
     LRUEstimateCache,
+    cache_key_group,
     cached_conv_cycles,
     cached_gemm_cycles,
     clear_estimate_cache,
     estimate_cache_capacity,
+    estimate_cache_group_info,
     estimate_cache_info,
+    gemm_estimate_key,
     set_estimate_cache_capacity,
+    set_estimate_cache_observer,
 )
 from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
 
@@ -113,9 +117,10 @@ class TestConvCacheKeying:
         """
         gemm = lower_conv_to_gemm(_CONV)
         conv_cycles = _conv_lookup()
-        # The conv miss warms the lowered GEMM's entry as well.
+        # The conv miss warms the lowered GEMM's entry as well, but the
+        # warming read is uncounted: one conv pricing = one counted miss.
         info = estimate_cache_info()
-        assert info.currsize == 2 and info.misses == 2 and info.hits == 0
+        assert info.currsize == 2 and info.misses == 1 and info.hits == 0
         # Pricing the lowered GEMM directly hits its own, separate entry.
         assert _lookup(shape=(gemm.m, gemm.k, gemm.n)) == conv_cycles
         info = estimate_cache_info()
@@ -252,6 +257,68 @@ class TestCapacityConfiguration:
         )
         assert out.returncode != 0
         assert "REPRO_ESTIMATE_CACHE_CAPACITY" in out.stderr
+
+
+class TestGroupStatsAndObserver:
+    def test_groups_split_by_design_point_family(self):
+        """Hits/misses bucket by (kind, array, dataflow, engine, grid)."""
+        _lookup(shape=(10, 10, 10))
+        _lookup(shape=(20, 20, 20))
+        _lookup(shape=(10, 10, 10))
+        _lookup(grid=(2, 2))
+        _conv_lookup()
+        groups = estimate_cache_group_info()
+        key = gemm_estimate_key(
+            10, 10, 10, rows=16, cols=16,
+            dataflow=Dataflow.OUTPUT_STATIONARY, axon=False,
+            engine="wavefront", partitions_rows=1, partitions_cols=1,
+        )
+        scale_up = groups[cache_key_group(key)]
+        assert (scale_up.hits, scale_up.misses) == (1, 2)
+        grid_group = next(g for g in groups if g[-2:] == (2, 2))
+        assert groups[grid_group].misses == 1
+        conv_group = next(g for g in groups if g[0] == "conv")
+        assert (groups[conv_group].hits, groups[conv_group].misses) == (0, 1)
+        # Per-group totals reconcile exactly with the global counters.
+        info = estimate_cache_info()
+        assert sum(g.hits for g in groups.values()) == info.hits
+        assert sum(g.misses for g in groups.values()) == info.misses
+
+    def test_evictions_counted_per_group(self):
+        set_estimate_cache_capacity(2)
+        for dim in (10, 20, 30, 40):
+            _lookup(shape=(dim, dim, dim))
+        groups = estimate_cache_group_info()
+        assert sum(g.evictions for g in groups.values()) == 2
+        clear_estimate_cache()
+        assert estimate_cache_group_info() == {}
+
+    def test_unaudited_keys_fall_into_other_group(self):
+        cache = LRUEstimateCache(4)
+        cache.memoize(("ad-hoc", 1), lambda: 7)
+        assert cache.info_by_group() == {("other",): (0, 1, 0)}
+
+    def test_observer_sees_hit_miss_evict_but_not_uncounted_warm(self):
+        events = []
+        previous = set_estimate_cache_observer(
+            lambda kind, key: events.append((kind, key[0]))
+        )
+        try:
+            assert previous is None
+            set_estimate_cache_capacity(2)
+            _conv_lookup()  # conv miss; GEMM warm is uncounted -> silent
+            _conv_lookup()  # conv hit
+            _lookup(shape=(10, 10, 10))  # miss, evicts the LRU entry
+            kinds = [kind for kind, _ in events]
+            assert kinds == ["miss", "hit", "miss", "evict"]
+            assert events[0][1] == "conv" and events[2][1] == "gemm"
+        finally:
+            set_estimate_cache_observer(previous)
+
+    def test_observer_restore_returns_current(self):
+        observer = lambda kind, key: None  # noqa: E731
+        assert set_estimate_cache_observer(observer) is None
+        assert set_estimate_cache_observer(None) is observer
 
 
 class TestLRUEstimateCacheUnit:

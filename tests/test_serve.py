@@ -423,7 +423,8 @@ class TestAsyncGemmScheduler:
             # before (a warm cache turns misses into hits); the schedule
             # itself must not.
             for key in ("wall_seconds", "cache_hits", "cache_misses",
-                        "cache_hit_rate"):
+                        "cache_hit_rate", "cache_evictions", "cache_classes",
+                        "metrics"):
                 payload.pop(key)
             return payload, [(r.job_id, r.start_cycle, r.finish_cycle) for r in results]
 

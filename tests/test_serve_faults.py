@@ -69,7 +69,8 @@ def _assert_bitexact(results, fleet, jobs):
 
 def _comparable(report):
     payload = report.to_dict()
-    for key in ("wall_seconds", "cache_hits", "cache_misses", "cache_hit_rate"):
+    for key in ("wall_seconds", "cache_hits", "cache_misses", "cache_hit_rate",
+                "cache_evictions", "cache_classes", "metrics"):
         payload.pop(key)
     return payload
 

@@ -29,7 +29,8 @@ from repro.workloads import synthetic_trace
 #: Report keys that legitimately differ between two identical schedules
 #: (host timing and warm-cache effects).
 _NONDETERMINISTIC_KEYS = ("wall_seconds", "cache_hits", "cache_misses",
-                          "cache_hit_rate")
+                          "cache_hit_rate", "cache_evictions",
+                          "cache_classes", "metrics")
 
 
 def _job(job_id, tenant, m, k, n, rng, **kwargs):

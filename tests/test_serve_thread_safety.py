@@ -35,7 +35,8 @@ def _trace(config, seed):
 
 def _comparable(report):
     payload = report.to_dict()
-    for key in ("wall_seconds", "cache_hits", "cache_misses", "cache_hit_rate"):
+    for key in ("wall_seconds", "cache_hits", "cache_misses", "cache_hit_rate",
+                "cache_evictions", "cache_classes", "metrics"):
         payload.pop(key)
     return payload
 
