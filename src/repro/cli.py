@@ -12,6 +12,7 @@ Provides quick access to the analytical models without writing Python::
     python -m repro.cli serve --fleet "2*axon:32x32,2*axon:16x16@2x2"
     python -m repro.cli serve --faults "1:perm@40000,2:slow@0x2.0" --max-retries 3
     python -m repro.cli serve --enforce-deadlines --deadline-slack 8 --latency-tenants 2
+    python -m repro.cli serve --ordering edf --max-preemptions 2 --latency-tenants 2 --deadline-slack 8
     python -m repro.cli serve --streaming --trace trace.json
     python -m repro.cli trace summarize trace.json
     python -m repro.cli bench compare old.json new.json --fail-on "*jobs_per_second:5%"
@@ -37,8 +38,12 @@ job-by-job with ``--streaming`` (optionally holding batches open for
 ``--max-retries`` requeues, see :mod:`repro.serve.faults`), with
 ``--enforce-deadlines`` expiring jobs whose ``--deadline-slack`` laxity
 ran out and ``--shed-cycles`` shedding best-effort tenants (the first
-``--latency-tenants`` tenants are latency-target) under overload — and
-prints the per-tenant latency /
+``--latency-tenants`` tenants are latency-target) under overload,
+deadline-aware with ``--ordering edf|least-laxity`` (latency-target jobs
+dequeue by deadline or remaining slack ahead of the fair rotation) and
+``--max-preemptions N`` (a tight latency-target arrival may cut the
+unstarted suffix of a planned batch, displacing each job at most N
+times without spending a retry) — and prints the per-tenant latency /
 throughput / fairness report; with ``--trace PATH`` the whole run is
 recorded on the simulated clock and written as a Chrome-trace/Perfetto
 JSON (or JSONL when the path ends in ``.jsonl``) — deterministic, so the
@@ -93,6 +98,8 @@ from repro.obs import (
 )
 from repro.serve import (
     ADMISSION_POLICIES,
+    ORDERING_FAIR,
+    ORDERINGS,
     PLACEMENT_PRICED,
     PLACEMENTS,
     POLICY_DEPRIORITIZE,
@@ -427,6 +434,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             placement=args.placement,
             fault_plan=fault_plan,
             max_retries=args.max_retries,
+            ordering=args.ordering,
+            max_preemptions=args.max_preemptions,
             enforce_deadlines=args.enforce_deadlines,
             shed_cycles=args.shed_cycles,
             slo_classes=tenant_slo_classes(tenants),
@@ -770,6 +779,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--enforce-deadlines", action="store_true",
         help="expire queued jobs whose deadline hint can no longer be met "
         "(hints become contracts instead of advisory)",
+    )
+    serve.add_argument(
+        "--ordering", default=ORDERING_FAIR, choices=list(ORDERINGS),
+        help="queue ordering: fair = weighted-fair stride scheduling; "
+        "edf / least-laxity serve hinted latency-target jobs by absolute "
+        "deadline / remaining slack ahead of the fair rotation",
+    )
+    serve.add_argument(
+        "--max-preemptions", type=_non_negative_int, default=0, metavar="N",
+        help="allow a tight latency-target arrival to cut the unstarted "
+        "suffix of a planned batch, displacing each job at most N times "
+        "(0 = preemption disabled; displaced jobs requeue without "
+        "spending a retry)",
     )
     serve.add_argument(
         "--shed-cycles", type=_positive_int, default=None, metavar="CYCLES",

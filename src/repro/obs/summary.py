@@ -10,7 +10,10 @@
   each completed job's latency split into *queue-wait* (before first
   dispatch, excluding retry waits), *execute* (dispatch → finish), and
   *retry-wait* (queueing re-accumulated after a fault requeue, located via
-  ``job.requeued`` instants).
+  ``job.requeued`` instants);
+* **per-SLO-class deadline view** — from the ``slo`` / ``deadline_met`` /
+  ``preemptions`` args on terminal job events, reproducing the
+  :class:`repro.serve.report.SloClassStats` counters exactly.
 
 The per-tenant p50/p95 use :func:`repro.analysis.latency.summarize_latencies`
 — the identical percentile definition ``ServeReport`` quotes — so numbers
@@ -137,6 +140,53 @@ def _tenant_views(events: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
     return dict(sorted(tenants.items()))
 
 
+def _slo_views(events: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Per-SLO-class deadline outcome, matching ``ServeReport`` exactly.
+
+    Folds the ``slo`` / ``deadline_met`` / ``preemptions`` args the
+    terminal job events carry into the same counters
+    :class:`repro.serve.report.SloClassStats` computes — ``deadline_met``
+    out of ``deadline_eligible`` completed jobs that carried a hint, and
+    total preemption displacements — so a trace-derived deadline-hit view
+    agrees with the report's gauges number-for-number (the test suite
+    pins this).  Traces written before these args existed collapse to a
+    single eligible-free best-effort class.
+    """
+    classes: dict[str, dict[str, Any]] = {}
+    for event in events:
+        name = str(event.get("name", ""))
+        if name not in TERMINAL_EVENTS:
+            continue
+        slo = str(_arg(event, "slo", "best-effort"))
+        view = classes.setdefault(
+            slo,
+            {
+                "submitted": 0,
+                "completed": 0,
+                "deadline_met": 0,
+                "deadline_eligible": 0,
+                "preemptions": 0,
+            },
+        )
+        view["submitted"] += 1
+        view["preemptions"] += int(_arg(event, "preemptions", 0) or 0)
+        if name != "job.completed":
+            continue
+        view["completed"] += 1
+        met = _arg(event, "deadline_met")
+        if met is not None:
+            view["deadline_eligible"] += 1
+            if met:
+                view["deadline_met"] += 1
+    for view in classes.values():
+        view["deadline_hit_rate"] = (
+            view["deadline_met"] / view["deadline_eligible"]
+            if view["deadline_eligible"]
+            else 0.0
+        )
+    return dict(sorted(classes.items()))
+
+
 def _cache_view(events: list[dict[str, Any]]) -> dict[str, int]:
     counts = {"hit": 0, "miss": 0, "evict": 0}
     for event in events:
@@ -171,6 +221,7 @@ def summarize_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
         "queue_depth": _queue_depth_view(events),
         "batch_occupancy": _batch_occupancy_view(events),
         "tenants": _tenant_views(events),
+        "slo": _slo_views(events),
         "cache": _cache_view(events),
         "workers": _worker_views(events),
     }
@@ -223,6 +274,33 @@ def format_trace_summary(summary: dict[str, Any]) -> str:
                 ("tenant", "completed", "p50", "p95", "queue-wait",
                  "execute", "retry-wait"),
                 rows,
+            ),
+        ]
+    slo = summary.get("slo", {})
+    # The deadline-hit view appears only once an SLO class beyond plain
+    # best-effort (or a deadline/preemption outcome) is in the trace, so
+    # summaries of older or SLO-free traces render exactly as before.
+    if any(
+        name != "best-effort" or view["deadline_eligible"] or view["preemptions"]
+        for name, view in slo.items()
+    ):
+        lines += [
+            "",
+            "per-SLO-class deadlines:",
+            format_table(
+                ("slo class", "submitted", "completed", "deadlines met",
+                 "hit rate", "preempted"),
+                [
+                    (
+                        name,
+                        view["submitted"],
+                        view["completed"],
+                        f"{view['deadline_met']}/{view['deadline_eligible']}",
+                        round(view["deadline_hit_rate"], 4),
+                        view["preemptions"],
+                    )
+                    for name, view in slo.items()
+                ],
             ),
         ]
     cache = summary["cache"]

@@ -12,9 +12,11 @@ grown online and heterogeneous — with five separable pieces:
     :class:`JobResult` (the bit-exact :class:`repro.api.RunResult` plus
     serving-side latency accounting).
 :mod:`repro.serve.queues`
-    Per-tenant FIFO queues with weighted-fair virtual-time dequeue, and
-    the admission controller that prices every job through the shared
-    estimate cache before it runs.
+    Per-tenant FIFO queues with weighted-fair virtual-time dequeue, the
+    deadline orderings (``ordering="edf"`` / ``"least-laxity"`` serve
+    hinted latency-target jobs by deadline or remaining slack ahead of
+    the fair rotation), and the admission controller that prices every
+    job through the shared estimate cache before it runs.
 :mod:`repro.serve.fleet`
     Fleet configuration: :class:`WorkerSpec` groups of identical workers,
     the ``repro serve --fleet`` spec grammar (:func:`parse_fleet_spec`)
@@ -42,8 +44,11 @@ grown online and heterogeneous — with five separable pieces:
     retries/requeues interrupted work (bounded by ``max_retries``),
     enforces deadlines when asked (``enforce_deadlines=True`` expires
     jobs whose laxity ran out), supports mid-stream
-    :meth:`~AsyncGemmScheduler.cancel`, and sheds best-effort tenants
-    before latency-target tenants under overload (``shed_cycles``).
+    :meth:`~AsyncGemmScheduler.cancel`, sheds best-effort tenants
+    before latency-target tenants under overload (``shed_cycles``), and
+    preempts queued-but-unstarted work for tight latency-target arrivals
+    when ``max_preemptions > 0`` (displaced jobs requeue with
+    ``attempts`` unchanged — preemption is not a retry).
 
 Traces to replay come from :mod:`repro.workloads.serving` (pass
 ``conv_fraction > 0`` to :func:`repro.workloads.serving.synthetic_trace`
@@ -108,9 +113,12 @@ from repro.serve.faults import (
 )
 from repro.serve.fleet import (
     FLEET_ARCHS,
+    FleetClasses,
     WorkerSpec,
     build_fleet,
+    group_worker_classes,
     parse_fleet_spec,
+    worker_signature,
 )
 from repro.serve.job import (
     JOB_STATUSES,
@@ -130,6 +138,10 @@ from repro.serve.job import (
 )
 from repro.serve.queues import (
     ADMISSION_POLICIES,
+    ORDERING_EDF,
+    ORDERING_FAIR,
+    ORDERING_LEAST_LAXITY,
+    ORDERINGS,
     POLICY_DEPRIORITIZE,
     POLICY_REJECT,
     AdmissionController,
@@ -140,6 +152,7 @@ from repro.serve.queues import (
 from repro.serve.report import (
     CacheClassStats,
     ServeReport,
+    SloClassStats,
     TenantServeStats,
     WorkerClassStats,
     WorkerStats,
@@ -186,16 +199,24 @@ __all__ = [
     "ADMISSION_POLICIES",
     "POLICY_DEPRIORITIZE",
     "POLICY_REJECT",
+    "ORDERINGS",
+    "ORDERING_FAIR",
+    "ORDERING_EDF",
+    "ORDERING_LEAST_LAXITY",
     "AdmissionController",
     "AdmissionDecision",
     "QueuedJob",
     "WeightedFairQueue",
     "FLEET_ARCHS",
+    "FleetClasses",
     "WorkerSpec",
     "build_fleet",
+    "group_worker_classes",
     "parse_fleet_spec",
+    "worker_signature",
     "CacheClassStats",
     "ServeReport",
+    "SloClassStats",
     "TenantServeStats",
     "WorkerClassStats",
     "WorkerStats",

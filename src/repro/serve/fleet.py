@@ -129,6 +129,76 @@ def parse_fleet_spec(
     return tuple(specs)
 
 
+def worker_signature(accelerator) -> tuple:
+    """The configuration tuple two workers must share to run jobs identically.
+
+    Covers everything that can change a cycle count or an output: array
+    geometry, dataflow, architecture (axon vs systolic), zero gating,
+    engine and scale-out grid.
+
+    >>> fleet = build_fleet([WorkerSpec(rows=8, cols=8, count=2)])
+    >>> worker_signature(fleet[0]) == worker_signature(fleet[1])
+    True
+    """
+    return (
+        accelerator.config.rows,
+        accelerator.config.cols,
+        accelerator.dataflow,
+        accelerator.axon,
+        accelerator.zero_gating,
+        accelerator.engine,
+        accelerator.scale_out,
+    )
+
+
+@dataclass(frozen=True)
+class FleetClasses:
+    """A concrete fleet grouped into worker classes.
+
+    ``class_reps`` holds one representative accelerator per class (first
+    of its class in fleet order) — pricing and planning against the
+    representative is valid for every member, since identically
+    configured workers run any job identically.  ``worker_class_ids``
+    maps each fleet position to its class index and ``labels`` carries
+    each class's :meth:`repro.api._AcceleratorBase.describe` string.
+
+    >>> fleet = build_fleet(parse_fleet_spec("2*8x8,systolic:8x8"))
+    >>> classes = group_worker_classes(fleet)
+    >>> classes.worker_class_ids, len(classes.class_reps)
+    ((0, 0, 1), 2)
+    """
+
+    class_reps: tuple
+    worker_class_ids: tuple[int, ...]
+    labels: tuple[str, ...]
+
+
+def group_worker_classes(fleet: Sequence) -> FleetClasses:
+    """Group a fleet into worker classes by configuration signature.
+
+    Workers with identical :func:`worker_signature` tuples share a class;
+    classes are numbered by first appearance in fleet order, which keeps
+    the grouping deterministic for a given fleet list.
+    """
+    signatures: list[tuple] = []
+    class_reps: list = []
+    worker_class_ids: list[int] = []
+    for worker in fleet:
+        signature = worker_signature(worker)
+        try:
+            index = signatures.index(signature)
+        except ValueError:
+            index = len(signatures)
+            signatures.append(signature)
+            class_reps.append(worker)
+        worker_class_ids.append(index)
+    return FleetClasses(
+        class_reps=tuple(class_reps),
+        worker_class_ids=tuple(worker_class_ids),
+        labels=tuple(rep.describe() for rep in class_reps),
+    )
+
+
 def build_fleet(
     specs: Sequence[WorkerSpec],
     *,

@@ -282,8 +282,12 @@ class JobResult:
     arrival-to-finish (queueing included), ``queue_cycles`` the portion
     spent waiting for a worker.  ``attempts`` counts dispatches — 1 for a
     first-try completion, more when worker faults forced retries, 0 for
-    jobs resolved without ever dispatching; ``resolved_cycle`` is the
-    simulated instant a non-completed job left the system.
+    jobs resolved without ever dispatching; ``preemptions`` counts how
+    many times a tighter-deadline arrival cut the job out of a
+    not-yet-executed batch (never folded into ``attempts`` — preemption
+    is not a retry); ``slo`` is the owning tenant's SLO class;
+    ``resolved_cycle`` is the simulated instant a non-completed job left
+    the system.
     """
 
     job_id: str
@@ -302,6 +306,8 @@ class JobResult:
     deadline_hint_cycles: int | None = None
     deprioritized: bool = field(default=False)
     attempts: int = 0
+    preemptions: int = 0
+    slo: str = SLO_BEST_EFFORT
     resolved_cycle: int | None = None
 
     @property
@@ -378,6 +384,9 @@ class JobResult:
                 "queue_cycles": self.queue_cycles,
                 "batch_id": self.batch_id,
                 "attempts": self.attempts,
+                "preemptions": self.preemptions,
+                "slo": self.slo,
+                "deadline_met": self.deadline_met,
             }
             return (
                 TraceEvent(
@@ -410,6 +419,8 @@ class JobResult:
             "job_id": self.job_id,
             "tenant": self.tenant,
             "attempts": self.attempts,
+            "preemptions": self.preemptions,
+            "slo": self.slo,
             "priced_cycles": self.priced_cycles,
         }
         return (
@@ -452,6 +463,8 @@ class JobResult:
             "deadline_met": self.deadline_met,
             "deprioritized": self.deprioritized,
             "attempts": self.attempts,
+            "preemptions": self.preemptions,
+            "slo": self.slo,
             "resolved_cycle": (
                 None if self.resolved_cycle is None else int(self.resolved_cycle)
             ),

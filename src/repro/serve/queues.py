@@ -19,6 +19,17 @@ Within a tenant the queue is FIFO except for the job ``priority`` field:
 higher-priority jobs of the *same* tenant are served first (cross-tenant
 ordering always stays with the fair scheduler, so priorities cannot be used
 to steal another tenant's share).
+
+Deadline-aware orderings (``ordering="edf"`` / ``"least-laxity"``) layer a
+*deadline pool* on top: jobs from latency-target tenants that carry a
+deadline hint are pulled out of the fair rotation and served strictly
+first, ordered by absolute deadline (EDF) or by laxity — ``deadline - now
+- priced_cycles``, re-evaluated at each dequeue on the simulated clock.
+Best-effort tenants (and unhinted latency-target jobs) keep weighted-fair
+sharing among themselves, so deadline ordering never reshuffles the
+best-effort service order.  Pool dequeues still charge the owning tenant's
+virtual time, so a latency-target tenant's deadline-served cycles count
+against its fair share wherever it also competes in the fair rotation.
 """
 
 from __future__ import annotations
@@ -28,12 +39,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.obs.tracer import Tracer
-from repro.serve.job import AnyJob
+from repro.serve.job import SLO_LATENCY_TARGET, AnyJob
 
 #: Admission policies for over-budget tenants.
 POLICY_REJECT = "reject"
 POLICY_DEPRIORITIZE = "deprioritize"
 ADMISSION_POLICIES = (POLICY_REJECT, POLICY_DEPRIORITIZE)
+
+#: Queue orderings.  ``fair`` is pure weighted-fair stride scheduling;
+#: ``edf`` serves hinted latency-target jobs earliest-absolute-deadline
+#: first; ``least-laxity`` serves them by remaining slack
+#: (``deadline - now - priced_cycles``) instead.
+ORDERING_FAIR = "fair"
+ORDERING_EDF = "edf"
+ORDERING_LEAST_LAXITY = "least-laxity"
+ORDERINGS = (ORDERING_FAIR, ORDERING_EDF, ORDERING_LEAST_LAXITY)
 
 
 @dataclass(frozen=True)
@@ -142,7 +162,9 @@ class QueuedJob:
     failure cycle for a job requeued after a worker fault.  The batching
     window measures its deadline from this instant.  ``attempts`` counts
     dispatches that already failed under a fault plan (0 for a job that
-    has never been dispatched).
+    has never been dispatched); ``preemptions`` counts how many times the
+    job was cut out of a not-yet-executed batch by a tighter-deadline
+    arrival — preemption is not a retry, so the two never mix.
     """
 
     job: AnyJob
@@ -150,6 +172,22 @@ class QueuedJob:
     deprioritized: bool = False
     enqueued_cycle: int = 0
     attempts: int = 0
+    preemptions: int = 0
+
+    @property
+    def deadline_cycle(self) -> int | None:
+        """Absolute deadline on the simulated clock (None without a hint)."""
+        hint = self.job.deadline_hint_cycles
+        if hint is None:
+            return None
+        return self.job.arrival_cycle + hint
+
+    def laxity(self, now: int) -> int | None:
+        """Remaining slack at ``now``: deadline minus now minus priced work."""
+        deadline = self.deadline_cycle
+        if deadline is None:
+            return None
+        return deadline - now - self.priced_cycles
 
 
 @dataclass
@@ -185,6 +223,13 @@ class WeightedFairQueue:
     a global FIFO backlog that is only served — and only batched from —
     once every in-budget queue is empty.
 
+    With ``ordering="edf"`` or ``"least-laxity"``, jobs from tenants
+    ``slo_classes`` marks latency-target that carry a deadline hint enter a
+    *deadline pool* instead of their tenant's FIFO.  The pool is served
+    with strict priority over the fair rotation, ordered by absolute
+    deadline (EDF) or by laxity at the dequeue instant (least-laxity);
+    within a common ``now`` the two differ only when priced costs differ.
+
     >>> import numpy as np
     >>> from repro.serve.job import Job
     >>> queue = WeightedFairQueue(weights={"acme": 2.0, "bob": 1.0})
@@ -197,20 +242,44 @@ class WeightedFairQueue:
     2
     >>> [entry.job.tenant for entry in queue.next_batch()]
     ['acme']
+
+    EDF pulls a hinted latency-target job ahead of the fair rotation:
+
+    >>> edf = WeightedFairQueue(
+    ...     ordering=ORDERING_EDF, slo_classes={"rt": "latency-target"})
+    >>> edf.push(QueuedJob(
+    ...     job=Job(job_id="be-0", tenant="bulk", a=np.eye(4), b=np.eye(4)),
+    ...     priced_cycles=100))
+    >>> edf.push(QueuedJob(
+    ...     job=Job(job_id="rt-0", tenant="rt", a=np.eye(4), b=np.eye(4),
+    ...             deadline_hint_cycles=500),
+    ...     priced_cycles=100))
+    >>> [entry.job.job_id for entry in edf.next_batch(max_batch=2)]
+    ['rt-0', 'be-0']
     """
 
     def __init__(
         self,
         weights: Mapping[str, float] | None = None,
         *,
+        ordering: str = ORDERING_FAIR,
+        slo_classes: Mapping[str, str] | None = None,
         tracer: Tracer | None = None,
     ) -> None:
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; "
+                f"expected one of {', '.join(ORDERINGS)}"
+            )
         self._weights = dict(weights or {})
         for tenant, weight in self._weights.items():
             if weight <= 0:
                 raise ValueError(f"tenant {tenant!r} weight must be > 0, got {weight}")
+        self.ordering = ordering
+        self._slo_classes = dict(slo_classes or {})
         self._tenants: dict[str, _TenantQueue] = {}
         self._backlog: deque[QueuedJob] = deque()
+        self._deadline_pool: list[QueuedJob] = []
         self._virtual_clock = 0.0
         self._queued_priced_cycles = 0
         self._tracer = tracer
@@ -222,10 +291,60 @@ class WeightedFairQueue:
             self._tenants[name] = queue
         return queue
 
+    def _pool_eligible(self, entry: QueuedJob) -> bool:
+        """Whether an entry is served from the deadline pool.
+
+        Only hinted jobs of latency-target tenants qualify, and only under
+        a non-fair ordering; deprioritized (over-budget) work never jumps
+        into the pool — blowing the admission budget forfeits deadline
+        service.
+        """
+        return (
+            self.ordering != ORDERING_FAIR
+            and not entry.deprioritized
+            and entry.deadline_cycle is not None
+            and self._slo_classes.get(entry.job.tenant) == SLO_LATENCY_TARGET
+        )
+
+    def _pool_key(
+        self, entry: QueuedJob, now: int
+    ) -> tuple[int, int, int, str]:
+        """Deadline-pool service order under the configured ordering.
+
+        EDF keys on the absolute deadline; least-laxity on the remaining
+        slack at ``now``.  Since every candidate shares the same ``now`` at
+        a given dequeue, the two differ exactly when priced costs differ.
+        Deadline, enqueue cycle and job id break ties deterministically.
+        """
+        deadline = entry.deadline_cycle
+        assert deadline is not None  # _pool_eligible guarantees a hint
+        if self.ordering == ORDERING_LEAST_LAXITY:
+            laxity = entry.laxity(now)
+            assert laxity is not None
+            primary = laxity
+        else:
+            primary = deadline
+        return (primary, deadline, entry.enqueued_cycle, entry.job.job_id)
+
+    def _pool_pop(self, now: int) -> QueuedJob:
+        """Remove and return the tightest pool entry, charging its tenant."""
+        index = min(
+            range(len(self._deadline_pool)),
+            key=lambda i: self._pool_key(self._deadline_pool[i], now),
+        )
+        entry = self._deadline_pool.pop(index)
+        # Deadline service still accrues against the tenant's fair share,
+        # but never advances the global virtual clock: best-effort tenants'
+        # relative order must not depend on how much pool traffic passed.
+        self._tenant(entry.job.tenant).charge(entry.priced_cycles)
+        return entry
+
     def push(self, entry: QueuedJob) -> None:
         """Enqueue an admitted job."""
         self._queued_priced_cycles += entry.priced_cycles
-        if entry.deprioritized:
+        if self._pool_eligible(entry):
+            self._deadline_pool.append(entry)
+        elif entry.deprioritized:
             self._backlog.append(entry)
         else:
             queue = self._tenant(entry.job.tenant)
@@ -250,7 +369,11 @@ class WeightedFairQueue:
             )
 
     def __len__(self) -> int:
-        return sum(len(q.jobs) for q in self._tenants.values()) + len(self._backlog)
+        return (
+            sum(len(q.jobs) for q in self._tenants.values())
+            + len(self._deadline_pool)
+            + len(self._backlog)
+        )
 
     def _active_tenants(self) -> list[_TenantQueue]:
         return [queue for queue in self._tenants.values() if queue.jobs]
@@ -269,16 +392,22 @@ class WeightedFairQueue:
         """
         return self._queued_priced_cycles
 
-    def peek_head(self) -> QueuedJob | None:
+    def peek_head(self, *, now: int = 0) -> QueuedJob | None:
         """The entry :meth:`next_batch` would serve next, without dequeuing.
 
-        Follows the same selection rule — the non-empty in-budget tenant
-        with the least virtual time, the deprioritized backlog otherwise —
-        but charges nothing, so the dispatcher can inspect the head job's
+        Follows the same selection rule — the deadline pool first (tightest
+        entry at ``now``), then the non-empty in-budget tenant with the
+        least virtual time, the deprioritized backlog otherwise — but
+        charges nothing, so the dispatcher can inspect the head job's
         shape and queue-entry cycle (for batching-window deadlines and
         placement pricing) before committing to a dispatch.  Returns None
         on an empty queue.
         """
+        if self._deadline_pool:
+            return min(
+                self._deadline_pool,
+                key=lambda entry: self._pool_key(entry, now),
+            )
         tenant = self._select_tenant()
         if tenant is not None:
             return tenant.jobs[0]
@@ -296,14 +425,19 @@ class WeightedFairQueue:
         batch them otherwise, so counting them would close windows on
         mates the dispatch could not actually gather.
         """
+        pooled = sum(
+            1 for entry in self._deadline_pool if entry.job.shape == shape
+        )
         active = self._active_tenants()
         if active:
-            return sum(
+            return pooled + sum(
                 1
                 for queue in active
                 for entry in queue.jobs
                 if entry.job.shape == shape
             )
+        if pooled:
+            return pooled
         return sum(1 for entry in self._backlog if entry.job.shape == shape)
 
     def remove_matching(
@@ -314,10 +448,18 @@ class WeightedFairQueue:
         Used by deadline enforcement (expire every lapsed job in one
         sweep) and by stream teardown.  Removal charges no virtual time —
         the work never ran — and the order of the returned list is
-        deterministic: tenants in name order, FIFO within each, the
-        deprioritized backlog last.
+        deterministic: the deadline pool first (enqueue order, then id),
+        tenants in name order, FIFO within each, the deprioritized backlog
+        last.
         """
         removed: list[QueuedJob] = []
+        kept_pool: list[QueuedJob] = []
+        for entry in sorted(
+            self._deadline_pool,
+            key=lambda entry: (entry.enqueued_cycle, entry.job.job_id),
+        ):
+            (removed if predicate(entry) else kept_pool).append(entry)
+        self._deadline_pool = kept_pool
         for name in sorted(self._tenants):
             queue = self._tenants[name]
             kept: deque[QueuedJob] = deque()
@@ -359,6 +501,13 @@ class WeightedFairQueue:
                     < (oldest.enqueued_cycle, oldest.job.job_id)
                 ):
                     oldest = entry
+        for entry in self._deadline_pool:
+            if predicate(entry) and (
+                oldest is None
+                or (entry.enqueued_cycle, entry.job.job_id)
+                < (oldest.enqueued_cycle, oldest.job.job_id)
+            ):
+                oldest = entry
         for entry in self._backlog:
             if predicate(entry) and (
                 oldest is None
@@ -373,31 +522,41 @@ class WeightedFairQueue:
         return removed[0]
 
     def next_batch(
-        self, max_batch: int = 1, cycle_budget: int | None = None
+        self,
+        max_batch: int = 1,
+        cycle_budget: int | None = None,
+        *,
+        now: int = 0,
     ) -> list[QueuedJob]:
         """Dequeue the next head-of-line job plus same-shape batch mates.
 
-        The head job comes from the tenant with the least virtual time (or
-        the backlog when every in-budget queue is empty).  Up to ``max_batch
-        - 1`` further jobs of the *same GEMM shape* are then pulled — FIFO
-        within each tenant, tenants visited in ascending virtual-time order,
-        backlog last — and every tenant is charged virtual time for its own
-        jobs, so batching never distorts the fair shares.  ``cycle_budget``
-        additionally stops the batch once its summed priced cycles reach the
-        budget (the head job is always taken), letting the dispatcher keep
-        one worker from hoarding work that siblings could start sooner.
+        The head job comes from the deadline pool when one is waiting
+        (tightest entry at ``now`` under the configured ordering), else
+        from the tenant with the least virtual time (or the backlog when
+        every in-budget queue is empty).  Up to ``max_batch - 1`` further
+        jobs of the *same GEMM shape* are then pulled — pool entries first
+        in deadline order, then FIFO within each tenant, tenants visited in
+        ascending virtual-time order, backlog last — and every tenant is
+        charged virtual time for its own jobs, so batching never distorts
+        the fair shares.  ``cycle_budget`` additionally stops the batch
+        once its summed priced cycles reach the budget (the head job is
+        always taken), letting the dispatcher keep one worker from
+        hoarding work that siblings could start sooner.
         """
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        head_tenant = self._select_tenant()
-        if head_tenant is not None:
-            head = head_tenant.jobs.popleft()
-            head_tenant.charge(head.priced_cycles)
-            self._virtual_clock = head_tenant.virtual_time
-        elif self._backlog:
-            head = self._backlog.popleft()
+        if self._deadline_pool:
+            head = self._pool_pop(now)
         else:
-            raise IndexError("next_batch() on an empty queue")
+            head_tenant = self._select_tenant()
+            if head_tenant is not None:
+                head = head_tenant.jobs.popleft()
+                head_tenant.charge(head.priced_cycles)
+                self._virtual_clock = head_tenant.virtual_time
+            elif self._backlog:
+                head = self._backlog.popleft()
+            else:
+                raise IndexError("next_batch() on an empty queue")
 
         batch = [head]
         shape = head.job.shape
@@ -409,6 +568,21 @@ class WeightedFairQueue:
             return cycle_budget is None or spent < cycle_budget
 
         if max_batch > 1:
+            mates = [
+                entry
+                for entry in sorted(
+                    self._deadline_pool,
+                    key=lambda entry: self._pool_key(entry, now),
+                )
+                if entry.job.shape == shape
+            ]
+            for entry in mates:
+                if not room():
+                    break
+                self._deadline_pool.remove(entry)
+                self._tenant(entry.job.tenant).charge(entry.priced_cycles)
+                batch.append(entry)
+                spent += entry.priced_cycles
             order = sorted(
                 self._active_tenants(),
                 key=lambda queue: (queue.virtual_time, queue.name),
@@ -427,7 +601,7 @@ class WeightedFairQueue:
                         kept.append(entry)
                 kept.extend(queue.jobs)
                 queue.jobs = kept
-            if room() and not self._active_tenants():
+            if room() and not self._active_tenants() and not self._deadline_pool:
                 kept_backlog: deque[QueuedJob] = deque()
                 while self._backlog and room():
                     entry = self._backlog.popleft()

@@ -21,6 +21,7 @@ from repro.analysis.latency import LatencySummary, summarize_latencies
 from repro.analysis.reports import format_table
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.job import (
+    SLO_CLASSES,
     STATUS_CANCELLED,
     STATUS_EXPIRED,
     STATUS_FAILED,
@@ -136,6 +137,48 @@ class CacheClassStats:
 
 
 @dataclass(frozen=True)
+class SloClassStats:
+    """One SLO class's deadline outcome over the run.
+
+    Jobs are grouped by the SLO class of their tenant
+    (:data:`repro.serve.job.SLO_CLASSES`); ``deadline_met`` out of
+    ``deadline_eligible`` counts *completed* jobs that carried a deadline
+    hint, mirroring the report-level statistic, and ``preemptions``
+    totals how many times the class's jobs were displaced by preemption.
+
+    >>> stats = SloClassStats("latency-target", submitted=4, completed=3,
+    ...                       deadline_met=2, deadline_eligible=3)
+    >>> round(stats.deadline_hit_rate, 3)
+    0.667
+    """
+
+    slo: str
+    submitted: int
+    completed: int
+    deadline_met: int = 0
+    deadline_eligible: int = 0
+    preemptions: int = 0
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Met share of the class's eligible jobs (0.0 when none)."""
+        if not self.deadline_eligible:
+            return 0.0
+        return self.deadline_met / self.deadline_eligible
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "deadline_met": self.deadline_met,
+            "deadline_eligible": self.deadline_eligible,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "preemptions": self.preemptions,
+        }
+
+
+@dataclass(frozen=True)
 class TenantServeStats:
     """One tenant's service quality over the run.
 
@@ -168,6 +211,7 @@ class TenantServeStats:
     retries: int = 0
     deadline_met: int = 0
     deadline_eligible: int = 0
+    preemptions: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -189,6 +233,7 @@ class TenantServeStats:
             "retries": self.retries,
             "deadline_met": self.deadline_met,
             "deadline_eligible": self.deadline_eligible,
+            "preemptions": self.preemptions,
         }
 
 
@@ -205,8 +250,11 @@ class ServeReport:
     only), ``retries`` totals the extra dispatches worker faults forced,
     ``deadline_met`` / ``deadline_eligible`` make the deadline statistic's
     denominator explicit (completed jobs that carried a hint), and
-    ``enforce_deadlines`` / ``max_retries`` / ``faults`` echo the fault
-    and SLO configuration the run executed under.
+    ``enforce_deadlines`` / ``max_retries`` / ``ordering`` /
+    ``max_preemptions`` / ``faults`` echo the fault and SLO configuration
+    the run executed under.  ``preemptions`` totals job displacements by
+    preemption and ``slo_class_stats`` breaks the deadline outcome down
+    per SLO class (the per-class gauges the regression gate watches).
     """
 
     jobs_submitted: int
@@ -236,6 +284,11 @@ class ServeReport:
     deadline_eligible: int = 0
     enforce_deadlines: bool = False
     max_retries: int = 0
+    ordering: str = "fair"
+    max_preemptions: int = 0
+    #: Total job displacements by preemption (a job displaced twice counts twice).
+    preemptions: int = 0
+    slo_class_stats: tuple[SloClassStats, ...] = ()
     faults: str | None = None
     cache_evictions: int = 0
     cache_class_stats: tuple[CacheClassStats, ...] = ()
@@ -277,6 +330,18 @@ class ServeReport:
             return None
         return self.deadline_met / self.deadline_eligible
 
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Always-defined deadline-met share (0.0 when nothing was eligible).
+
+        The gauge form of :attr:`deadline_met_rate` — regression gates
+        need a number for every run, so the undefined case collapses to
+        0.0 instead of None.
+        """
+        if not self.deadline_eligible:
+            return 0.0
+        return self.deadline_met / self.deadline_eligible
+
     def metrics(self) -> MetricsRegistry:
         """The run as a stable metrics registry (simulated quantities only).
 
@@ -310,6 +375,7 @@ class ServeReport:
             "serve.jobs.expired": self.jobs_expired,
             "serve.jobs.shed": self.jobs_shed,
             "serve.retries": self.retries,
+            "serve.preemptions": self.preemptions,
             "serve.batches": self.batches,
             "serve.batched_jobs": self.batched_jobs,
             "serve.makespan_cycles": int(self.makespan_cycles),
@@ -324,6 +390,17 @@ class ServeReport:
         registry.gauge("serve.jobs_per_second").set(self.jobs_per_second)
         registry.gauge("serve.cache.hit_rate").set(self.cache_hit_rate)
         registry.gauge("serve.utilization.mean").set(self.mean_worker_utilization)
+        registry.gauge("serve.deadline_hit_rate").set(self.deadline_hit_rate)
+        for slo_stats in self.slo_class_stats:
+            prefix = f"serve.slo.{slo_stats.slo}"
+            registry.counter(f"{prefix}.deadline.met").add(slo_stats.deadline_met)
+            registry.counter(f"{prefix}.deadline.eligible").add(
+                slo_stats.deadline_eligible
+            )
+            registry.counter(f"{prefix}.preemptions").add(slo_stats.preemptions)
+            registry.gauge(f"{prefix}.deadline_hit_rate").set(
+                slo_stats.deadline_hit_rate
+            )
         for tenant in self.tenants:
             prefix = f"serve.tenant.{tenant.tenant}"
             registry.counter(f"{prefix}.completed").add(tenant.completed)
@@ -364,8 +441,12 @@ class ServeReport:
             "deadline_met": self.deadline_met,
             "deadline_eligible": self.deadline_eligible,
             "deadline_met_rate": self.deadline_met_rate,
+            "deadline_hit_rate": self.deadline_hit_rate,
             "enforce_deadlines": self.enforce_deadlines,
             "max_retries": self.max_retries,
+            "ordering": self.ordering,
+            "max_preemptions": self.max_preemptions,
+            "preemptions": self.preemptions,
             "faults": self.faults,
             "batches": self.batches,
             "batched_jobs": self.batched_jobs,
@@ -392,6 +473,7 @@ class ServeReport:
             "worker_classes": [
                 stats.to_dict() for stats in self.worker_class_stats
             ],
+            "slo_classes": [stats.to_dict() for stats in self.slo_class_stats],
             "cache_classes": [
                 stats.to_dict() for stats in self.cache_class_stats
             ],
@@ -440,6 +522,32 @@ def _compile_class_stats(
     return tuple(stats)
 
 
+def _compile_slo_stats(results: Sequence[JobResult]) -> tuple[SloClassStats, ...]:
+    """Group the deadline outcome by the jobs' SLO class (stable order)."""
+    by_slo: dict[str, list[JobResult]] = {}
+    for result in results:
+        by_slo.setdefault(result.slo, []).append(result)
+    order = [slo for slo in SLO_CLASSES if slo in by_slo]
+    order += sorted(slo for slo in by_slo if slo not in SLO_CLASSES)
+    stats = []
+    for slo in order:
+        entries = by_slo[slo]
+        eligible = [
+            r for r in entries if r.completed and r.deadline_hint_cycles is not None
+        ]
+        stats.append(
+            SloClassStats(
+                slo=slo,
+                submitted=len(entries),
+                completed=sum(1 for r in entries if r.completed),
+                deadline_met=sum(1 for r in eligible if r.deadline_met),
+                deadline_eligible=len(eligible),
+                preemptions=sum(r.preemptions for r in entries),
+            )
+        )
+    return tuple(stats)
+
+
 def compile_serve_report(
     job_results: Iterable[JobResult],
     *,
@@ -455,6 +563,8 @@ def compile_serve_report(
     placement: str = "priced",
     enforce_deadlines: bool = False,
     max_retries: int = 0,
+    ordering: str = "fair",
+    max_preemptions: int = 0,
     faults: str | None = None,
     cache_evictions: int = 0,
     cache_class_stats: Sequence[CacheClassStats] = (),
@@ -506,6 +616,7 @@ def compile_serve_report(
                 retries=sum(max(0, r.attempts - 1) for r in entries),
                 deadline_met=sum(1 for r in eligible if r.deadline_met),
                 deadline_eligible=len(eligible),
+                preemptions=sum(r.preemptions for r in entries),
             )
         )
 
@@ -534,6 +645,10 @@ def compile_serve_report(
         deadline_eligible=len(eligible_results),
         enforce_deadlines=enforce_deadlines,
         max_retries=max_retries,
+        ordering=ordering,
+        max_preemptions=max_preemptions,
+        preemptions=sum(r.preemptions for r in results),
+        slo_class_stats=_compile_slo_stats(results),
         faults=faults,
         cache_evictions=cache_evictions,
         cache_class_stats=tuple(cache_class_stats),
@@ -568,6 +683,7 @@ def format_serve_report(report: ServeReport) -> str:
         ("jobs expired", report.jobs_expired),
         ("jobs shed", report.jobs_shed),
         ("fault retries", report.retries),
+        ("preemptions", report.preemptions),
     ]
     summary = format_table(
         ("metric", "value"),
@@ -591,6 +707,23 @@ def format_serve_report(report: ServeReport) -> str:
             else []
         )
         + ([("fault plan", report.faults)] if report.faults else [])
+        # The deadline-policy row appears only when the run deviates from
+        # the fair/no-preemption default, like the unhappy-path rows.
+        + (
+            [
+                (
+                    "ordering",
+                    report.ordering
+                    + (
+                        f" (max {report.max_preemptions} preemptions/job)"
+                        if report.max_preemptions
+                        else ""
+                    ),
+                )
+            ]
+            if report.ordering != "fair" or report.max_preemptions
+            else []
+        )
         + [
             ("batches", report.batches),
             ("jobs sharing a batch", report.batched_jobs),
@@ -638,6 +771,34 @@ def format_serve_report(report: ServeReport) -> str:
         tenant_rows,
     )
     sections = [summary, tenants]
+    # Per-SLO-class deadline rollup: shown once any class beyond plain
+    # best-effort is in play, so the default report stays as compact as
+    # before.
+    if any(stats.slo != "best-effort" for stats in report.slo_class_stats):
+        slo_rows = [
+            (
+                stats.slo,
+                stats.submitted,
+                stats.completed,
+                f"{stats.deadline_met}/{stats.deadline_eligible}",
+                round(stats.deadline_hit_rate, 4),
+                stats.preemptions,
+            )
+            for stats in report.slo_class_stats
+        ]
+        sections.append(
+            format_table(
+                (
+                    "slo class",
+                    "submitted",
+                    "done",
+                    "deadlines met",
+                    "hit rate",
+                    "preempted",
+                ),
+                slo_rows,
+            )
+        )
     if len(report.worker_class_stats) > 1:
         class_rows = [
             (

@@ -77,6 +77,7 @@ from repro.engine.cache import (
 from repro.engine.scaleout import iter_partition_share_shapes
 from repro.obs.tracer import Tracer
 from repro.serve.faults import FaultInjector, FaultPlan
+from repro.serve.fleet import group_worker_classes
 from repro.serve.job import (
     SLO_BEST_EFFORT,
     SLO_CLASSES,
@@ -91,6 +92,8 @@ from repro.serve.job import (
     JobResult,
 )
 from repro.serve.queues import (
+    ORDERING_FAIR,
+    ORDERINGS,
     POLICY_DEPRIORITIZE,
     AdmissionController,
     QueuedJob,
@@ -241,7 +244,10 @@ class _ScheduledBatch:
     effect at dispatch.  When a fault plan cuts the batch,
     ``completed_count`` marks the executed prefix (the jobs whose
     stretched service fits before ``fail_cycle``) — the suffix never runs
-    and is requeued by the planner.
+    and is requeued by the planner.  A preemption cut reuses the same
+    fields (``fail_cycle`` is the instant the executed prefix ends and
+    the worker frees) with ``preempted=True``, so reporting can tell a
+    policy cut from a fault.
     """
 
     batch_id: int
@@ -252,6 +258,7 @@ class _ScheduledBatch:
     service_cycles: tuple[int, ...] = ()
     completed_count: int = -1
     fail_cycle: int | None = None
+    preempted: bool = False
 
     def __post_init__(self) -> None:
         if not self.service_cycles:
@@ -277,6 +284,15 @@ class _ScheduledBatch:
     def executed(self) -> tuple[QueuedJob, ...]:
         """The prefix of entries that actually runs to completion."""
         return self.entries[: self.completed_count]
+
+    @property
+    def last_start_cycle(self) -> int:
+        """When the batch's final member begins executing (stretched).
+
+        Once the simulated clock passes this instant every member has
+        started, so there is no unexecuted suffix left to preempt.
+        """
+        return self.start_cycle + sum(self.service_cycles[:-1])
 
 
 @dataclass
@@ -329,9 +345,22 @@ class _OnlinePlanner:
             scheduler.admission_policy,
             tracer=self.tracer,
         )
-        self.queue = WeightedFairQueue(scheduler.weights, tracer=self.tracer)
+        self.queue = WeightedFairQueue(
+            scheduler.weights,
+            ordering=scheduler.ordering,
+            slo_classes=scheduler.slo_classes,
+            tracer=self.tracer,
+        )
         self.ledgers = {wid: _WorkerLedger(wid) for wid in range(fleet_size)}
         self.batches: list[_ScheduledBatch] = []
+        # A batch is *sealed* once no future planning event can cut it:
+        # with preemption off that is at creation; otherwise once it was
+        # fault- or preempt-cut, or the planning horizon passed its last
+        # member's start (every member has begun executing by then).
+        # Numerics launch and the batch's closing trace events wait for
+        # the seal, so a preemption never races an execution.
+        self.sealed: list[bool] = []
+        self._unsealed: list[int] = []
         self.terminal: list[JobResult] = []
         self.tenants: set[str] = set()
         self.seen_ids: set[str] = set()
@@ -435,6 +464,8 @@ class _OnlinePlanner:
             deadline_hint_cycles=job.deadline_hint_cycles,
             deprioritized=entry.deprioritized,
             attempts=attempts,
+            preemptions=entry.preemptions,
+            slo=self._s.tenant_slo(job.tenant),
             resolved_cycle=cycle,
         )
         self.terminal.append(result)
@@ -495,6 +526,190 @@ class _OnlinePlanner:
         self.queue.push(entry)
         self._notify_work(cycle, entry.job.shape)
 
+    # -- preemption and batch sealing -------------------------------------
+
+    def _emit_batch_close(self, batch: _ScheduledBatch) -> None:
+        """Emit a batch's closing trace events (execute span, close, idle).
+
+        With preemption off this happens inline at dispatch; otherwise it
+        is deferred until the batch seals, so the span's duration and
+        completed count reflect any preemption cut.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        pid, tid = self._s._track[batch.worker_id]
+        tracer.complete(
+            "batch.execute",
+            batch.start_cycle,
+            batch.end_cycle - batch.start_cycle,
+            pid=pid,
+            tid=tid,
+            batch_id=batch.batch_id,
+            size=len(batch.entries),
+            completed=batch.completed_count,
+            worker_id=batch.worker_id,
+            faulted=batch.fail_cycle is not None and not batch.preempted,
+        )
+        tracer.instant(
+            "batch.close",
+            batch.end_cycle,
+            pid=pid,
+            tid=tid,
+            batch_id=batch.batch_id,
+            completed=batch.completed_count,
+        )
+        if batch.fail_cycle is None or batch.preempted:
+            # The worker survives the batch (healthy finish or preemption
+            # cut); a fault-cut worker is down or dead, not idle.
+            tracer.instant(
+                "worker.idle",
+                batch.end_cycle,
+                pid=pid,
+                tid=tid,
+                worker_id=batch.worker_id,
+            )
+
+    def _seal(self, index: int) -> None:
+        """Mark one batch beyond preemption's reach and emit its close."""
+        if self.sealed[index]:
+            return
+        self.sealed[index] = True
+        self._emit_batch_close(self.batches[index])
+
+    def _seal_ready(self) -> None:
+        """Seal every batch the planning horizon has made uncuttable.
+
+        Preemption decisions only happen while offering a job, at cycles
+        ``>= horizon``; once a batch's last member has started before the
+        horizon there is no unstarted suffix any future offer could cut,
+        so its numerics may launch and its closing trace events are final.
+        """
+        still: list[int] = []
+        for index in self._unsealed:
+            batch = self.batches[index]
+            if batch.fail_cycle is not None or batch.last_start_cycle < self.horizon:
+                self._seal(index)
+            else:
+                still.append(index)
+        self._unsealed = still
+
+    def _seal_all(self) -> None:
+        """Seal every remaining batch (stream over: no more offers can cut)."""
+        for index in self._unsealed:
+            self._seal(index)
+        self._unsealed = []
+
+    def _maybe_preempt(self, entry: QueuedJob, cycle: int) -> None:
+        """Cut a not-yet-executed batch suffix for a tight arrival.
+
+        Fires only when preemption is enabled, ``entry`` is a hinted
+        latency-target job, and *no* worker — free or busy — can meet its
+        deadline as things stand.  The victim is the unsealed batch whose
+        cut frees a deadline-meeting worker soonest, provided every
+        displaced member has strictly looser laxity and preemption
+        headroom; displaced members requeue at this cycle with
+        ``attempts`` unchanged.  Executed (started) members always stay.
+        """
+        scheduler = self._s
+        if scheduler.max_preemptions < 1:
+            return
+        deadline = entry.deadline_cycle
+        if (
+            deadline is None
+            or entry.deprioritized
+            or scheduler.tenant_slo(entry.job.tenant) != SLO_LATENCY_TARGET
+        ):
+            return
+        shape = entry.job.shape
+        for worker_id in range(len(scheduler.fleet)):
+            available = self._available_at(worker_id, cycle)
+            if available is None:
+                continue
+            if available + scheduler.placement_cost(shape, worker_id) <= deadline:
+                return  # someone meets the deadline without a cut
+        urgency = entry.laxity(cycle)
+        assert urgency is not None  # hinted, checked above
+        best: tuple[tuple[int, int], int, int] | None = None
+        for index in self._unsealed:
+            batch = self.batches[index]
+            if batch.fail_cycle is not None:
+                continue
+            completed = 0
+            cut_cycle = batch.start_cycle
+            for duration in batch.service_cycles:
+                if cut_cycle >= cycle:
+                    break  # this member has not started: cuttable suffix
+                completed += 1
+                cut_cycle += duration
+            if completed == len(batch.entries):
+                continue
+            displaced = batch.entries[completed:]
+            if any(
+                d.preemptions >= scheduler.max_preemptions for d in displaced
+            ):
+                continue
+            laxities = [d.laxity(cycle) for d in displaced]
+            if any(lax is not None and lax <= urgency for lax in laxities):
+                continue  # only strictly looser work may be displaced
+            if cut_cycle + scheduler.placement_cost(shape, batch.worker_id) > deadline:
+                continue  # cutting here would not rescue the deadline
+            key = ((cut_cycle, batch.worker_id), index, completed)
+            if best is None or key[0] < best[0]:
+                best = key
+        if best is None:
+            return
+        _, index, completed = best
+        batch = self.batches[index]
+        cut_cycle = batch.start_cycle + sum(batch.service_cycles[:completed])
+        displaced = batch.entries[completed:]
+        self.batches[index] = dataclasses.replace(
+            batch,
+            completed_count=completed,
+            fail_cycle=cut_cycle,
+            preempted=True,
+        )
+        # Roll the dispatch-time accounting back to the executed prefix;
+        # a preemption cut is not a failure.
+        ledger = self.ledgers[batch.worker_id]
+        ledger.jobs -= len(batch.entries) - completed
+        ledger.busy_cycles -= batch.finish_cycle - cut_cycle
+        tracer = self.tracer
+        if tracer is not None:
+            pid, tid = self._s._track[batch.worker_id]
+            tracer.instant(
+                "batch.cut",
+                cycle,
+                pid=pid,
+                tid=tid,
+                batch_id=batch.batch_id,
+                completed=completed,
+                displaced=len(displaced),
+                reason="preempt",
+                worker_id=batch.worker_id,
+                by=entry.job.job_id,
+            )
+            for d in displaced:
+                tracer.instant(
+                    "job.preempted",
+                    cycle,
+                    job_id=d.job.job_id,
+                    tenant=d.job.tenant,
+                    batch_id=batch.batch_id,
+                    preemptions=d.preemptions + 1,
+                    by=entry.job.job_id,
+                )
+        self._free_at[batch.worker_id] = cut_cycle
+        self._schedule_wake(batch.worker_id, cut_cycle)
+        self._seal(index)
+        for d in displaced:
+            self._requeue(
+                dataclasses.replace(
+                    d, enqueued_cycle=cycle, preemptions=d.preemptions + 1
+                ),
+                cycle,
+            )
+
     # -- the streaming interface ------------------------------------------
 
     def offer(self, job: AnyJob) -> None:
@@ -503,8 +718,15 @@ class _OnlinePlanner:
         Jobs should be offered in ``(arrival_cycle, job_id)`` order; a job
         offered late (arrival before the current planning horizon) is
         enqueued at the horizon instead — already-planned dispatches are
-        never revised.
+        never revised.  Executed work is never revised either: preemption
+        (when enabled) only ever cuts the unstarted suffix of an unsealed
+        batch, and the offer ends by sealing every batch the new horizon
+        puts beyond preemption's reach.
         """
+        self._offer(job)
+        self._seal_ready()
+
+    def _offer(self, job: AnyJob) -> None:
         if self.finished:
             raise RuntimeError("stream already drained; start a new one")
         if job.job_id in self.seen_ids:
@@ -537,6 +759,7 @@ class _OnlinePlanner:
                 priced_cycles=decision.priced_cycles,
                 arrival_cycle=job.arrival_cycle,
                 deadline_hint_cycles=job.deadline_hint_cycles,
+                slo=scheduler.tenant_slo(job.tenant),
                 resolved_cycle=entry_cycle,
             )
             self.terminal.append(result)
@@ -579,11 +802,13 @@ class _OnlinePlanner:
                     victim, STATUS_SHED, entry_cycle, victim.attempts
                 )
             self._notify_work(entry_cycle, job.shape)
+            self._maybe_preempt(entry, entry_cycle)
             return
         self.queue.push(entry)
         # Work exists again: idle workers become dispatch candidates the
         # moment this job is visible.
         self._notify_work(entry_cycle, job.shape)
+        self._maybe_preempt(entry, entry_cycle)
 
     def cancel(self, job_id: str) -> bool:
         """Withdraw a queued (or requeued) job; False once it is executing.
@@ -624,6 +849,9 @@ class _OnlinePlanner:
         if not self.finished:
             self.finished = True
             self._advance(None)
+            # No more offers can arrive, so no future event can cut any
+            # still-open batch: seal them all and emit their closes.
+            self._seal_all()
             for entry in self.queue.remove_matching(lambda entry: True):
                 self._terminal_entry(
                     entry, STATUS_FAILED, self.horizon, entry.attempts
@@ -639,7 +867,7 @@ class _OnlinePlanner:
         if scheduler.enforce_deadlines:
             self._expire_queued(cycle)
         while True:
-            head = self.queue.peek_head()
+            head = self.queue.peek_head(now=cycle)
             if head is None:
                 self._idle.add(worker_id)
                 return
@@ -664,7 +892,7 @@ class _OnlinePlanner:
                             shape=_shape_label(head.job.shape),
                         )
                     return
-            target, defer_until = self._place(head.job.shape, cycle)
+            target, defer_until = self._place(head, cycle)
             if target is None:
                 if defer_until is None:
                     # Every fleet member has permanently died: nothing can
@@ -673,7 +901,10 @@ class _OnlinePlanner:
                     return
                 self._schedule_wake(worker_id, defer_until)
                 return
-            self._dispatch(target, cycle)
+            if not self._dispatch(target, cycle):
+                # Every dequeued member expired at dispatch; the queue
+                # shrank, so retry with the next head-of-line batch.
+                continue
             if target == worker_id:
                 return
             # This worker stayed free (a sibling out-priced it for that
@@ -702,12 +933,12 @@ class _OnlinePlanner:
         return start
 
     def _place(
-        self, shape: tuple[int, int, int], cycle: int
+        self, head: QueuedJob, cycle: int
     ) -> tuple[int | None, int | None]:
         """Choose the worker to host the head batch, or defer.
 
-        Ranks worker classes by the estimate-cache price of ``shape``
-        (:meth:`AsyncGemmScheduler.placement_cost`) and returns
+        Ranks worker classes by the estimate-cache price of the head's
+        shape (:meth:`AsyncGemmScheduler.placement_cost`) and returns
         ``(worker_id, None)`` for the free worker with the soonest priced
         finish — or ``(None, wake_cycle)`` when a *busy* (or transiently
         down) worker would still finish the job sooner than any free one,
@@ -715,8 +946,17 @@ class _OnlinePlanner:
         dead workers are drained from consideration entirely; ``(None,
         None)`` means the whole fleet is dead.  Under the ``"random"``
         baseline the batch lands on a uniformly drawn live worker instead.
+
+        Under a deadline ordering, a hinted latency-target head places by
+        *laxity* instead: among free workers that meet its deadline, the
+        tightest fit wins (least slack after the priced finish), keeping
+        the faster classes available for queued work with less room — and
+        when only a busy worker can meet the deadline, the head waits for
+        it rather than starting hopelessly late on a free one.  With no
+        feasible host at all it falls back to the earliest-finish policy.
         """
         scheduler = self._s
+        shape = head.job.shape
         fleet_size = len(scheduler.fleet)
         if scheduler.placement == PLACEMENT_RANDOM:
             candidates = [
@@ -745,6 +985,28 @@ class _OnlinePlanner:
                 busy.append((available + costs[v], available, v))
         if not free and not busy:
             return None, None
+        deadline = head.deadline_cycle
+        if (
+            scheduler.ordering != ORDERING_FAIR
+            and deadline is not None
+            and not head.deprioritized
+            and scheduler.tenant_slo(head.job.tenant) == SLO_LATENCY_TARGET
+        ):
+            feasible_free = [v for v in free if cycle + costs[v] <= deadline]
+            if feasible_free:
+                return (
+                    min(
+                        feasible_free,
+                        key=lambda v: (deadline - (cycle + costs[v]), costs[v], v),
+                    ),
+                    None,
+                )
+            feasible_busy = [entry for entry in busy if entry[0] <= deadline]
+            if feasible_busy:
+                _, frees_at, _ = min(feasible_busy)
+                return None, frees_at
+            # No feasible host either way: fall through so the job still
+            # runs (or expires at dispatch) as soon as possible.
         if not free:
             _, frees_at, _ = min(busy)
             return None, frees_at
@@ -759,7 +1021,48 @@ class _OnlinePlanner:
                 return None, frees_at
         return best_free, None
 
-    def _dispatch(self, target: int, cycle: int) -> None:
+    def _drop_unmeetable(
+        self,
+        entries: tuple[QueuedJob, ...],
+        target: int,
+        start: int,
+        cycle: int,
+    ) -> tuple[QueuedJob, ...]:
+        """Expire dequeued members whose projected in-batch finish is late.
+
+        Queue-time laxity checks price a job starting *now* on its best
+        class; by dispatch the hosting class, batch position and any
+        slowdown fault in effect are known, so each member's finish is
+        re-projected and a member that would complete past its deadline
+        expires instead of occupying the worker — a completed job never
+        finishes late under ``enforce_deadlines``.
+        """
+        scheduler = self._s
+        injector = self.injector
+        kept: list[QueuedJob] = []
+        elapsed = start
+        for entry in entries:
+            planned = scheduler.planned_job_cycles(entry.job, target)
+            duration = (
+                planned
+                if injector is None
+                else injector.stretch(target, start, planned)
+            )
+            deadline = entry.deadline_cycle
+            if deadline is not None and elapsed + duration > deadline:
+                self._terminal_entry(entry, STATUS_EXPIRED, cycle, entry.attempts)
+                continue
+            kept.append(entry)
+            elapsed += duration
+        return tuple(kept)
+
+    def _dispatch(self, target: int, cycle: int) -> bool:
+        """Dequeue the head batch onto ``target``; False if nothing ran.
+
+        A False return means every dequeued member expired at dispatch
+        (``enforce_deadlines`` re-projection) — the worker stays free and
+        the caller should retry against the shrunken queue.
+        """
         scheduler = self._s
         self._trace_cycle = cycle
         # Adaptive batch bound: a batch occupies its worker for the sum of
@@ -769,13 +1072,17 @@ class _OnlinePlanner:
         # backlogs still batch to max_batch.
         budget = -(-self.queue.total_priced_cycles() // len(scheduler.fleet))
         entries = tuple(
-            self.queue.next_batch(scheduler.max_batch, cycle_budget=budget)
-        )
-        job_cycles = tuple(
-            scheduler.planned_job_cycles(entry.job, target) for entry in entries
+            self.queue.next_batch(scheduler.max_batch, cycle_budget=budget, now=cycle)
         )
         start = self._available_at(target, cycle)
         assert start is not None, "placement never selects a dead worker"
+        if scheduler.enforce_deadlines:
+            entries = self._drop_unmeetable(entries, target, start, cycle)
+            if not entries:
+                return False
+        job_cycles = tuple(
+            scheduler.planned_job_cycles(entry.job, target) for entry in entries
+        )
         injector = self.injector
         if injector is None:
             service_cycles = job_cycles
@@ -813,6 +1120,7 @@ class _OnlinePlanner:
             fail_cycle=fail_cycle,
         )
         self.batches.append(batch)
+        self.sealed.append(False)
         tracer = self.tracer
         if tracer is not None:
             pid, tid = scheduler._track[target]
@@ -838,30 +1146,19 @@ class _OnlinePlanner:
                     attempts=entry.attempts + 1,
                 )
             tracer.instant("worker.busy", start, pid=pid, tid=tid, worker_id=target)
-            tracer.complete(
-                "batch.execute",
-                start,
-                batch.end_cycle - start,
-                pid=pid,
-                tid=tid,
-                batch_id=batch.batch_id,
-                size=len(entries),
-                completed=completed,
-                worker_id=target,
-                faulted=fail_cycle is not None,
-            )
-            tracer.instant(
-                "batch.close",
-                batch.end_cycle,
-                pid=pid,
-                tid=tid,
-                batch_id=batch.batch_id,
-                completed=completed,
-            )
-            if fail_cycle is None:
-                tracer.instant(
-                    "worker.idle", batch.end_cycle, pid=pid, tid=tid, worker_id=target
-                )
+        # Seal immediately when nothing can ever cut this batch (emitting
+        # its closing trace events in place, which with preemption off is
+        # byte-identical to the pre-sealing emission order); otherwise
+        # park it until the horizon passes its last member's start.
+        if (
+            scheduler.max_preemptions < 1
+            or fail_cycle is not None
+            or batch.last_start_cycle < self.horizon
+        ):
+            self._seal(batch.batch_id)
+        else:
+            self._unsealed.append(batch.batch_id)
+        if tracer is not None:
             tracer.counter("queue.depth", cycle, depth=len(self.queue))
         ledger = self.ledgers[target]
         ledger.jobs += completed
@@ -870,7 +1167,7 @@ class _OnlinePlanner:
         if fail_cycle is None:
             self._free_at[target] = finish
             self._schedule_wake(target, finish)
-            return
+            return True
         ledger.failures += 1
         for entry in entries[completed:]:
             attempts = entry.attempts + 1
@@ -906,11 +1203,17 @@ class _OnlinePlanner:
         else:
             self._free_at[target] = resume
             self._schedule_wake(target, resume)
+        return True
 
 
 @dataclass
 class _StreamState:
-    """One open ``submit()`` stream: its planner and eager executions."""
+    """One open ``submit()`` stream: its planner and eager executions.
+
+    ``futures`` is slot-per-batch: a ``None`` slot is a planned batch
+    whose numerics have not launched yet (it is still preemptible); the
+    slot is filled the moment the batch seals.
+    """
 
     planner: _OnlinePlanner
     pool: ThreadPoolExecutor
@@ -969,10 +1272,35 @@ class AsyncGemmScheduler:
         Extra dispatch attempts a fault-interrupted job is allowed after
         its first (default 2); a job whose attempts are exhausted resolves
         as ``failed``.
+    ordering:
+        Queue ordering policy (:data:`repro.serve.queues.ORDERINGS`).
+        ``"fair"`` (default) is pure weighted-fair stride scheduling;
+        ``"edf"`` serves hinted latency-target jobs earliest deadline
+        first, ``"least-laxity"`` by remaining slack (``deadline - now -
+        priced_cycles``, re-evaluated on the simulated clock at each
+        dequeue) — in both cases ahead of the fair rotation, which
+        best-effort tenants keep among themselves.  Placement becomes
+        laxity-aware too: a hinted latency-target head lands on the
+        tightest worker that still meets its deadline (waiting for a
+        feasible busy worker over starting late on a free one),
+        preserving the faster classes for queued work with less slack.
+    max_preemptions:
+        Per-job cap on preemptions (default 0 = preemption disabled).
+        When positive, a hinted latency-target arrival that no worker can
+        serve within its deadline may cut the *unstarted* suffix of a
+        batch whose displaced members all have strictly looser laxity;
+        the displaced jobs requeue with ``attempts`` unchanged
+        (preemption is not a retry) and each job is displaced at most
+        ``max_preemptions`` times, so a stream of tight arrivals can
+        never livelock looser work.  Executed prefixes are never revoked
+        and results stay bit-exact.
     enforce_deadlines:
         When True, ``deadline_hint_cycles`` becomes binding: queued jobs
         whose laxity has run out (``now + priced_cycles`` past the
-        deadline) expire instead of occupying the fleet.
+        deadline) expire instead of occupying the fleet, and the
+        dispatcher re-projects each batch member's in-batch finish at
+        dispatch, expiring members that would complete past their
+        deadline — a completed job never finishes late.
     shed_cycles:
         Overload threshold on queued priced cycles.  When admitting a job
         would push the backlog past it, best-effort work is shed —
@@ -1008,6 +1336,8 @@ class AsyncGemmScheduler:
         placement_seed: int = 0,
         fault_plan: FaultPlan | None = None,
         max_retries: int = 2,
+        ordering: str = ORDERING_FAIR,
+        max_preemptions: int = 0,
         enforce_deadlines: bool = False,
         shed_cycles: int | None = None,
         slo_classes: Mapping[str, str] | None = None,
@@ -1031,6 +1361,15 @@ class AsyncGemmScheduler:
             )
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; "
+                f"expected one of {', '.join(ORDERINGS)}"
+            )
+        if max_preemptions < 0:
+            raise ValueError(
+                f"max_preemptions must be >= 0, got {max_preemptions}"
+            )
         if shed_cycles is not None and shed_cycles < 1:
             raise ValueError(f"shed_cycles must be >= 1, got {shed_cycles}")
         for tenant, slo in dict(slo_classes or {}).items():
@@ -1055,25 +1394,18 @@ class AsyncGemmScheduler:
             else None
         )
         self.max_retries = max_retries
+        self.ordering = ordering
+        self.max_preemptions = max_preemptions
         self.enforce_deadlines = enforce_deadlines
         self.shed_cycles = shed_cycles
         self.slo_classes = dict(slo_classes or {})
         # Group the fleet into worker classes: workers with identical
         # signatures run any job identically, so one representative per
         # class prices and plans for all of them.
-        signatures: list[tuple] = []
-        self._class_reps: list = []
-        self._worker_class_ids: list[int] = []
-        for worker in fleet:
-            signature = self._worker_signature(worker)
-            try:
-                index = signatures.index(signature)
-            except ValueError:
-                index = len(signatures)
-                signatures.append(signature)
-                self._class_reps.append(worker)
-            self._worker_class_ids.append(index)
-        self.worker_classes = tuple(rep.describe() for rep in self._class_reps)
+        classes = group_worker_classes(fleet)
+        self._class_reps = list(classes.class_reps)
+        self._worker_class_ids = list(classes.worker_class_ids)
+        self.worker_classes = classes.labels
         self.tracer = tracer
         # Trace track per worker: one pid per worker class (pid 0 is the
         # scheduler's own track), one tid per worker.
@@ -1102,18 +1434,6 @@ class AsyncGemmScheduler:
         self._memo_lock = threading.Lock()
         self._planned_cycles_memo: dict[tuple, int] = {}
         self._stream: _StreamState | None = None
-
-    @staticmethod
-    def _worker_signature(accelerator: _AcceleratorBase) -> tuple:
-        return (
-            accelerator.config.rows,
-            accelerator.config.cols,
-            accelerator.dataflow,
-            accelerator.axon,
-            accelerator.zero_gating,
-            accelerator.engine,
-            accelerator.scale_out,
-        )
 
     @property
     def fleet_description(self) -> tuple[str, ...]:
@@ -1188,20 +1508,26 @@ class AsyncGemmScheduler:
         return self._stream
 
     def _launch_planned(self, stream: _StreamState) -> None:
-        """Start executing every newly finalized batch's numerics.
+        """Start executing every newly *sealed* batch's numerics.
 
-        Only the executed prefix of a fault-cut batch runs — jobs the
-        fault plan interrupted never touch the numerics pool (they requeue
-        and execute, bit-exact, on their retry dispatch instead).
+        Only the executed prefix of a fault- or preempt-cut batch runs —
+        interrupted jobs never touch the numerics pool (they requeue and
+        execute, bit-exact, on a later dispatch instead).  An unsealed
+        batch holds a ``None`` slot: preemption could still cut its
+        suffix, so its numerics wait for the seal (``drain()`` only joins
+        after ``finish()`` sealed everything).
         """
-        for batch in stream.planner.batches[len(stream.futures) :]:
-            stream.futures.append(
-                stream.pool.submit(
+        planner = stream.planner
+        while len(stream.futures) < len(planner.batches):
+            stream.futures.append(None)
+        for index, sealed in enumerate(planner.sealed):
+            if sealed and stream.futures[index] is None:
+                batch = planner.batches[index]
+                stream.futures[index] = stream.pool.submit(
                     run_batch,
                     self.fleet[batch.worker_id],
                     [entry.job for entry in batch.executed],
                 )
-            )
 
     def submit(self, job: AnyJob) -> None:
         """Feed one job into the open stream (opening it if needed).
@@ -1477,6 +1803,8 @@ class AsyncGemmScheduler:
                     deadline_hint_cycles=entry.job.deadline_hint_cycles,
                     deprioritized=entry.deprioritized,
                     attempts=entry.attempts + 1,
+                    preemptions=entry.preemptions,
+                    slo=self.tenant_slo(entry.job.tenant),
                 )
                 results.append(job_result)
                 if tracer is not None:
@@ -1527,6 +1855,8 @@ class AsyncGemmScheduler:
             placement=self.placement,
             enforce_deadlines=self.enforce_deadlines,
             max_retries=self.max_retries,
+            ordering=self.ordering,
+            max_preemptions=self.max_preemptions,
             faults=(
                 self.fault_plan.spec()
                 if self.fault_plan is not None and self.fault_plan.faults

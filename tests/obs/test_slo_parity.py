@@ -1,0 +1,159 @@
+"""Trace-derived SLO view == ``ServeReport`` SLO gauges, number for number.
+
+The ``repro trace summarize`` SLO table is computed purely from exported
+trace events (:func:`repro.obs.summary._slo_views`); the report's
+:class:`repro.serve.report.SloClassStats` come from the in-process
+results.  These tests pin the two to each other — through the library on
+a deterministic preemption scenario, and end-to-end through the CLI —
+and pin the preemption trace vocabulary (``batch.cut`` on the worker
+track, ``job.preempted`` on the scheduler track) the summarize view and
+external tooling consume.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import AxonAccelerator
+from repro.arch.array_config import ArrayConfig
+from repro.cli import main
+from repro.engine.cache import clear_estimate_cache
+from repro.obs import Tracer, summarize_trace
+from repro.serve import (
+    ORDERING_EDF,
+    SLO_LATENCY_TARGET,
+    AsyncGemmScheduler,
+    Job,
+)
+
+SLO_FIELDS = (
+    "submitted",
+    "completed",
+    "deadline_met",
+    "deadline_eligible",
+    "deadline_hit_rate",
+    "preemptions",
+)
+
+
+@pytest.fixture
+def preemption_run():
+    """A traced serve in which preemption provably fires.
+
+    One Axon 8x8 worker (32x32 GEMM = 752 cycles, 8x8 = 23): three
+    best-effort 32x32 jobs batch as [0, 2256], and a latency-target 8x8
+    arriving at 376 with deadline 1174 forces a cut at 752, displacing
+    two jobs.
+    """
+    clear_estimate_cache()
+    rng = np.random.default_rng(42)
+    jobs = [
+        Job(
+            job_id=f"b{index}",
+            tenant="be",
+            a=rng.standard_normal((32, 32)),
+            b=rng.standard_normal((32, 32)),
+            arrival_cycle=0,
+        )
+        for index in range(3)
+    ]
+    jobs.append(
+        Job(
+            job_id="rt0",
+            tenant="lt",
+            a=rng.standard_normal((8, 8)),
+            b=rng.standard_normal((8, 8)),
+            arrival_cycle=376,
+            deadline_hint_cycles=798,
+        )
+    )
+    tracer = Tracer()
+    scheduler = AsyncGemmScheduler(
+        [AxonAccelerator(ArrayConfig(8, 8))],
+        max_batch=3,
+        ordering=ORDERING_EDF,
+        max_preemptions=2,
+        slo_classes={"lt": SLO_LATENCY_TARGET},
+        tracer=tracer,
+    )
+    report, results = scheduler.serve(jobs)
+    assert report.preemptions > 0, "fixture must actually preempt"
+    return tracer, report, results
+
+
+class TestSloParity:
+    def test_slo_view_matches_report_stats_exactly(self, preemption_run):
+        tracer, report, _ = preemption_run
+        summary = summarize_trace([e.to_dict() for e in tracer.events])
+        by_class = {stats.slo: stats.to_dict() for stats in report.slo_class_stats}
+        assert set(summary["slo"]) == set(by_class)
+        for slo, view in summary["slo"].items():
+            for field in SLO_FIELDS:
+                assert view[field] == by_class[slo][field], (
+                    f"{slo}.{field}: trace {view[field]} "
+                    f"!= report {by_class[slo][field]}"
+                )
+
+    def test_preemption_events_match_report_counter(self, preemption_run):
+        tracer, report, results = preemption_run
+        preempted = [e for e in tracer.events if e.name == "job.preempted"]
+        cuts = [e for e in tracer.events if e.name == "batch.cut"]
+        assert len(preempted) == report.preemptions
+        assert sum(dict(e.args)["displaced"] for e in cuts) == report.preemptions
+        traced_ids = {dict(e.args)["job_id"] for e in preempted}
+        assert traced_ids == {
+            r.job_id for r in results if r.preemptions > 0
+        }
+
+    def test_terminal_events_carry_slo_args(self, preemption_run):
+        tracer, _, results = preemption_run
+        by_id = {r.job_id: r for r in results}
+        done = [e for e in tracer.events if e.name == "job.completed"]
+        assert len(done) == len(results)
+        for event in done:
+            args = dict(event.args)
+            result = by_id[args["job_id"]]
+            assert args["slo"] == result.slo
+            assert args["preemptions"] == result.preemptions
+            assert args.get("deadline_met") == result.deadline_met
+
+
+class TestSloParityThroughCli:
+    def test_trace_summarize_slo_matches_serve_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        args = [
+            "serve", "--tenants", "3", "--jobs-per-tenant", "4",
+            "--workers", "2", "--rows", "16", "--cols", "16",
+            "--max-dim", "48", "--max-batch", "4", "--seed", "3",
+            "--latency-tenants", "1", "--deadline-slack", "6",
+            "--ordering", "edf", "--max-preemptions", "2",
+        ]
+        clear_estimate_cache()
+        assert main(args + ["--trace", str(trace_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)["report"]
+        assert main(["trace", "summarize", str(trace_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        by_class = {stats["slo"]: stats for stats in report["slo_classes"]}
+        assert set(summary["slo"]) == set(by_class)
+        for slo, view in summary["slo"].items():
+            for field in SLO_FIELDS:
+                assert view[field] == by_class[slo][field]
+
+    def test_summarize_text_renders_slo_table(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        clear_estimate_cache()
+        assert main([
+            "serve", "--tenants", "2", "--jobs-per-tenant", "3",
+            "--workers", "1", "--rows", "16", "--cols", "16",
+            "--max-dim", "32", "--seed", "5", "--latency-tenants", "1",
+            "--deadline-slack", "8", "--ordering", "least-laxity",
+            "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-SLO-class deadlines:" in out
+        assert "latency-target" in out

@@ -1,0 +1,187 @@
+"""Seeded scenario generators for the scheduler-invariant harness.
+
+No hypothesis here — scenarios are drawn from ``numpy``'s seeded
+``Generator`` so every case is addressable as ``(seed, case)`` and a
+failure reproduces from the two integers alone (the harness logs them
+before running each case).  :func:`random_scenario` composes the axes the
+invariants must hold across:
+
+* **fleet** — homogeneous or heterogeneous, 1–3 workers, mixed
+  architectures drawn from :data:`FLEET_PALETTE`;
+* **trace** — 3–8 same- or mixed-shape GEMM jobs across best-effort and
+  latency-target tenants, staggered arrivals, deadline hints both
+  generous and impossible;
+* **ordering** — ``fair`` / ``edf`` / ``least-laxity``, with and without
+  a preemption budget;
+* **chaos** — no faults, or a :func:`repro.serve.random_fault_plan`
+  (permanent death, transient outage, slowdown), with deadline
+  enforcement and retry budgets varied independently.
+
+The draws are intentionally unconstrained: infeasible deadlines,
+preemption budgets under ``ordering="fair"`` and whole-fleet death are
+all legal configurations, and the scheduler's invariants must hold for
+every one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve import (
+    ORDERINGS,
+    SLO_LATENCY_TARGET,
+    AnyJob,
+    AsyncGemmScheduler,
+    FaultPlan,
+    Job,
+    build_fleet,
+    parse_fleet_spec,
+    random_fault_plan,
+)
+
+#: Fleet specs the generator draws from (kept tiny so a scenario's
+#: functional GEMMs stay in the microsecond range).
+FLEET_PALETTE = (
+    "systolic:8x8",
+    "2*systolic:8x8",
+    "3*systolic:8x8",
+    "axon:8x8,systolic:8x8",
+    "2*axon:8x8",
+    "systolic:8x8,systolic:16x16",
+)
+
+#: Square GEMM dimensions jobs are drawn from.  On the 8x8 arrays of
+#: :data:`FLEET_PALETTE` these price at roughly 20-750 cycles, so a
+#: handful of jobs arriving inside ``ARRIVAL_SPAN`` cycles genuinely
+#: contend for workers (backlog is what makes ordering, preemption and
+#: expiry reachable).
+DIM_PALETTE = (8, 16, 24, 32)
+
+#: Arrival window (cycles) all jobs land inside.
+ARRIVAL_SPAN = 1_200
+
+#: Tenants in a generated trace; ``rt`` is the latency-target class.
+TENANTS = ("be0", "be1", "rt")
+
+#: SLO map every scenario shares (only ``rt`` is latency-target).
+SLO_CLASSES = {"rt": SLO_LATENCY_TARGET}
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """One fully specified serving run for the invariant harness."""
+
+    seed: int
+    case: int
+    fleet_spec: str
+    ordering: str
+    max_batch: int
+    max_preemptions: int
+    max_retries: int
+    enforce_deadlines: bool
+    fault_plan: FaultPlan | None
+    jobs: tuple[AnyJob, ...] = field(repr=False)
+
+    def describe(self) -> str:
+        """One reproduction line for the harness seed log."""
+        fault = self.fault_plan.spec() if self.fault_plan else "none"
+        return (
+            f"seed={self.seed} case={self.case} fleet={self.fleet_spec!r} "
+            f"ordering={self.ordering} max_batch={self.max_batch} "
+            f"max_preemptions={self.max_preemptions} "
+            f"max_retries={self.max_retries} "
+            f"enforce_deadlines={self.enforce_deadlines} "
+            f"jobs={len(self.jobs)} faults={fault!r}"
+        )
+
+    def build_fleet(self) -> list:
+        """Fresh accelerators for one run (never share across runs)."""
+        return build_fleet(parse_fleet_spec(self.fleet_spec))
+
+    def build_scheduler(self, *, tracer=None) -> AsyncGemmScheduler:
+        """A scheduler configured exactly as the scenario describes."""
+        return AsyncGemmScheduler(
+            self.build_fleet(),
+            max_batch=self.max_batch,
+            ordering=self.ordering,
+            max_preemptions=self.max_preemptions,
+            max_retries=self.max_retries,
+            enforce_deadlines=self.enforce_deadlines,
+            fault_plan=self.fault_plan,
+            slo_classes=SLO_CLASSES,
+            tracer=tracer,
+        )
+
+
+def random_jobs(rng: np.random.Generator) -> tuple[Job, ...]:
+    """3–8 GEMM jobs with staggered arrivals and mixed deadline hints.
+
+    Latency-target jobs always carry a hint (they must be eligible for
+    the deadline pool and preemption); best-effort jobs carry one about
+    half the time (advisory).  Hints range from impossibly tight to
+    comfortably loose, so expiry, misses and hits all occur.
+    """
+    count = int(rng.integers(4, 13))
+    jobs = []
+    for index in range(count):
+        tenant = TENANTS[int(rng.integers(0, len(TENANTS)))]
+        if tenant == "rt":
+            # Latency-target traffic is the small, late, tight kind the
+            # deadline machinery exists for: it lands mid-backlog with a
+            # hint ranging from hopeless to rescuable-by-preemption.
+            dim = int(DIM_PALETTE[int(rng.integers(0, 2))])
+            arrival = int(rng.integers(ARRIVAL_SPAN // 4, ARRIVAL_SPAN))
+            deadline: int | None = int(rng.integers(100, 1_500))
+        else:
+            # Best-effort work skews large and front-loaded so multi-job
+            # batches form and are still mid-flight when the rt arrivals
+            # land — the precondition for a preemption decision.
+            dim = int(rng.choice((16, 24, 32, 32)))
+            arrival = int(rng.integers(0, ARRIVAL_SPAN // 2))
+            hinted = bool(rng.integers(0, 2))
+            deadline = int(rng.integers(40, 4_000)) if hinted else None
+        jobs.append(
+            Job(
+                job_id=f"j{index:02d}",
+                tenant=tenant,
+                a=rng.standard_normal((dim, dim)),
+                b=rng.standard_normal((dim, dim)),
+                arrival_cycle=arrival,
+                deadline_hint_cycles=deadline,
+            )
+        )
+    jobs.sort(key=lambda job: (job.arrival_cycle, job.job_id))
+    return tuple(jobs)
+
+
+def random_scenario(seed: int, case: int) -> ServeScenario:
+    """The deterministic scenario at ``(seed, case)``.
+
+    Seeding with the pair (via numpy's seed-sequence spawning) makes
+    every case independent: inserting a case never perturbs another.
+    """
+    rng = np.random.default_rng([seed, case])
+    fleet_spec = str(FLEET_PALETTE[int(rng.integers(0, len(FLEET_PALETTE)))])
+    workers = sum(spec.count for spec in parse_fleet_spec(fleet_spec))
+    ordering = str(ORDERINGS[int(rng.integers(0, len(ORDERINGS)))])
+    plan: FaultPlan | None = None
+    if rng.integers(0, 10) < 7:
+        plan = random_fault_plan(
+            workers,
+            seed=int(rng.integers(0, 2**31)),
+            horizon_cycles=int(rng.integers(400, 6_000)),
+        )
+    return ServeScenario(
+        seed=seed,
+        case=case,
+        fleet_spec=fleet_spec,
+        ordering=ordering,
+        max_batch=int(rng.integers(1, 6)),
+        max_preemptions=int(rng.integers(0, 4)),
+        max_retries=int(rng.integers(0, 4)),
+        enforce_deadlines=bool(rng.integers(0, 2)),
+        fault_plan=plan,
+        jobs=random_jobs(rng),
+    )

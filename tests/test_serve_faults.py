@@ -15,9 +15,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.api import SystolicAccelerator
+from repro.api import AxonAccelerator, SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
 from repro.serve import (
+    ORDERING_EDF,
     SLO_LATENCY_TARGET,
     STATUS_CANCELLED,
     STATUS_COMPLETED,
@@ -32,7 +33,7 @@ from repro.serve import (
     parse_fault_spec,
     random_fault_plan,
 )
-from repro.workloads import synthetic_trace
+from repro.workloads import TenantTrafficSpec, synthetic_trace, tenant_slo_classes
 
 
 def _fleet(config, count=2):
@@ -293,6 +294,143 @@ def test_shedding_protects_latency_target_tenants(rng, small_array):
 
 
 # ---------------------------------------------------------------------------
+# Preemption x faults: the two requeue paths compose without mixing
+#
+# All scenarios run on Axon 8x8 workers where a 32x32 GEMM occupies 752
+# cycles and an 8x8 GEMM 23 cycles, so the timeline is exact: three
+# best-effort 32x32 jobs dispatched at 0 as one batch span [0, 2256], and
+# a latency-target 8x8 arriving at 376 with hint 798 (deadline 1174) can
+# only be rescued by cutting the batch's unstarted suffix at 752.
+
+
+def _preemption_fleet(count, plan=None):
+    fleet = [AxonAccelerator(ArrayConfig(8, 8)) for _ in range(count)]
+    scheduler = AsyncGemmScheduler(
+        fleet,
+        max_batch=3,
+        ordering=ORDERING_EDF,
+        max_preemptions=2,
+        max_retries=2,
+        fault_plan=plan,
+        slo_classes={"lt": SLO_LATENCY_TARGET},
+    )
+    return fleet, scheduler
+
+
+def _preemption_jobs(rng, *, pin_second_worker=False):
+    jobs = [
+        Job(
+            job_id=f"b{index}",
+            tenant="be",
+            a=rng.standard_normal((32, 32)),
+            b=rng.standard_normal((32, 32)),
+            arrival_cycle=0,
+        )
+        for index in range(3)
+    ]
+    if pin_second_worker:
+        # A 48x48 job keeps the second worker busy past the deadline, so
+        # the rt arrival cannot simply be placed there.
+        jobs.append(
+            Job(
+                job_id="w1",
+                tenant="be",
+                a=rng.standard_normal((48, 48)),
+                b=rng.standard_normal((48, 48)),
+                arrival_cycle=0,
+            )
+        )
+    jobs.append(
+        Job(
+            job_id="rt0",
+            tenant="lt",
+            a=rng.standard_normal((8, 8)),
+            b=rng.standard_normal((8, 8)),
+            arrival_cycle=376,
+            deadline_hint_cycles=798,
+        )
+    )
+    return jobs
+
+
+def test_preemption_at_budget_still_completes_with_attempts_unchanged(rng):
+    # rt0 cuts the 3-job batch at 752 (displacing b1 and b2 once each);
+    # rt1 then cuts the requeued [775, 2279] batch at 1527, displacing b2
+    # a second time — its full budget.  Preemption is not a retry: every
+    # displaced job still completes on its first dispatched attempt.
+    fleet, scheduler = _preemption_fleet(1)
+    jobs = _preemption_jobs(rng)
+    jobs.append(
+        Job(
+            job_id="rt1",
+            tenant="lt",
+            a=rng.standard_normal((8, 8)),
+            b=rng.standard_normal((8, 8)),
+            arrival_cycle=900,
+            deadline_hint_cycles=700,
+        )
+    )
+    report, results = scheduler.serve(jobs)
+    by_id = {r.job_id: r for r in results}
+    assert {r.status for r in results} == {STATUS_COMPLETED}
+    assert by_id["rt0"].deadline_met is True
+    assert by_id["rt1"].deadline_met is True
+    assert by_id["b1"].preemptions == 1
+    assert by_id["b2"].preemptions == 2  # the full max_preemptions budget
+    assert all(r.attempts == 1 for r in results)
+    assert report.preemptions == 3
+    assert report.retries == 0
+    slo = {stats.slo: stats for stats in report.slo_class_stats}
+    assert slo[SLO_LATENCY_TARGET].deadline_met == 2
+    assert slo["best-effort"].preemptions == 3
+    _assert_bitexact(results, fleet, jobs)
+
+
+def test_preempted_jobs_worker_dies_before_requeue_completes(rng):
+    # Preemption happens at 376 (cut at 752), rt0 runs 752-775, the
+    # displaced pair requeues as [775, 2279] — then worker 0 dies at 2260,
+    # inside the requeued span but past the original batch's 2256 end.
+    # b2's fault retry lands on the surviving worker; its preemption count
+    # rides through the retry untouched.
+    plan = parse_fault_spec("0:perm@2260")
+    fleet, scheduler = _preemption_fleet(2, plan)
+    jobs = _preemption_jobs(rng, pin_second_worker=True)
+    report, results = scheduler.serve(jobs)
+    by_id = {r.job_id: r for r in results}
+    assert {r.status for r in results} == {STATUS_COMPLETED}
+    assert by_id["rt0"].deadline_met is True
+    assert by_id["rt0"].worker_id == 0
+    assert (by_id["b2"].preemptions, by_id["b2"].attempts) == (1, 2)
+    assert by_id["b2"].worker_id == 1  # retried on the survivor
+    assert by_id["b1"].attempts == 1  # completed before the death
+    assert report.preemptions == 2
+    assert report.retries == 1
+    _assert_bitexact(results, fleet, jobs)
+
+
+def test_whole_fleet_death_with_preempted_backlog_resolves_every_job(rng):
+    # Same cut, but the only worker dies at 2260 with b2's requeued run
+    # still in flight and nobody left to retry on: b2 must resolve loudly
+    # as failed — exactly one terminal status, preemption count intact.
+    plan = parse_fault_spec("0:perm@2260")
+    fleet, scheduler = _preemption_fleet(1, plan)
+    jobs = _preemption_jobs(rng)
+    report, results = scheduler.serve(jobs)
+    assert sorted(r.job_id for r in results) == sorted(j.job_id for j in jobs)
+    by_id = {r.job_id: r for r in results}
+    assert by_id["rt0"].status == STATUS_COMPLETED
+    assert by_id["rt0"].deadline_met is True
+    assert by_id["b0"].status == STATUS_COMPLETED
+    assert by_id["b1"].status == STATUS_COMPLETED
+    assert by_id["b2"].status == STATUS_FAILED
+    assert by_id["b2"].result is None
+    assert (by_id["b2"].preemptions, by_id["b2"].attempts) == (1, 1)
+    assert report.jobs_failed == 1
+    assert report.preemptions == 2
+    _assert_bitexact(results, fleet, jobs)
+
+
+# ---------------------------------------------------------------------------
 # Determinism: rerun and streaming/one-shot equivalence under chaos
 
 
@@ -338,3 +476,37 @@ def test_streaming_matches_one_shot_under_faults():
         assert one.status == two.status
         if one.completed:
             assert np.array_equal(one.result.output, two.result.output)
+
+
+def test_seeded_chaos_is_deterministic_under_edf_preemption():
+    """Rerun and streaming pins with every new knob turned on at once."""
+    fleet = _fleet(ArrayConfig(8, 8), 3)
+    tenants = (
+        TenantTrafficSpec("be-0"),
+        TenantTrafficSpec("be-1"),
+        TenantTrafficSpec("rt", slo=SLO_LATENCY_TARGET),
+    )
+    jobs = synthetic_trace(
+        fleet, tenants, jobs_per_tenant=4, offered_load=8.0, max_dim=48,
+        seed=17, deadline_slack=4.0,
+    )
+    plan = random_fault_plan(len(fleet), seed=17, horizon_cycles=50_000)
+    kwargs = dict(
+        max_batch=2, fault_plan=plan, max_retries=2, enforce_deadlines=True,
+        ordering=ORDERING_EDF, max_preemptions=2,
+        slo_classes=tenant_slo_classes(tenants),
+    )
+    report_a, results_a = AsyncGemmScheduler(fleet, **kwargs).serve(jobs)
+    report_b, results_b = AsyncGemmScheduler(fleet, **kwargs).serve(jobs)
+    assert report_a.ordering == ORDERING_EDF
+    assert report_a.max_preemptions == 2
+    assert _comparable(report_a) == _comparable(report_b)
+    for one, two in zip(results_a, results_b):
+        assert one.to_dict() == two.to_dict()
+    streaming = AsyncGemmScheduler(fleet, **kwargs)
+    for job in jobs:
+        streaming.submit(job)
+    stream_report, streamed = streaming.drain()
+    assert _comparable(stream_report) == _comparable(report_a)
+    assert [r.to_dict() for r in streamed] == [r.to_dict() for r in results_a]
+    _assert_bitexact(results_a, fleet, jobs)
