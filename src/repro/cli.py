@@ -21,6 +21,8 @@ Provides quick access to the analytical models without writing Python::
     python -m repro.cli traffic --network resnet50
     python -m repro.cli hardware --rows 16 --cols 16 --node ASAP7
     python -m repro.cli cache
+    python -m repro.cli cache warm --store estimates.journal
+    python -m repro.cli serve --store estimates.journal --tenants 4
 
 ``run`` executes a randomized GEMM functionally on a selectable execution
 engine (``--engine wavefront|wavefront-exact|cycle``, see
@@ -52,8 +54,12 @@ a file back to queue-depth / batch-occupancy / per-tenant latency
 tables; ``bench compare`` diffs two bench JSON artifacts and, with
 ``--fail-on "PATTERN:TOL[%][:dir]"`` gates, exits non-zero on any
 regression (the CI bench gate); ``cache`` reports the
-shared estimate-cache statistics (``--clear-cache`` resets them) so
-long-lived sweep services can observe hit rates.  ``run``, ``conv`` and
+shared estimate-cache statistics — in-memory LRU plus the persistent
+disk layer (:mod:`repro.engine.store`) — with ``--clear`` resetting them
+(and truncating an explicitly named ``--store`` journal), and ``cache
+warm`` pre-prices a deterministic workload mix into a ``--store``
+journal so later ``serve --store`` processes skip cold-start admission
+pricing entirely (see ``docs/caching.md``).  ``run``, ``conv`` and
 ``serve`` take ``--json`` for machine-readable output.  The other
 commands evaluate the analytical models.  The heavier, figure-for-figure
 regeneration lives in ``benchmarks/`` (run via pytest); the CLI is for
@@ -80,7 +86,10 @@ from repro.arch.dataflow import Dataflow
 from repro.engine import (
     DEFAULT_ENGINE,
     ENGINES,
+    attach_estimate_store,
     clear_estimate_cache,
+    detach_estimate_store,
+    estimate_cache_disk_info,
     estimate_cache_info,
 )
 from repro.energy import ASAP7, NODES, area_report, inference_energy_report, power_report
@@ -115,7 +124,10 @@ from repro.workloads import (
     MOBILENET_V1_LAYERS,
     RESNET50_CONV_LAYERS,
     TABLE3_WORKLOADS,
+    WARM_NETWORKS,
+    WarmSpec,
     YOLOV3_CONV_LAYERS,
+    warm_estimate_mix,
 )
 from repro.workloads.serving import (
     equal_tenants,
@@ -353,6 +365,23 @@ def _cmd_conv(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    store = None
+    if args.store:
+        try:
+            store = attach_estimate_store(args.store)
+        except ValueError as error:
+            print(f"repro serve: invalid --store path: {error}", file=sys.stderr)
+            return 2
+    try:
+        return _run_serve(args)
+    finally:
+        # Detach even on the exit-2 validation paths so one CLI run never
+        # leaks a store (or its fd) into the next in-process caller.
+        if store is not None:
+            detach_estimate_store()
+
+
+def _run_serve(args: argparse.Namespace) -> int:
     config = ArrayConfig(args.rows, args.cols)
     dataflow = Dataflow.from_string(args.dataflow)
     grid = _scale_out(args)
@@ -536,24 +565,121 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
+def _cache_stats_payload() -> dict[str, object]:
+    """Current estimate-cache statistics (memory + disk layer) as a dict."""
     info = estimate_cache_info()
+    disk = estimate_cache_disk_info()
     hit_rate = info.hits / (info.hits + info.misses) if info.hits + info.misses else 0.0
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "hit_rate": round(hit_rate, 4),
+        "entries": info.currsize,
+        "capacity": info.maxsize,
+        "disk": {
+            "hits": disk.hits,
+            "misses": disk.misses,
+            "skipped": disk.skipped,
+            "stale": disk.stale,
+            "entries": disk.entries,
+            "appends": disk.appends,
+            "path": disk.path,
+        },
+    }
+
+
+def _print_cache_stats(as_json: bool) -> None:
+    payload = _cache_stats_payload()
+    if as_json:
+        print(json.dumps(payload, indent=2))
+        return
+    rows: list[tuple[str, object]] = [
+        ("hits", payload["hits"]),
+        ("misses", payload["misses"]),
+        ("hit rate", payload["hit_rate"]),
+        ("entries", payload["entries"]),
+        ("capacity", payload["capacity"]),
+    ]
+    disk = payload["disk"]
+    assert isinstance(disk, dict)
+    # Store-less invocations keep the historical five-row table.
+    if disk["path"] is not None or disk["hits"] or disk["misses"]:
+        rows += [
+            ("disk hits", disk["hits"]),
+            ("disk misses", disk["misses"]),
+            ("disk skipped", disk["skipped"]),
+            ("disk stale", disk["stale"]),
+            ("store entries", disk["entries"]),
+            ("store appends", disk["appends"]),
+            ("store path", disk["path"] or "-"),
+        ]
+    print(format_table(("metric", "value"), rows))
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = None
+    if args.store:
+        try:
+            store = attach_estimate_store(args.store)
+        except ValueError as error:
+            print(f"repro cache: invalid --store path: {error}", file=sys.stderr)
+            return 2
+    try:
+        _print_cache_stats(args.json)
+        if args.clear or args.clear_cache:
+            clear_estimate_cache()
+            print("estimate cache cleared")
+            # Truncate the journal only when it was named explicitly on
+            # this invocation — never an env-attached store by surprise.
+            if store is not None:
+                store.clear()
+                print(f"estimate store cleared: {store.path}")
+    finally:
+        if store is not None:
+            detach_estimate_store()
+    return 0
+
+
+def _cmd_cache_warm(args: argparse.Namespace) -> int:
+    spec_kwargs: dict[str, object] = {"engine": args.engine}
+    if args.config:
+        spec_kwargs["configs"] = tuple((rows, cols) for rows, cols in args.config)
+    if args.network:
+        # Keep first-occurrence order but drop repeats.
+        spec_kwargs["networks"] = tuple(dict.fromkeys(args.network))
+    if args.scale_out:
+        spec_kwargs["scale_out"] = tuple(args.scale_out)
+    spec = WarmSpec(**spec_kwargs)  # type: ignore[arg-type]
+    store = None
+    if args.store:
+        try:
+            store = attach_estimate_store(args.store)
+        except ValueError as error:
+            print(f"repro cache warm: invalid --store path: {error}", file=sys.stderr)
+            return 2
+    try:
+        report = warm_estimate_mix(spec)
+    finally:
+        if store is not None:
+            detach_estimate_store()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
     print(
         format_table(
             ("metric", "value"),
             [
-                ("hits", info.hits),
-                ("misses", info.misses),
-                ("hit rate", round(hit_rate, 4)),
-                ("entries", info.currsize),
-                ("capacity", info.maxsize),
+                ("points priced", report.points),
+                ("computed fresh", report.computed),
+                ("disk hits", report.disk_hits),
+                ("memory hits", report.memory_hits),
+                ("store entries", report.store_entries),
+                ("store appends", report.store_appends),
             ],
         )
     )
-    if args.clear_cache:
-        clear_estimate_cache()
-        print("estimate cache cleared")
+    if args.store:
+        print(f"store: {args.store}")
     return 0
 
 
@@ -807,6 +933,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="mark the first N tenants latency-target (shed last); the "
         "rest stay best-effort",
     )
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="attach a persistent estimate journal for the run: admission "
+        "pricing reads estimates priced by earlier processes (e.g. 'repro "
+        "cache warm') and journals fresh ones for later processes",
+    )
     serve.add_argument("--clock-ghz", type=_positive_float, default=1.0)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
@@ -870,12 +1002,78 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.set_defaults(func=_cmd_workloads)
 
     cache = sub.add_parser(
-        "cache", help="shared estimate-cache statistics (hit rates for sweeps)"
+        "cache",
+        help="shared estimate-cache statistics and persistent-store tools",
+        description=(
+            "Report the shared estimate cache's statistics (in-memory LRU "
+            "plus the optional persistent disk layer), clear it, or "
+            "pre-price a workload mix into a store with 'cache warm'. "
+            "See docs/caching.md."
+        ),
     )
     cache.add_argument(
-        "--clear-cache", action="store_true", help="drop every memoized estimate"
+        "--stats", action="store_true",
+        help="print the statistics table (the default action)",
+    )
+    cache.add_argument(
+        "--clear", action="store_true",
+        help="drop every memoized estimate (with --store: also truncate "
+        "the journal)",
+    )
+    cache.add_argument(
+        "--clear-cache", action="store_true",
+        help="deprecated alias for --clear",
+    )
+    cache.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="attach this persistent estimate journal for the command "
+        "(created on first write; parent directory must exist)",
+    )
+    cache.add_argument(
+        "--json", action="store_true", help="machine-readable statistics"
     )
     cache.set_defaults(func=_cmd_cache)
+    cache_sub = cache.add_subparsers(dest="cache_command", required=False)
+    warm = cache_sub.add_parser(
+        "warm",
+        help="pre-price a deterministic workload mix into the estimate store",
+        description=(
+            "Price the Table 3 GEMM workloads plus the requested CNNs' "
+            "conv layers across the requested array configs/dataflows/"
+            "architectures so later serving processes start with a warm "
+            "persistent estimate cache. Idempotent: warming twice appends "
+            "nothing."
+        ),
+    )
+    warm.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persistent journal to warm (created on first write); "
+        "omit to warm only this process's in-memory cache",
+    )
+    warm.add_argument(
+        "--network", action="append", choices=sorted(WARM_NETWORKS),
+        default=None, metavar="NAME",
+        help="CNN whose conv layers join the mix (repeatable; "
+        f"default: resnet50; choices: {', '.join(sorted(WARM_NETWORKS))})",
+    )
+    warm.add_argument(
+        "--config", action="append", nargs=2, type=_positive_int,
+        metavar=("ROWS", "COLS"), default=None,
+        help="array configuration to price against (repeatable; "
+        "default: 32 32)",
+    )
+    warm.add_argument(
+        "--engine", default=DEFAULT_ENGINE, choices=list(ENGINES),
+        help="execution engine the estimates are keyed under",
+    )
+    warm.add_argument(
+        "--scale-out", nargs=2, type=int, metavar=("P_R", "P_C"),
+        help="price under a P_R x P_C multi-array grid (Eq. 3)",
+    )
+    warm.add_argument(
+        "--json", action="store_true", help="machine-readable warm report"
+    )
+    warm.set_defaults(func=_cmd_cache_warm)
 
     speedup = sub.add_parser("speedup", help="Fig. 12-style speedup table")
     speedup.add_argument("--array", type=int, default=128)

@@ -14,6 +14,7 @@ from repro.devtools.rules.cache_keys import CacheKeyHygieneRule
 from repro.devtools.rules.clock_purity import ClockPurityRule
 from repro.devtools.rules.dtype_exactness import DtypeExactnessRule
 from repro.devtools.rules.lock_discipline import LockDisciplineRule
+from repro.devtools.rules.store_api import StoreApiRule
 from repro.devtools.rules.trace_purity import TracePurityRule
 
 #: Every shipped rule, in id order.
@@ -24,6 +25,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     DtypeExactnessRule,
     ApiCoverageRule,
     TracePurityRule,
+    StoreApiRule,
 )
 
 
@@ -42,6 +44,7 @@ __all__ = [
     "ModuleContext",
     "RULE_CLASSES",
     "Rule",
+    "StoreApiRule",
     "TracePurityRule",
     "all_rule_ids",
 ]

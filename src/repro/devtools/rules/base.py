@@ -57,6 +57,12 @@ class LintConfig:
     )
     #: ``self`` attributes treated as locks by the lock-discipline rule.
     lock_attr_names: tuple[str, ...] = ("_lock", "_memo_lock")
+    #: The audited persistent-store implementation; the only modules
+    #: allowed to open the estimate journal path directly (RPL107).
+    store_api_paths: tuple[str, ...] = (
+        "src/repro/engine/cache.py",
+        "src/repro/engine/store.py",
+    )
     #: The tracing layer, where *no* wall-clock read is legal (not even
     #: the ``clock_allowed`` escapes) outside the annotation helpers —
     #: trace exports are byte-compared across same-seed runs in CI.

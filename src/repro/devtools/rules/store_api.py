@@ -1,0 +1,106 @@
+"""RPL107 — persistent-store API discipline.
+
+Invariant: every byte that reaches the shared estimate journal flows
+through the audited store API (:class:`repro.engine.store.EstimateStore`,
+reached via :func:`repro.engine.cache.attach_estimate_store`).  The store
+is what makes the journal crash-safe and concurrency-safe — checksummed
+single-``write`` appends through one ``O_APPEND`` descriptor, version
+stamps, torn-record skipping.  A raw ``open()`` / ``os.open()`` /
+``sqlite3.connect()`` on the journal path anywhere else bypasses all of
+it: a buffered ``write()`` can interleave with another process's append
+mid-record, and an unstamped record poisons every future reader.  This
+rule makes that bypass a CI failure instead of a heisenbug.
+
+Detection: an open-like call (``open``, ``io.open``, ``os.open``,
+``os.fdopen``, ``sqlite3.connect``, or a ``.open()`` /
+``.write_bytes()`` / ``.write_text()`` method) whose expression subtree
+mentions a store path — a name chain containing both ``store`` and
+``path`` (``store.path``, ``self._store.path``, ``store_path``), a
+``cache_path`` name, or a ``.journal`` string literal — in any module
+outside :attr:`repro.devtools.rules.base.LintConfig.store_api_paths`.
+Read-only inspection through the store API (``load_stats()``,
+``snapshot()``) and opens of unrelated paths are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, Rule, dotted_name
+
+#: Callable name chains that create a raw handle on a path.
+OPEN_CALLS = ("open", "io.open", "os.open", "os.fdopen", "sqlite3.connect")
+
+#: Method names that open or rewrite the receiver path object.
+OPEN_METHODS = ("open", "connect", "write_bytes", "write_text")
+
+
+class StoreApiRule(Rule):
+    rule_id = "RPL107"
+    name = "store-api-discipline"
+    severity = "error"
+    fix_hint = (
+        "go through the audited store API (repro.engine.store."
+        "EstimateStore / repro.engine.cache.attach_estimate_store) "
+        "instead of opening the journal path directly; extend the store "
+        "if it lacks an operation"
+    )
+    description = (
+        "persistent estimate-cache journals must only be written through "
+        "the checksummed, append-safe store API — raw opens on the cache "
+        "path can tear records under concurrent writers"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        if self.config.in_scope(ctx.rel_path, self.config.store_api_paths):
+            return []  # the store implementation itself
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_open_like(node):
+                continue
+            if self._mentions_store_path(node):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "raw open on a persistent estimate-store path "
+                        "bypasses the checksummed append-only store API",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_open_like(node: ast.Call) -> bool:
+        chain = dotted_name(node.func)
+        if chain in OPEN_CALLS:
+            return True
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in OPEN_METHODS
+            and chain not in (None,)  # plain attribute chains only
+        )
+
+    @staticmethod
+    def _mentions_store_path(node: ast.Call) -> bool:
+        """Whether the call's subtree names a store/journal path."""
+        for sub in ast.walk(node):
+            chain = dotted_name(sub)
+            if chain is not None:
+                low = chain.lower()
+                if "cache_path" in low:
+                    return True
+                if "store" in low and "path" in low:
+                    return True
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, str)
+                and sub.value.endswith(".journal")
+            ):
+                return True
+        return False
+
+
+__all__ = ["OPEN_CALLS", "OPEN_METHODS", "StoreApiRule"]

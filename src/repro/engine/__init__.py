@@ -57,6 +57,10 @@ reduces outputs and counters into one aggregate; and
 keys that never alias them (:func:`cached_conv_cycles`); every key is built
 by the audited constructors :func:`gemm_estimate_key` /
 :func:`conv_estimate_key` (enforced by ``reprolint`` rule RPL103).
+:mod:`repro.engine.store` adds an optional disk persistence layer under
+the memo — a crash-safe append-only journal shared across processes
+(:func:`attach_estimate_store`; raw journal I/O outside the store API is
+forbidden by ``reprolint`` rule RPL107).
 
 The shape-only accounting is available without touching operand data:
 
@@ -85,19 +89,25 @@ from repro.engine.cache import (
     CacheGroupInfo,
     CacheInfo,
     DEFAULT_ESTIMATE_CACHE_CAPACITY,
+    DiskCacheInfo,
     LRUEstimateCache,
+    attach_estimate_store,
     cache_key_group,
     cached_conv_cycles,
     cached_gemm_cycles,
     clear_estimate_cache,
     conv_estimate_key,
+    detach_estimate_store,
     estimate_cache_capacity,
+    estimate_cache_disk_info,
     estimate_cache_group_info,
     estimate_cache_info,
+    estimate_store,
     gemm_estimate_key,
     set_estimate_cache_capacity,
     set_estimate_cache_observer,
 )
+from repro.engine.store import KEY_SCHEMA_VERSION, EstimateStore, StoreLoadStats
 from repro.engine.scaleout import (
     PartitionShare,
     ScaleOutExecution,
@@ -161,15 +171,23 @@ __all__ = [
     "CacheGroupInfo",
     "CacheInfo",
     "DEFAULT_ESTIMATE_CACHE_CAPACITY",
+    "DiskCacheInfo",
+    "EstimateStore",
+    "KEY_SCHEMA_VERSION",
     "LRUEstimateCache",
+    "StoreLoadStats",
+    "attach_estimate_store",
     "cache_key_group",
     "cached_conv_cycles",
     "cached_gemm_cycles",
     "clear_estimate_cache",
     "conv_estimate_key",
+    "detach_estimate_store",
     "estimate_cache_capacity",
+    "estimate_cache_disk_info",
     "estimate_cache_group_info",
     "estimate_cache_info",
+    "estimate_store",
     "gemm_estimate_key",
     "set_estimate_cache_capacity",
     "set_estimate_cache_observer",

@@ -19,6 +19,17 @@ The memo is a thread-safe LRU (:class:`LRUEstimateCache`) rather than a
 or disable — eviction without restarting, and so the admission controller
 can price jobs from executor threads without racing the statistics.
 
+Underneath the LRU an optional disk persistence layer
+(:class:`repro.engine.store.EstimateStore`, attached with
+:func:`attach_estimate_store` or the ``REPRO_ESTIMATE_STORE`` environment
+variable) shares priced estimates *across* processes: an in-memory miss
+reads through the journal before computing, and every computed estimate is
+appended for the next process (``repro cache warm`` pre-prices a workload
+mix this way; see ``docs/caching.md``).  Disk-layer traffic is accounted
+separately (:func:`estimate_cache_disk_info`) — a disk hit is a cache
+*hit*, never an in-memory miss, so the hit-rate denominator stays the true
+lookup count.
+
 The cache key deliberately includes the engine name — today every engine
 agrees on the estimate (the closed forms *are* the wavefront model and the
 cycle simulators validate them), but an engine whose timing model diverges —
@@ -43,6 +54,7 @@ from typing import Callable, Hashable, NamedTuple
 from repro.arch.dataflow import Dataflow, map_gemm
 from repro.baselines.scalesim_model import scalesim_runtime
 from repro.core.runtime_model import scale_out_runtime, workload_runtime
+from repro.engine.store import KEY_SCHEMA_VERSION, EstimateStore
 from repro.im2col.lowering import ConvShape, lower_conv_to_gemm
 
 #: Capacity used when neither the environment nor the caller overrides it
@@ -53,6 +65,12 @@ DEFAULT_ESTIMATE_CACHE_CAPACITY = 65536
 #: An integer > 0 bounds the cache, ``0`` disables caching and a negative
 #: value (or ``"unbounded"``) removes the bound entirely.
 CAPACITY_ENV_VAR = "REPRO_ESTIMATE_CACHE_CAPACITY"
+
+#: Environment variable naming a persistent-store journal to attach at
+#: import (equivalent to calling :func:`attach_estimate_store`), so every
+#: CLI invocation and CI step in a job can share priced estimates without
+#: per-command flags.
+STORE_ENV_VAR = "REPRO_ESTIMATE_STORE"
 
 
 class CacheInfo(NamedTuple):
@@ -70,6 +88,28 @@ class CacheGroupInfo(NamedTuple):
     hits: int
     misses: int
     evictions: int
+
+
+class DiskCacheInfo(NamedTuple):
+    """Disk-layer statistics snapshot (zeros/None when no store attached).
+
+    ``hits``/``misses`` count in-memory misses that the attached
+    :class:`repro.engine.store.EstimateStore` did / did not resolve —
+    a disk hit is **also** counted as a hit in :class:`CacheInfo` (the
+    lookup was served from cache, not recomputed), never as a miss, so
+    ``CacheInfo.hits + CacheInfo.misses`` stays the true lookup count.
+    ``skipped``/``stale`` are the journal lines the most recent load
+    dropped (torn/corrupt vs version-mismatched), ``entries``/``appends``
+    describe the attached store, and ``path`` locates its journal.
+    """
+
+    hits: int
+    misses: int
+    skipped: int
+    stale: int
+    entries: int
+    appends: int
+    path: str | None
 
 
 def cache_key_group(key: Hashable) -> tuple[Hashable, ...]:
@@ -147,8 +187,11 @@ class LRUEstimateCache:
         self._entries: OrderedDict[Hashable, int] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
         self._groups: dict[tuple[Hashable, ...], list[int]] = {}
         self._observer: Callable[[str, Hashable], None] | None = None
+        self._store: EstimateStore | None = None
         self._capacity = self._validate_capacity(capacity)
 
     def _group_stats(self, key: Hashable) -> list[int]:
@@ -163,15 +206,35 @@ class LRUEstimateCache:
         """Install (or clear) the event observer; returns the previous one.
 
         The observer is called **outside** the statistics lock with
-        ``(event, key)`` where event is ``"hit"``, ``"miss"`` or
-        ``"evict"`` — the hook the serving tracer uses to turn cache
-        activity into trace events.  Uncounted lookups
+        ``(event, key)`` where event is ``"hit"``, ``"miss"``,
+        ``"disk_hit"`` or ``"evict"`` — the hook the serving tracer uses
+        to turn cache activity into trace events.  Uncounted lookups
         (``memoize(..., count=False)``) do not notify.
         """
         with self._lock:
             previous = self._observer
             self._observer = observer
             return previous
+
+    def set_store(self, store: EstimateStore | None) -> EstimateStore | None:
+        """Attach (or detach) the disk persistence layer; returns the old one.
+
+        With a store attached, :meth:`memoize` probes it on every
+        in-memory miss before computing (a disk hit fills the LRU and
+        counts as a *hit*, see :class:`DiskCacheInfo`) and appends every
+        freshly computed value, so a later process — or this one after a
+        :meth:`clear` — prices the same point from disk.
+        """
+        with self._lock:
+            previous = self._store
+            self._store = store
+            return previous
+
+    @property
+    def store(self) -> EstimateStore | None:
+        """The attached persistence layer, if any (read under the lock)."""
+        with self._lock:
+            return self._store
 
     @staticmethod
     def _validate_capacity(capacity: int | None) -> int | None:
@@ -207,12 +270,21 @@ class LRUEstimateCache:
         miss warms its lowered GEMM's entry, so one conv pricing counts as
         exactly one lookup rather than inflating the miss denominator with
         its internal warming read.
+
+        With a persistence layer attached (:meth:`set_store`), an
+        in-memory miss probes the disk store before computing.  A disk
+        hit counts as a *hit* (plus a disk hit, see
+        :class:`DiskCacheInfo`) — never as a miss, so the disk layer can
+        only raise the hit rate, not inflate the miss count — and fills
+        the LRU; a disk miss computes as before and appends the value to
+        the journal for future processes.
         """
         notify: list[tuple[str, Hashable]] = []
         cached: int | None = None
         hit = False
         with self._lock:
             observer = self._observer
+            store = self._store
             if key in self._entries:
                 if count:
                     self._hits += 1
@@ -221,15 +293,46 @@ class LRUEstimateCache:
                 self._entries.move_to_end(key)
                 cached = self._entries[key]
                 hit = True
-            elif count:
-                self._misses += 1
-                self._group_stats(key)[1] += 1
-                notify.append(("miss", key))
         _deliver(observer, notify)
         if hit:
             assert cached is not None  # set on the hit path above
             return cached
+        # In-memory miss: consult the disk layer (off-lock — the store has
+        # its own lock and may read the journal on first touch).
+        if store is not None:
+            stored = store.get(key)
+            if stored is not None:
+                notify = []
+                with self._lock:
+                    observer = self._observer
+                    if count:
+                        self._hits += 1
+                        self._disk_hits += 1
+                        self._group_stats(key)[0] += 1
+                        notify.append(("disk_hit", key))
+                    if self._capacity != 0:
+                        self._entries[key] = stored
+                        self._entries.move_to_end(key)
+                        for evicted in self._evict():
+                            notify.append(("evict", evicted))
+                _deliver(observer, notify)
+                return stored
+        notify = []
+        with self._lock:
+            observer = self._observer
+            if count:
+                self._misses += 1
+                if store is not None:
+                    self._disk_misses += 1
+                self._group_stats(key)[1] += 1
+                notify.append(("miss", key))
+        _deliver(observer, notify)
         value = compute()
+        if store is not None:
+            # Append-through: persist before publishing in memory, so a
+            # crash between the two costs a duplicate append, never a
+            # memory entry the journal missed.
+            store.put(key, value)
         notify = []
         with self._lock:
             observer = self._observer
@@ -271,11 +374,18 @@ class LRUEstimateCache:
         _deliver(observer, notify)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss/eviction counters."""
+        """Drop every entry and reset the hit/miss/eviction counters.
+
+        The attached disk store (if any) is *not* cleared — dropping the
+        in-memory layer is how tests and long-lived services force the
+        next lookups back through the journal.
+        """
         with self._lock:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._disk_hits = 0
+            self._disk_misses = 0
             self._groups.clear()
 
     def info(self) -> CacheInfo:
@@ -287,6 +397,30 @@ class LRUEstimateCache:
                 maxsize=self._capacity,
                 currsize=len(self._entries),
             )
+
+    def disk_info(self) -> DiskCacheInfo:
+        """Consistent snapshot of the disk-layer statistics.
+
+        Zeros (and a ``None`` path) when no store has ever been attached;
+        the hit/miss counters survive a detach so report deltas taken
+        across attach/detach boundaries stay monotonic.
+        """
+        with self._lock:
+            store = self._store
+            disk_hits = self._disk_hits
+            disk_misses = self._disk_misses
+        if store is None:
+            return DiskCacheInfo(disk_hits, disk_misses, 0, 0, 0, 0, None)
+        stats = store.load_stats()
+        return DiskCacheInfo(
+            hits=disk_hits,
+            misses=disk_misses,
+            skipped=stats.skipped,
+            stale=stats.stale,
+            entries=stats.entries,
+            appends=store.appends,
+            path=str(store.path),
+        )
 
     def info_by_group(self) -> dict[tuple[Hashable, ...], CacheGroupInfo]:
         """Consistent per-group statistics snapshot.
@@ -304,6 +438,22 @@ class LRUEstimateCache:
 
 #: The process-wide memo shared by the façades, sweeps and serving layer.
 _ESTIMATE_CACHE = LRUEstimateCache(_capacity_from_env())
+
+
+def _store_from_env() -> EstimateStore | None:
+    """The persistence layer named by ``REPRO_ESTIMATE_STORE``, if any."""
+    raw = os.environ.get(STORE_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return EstimateStore(raw.strip())
+    except ValueError as error:
+        raise ValueError(f"{STORE_ENV_VAR}: {error}") from error
+
+
+_ENV_STORE = _store_from_env()
+if _ENV_STORE is not None:
+    _ESTIMATE_CACHE.set_store(_ENV_STORE)
 
 
 def gemm_estimate_key(
@@ -517,6 +667,55 @@ def estimate_cache_info() -> CacheInfo:
 def estimate_cache_group_info() -> dict[tuple[Hashable, ...], CacheGroupInfo]:
     """Per-design-point-group statistics of the shared estimate memo."""
     return _ESTIMATE_CACHE.info_by_group()
+
+
+def attach_estimate_store(
+    path: str | os.PathLike[str], *, version: int = KEY_SCHEMA_VERSION
+) -> EstimateStore:
+    """Attach a disk persistence layer under the shared memo.
+
+    Opens (or designates — the journal file is created on first append)
+    the :class:`repro.engine.store.EstimateStore` at ``path`` and wires
+    it beneath the process-wide LRU: every in-memory miss probes it
+    before computing, every computed estimate is appended to it.  Raises
+    ``ValueError`` for an unusable path (a directory, or a missing
+    parent directory).  Returns the attached store; any previously
+    attached store is detached (its journal is left intact).
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "estimates.store")
+    >>> store = attach_estimate_store(path)
+    >>> str(store.path) == path
+    True
+    >>> detach_estimate_store() is store
+    True
+    """
+    store = EstimateStore(path, version=version)
+    _ESTIMATE_CACHE.set_store(store)
+    return store
+
+
+def detach_estimate_store() -> EstimateStore | None:
+    """Detach the disk persistence layer (returns it, or None).
+
+    The journal file is left on disk; only the in-process wiring is
+    removed.  Disk hit/miss counters keep their values (they reset with
+    :func:`clear_estimate_cache`), so report deltas stay monotonic.
+    """
+    previous = _ESTIMATE_CACHE.set_store(None)
+    if previous is not None:
+        previous.close()
+    return previous
+
+
+def estimate_store() -> EstimateStore | None:
+    """The currently attached persistence layer, if any."""
+    return _ESTIMATE_CACHE.store
+
+
+def estimate_cache_disk_info() -> DiskCacheInfo:
+    """Disk-layer statistics of the shared memo (see :class:`DiskCacheInfo`)."""
+    return _ESTIMATE_CACHE.disk_info()
 
 
 def set_estimate_cache_observer(

@@ -1,0 +1,391 @@
+"""Disk-backed persistence layer under the in-memory estimate memo.
+
+The in-memory LRU (:class:`repro.engine.cache.LRUEstimateCache`) dies with
+its process, so every CLI invocation, CI run and scheduler shard used to
+re-price the same ``(shape, config, dataflow, grid)`` points from scratch.
+:class:`EstimateStore` is the shared layer underneath it: an append-only
+journal of checksummed records that many processes can warm concurrently
+and any later process can read back, collapsing cold-start admission
+pricing to a file load plus dictionary lookups (see
+``benchmarks/bench_cache_persistence.py``).
+
+Journal format
+--------------
+One record per line, self-describing and independently verifiable::
+
+    v<key-version> <crc32-hex8> [<encoded key>, <cycles>]
+
+* The leading ``v<N>`` tag stamps every record with
+  :data:`KEY_SCHEMA_VERSION`.  Bumping the constant invalidates every
+  existing record *in place* — a reader built against the new schema
+  counts old records as ``stale`` and skips them, no migration step.
+* The CRC32 covers the JSON payload exactly as written.  A torn or
+  truncated write (power loss, concurrent-append interleaving on an
+  exotic filesystem) fails the checksum and the loader **skips** the
+  record and keeps serving — corruption costs recomputation, never
+  availability.
+* Records are appended with a single ``os.write`` on an ``O_APPEND``
+  descriptor, so concurrent writers across processes interleave at
+  record granularity; duplicate records are harmless (estimates are
+  pure, so every writer appends the same value for the same key) and
+  the last occurrence wins on load.
+
+Keys are the audited tuples built by
+:func:`repro.engine.cache.gemm_estimate_key` /
+:func:`repro.engine.cache.conv_estimate_key`; :func:`encode_key` /
+:func:`decode_key` round-trip them losslessly through JSON (the
+:class:`~repro.arch.dataflow.Dataflow` enum member travels as a tagged
+object).
+
+This module and :mod:`repro.engine.cache` are the **only** places allowed
+to touch the journal file directly — enforced by ``reprolint`` rule
+RPL107 (store-api discipline), so sweep drivers and the serving layer
+cannot grow ad-hoc readers that silently skip the checksum and version
+checks.
+
+>>> enc = encode_key(("gemm", 8, True, "wavefront"))
+>>> decode_key(enc)
+('gemm', 8, True, 'wavefront')
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import Hashable, NamedTuple
+
+from repro.arch.dataflow import Dataflow
+
+#: Schema/key-version stamp carried by every journal record.  Bump this
+#: whenever the audited key layout or the estimate semantics change: old
+#: records become ``stale`` (skipped on load, recomputed and re-appended
+#: under the new tag) instead of silently serving wrong prices.
+KEY_SCHEMA_VERSION = 1
+
+#: Exact scalar types that pass through the key codec unwrapped.  Checked
+#: by identity (``type(x) in ...``), not ``isinstance`` — the decode path
+#: runs once per journal record on every cold attach, so it stays flat.
+_SCALAR_TYPES = frozenset((str, int, float, bool, type(None)))
+
+#: ``Dataflow`` members by wire value — one dict probe per tagged element
+#: instead of an ``Enum.__call__`` (which dominates a naive decode).
+_DATAFLOW_BY_VALUE = {member.value: member for member in Dataflow}
+
+
+class StoreLoadStats(NamedTuple):
+    """Outcome of one journal load (:meth:`EstimateStore.reload`)."""
+
+    #: Distinct keys in the snapshot after the load.
+    entries: int
+    #: Records that parsed and verified under the expected version.
+    records: int
+    #: Torn/corrupt lines skipped (bad tag, bad CRC, bad payload).
+    skipped: int
+    #: Well-formed records under a different key version, skipped.
+    stale: int
+
+
+def encode_key(key: tuple[Hashable, ...]) -> list[object]:
+    """Encode an estimate-cache key tuple as a JSON-ready list.
+
+    Scalars (``str``/``int``/``bool``/``float``/``None``) pass through,
+    :class:`Dataflow` members become ``{"df": value}`` tagged objects and
+    nested tuples become ``{"t": [...]}``, so :func:`decode_key` can
+    rebuild the exact tuple.  Anything else raises ``TypeError`` — the
+    journal only holds audited keys.
+
+    >>> from repro.arch.dataflow import Dataflow
+    >>> encode_key(("gemm", 4, Dataflow.OUTPUT_STATIONARY))
+    ['gemm', 4, {'df': 'OS'}]
+    """
+    return [_encode_element(element) for element in key]
+
+
+def _encode_element(element: Hashable) -> object:
+    if isinstance(element, Dataflow):
+        return {"df": element.value}
+    if isinstance(element, tuple):
+        return {"t": [_encode_element(item) for item in element]}
+    if element is None or isinstance(element, (bool, int, float, str)):
+        return element
+    raise TypeError(
+        f"estimate-store keys hold scalars, tuples and Dataflow members; "
+        f"got {type(element).__name__!r}"
+    )
+
+
+def decode_key(encoded: list[object]) -> tuple[Hashable, ...]:
+    """Rebuild the key tuple written by :func:`encode_key`.
+
+    >>> decode_key(['gemm', 4, {'df': 'OS'}])
+    ('gemm', 4, <Dataflow.OUTPUT_STATIONARY: 'OS'>)
+    """
+    return tuple(
+        element if type(element) in _SCALAR_TYPES else _decode_element(element)
+        for element in encoded
+    )
+
+
+def _decode_element(element: object) -> Hashable:
+    if type(element) in _SCALAR_TYPES:
+        return element
+    if isinstance(element, dict) and len(element) == 1:
+        if "df" in element:
+            dataflow = _DATAFLOW_BY_VALUE.get(element["df"])
+            if dataflow is None:
+                raise ValueError(f"unknown dataflow tag {element['df']!r}")
+            return dataflow
+        if "t" in element:
+            items = element["t"]
+            if not isinstance(items, list):
+                raise ValueError("malformed nested-tuple marker")
+            return tuple(_decode_element(item) for item in items)
+    if isinstance(element, dict):
+        raise ValueError(f"unknown key-element marker {sorted(element)!r}")
+    raise ValueError(f"unexpected key element of type {type(element).__name__!r}")
+
+
+def encode_record(
+    key: tuple[Hashable, ...], value: int, *, version: int = KEY_SCHEMA_VERSION
+) -> bytes:
+    """One complete journal line (tag, checksum, payload, newline).
+
+    Exposed so tests can synthesize journals — including journals under a
+    *different* version stamp — without reaching around the store API.
+
+    >>> encode_record(("gemm", 2), 7).split()[0]
+    b'v1'
+    """
+    payload = json.dumps(
+        [encode_key(key), int(value)], separators=(",", ":"), sort_keys=False
+    )
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"v{int(version)} {crc:08x} {payload}\n".encode("utf-8")
+
+
+def _parse_record(
+    line: str, *, version: int
+) -> tuple[tuple[Hashable, ...], int] | str:
+    """One journal line → key/value pair, ``"stale"`` or ``"skipped"``.
+
+    Returns the ``(key, value)`` tuple for a verified record, the string
+    ``"stale"`` for a version mismatch and ``"skipped"`` for anything
+    torn or corrupt.  (A ``str`` return is unambiguous: verified results
+    are always tuples.)
+    """
+    parts = line.split(" ", 2)
+    if len(parts) != 3:
+        return "skipped"
+    tag, crc_text, payload = parts
+    if not (tag.startswith("v") and tag[1:].isdigit()):
+        return "skipped"
+    try:
+        expected_crc = int(crc_text, 16)
+    except ValueError:
+        return "skipped"
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != expected_crc:
+        return "skipped"
+    if int(tag[1:]) != version:
+        # The record is intact, just written under another schema: count
+        # it separately so operators can tell invalidation from damage.
+        return "stale"
+    try:
+        decoded = json.loads(payload)
+        if (
+            not isinstance(decoded, list)
+            or len(decoded) != 2
+            or not isinstance(decoded[0], list)
+            or isinstance(decoded[1], bool)
+            or not isinstance(decoded[1], int)
+        ):
+            return "skipped"
+        return (decode_key(decoded[0]), decoded[1])
+    except (ValueError, TypeError):
+        return "skipped"
+
+
+class EstimateStore:
+    """Crash-safe multi-process journal of priced estimates.
+
+    Thread-safe; loads lazily on first access; appends through a single
+    ``O_APPEND`` descriptor so concurrent writers (threads *and*
+    processes) never interleave inside a record.  The in-memory snapshot
+    reflects this process's view (the load plus its own appends); call
+    :meth:`reload` to pick up other writers' records.
+
+    The constructor validates the path eagerly — a directory, or a file
+    in a nonexistent directory, is a configuration error raised as
+    ``ValueError`` before any pricing happens — but never creates the
+    file (the first append does).
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "estimates.store")
+    >>> store = EstimateStore(path)
+    >>> store.put(("gemm", 2, 2), 41)
+    >>> EstimateStore(path).get(("gemm", 2, 2))
+    41
+    """
+
+    def __init__(
+        self, path: str | os.PathLike[str], *, version: int = KEY_SCHEMA_VERSION
+    ) -> None:
+        self.path = Path(path)
+        self.version = int(version)
+        if self.path.is_dir():
+            raise ValueError(
+                f"estimate-store path {str(self.path)!r} is a directory"
+            )
+        if not self.path.parent.is_dir():
+            raise ValueError(
+                f"estimate-store directory {str(self.path.parent)!r} "
+                "does not exist"
+            )
+        self._lock = threading.Lock()
+        self._snapshot: dict[tuple[Hashable, ...], int] = {}
+        self._loaded = False
+        self._fd: int | None = None
+        self._records = 0
+        self._skipped = 0
+        self._stale = 0
+        self._appends = 0
+
+    def _load_locked(self) -> None:
+        """Read the journal into the snapshot (lock must be held)."""
+        assert self._lock.locked(), "caller must hold the store lock"
+        self._snapshot = {}
+        self._records = 0
+        self._skipped = 0
+        self._stale = 0
+        self._loaded = True
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        for line in raw.decode("utf-8", errors="replace").split("\n"):
+            if not line:
+                continue
+            parsed = _parse_record(line, version=self.version)
+            if parsed == "stale":
+                self._stale += 1
+            elif parsed == "skipped":
+                self._skipped += 1
+            else:
+                assert isinstance(parsed, tuple)
+                key, value = parsed
+                self._snapshot[key] = value
+                self._records += 1
+
+    def _ensure_loaded_locked(self) -> None:
+        assert self._lock.locked(), "caller must hold the store lock"
+        if not self._loaded:
+            self._load_locked()
+
+    def reload(self) -> StoreLoadStats:
+        """Re-read the journal (picking up other processes' appends)."""
+        with self._lock:
+            self._load_locked()
+            return StoreLoadStats(
+                entries=len(self._snapshot),
+                records=self._records,
+                skipped=self._skipped,
+                stale=self._stale,
+            )
+
+    def get(self, key: tuple[Hashable, ...]) -> int | None:
+        """The stored estimate for ``key``, or None (no stat side effects)."""
+        with self._lock:
+            self._ensure_loaded_locked()
+            return self._snapshot.get(key)
+
+    def put(self, key: tuple[Hashable, ...], value: int) -> None:
+        """Append one record (no-op if the snapshot already holds it).
+
+        Unencodable keys (ad-hoc tuples carrying non-scalar members) are
+        silently not persisted — the in-memory layer still serves them,
+        the journal simply never learns about them.
+        """
+        value = int(value)
+        with self._lock:
+            self._ensure_loaded_locked()
+            if self._snapshot.get(key) == value:
+                return
+            try:
+                record = encode_record(key, value, version=self.version)
+            except TypeError:
+                return
+            self._append_locked(record)
+            self._snapshot[key] = value
+            self._appends += 1
+
+    def _append_locked(self, record: bytes) -> None:
+        """Write one whole record via the persistent O_APPEND descriptor.
+
+        The single ``os.write`` is the atomicity unit concurrent writers
+        rely on; a short write (out of disk) leaves a torn record the
+        next loader's checksum pass skips.
+        """
+        assert self._lock.locked(), "caller must hold the store lock"
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        os.write(self._fd, record)
+
+    def clear(self) -> None:
+        """Truncate the journal and reset the snapshot and load counters."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+            if self.path.exists():
+                fd = os.open(self.path, os.O_WRONLY | os.O_TRUNC)
+                os.close(fd)
+            self._snapshot = {}
+            self._loaded = True
+            self._records = 0
+            self._skipped = 0
+            self._stale = 0
+            self._appends = 0
+
+    def close(self) -> None:
+        """Release the append descriptor (the store stays usable)."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def snapshot(self) -> dict[tuple[Hashable, ...], int]:
+        """Copy of the in-memory view (load + own appends)."""
+        with self._lock:
+            self._ensure_loaded_locked()
+            return dict(self._snapshot)
+
+    def load_stats(self) -> StoreLoadStats:
+        """Stats of the most recent load (loading first if needed)."""
+        with self._lock:
+            self._ensure_loaded_locked()
+            return StoreLoadStats(
+                entries=len(self._snapshot),
+                records=self._records,
+                skipped=self._skipped,
+                stale=self._stale,
+            )
+
+    @property
+    def appends(self) -> int:
+        """Records this instance has appended since opening/clearing."""
+        with self._lock:
+            return self._appends
+
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "EstimateStore",
+    "StoreLoadStats",
+    "decode_key",
+    "encode_key",
+    "encode_record",
+]

@@ -188,7 +188,7 @@ def _slo_views(events: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
 
 
 def _cache_view(events: list[dict[str, Any]]) -> dict[str, int]:
-    counts = {"hit": 0, "miss": 0, "evict": 0}
+    counts = {"hit": 0, "miss": 0, "evict": 0, "disk_hit": 0}
     for event in events:
         name = str(event.get("name", ""))
         if name.startswith("cache."):
@@ -304,10 +304,14 @@ def format_trace_summary(summary: dict[str, Any]) -> str:
             ),
         ]
     cache = summary["cache"]
+    # Older summaries (and store-less runs) have no disk_hit key; only
+    # surface the disk layer when it actually served lookups.
+    disk_hits = int(cache.get("disk_hit", 0))
     lines += [
         "",
         f"cache: hit={cache['hit']} miss={cache['miss']} "
-        f"evict={cache['evict']}",
+        f"evict={cache['evict']}"
+        + (f" disk_hit={disk_hits}" if disk_hits else ""),
     ]
     workers = summary["workers"]
     if workers:

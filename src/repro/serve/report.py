@@ -292,6 +292,16 @@ class ServeReport:
     faults: str | None = None
     cache_evictions: int = 0
     cache_class_stats: tuple[CacheClassStats, ...] = ()
+    #: Disk-layer traffic of the persistent estimate store, when one is
+    #: attached (see :func:`repro.engine.cache.attach_estimate_store`):
+    #: in-memory misses the journal resolved / did not resolve, and
+    #: journal records the loader refused (torn/corrupt or stale-version)
+    #: while serving this run.  Disk hits are a subset of ``cache_hits``
+    #: — never of ``cache_misses`` — so ``cache_hits + cache_misses``
+    #: remains the true lookup denominator.
+    cache_disk_hits: int = 0
+    cache_disk_misses: int = 0
+    cache_disk_skips: int = 0
     #: ``(batch_size, count)`` pairs, ascending by size.
     batch_occupancy: tuple[tuple[int, int], ...] = ()
 
@@ -384,6 +394,9 @@ class ServeReport:
             "serve.cache.hits": self.cache_hits,
             "serve.cache.misses": self.cache_misses,
             "serve.cache.evictions": self.cache_evictions,
+            "serve.cache.disk_hits": self.cache_disk_hits,
+            "serve.cache.disk_misses": self.cache_disk_misses,
+            "serve.cache.disk_skips": self.cache_disk_skips,
         }
         for name, value in counts.items():
             registry.counter(name).add(value)
@@ -464,6 +477,9 @@ class ServeReport:
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_disk_hits": self.cache_disk_hits,
+            "cache_disk_misses": self.cache_disk_misses,
+            "cache_disk_skips": self.cache_disk_skips,
             "mean_worker_utilization": self.mean_worker_utilization,
             "batch_occupancy": {
                 str(size): count for size, count in self.batch_occupancy
@@ -568,6 +584,9 @@ def compile_serve_report(
     faults: str | None = None,
     cache_evictions: int = 0,
     cache_class_stats: Sequence[CacheClassStats] = (),
+    cache_disk_hits: int = 0,
+    cache_disk_misses: int = 0,
+    cache_disk_skips: int = 0,
 ) -> ServeReport:
     """Fold per-job results and worker counters into a :class:`ServeReport`."""
     results = sorted(job_results, key=lambda r: r.job_id)
@@ -652,6 +671,9 @@ def compile_serve_report(
         faults=faults,
         cache_evictions=cache_evictions,
         cache_class_stats=tuple(cache_class_stats),
+        cache_disk_hits=cache_disk_hits,
+        cache_disk_misses=cache_disk_misses,
+        cache_disk_skips=cache_disk_skips,
         batch_occupancy=tuple(sorted(occupancy.items())),
         batches=len(batch_sizes),
         batched_jobs=sum(size for size in batch_sizes.values() if size > 1),
@@ -738,6 +760,23 @@ def format_serve_report(report: ServeReport) -> str:
             ("simulated throughput (jobs/s)", round(report.jobs_per_second, 2)),
             ("mean worker utilization", round(report.mean_worker_utilization, 4)),
             ("estimate-cache hit rate", round(report.cache_hit_rate, 4)),
+        ]
+        # The disk-layer row appears only when a persistent store saw
+        # traffic, so store-less reports stay as compact as before.
+        + (
+            [
+                (
+                    "disk-cache hit/miss/skip",
+                    f"{report.cache_disk_hits}/{report.cache_disk_misses}"
+                    f"/{report.cache_disk_skips}",
+                )
+            ]
+            if report.cache_disk_hits
+            or report.cache_disk_misses
+            or report.cache_disk_skips
+            else []
+        )
+        + [
             ("wall time (s)", round(report.wall_seconds, 3)),
         ],
     )

@@ -70,6 +70,8 @@ from repro.engine.batched import gemm_cycle_accounting
 from repro.engine.cache import (
     CacheGroupInfo,
     CacheInfo,
+    DiskCacheInfo,
+    estimate_cache_disk_info,
     estimate_cache_group_info,
     estimate_cache_info,
     set_estimate_cache_observer,
@@ -1221,6 +1223,7 @@ class _StreamState:
     wall_start: float = 0.0
     cache_before: object = None
     groups_before: object = None
+    disk_before: object = None
 
 
 class AsyncGemmScheduler:
@@ -1504,6 +1507,7 @@ class AsyncGemmScheduler:
                 wall_start=time.perf_counter(),
                 cache_before=estimate_cache_info(),
                 groups_before=estimate_cache_group_info(),
+                disk_before=estimate_cache_disk_info(),
             )
         return self._stream
 
@@ -1604,6 +1608,7 @@ class AsyncGemmScheduler:
             planner = _OnlinePlanner(self)
             groups_before = estimate_cache_group_info()
             cache_before = estimate_cache_info()
+            disk_before = estimate_cache_disk_info()
             batches, terminal, ledgers = planner.finish()
             return self._assemble(
                 batches,
@@ -1614,6 +1619,7 @@ class AsyncGemmScheduler:
                 wall_seconds=0.0,
                 cache_before=cache_before,
                 groups_before=groups_before,
+                disk_before=disk_before,
             )
         try:
             batches, terminal, ledgers = stream.planner.finish()
@@ -1631,6 +1637,7 @@ class AsyncGemmScheduler:
             wall_seconds=time.perf_counter() - stream.wall_start,
             cache_before=stream.cache_before,
             groups_before=stream.groups_before,
+            disk_before=stream.disk_before,
         )
 
     async def drain_async(self) -> tuple[ServeReport, list[JobResult]]:
@@ -1661,6 +1668,7 @@ class AsyncGemmScheduler:
         planner = _OnlinePlanner(self)
         cache_before = estimate_cache_info()
         groups_before = estimate_cache_group_info()
+        disk_before = estimate_cache_disk_info()
         try:
             for job in sorted(jobs, key=lambda job: (job.arrival_cycle, job.job_id)):
                 planner.offer(job)
@@ -1691,6 +1699,7 @@ class AsyncGemmScheduler:
             wall_seconds=time.perf_counter() - wall_start,
             cache_before=cache_before,
             groups_before=groups_before,
+            disk_before=disk_before,
         )
 
     def serve(self, jobs: Sequence[AnyJob]) -> tuple[ServeReport, list[JobResult]]:
@@ -1762,6 +1771,7 @@ class AsyncGemmScheduler:
         wall_seconds: float,
         cache_before: CacheInfo,
         groups_before: Mapping[tuple[Hashable, ...], CacheGroupInfo] | None = None,
+        disk_before: DiskCacheInfo | None = None,
     ) -> tuple[ServeReport, list[JobResult]]:
         tracer = self.tracer
         results = list(terminal)
@@ -1819,6 +1829,14 @@ class AsyncGemmScheduler:
         cache_class_stats, cache_evictions = self._cache_class_deltas(
             groups_before, estimate_cache_group_info()
         )
+        disk_after = estimate_cache_disk_info()
+        if disk_before is None:
+            disk_before = DiskCacheInfo(0, 0, 0, 0, 0, 0, None)
+        # skipped + stale journal lines surface as one "skips" counter:
+        # both mean a record the loader refused to serve during this run.
+        disk_skips_delta = (disk_after.skipped + disk_after.stale) - (
+            disk_before.skipped + disk_before.stale
+        )
         makespan = max((batch.end_cycle for batch in batches), default=0)
         worker_stats = [
             WorkerStats(
@@ -1850,6 +1868,9 @@ class AsyncGemmScheduler:
             cache_misses=cache_after.misses - cache_before.misses,
             cache_evictions=cache_evictions,
             cache_class_stats=cache_class_stats,
+            cache_disk_hits=disk_after.hits - disk_before.hits,
+            cache_disk_misses=disk_after.misses - disk_before.misses,
+            cache_disk_skips=max(0, disk_skips_delta),
             fleet=self.fleet_description,
             batch_window_cycles=self.batch_window_cycles,
             placement=self.placement,

@@ -34,6 +34,12 @@ from repro.workloads.conformer import CONFORMER_BLOCK_GEMMS, conformer_workloads
 from repro.workloads.gemv import GEMV_WORKLOADS, gemv_workloads
 from repro.workloads.depthwise import DEPTHWISE_WORKLOADS, depthwise_workloads
 from repro.workloads.sparse import sparse_matrix, sparse_gemm_pair
+from repro.workloads.warm import (
+    WARM_NETWORKS,
+    WarmReport,
+    WarmSpec,
+    warm_estimate_mix,
+)
 from repro.workloads.serving import (
     DEFAULT_CONV_WORKLOADS,
     TenantTrafficSpec,
@@ -77,4 +83,8 @@ __all__ = [
     "tenant_budgets",
     "tenant_slo_classes",
     "tenant_weights",
+    "WARM_NETWORKS",
+    "WarmReport",
+    "WarmSpec",
+    "warm_estimate_mix",
 ]

@@ -1,0 +1,186 @@
+"""Pre-pricing a workload mix into the persistent estimate store.
+
+``repro cache warm`` exists so the *first* serving process (or CI step, or
+figure sweep) of the day does not pay cold-start admission pricing: a warm
+pass prices a deterministic workload mix — the Table 3 GEMM workloads plus
+the convolution layers of the requested CNNs — across the requested array
+configurations, dataflows and architectures, and the shared estimate
+cache's disk layer (:func:`repro.engine.cache.attach_estimate_store`)
+journals every priced point for the processes that follow.  The sweep goes
+through :func:`repro.engine.cached_gemm_cycles` /
+:func:`repro.engine.cached_conv_cycles`, i.e. exactly the audited keys the
+serving admission controller prices jobs under.
+
+The mix is pure enumeration — no RNG, no wall-clock dependence — so two
+warms of the same mix are idempotent: the second pass appends nothing and
+the journal does not grow (``repro cache warm`` twice is free).
+
+>>> spec = WarmSpec(configs=((8, 8),), networks=())
+>>> len(list(spec.gemm_points())) == len(spec.workloads) * 2 * len(spec.dataflows)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.arch.dataflow import Dataflow
+from repro.engine.cache import (
+    cached_conv_cycles,
+    cached_gemm_cycles,
+    estimate_cache_disk_info,
+    estimate_cache_info,
+)
+from repro.im2col.lowering import ConvShape, GemmShape
+from repro.workloads.gemm_workloads import TABLE3_GEMM_WORKLOADS
+from repro.workloads.mobilenet import MOBILENET_V1_LAYERS
+from repro.workloads.resnet50 import RESNET50_CONV_LAYERS
+from repro.workloads.yolov3 import YOLOV3_CONV_LAYERS
+
+#: Conv-layer tables addressable by ``--network`` (efficientnet shares its
+#: layer table module with the energy sweeps; the warm default sticks to
+#: the three networks the serving traces draw from).
+WARM_NETWORKS: dict[str, tuple[ConvShape, ...]] = {
+    "resnet50": tuple(RESNET50_CONV_LAYERS),
+    "yolov3": tuple(YOLOV3_CONV_LAYERS),
+    "mobilenet": tuple(MOBILENET_V1_LAYERS),
+}
+
+
+@dataclass(frozen=True)
+class WarmSpec:
+    """One deterministic warm sweep (what to price, on what hardware)."""
+
+    #: ``(rows, cols)`` array configurations to price against.
+    configs: tuple[tuple[int, int], ...] = ((32, 32),)
+    #: Dataflows to price each point under.
+    dataflows: tuple[Dataflow, ...] = (
+        Dataflow.OUTPUT_STATIONARY,
+        Dataflow.WEIGHT_STATIONARY,
+        Dataflow.INPUT_STATIONARY,
+    )
+    #: Execution engine the estimates are keyed under.
+    engine: str = "wavefront"
+    #: ``P_R x P_C`` scale-out grid (``(1, 1)`` = scale-up, Eq. 2).
+    scale_out: tuple[int, int] = (1, 1)
+    #: CNNs whose conv layers join the mix (keys of :data:`WARM_NETWORKS`).
+    networks: tuple[str, ...] = ("resnet50",)
+    #: GEMM workloads in the mix (Table 3 by default).
+    workloads: tuple[GemmShape, ...] = field(
+        default=tuple(TABLE3_GEMM_WORKLOADS), repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for name in self.networks:
+            if name not in WARM_NETWORKS:
+                raise ValueError(
+                    f"unknown network {name!r}; expected one of "
+                    f"{', '.join(sorted(WARM_NETWORKS))}"
+                )
+        if not self.configs:
+            raise ValueError("warm spec needs at least one (rows, cols) config")
+
+    def gemm_points(
+        self,
+    ) -> Iterator[tuple[GemmShape, int, int, Dataflow, bool]]:
+        """Every (workload, rows, cols, dataflow, axon) GEMM point."""
+        for rows, cols in self.configs:
+            for dataflow in self.dataflows:
+                for axon in (False, True):
+                    for workload in self.workloads:
+                        yield workload, rows, cols, dataflow, axon
+
+    def conv_points(
+        self,
+    ) -> Iterator[tuple[ConvShape, int, int, Dataflow, bool]]:
+        """Every (layer, rows, cols, dataflow, axon) convolution point."""
+        for network in self.networks:
+            for rows, cols in self.configs:
+                for dataflow in self.dataflows:
+                    for axon in (False, True):
+                        for layer in WARM_NETWORKS[network]:
+                            yield layer, rows, cols, dataflow, axon
+
+
+@dataclass(frozen=True)
+class WarmReport:
+    """Outcome of one warm pass, in estimate-cache delta terms.
+
+    ``points`` lookups were issued; ``computed`` were priced fresh (and
+    journaled when a store is attached), ``disk_hits`` came back from the
+    journal and ``memory_hits`` from the in-process LRU.  ``store_entries``
+    is the journal's entry count after the pass (0 with no store).
+    """
+
+    points: int
+    computed: int
+    disk_hits: int
+    memory_hits: int
+    store_entries: int
+    store_appends: int
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "points": self.points,
+            "computed": self.computed,
+            "disk_hits": self.disk_hits,
+            "memory_hits": self.memory_hits,
+            "store_entries": self.store_entries,
+            "store_appends": self.store_appends,
+        }
+
+
+def warm_estimate_mix(spec: WarmSpec | None = None) -> WarmReport:
+    """Price ``spec``'s workload mix through the shared estimate cache.
+
+    Call :func:`repro.engine.cache.attach_estimate_store` first to
+    persist the priced points; without a store the warm still fills the
+    in-process LRU (useful before a latency-sensitive in-process sweep).
+    Deterministic and idempotent — see the module docstring.
+    """
+    spec = WarmSpec() if spec is None else spec
+    info_before = estimate_cache_info()
+    disk_before = estimate_cache_disk_info()
+    points = 0
+    for workload, rows, cols, dataflow, axon in spec.gemm_points():
+        cached_gemm_cycles(
+            workload.m,
+            workload.k,
+            workload.n,
+            rows,
+            cols,
+            dataflow,
+            axon,
+            engine=spec.engine,
+            partitions_rows=spec.scale_out[0],
+            partitions_cols=spec.scale_out[1],
+        )
+        points += 1
+    for layer, rows, cols, dataflow, axon in spec.conv_points():
+        cached_conv_cycles(
+            layer,
+            rows,
+            cols,
+            dataflow,
+            axon,
+            engine=spec.engine,
+            partitions_rows=spec.scale_out[0],
+            partitions_cols=spec.scale_out[1],
+        )
+        points += 1
+    info_after = estimate_cache_info()
+    disk_after = estimate_cache_disk_info()
+    disk_hits = disk_after.hits - disk_before.hits
+    computed = info_after.misses - info_before.misses
+    return WarmReport(
+        points=points,
+        computed=computed,
+        disk_hits=disk_hits,
+        memory_hits=(info_after.hits - info_before.hits) - disk_hits,
+        store_entries=disk_after.entries,
+        store_appends=disk_after.appends - disk_before.appends,
+    )
+
+
+__all__ = ["WARM_NETWORKS", "WarmReport", "WarmSpec", "warm_estimate_mix"]

@@ -1,0 +1,41 @@
+# Bad fixture for RPL107: raw opens on a persistent estimate-store path
+# that bypass the checksummed append-only store API.
+
+import io
+import os
+import sqlite3
+
+
+class _Serve:
+    def __init__(self, store):
+        self._store = store
+
+    def dump(self):
+        with open(self._store.path) as handle:  # expect: RPL107
+            return handle.read()
+
+
+def append_raw(store_path, line):
+    with open(store_path, "a") as handle:  # expect: RPL107
+        handle.write(line)
+
+
+def index_estimates(cache_path):
+    return sqlite3.connect(cache_path)  # expect: RPL107
+
+
+def low_level(store):
+    return os.open(store.path, os.O_APPEND)  # expect: RPL107
+
+
+def buffered(store_path):
+    return io.open(store_path, "ab")  # expect: RPL107
+
+
+def literal_journal():
+    with open("estimates.journal", "rb") as handle:  # expect: RPL107
+        return handle.read()
+
+
+def pathlib_rewrite(store):
+    store.path.write_text("")  # expect: RPL107

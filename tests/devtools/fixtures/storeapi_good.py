@@ -1,0 +1,41 @@
+# Good fixture for RPL107: journal access through the audited store API,
+# plus raw opens on paths that have nothing to do with the store.
+
+import os
+
+
+class _Store:
+    """Stand-in for repro.engine.store.EstimateStore."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def put(self, key, value):
+        pass
+
+    def snapshot(self):
+        return {}
+
+    def load_stats(self):
+        return None
+
+
+def warm(store, key, value):
+    store.put(key, value)
+    return store.snapshot()
+
+
+def inspect(store):
+    # Reading metadata about the journal without opening it is fine.
+    return store.load_stats(), os.path.getsize(store.path)
+
+
+def export_report(report_path, payload):
+    # An open on an unrelated path stays legal.
+    with open(report_path, "w") as handle:
+        handle.write(payload)
+
+
+def read_config(config_path):
+    with open(config_path) as handle:
+        return handle.read()

@@ -38,7 +38,9 @@ def test_lint_json_schema():
     assert payload["findings"] == []
     assert payload["checked_files"] > 50
     rule_ids = {rule["id"] for rule in payload["rules"]}
-    assert rule_ids == {"RPL101", "RPL102", "RPL103", "RPL104", "RPL105", "RPL106"}
+    assert rule_ids == {
+        "RPL101", "RPL102", "RPL103", "RPL104", "RPL105", "RPL106", "RPL107",
+    }
     assert all(rule["description"] for rule in payload["rules"])
 
 

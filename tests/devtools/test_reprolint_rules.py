@@ -61,6 +61,7 @@ BAD_FIXTURES = [
     ("dtype_bad.py", "RPL104"),
     ("api_bad.py", "RPL105"),
     ("trace_bad.py", "RPL106"),
+    ("storeapi_bad.py", "RPL107"),
     ("pragma_bad.py", "RPL100"),
 ]
 
@@ -72,6 +73,7 @@ GOOD_FIXTURES = [
     "dtype_good.py",
     "api_good.py",
     "trace_good.py",
+    "storeapi_good.py",
 ]
 
 
@@ -122,6 +124,7 @@ def test_pragma_parser_requires_reason():
 def test_rule_registry_ids_are_stable():
     assert all_rule_ids() == (
         "RPL100", "RPL101", "RPL102", "RPL103", "RPL104", "RPL105", "RPL106",
+        "RPL107",
     )
 
 

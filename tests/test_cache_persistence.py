@@ -1,0 +1,354 @@
+"""Property battery for the persistent estimate store (:mod:`repro.engine.store`).
+
+In the style of :mod:`serve_strategies`: no hypothesis — every case is
+drawn from numpy's seeded ``Generator`` and addressable as ``(seed, case)``,
+so a failure reproduces from two integers.  The properties are the ones a
+shared on-disk cache lives or dies by:
+
+* **round-trip** — a journal written through the store API reopens to the
+  exact same key → value mapping in a fresh store (and a fresh process);
+* **corruption recovery** — flipping bytes at arbitrary seeded offsets, or
+  truncating the file mid-record, never produces a *wrong* value: damaged
+  records are skipped, undamaged ones survive, and a load never raises;
+* **version invalidation** — bumping the key-schema version makes every
+  old record stale (counted, not trusted) without destroying the journal
+  for readers of the old version;
+* **concurrent writers** — several processes appending to one journal at
+  once (O_APPEND, single-``write`` records) interleave without tearing:
+  afterwards every entry is bit-exact against fresh pricing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.arch.dataflow import Dataflow
+from repro.engine import (
+    KEY_SCHEMA_VERSION,
+    EstimateStore,
+    cached_gemm_cycles,
+    clear_estimate_cache,
+    conv_estimate_key,
+    gemm_estimate_key,
+)
+from repro.engine.store import decode_key, encode_key, encode_record
+from repro.im2col.lowering import ConvShape
+
+SEEDS = (0, 1, 2)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_DATAFLOWS = (
+    Dataflow.OUTPUT_STATIONARY,
+    Dataflow.WEIGHT_STATIONARY,
+    Dataflow.INPUT_STATIONARY,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """The store tests must never inherit (or leak) memoized estimates."""
+    clear_estimate_cache()
+    yield
+    clear_estimate_cache()
+
+
+def random_key(rng: np.random.Generator) -> tuple:
+    """One audited estimate key — GEMM or conv — at a seeded design point.
+
+    Built by the same constructors serving uses, so the generated keys
+    exercise exactly the shapes the codec must survive (enum members,
+    bools, mixed ints and strings).
+    """
+    dataflow = _DATAFLOWS[int(rng.integers(0, len(_DATAFLOWS)))]
+    axon = bool(rng.integers(0, 2))
+    rows = int(rng.choice((8, 16, 32)))
+    grid = (int(rng.integers(1, 3)), int(rng.integers(1, 3)))
+    if rng.integers(0, 2):
+        return gemm_estimate_key(
+            int(rng.integers(1, 512)),
+            int(rng.integers(1, 512)),
+            int(rng.integers(1, 512)),
+            rows=rows, cols=rows, dataflow=dataflow, axon=axon,
+            engine="wavefront",
+            partitions_rows=grid[0], partitions_cols=grid[1],
+        )
+    conv = ConvShape(
+        "prop",
+        in_channels=int(rng.integers(1, 64)),
+        ifmap_h=int(rng.integers(4, 32)),
+        ifmap_w=int(rng.integers(4, 32)),
+        kernel_h=int(rng.integers(1, 4)),
+        kernel_w=int(rng.integers(1, 4)),
+        num_filters=int(rng.integers(1, 64)),
+        stride=int(rng.integers(1, 3)),
+        padding=int(rng.integers(0, 2)),
+    )
+    return conv_estimate_key(
+        conv, rows=rows, cols=rows, dataflow=dataflow, axon=axon,
+        engine="wavefront", partitions_rows=grid[0], partitions_cols=grid[1],
+    )
+
+
+@dataclass(frozen=True)
+class StoreScenario:
+    """One seeded journal population for the persistence properties."""
+
+    seed: int
+    case: int
+    entries: dict[tuple, int] = field(repr=False)
+
+    def describe(self) -> str:
+        return f"seed={self.seed} case={self.case} entries={len(self.entries)}"
+
+    def populate(self, path: str) -> EstimateStore:
+        store = EstimateStore(path)
+        for key, value in self.entries.items():
+            store.put(key, value)
+        store.close()
+        return store
+
+
+def random_scenario(seed: int, case: int) -> StoreScenario:
+    rng = np.random.default_rng([seed, case])
+    count = int(rng.integers(4, 24))
+    entries: dict[tuple, int] = {}
+    while len(entries) < count:
+        entries[random_key(rng)] = int(rng.integers(1, 2**40))
+    return StoreScenario(seed=seed, case=case, entries=entries)
+
+
+class TestKeyCodec:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_codec_roundtrips_through_json(self, seed):
+        rng = np.random.default_rng([seed, 100])
+        for _ in range(50):
+            key = random_key(rng)
+            wire = json.loads(json.dumps(encode_key(key)))
+            assert decode_key(wire) == key
+
+    def test_booleans_and_ints_do_not_collapse(self):
+        # json would happily round-trip True as true and 1 as 1, but the
+        # codec must keep ('gemm', 1) and ('gemm', True) distinct keys.
+        assert decode_key(encode_key(("gemm", True))) == ("gemm", True)
+        assert decode_key(encode_key(("gemm", 1))) == ("gemm", 1)
+        decoded = decode_key(encode_key(("gemm", True)))
+        assert isinstance(decoded[1], bool)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_write_then_reopen_is_identity(self, seed, tmp_path):
+        for case in range(4):
+            scenario = random_scenario(seed, case)
+            path = str(tmp_path / f"rt-{case}.journal")
+            scenario.populate(path)
+            reopened = EstimateStore(path)
+            assert reopened.snapshot() == scenario.entries, scenario.describe()
+            stats = reopened.load_stats()
+            assert stats.entries == len(scenario.entries)
+            assert stats.skipped == 0 and stats.stale == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_duplicate_appends_last_write_wins(self, seed, tmp_path):
+        scenario = random_scenario(seed, 50)
+        path = str(tmp_path / "dup.journal")
+        scenario.populate(path)
+        # A second writer that re-derives a key appends its (identical or
+        # newer) value; readers must take the later record.
+        key = next(iter(scenario.entries))
+        with open(path, "ab") as handle:
+            handle.write(encode_record(key, 12345))
+        reopened = EstimateStore(path)
+        assert reopened.get(key) == 12345
+        others = {k: v for k, v in scenario.entries.items() if k != key}
+        assert {k: v for k, v in reopened.snapshot().items() if k != key} == others
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_flipped_bytes_never_yield_wrong_values(self, seed, tmp_path):
+        for case in range(4):
+            scenario = random_scenario(seed, case)
+            path = str(tmp_path / f"flip-{case}.journal")
+            scenario.populate(path)
+            rng = np.random.default_rng([seed, case, 7])
+            blob = bytearray(open(path, "rb").read())
+            for _ in range(int(rng.integers(1, 6))):
+                offset = int(rng.integers(0, len(blob)))
+                blob[offset] ^= int(rng.integers(1, 256))
+            with open(path, "wb") as handle:
+                handle.write(bytes(blob))
+            recovered = EstimateStore(path)
+            snapshot = recovered.snapshot()  # must not raise
+            for key, value in snapshot.items():
+                # Whatever survives the CRC must be a real record: either
+                # byte-identical to what was written, or (when the flip
+                # landed inside a key) absent from the original mapping —
+                # never a silently altered value for a known key.
+                if key in scenario.entries:
+                    assert value == scenario.entries[key], scenario.describe()
+            stats = recovered.load_stats()
+            assert len(snapshot) + stats.skipped >= stats.entries
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_truncated_tail_keeps_the_intact_prefix(self, seed, tmp_path):
+        scenario = random_scenario(seed, 30)
+        path = str(tmp_path / "trunc.journal")
+        scenario.populate(path)
+        rng = np.random.default_rng([seed, 31])
+        size = os.path.getsize(path)
+        cut = int(rng.integers(1, size))
+        with open(path, "rb+") as handle:
+            handle.truncate(cut)
+        recovered = EstimateStore(path)
+        snapshot = recovered.snapshot()
+        for key, value in snapshot.items():
+            assert scenario.entries.get(key) == value
+        # Only the record the cut landed in is lost: the keys are unique,
+        # so the snapshot reconciles record-for-record with the load stats.
+        stats = recovered.load_stats()
+        assert stats.skipped <= 1
+        assert len(snapshot) == stats.records
+
+    def test_torn_write_glues_to_next_record_and_is_skipped(self, tmp_path):
+        """A crash mid-append leaves a partial line; the next O_APPEND
+        writer lands on the same line, corrupting exactly that one record."""
+        path = str(tmp_path / "torn.journal")
+        first = EstimateStore(path)
+        first.put(("gemm", 1), 11)
+        first.close()
+        with open(path, "ab") as handle:
+            handle.write(b"v1 deadbeef [[\"gem")  # torn: no newline
+        second = EstimateStore(path)
+        second.put(("gemm", 2), 22)  # glued onto the torn line
+        second.put(("gemm", 3), 33)
+        second.close()
+        recovered = EstimateStore(path)
+        assert recovered.get(("gemm", 1)) == 11
+        assert recovered.get(("gemm", 3)) == 33
+        assert recovered.get(("gemm", 2)) is None
+        assert recovered.load_stats().skipped == 1
+
+    def test_foreign_garbage_file_loads_empty(self, tmp_path):
+        path = tmp_path / "garbage.journal"
+        path.write_bytes(b"\x00\xffnot a journal\nv1 zz [1]\n\n")
+        store = EstimateStore(str(path))
+        assert store.snapshot() == {}
+        assert store.load_stats().skipped == 2
+
+
+class TestVersionInvalidation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_version_bump_invalidates_without_destroying(self, seed, tmp_path):
+        scenario = random_scenario(seed, 60)
+        path = str(tmp_path / "ver.journal")
+        scenario.populate(path)
+        bumped = EstimateStore(path, version=KEY_SCHEMA_VERSION + 1)
+        assert bumped.snapshot() == {}
+        stats = bumped.load_stats()
+        assert stats.stale == len(scenario.entries) and stats.skipped == 0
+        # New-version appends coexist with the stale records...
+        key = next(iter(scenario.entries))
+        bumped.put(key, 777)
+        bumped.close()
+        assert EstimateStore(path, version=KEY_SCHEMA_VERSION + 1).get(key) == 777
+        # ...and an old-version reader still sees its own records only.
+        old = EstimateStore(path)
+        assert old.snapshot() == scenario.entries
+        assert old.load_stats().stale == 1
+
+
+_WRITER_SCRIPT = """
+import sys
+from repro.arch.dataflow import Dataflow
+from repro.engine import attach_estimate_store, cached_gemm_cycles
+
+path, start, stop = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+attach_estimate_store(path)
+for dim in range(start, stop):
+    cached_gemm_cycles(dim, dim, dim, 8, 8, Dataflow.OUTPUT_STATIONARY, False)
+"""
+
+
+class TestConcurrentWriters:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_processes_produce_bit_exact_entries(self, seed, tmp_path):
+        """4 processes append overlapping ranges at once; every surviving
+        entry must equal fresh pricing exactly (torn or interleaved writes
+        would fail the CRC or corrupt a value)."""
+        path = str(tmp_path / f"mp-{seed}.journal")
+        rng = np.random.default_rng([seed, 90])
+        base = int(rng.integers(8, 64))
+        span = int(rng.integers(6, 12))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        ranges = [
+            (base + offset, base + offset + span)
+            for offset in (0, span // 2, span, span + span // 2)
+        ]
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, path, str(lo), str(hi)],
+                env=env, cwd=_REPO_ROOT,
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for lo, hi in ranges
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr.decode()
+        store = EstimateStore(path)
+        stats = store.load_stats()
+        assert stats.skipped == 0 and stats.stale == 0
+        dims = sorted({dim for lo, hi in ranges for dim in range(lo, hi)})
+        assert stats.entries == len(dims)
+        clear_estimate_cache()  # fresh pricing, no store attached
+        for dim in dims:
+            key = gemm_estimate_key(
+                dim, dim, dim, rows=8, cols=8,
+                dataflow=Dataflow.OUTPUT_STATIONARY, axon=False,
+                engine="wavefront", partitions_rows=1, partitions_cols=1,
+            )
+            assert store.get(key) == cached_gemm_cycles(
+                dim, dim, dim, 8, 8, Dataflow.OUTPUT_STATIONARY, False
+            ), f"seed={seed} dim={dim}"
+
+
+class TestEnvAttach:
+    def test_env_var_attaches_store_at_import(self, tmp_path):
+        path = str(tmp_path / "env.journal")
+        script = (
+            "from repro.arch.dataflow import Dataflow\n"
+            "from repro.engine import cached_gemm_cycles, "
+            "estimate_cache_disk_info\n"
+            "cached_gemm_cycles(16, 16, 16, 8, 8, "
+            "Dataflow.OUTPUT_STATIONARY, False)\n"
+            "disk = estimate_cache_disk_info()\n"
+            "print(disk.path == " + repr(path) + ", disk.appends)\n"
+        )
+        env = dict(os.environ, REPRO_ESTIMATE_STORE=path)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True,
+            text=True, check=True, cwd=_REPO_ROOT,
+        )
+        assert out.stdout.strip() == "True 1"
+        assert EstimateStore(path).load_stats().entries == 1
+
+    def test_env_var_rejects_garbage_path(self, tmp_path):
+        env = dict(os.environ, REPRO_ESTIMATE_STORE=str(tmp_path))
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.engine.cache"],
+            env=env, capture_output=True, text=True, cwd=_REPO_ROOT,
+        )
+        assert out.returncode != 0
+        assert "REPRO_ESTIMATE_STORE" in out.stderr

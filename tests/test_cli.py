@@ -241,3 +241,107 @@ class TestCli:
     def test_parser_requires_a_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCachePersistenceCli:
+    """`repro cache` stats/clear/warm and the `--store` error contract."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_store(self):
+        from repro.engine import clear_estimate_cache, detach_estimate_store
+
+        clear_estimate_cache()
+        yield
+        detach_estimate_store()
+        clear_estimate_cache()
+
+    def _warm(self, path, capsys):
+        args = ["cache", "warm", "--store", path, "--config", "8", "8",
+                "--network", "mobilenet", "--json"]
+        assert main(args) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_cache_stats_flag_reports_disk_layer(self, capsys, tmp_path):
+        path = str(tmp_path / "est.journal")
+        self._warm(path, capsys)
+        assert main(["cache", "--stats", "--store", path]) == 0
+        out = capsys.readouterr().out
+        assert "store entries" in out and path in out
+
+    def test_cache_stats_json_schema(self, capsys):
+        assert main(["cache", "--stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"hits", "misses", "hit_rate", "entries",
+                                "capacity", "disk"}
+        assert payload["disk"]["path"] is None  # nothing attached
+
+    def test_cache_warm_is_idempotent(self, capsys, tmp_path):
+        path = str(tmp_path / "est.journal")
+        first = self._warm(path, capsys)
+        assert first["computed"] > 0 and first["store_appends"] > 0
+        from repro.engine import clear_estimate_cache
+
+        clear_estimate_cache()  # fresh memory, warm journal
+        second = self._warm(path, capsys)
+        assert second["computed"] == 0
+        assert second["store_appends"] == 0
+        assert second["disk_hits"] > 0
+        assert second["points"] == first["points"]
+
+    def test_cache_warm_table_output(self, capsys, tmp_path):
+        path = str(tmp_path / "est.journal")
+        args = ["cache", "warm", "--store", path, "--config", "8", "8",
+                "--network", "mobilenet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "points priced" in out and f"store: {path}" in out
+
+    def test_cache_clear_truncates_explicit_store(self, capsys, tmp_path):
+        path = str(tmp_path / "est.journal")
+        self._warm(path, capsys)
+        import os
+
+        assert os.path.getsize(path) > 0
+        assert main(["cache", "--clear", "--store", path]) == 0
+        out = capsys.readouterr().out
+        assert "estimate cache cleared" in out
+        assert f"estimate store cleared: {path}" in out
+        assert os.path.getsize(path) == 0
+
+    def test_cache_clear_cache_alias_still_works(self, capsys):
+        assert main(["cache", "--clear-cache"]) == 0
+        assert "estimate cache cleared" in capsys.readouterr().out
+
+    def test_cache_malformed_store_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["cache", "--store", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro cache: invalid --store path:")
+
+    def test_cache_warm_malformed_store_is_a_clean_error(self, capsys, tmp_path):
+        missing = str(tmp_path / "no" / "such" / "dir" / "x.journal")
+        assert main(["cache", "warm", "--store", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro cache warm: invalid --store path:")
+
+    def test_serve_malformed_store_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["serve", "--store", str(tmp_path), "--tenants", "1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve: invalid --store path:")
+
+    def test_serve_store_surfaces_disk_counters(self, capsys, tmp_path):
+        path = str(tmp_path / "est.journal")
+        args = ["serve", "--store", path, "--tenants", "2",
+                "--jobs-per-tenant", "2", "--workers", "1", "--rows", "8",
+                "--cols", "8", "--max-dim", "32", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["report"]
+        assert {"cache_disk_hits", "cache_disk_misses",
+                "cache_disk_skips"} <= set(report)
+        # The run journaled its pricing; detach happened in the handler.
+        from repro.engine import estimate_store
+
+        assert estimate_store() is None
+        from repro.engine import EstimateStore
+
+        assert EstimateStore(path).load_stats().entries > 0

@@ -17,6 +17,11 @@ import pytest
 
 from repro.api import AxonAccelerator, SystolicAccelerator
 from repro.arch.dataflow import Dataflow
+from repro.engine import (
+    attach_estimate_store,
+    clear_estimate_cache,
+    detach_estimate_store,
+)
 from repro.serve import (
     POLICY_REJECT,
     AdmissionController,
@@ -591,3 +596,118 @@ class TestSyntheticTrace:
             synthetic_trace(accelerator, tenants=1, jobs_per_tenant=0)
         with pytest.raises(ValueError, match="weight"):
             TenantTrafficSpec("bad", weight=0.0)
+
+
+class TestPersistentEstimateStore:
+    """The disk layer under the estimate cache must be schedule-invisible
+    (stored estimates are bit-exact ints) while collapsing a fresh
+    process's cold-start admission pricing to journal reads."""
+
+    #: Report keys that legitimately vary with cache temperature.
+    _CACHE_KEYS = ("wall_seconds", "cache_hits", "cache_misses",
+                   "cache_hit_rate", "cache_evictions", "cache_classes",
+                   "cache_disk_hits", "cache_disk_misses",
+                   "cache_disk_skips", "metrics")
+
+    @pytest.fixture(autouse=True)
+    def isolated_store(self):
+        clear_estimate_cache()
+        yield
+        detach_estimate_store()
+        clear_estimate_cache()
+
+    def _comparable(self, report):
+        payload = report.to_dict()
+        for key in self._CACHE_KEYS:
+            payload.pop(key)
+        return payload
+
+    def _schedule(self, results):
+        return [
+            (r.job_id, r.start_cycle, r.finish_cycle, r.worker_id)
+            for r in results
+        ]
+
+    def _trace(self, small_array):
+        return synthetic_trace(
+            SystolicAccelerator(small_array), tenants=3, jobs_per_tenant=4,
+            offered_load=6.0, max_dim=48, conv_fraction=0.25, seed=17,
+        )
+
+    def test_disk_layer_enabled_is_bit_exact_with_disabled(
+        self, small_array, tmp_path
+    ):
+        jobs = self._trace(small_array)
+        clear_estimate_cache()
+        report_off, results_off = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        clear_estimate_cache()
+        attach_estimate_store(str(tmp_path / "est.journal"))
+        report_on, results_on = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        assert self._comparable(report_on) == self._comparable(report_off)
+        assert len(results_on) == len(results_off)
+        for on, off in zip(results_on, results_off):
+            assert on.to_dict(include_output=True) == off.to_dict(
+                include_output=True
+            )
+        # The journal really was in the loop: cold lookups probed it.
+        assert report_on.cache_disk_misses > 0
+        assert report_off.cache_disk_misses == 0
+
+    def test_disk_warm_second_scheduler_recomputes_nothing(
+        self, small_array, tmp_path
+    ):
+        path = str(tmp_path / "warm.journal")
+        attach_estimate_store(path)
+        jobs = self._trace(small_array)
+        report_cold, results_cold = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        # Simulate a fresh process: empty memory cache, same journal.
+        detach_estimate_store()
+        clear_estimate_cache()
+        attach_estimate_store(path)
+        report_warm, results_warm = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        assert report_warm.cache_misses == 0  # zero estimate recomputation
+        assert report_warm.cache_disk_hits > 0
+        assert self._schedule(results_warm) == self._schedule(results_cold)
+        assert self._comparable(report_warm) == self._comparable(report_cold)
+
+    def test_disk_hits_keep_the_hit_rate_denominator(
+        self, small_array, tmp_path
+    ):
+        """Regression (ISSUE 10 satellite): a disk hit is a cache *hit*,
+        never an in-memory miss — warm-disk runs must report the same
+        ``hits + misses`` denominator as a store-less run, with a 1.0
+        hit rate instead of a phantom miss per journal read."""
+        jobs = self._trace(small_array)
+        clear_estimate_cache()
+        report_none, _ = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        denominator = report_none.cache_hits + report_none.cache_misses
+        path = str(tmp_path / "denom.journal")
+        clear_estimate_cache()
+        attach_estimate_store(path)
+        AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        detach_estimate_store()
+        clear_estimate_cache()
+        attach_estimate_store(path)
+        report_warm, _ = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        assert report_warm.cache_misses == 0
+        assert report_warm.cache_hits == denominator
+        assert report_warm.cache_hit_rate == 1.0
+        assert report_warm.cache_disk_hits <= report_warm.cache_hits
+        # And the serve metrics registry sees the same split.
+        counts = report_warm.metrics().to_dict()["counters"]
+        assert counts["serve.cache.disk_hits"] == report_warm.cache_disk_hits
+        assert counts["serve.cache.misses"] == 0

@@ -17,6 +17,11 @@ import numpy as np
 
 from repro.api import AxonAccelerator, SystolicAccelerator
 from repro.arch.array_config import ArrayConfig
+from repro.engine import (
+    attach_estimate_store,
+    clear_estimate_cache,
+    detach_estimate_store,
+)
 from repro.serve import (
     AsyncGemmScheduler,
     Job,
@@ -27,10 +32,11 @@ from repro.serve import (
 from repro.workloads import synthetic_trace
 
 #: Report keys that legitimately differ between two identical schedules
-#: (host timing and warm-cache effects).
+#: (host timing and warm-cache effects, in memory or on disk).
 _NONDETERMINISTIC_KEYS = ("wall_seconds", "cache_hits", "cache_misses",
                           "cache_hit_rate", "cache_evictions",
-                          "cache_classes", "metrics")
+                          "cache_classes", "cache_disk_hits",
+                          "cache_disk_misses", "cache_disk_skips", "metrics")
 
 
 def _job(job_id, tenant, m, k, n, rng, **kwargs):
@@ -410,3 +416,69 @@ class TestFleetSpec:
             WorkerSpec(rows=8, cols=8, arch="tpu")
         with pytest.raises(ValueError, match="scale-out"):
             WorkerSpec(rows=8, cols=8, scale_out=(0, 2))
+
+
+class TestStreamingWithPersistentStore:
+    """ISSUE 10: streaming equivalence must survive the disk layer, and a
+    disk-warm streaming scheduler recomputes no estimates."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_store(self):
+        clear_estimate_cache()
+        yield
+        detach_estimate_store()
+        clear_estimate_cache()
+
+    def _trace(self, small_array):
+        return synthetic_trace(
+            SystolicAccelerator(small_array), tenants=3, jobs_per_tenant=4,
+            offered_load=6.0, max_dim=48, conv_fraction=0.25, seed=29,
+        )
+
+    def test_streaming_matches_one_shot_with_store_attached(
+        self, small_array, tmp_path
+    ):
+        jobs = self._trace(small_array)
+        # Each run gets a cold memory cache and its own fresh journal, so
+        # the only variable is the serving path (one-shot vs streamed).
+        clear_estimate_cache()
+        attach_estimate_store(str(tmp_path / "one-shot.journal"))
+        one_shot = AsyncGemmScheduler(
+            _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+        ).serve(jobs)
+        detach_estimate_store()
+        clear_estimate_cache()
+        attach_estimate_store(str(tmp_path / "streamed.journal"))
+        streamed = _stream(
+            AsyncGemmScheduler(
+                _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+            ),
+            jobs,
+        )
+        _assert_equivalent(one_shot, streamed)
+
+    def test_disk_warm_streaming_run_recomputes_nothing(
+        self, small_array, tmp_path
+    ):
+        path = str(tmp_path / "warm.journal")
+        attach_estimate_store(path)
+        jobs = self._trace(small_array)
+        cold = _stream(
+            AsyncGemmScheduler(
+                _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+            ),
+            jobs,
+        )
+        detach_estimate_store()
+        clear_estimate_cache()
+        attach_estimate_store(path)
+        warm = _stream(
+            AsyncGemmScheduler(
+                _fleet(SystolicAccelerator, small_array, 2), max_batch=4
+            ),
+            jobs,
+        )
+        _assert_equivalent(cold, warm)
+        report = warm[0]
+        assert report.cache_misses == 0
+        assert report.cache_disk_hits > 0
